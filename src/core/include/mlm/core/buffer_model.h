@@ -1,0 +1,88 @@
+// The paper's analytic model for buffered MLM algorithms
+// (Section 3.2, Equations 1-5).
+//
+// Given the machine's bandwidth envelope (Table 2) and a buffered
+// chunking workload — B_copy bytes moved through MCDRAM once, compute
+// streaming the data `passes` times — the model predicts execution time
+// as the max of copy and compute time for a given division of threads,
+// and from that the near-optimal number of copy threads.
+//
+//   T_total = max(T_copy, T_comp)                                   (1)
+//   T_copy  = 2 B / ((p_in + p_out) C_copy)                         (2)
+//   C_copy  = S_copy                 if (p_in+p_out) S_copy <= DDR_max
+//           = DDR_max / (p_in+p_out) otherwise                      (3)
+//   T_comp  = 2 B Passes / (p_comp C_comp)                          (4)
+//   C_comp  = S_comp   if p_comp S_comp + (p_in+p_out) S_copy <= MCDRAM_max
+//           = (MCDRAM_max - (p_in+p_out) C_copy) / p_comp  otherwise (5)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mlm/machine/knl_config.h"
+
+namespace mlm::core {
+
+/// Machine-level inputs of the model (Table 2).
+struct ModelParams {
+  double ddr_max = 0.0;     ///< DDR_max, bytes/s
+  double mcdram_max = 0.0;  ///< MCDRAM_max, bytes/s
+  double s_copy = 0.0;      ///< per-thread copy rate, bytes/s
+  double s_comp = 0.0;      ///< per-thread compute rate, bytes/s
+
+  /// Extract the model parameters from a machine description.
+  static ModelParams from_machine(const KnlConfig& machine);
+};
+
+/// Workload-level inputs of the model.
+struct ModelWorkload {
+  double bytes = 0.0;      ///< B_copy: data set size in bytes
+  double passes = 1.0;     ///< compute passes over the data ("repeats")
+};
+
+/// Thread division evaluated by the model; p_in == p_out == copy_threads.
+struct ThreadSplit {
+  std::size_t copy_threads = 1;   ///< per direction
+  std::size_t compute_threads = 1;
+};
+
+/// Model outputs for one thread split.
+struct ModelPrediction {
+  double t_copy = 0.0;
+  double t_comp = 0.0;
+  double t_total = 0.0;
+  double c_copy = 0.0;  ///< effective per-thread copy rate (Eq. 3)
+  double c_comp = 0.0;  ///< effective per-thread compute rate (Eq. 5)
+};
+
+/// Evaluate Eqs. (1)-(5) for one split.
+ModelPrediction predict(const ModelParams& params,
+                        const ModelWorkload& workload,
+                        const ThreadSplit& split);
+
+/// One point of a copy-thread sweep (Figure 8(a) series).
+struct SweepPoint {
+  std::size_t copy_threads = 0;  ///< per direction
+  ModelPrediction prediction;
+};
+
+/// Evaluate the model for copy_threads = 1 .. (total_threads-1)/2, with
+/// compute_threads = total_threads - 2*copy_threads.
+std::vector<SweepPoint> sweep_copy_threads(const ModelParams& params,
+                                           const ModelWorkload& workload,
+                                           std::size_t total_threads);
+
+/// The copy-thread count (per direction) minimizing predicted T_total
+/// over the full sweep (Table 3 "Model" column).
+std::size_t optimal_copy_threads(const ModelParams& params,
+                                 const ModelWorkload& workload,
+                                 std::size_t total_threads);
+
+/// As above but restricted to the given candidate counts (e.g. powers of
+/// two, matching the paper's empirical evaluation grid).
+std::size_t optimal_copy_threads(const ModelParams& params,
+                                 const ModelWorkload& workload,
+                                 std::size_t total_threads,
+                                 const std::vector<std::size_t>& candidates);
+
+}  // namespace mlm::core

@@ -1,0 +1,94 @@
+// ChunkPipeline: the paper's triple-buffered chunking scheme (Section 3,
+// Figure 2) as executable host code.
+//
+// A large far-memory (DDR) array is processed in near-memory-sized
+// chunks by three dedicated thread pools: while the compute pool works
+// on chunk s-1 in near memory, the copy-in pool loads chunk s and the
+// copy-out pool stores chunk s-2.  Steps are barriers: a step ends when
+// its three stages have all finished — the same semantics the analytic
+// model (mlm/core/buffer_model.h) and the simulator assume.
+//
+// In modes without addressable MCDRAM (implicit cache mode, DDR-only)
+// the pipeline degenerates as the paper describes (§3.1): no explicit
+// copies happen, all threads compute, and each chunk is processed in
+// place — the hardware cache (when present) does the data movement.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mlm/memory/dual_space.h"
+#include "mlm/parallel/triple_pools.h"
+
+namespace mlm::core {
+
+/// How many chunk buffers the pipeline cycles through.
+enum class Buffering : std::uint8_t {
+  Single, ///< copy-in, compute, copy-out fully serialized (1 buffer)
+  Double, ///< copy-in overlaps {compute; copy-out} (2 buffers)
+  Triple, ///< all three stages overlap (3 buffers; the paper's scheme)
+};
+
+const char* to_string(Buffering buffering);
+
+/// Per-run statistics.
+struct PipelineStats {
+  std::size_t chunks = 0;
+  std::size_t steps = 0;
+  double total_seconds = 0.0;
+  std::vector<double> step_seconds;
+  std::uint64_t bytes_copied_in = 0;
+  std::uint64_t bytes_copied_out = 0;
+};
+
+/// Pipeline configuration.
+struct PipelineConfig {
+  /// Chunk size in bytes; must allow `buffer_count` live buffers in the
+  /// near space when explicit copies are used.  0 = near capacity
+  /// divided by the buffer count.
+  std::size_t chunk_bytes = 0;
+  PoolSizes pools;
+  Buffering buffering = Buffering::Triple;
+  /// If false, chunks are read-only for compute and are not copied back
+  /// (e.g. reductions); the copy-out pool idles.
+  bool write_back = true;
+};
+
+/// Compute stage callback: process `chunk` (resident in near memory, or
+/// in place under implicit mode) using `pool`'s worker threads.
+/// `chunk_index` identifies the chunk within the run.
+using ComputeFn = std::function<void(std::span<std::byte> chunk,
+                                     ThreadPool& pool,
+                                     std::size_t chunk_index)>;
+
+/// Stream `data` through the near memory of `space` chunk by chunk,
+/// applying `compute` to each chunk.  Modifications are written back to
+/// `data` (unless config.write_back is false).  Throws OutOfMemoryError
+/// if the configured buffers do not fit in the near space.
+PipelineStats run_chunk_pipeline(DualSpace& space,
+                                 std::span<std::byte> data,
+                                 const PipelineConfig& config,
+                                 const ComputeFn& compute);
+
+/// Typed convenience wrapper: chunk boundaries are element-aligned.
+template <typename T, typename Fn>
+PipelineStats run_chunk_pipeline_typed(DualSpace& space, std::span<T> data,
+                                       PipelineConfig config,
+                                       Fn&& compute) {
+  if (config.chunk_bytes != 0) {
+    config.chunk_bytes -= config.chunk_bytes % sizeof(T);
+  }
+  auto bytes = std::as_writable_bytes(data);
+  return run_chunk_pipeline(
+      space, bytes, config,
+      [&compute](std::span<std::byte> chunk, ThreadPool& pool,
+                 std::size_t index) {
+        std::span<T> typed{reinterpret_cast<T*>(chunk.data()),
+                           chunk.size() / sizeof(T)};
+        compute(typed, pool, index);
+      });
+}
+
+}  // namespace mlm::core

@@ -1,0 +1,42 @@
+// Model-driven selection of pipeline thread pools.
+//
+// "Choosing the ideal number of copy threads is typically not obvious
+// without a great deal of experimentation" (§3.2).  The tuner applies
+// the buffering model to a workload description and returns the thread
+// split a ChunkPipeline / merge benchmark should use — the library-level
+// packaging of the paper's headline guidance.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mlm/core/buffer_model.h"
+#include "mlm/parallel/triple_pools.h"
+
+namespace mlm::core {
+
+/// Description of a buffered workload for tuning purposes.
+struct TunedWorkload {
+  double bytes = 0.0;   ///< data set size (B_copy)
+  double passes = 1.0;  ///< compute passes over the data
+};
+
+/// A tuned split plus the model's expectations for it.
+struct TunedSplit {
+  PoolSizes pools;
+  ModelPrediction prediction;
+  /// True when the model says the workload is copy-bound even at the
+  /// optimal split (more copy threads can no longer help: DDR is
+  /// saturated).
+  bool copy_bound = false;
+};
+
+/// Choose pool sizes for `total_threads` hardware threads.
+/// `candidates` optionally restricts the copy-thread counts considered
+/// (empty = every feasible count).
+TunedSplit tune_pools(const KnlConfig& machine,
+                      const TunedWorkload& workload,
+                      std::size_t total_threads,
+                      const std::vector<std::size_t>& candidates = {});
+
+}  // namespace mlm::core

@@ -1,0 +1,257 @@
+// Double-level chunking: sorting NVM-resident data larger than DDR
+// (the paper's §6 extension: "now there may be double levels of
+// chunking to consider").
+//
+// ExternalMlmSorter applies MLM-sort's recipe one level down:
+//
+//   1. divide the NVM-resident input into DDR-sized "outer chunks",
+//   2. stage each outer chunk into DDR and sort it there with the
+//      two-level MlmSorter (which itself chunks through MCDRAM — the
+//      double chunking),
+//   3. write each sorted run back to NVM,
+//   4. finish with a block-buffered external k-way merge
+//      (external_multiway_merge): the classic out-of-core merge of §2.2,
+//      reading run blocks into DDR staging buffers and writing merged
+//      output blocks back — parallelized by exact multisequence
+//      partitioning of the output.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "mlm/core/mlm_sort.h"
+#include "mlm/memory/triple_space.h"
+#include "mlm/parallel/parallel_for.h"
+#include "mlm/parallel/parallel_memcpy.h"
+#include "mlm/sort/loser_tree.h"
+#include "mlm/sort/multiway_merge.h"
+#include "mlm/support/error.h"
+
+namespace mlm::core {
+
+/// Block-buffered k-way merge of far-resident sorted runs into a
+/// far-resident output, staging through `staging` (DDR).  Each worker
+/// merges an exact slice of the output (multisequence partitioning)
+/// using k block-sized input windows and one output block from staging.
+///
+/// `block_elements` — elements per staging block; the call needs
+/// parts * (k + 1) * block_elements elements of staging capacity, where
+/// parts <= pool.size() is chosen to fit.
+template <typename T, typename Comp = std::less<>>
+void external_multiway_merge(ThreadPool& pool, MemorySpace& staging,
+                             std::span<const mlm::sort::Run<T>> runs,
+                             std::span<T> out,
+                             std::size_t block_elements, Comp comp = {}) {
+  using mlm::sort::Run;
+  std::size_t total = 0;
+  for (const auto& r : runs) total += r.size();
+  MLM_REQUIRE(out.size() == total, "output size must equal total runs");
+  MLM_REQUIRE(block_elements >= 1, "block must hold at least one element");
+  if (total == 0) return;
+
+  const std::size_t k = runs.size();
+  // Fit the per-part staging footprint: (k input blocks + 1 output
+  // block) per part, each rounded up to the space's 64-byte allocation
+  // granularity.
+  const std::size_t block_bytes =
+      (block_elements * sizeof(T) + 63) / 64 * 64;
+  const std::size_t per_part_bytes = (k + 1) * block_bytes;
+  std::size_t parts = std::min(pool.size(),
+                               std::max<std::size_t>(total / 4096, 1));
+  if (!staging.unlimited()) {
+    const std::size_t cap = staging.stats().free_bytes();
+    MLM_REQUIRE(per_part_bytes <= cap,
+                "staging space cannot hold even one part's merge blocks");
+    parts = std::min(parts, cap / per_part_bytes);
+  }
+  parts = std::max<std::size_t>(parts, 1);
+
+  // Exact output split points per part.
+  std::vector<std::vector<std::size_t>> bounds(parts + 1);
+  bounds[0].assign(k, 0);
+  for (std::size_t p = 1; p < parts; ++p) {
+    bounds[p] = mlm::sort::multiseq_partition(runs, total * p / parts, comp);
+  }
+  bounds[parts].resize(k);
+  for (std::size_t i = 0; i < k; ++i) bounds[parts][i] = runs[i].size();
+
+  parallel_for(pool, 0, parts, [&](std::size_t p) {
+    // Per-run far cursors for this part's slice.
+    struct Cursor {
+      const T* next;
+      const T* end;
+    };
+    std::vector<Cursor> cursors(k);
+    std::size_t out_begin = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      cursors[i] = {runs[i].data() + bounds[p][i],
+                    runs[i].data() + bounds[p + 1][i]};
+      out_begin += bounds[p][i];
+    }
+
+    // Staging blocks: k input windows + 1 output block.
+    std::vector<SpaceBuffer<T>> in_blocks;
+    in_blocks.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      in_blocks.emplace_back(staging, block_elements);
+    }
+    SpaceBuffer<T> out_block(staging, block_elements);
+
+    // Window state: [win_cur, win_end) inside in_blocks[i].
+    std::vector<std::pair<std::size_t, std::size_t>> win(k, {0, 0});
+    auto refill = [&](std::size_t i) {
+      const auto avail = static_cast<std::size_t>(cursors[i].end -
+                                                  cursors[i].next);
+      const std::size_t n = std::min(avail, block_elements);
+      std::copy(cursors[i].next, cursors[i].next + n,
+                in_blocks[i].data());
+      cursors[i].next += n;
+      win[i] = {0, n};
+    };
+    for (std::size_t i = 0; i < k; ++i) refill(i);
+
+    // Loser tree over the staged windows; when a window drains we
+    // refill it from far memory and rebuild (refills are rare:
+    // total/block_elements per part).
+    T* far_out = out.data() + out_begin;
+    std::size_t out_fill = 0;
+    auto flush_out = [&] {
+      std::copy(out_block.data(), out_block.data() + out_fill, far_out);
+      far_out += out_fill;
+      out_fill = 0;
+    };
+
+    for (;;) {
+      mlm::sort::LoserTree<const T*, Comp> lt(k, comp);
+      for (std::size_t i = 0; i < k; ++i) {
+        lt.set_run(i, in_blocks[i].data() + win[i].first,
+                   in_blocks[i].data() + win[i].second);
+      }
+      lt.init();
+      bool need_refill = false;
+      while (!lt.empty()) {
+        const std::size_t src = lt.top_run();
+        out_block[out_fill++] = lt.pop();
+        ++win[src].first;
+        if (out_fill == block_elements) flush_out();
+        if (win[src].first == win[src].second &&
+            cursors[src].next != cursors[src].end) {
+          // Window drained but far data remains: refill and rebuild.
+          refill(src);
+          need_refill = true;
+          break;
+        }
+      }
+      if (!need_refill) break;
+    }
+    flush_out();
+  });
+}
+
+/// Configuration of the NVM-level sorter.
+struct ExternalSortConfig {
+  /// Outer (NVM -> DDR) chunk in elements; 0 = as large as DDR allows
+  /// (half the free DDR: chunk + inner-sort scratch).
+  std::size_t outer_chunk_elements = 0;
+  /// Inner sorter configuration (two-level MLM-sort in DDR+MCDRAM).
+  MlmSortConfig inner;
+  /// Staging block for the final external merge; 0 = auto from DDR.
+  std::size_t merge_block_elements = 0;
+};
+
+struct ExternalSortStats {
+  std::size_t outer_chunks = 0;
+  std::uint64_t bytes_staged_in = 0;
+  std::uint64_t bytes_staged_out = 0;
+  bool external_merge_ran = false;
+  MlmSortStats last_inner;
+};
+
+/// Sorts NVM-resident data through DDR and MCDRAM with double chunking.
+template <typename T, typename Comp = std::less<>>
+class ExternalMlmSorter {
+ public:
+  ExternalMlmSorter(TripleSpace& space, ThreadPool& pool,
+                    ExternalSortConfig config, Comp comp = {})
+      : space_(space), pool_(pool), config_(config), comp_(comp) {}
+
+  ExternalSortStats sort(std::span<T> data) {
+    ExternalSortStats stats;
+    if (data.size() <= 1) return stats;
+
+    const std::size_t outer = resolve_outer_chunk();
+    const std::vector<IndexRange> chunks =
+        chunk_ranges(data.size(), outer);
+    stats.outer_chunks = chunks.size();
+
+    MlmSorter<T, Comp> inner(space_.upper(), pool_, config_.inner, comp_);
+
+    {
+      // Stage each outer chunk into DDR, sort it there (double
+      // chunking: the inner sorter stages through MCDRAM), write the
+      // sorted run back to NVM in place.
+      SpaceBuffer<T> ddr_buf(space_.ddr(), std::min(outer, data.size()));
+      for (const IndexRange& c : chunks) {
+        parallel_memcpy(pool_, ddr_buf.data(), data.data() + c.begin,
+                        c.size() * sizeof(T));
+        stats.bytes_staged_in += c.size() * sizeof(T);
+        stats.last_inner =
+            inner.sort(std::span<T>(ddr_buf.data(), c.size()));
+        parallel_memcpy(pool_, data.data() + c.begin, ddr_buf.data(),
+                        c.size() * sizeof(T));
+        stats.bytes_staged_out += c.size() * sizeof(T);
+      }
+    }  // release the DDR buffer before the merge claims staging blocks
+
+    if (chunks.size() == 1) return stats;
+
+    // External k-way merge of the NVM runs into an NVM scratch, then
+    // move the result home.
+    SpaceBuffer<T> nvm_out(space_.nvm(), data.size());
+    std::vector<mlm::sort::Run<T>> runs;
+    runs.reserve(chunks.size());
+    for (const IndexRange& c : chunks) {
+      runs.emplace_back(data.data() + c.begin, c.size());
+    }
+    const std::size_t block = resolve_merge_block(chunks.size());
+    external_multiway_merge(pool_, space_.ddr(),
+                            std::span<const mlm::sort::Run<T>>(runs),
+                            std::span<T>(nvm_out.data(), data.size()),
+                            block, comp_);
+    stats.external_merge_ran = true;
+    parallel_memcpy(pool_, data.data(), nvm_out.data(),
+                    data.size() * sizeof(T));
+    return stats;
+  }
+
+ private:
+  std::size_t resolve_outer_chunk() const {
+    std::size_t outer = config_.outer_chunk_elements;
+    const std::size_t cap = static_cast<std::size_t>(
+        space_.ddr().stats().free_bytes() / sizeof(T) / 2);
+    MLM_CHECK_MSG(cap >= 1, "no DDR capacity for outer chunking");
+    if (outer == 0) outer = cap;
+    MLM_REQUIRE(outer <= cap,
+                "outer chunk plus inner scratch exceed DDR capacity");
+    return outer;
+  }
+
+  std::size_t resolve_merge_block(std::size_t k) const {
+    std::size_t block = config_.merge_block_elements;
+    if (block == 0) {
+      const std::size_t cap = static_cast<std::size_t>(
+          space_.ddr().stats().free_bytes() / sizeof(T));
+      // One part's worth must fit even for a single worker.
+      block = std::max<std::size_t>(cap / ((k + 1) * pool_.size()), 64);
+    }
+    return block;
+  }
+
+  TripleSpace& space_;
+  ThreadPool& pool_;
+  ExternalSortConfig config_;
+  Comp comp_;
+};
+
+}  // namespace mlm::core

@@ -1,0 +1,124 @@
+#include "mlm/core/buffer_model.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "mlm/support/error.h"
+
+namespace mlm::core {
+
+ModelParams ModelParams::from_machine(const KnlConfig& machine) {
+  ModelParams p;
+  p.ddr_max = machine.ddr_max_bw;
+  p.mcdram_max = machine.mcdram_max_bw;
+  p.s_copy = machine.s_copy;
+  p.s_comp = machine.s_comp;
+  return p;
+}
+
+ModelPrediction predict(const ModelParams& params,
+                        const ModelWorkload& workload,
+                        const ThreadSplit& split) {
+  MLM_REQUIRE(params.ddr_max > 0 && params.mcdram_max > 0 &&
+                  params.s_copy > 0 && params.s_comp > 0,
+              "model parameters must be positive");
+  MLM_REQUIRE(workload.bytes > 0 && workload.passes >= 1.0,
+              "workload must have positive size and at least one pass");
+  MLM_REQUIRE(split.copy_threads >= 1 && split.compute_threads >= 1,
+              "thread split needs at least one thread per pool");
+
+  const double p_copy = 2.0 * static_cast<double>(split.copy_threads);
+  const double p_comp = static_cast<double>(split.compute_threads);
+
+  ModelPrediction out;
+
+  // Eq. (3): per-thread copy rate, capped by DDR saturation.
+  out.c_copy = (p_copy * params.s_copy <= params.ddr_max)
+                   ? params.s_copy
+                   : params.ddr_max / p_copy;
+
+  // Eq. (2): copy the data into MCDRAM and back out.
+  out.t_copy = 2.0 * workload.bytes / (p_copy * out.c_copy);
+
+  // Eq. (5): per-thread compute rate, sharing MCDRAM with the copies.
+  const double copy_mcdram = p_copy * out.c_copy;
+  if (p_comp * params.s_comp + p_copy * params.s_copy <=
+      params.mcdram_max) {
+    out.c_comp = params.s_comp;
+  } else {
+    out.c_comp = (params.mcdram_max - copy_mcdram) / p_comp;
+    MLM_CHECK_MSG(out.c_comp > 0.0,
+                  "copy pools leave no MCDRAM bandwidth for compute");
+  }
+
+  // Eq. (4): read+write the data `passes` times.
+  out.t_comp =
+      2.0 * workload.bytes * workload.passes / (p_comp * out.c_comp);
+
+  // Eq. (1).
+  out.t_total = std::max(out.t_copy, out.t_comp);
+  return out;
+}
+
+std::vector<SweepPoint> sweep_copy_threads(const ModelParams& params,
+                                           const ModelWorkload& workload,
+                                           std::size_t total_threads) {
+  MLM_REQUIRE(total_threads >= 3,
+              "need at least three threads (two copy pools + compute)");
+  std::vector<SweepPoint> out;
+  for (std::size_t c = 1; 2 * c + 1 <= total_threads; ++c) {
+    const ThreadSplit split{c, total_threads - 2 * c};
+    out.push_back(SweepPoint{c, predict(params, workload, split)});
+  }
+  return out;
+}
+
+std::size_t optimal_copy_threads(const ModelParams& params,
+                                 const ModelWorkload& workload,
+                                 std::size_t total_threads) {
+  const auto sweep = sweep_copy_threads(params, workload, total_threads);
+  MLM_CHECK(!sweep.empty());
+  double best_time = std::numeric_limits<double>::infinity();
+  for (const SweepPoint& p : sweep) {
+    best_time = std::min(best_time, p.prediction.t_total);
+  }
+  // Plateaus are common (DDR-saturated copy time is flat in the thread
+  // count); prefer the FEWEST copy threads achieving the optimum so the
+  // compute pool stays as large as possible.
+  for (const SweepPoint& p : sweep) {
+    if (p.prediction.t_total <= best_time * (1.0 + 1e-9)) {
+      return p.copy_threads;
+    }
+  }
+  return sweep.back().copy_threads;  // unreachable
+}
+
+std::size_t optimal_copy_threads(
+    const ModelParams& params, const ModelWorkload& workload,
+    std::size_t total_threads,
+    const std::vector<std::size_t>& candidates) {
+  MLM_REQUIRE(!candidates.empty(), "need at least one candidate");
+  std::vector<double> times;
+  times.reserve(candidates.size());
+  double best_time = std::numeric_limits<double>::infinity();
+  for (std::size_t c : candidates) {
+    MLM_REQUIRE(c >= 1 && 2 * c + 1 <= total_threads,
+                "candidate copy-thread count does not fit thread budget");
+    const ThreadSplit split{c, total_threads - 2 * c};
+    times.push_back(predict(params, workload, split).t_total);
+    best_time = std::min(best_time, times.back());
+  }
+  // Ties resolve toward fewer copy threads (see the full-sweep variant).
+  std::size_t best = candidates.front();
+  double best_count = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (times[i] <= best_time * (1.0 + 1e-9) &&
+        static_cast<double>(candidates[i]) < best_count) {
+      best = candidates[i];
+      best_count = static_cast<double>(candidates[i]);
+    }
+  }
+  return best;
+}
+
+}  // namespace mlm::core

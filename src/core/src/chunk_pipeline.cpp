@@ -1,0 +1,199 @@
+#include "mlm/core/chunk_pipeline.h"
+
+#include <algorithm>
+#include <future>
+
+#include "mlm/memory/memory_space.h"
+#include "mlm/parallel/parallel_memcpy.h"
+#include "mlm/support/error.h"
+#include "mlm/support/stopwatch.h"
+
+namespace mlm::core {
+
+const char* to_string(Buffering buffering) {
+  switch (buffering) {
+    case Buffering::Single: return "single";
+    case Buffering::Double: return "double";
+    case Buffering::Triple: return "triple";
+  }
+  return "?";
+}
+
+namespace {
+
+std::size_t buffer_count(Buffering b) {
+  switch (b) {
+    case Buffering::Single: return 1;
+    case Buffering::Double: return 2;
+    case Buffering::Triple: return 3;
+  }
+  return 3;
+}
+
+/// Implicit/DDR-only execution: no copies, all chunks processed in
+/// place; the compute pool is the only active pool (§3.1: "In implicit
+/// cache mode all available threads are dedicated to performing the
+/// compute").
+PipelineStats run_in_place(std::span<std::byte> data,
+                           const PipelineConfig& config,
+                           std::size_t chunk_bytes,
+                           const ComputeFn& compute,
+                           ThreadPool& compute_pool) {
+  PipelineStats stats;
+  Stopwatch total;
+  std::size_t index = 0;
+  for (std::size_t off = 0; off < data.size(); off += chunk_bytes) {
+    const std::size_t len = std::min(chunk_bytes, data.size() - off);
+    Stopwatch step;
+    compute(data.subspan(off, len), compute_pool, index++);
+    stats.step_seconds.push_back(step.elapsed_s());
+  }
+  (void)config;
+  stats.chunks = index;
+  stats.steps = index;
+  stats.total_seconds = total.elapsed_s();
+  return stats;
+}
+
+}  // namespace
+
+PipelineStats run_chunk_pipeline(DualSpace& space,
+                                 std::span<std::byte> data,
+                                 const PipelineConfig& config,
+                                 const ComputeFn& compute) {
+  MLM_REQUIRE(compute != nullptr, "compute callback required");
+  MLM_REQUIRE(!data.empty(), "no data to process");
+
+  const std::size_t bufs = buffer_count(config.buffering);
+  const bool explicit_copies = space.has_addressable_mcdram();
+
+  // Resolve the chunk size.
+  std::size_t chunk_bytes = config.chunk_bytes;
+  if (chunk_bytes == 0) {
+    if (explicit_copies) {
+      const std::uint64_t cap = space.mcdram().stats().free_bytes();
+      chunk_bytes = static_cast<std::size_t>(cap / bufs);
+      chunk_bytes -= chunk_bytes % 64;  // keep buffers line-aligned
+    } else {
+      chunk_bytes = data.size();
+    }
+  }
+  MLM_REQUIRE(chunk_bytes > 0, "chunk size must be positive");
+
+  if (!explicit_copies) {
+    // Implicit cache / DDR-only: one big compute pool, no copies.
+    ThreadPool compute_pool(config.pools.total(), "compute");
+    return run_in_place(data, config, chunk_bytes, compute, compute_pool);
+  }
+
+  // Flat / hybrid: allocate the chunk buffers in MCDRAM and build the
+  // three pools.
+  std::vector<Allocation> buffers;
+  buffers.reserve(bufs);
+  for (std::size_t i = 0; i < bufs; ++i) {
+    buffers.emplace_back(space.mcdram(), chunk_bytes);
+  }
+  TriplePools pools(config.pools);
+
+  const std::size_t num_chunks =
+      (data.size() + chunk_bytes - 1) / chunk_bytes;
+  auto chunk_range = [&](std::size_t c) {
+    const std::size_t off = c * chunk_bytes;
+    return data.subspan(off, std::min(chunk_bytes, data.size() - off));
+  };
+
+  PipelineStats stats;
+  stats.chunks = num_chunks;
+  Stopwatch total;
+
+  // The orchestrating thread posts copy slices asynchronously so every
+  // pool worker stays available for the slices themselves (wrapping a
+  // blocking parallel_memcpy in a pool task would deadlock a 1-thread
+  // pool), then drives the compute stage synchronously and joins the
+  // copies at the step barrier.
+  auto copy_in_async = [&](std::size_t c) {
+    auto src = chunk_range(c);
+    stats.bytes_copied_in += src.size();
+    return parallel_memcpy_async(pools.copy_in(), buffers[c % bufs].get(),
+                                 src.data(), src.size());
+  };
+  auto run_compute = [&](std::size_t c) {
+    auto r = chunk_range(c);
+    compute(std::span<std::byte>(
+                static_cast<std::byte*>(buffers[c % bufs].get()), r.size()),
+            pools.compute(), c);
+  };
+  auto copy_out_async = [&](std::size_t c) {
+    auto dst = chunk_range(c);
+    stats.bytes_copied_out += dst.size();
+    return parallel_memcpy_async(pools.copy_out(), dst.data(),
+                                 buffers[c % bufs].get(), dst.size());
+  };
+
+  auto timed_step = [&](auto&& body) {
+    Stopwatch step;
+    body();
+    stats.step_seconds.push_back(step.elapsed_s());
+    ++stats.steps;
+  };
+
+  switch (config.buffering) {
+    case Buffering::Single: {
+      // Fully serialized: each chunk is loaded, computed, stored.
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        timed_step([&] {
+          auto in = copy_in_async(c);
+          wait_all(in);
+          run_compute(c);
+          if (config.write_back) {
+            auto out = copy_out_async(c);
+            wait_all(out);
+          }
+        });
+      }
+      break;
+    }
+    case Buffering::Double: {
+      // copy-in of chunk s overlaps {compute; copy-out} of chunk s-1.
+      for (std::size_t s = 0; s <= num_chunks; ++s) {
+        timed_step([&] {
+          std::vector<std::future<void>> in;
+          if (s < num_chunks) in = copy_in_async(s);
+          if (s >= 1) {
+            run_compute(s - 1);
+            if (config.write_back) {
+              auto out = copy_out_async(s - 1);
+              wait_all(out);
+            }
+          }
+          wait_all(in);
+        });
+      }
+      break;
+    }
+    case Buffering::Triple: {
+      // Full three-stage overlap (Figure 2).
+      for (std::size_t s = 0; s < num_chunks + 2; ++s) {
+        const bool has_in = s < num_chunks;
+        const bool has_compute = s >= 1 && s - 1 < num_chunks;
+        const bool has_out =
+            config.write_back && s >= 2 && s - 2 < num_chunks;
+        if (!has_in && !has_compute && !has_out) continue;
+        timed_step([&] {
+          std::vector<std::future<void>> in, out;
+          if (has_in) in = copy_in_async(s);
+          if (has_out) out = copy_out_async(s - 2);
+          if (has_compute) run_compute(s - 1);
+          wait_all(in);
+          wait_all(out);
+        });
+      }
+      break;
+    }
+  }
+
+  stats.total_seconds = total.elapsed_s();
+  return stats;
+}
+
+}  // namespace mlm::core

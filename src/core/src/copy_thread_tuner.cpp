@@ -1,0 +1,34 @@
+#include "mlm/core/copy_thread_tuner.h"
+
+#include "mlm/support/error.h"
+
+namespace mlm::core {
+
+TunedSplit tune_pools(const KnlConfig& machine,
+                      const TunedWorkload& workload,
+                      std::size_t total_threads,
+                      const std::vector<std::size_t>& candidates) {
+  MLM_REQUIRE(workload.bytes > 0.0 && workload.passes >= 1.0,
+              "workload must have positive size and at least one pass");
+  const ModelParams params = ModelParams::from_machine(machine);
+  const ModelWorkload mw{workload.bytes, workload.passes};
+
+  const std::size_t copy =
+      candidates.empty()
+          ? optimal_copy_threads(params, mw, total_threads)
+          : optimal_copy_threads(params, mw, total_threads, candidates);
+
+  TunedSplit out;
+  out.pools = make_pool_sizes(total_threads, copy);
+  out.prediction =
+      predict(params, mw, ThreadSplit{copy, out.pools.compute});
+  // Copy-bound: copy time dominates and DDR is already saturated, so the
+  // workload cannot go faster with any thread division.
+  const double copy_bw =
+      2.0 * static_cast<double>(copy) * out.prediction.c_copy;
+  out.copy_bound = out.prediction.t_copy >= out.prediction.t_comp &&
+                   copy_bw >= params.ddr_max * (1.0 - 1e-9);
+  return out;
+}
+
+}  // namespace mlm::core

@@ -1,0 +1,14 @@
+#include "mlm/core/mlm_sort.h"
+
+namespace mlm::core {
+
+const char* to_string(MlmVariant variant) {
+  switch (variant) {
+    case MlmVariant::Flat: return "flat";
+    case MlmVariant::Implicit: return "implicit";
+    case MlmVariant::DdrOnly: return "ddr-only";
+  }
+  return "?";
+}
+
+}  // namespace mlm::core

@@ -1,0 +1,85 @@
+// Analytic model of KNL's MCDRAM hardware cache mode.
+//
+// In cache mode the 16 GB MCDRAM is a direct-mapped, 64 B-line,
+// memory-side cache in front of DDR (paper §1.1).  Three properties drive
+// the paper's results and are captured here:
+//
+//  1. *Cold misses are expensive*: a miss costs a DDR read plus an MCDRAM
+//     fill, and a dirty victim costs an MCDRAM read plus a DDR writeback
+//     — so cache mode can move MORE total bytes than flat mode for the
+//     same payload ("the overheads of treating MCDRAM as a cache").
+//  2. *Direct-mapped conflicts*: multiple concurrent streams thrash when
+//     their footprints alias; effective capacity shrinks with stream
+//     count.
+//  3. *Tag capacity overhead*: "some portion of the memory is reserved to
+//     hold the tags of the cache, reducing the effective usable
+//     capacity."
+//
+// The model answers one question per streaming phase: for `bytes` of
+// payload streamed over a working set of `working_set` bytes, what hit
+// fraction results, and how many DDR / MCDRAM bytes are actually moved?
+//
+// For divide-and-conquer compute phases (the serial sorts inside
+// MLM-implicit), dnc_hit_fraction() implements the cache-oblivious-style
+// level argument the paper uses to explain MLM-implicit's success: of the
+// log2(W/L2) levels that must come from memory, the ones whose subproblem
+// fits in MCDRAM hit; only the top log2(W/C) levels go to DDR.
+#pragma once
+
+#include <cstdint>
+
+namespace mlm::knlsim {
+
+/// Configuration of the MCDRAM hardware cache.
+struct CacheConfig {
+  /// Raw MCDRAM bytes devoted to the cache (16 GiB in Cache mode, less in
+  /// Hybrid).
+  double capacity_bytes = 16.0 * (1ull << 30);
+  /// Fraction of capacity consumed by tag storage (paper §1.1 notes the
+  /// reservation; KNL stores tags in-line, costing a small slice).
+  double tag_overhead = 0.03;
+  /// Effective-capacity derating per additional concurrent stream, from
+  /// direct-mapped aliasing (1 stream: none; s streams: capacity /
+  /// (1 + conflict_factor*(s-1))).
+  double conflict_factor = 0.25;
+  /// Fraction of evicted lines that are dirty for a read-write stream.
+  double dirty_fraction = 0.5;
+
+  double effective_capacity(unsigned concurrent_streams = 1) const;
+};
+
+/// Byte traffic on each memory level for one streaming phase.
+struct CacheTraffic {
+  double ddr_bytes = 0.0;
+  double mcdram_bytes = 0.0;
+  double hit_fraction = 0.0;
+};
+
+/// Traffic for streaming `bytes` of payload over a PER-STREAM working
+/// set of `working_set` bytes through the cache.
+///
+/// `reuse_passes` is how many times the phase sweeps the working set
+/// (bytes == passes * working_set for a pure sweep); the first pass cold-
+/// misses everything, later passes hit whatever fraction of the working
+/// set fits the stream's share of the (conflict-derated) capacity.
+/// `concurrent_streams` models direct-mapped conflicts and divides the
+/// capacity among the streams.
+CacheTraffic streaming_traffic(const CacheConfig& cache, double bytes,
+                               double working_set, double reuse_passes,
+                               unsigned concurrent_streams = 1);
+
+/// Hit fraction for a divide-and-conquer computation over a PER-STREAM
+/// working set of `working_set` bytes whose recursion touches every
+/// element once per level, with levels below `lower_level_bytes` (e.g.
+/// L2) already free and levels fitting the stream's cache share hitting
+/// MCDRAM:
+///
+///   share         = effective_capacity(streams) / streams
+///   levels_total  = log2(working_set / lower_level)
+///   levels_miss   = log2(working_set / share)      (>= 0)
+///   hit_fraction  = 1 - levels_miss / levels_total  (clamped)
+double dnc_hit_fraction(const CacheConfig& cache, double working_set,
+                        double lower_level_bytes,
+                        unsigned concurrent_streams = 1);
+
+}  // namespace mlm::knlsim

@@ -1,0 +1,58 @@
+// Multi-node extension (paper §6: "Future work will extend this to
+// multiple KNL nodes"): distributed MLM-sort across a cluster of
+// simulated KNLs.
+//
+// The algorithm is the natural distributed extension the paper's own
+// framing suggests (§4 already describes MLM-sort as "primarily a
+// *distributed* rather than a multithreaded algorithm"):
+//
+//   1. every node MLM-sorts its N/P-element partition locally (chunked
+//      through MCDRAM exactly as in the single-node paper),
+//   2. splitter-based all-to-all exchange (sample-sort style): each node
+//      keeps ~1/P of its data and sends the rest, receiving an equal
+//      share — (P-1)/P of the partition crosses the NIC in each
+//      direction, overlapped full-duplex,
+//   3. each node multiway-merges the P sorted fragments it holds.
+//
+// Nodes are symmetric, so one node's timeline gives the cluster time.
+// The interconnect is a per-node full-duplex NIC (Omni-Path class by
+// default); exchange traffic also crosses the node's DDR.
+#pragma once
+
+#include <cstdint>
+
+#include "mlm/knlsim/sort_timeline.h"
+#include "mlm/machine/knl_config.h"
+
+namespace mlm::knlsim {
+
+struct ClusterConfig {
+  std::size_t nodes = 8;
+  /// Per-node, per-direction NIC bandwidth (Omni-Path 100 Gb/s).
+  double nic_bw = 12.5e9;
+  /// Total elements across the cluster.
+  std::uint64_t elements = 0;
+  SimOrder order = SimOrder::Random;
+  std::uint64_t megachunk_elements = 0;  ///< local MLM-sort megachunk
+  std::size_t threads = 256;             ///< per node
+};
+
+struct ClusterSortResult {
+  double seconds = 0.0;
+  double local_sort_seconds = 0.0;
+  double exchange_seconds = 0.0;
+  double final_merge_seconds = 0.0;
+  std::uint64_t elements_per_node = 0;
+  double bytes_sent_per_node = 0.0;
+  /// Speedup vs one node sorting all N elements alone.
+  double speedup_vs_single = 0.0;
+  /// speedup / nodes.
+  double parallel_efficiency = 0.0;
+};
+
+/// Simulate the distributed sort; `machine` describes each node.
+ClusterSortResult simulate_cluster_sort(const KnlConfig& machine,
+                                        const SortCostParams& params,
+                                        const ClusterConfig& config);
+
+}  // namespace mlm::knlsim

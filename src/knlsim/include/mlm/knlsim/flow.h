@@ -1,0 +1,56 @@
+// Flows and resources: the vocabulary of the KNL performance simulator.
+//
+// knlsim is a *flow-level* simulator: work is expressed as flows (a number
+// of payload bytes moving at some rate) over capacity-limited resources
+// (DDR bandwidth, MCDRAM bandwidth, ...).  The steady state of this model
+// is exactly the paper's analytic model (Section 3.2, Eqs. 1-5): per-
+// thread port rates are flow peak rates, DDR_max / MCDRAM_max are
+// resource capacities, and the conditional rate expressions in Eqs. (3)
+// and (5) are what max-min fair sharing yields.  The simulator
+// generalizes the closed form to pipeline fill/drain and asymmetric
+// phases, and meters per-resource traffic (for the Bender DDR-traffic
+// corroboration).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace mlm::knlsim {
+
+/// Index of a resource within a SimEngine.
+using ResourceId = std::size_t;
+
+/// Index of a flow within a SimEngine (unique per engine lifetime).
+using FlowId = std::uint64_t;
+
+/// A resource consumed by a flow, with a traffic weight: a flow moving
+/// payload at rate R consumes weight*R of the resource's capacity (and
+/// deposits weight * payload_bytes into the resource's traffic meter).
+///
+/// Example: a cache-mode streaming flow with hit fraction h has MCDRAM
+/// weight ~1 and DDR weight ~(1-h).
+struct ResourceUse {
+  ResourceId resource = 0;
+  double weight = 1.0;
+};
+
+/// Specification of one flow.
+struct FlowSpec {
+  /// Payload bytes; the flow completes when they have been transferred.
+  double bytes = 0.0;
+  /// Maximum payload rate in bytes/s (e.g. p threads with per-thread
+  /// port rate S_copy give peak_rate = p * S_copy).  Infinity = no cap.
+  double peak_rate = 0.0;
+  /// Resources this flow draws on.
+  std::vector<ResourceUse> uses;
+  /// Invoked (engine time already advanced) when the flow completes; may
+  /// start new flows.  May be empty.
+  std::function<void()> on_complete;
+  /// Diagnostic label.
+  std::string label;
+};
+
+}  // namespace mlm::knlsim

@@ -1,0 +1,78 @@
+// Projection of the paper's §6 third-level extension: sorting an
+// NVM-resident data set larger than DDR on a KNL + 3D-XPoint node, with
+// double levels of chunking (NVM -> DDR outer chunks, DDR -> MCDRAM
+// inner megachunks).
+//
+// Three strategies are simulated:
+//
+//   DoubleChunked   outer chunks staged into DDR, sorted there with the
+//                   (simulated) MLM-sort, written back as NVM runs, then
+//                   a block-buffered external k-way merge — the
+//                   host-executable ExternalMlmSorter's exact structure.
+//   DirectToMcdram  single-level chunking that skips DDR: MCDRAM-sized
+//                   megachunks staged straight from NVM, sorted, merged
+//                   back — what a naive port of MLM-sort would do.
+//   InNvm           no chunking: the GNU-style sort run directly on
+//                   NVM-resident data (the "rely on the paging/DAX
+//                   layer" strawman).
+//
+// NVM transfers are bounded by the asymmetric read/write bandwidths and
+// the per-thread copy rate; compute touching NVM-resident data directly
+// is derated for the media's latency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mlm/knlsim/sort_timeline.h"
+#include "mlm/machine/knl_config.h"
+#include "mlm/machine/nvm_config.h"
+
+namespace mlm::knlsim {
+
+enum class NvmStrategy : std::uint8_t {
+  DoubleChunked,
+  DirectToMcdram,
+  InNvm,
+};
+
+const char* to_string(NvmStrategy strategy);
+
+struct NvmSortConfig {
+  NvmStrategy strategy = NvmStrategy::DoubleChunked;
+  SimOrder order = SimOrder::Random;
+  std::uint64_t elements = 0;
+  /// Outer (NVM->DDR) chunk in elements; 0 = half the DDR capacity.
+  std::uint64_t outer_chunk_elements = 0;
+  /// Inner megachunk; 0 = paper default for the inner problem size.
+  std::uint64_t inner_megachunk_elements = 0;
+  std::size_t threads = 256;
+  /// Staging threads for NVM<->DDR copies.
+  std::size_t staging_threads = 16;
+  /// Overlap the staging of outer chunk c+1 with the sorting of c.
+  bool overlap_staging = false;
+  /// Per-thread compute derate when operating directly on NVM-resident
+  /// data (latency-bound in-order cores; ~3x DDR latency).
+  double nvm_compute_derate = 0.35;
+};
+
+struct NvmSortResult {
+  double seconds = 0.0;
+  double staging_seconds = 0.0;   ///< NVM<->DDR transfers
+  double sorting_seconds = 0.0;   ///< inner sorts (all levels above NVM)
+  double merging_seconds = 0.0;   ///< final external merge
+  std::size_t outer_chunks = 0;
+  double nvm_read_bytes = 0.0;
+  double nvm_write_bytes = 0.0;
+  double ddr_traffic_bytes = 0.0;
+  double mcdram_traffic_bytes = 0.0;
+};
+
+/// Simulate one NVM-resident sort on `machine` + `nvm`.
+NvmSortResult simulate_nvm_sort(const KnlConfig& machine,
+                                const NvmConfig& nvm,
+                                const SortCostParams& params,
+                                const NvmSortConfig& config);
+
+}  // namespace mlm::knlsim

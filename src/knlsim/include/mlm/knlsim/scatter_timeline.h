@@ -1,0 +1,66 @@
+// Simulated mode study for the non-uniform (scatter/histogram) workload
+// of mlm/core/scatter_bench.h — the paper's §6 "non-uniform data access
+// patterns" extension, projected onto the KNL memory envelope.
+//
+// Cost model.  A random 8-byte update to a W-byte table misses whatever
+// caches cannot hold W; each miss moves a full 64-byte line in and (for
+// an increment) back out — an 16x write-amplified bandwidth demand —
+// and KNL's in-order cores expose the miss latency, capping the
+// per-thread update rate by the backing level.  The partitioned
+// strategy converts this into two streaming passes plus near-resident
+// scatter, exactly as the host implementation does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mlm/knlsim/sort_timeline.h"
+#include "mlm/machine/knl_config.h"
+
+namespace mlm::knlsim {
+
+enum class ScatterMode : std::uint8_t {
+  DirectDdr,        ///< scatter into DDR-resident table, MCDRAM unused
+  DirectCache,      ///< scatter with MCDRAM as hardware cache
+  PartitionedFlat,  ///< two-pass partitioning, slices staged in MCDRAM
+};
+
+const char* to_string(ScatterMode mode);
+
+struct ScatterCostParams {
+  double line_bytes = 64.0;
+  double update_bytes = 8.0;
+  /// Per-thread update rates by where the table line comes from
+  /// (latency-bound; MCDRAM and DDR latency are similar on KNL, §1.1).
+  double rate_l2 = 220e6;
+  double rate_mcdram = 38e6;
+  double rate_ddr = 35e6;
+  /// Per-thread streaming rate for the partition pass (sequential).
+  double rate_stream = 6.78e9;  // S_comp
+};
+
+struct ScatterSimConfig {
+  ScatterMode mode = ScatterMode::PartitionedFlat;
+  std::uint64_t updates = 0;
+  double table_bytes = 0.0;
+  std::size_t threads = 256;
+  /// Fraction of updates hitting a hot L2-resident subset (models key
+  /// skew; 0 = uniform).
+  double hot_fraction = 0.0;
+};
+
+struct ScatterSimResult {
+  double seconds = 0.0;
+  double partition_seconds = 0.0;  ///< pass 1 (Partitioned only)
+  double apply_seconds = 0.0;      ///< scatter/apply pass
+  double ddr_traffic_bytes = 0.0;
+  double mcdram_traffic_bytes = 0.0;
+  std::size_t buckets = 0;
+  double updates_per_second = 0.0;
+};
+
+ScatterSimResult simulate_scatter(const KnlConfig& machine,
+                                  const ScatterCostParams& params,
+                                  const ScatterSimConfig& config);
+
+}  // namespace mlm::knlsim

@@ -1,0 +1,54 @@
+// STREAM-style bandwidth measurement on the simulated node.
+//
+// The paper obtains Table 2's DDR_max and MCDRAM_max from the STREAM
+// benchmark (McCalpin) and the per-thread rates from single-thread runs
+// of the copy and merge kernels.  measure_table2() performs the same
+// measurements against the simulator, so the bench for Table 2 reports
+// *measured-on-substrate* values (and doubles as an end-to-end check
+// that the flow engine realizes the configured capacities).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mlm/machine/knl_config.h"
+
+namespace mlm::knlsim {
+
+/// One row of a bandwidth-vs-threads sweep.
+struct BandwidthSample {
+  std::size_t threads = 0;
+  double bandwidth = 0.0;  ///< aggregate payload bytes/s achieved
+};
+
+/// Measured equivalents of the paper's Table 2 parameters.
+struct Table2Measurement {
+  double ddr_max = 0.0;       ///< plateau of DDR streaming sweep
+  double mcdram_max = 0.0;    ///< plateau of MCDRAM streaming sweep
+  double s_copy = 0.0;        ///< single-thread DDR<->MCDRAM copy rate
+  double s_comp = 0.0;        ///< single-thread merge-compute rate
+};
+
+/// Aggregate DDR streaming bandwidth achieved by `threads` threads.
+double ddr_stream_bandwidth(const KnlConfig& machine, std::size_t threads);
+
+/// Aggregate MCDRAM (flat-mode scratchpad) streaming bandwidth.
+double mcdram_stream_bandwidth(const KnlConfig& machine,
+                               std::size_t threads);
+
+/// Aggregate explicit-copy payload bandwidth (each payload byte moves on
+/// both DDR and MCDRAM) achieved by `threads` copy threads in flat mode.
+double copy_bandwidth(const KnlConfig& machine, std::size_t threads);
+
+/// Sweep bandwidth over thread counts (1..max_threads, doubling).
+std::vector<BandwidthSample> sweep_ddr_bandwidth(const KnlConfig& machine,
+                                                 std::size_t max_threads);
+std::vector<BandwidthSample> sweep_mcdram_bandwidth(
+    const KnlConfig& machine, std::size_t max_threads);
+std::vector<BandwidthSample> sweep_copy_bandwidth(const KnlConfig& machine,
+                                                  std::size_t max_threads);
+
+/// Run all Table 2 measurements.
+Table2Measurement measure_table2(const KnlConfig& machine);
+
+}  // namespace mlm::knlsim

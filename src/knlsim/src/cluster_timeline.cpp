@@ -1,0 +1,81 @@
+#include "mlm/knlsim/cluster_timeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mlm/support/error.h"
+
+namespace mlm::knlsim {
+
+namespace {
+double log2_safe(double x) { return x > 1.0 ? std::log2(x) : 0.0; }
+}  // namespace
+
+ClusterSortResult simulate_cluster_sort(const KnlConfig& machine,
+                                        const SortCostParams& params,
+                                        const ClusterConfig& cfg) {
+  MLM_REQUIRE(cfg.nodes >= 1, "need at least one node");
+  MLM_REQUIRE(cfg.nic_bw > 0.0, "NIC bandwidth must be positive");
+  MLM_REQUIRE(cfg.elements >= cfg.nodes,
+              "need at least one element per node");
+
+  ClusterSortResult r;
+  r.elements_per_node = cfg.elements / cfg.nodes;
+
+  // Phase 1: local MLM-sort of the node's partition.
+  SortRunConfig local;
+  local.algo = SortAlgo::MlmSort;
+  local.order = cfg.order;
+  local.elements = r.elements_per_node;
+  local.megachunk_elements = cfg.megachunk_elements;
+  local.threads = cfg.threads;
+  r.local_sort_seconds =
+      simulate_sort(machine, params, local).seconds;
+
+  if (cfg.nodes > 1) {
+    const double part_bytes =
+        static_cast<double>(r.elements_per_node) * params.elem_bytes;
+
+    // Phase 2: all-to-all exchange.  (P-1)/P of the partition leaves the
+    // node and the same amount arrives; send and receive overlap
+    // (full-duplex NIC), but both directions cross the node's DDR.
+    const double frac =
+        static_cast<double>(cfg.nodes - 1) / static_cast<double>(cfg.nodes);
+    r.bytes_sent_per_node = part_bytes * frac;
+    const double wire_rate = cfg.nic_bw;
+    // DDR carries send reads + receive writes concurrently.
+    const double ddr_rate = machine.ddr_max_bw / 2.0;
+    r.exchange_seconds =
+        r.bytes_sent_per_node / std::min(wire_rate, ddr_rate);
+
+    // Phase 3: local multiway merge of the P sorted fragments (they sit
+    // in DDR; k = P read streams pay the raw-DDR depth penalty).
+    const double k = static_cast<double>(cfg.nodes);
+    const double depth = std::max(log2_safe(k) - 3.0, 0.0);
+    const double reverse = cfg.order == SimOrder::Reverse
+                               ? params.reverse_speedup_merge
+                               : 1.0;
+    const double merge_rate = std::min(
+        static_cast<double>(cfg.threads) * params.r_merge * reverse /
+            (1.0 + params.merge_ddr_depth_penalty * depth),
+        machine.ddr_max_bw / 2.0);
+    r.final_merge_seconds = 2.0 * part_bytes / merge_rate;
+  }
+
+  r.seconds =
+      r.local_sort_seconds + r.exchange_seconds + r.final_merge_seconds;
+
+  // Reference: one node sorting everything.
+  SortRunConfig single = {};
+  single.algo = SortAlgo::MlmSort;
+  single.order = cfg.order;
+  single.elements = cfg.elements;
+  single.threads = cfg.threads;
+  const double t_single = simulate_sort(machine, params, single).seconds;
+  r.speedup_vs_single = t_single / r.seconds;
+  r.parallel_efficiency =
+      r.speedup_vs_single / static_cast<double>(cfg.nodes);
+  return r;
+}
+
+}  // namespace mlm::knlsim

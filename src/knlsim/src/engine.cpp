@@ -1,0 +1,202 @@
+#include "mlm/knlsim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mlm/support/error.h"
+
+namespace mlm::knlsim {
+
+ResourceId SimEngine::add_resource(std::string name, double capacity) {
+  MLM_REQUIRE(capacity > 0.0, "resource capacity must be positive");
+  resources_.push_back(Resource{std::move(name), capacity, 0.0});
+  return resources_.size() - 1;
+}
+
+const std::string& SimEngine::resource_name(ResourceId r) const {
+  MLM_REQUIRE(r < resources_.size(), "resource id out of range");
+  return resources_[r].name;
+}
+
+double SimEngine::resource_capacity(ResourceId r) const {
+  MLM_REQUIRE(r < resources_.size(), "resource id out of range");
+  return resources_[r].capacity;
+}
+
+FlowId SimEngine::start_flow(FlowSpec spec) {
+  MLM_REQUIRE(spec.bytes >= 0.0, "flow bytes must be non-negative");
+  MLM_REQUIRE(spec.peak_rate > 0.0, "flow peak rate must be positive");
+  for (const ResourceUse& u : spec.uses) {
+    MLM_REQUIRE(u.resource < resources_.size(),
+                "flow uses unknown resource");
+    MLM_REQUIRE(u.weight > 0.0, "resource weight must be positive");
+  }
+  MLM_REQUIRE(std::isfinite(spec.peak_rate) || !spec.uses.empty(),
+              "flow needs a finite peak rate or at least one resource");
+  const FlowId id = next_id_++;
+  if (spec.bytes <= 0.0) {
+    // Zero-byte flows complete instantly (e.g. an empty pipeline stage).
+    if (spec.on_complete) spec.on_complete();
+    return id;
+  }
+  active_.push_back(ActiveFlow{id, std::move(spec), 0.0, 0.0});
+  active_.back().remaining = active_.back().spec.bytes;
+  rates_valid_ = false;
+  return id;
+}
+
+void SimEngine::solve_rates() {
+  // Progressive filling: raise every unfrozen flow's rate in lock-step
+  // until a flow hits its peak or a resource saturates; freeze and
+  // repeat.  Produces the (weighted) max-min fair allocation.
+  const std::size_t n = active_.size();
+  std::vector<bool> frozen(n, false);
+  std::vector<double> used(resources_.size(), 0.0);
+  for (auto& f : active_) f.rate = 0.0;
+
+  std::size_t remaining = n;
+  while (remaining > 0) {
+    // Weight sums of unfrozen flows per resource.
+    std::vector<double> wsum(resources_.size(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      for (const ResourceUse& u : active_[i].spec.uses) {
+        wsum[u.resource] += u.weight;
+      }
+    }
+
+    // Largest uniform rate increment before something binds.
+    double delta = kUnbounded;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      delta = std::min(delta, active_[i].spec.peak_rate - active_[i].rate);
+    }
+    for (ResourceId r = 0; r < resources_.size(); ++r) {
+      if (wsum[r] > 0.0) {
+        delta =
+            std::min(delta, (resources_[r].capacity - used[r]) / wsum[r]);
+      }
+    }
+    MLM_CHECK_MSG(std::isfinite(delta) && delta >= 0.0,
+                  "rate solve produced a non-finite increment");
+
+    // Apply the increment.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      active_[i].rate += delta;
+    }
+    for (ResourceId r = 0; r < resources_.size(); ++r) {
+      used[r] += delta * wsum[r];
+    }
+
+    // Freeze flows at peak and flows on saturated resources.
+    constexpr double kEps = 1e-9;
+    std::vector<bool> saturated(resources_.size(), false);
+    for (ResourceId r = 0; r < resources_.size(); ++r) {
+      saturated[r] =
+          wsum[r] > 0.0 &&
+          used[r] >= resources_[r].capacity * (1.0 - kEps);
+    }
+    bool any_frozen = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (frozen[i]) continue;
+      bool freeze =
+          active_[i].rate >= active_[i].spec.peak_rate * (1.0 - kEps);
+      for (const ResourceUse& u : active_[i].spec.uses) {
+        freeze = freeze || saturated[u.resource];
+      }
+      if (freeze) {
+        frozen[i] = true;
+        --remaining;
+        any_frozen = true;
+      }
+    }
+    // Every iteration freezes at least one flow (delta binds something);
+    // guard against numerical stalls.
+    MLM_CHECK_MSG(any_frozen || remaining == 0,
+                  "rate solve failed to make progress");
+  }
+  rates_valid_ = true;
+}
+
+bool SimEngine::step() {
+  if (active_.empty()) return false;
+  if (!rates_valid_) solve_rates();
+
+  // Earliest completion under current rates.
+  double dt = kUnbounded;
+  for (const ActiveFlow& f : active_) {
+    MLM_CHECK_MSG(f.rate > 0.0, "active flow has zero rate: " + f.spec.label);
+    dt = std::min(dt, f.remaining / f.rate);
+  }
+  MLM_CHECK(std::isfinite(dt));
+
+  // Advance time, progress flows, integrate traffic meters.
+  now_ += dt;
+  for (ActiveFlow& f : active_) {
+    const double moved = f.rate * dt;
+    f.remaining -= moved;
+    completed_bytes_ += moved;
+    for (const ResourceUse& u : f.spec.uses) {
+      resources_[u.resource].traffic += u.weight * moved;
+    }
+  }
+
+  // Collect completions (tolerance absorbs accumulated FP error).
+  std::vector<FlowSpec> done;
+  for (std::size_t i = 0; i < active_.size();) {
+    if (active_[i].remaining <= active_[i].spec.bytes * 1e-12 + 1e-6) {
+      done.push_back(std::move(active_[i].spec));
+      active_[i] = std::move(active_.back());
+      active_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  MLM_CHECK_MSG(!done.empty(), "step advanced but nothing completed");
+  rates_valid_ = false;
+
+  // Callbacks may start new flows; they see the advanced clock.
+  for (FlowSpec& spec : done) {
+    if (spec.on_complete) spec.on_complete();
+  }
+  return true;
+}
+
+void SimEngine::run_until_idle() {
+  while (step()) {
+  }
+}
+
+double SimEngine::resource_traffic(ResourceId r) const {
+  MLM_REQUIRE(r < resources_.size(), "resource id out of range");
+  return resources_[r].traffic;
+}
+
+void SimEngine::reset_traffic() {
+  for (Resource& r : resources_) r.traffic = 0.0;
+}
+
+std::vector<FlowRate> SimEngine::current_rates() {
+  if (!rates_valid_) solve_rates();
+  std::vector<FlowRate> out;
+  out.reserve(active_.size());
+  for (const ActiveFlow& f : active_) {
+    out.push_back(FlowRate{f.id, f.rate});
+  }
+  return out;
+}
+
+double run_phase(SimEngine& engine, std::vector<FlowSpec> flows) {
+  MLM_REQUIRE(engine.active_flows() == 0,
+              "run_phase requires an idle engine");
+  const double t0 = engine.now();
+  for (FlowSpec& f : flows) {
+    MLM_REQUIRE(!f.on_complete, "run_phase flows must not have callbacks");
+    engine.start_flow(std::move(f));
+  }
+  engine.run_until_idle();
+  return engine.now() - t0;
+}
+
+}  // namespace mlm::knlsim

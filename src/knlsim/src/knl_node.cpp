@@ -1,0 +1,158 @@
+#include "mlm/knlsim/knl_node.h"
+
+#include <algorithm>
+
+#include "mlm/support/error.h"
+#include "mlm/support/units.h"
+
+namespace mlm::knlsim {
+
+namespace {
+// KNL mesh aggregate bandwidth; generous — it rarely binds, but copy
+// threads do consume it (§3: copy threads use "on-die resources such as
+// network-on-chip bandwidth").
+constexpr double kNocBandwidth = 700e9;
+}  // namespace
+
+KnlNode::KnlNode(const KnlConfig& machine, McdramMode mode,
+                 double hybrid_flat_fraction)
+    : machine_(machine),
+      mode_(mode),
+      hybrid_flat_fraction_(hybrid_flat_fraction) {
+  machine_.validate();
+  MLM_REQUIRE(hybrid_flat_fraction > 0.0 && hybrid_flat_fraction < 1.0,
+              "hybrid flat fraction must be in (0,1)");
+
+  double cache_bytes = 0.0;
+  switch (mode_) {
+    case McdramMode::Cache:
+    case McdramMode::ImplicitCache:
+      cache_bytes = static_cast<double>(machine_.mcdram_bytes);
+      break;
+    case McdramMode::Hybrid:
+      cache_bytes = static_cast<double>(machine_.mcdram_bytes) *
+                    (1.0 - hybrid_flat_fraction_);
+      break;
+    case McdramMode::Flat:
+    case McdramMode::DdrOnly:
+      cache_bytes = 0.0;
+      break;
+  }
+  cache_.capacity_bytes = std::max(cache_bytes, 1.0);
+
+  ddr_ = engine_.add_resource("ddr-bw", machine_.ddr_max_bw);
+  mcdram_ = engine_.add_resource("mcdram-bw", machine_.mcdram_max_bw);
+  noc_ = engine_.add_resource("noc-bw", kNocBandwidth);
+}
+
+double KnlNode::scratchpad_bytes() const {
+  switch (mode_) {
+    case McdramMode::Flat:
+      return static_cast<double>(machine_.mcdram_bytes);
+    case McdramMode::Hybrid:
+      return static_cast<double>(machine_.mcdram_bytes) *
+             hybrid_flat_fraction_;
+    case McdramMode::Cache:
+    case McdramMode::ImplicitCache:
+    case McdramMode::DdrOnly:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+FlowSpec KnlNode::make_flow(double bytes, double peak, double ddr_w,
+                            double mcdram_w, std::string label) const {
+  FlowSpec f;
+  f.bytes = bytes;
+  f.peak_rate = peak;
+  f.label = std::move(label);
+  if (ddr_w > 0.0) f.uses.push_back({ddr_, ddr_w});
+  if (mcdram_w > 0.0) f.uses.push_back({mcdram_, mcdram_w});
+  // Every byte on either memory level crosses the mesh once.
+  const double noc_w = ddr_w + mcdram_w;
+  if (noc_w > 0.0) f.uses.push_back({noc_, noc_w});
+  return f;
+}
+
+FlowSpec KnlNode::copy_flow(double bytes, std::size_t threads,
+                            std::string label) const {
+  MLM_REQUIRE(threads >= 1, "copy flow needs at least one thread");
+  MLM_CHECK_MSG(has_scratchpad(),
+                "explicit copies require flat or hybrid mode");
+  const double peak = static_cast<double>(threads) * machine_.s_copy;
+  double ddr_w = 1.0;
+  double mcdram_w = 1.0;
+  if (mode_ == McdramMode::Hybrid) {
+    // The DDR side of the copy streams through the cache portion with no
+    // reuse: each payload byte is also filled into (and evicted from) the
+    // cache slice of MCDRAM (§3.1 pollution).  Clean streaming data, so
+    // no dirty writeback on the fill path.
+    mcdram_w += 1.0;
+  }
+  return make_flow(bytes, peak, ddr_w, mcdram_w, std::move(label));
+}
+
+FlowSpec KnlNode::ddr_stream_flow(double bytes, std::size_t threads,
+                                  double per_thread_rate,
+                                  std::string label) const {
+  MLM_REQUIRE(threads >= 1 && per_thread_rate > 0.0,
+              "stream flow needs threads and a positive rate");
+  const double peak = static_cast<double>(threads) * per_thread_rate;
+  return make_flow(bytes, peak, 1.0, 0.0, std::move(label));
+}
+
+FlowSpec KnlNode::mcdram_stream_flow(double bytes, std::size_t threads,
+                                     double per_thread_rate,
+                                     std::string label) const {
+  MLM_REQUIRE(threads >= 1 && per_thread_rate > 0.0,
+              "stream flow needs threads and a positive rate");
+  MLM_CHECK_MSG(has_scratchpad(),
+                "scratchpad streaming requires flat or hybrid mode");
+  const double peak = static_cast<double>(threads) * per_thread_rate;
+  return make_flow(bytes, peak, 0.0, 1.0, std::move(label));
+}
+
+FlowSpec KnlNode::cached_stream_flow(double bytes, double working_set,
+                                     double reuse_passes,
+                                     std::size_t threads,
+                                     double per_thread_rate,
+                                     unsigned concurrent_streams,
+                                     std::string label) const {
+  MLM_REQUIRE(threads >= 1 && per_thread_rate > 0.0,
+              "stream flow needs threads and a positive rate");
+  if (!has_hardware_cache()) {
+    return ddr_stream_flow(bytes, threads, per_thread_rate,
+                           std::move(label));
+  }
+  const CacheTraffic t = streaming_traffic(cache_, bytes, working_set,
+                                           reuse_passes,
+                                           concurrent_streams);
+  const double peak = static_cast<double>(threads) * per_thread_rate;
+  const double ddr_w = bytes > 0.0 ? t.ddr_bytes / bytes : 0.0;
+  const double mcdram_w = bytes > 0.0 ? t.mcdram_bytes / bytes : 0.0;
+  return make_flow(bytes, peak, ddr_w, mcdram_w, std::move(label));
+}
+
+FlowSpec KnlNode::dnc_compute_flow(double bytes, double working_set,
+                                   double lower_level, std::size_t threads,
+                                   double per_thread_rate,
+                                   unsigned concurrent_streams,
+                                   std::string label) const {
+  MLM_REQUIRE(threads >= 1 && per_thread_rate > 0.0,
+              "compute flow needs threads and a positive rate");
+  if (!has_hardware_cache()) {
+    return ddr_stream_flow(bytes, threads, per_thread_rate,
+                           std::move(label));
+  }
+  const double h = dnc_hit_fraction(cache_, working_set, lower_level,
+                                    concurrent_streams);
+  const double miss = 1.0 - h;
+  const double peak = static_cast<double>(threads) * per_thread_rate;
+  // Hits move bytes once in MCDRAM; misses move them on DDR and fill
+  // MCDRAM (dirty writebacks likewise split between the levels).
+  const double ddr_w = miss * (1.0 + cache_.dirty_fraction);
+  const double mcdram_w = h + miss * (1.0 + cache_.dirty_fraction);
+  return make_flow(bytes, peak, ddr_w, mcdram_w, std::move(label));
+}
+
+}  // namespace mlm::knlsim

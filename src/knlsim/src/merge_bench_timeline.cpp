@@ -1,0 +1,184 @@
+#include "mlm/knlsim/merge_bench_timeline.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "mlm/knlsim/knl_node.h"
+#include "mlm/support/error.h"
+
+namespace mlm::knlsim {
+
+MergeBenchResult simulate_merge_bench(const KnlConfig& machine,
+                                      const MergeBenchConfig& config) {
+  MLM_REQUIRE(config.data_bytes > 0.0, "data size must be positive");
+  MLM_REQUIRE(config.copy_threads >= 1, "need at least one copy thread");
+  MLM_REQUIRE(config.total_threads > 2 * config.copy_threads,
+              "thread budget too small for two copy pools plus compute");
+  MLM_REQUIRE(config.repeats >= 1, "need at least one repeat");
+  MLM_REQUIRE(config.buffers >= 1 && config.buffers <= 3,
+              "buffers must be 1, 2, or 3");
+
+  KnlNode node(machine, McdramMode::Flat);
+
+  const double nbuf = static_cast<double>(config.buffers);
+  double chunk = config.chunk_bytes;
+  if (chunk <= 0.0) {
+    // Buffering limits chunks to capacity/buffers; in practice ~1 GB
+    // buffers are used (cf. Olivier et al., IWOMP'17, and §6's "chunk
+    // sizes of 1-1.5GB are sufficient"), which also amortizes pipeline
+    // fill/drain over many steps.
+    chunk = std::min(node.scratchpad_bytes() / nbuf, 1e9);
+  }
+  MLM_CHECK_MSG(nbuf * chunk <= node.scratchpad_bytes() * (1.0 + 1e-9),
+                "chunk buffers do not fit in MCDRAM");
+
+  std::vector<double> chunks;
+  for (double done = 0.0; done < config.data_bytes;) {
+    const double take = std::min(chunk, config.data_bytes - done);
+    chunks.push_back(take);
+    done += take;
+  }
+
+  MergeBenchResult result;
+  result.chunks = chunks.size();
+  result.compute_threads = config.total_threads - 2 * config.copy_threads;
+
+  // Step-level evaluation with bandwidth *reservation*: a copy pool holds
+  // its per-thread port bandwidth (S_copy per thread, shared fairly once
+  // DDR saturates) for the full step, whether or not its chunk finishes
+  // early — the behaviour the paper's model assumes (Eq. 5 subtracts the
+  // copy pools' bandwidth unconditionally) and its empirical runs
+  // corroborate (Fig. 8b: large copy pools hurt compute-bound runs).  A
+  // step ends when its slowest stage finishes (§3's barrier pipeline).
+  const double p_copy = static_cast<double>(config.copy_threads);
+  const double p_comp = static_cast<double>(result.compute_threads);
+
+  // Eq. (3): per-thread copy rate with `dirs` directions active.
+  auto copy_rate = [&](double dirs) {
+    const double demand = dirs * p_copy * machine.s_copy;
+    return demand <= machine.ddr_max_bw
+               ? machine.s_copy
+               : machine.ddr_max_bw / (dirs * p_copy);
+  };
+  // One pool's time to move `bytes` with `dirs` directions active.
+  auto copy_time = [&](double bytes, double dirs) {
+    return bytes / (p_copy * copy_rate(dirs));
+  };
+  // Eq. (5): compute time for one chunk with `reserved` MCDRAM bandwidth
+  // held by copy pools.
+  auto comp_time = [&](double chunk_bytes, double reserved) {
+    const double rate = std::min(p_comp * machine.s_comp,
+                                 machine.mcdram_max_bw - reserved);
+    MLM_CHECK_MSG(rate > 0.0, "copy pools reserve all MCDRAM bandwidth");
+    return 2.0 * chunk_bytes * config.repeats / rate;
+  };
+  auto account = [&](double t_step, double ddr_bytes,
+                     double mcdram_bytes) {
+    result.step_seconds.push_back(t_step);
+    result.seconds += t_step;
+    result.ddr_traffic_bytes += ddr_bytes;
+    result.mcdram_traffic_bytes += mcdram_bytes;
+  };
+  auto comp_payload = [&](std::size_t c) {
+    return 2.0 * chunks[c] * config.repeats;
+  };
+
+  switch (config.buffers) {
+    case 1:
+      // Fully serialized: load, compute, store per chunk; nothing to
+      // reserve against while computing.
+      for (std::size_t c = 0; c < chunks.size(); ++c) {
+        const double t = copy_time(chunks[c], 1.0) +
+                         comp_time(chunks[c], 0.0) +
+                         copy_time(chunks[c], 1.0);
+        account(t, 2.0 * chunks[c], 2.0 * chunks[c] + comp_payload(c));
+      }
+      break;
+    case 2:
+      // copy-in of chunk s overlaps {compute; copy-out} of chunk s-1.
+      for (std::size_t s = 0; s <= chunks.size(); ++s) {
+        const bool has_in = s < chunks.size();
+        const bool has_prev = s >= 1;
+        const double dirs = (has_in ? 1.0 : 0.0) + (has_prev ? 1.0 : 0.0);
+        double t = 0.0, ddr = 0.0, mc = 0.0;
+        if (has_in) {
+          t = std::max(t, copy_time(chunks[s], dirs));
+          ddr += chunks[s];
+          mc += chunks[s];
+        }
+        if (has_prev) {
+          const double reserved =
+              has_in ? p_copy * copy_rate(dirs) : 0.0;
+          t = std::max(t, comp_time(chunks[s - 1], reserved) +
+                              copy_time(chunks[s - 1], dirs));
+          ddr += chunks[s - 1];
+          mc += chunks[s - 1] + comp_payload(s - 1);
+        }
+        account(t, ddr, mc);
+      }
+      break;
+    case 3:
+      // Full overlap (the paper's triple-buffered scheme, Fig. 2).
+      for (std::size_t s = 0; s < chunks.size() + 2; ++s) {
+        const bool has_in = s < chunks.size();
+        const bool has_comp = s >= 1 && s - 1 < chunks.size();
+        const bool has_out = s >= 2 && s - 2 < chunks.size();
+        const double dirs = (has_in ? 1.0 : 0.0) + (has_out ? 1.0 : 0.0);
+        double t = 0.0, ddr = 0.0, mc = 0.0;
+        if (has_in) {
+          t = std::max(t, copy_time(chunks[s], dirs));
+          ddr += chunks[s];
+          mc += chunks[s];
+        }
+        if (has_out) {
+          t = std::max(t, copy_time(chunks[s - 2], dirs));
+          ddr += chunks[s - 2];
+          mc += chunks[s - 2];
+        }
+        if (has_comp) {
+          const double reserved =
+              dirs > 0.0 ? dirs * p_copy * copy_rate(dirs) : 0.0;
+          t = std::max(t, comp_time(chunks[s - 1], reserved));
+          mc += comp_payload(s - 1);
+        }
+        account(t, ddr, mc);
+      }
+      break;
+    default:
+      MLM_CHECK_MSG(false, "unreachable: buffers validated above");
+  }
+  return result;
+}
+
+std::vector<MergeBenchResult> sweep_copy_threads(
+    const KnlConfig& machine, MergeBenchConfig config,
+    const std::vector<std::size_t>& counts) {
+  std::vector<MergeBenchResult> out;
+  out.reserve(counts.size());
+  for (std::size_t c : counts) {
+    config.copy_threads = c;
+    out.push_back(simulate_merge_bench(machine, config));
+  }
+  return out;
+}
+
+std::size_t best_copy_threads(const KnlConfig& machine,
+                              MergeBenchConfig config,
+                              const std::vector<std::size_t>& counts) {
+  MLM_REQUIRE(!counts.empty(), "need at least one candidate count");
+  std::vector<double> times;
+  times.reserve(counts.size());
+  double best_time = std::numeric_limits<double>::infinity();
+  for (std::size_t c : counts) {
+    config.copy_threads = c;
+    times.push_back(simulate_merge_bench(machine, config).seconds);
+    best_time = std::min(best_time, times.back());
+  }
+  // Plateau ties resolve toward the fewest copy threads.
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (times[i] <= best_time * (1.0 + 1e-9)) return counts[i];
+  }
+  return counts.front();  // unreachable
+}
+
+}  // namespace mlm::knlsim

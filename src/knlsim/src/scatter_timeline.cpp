@@ -1,0 +1,144 @@
+#include "mlm/knlsim/scatter_timeline.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mlm/knlsim/cache_model.h"
+#include "mlm/support/error.h"
+
+namespace mlm::knlsim {
+
+const char* to_string(ScatterMode mode) {
+  switch (mode) {
+    case ScatterMode::DirectDdr: return "direct-ddr";
+    case ScatterMode::DirectCache: return "direct-cache";
+    case ScatterMode::PartitionedFlat: return "partitioned-flat";
+  }
+  return "?";
+}
+
+ScatterSimResult simulate_scatter(const KnlConfig& machine,
+                                  const ScatterCostParams& p,
+                                  const ScatterSimConfig& cfg) {
+  machine.validate();
+  MLM_REQUIRE(cfg.updates > 0, "need updates > 0");
+  MLM_REQUIRE(cfg.table_bytes > 0.0, "table size must be positive");
+  MLM_REQUIRE(cfg.threads >= 1, "need at least one thread");
+  MLM_REQUIRE(cfg.hot_fraction >= 0.0 && cfg.hot_fraction <= 1.0,
+              "hot fraction must be in [0,1]");
+
+  const double threads = static_cast<double>(cfg.threads);
+  const double updates = static_cast<double>(cfg.updates);
+  // Per-thread L2 share; hot keys resolve there.
+  const double l2 = p.line_bytes > 0 ? 512.0 * 1024 : 0.0;
+
+  ScatterSimResult r;
+
+  // Probability a cold (non-hot) update's line is resident in a cache of
+  // `cap` bytes when the table has `table` bytes.
+  auto resident = [&](double cap, double table) {
+    return std::clamp(cap / table, 0.0, 1.0);
+  };
+
+  const double amplification = 2.0 * p.line_bytes;
+  // Non-hot updates that still land in the per-thread L2 share.
+  const double l2_hit = cfg.hot_fraction +
+                        (1.0 - cfg.hot_fraction) *
+                            resident(l2, cfg.table_bytes);
+
+  switch (cfg.mode) {
+    case ScatterMode::DirectDdr: {
+      r.buckets = 1;
+      const double miss = 1.0 - l2_hit;
+      const double per_thread =
+          1.0 / (l2_hit / p.rate_l2 + miss / p.rate_ddr);
+      const double bw_cap =
+          miss > 0.0 ? machine.ddr_max_bw / (miss * amplification) : 1e30;
+      const double aggregate = std::min(threads * per_thread, bw_cap);
+      r.apply_seconds = updates / aggregate;
+      r.ddr_traffic_bytes = updates * miss * amplification;
+      break;
+    }
+    case ScatterMode::DirectCache: {
+      r.buckets = 1;
+      // Fraction of the table resident in the MCDRAM cache; misses go
+      // to DDR *through* the cache (fill traffic on both levels).
+      CacheConfig cache;
+      cache.capacity_bytes = static_cast<double>(machine.mcdram_bytes);
+      const double f =
+          resident(cache.effective_capacity(1), cfg.table_bytes);
+      const double cached = (1.0 - l2_hit) * f;
+      const double miss = (1.0 - l2_hit) * (1.0 - f);
+      const double per_thread =
+          1.0 / (l2_hit / p.rate_l2 + cached / p.rate_mcdram +
+                 miss / p.rate_ddr);
+      // Misses consume DDR; every non-L2 line moves through MCDRAM.
+      const double ddr_cap =
+          miss > 0.0 ? machine.ddr_max_bw / (miss * amplification) : 1e30;
+      const double mc_cap = (miss + cached) > 0.0
+                                ? machine.mcdram_max_bw /
+                                      ((miss + cached) * amplification)
+                                : 1e30;
+      const double aggregate =
+          std::min({threads * per_thread, ddr_cap, mc_cap});
+      r.apply_seconds = updates / aggregate;
+      r.ddr_traffic_bytes = updates * miss * amplification;
+      r.mcdram_traffic_bytes = updates * (miss + cached) * amplification;
+      break;
+    }
+    case ScatterMode::PartitionedFlat: {
+      // Pass 1: stream keys out into bucket runs (read keys + write
+      // staged copies, sequential, DDR-resident).
+      const double key_bytes = updates * p.update_bytes;
+      const double stream_rate =
+          std::min(threads * p.rate_stream, machine.ddr_max_bw / 2.0);
+      r.partition_seconds = 2.0 * key_bytes / stream_rate;
+      r.ddr_traffic_bytes += 2.0 * key_bytes;
+
+      // Pass 2: per bucket, load the table slice into MCDRAM, apply the
+      // bucket's updates, write the slice back.  Cache-partitioned
+      // sizing: slices small enough that each thread's share is
+      // L2-resident (classic partitioned-histogram design), bounded by
+      // what MCDRAM can hold.
+      const double slice_budget = std::min(
+          static_cast<double>(machine.mcdram_bytes) / 2.0, threads * l2);
+      r.buckets = static_cast<std::size_t>(
+          std::ceil(cfg.table_bytes / slice_budget));
+      r.buckets = std::max<std::size_t>(r.buckets, 1);
+      // Staged keys stream back in; slices move DDR<->MCDRAM once.
+      const double slice_traffic = 2.0 * cfg.table_bytes;
+      const double stage_in = key_bytes;
+      const double copy_rate =
+          std::min(threads * machine.s_copy, machine.ddr_max_bw);
+      const double t_slices = slice_traffic / copy_rate;
+      const double t_keys = stage_in / stream_rate;
+      // Updates hit MCDRAM-resident slices; per-slice working sets give
+      // high L2 residence for realistic bucket counts.
+      const double slice_bytes = cfg.table_bytes /
+                                 static_cast<double>(r.buckets);
+      const double per_thread_share =
+          slice_bytes / std::max(threads, 1.0);
+      const double slice_l2_hit =
+          std::clamp(l2 / std::max(per_thread_share, 1.0), 0.0, 1.0);
+      const double per_thread = 1.0 / (slice_l2_hit / p.rate_l2 +
+                                       (1.0 - slice_l2_hit) /
+                                           p.rate_mcdram);
+      const double bw_cap =
+          machine.mcdram_max_bw /
+          ((1.0 - slice_l2_hit) * amplification + 1e-12);
+      const double t_apply =
+          updates / std::min(threads * per_thread, bw_cap);
+      r.apply_seconds = t_slices + t_keys + t_apply;
+      r.mcdram_traffic_bytes +=
+          slice_traffic + updates * (1.0 - slice_l2_hit) * amplification;
+      r.ddr_traffic_bytes += slice_traffic + stage_in;
+      break;
+    }
+  }
+
+  r.seconds = r.partition_seconds + r.apply_seconds;
+  r.updates_per_second = updates / r.seconds;
+  return r;
+}
+
+}  // namespace mlm::knlsim

@@ -1,0 +1,84 @@
+#include "mlm/knlsim/stream_bench.h"
+
+#include "mlm/knlsim/knl_node.h"
+#include "mlm/support/units.h"
+
+namespace mlm::knlsim {
+
+namespace {
+// Large enough that fill/drain effects vanish from the measurement.
+constexpr double kProbeBytes = 64.0 * 1e9;
+
+double run_single_flow(KnlNode& node, FlowSpec spec) {
+  SimEngine& e = node.engine();
+  const double t0 = e.now();
+  const double bytes = spec.bytes;
+  e.start_flow(std::move(spec));
+  e.run_until_idle();
+  const double dt = e.now() - t0;
+  return bytes / dt;
+}
+}  // namespace
+
+double ddr_stream_bandwidth(const KnlConfig& machine, std::size_t threads) {
+  KnlNode node(machine, McdramMode::DdrOnly);
+  return run_single_flow(
+      node, node.ddr_stream_flow(kProbeBytes, threads, machine.s_comp,
+                                 "stream-ddr"));
+}
+
+double mcdram_stream_bandwidth(const KnlConfig& machine,
+                               std::size_t threads) {
+  KnlNode node(machine, McdramMode::Flat);
+  return run_single_flow(
+      node, node.mcdram_stream_flow(kProbeBytes, threads, machine.s_comp,
+                                    "stream-mcdram"));
+}
+
+double copy_bandwidth(const KnlConfig& machine, std::size_t threads) {
+  KnlNode node(machine, McdramMode::Flat);
+  return run_single_flow(node,
+                         node.copy_flow(kProbeBytes, threads, "copy"));
+}
+
+namespace {
+template <typename F>
+std::vector<BandwidthSample> sweep(const KnlConfig& machine,
+                                   std::size_t max_threads, F&& measure) {
+  std::vector<BandwidthSample> out;
+  for (std::size_t t = 1; t <= max_threads; t *= 2) {
+    out.push_back(BandwidthSample{t, measure(machine, t)});
+  }
+  if (!out.empty() && out.back().threads != max_threads) {
+    out.push_back(BandwidthSample{max_threads,
+                                  measure(machine, max_threads)});
+  }
+  return out;
+}
+}  // namespace
+
+std::vector<BandwidthSample> sweep_ddr_bandwidth(const KnlConfig& machine,
+                                                 std::size_t max_threads) {
+  return sweep(machine, max_threads, ddr_stream_bandwidth);
+}
+
+std::vector<BandwidthSample> sweep_mcdram_bandwidth(
+    const KnlConfig& machine, std::size_t max_threads) {
+  return sweep(machine, max_threads, mcdram_stream_bandwidth);
+}
+
+std::vector<BandwidthSample> sweep_copy_bandwidth(const KnlConfig& machine,
+                                                  std::size_t max_threads) {
+  return sweep(machine, max_threads, copy_bandwidth);
+}
+
+Table2Measurement measure_table2(const KnlConfig& machine) {
+  Table2Measurement m;
+  m.ddr_max = ddr_stream_bandwidth(machine, machine.total_threads());
+  m.mcdram_max = mcdram_stream_bandwidth(machine, machine.total_threads());
+  m.s_copy = copy_bandwidth(machine, 1);
+  m.s_comp = mcdram_stream_bandwidth(machine, 1);
+  return m;
+}
+
+}  // namespace mlm::knlsim

@@ -1,0 +1,75 @@
+// Machine description: the Intel Xeon Phi 7250 (Knights Landing) node
+// evaluated by the paper, plus scaled-down variants for host testing.
+//
+// Bandwidth and rate values come directly from the paper's Table 2
+// (measured with STREAM and the merge benchmark on the authors' system);
+// topology values come from Section 1.1 and the KNL product brief
+// (Sodani et al., IEEE Micro 2016).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "mlm/memory/dual_space.h"
+#include "mlm/support/units.h"
+
+namespace mlm {
+
+/// Static description of one KNL-like node.
+struct KnlConfig {
+  std::string name = "knl-7250";
+
+  // --- topology (paper §1.1) ---
+  std::size_t cores = 68;
+  std::size_t smt_per_core = 4;
+  std::size_t ddr_channels = 6;
+  std::size_t mcdram_stacks = 8;
+
+  // --- capacities ---
+  std::uint64_t mcdram_bytes = GiB(16);
+  std::uint64_t ddr_bytes = GiB(96);  // typical KNL DDR4 fit-out
+  std::size_t cache_line_bytes = 64;  // MCDRAM cache line (paper §1.1)
+
+  // --- bandwidths / per-thread rates (paper Table 2) ---
+  double ddr_max_bw = gb_per_s(90.0);      ///< DDR_max (STREAM)
+  double mcdram_max_bw = gb_per_s(400.0);  ///< MCDRAM_max (STREAM)
+  /// Per-thread DDR<->MCDRAM copy rate when not bandwidth limited
+  /// (S_copy).  Counts payload bytes: each copied byte is one DDR byte
+  /// and one MCDRAM byte.
+  double s_copy = gb_per_s(4.8);
+  /// Per-thread streaming compute rate when not bandwidth limited
+  /// (S_comp), measured with the merge benchmark.
+  double s_comp = gb_per_s(6.78);
+
+  // --- latency (paper §1.1: MCDRAM offers "no better latency than DDR";
+  // values from Ramos & Hoefler IPDPS'17 measurements) ---
+  double ddr_latency_s = 130e-9;
+  double mcdram_latency_s = 155e-9;
+
+  // --- hardware cache mode behaviour knobs (see knlsim::CacheModel) ---
+  /// Fraction of streaming-miss cost hidden by the memory-side cache's
+  /// line fill pipelining (GNU-cache's observed ~1.2x gain over DDR).
+  double cache_streaming_hit_bonus = 1.0;
+
+  std::size_t total_threads() const { return cores * smt_per_core; }
+
+  /// Sanity-check invariants (positive rates, capacities, ...).
+  void validate() const;
+};
+
+/// The node the paper measured: KNL 7250, Table 2 rates.
+KnlConfig knl7250();
+
+/// A geometrically scaled-down configuration for host-scale functional
+/// runs: capacities divided by `factor`, thread count clamped to
+/// `max_threads`, bandwidth ratios preserved.  Shape-preserving by
+/// construction (all the paper's effects depend on ratios).
+KnlConfig scaled_knl(std::uint64_t factor, std::size_t max_threads);
+
+/// DualSpaceConfig for this machine under a given MCDRAM mode.
+DualSpaceConfig make_dual_space_config(const KnlConfig& machine,
+                                       McdramMode mode,
+                                       double hybrid_flat_fraction = 0.5);
+
+}  // namespace mlm

@@ -1,0 +1,41 @@
+// Third memory level: non-volatile memory under the DDR (paper §6:
+// "Another level of memory is also conceivable, e.g., high capacity
+// storage based on non-volatile memory such as 3D-XPoint.  The larger
+// memory capacity of such architectures will accommodate a much larger
+// problem size, but now there may be double levels of chunking to
+// consider.")
+//
+// Bandwidth defaults follow published Intel Optane DC PMM (the shipped
+// 3D-XPoint DIMM product) measurements: highly asymmetric read/write,
+// both far below DDR, with a per-thread rate that saturates with few
+// threads.
+#pragma once
+
+#include <cstdint>
+
+#include "mlm/support/units.h"
+
+namespace mlm {
+
+/// Description of an NVM level attached below DDR.
+struct NvmConfig {
+  /// Capacity; 3 TiB per socket was the Optane flagship fit-out.
+  std::uint64_t bytes = 1ull << 40;  // 1 TiB default
+  /// Aggregate sequential read bandwidth.
+  double read_bw = gb_per_s(35.0);
+  /// Aggregate sequential write bandwidth (the asymmetry is the
+  /// defining property of 3D-XPoint media).
+  double write_bw = gb_per_s(11.0);
+  /// Per-thread copy rate between NVM and DDR when not bandwidth
+  /// limited.
+  double s_copy = gb_per_s(2.2);
+
+  void validate() const;
+};
+
+/// A plausible 2018-era KNL + Optane design point for the projection
+/// experiments (the paper's §6 "suggesting more optimal design points
+/// for both hardware and applications").
+NvmConfig optane_pmm();
+
+}  // namespace mlm

@@ -1,0 +1,56 @@
+#include "mlm/machine/knl_config.h"
+
+#include <algorithm>
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+
+void KnlConfig::validate() const {
+  MLM_REQUIRE(cores >= 1 && smt_per_core >= 1, "need at least one thread");
+  MLM_REQUIRE(mcdram_bytes > 0, "MCDRAM capacity must be positive");
+  MLM_REQUIRE(ddr_max_bw > 0 && mcdram_max_bw > 0,
+              "bandwidths must be positive");
+  MLM_REQUIRE(s_copy > 0 && s_comp > 0, "per-thread rates must be positive");
+  MLM_REQUIRE(cache_line_bytes >= 8 &&
+                  (cache_line_bytes & (cache_line_bytes - 1)) == 0,
+              "cache line size must be a power of two >= 8");
+  MLM_REQUIRE(mcdram_max_bw >= ddr_max_bw,
+              "model assumes MCDRAM is the faster level");
+}
+
+KnlConfig knl7250() {
+  KnlConfig c;  // defaults are the 7250
+  c.validate();
+  return c;
+}
+
+KnlConfig scaled_knl(std::uint64_t factor, std::size_t max_threads) {
+  MLM_REQUIRE(factor >= 1, "scale factor must be >= 1");
+  KnlConfig c = knl7250();
+  c.name = "knl-scaled-1/" + std::to_string(factor);
+  c.mcdram_bytes = std::max<std::uint64_t>(c.mcdram_bytes / factor, 1 << 16);
+  c.ddr_bytes = std::max<std::uint64_t>(c.ddr_bytes / factor, 1 << 20);
+  if (max_threads > 0) {
+    const std::size_t total = c.total_threads();
+    if (total > max_threads) {
+      c.smt_per_core = 1;
+      c.cores = std::max<std::size_t>(max_threads, 1);
+    }
+  }
+  c.validate();
+  return c;
+}
+
+DualSpaceConfig make_dual_space_config(const KnlConfig& machine,
+                                       McdramMode mode,
+                                       double hybrid_flat_fraction) {
+  DualSpaceConfig cfg;
+  cfg.mode = mode;
+  cfg.mcdram_bytes = machine.mcdram_bytes;
+  cfg.hybrid_flat_fraction = hybrid_flat_fraction;
+  cfg.ddr_bytes = 0;  // DDR treated as unlimited, as in the paper's runs
+  return cfg;
+}
+
+}  // namespace mlm

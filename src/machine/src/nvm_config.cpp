@@ -1,0 +1,20 @@
+#include "mlm/machine/nvm_config.h"
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+
+void NvmConfig::validate() const {
+  MLM_REQUIRE(bytes > 0, "NVM capacity must be positive");
+  MLM_REQUIRE(read_bw > 0 && write_bw > 0,
+              "NVM bandwidths must be positive");
+  MLM_REQUIRE(s_copy > 0, "NVM per-thread copy rate must be positive");
+}
+
+NvmConfig optane_pmm() {
+  NvmConfig c;  // defaults are the Optane-style point
+  c.validate();
+  return c;
+}
+
+}  // namespace mlm

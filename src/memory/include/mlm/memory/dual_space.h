@@ -1,0 +1,85 @@
+// DualSpace: the DDR + MCDRAM pair a chunked algorithm runs against,
+// configured for one of the KNL MCDRAM usage modes.
+//
+// In flat mode the full 16 GB of MCDRAM is an addressable scratchpad.
+// In hybrid mode only the flat fraction is addressable; the rest serves
+// the hardware cache.  In (implicit) cache mode and DDR-only mode there
+// is no addressable MCDRAM at all — algorithms allocate from DDR and the
+// (modeled or real) hardware cache provides any speedup.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "mlm/memory/memory_space.h"
+
+namespace mlm {
+
+/// KNL MCDRAM BIOS usage modes plus the paper's two software-level modes.
+enum class McdramMode : std::uint8_t {
+  Flat,          ///< all MCDRAM addressable (scratchpad)
+  Cache,         ///< all MCDRAM is a direct-mapped hardware cache
+  Hybrid,        ///< part scratchpad, part hardware cache
+  ImplicitCache, ///< chunked algorithm run under Cache mode (paper, §3.1)
+  DdrOnly,       ///< MCDRAM unused (baseline "GNU-flat" / "MLM-ddr")
+};
+
+const char* to_string(McdramMode mode);
+
+/// True for modes in which software may allocate MCDRAM directly.
+bool mode_has_addressable_mcdram(McdramMode mode);
+
+/// True for modes in which the hardware cache in front of DDR is active.
+bool mode_has_hardware_cache(McdramMode mode);
+
+/// Configuration for a DualSpace.
+struct DualSpaceConfig {
+  McdramMode mode = McdramMode::Flat;
+  /// Physical MCDRAM size (KNL: 16 GiB).
+  std::uint64_t mcdram_bytes = 16ull << 30;
+  /// Fraction of MCDRAM used as scratchpad in Hybrid mode (KNL BIOS
+  /// offers 25%, 50%, 75%; the paper's hybrid runs used 50%).
+  double hybrid_flat_fraction = 0.5;
+  /// DDR capacity; 0 = unlimited.
+  std::uint64_t ddr_bytes = 0;
+};
+
+/// The memory environment of one KNL node under a given usage mode.
+class DualSpace {
+ public:
+  explicit DualSpace(const DualSpaceConfig& config);
+
+  const DualSpaceConfig& config() const { return config_; }
+  McdramMode mode() const { return config_.mode; }
+
+  MemorySpace& ddr() { return *ddr_; }
+  const MemorySpace& ddr() const { return *ddr_; }
+
+  /// The addressable MCDRAM space.  Throws Error if the current mode has
+  /// no addressable MCDRAM (Cache / ImplicitCache / DdrOnly).
+  MemorySpace& mcdram();
+  const MemorySpace& mcdram() const;
+
+  bool has_addressable_mcdram() const {
+    return mode_has_addressable_mcdram(config_.mode);
+  }
+
+  /// Bytes of addressable MCDRAM under the configured mode
+  /// (0 in Cache/ImplicitCache/DdrOnly modes).
+  std::uint64_t addressable_mcdram_bytes() const;
+
+  /// Bytes of MCDRAM acting as hardware cache under the configured mode.
+  std::uint64_t cache_mcdram_bytes() const;
+
+  /// The space chunked algorithms should place their working buffers in:
+  /// MCDRAM when addressable, DDR otherwise (implicit mode relies on the
+  /// hardware cache to accelerate those DDR accesses).
+  MemorySpace& near_space();
+
+ private:
+  DualSpaceConfig config_;
+  std::unique_ptr<MemorySpace> ddr_;
+  std::unique_ptr<MemorySpace> mcdram_;  // null when not addressable
+};
+
+}  // namespace mlm

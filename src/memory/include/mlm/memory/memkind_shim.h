@@ -1,0 +1,68 @@
+// memkind-compatible C-style shim.
+//
+// The paper allocates MCDRAM via memkind's hbw_malloc()/hbw_free()
+// (Cantalupo et al., SAND2015-1862C).  This header provides the same
+// surface backed by mlm::MemorySpace so code written against hbw_* runs
+// unmodified on a non-KNL host while keeping MCDRAM's capacity limit and
+// failure modes.  On a real KNL, swap this shim for <hbwmalloc.h> — the
+// call signatures match hbwmalloc's.
+//
+// The shim is process-global (like memkind): mlm_hbw_set_space() installs
+// the MemorySpace that backs "high-bandwidth" allocations; nullptr
+// reverts to plain heap with no capacity limit (memkind's behaviour on a
+// machine without HBW nodes, HBW_POLICY_PREFERRED).
+#pragma once
+
+#include <cstddef>
+
+namespace mlm {
+class MemorySpace;
+}
+
+extern "C" {
+
+/// Mirrors hbw_policy_t: BIND fails when HBW memory is exhausted,
+/// PREFERRED falls back to normal memory.
+enum mlm_hbw_policy {
+  MLM_HBW_POLICY_BIND = 1,
+  MLM_HBW_POLICY_PREFERRED = 2,
+};
+
+/// Returns 1 if a high-bandwidth space is installed (cf. hbw_check_available
+/// returning 0 on success; this returns a boolean for clarity).
+int mlm_hbw_check_available(void);
+
+/// Allocate from the installed HBW space (or heap fallback under
+/// PREFERRED policy).  Returns nullptr on failure, like hbw_malloc.
+void* mlm_hbw_malloc(size_t size);
+void* mlm_hbw_calloc(size_t num, size_t size);
+void mlm_hbw_free(void* ptr);
+
+/// Get/set the allocation policy (default: PREFERRED, like memkind).
+mlm_hbw_policy mlm_hbw_get_policy(void);
+int mlm_hbw_set_policy(mlm_hbw_policy policy);
+
+/// Mirrors hbw_posix_memalign: allocate `size` bytes aligned to
+/// `alignment` (power of two, multiple of sizeof(void*)).  Returns 0 on
+/// success, EINVAL for a bad alignment, ENOMEM on exhaustion.
+int mlm_hbw_posix_memalign(void** memptr, size_t alignment, size_t size);
+
+/// Mirrors hbw_verify_memory_region's spirit: returns 1 when `ptr` was
+/// allocated from the installed high-bandwidth space, 0 when it came
+/// from the heap fallback or is unknown.
+int mlm_hbw_verify(void* ptr);
+
+}  // extern "C"
+
+namespace mlm {
+
+/// Install `space` as the backing store for mlm_hbw_malloc (not owned);
+/// pass nullptr to uninstall.  Not thread-safe with respect to concurrent
+/// mlm_hbw_malloc calls — install once at startup, as with real memkind
+/// partitions.
+void mlm_hbw_set_space(MemorySpace* space);
+
+/// Currently installed space (may be nullptr).
+MemorySpace* mlm_hbw_get_space();
+
+}  // namespace mlm

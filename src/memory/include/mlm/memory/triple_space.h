@@ -1,0 +1,56 @@
+// TripleSpace: a three-level memory environment — NVM under DDR under
+// MCDRAM — for the paper's §6 double-chunking extension.
+//
+// The NVM level is modeled like the others: a named, capacity-limited
+// MemorySpace (backed by host heap here; on real hardware it would be a
+// DAX mapping or memkind's PMEM kind).  DDR becomes capacity-limited
+// too, because the whole point of the third level is problems larger
+// than DDR.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "mlm/memory/dual_space.h"
+#include "mlm/memory/memory_space.h"
+
+namespace mlm {
+
+struct TripleSpaceConfig {
+  McdramMode mode = McdramMode::Flat;
+  std::uint64_t mcdram_bytes = 16ull << 30;
+  double hybrid_flat_fraction = 0.5;
+  /// DDR is a real capacity limit in the three-level setting.
+  std::uint64_t ddr_bytes = 96ull << 30;
+  /// NVM capacity; 0 = unlimited.
+  std::uint64_t nvm_bytes = 0;
+};
+
+/// NVM + DDR + (mode-dependent) MCDRAM.
+class TripleSpace {
+ public:
+  explicit TripleSpace(const TripleSpaceConfig& config);
+
+  const TripleSpaceConfig& config() const { return config_; }
+
+  MemorySpace& nvm() { return *nvm_; }
+  const MemorySpace& nvm() const { return *nvm_; }
+
+  /// The DDR + MCDRAM pair, usable with every two-level component
+  /// (ChunkPipeline, MlmSorter, ...).
+  DualSpace& upper() { return *upper_; }
+  const DualSpace& upper() const { return *upper_; }
+
+  MemorySpace& ddr() { return upper_->ddr(); }
+  MemorySpace& mcdram() { return upper_->mcdram(); }
+  bool has_addressable_mcdram() const {
+    return upper_->has_addressable_mcdram();
+  }
+
+ private:
+  TripleSpaceConfig config_;
+  std::unique_ptr<MemorySpace> nvm_;
+  std::unique_ptr<DualSpace> upper_;
+};
+
+}  // namespace mlm

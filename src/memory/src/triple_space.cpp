@@ -1,0 +1,19 @@
+#include "mlm/memory/triple_space.h"
+
+namespace mlm {
+
+TripleSpace::TripleSpace(const TripleSpaceConfig& config)
+    : config_(config) {
+  MLM_REQUIRE(config.ddr_bytes > 0,
+              "three-level setting requires a DDR capacity limit");
+  nvm_ = std::make_unique<MemorySpace>("nvm", MemKind::NVM,
+                                       config.nvm_bytes);
+  DualSpaceConfig upper;
+  upper.mode = config.mode;
+  upper.mcdram_bytes = config.mcdram_bytes;
+  upper.hybrid_flat_fraction = config.hybrid_flat_fraction;
+  upper.ddr_bytes = config.ddr_bytes;
+  upper_ = std::make_unique<DualSpace>(upper);
+}
+
+}  // namespace mlm

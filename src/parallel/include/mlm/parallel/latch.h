@@ -1,0 +1,78 @@
+// Synchronization primitives: reusable barrier and countdown latch.
+//
+// std::barrier/std::latch exist in C++20, but the pipeline executor needs
+// a latch whose count is chosen at runtime per pipeline step and a barrier
+// that reports the serial phase to one thread; these small wrappers keep
+// that logic in one audited place.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+
+/// One-shot countdown latch.  count_down() may be called from any thread;
+/// wait() blocks until the counter reaches zero.
+class CountdownLatch {
+ public:
+  explicit CountdownLatch(std::size_t count) : count_(count) {}
+
+  void count_down(std::size_t n = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
+    MLM_CHECK_MSG(count_ >= n, "latch counted down below zero");
+    count_ -= n;
+    if (count_ == 0) cv_.notify_all();
+  }
+
+  void wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return count_ == 0; });
+  }
+
+  bool try_wait() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return count_ == 0;
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t count_;
+};
+
+/// Reusable cyclic barrier for a fixed party count.  arrive_and_wait()
+/// returns true on exactly one participant per generation (the "serial
+/// thread"), which pipeline steps use to advance shared cursors.
+class CyclicBarrier {
+ public:
+  explicit CyclicBarrier(std::size_t parties) : parties_(parties) {
+    MLM_REQUIRE(parties >= 1, "barrier needs at least one party");
+  }
+
+  bool arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    const std::size_t gen = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return true;
+    }
+    cv_.wait(lock, [this, gen] { return generation_ != gen; });
+    return false;
+  }
+
+  std::size_t parties() const { return parties_; }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::size_t generation_ = 0;
+};
+
+}  // namespace mlm

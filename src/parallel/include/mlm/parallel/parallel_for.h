@@ -1,0 +1,68 @@
+// Blocking data-parallel loops over a ThreadPool.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "mlm/parallel/partition.h"
+#include "mlm/parallel/thread_pool.h"
+
+namespace mlm {
+
+/// Run `body(i)` for every i in [begin, end), statically partitioned over
+/// the pool's workers.  Blocks until complete; rethrows the first task
+/// exception.
+template <typename Body>
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  Body&& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t parts = std::min(pool.size(), n);
+  std::vector<std::future<void>> futs;
+  futs.reserve(parts);
+  for (std::size_t p = 0; p < parts; ++p) {
+    const IndexRange r = partition_range(n, parts, p);
+    futs.push_back(pool.submit([&body, begin, r] {
+      for (std::size_t i = r.begin; i < r.end; ++i) body(begin + i);
+    }));
+  }
+  std::exception_ptr err;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!err) err = std::current_exception();
+    }
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+/// Run `body(range)` for each of the pool-size balanced subranges of
+/// [begin, end).  Preferred when per-range setup (buffers, cursors) is
+/// expensive; this is the idiom MLM-sort uses for per-thread serial sorts.
+template <typename Body>
+void parallel_for_ranges(ThreadPool& pool, std::size_t begin,
+                         std::size_t end, Body&& body) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t parts = std::min(pool.size(), n);
+  std::vector<std::future<void>> futs;
+  futs.reserve(parts);
+  for (std::size_t p = 0; p < parts; ++p) {
+    IndexRange r = partition_range(n, parts, p);
+    r.begin += begin;
+    r.end += begin;
+    futs.push_back(pool.submit([&body, r] { body(r); }));
+  }
+  std::exception_ptr err;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!err) err = std::current_exception();
+    }
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace mlm

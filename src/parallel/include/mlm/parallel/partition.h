@@ -1,0 +1,64 @@
+// Static range partitioning helpers.
+//
+// MLM-sort assigns each compute thread one maximal contiguous chunk of a
+// megachunk (Section 4); the merge benchmark disperses each chunk evenly
+// among compute threads (Section 5).  Both need balanced [begin,end)
+// splits that distribute the remainder one element at a time, never
+// producing an empty range before a non-empty one.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+
+/// Half-open index range.
+struct IndexRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const { return end - begin; }
+  bool empty() const { return begin == end; }
+  friend bool operator==(const IndexRange&, const IndexRange&) = default;
+};
+
+/// The `part`-th of `parts` balanced subranges of [0, n).
+/// The first (n % parts) subranges get one extra element.
+inline IndexRange partition_range(std::size_t n, std::size_t parts,
+                                  std::size_t part) {
+  MLM_REQUIRE(parts >= 1, "partition_range: parts must be >= 1");
+  MLM_REQUIRE(part < parts, "partition_range: part out of range");
+  const std::size_t base = n / parts;
+  const std::size_t extra = n % parts;
+  const std::size_t begin = part * base + (part < extra ? part : extra);
+  const std::size_t len = base + (part < extra ? 1 : 0);
+  return IndexRange{begin, begin + len};
+}
+
+/// All `parts` balanced subranges of [0, n), in order.
+inline std::vector<IndexRange> partition_all(std::size_t n,
+                                             std::size_t parts) {
+  std::vector<IndexRange> out;
+  out.reserve(parts);
+  for (std::size_t p = 0; p < parts; ++p) {
+    out.push_back(partition_range(n, parts, p));
+  }
+  return out;
+}
+
+/// Split [0, n) into fixed-size chunks of `chunk` elements (last one may
+/// be short).  This is the chunking layout from Section 3.
+inline std::vector<IndexRange> chunk_ranges(std::size_t n,
+                                            std::size_t chunk) {
+  MLM_REQUIRE(chunk >= 1, "chunk_ranges: chunk size must be >= 1");
+  std::vector<IndexRange> out;
+  out.reserve(n / chunk + 1);
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    out.push_back(IndexRange{begin, begin + std::min(chunk, n - begin)});
+  }
+  return out;
+}
+
+}  // namespace mlm

@@ -1,0 +1,77 @@
+// Fixed-size worker thread pool.
+//
+// The paper's buffered chunking scheme (Section 3) partitions the KNL's
+// hardware threads into three dedicated pools — copy-in, compute,
+// copy-out — because KNL has no user-programmable DMA engine and all data
+// movement between DDR and MCDRAM must be performed by CPU threads.
+// ThreadPool is the building block for those pools: a named, fixed-size
+// pool with a FIFO task queue, bulk submission, and a blocking barrier.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+
+/// Fixed-size FIFO thread pool.
+///
+/// Threads are created in the constructor and joined in the destructor.
+/// Tasks thrown exceptions are captured and rethrown from wait_idle() /
+/// the returned future, never swallowed.
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (must be >= 1).  `name` labels the pool
+  /// in diagnostics ("copy-in", "compute", ...).
+  explicit ThreadPool(std::size_t num_threads, std::string name = "pool");
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return threads_.size(); }
+  const std::string& name() const { return name_; }
+
+  /// Enqueue a task; returns a future for its completion/exception.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Enqueue a task without a future (slightly cheaper); exceptions are
+  /// stored and rethrown by the next wait_idle().
+  void post(std::function<void()> task);
+
+  /// Run `body(worker_index)` once on each of `size()` logical workers and
+  /// block until all complete.  The calling thread does not participate.
+  void run_on_all(const std::function<void(std::size_t)>& body);
+
+  /// Block until the queue is empty and all workers are idle.  Rethrows
+  /// the first exception captured from a post()ed task, if any.
+  void wait_idle();
+
+  /// Number of tasks executed since construction (for tests/diagnostics).
+  std::size_t tasks_executed() const;
+
+ private:
+  void worker_loop();
+
+  std::string name_;
+  std::vector<std::thread> threads_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  std::size_t executed_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace mlm

@@ -1,0 +1,58 @@
+// The paper's three-pool thread arrangement (Section 3):
+//
+//   "The implementation of buffering for KNL thus typically requires
+//    allocating three separate thread pools, a large pool for performing
+//    the computation, then another pool to perform the 'copy-in' and
+//    finally, a third pool to perform the 'copy-out'."
+//
+// TriplePools owns the three pools and enforces the paper's sizing
+// conventions: copy-in and copy-out pools are equal in size (the model in
+// Section 3.2 assumes p_in == p_out), and the compute pool receives the
+// remaining hardware threads.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "mlm/parallel/thread_pool.h"
+
+namespace mlm {
+
+/// Sizing for the three pools.
+struct PoolSizes {
+  std::size_t copy_in = 1;
+  std::size_t copy_out = 1;
+  std::size_t compute = 1;
+
+  std::size_t total() const { return copy_in + copy_out + compute; }
+};
+
+/// Derive pool sizes from a total hardware-thread budget and a copy-thread
+/// count per direction, mirroring the paper's experimental setup: given
+/// `total` threads and `copy_per_direction` copy threads for each of
+/// copy-in and copy-out, the compute pool gets the rest.
+PoolSizes make_pool_sizes(std::size_t total, std::size_t copy_per_direction);
+
+/// Owner of the copy-in / compute / copy-out pools.
+class TriplePools {
+ public:
+  explicit TriplePools(const PoolSizes& sizes);
+
+  ThreadPool& copy_in() { return *copy_in_; }
+  ThreadPool& compute() { return *compute_; }
+  ThreadPool& copy_out() { return *copy_out_; }
+
+  const PoolSizes& sizes() const { return sizes_; }
+
+  /// Block until all three pools are idle; rethrows the first captured
+  /// task exception from any pool.
+  void wait_all_idle();
+
+ private:
+  PoolSizes sizes_;
+  std::unique_ptr<ThreadPool> copy_in_;
+  std::unique_ptr<ThreadPool> compute_;
+  std::unique_ptr<ThreadPool> copy_out_;
+};
+
+}  // namespace mlm

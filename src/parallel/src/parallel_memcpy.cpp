@@ -1,0 +1,85 @@
+#include "mlm/parallel/parallel_memcpy.h"
+
+#include <cstring>
+
+#include "mlm/parallel/parallel_for.h"
+#include "mlm/parallel/thread_pool.h"
+
+namespace mlm {
+namespace {
+
+// Slices smaller than this are not worth a task dispatch.
+constexpr std::size_t kMinSliceBytes = 64 * 1024;
+
+}  // namespace
+
+void parallel_memcpy(ThreadPool& pool, void* dst, const void* src,
+                     std::size_t bytes) {
+  parallel_memcpy(pool, dst, src, bytes, pool.size());
+}
+
+void parallel_memcpy(ThreadPool& pool, void* dst, const void* src,
+                     std::size_t bytes, std::size_t max_ways) {
+  MLM_REQUIRE(dst != nullptr && src != nullptr, "null copy endpoint");
+  if (bytes == 0) return;
+
+  const auto* s = static_cast<const unsigned char*>(src);
+  auto* d = static_cast<unsigned char*>(dst);
+  // Overlap would make the per-slice copies racy.
+  MLM_REQUIRE(d + bytes <= s || s + bytes <= d,
+              "parallel_memcpy regions must not overlap");
+
+  std::size_t ways = std::min({max_ways, pool.size(),
+                               bytes / kMinSliceBytes + 1});
+  if (ways <= 1) {
+    std::memcpy(d, s, bytes);
+    return;
+  }
+
+  std::vector<std::future<void>> futs;
+  futs.reserve(ways);
+  for (std::size_t p = 0; p < ways; ++p) {
+    const IndexRange r = partition_range(bytes, ways, p);
+    futs.push_back(pool.submit(
+        [d, s, r] { std::memcpy(d + r.begin, s + r.begin, r.size()); }));
+  }
+  wait_all(futs);
+}
+
+std::vector<std::future<void>> parallel_memcpy_async(ThreadPool& pool,
+                                                     void* dst,
+                                                     const void* src,
+                                                     std::size_t bytes) {
+  MLM_REQUIRE(dst != nullptr && src != nullptr, "null copy endpoint");
+  std::vector<std::future<void>> futs;
+  if (bytes == 0) return futs;
+
+  const auto* s = static_cast<const unsigned char*>(src);
+  auto* d = static_cast<unsigned char*>(dst);
+  MLM_REQUIRE(d + bytes <= s || s + bytes <= d,
+              "parallel_memcpy regions must not overlap");
+
+  const std::size_t ways = std::max<std::size_t>(
+      std::min({pool.size(), bytes / kMinSliceBytes + 1}), 1);
+  futs.reserve(ways);
+  for (std::size_t p = 0; p < ways; ++p) {
+    const IndexRange r = partition_range(bytes, ways, p);
+    futs.push_back(pool.submit(
+        [d, s, r] { std::memcpy(d + r.begin, s + r.begin, r.size()); }));
+  }
+  return futs;
+}
+
+void wait_all(std::vector<std::future<void>>& futures) {
+  std::exception_ptr err;
+  for (auto& f : futures) {
+    try {
+      if (f.valid()) f.get();
+    } catch (...) {
+      if (!err) err = std::current_exception();
+    }
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace mlm

@@ -1,0 +1,108 @@
+#include "mlm/parallel/thread_pool.h"
+
+#include <atomic>
+
+namespace mlm {
+
+ThreadPool::ThreadPool(std::size_t num_threads, std::string name)
+    : name_(std::move(name)) {
+  MLM_REQUIRE(num_threads >= 1, "thread pool needs at least one thread");
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      ++executed_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  auto promise = std::make_shared<std::promise<void>>();
+  std::future<void> fut = promise->get_future();
+  post([task = std::move(task), promise] {
+    try {
+      task();
+      promise->set_value();
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return fut;
+}
+
+void ThreadPool::post(std::function<void()> task) {
+  MLM_REQUIRE(task != nullptr, "cannot post a null task");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MLM_CHECK_MSG(!stop_, "post() on a stopped pool: " + name_);
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::run_on_all(const std::function<void(std::size_t)>& body) {
+  const std::size_t n = size();
+  std::vector<std::future<void>> futs;
+  futs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    futs.push_back(submit([&body, i] { body(i); }));
+  }
+  std::exception_ptr err;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!err) err = std::current_exception();
+    }
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+std::size_t ThreadPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_;
+}
+
+}  // namespace mlm

@@ -1,0 +1,40 @@
+#include "mlm/parallel/triple_pools.h"
+
+namespace mlm {
+
+PoolSizes make_pool_sizes(std::size_t total,
+                          std::size_t copy_per_direction) {
+  MLM_REQUIRE(copy_per_direction >= 1,
+              "need at least one copy thread per direction");
+  MLM_REQUIRE(total >= 2 * copy_per_direction + 1,
+              "thread budget too small for copy pools plus one compute "
+              "thread");
+  PoolSizes s;
+  s.copy_in = copy_per_direction;
+  s.copy_out = copy_per_direction;
+  s.compute = total - 2 * copy_per_direction;
+  return s;
+}
+
+TriplePools::TriplePools(const PoolSizes& sizes) : sizes_(sizes) {
+  MLM_REQUIRE(sizes.copy_in >= 1 && sizes.copy_out >= 1 &&
+                  sizes.compute >= 1,
+              "each pool needs at least one thread");
+  copy_in_ = std::make_unique<ThreadPool>(sizes.copy_in, "copy-in");
+  compute_ = std::make_unique<ThreadPool>(sizes.compute, "compute");
+  copy_out_ = std::make_unique<ThreadPool>(sizes.copy_out, "copy-out");
+}
+
+void TriplePools::wait_all_idle() {
+  std::exception_ptr err;
+  for (ThreadPool* pool : {copy_in_.get(), compute_.get(), copy_out_.get()}) {
+    try {
+      pool->wait_idle();
+    } catch (...) {
+      if (!err) err = std::current_exception();
+    }
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace mlm

@@ -1,0 +1,138 @@
+// Tournament (loser) tree for k-way merging.
+//
+// The final step of MLM-sort and of the basic chunked sort is a k-way
+// merge of sorted runs (Section 4).  A loser tree finds the global
+// minimum among k run heads with exactly ceil(log2 k) comparisons per
+// extracted element and no branching on run indices, which is what makes
+// multiway merge "exploit prefetching well on the KNL cores" (§4).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <iterator>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "mlm/support/error.h"
+
+namespace mlm::sort {
+
+/// k-way merge loser tree over iterator-based input runs.
+///
+/// Usage:
+///   LoserTree<const T*> lt(k, comp);
+///   lt.set_run(i, begin_i, end_i);  // for each run
+///   lt.init();
+///   while (!lt.empty()) *out++ = lt.pop();
+///
+/// Ties are broken by run index, so merging runs that are consecutive
+/// slices of one array is stable.
+///
+/// Layout: implicit complete binary tree with the k leaves at array
+/// positions k..2k-1; internal nodes 1..k-1 each store the *loser* of the
+/// match played there, and the overall winner is kept separately.
+template <typename It, typename Comp = std::less<>>
+class LoserTree {
+ public:
+  using value_type = typename std::iterator_traits<It>::value_type;
+
+  explicit LoserTree(std::size_t k, Comp comp = {})
+      : k_(k), comp_(comp), runs_(k), tree_(std::max<std::size_t>(k, 2)) {
+    MLM_REQUIRE(k >= 1, "loser tree needs at least one run");
+  }
+
+  std::size_t num_runs() const { return k_; }
+
+  void set_run(std::size_t i, It begin, It end) {
+    MLM_REQUIRE(i < k_, "run index out of range");
+    runs_[i] = Run{begin, end};
+  }
+
+  /// Build the tournament; call after all set_run calls, before pop().
+  void init() { winner_ = build(1); }
+
+  bool empty() const {
+    return winner_ == kInvalid || runs_[winner_].exhausted();
+  }
+
+  /// The current minimum element (precondition: !empty()).
+  const value_type& top() const { return *runs_[winner_].cur; }
+
+  /// Index of the run the current minimum comes from.
+  std::size_t top_run() const { return winner_; }
+
+  /// Extract the minimum and advance its run; O(log k).
+  value_type pop() {
+    MLM_CHECK_MSG(!empty(), "pop from empty loser tree");
+    Run& r = runs_[winner_];
+    value_type v = *r.cur;
+    ++r.cur;
+    replay_from(winner_);
+    return v;
+  }
+
+  /// Total elements remaining across all runs.
+  std::size_t remaining() const {
+    std::size_t n = 0;
+    for (const Run& r : runs_) n += static_cast<std::size_t>(r.end - r.cur);
+    return n;
+  }
+
+ private:
+  static constexpr std::size_t kInvalid =
+      std::numeric_limits<std::size_t>::max();
+
+  struct Run {
+    It cur{};
+    It end{};
+    bool exhausted() const { return cur == end; }
+  };
+
+  /// True if run a's head must be emitted before run b's head.
+  /// Exhausted runs lose to live runs; run-index ties keep stability.
+  bool beats(std::size_t a, std::size_t b) const {
+    if (a == kInvalid) return false;
+    if (b == kInvalid) return true;
+    const bool a_done = runs_[a].exhausted();
+    const bool b_done = runs_[b].exhausted();
+    if (a_done != b_done) return b_done;
+    if (a_done && b_done) return a < b;
+    if (comp_(*runs_[a].cur, *runs_[b].cur)) return true;
+    if (comp_(*runs_[b].cur, *runs_[a].cur)) return false;
+    return a < b;
+  }
+
+  /// Recursively play the subtree rooted at `node`; stores losers in
+  /// internal nodes and returns the subtree winner.
+  std::size_t build(std::size_t node) {
+    if (node >= k_) return node - k_;  // leaf: run index
+    const std::size_t l = build(2 * node);
+    const std::size_t r = build(2 * node + 1);
+    if (beats(l, r)) {
+      tree_[node] = r;
+      return l;
+    }
+    tree_[node] = l;
+    return r;
+  }
+
+  /// Replay the path from leaf `leaf` to the root after its run head
+  /// changed; updates winner_.
+  void replay_from(std::size_t leaf) {
+    std::size_t contender = leaf;
+    for (std::size_t node = (leaf + k_) / 2; node >= 1; node /= 2) {
+      if (beats(tree_[node], contender)) std::swap(tree_[node], contender);
+      if (node == 1) break;
+    }
+    winner_ = contender;
+  }
+
+  std::size_t k_;
+  Comp comp_;
+  std::vector<Run> runs_;
+  std::vector<std::size_t> tree_;  // indices 1..k-1 hold losers
+  std::size_t winner_ = kInvalid;
+};
+
+}  // namespace mlm::sort

@@ -1,0 +1,214 @@
+// k-way merge: sequential kernel, exact multisequence partitioning, and
+// a parallel multiway merge equivalent to GNU parallel mode's
+// multiway_merge (Singler et al., MCSTL) — the routine the paper uses to
+// stitch sorted chunks into megachunks and megachunks into the final
+// sorted output.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mlm/parallel/parallel_for.h"
+#include "mlm/parallel/thread_pool.h"
+#include "mlm/sort/loser_tree.h"
+#include "mlm/support/error.h"
+
+namespace mlm::sort {
+
+/// A sorted input run for merging.
+template <typename T>
+using Run = std::span<const T>;
+
+/// Sequential k-way merge of sorted runs into `out` (size = total run
+/// length).  Two-run inputs use a branch-light binary merge; k >= 3 uses
+/// a loser tree.  Stable across run order.
+template <typename T, typename Comp = std::less<>>
+void multiway_merge(std::span<const Run<T>> runs, std::span<T> out,
+                    Comp comp = {}) {
+  std::size_t total = 0;
+  for (const auto& r : runs) total += r.size();
+  MLM_REQUIRE(out.size() == total, "output size must equal total run size");
+  if (total == 0) return;
+
+  // Drop empty runs up front; the loser tree handles them but k shrinks.
+  std::vector<Run<T>> live;
+  live.reserve(runs.size());
+  for (const auto& r : runs) {
+    if (!r.empty()) live.push_back(r);
+  }
+
+  if (live.size() == 1) {
+    std::copy(live[0].begin(), live[0].end(), out.begin());
+    return;
+  }
+  if (live.size() == 2) {
+    std::merge(live[0].begin(), live[0].end(), live[1].begin(),
+               live[1].end(), out.begin(), comp);
+    return;
+  }
+
+  LoserTree<const T*, Comp> lt(live.size(), comp);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    lt.set_run(i, live[i].data(), live[i].data() + live[i].size());
+  }
+  lt.init();
+  T* o = out.data();
+  while (!lt.empty()) *o++ = lt.pop();
+  MLM_CHECK(o == out.data() + out.size());
+}
+
+/// Exact multisequence partition: split positions s[i] such that
+/// sum(s[i]) == rank and every element in the prefixes precedes (under
+/// comp, with (value, run, position) tie-breaking) every element in the
+/// suffixes.  Runs must be sorted.
+///
+/// Algorithm: iterative pivoting.  Each round picks the median of the
+/// active windows' middle elements as a pivot, counts elements strictly
+/// less / less-or-equal across all runs, and either narrows the windows
+/// or — when count_lt <= rank <= count_le — finalizes splits by taking
+/// all elements < pivot plus enough pivot-equal elements in run order.
+/// O(k log k log max_len) comparisons.
+template <typename T, typename Comp = std::less<>>
+std::vector<std::size_t> multiseq_partition(std::span<const Run<T>> runs,
+                                            std::size_t rank,
+                                            Comp comp = {}) {
+  const std::size_t k = runs.size();
+  std::size_t total = 0;
+  for (const auto& r : runs) total += r.size();
+  MLM_REQUIRE(rank <= total, "rank exceeds total elements");
+
+  std::vector<std::size_t> splits(k, 0);
+  if (rank == 0) return splits;
+  if (rank == total) {
+    for (std::size_t i = 0; i < k; ++i) splits[i] = runs[i].size();
+    return splits;
+  }
+
+  std::vector<std::size_t> lo(k, 0), hi(k);
+  for (std::size_t i = 0; i < k; ++i) hi[i] = runs[i].size();
+
+  auto finalize = [&](const T& pivot) {
+    std::size_t count_lt = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      splits[i] = static_cast<std::size_t>(
+          std::lower_bound(runs[i].begin(), runs[i].end(), pivot, comp) -
+          runs[i].begin());
+      count_lt += splits[i];
+    }
+    std::size_t leftover = rank - count_lt;
+    for (std::size_t i = 0; i < k && leftover > 0; ++i) {
+      const std::size_t eq = static_cast<std::size_t>(
+          std::upper_bound(runs[i].begin(), runs[i].end(), pivot, comp) -
+          runs[i].begin()) - splits[i];
+      const std::size_t take = std::min(eq, leftover);
+      splits[i] += take;
+      leftover -= take;
+    }
+    MLM_CHECK_MSG(leftover == 0, "multiseq_partition internal error");
+  };
+
+  for (;;) {
+    // Candidate pivots: middle element of each non-empty window.
+    std::vector<const T*> candidates;
+    candidates.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      if (lo[i] < hi[i]) {
+        candidates.push_back(&runs[i][lo[i] + (hi[i] - lo[i]) / 2]);
+      }
+    }
+    MLM_CHECK_MSG(!candidates.empty(),
+                  "multiseq_partition failed to converge");
+    std::nth_element(candidates.begin(),
+                     candidates.begin() + candidates.size() / 2,
+                     candidates.end(),
+                     [&](const T* a, const T* b) { return comp(*a, *b); });
+    const T& pivot = *candidates[candidates.size() / 2];
+
+    std::size_t count_lt = 0, count_le = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      count_lt += static_cast<std::size_t>(
+          std::lower_bound(runs[i].begin(), runs[i].end(), pivot, comp) -
+          runs[i].begin());
+      count_le += static_cast<std::size_t>(
+          std::upper_bound(runs[i].begin(), runs[i].end(), pivot, comp) -
+          runs[i].begin());
+    }
+
+    if (rank < count_lt) {
+      // Target value precedes pivot: discard window tails >= pivot.
+      for (std::size_t i = 0; i < k; ++i) {
+        const auto lb = static_cast<std::size_t>(
+            std::lower_bound(runs[i].begin(), runs[i].end(), pivot, comp) -
+            runs[i].begin());
+        hi[i] = std::min(hi[i], lb);
+        if (lo[i] > hi[i]) lo[i] = hi[i];
+      }
+    } else if (rank > count_le) {
+      // Target value follows pivot: discard window heads <= pivot.
+      for (std::size_t i = 0; i < k; ++i) {
+        const auto ub = static_cast<std::size_t>(
+            std::upper_bound(runs[i].begin(), runs[i].end(), pivot, comp) -
+            runs[i].begin());
+        lo[i] = std::max(lo[i], ub);
+        if (lo[i] > hi[i]) hi[i] = lo[i];
+      }
+    } else {
+      finalize(pivot);
+      return splits;
+    }
+  }
+}
+
+/// Parallel k-way merge: partitions the output into `pool.size()`
+/// balanced pieces with multiseq_partition and merges each piece
+/// independently.  Equivalent in structure to __gnu_parallel::
+/// multiway_merge with exact splitting.
+template <typename T, typename Comp = std::less<>>
+void parallel_multiway_merge(ThreadPool& pool,
+                             std::span<const Run<T>> runs,
+                             std::span<T> out, Comp comp = {}) {
+  std::size_t total = 0;
+  for (const auto& r : runs) total += r.size();
+  MLM_REQUIRE(out.size() == total, "output size must equal total run size");
+  if (total == 0) return;
+
+  const std::size_t parts =
+      std::min<std::size_t>(pool.size(), std::max<std::size_t>(total / 4096, 1));
+  if (parts <= 1) {
+    multiway_merge(runs, out, comp);
+    return;
+  }
+
+  // Split positions at each part boundary: boundaries[p][i] = elements of
+  // run i belonging to output parts 0..p-1.
+  std::vector<std::vector<std::size_t>> boundaries(parts + 1);
+  boundaries[0].assign(runs.size(), 0);
+  for (std::size_t p = 1; p < parts; ++p) {
+    const std::size_t rank = total * p / parts;
+    boundaries[p] = multiseq_partition(runs, rank, comp);
+  }
+  boundaries[parts].resize(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    boundaries[parts][i] = runs[i].size();
+  }
+
+  parallel_for(pool, 0, parts, [&](std::size_t p) {
+    std::vector<Run<T>> slice(runs.size());
+    std::size_t out_begin = 0;
+    std::size_t out_len = 0;
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const std::size_t b = boundaries[p][i];
+      const std::size_t e = boundaries[p + 1][i];
+      slice[i] = runs[i].subspan(b, e - b);
+      out_begin += b;
+      out_len += e - b;
+    }
+    multiway_merge(std::span<const Run<T>>(slice),
+                   out.subspan(out_begin, out_len), comp);
+  });
+}
+
+}  // namespace mlm::sort

@@ -1,0 +1,130 @@
+// LSD radix sort — the bandwidth-bound counterpoint to the paper's
+// comparison sorts.
+//
+// Each pass histograms one digit and scatters the keys into a scratch
+// array: pure streaming reads with semi-random writes, no comparisons.
+// That makes radix sort the archetypal memory-bandwidth-bound sort (the
+// Bender/Snir test of §2.3 trivially says "rewrite it for MLM"), and a
+// natural extra workload for the chunking framework: the MLM variant in
+// mlm/core/mlm_radix.h runs these passes inside MCDRAM-resident chunks.
+//
+// Keys are sorted by their biased representation (sign bit flipped) so
+// negative int64 values order correctly.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "mlm/parallel/parallel_for.h"
+#include "mlm/parallel/thread_pool.h"
+#include "mlm/support/error.h"
+
+namespace mlm::sort {
+
+/// Digit width in bits; 8 gives 8 passes over int64 with 256-entry
+/// histograms (L1-resident counters).
+inline constexpr unsigned kRadixBits = 8;
+inline constexpr std::size_t kRadixBuckets = 1u << kRadixBits;
+inline constexpr unsigned kRadixPasses = 64 / kRadixBits;
+
+namespace radix_detail {
+/// Order-preserving bias: flips the sign bit so two's-complement int64
+/// order matches unsigned order.
+inline std::uint64_t bias(std::int64_t v) {
+  return static_cast<std::uint64_t>(v) ^ (1ull << 63);
+}
+inline std::size_t digit(std::uint64_t biased, unsigned pass) {
+  return static_cast<std::size_t>(
+      (biased >> (pass * kRadixBits)) & (kRadixBuckets - 1));
+}
+}  // namespace radix_detail
+
+/// Serial LSD radix sort using a caller-provided scratch buffer of equal
+/// size.  Stable; O(passes * n); result ends in `data`.
+template <typename Dummy = void>
+void radix_sort(std::span<std::int64_t> data,
+                std::span<std::int64_t> scratch) {
+  MLM_REQUIRE(scratch.size() >= data.size(),
+              "scratch must be at least input size");
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+
+  std::int64_t* src = data.data();
+  std::int64_t* dst = scratch.data();
+  for (unsigned pass = 0; pass < kRadixPasses; ++pass) {
+    std::array<std::size_t, kRadixBuckets> count{};
+    for (std::size_t i = 0; i < n; ++i) {
+      ++count[radix_detail::digit(radix_detail::bias(src[i]), pass)];
+    }
+    std::size_t offset = 0;
+    for (std::size_t b = 0; b < kRadixBuckets; ++b) {
+      const std::size_t c = count[b];
+      count[b] = offset;
+      offset += c;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[count[radix_detail::digit(radix_detail::bias(src[i]),
+                                    pass)]++] = src[i];
+    }
+    std::swap(src, dst);
+  }
+  // kRadixPasses is even, so the sorted data is back in `data`.
+  static_assert(kRadixPasses % 2 == 0,
+                "odd pass count would leave the result in scratch");
+  MLM_CHECK(src == data.data());
+}
+
+/// Parallel LSD radix sort: each pass computes per-thread histograms,
+/// prefix-sums them into disjoint write cursors (stable across threads),
+/// then scatters in parallel.
+template <typename Dummy = void>
+void parallel_radix_sort(ThreadPool& pool, std::span<std::int64_t> data,
+                         std::span<std::int64_t> scratch) {
+  MLM_REQUIRE(scratch.size() >= data.size(),
+              "scratch must be at least input size");
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  const std::size_t p = std::min(pool.size(), (n + 4095) / 4096);
+  if (p <= 1) {
+    radix_sort(data, scratch);
+    return;
+  }
+  const std::vector<IndexRange> ranges = partition_all(n, p);
+
+  std::int64_t* src = data.data();
+  std::int64_t* dst = scratch.data();
+  std::vector<std::array<std::size_t, kRadixBuckets>> hist(p);
+
+  for (unsigned pass = 0; pass < kRadixPasses; ++pass) {
+    parallel_for(pool, 0, p, [&](std::size_t t) {
+      hist[t].fill(0);
+      for (std::size_t i = ranges[t].begin; i < ranges[t].end; ++i) {
+        ++hist[t][radix_detail::digit(radix_detail::bias(src[i]), pass)];
+      }
+    });
+    // Column-major prefix sum: bucket b of thread t starts after bucket
+    // b of threads < t and all buckets < b — preserving stability.
+    std::size_t offset = 0;
+    for (std::size_t b = 0; b < kRadixBuckets; ++b) {
+      for (std::size_t t = 0; t < p; ++t) {
+        const std::size_t c = hist[t][b];
+        hist[t][b] = offset;
+        offset += c;
+      }
+    }
+    parallel_for(pool, 0, p, [&](std::size_t t) {
+      auto cursors = hist[t];
+      for (std::size_t i = ranges[t].begin; i < ranges[t].end; ++i) {
+        dst[cursors[radix_detail::digit(radix_detail::bias(src[i]),
+                                        pass)]++] = src[i];
+      }
+    });
+    std::swap(src, dst);
+  }
+  MLM_CHECK(src == data.data());
+}
+
+}  // namespace mlm::sort

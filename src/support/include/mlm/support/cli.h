@@ -1,0 +1,61 @@
+// Minimal command-line flag parsing for bench and example binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--name` /
+// `--no-name` forms.  Unknown flags raise an error so typos in sweep
+// scripts fail loudly instead of silently benchmarking the default.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mlm {
+
+class CliParser {
+ public:
+  /// `description` is printed by --help along with registered flags.
+  explicit CliParser(std::string description);
+
+  // Registration: each returns a pointer whose pointee is updated by
+  // parse().  Pointers must outlive the parse() call.
+  void add_flag(const std::string& name, bool* value,
+                const std::string& help);
+  void add_int(const std::string& name, std::int64_t* value,
+               const std::string& help);
+  void add_uint(const std::string& name, std::uint64_t* value,
+                const std::string& help);
+  void add_double(const std::string& name, double* value,
+                  const std::string& help);
+  void add_string(const std::string& name, std::string* value,
+                  const std::string& help);
+
+  /// Parses argv.  Returns false if --help was requested (help text has
+  /// been printed); throws InvalidArgumentError on malformed input.
+  bool parse(int argc, const char* const* argv);
+
+  /// Positional arguments left over after flag parsing.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  std::string help() const;
+
+ private:
+  enum class Kind { Bool, Int, Uint, Double, String };
+  struct Option {
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_repr;
+  };
+
+  void register_option(const std::string& name, Kind kind, void* target,
+                       const std::string& help, std::string default_repr);
+  void assign(const std::string& name, Option& opt,
+              const std::string& value);
+
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mlm

@@ -1,0 +1,34 @@
+// CSV emission for bench binaries: every experiment also writes its series
+// as machine-readable CSV (one file per table/figure) so results can be
+// re-plotted and diffed against the paper's numbers.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mlm {
+
+/// Append-only CSV writer with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing (truncates) and emits the header row.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const std::vector<std::string>& cells);
+  /// Flushes and closes; subsequent writes are an error.
+  void close();
+
+  bool is_open() const { return out_.is_open(); }
+
+ private:
+  static std::string escape(const std::string& cell);
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace mlm

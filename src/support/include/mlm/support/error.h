@@ -1,0 +1,62 @@
+// Error handling primitives shared by every mlm module.
+//
+// Library code never calls abort()/exit(); invariant violations throw
+// mlm::Error so tests can assert on failure modes and applications can
+// recover (e.g. fall back to DDR when an MCDRAM arena is exhausted).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace mlm {
+
+/// Base exception for all mlm library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when an allocation does not fit in a capacity-limited MemorySpace.
+class OutOfMemoryError : public Error {
+ public:
+  explicit OutOfMemoryError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a caller passes an argument that violates a documented
+/// precondition (bad thread counts, zero chunk sizes, ...).
+class InvalidArgumentError : public Error {
+ public:
+  explicit InvalidArgumentError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+}  // namespace detail
+
+}  // namespace mlm
+
+/// MLM_CHECK(cond): always-on invariant check; throws mlm::Error on failure.
+#define MLM_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::mlm::detail::throw_check_failure(#cond, __FILE__, __LINE__, "");    \
+    }                                                                       \
+  } while (0)
+
+/// MLM_CHECK_MSG(cond, msg): as MLM_CHECK with an extra context message.
+#define MLM_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::mlm::detail::throw_check_failure(#cond, __FILE__, __LINE__, (msg)); \
+    }                                                                       \
+  } while (0)
+
+/// MLM_REQUIRE(cond, msg): precondition check; throws InvalidArgumentError.
+#define MLM_REQUIRE(cond, msg)                              \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      throw ::mlm::InvalidArgumentError(                    \
+          std::string("precondition failed: ") + (msg));    \
+    }                                                       \
+  } while (0)

@@ -1,0 +1,50 @@
+// Streaming statistics used by benchmark harnesses (the paper reports
+// mean and standard deviation over 10 runs in Table 1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mlm {
+
+/// Welford's online mean/variance accumulator.  Numerically stable; O(1)
+/// per sample, no sample storage.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a sample vector: mean, stddev, min, max, median, p-th
+/// percentiles.  Used by bench binaries to print Table-1-style rows.
+struct SampleSummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+SampleSummary summarize(std::vector<double> samples);
+
+/// Linear-interpolated percentile of a sample vector; p in [0, 100].
+double percentile(std::vector<double> samples, double p);
+
+}  // namespace mlm

@@ -1,0 +1,26 @@
+// Wall-clock stopwatch for host-mode measurements.
+#pragma once
+
+#include <chrono>
+
+namespace mlm {
+
+/// Monotonic wall-clock stopwatch.  `elapsed_s()` can be read repeatedly;
+/// `restart()` resets the origin.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mlm

@@ -1,0 +1,57 @@
+// ASCII table printing for bench binaries.
+//
+// Every bench target regenerates one of the paper's tables or figures and
+// prints it in a format visually comparable to the paper (Table 1/2/3) or
+// as a data series suitable for plotting (Figures 6/7/8).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mlm {
+
+/// Column alignment within a TextTable.
+enum class Align { Left, Right };
+
+/// Minimal monospace table builder.
+///
+///   TextTable t({"Elements", "Algorithm", "Mean(s)"});
+///   t.add_row({"2e9", "MLM-sort", "8.09"});
+///   t.print(std::cout);
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers,
+                     std::vector<Align> aligns = {});
+
+  void add_row(std::vector<std::string> cells);
+  /// Insert a horizontal rule before the next row.
+  void add_rule();
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+/// Format a double with `prec` digits after the decimal point.
+std::string fmt_double(double v, int prec = 2);
+
+/// Format a count with thousands separators: 2000000000 -> "2,000,000,000".
+std::string fmt_count(std::uint64_t v);
+
+/// Render a value in a fixed-width horizontal bar (for figure-style output):
+/// bar(3.0, 10.0, 20) -> "######              ".
+std::string ascii_bar(double value, double max_value, int width);
+
+}  // namespace mlm

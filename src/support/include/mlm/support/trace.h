@@ -1,0 +1,50 @@
+// Chrome trace-event export for simulated timelines.
+//
+// Every simulated run produces named phases with durations; TraceWriter
+// turns them into the Trace Event Format JSON that chrome://tracing and
+// Perfetto load, so a bench run can be inspected visually
+// (`mode_explorer --trace=sort.json`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mlm {
+
+/// Collects complete ("X") trace events and serializes them.
+class TraceWriter {
+ public:
+  /// Add an event on `track` (rendered as a thread) spanning
+  /// [start_s, start_s + duration_s), with a category label.
+  void add_event(const std::string& name, const std::string& category,
+                 std::uint32_t track, double start_s, double duration_s);
+
+  /// Convenience: append a run of sequential phases to a track starting
+  /// at `start_s`; returns the end time.
+  double add_sequential(const std::vector<std::pair<std::string, double>>&
+                            phases,
+                        const std::string& category, std::uint32_t track,
+                        double start_s = 0.0);
+
+  std::size_t size() const { return events_.size(); }
+
+  /// Serialize as Trace Event Format JSON (object form with
+  /// "traceEvents" and microsecond timestamps).
+  std::string to_json() const;
+
+  /// Write to a file; throws mlm::Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  struct Event {
+    std::string name;
+    std::string category;
+    std::uint32_t track;
+    double start_us;
+    double duration_us;
+  };
+  std::vector<Event> events_;
+};
+
+}  // namespace mlm

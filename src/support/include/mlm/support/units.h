@@ -1,0 +1,40 @@
+// Strongly-suggestive unit helpers for bytes, seconds, and bandwidth.
+//
+// The paper (and the KNL spec sheets it relies on) quotes capacities in
+// binary units (16 GB MCDRAM == 16 GiB) and bandwidths in decimal GB/s
+// (STREAM convention).  To avoid the classic 7% confusion we keep the two
+// conventions explicit: capacity helpers are binary, bandwidth helpers are
+// decimal, and everything is converted to bytes / bytes-per-second doubles
+// at the boundary.
+#pragma once
+
+#include <cstdint>
+
+namespace mlm {
+
+// ---- capacities (binary, like memory devices) -----------------------------
+constexpr std::uint64_t KiB(std::uint64_t n) { return n << 10; }
+constexpr std::uint64_t MiB(std::uint64_t n) { return n << 20; }
+constexpr std::uint64_t GiB(std::uint64_t n) { return n << 30; }
+
+// ---- transfer sizes / bandwidths (decimal, like STREAM) -------------------
+constexpr double KB = 1e3;
+constexpr double MB = 1e6;
+constexpr double GB = 1e9;
+
+/// Bandwidth literal: gb_per_s(90.0) -> bytes/second.
+constexpr double gb_per_s(double gb) { return gb * GB; }
+
+/// Convert a byte count to decimal gigabytes (for reporting).
+constexpr double bytes_to_gb(double bytes) { return bytes / GB; }
+
+/// Convert a byte count to binary gibibytes (for capacity reporting).
+constexpr double bytes_to_gib(double bytes) {
+  return bytes / static_cast<double>(GiB(1));
+}
+
+// ---- time -----------------------------------------------------------------
+constexpr double ms(double x) { return x * 1e-3; }
+constexpr double us(double x) { return x * 1e-6; }
+
+}  // namespace mlm

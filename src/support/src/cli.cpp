@@ -1,0 +1,163 @@
+#include "mlm/support/cli.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+
+CliParser::CliParser(std::string description)
+    : description_(std::move(description)) {}
+
+void CliParser::register_option(const std::string& name, Kind kind,
+                                void* target, const std::string& help,
+                                std::string default_repr) {
+  MLM_REQUIRE(!name.empty() && name[0] != '-',
+              "flag name must not include leading dashes: " + name);
+  MLM_REQUIRE(target != nullptr, "flag target must not be null");
+  const bool inserted =
+      options_
+          .emplace(name, Option{kind, target, help, std::move(default_repr)})
+          .second;
+  MLM_REQUIRE(inserted, "duplicate flag registration: " + name);
+}
+
+void CliParser::add_flag(const std::string& name, bool* value,
+                         const std::string& help) {
+  register_option(name, Kind::Bool, value, help, *value ? "true" : "false");
+}
+void CliParser::add_int(const std::string& name, std::int64_t* value,
+                        const std::string& help) {
+  register_option(name, Kind::Int, value, help, std::to_string(*value));
+}
+void CliParser::add_uint(const std::string& name, std::uint64_t* value,
+                         const std::string& help) {
+  register_option(name, Kind::Uint, value, help, std::to_string(*value));
+}
+void CliParser::add_double(const std::string& name, double* value,
+                           const std::string& help) {
+  register_option(name, Kind::Double, value, help, std::to_string(*value));
+}
+void CliParser::add_string(const std::string& name, std::string* value,
+                           const std::string& help) {
+  register_option(name, Kind::String, value, help, *value);
+}
+
+void CliParser::assign(const std::string& name, Option& opt,
+                       const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  switch (opt.kind) {
+    case Kind::Bool: {
+      if (value == "true" || value == "1") {
+        *static_cast<bool*>(opt.target) = true;
+      } else if (value == "false" || value == "0") {
+        *static_cast<bool*>(opt.target) = false;
+      } else {
+        throw InvalidArgumentError("bad boolean for --" + name + ": " +
+                                   value);
+      }
+      return;
+    }
+    case Kind::Int: {
+      const long long v = std::strtoll(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+        throw InvalidArgumentError("bad integer for --" + name + ": " +
+                                   value);
+      }
+      *static_cast<std::int64_t*>(opt.target) = v;
+      return;
+    }
+    case Kind::Uint: {
+      if (!value.empty() && value[0] == '-') {
+        throw InvalidArgumentError("negative value for --" + name + ": " +
+                                   value);
+      }
+      const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+        throw InvalidArgumentError("bad unsigned integer for --" + name +
+                                   ": " + value);
+      }
+      *static_cast<std::uint64_t*>(opt.target) = v;
+      return;
+    }
+    case Kind::Double: {
+      const double v = std::strtod(value.c_str(), &end);
+      if (end == value.c_str() || *end != '\0') {
+        throw InvalidArgumentError("bad number for --" + name + ": " +
+                                   value);
+      }
+      *static_cast<double*>(opt.target) = v;
+      return;
+    }
+    case Kind::String:
+      *static_cast<std::string*>(opt.target) = value;
+      return;
+  }
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << help();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = body.find('='); eq != std::string::npos) {
+      value = body.substr(eq + 1);
+      body = body.substr(0, eq);
+      has_value = true;
+    }
+
+    // --no-<flag> negation for booleans.
+    if (!has_value && body.rfind("no-", 0) == 0) {
+      const std::string positive = body.substr(3);
+      auto it = options_.find(positive);
+      if (it != options_.end() && it->second.kind == Kind::Bool) {
+        *static_cast<bool*>(it->second.target) = false;
+        continue;
+      }
+    }
+
+    auto it = options_.find(body);
+    if (it == options_.end()) {
+      throw InvalidArgumentError("unknown flag: --" + body +
+                                 " (see --help)");
+    }
+    Option& opt = it->second;
+    if (opt.kind == Kind::Bool && !has_value) {
+      *static_cast<bool*>(opt.target) = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc) {
+        throw InvalidArgumentError("flag --" + body + " requires a value");
+      }
+      value = argv[++i];
+    }
+    assign(body, opt, value);
+  }
+  return true;
+}
+
+std::string CliParser::help() const {
+  std::ostringstream os;
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& [name, opt] : options_) {
+    os << "  --" << name;
+    if (opt.kind != Kind::Bool) os << "=<value>";
+    os << "  " << opt.help << " (default: " << opt.default_repr << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace mlm

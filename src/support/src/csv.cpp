@@ -1,0 +1,44 @@
+#include "mlm/support/csv.h"
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     std::vector<std::string> header)
+    : out_(path), width_(header.size()) {
+  MLM_CHECK_MSG(out_.is_open(), "cannot open CSV output file: " + path);
+  MLM_REQUIRE(!header.empty(), "CSV header must not be empty");
+  write_row(header);
+}
+
+CsvWriter::~CsvWriter() = default;
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  MLM_CHECK_MSG(out_.is_open(), "CSV writer already closed");
+  MLM_REQUIRE(cells.size() == width_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quote =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace mlm

@@ -1,0 +1,15 @@
+#include "mlm/support/error.h"
+
+#include <sstream>
+
+namespace mlm::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << "MLM_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace mlm::detail

@@ -1,0 +1,111 @@
+#include "mlm/support/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+
+TextTable::TextTable(std::vector<std::string> headers,
+                     std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  MLM_REQUIRE(!headers_.empty(), "table needs at least one column");
+  if (aligns_.empty()) {
+    aligns_.assign(headers_.size(), Align::Right);
+    aligns_[0] = Align::Left;
+  }
+  MLM_REQUIRE(aligns_.size() == headers_.size(),
+              "alignment count must match column count");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  MLM_REQUIRE(cells.size() == headers_.size(),
+              "row width must match column count");
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const Row& r : rows_) {
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], r.cells[c].size());
+    }
+  }
+
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::size_t pad = widths[c] - cells[c].size();
+      os << ' ';
+      if (aligns_[c] == Align::Right) os << std::string(pad, ' ');
+      os << cells[c];
+      if (aligns_[c] == Align::Left) os << std::string(pad, ' ');
+      os << " |";
+    }
+    os << '\n';
+  };
+  auto print_rule = [&] {
+    os << "+";
+    for (std::size_t w : widths) os << std::string(w + 2, '-') << "+";
+    os << '\n';
+  };
+
+  print_rule();
+  print_cells(headers_);
+  print_rule();
+  for (const Row& r : rows_) {
+    if (r.rule_before) print_rule();
+    print_cells(r.cells);
+  }
+  print_rule();
+}
+
+std::string TextTable::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+std::string fmt_double(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::string fmt_count(std::uint64_t v) {
+  std::string digits = std::to_string(v);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  int since_sep = static_cast<int>(digits.size() % 3);
+  if (since_sep == 0) since_sep = 3;
+  for (char d : digits) {
+    if (since_sep == 0) {
+      out.push_back(',');
+      since_sep = 3;
+    }
+    out.push_back(d);
+    --since_sep;
+  }
+  return out;
+}
+
+std::string ascii_bar(double value, double max_value, int width) {
+  MLM_REQUIRE(width > 0, "bar width must be positive");
+  int n = 0;
+  if (max_value > 0.0 && value > 0.0) {
+    n = static_cast<int>(value / max_value * width + 0.5);
+    n = std::clamp(n, 0, width);
+  }
+  return std::string(static_cast<std::size_t>(n), '#') +
+         std::string(static_cast<std::size_t>(width - n), ' ');
+}
+
+}  // namespace mlm

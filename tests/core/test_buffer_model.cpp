@@ -1,0 +1,123 @@
+#include "mlm/core/buffer_model.h"
+
+#include <gtest/gtest.h>
+
+#include "mlm/support/error.h"
+
+namespace mlm::core {
+namespace {
+
+ModelParams table2() { return ModelParams::from_machine(knl7250()); }
+
+ModelWorkload paper_workload(double passes) {
+  return ModelWorkload{14.9e9, passes};  // B_copy from Table 2
+}
+
+TEST(BufferModel, FromMachineCarriesTable2) {
+  const ModelParams p = table2();
+  EXPECT_DOUBLE_EQ(p.ddr_max, 90e9);
+  EXPECT_DOUBLE_EQ(p.mcdram_max, 400e9);
+  EXPECT_DOUBLE_EQ(p.s_copy, 4.8e9);
+  EXPECT_DOUBLE_EQ(p.s_comp, 6.78e9);
+}
+
+TEST(BufferModel, Equation3BothBranches) {
+  // Below DDR saturation: C_copy = S_copy.
+  auto p = predict(table2(), paper_workload(1), ThreadSplit{4, 248});
+  EXPECT_DOUBLE_EQ(p.c_copy, 4.8e9);
+  // 8 copy threads per direction = 16 total, 76.8 <= 90 -> still S_copy.
+  p = predict(table2(), paper_workload(1), ThreadSplit{8, 240});
+  EXPECT_DOUBLE_EQ(p.c_copy, 4.8e9);
+  // 16 per direction = 32 total, 153.6 > 90 -> DDR_max / p_copy.
+  p = predict(table2(), paper_workload(1), ThreadSplit{16, 224});
+  EXPECT_DOUBLE_EQ(p.c_copy, 90e9 / 32.0);
+}
+
+TEST(BufferModel, Equation2CopyTime) {
+  // 2 * 14.9 GB at aggregate 8 * 4.8 GB/s.
+  const auto p = predict(table2(), paper_workload(1), ThreadSplit{4, 248});
+  EXPECT_NEAR(p.t_copy, 2.0 * 14.9e9 / (8.0 * 4.8e9), 1e-9);
+}
+
+TEST(BufferModel, Equation5SharesMcdramWithCopies) {
+  // 248 compute threads demand 1681 GB/s >> 400: MCDRAM bound; copies at
+  // 38.4 GB/s leave 361.6 for compute.
+  const auto p = predict(table2(), paper_workload(1), ThreadSplit{4, 248});
+  EXPECT_NEAR(p.c_comp * 248.0, 400e9 - 38.4e9, 1e-3);
+}
+
+TEST(BufferModel, Equation5UnconstrainedBranch) {
+  // Few compute threads: 10 * 6.78 + 2 * 4.8 = 77.4 <= 400 -> S_comp.
+  const auto p = predict(table2(), paper_workload(1), ThreadSplit{1, 10});
+  EXPECT_DOUBLE_EQ(p.c_comp, 6.78e9);
+}
+
+TEST(BufferModel, Equation1MaxOfComponents) {
+  const auto p = predict(table2(), paper_workload(8), ThreadSplit{4, 248});
+  EXPECT_DOUBLE_EQ(p.t_total, std::max(p.t_copy, p.t_comp));
+}
+
+TEST(BufferModel, Table3ModelColumn) {
+  // Our full-sweep optima for the paper's repeats ladder.  The paper's
+  // Table 3 reports {10, 10, 10, 8, 3, 2, 1}; our exact evaluation of
+  // Eqs. (1)-(5) finds the same values at repeats 1, 2, 16, 32, 64 and
+  // flat-minimum neighbours (9, 5) at repeats 4 and 8 — within the
+  // paper's own "numbers do not match exactly" tolerance, and the
+  // monotone-decreasing shape is identical.
+  const ModelParams p = table2();
+  EXPECT_EQ(optimal_copy_threads(p, paper_workload(1), 256), 10u);
+  EXPECT_EQ(optimal_copy_threads(p, paper_workload(2), 256), 10u);
+  EXPECT_EQ(optimal_copy_threads(p, paper_workload(4), 256), 9u);
+  EXPECT_EQ(optimal_copy_threads(p, paper_workload(8), 256), 5u);
+  EXPECT_EQ(optimal_copy_threads(p, paper_workload(16), 256), 3u);
+  EXPECT_EQ(optimal_copy_threads(p, paper_workload(32), 256), 2u);
+  EXPECT_EQ(optimal_copy_threads(p, paper_workload(64), 256), 1u);
+}
+
+TEST(BufferModel, OptimaDecreaseMonotonically) {
+  const ModelParams p = table2();
+  std::size_t prev = 1000;
+  for (double passes : {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    const std::size_t c =
+        optimal_copy_threads(p, paper_workload(passes), 256);
+    EXPECT_LE(c, prev) << "passes=" << passes;
+    prev = c;
+  }
+}
+
+TEST(BufferModel, CandidateRestrictedOptimum) {
+  const ModelParams p = table2();
+  // Powers-of-two grid, like the paper's empirical runs.
+  const std::vector<std::size_t> powers{1, 2, 4, 8, 16, 32};
+  const std::size_t c =
+      optimal_copy_threads(p, paper_workload(16), 256, powers);
+  // Full-sweep optimum is 3; nearest admissible neighbours are 2 or 4.
+  EXPECT_TRUE(c == 2 || c == 4) << c;
+}
+
+TEST(BufferModel, SweepCoversAllFeasibleSplits) {
+  const auto sweep = sweep_copy_threads(table2(), paper_workload(1), 31);
+  // copy = 1..15 (2*15+1 = 31).
+  ASSERT_EQ(sweep.size(), 15u);
+  EXPECT_EQ(sweep.front().copy_threads, 1u);
+  EXPECT_EQ(sweep.back().copy_threads, 15u);
+}
+
+TEST(BufferModel, RejectsBadInputs) {
+  const ModelParams p = table2();
+  EXPECT_THROW(predict(p, ModelWorkload{0.0, 1.0}, ThreadSplit{1, 1}),
+               InvalidArgumentError);
+  EXPECT_THROW(predict(p, ModelWorkload{1e9, 0.5}, ThreadSplit{1, 1}),
+               InvalidArgumentError);
+  EXPECT_THROW(predict(p, paper_workload(1), ThreadSplit{0, 1}),
+               InvalidArgumentError);
+  EXPECT_THROW(sweep_copy_threads(p, paper_workload(1), 2),
+               InvalidArgumentError);
+  EXPECT_THROW(optimal_copy_threads(p, paper_workload(1), 256, {}),
+               InvalidArgumentError);
+  EXPECT_THROW(optimal_copy_threads(p, paper_workload(1), 256, {200}),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mlm::core

@@ -1,0 +1,53 @@
+#include "mlm/core/copy_thread_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "mlm/support/error.h"
+
+namespace mlm::core {
+namespace {
+
+TunedWorkload paper_workload(double passes) {
+  return TunedWorkload{14.9e9, passes};
+}
+
+TEST(CopyThreadTuner, CopyBoundWorkloadSaturatesDdr) {
+  // repeats=1 is copy-bound: the tuner must pick enough copy threads to
+  // saturate DDR (10 per direction on the 7250) and report copy_bound.
+  const TunedSplit s = tune_pools(knl7250(), paper_workload(1), 256);
+  EXPECT_EQ(s.pools.copy_in, 10u);
+  EXPECT_EQ(s.pools.copy_out, 10u);
+  EXPECT_EQ(s.pools.compute, 236u);
+  EXPECT_TRUE(s.copy_bound);
+  EXPECT_GE(s.prediction.t_copy, s.prediction.t_comp);
+}
+
+TEST(CopyThreadTuner, ComputeBoundWorkloadUsesOneCopyThread) {
+  const TunedSplit s = tune_pools(knl7250(), paper_workload(64), 256);
+  EXPECT_EQ(s.pools.copy_in, 1u);
+  EXPECT_FALSE(s.copy_bound);
+  EXPECT_GT(s.prediction.t_comp, s.prediction.t_copy);
+}
+
+TEST(CopyThreadTuner, CandidateGridRestrictsChoice) {
+  const TunedSplit s =
+      tune_pools(knl7250(), paper_workload(16), 256, {1, 2, 4, 8, 16, 32});
+  EXPECT_TRUE(s.pools.copy_in == 2 || s.pools.copy_in == 4);
+}
+
+TEST(CopyThreadTuner, PoolsAlwaysSumToBudget) {
+  for (double passes : {1.0, 4.0, 16.0, 64.0}) {
+    const TunedSplit s = tune_pools(knl7250(), paper_workload(passes), 256);
+    EXPECT_EQ(s.pools.total(), 256u) << passes;
+  }
+}
+
+TEST(CopyThreadTuner, RejectsBadWorkload) {
+  EXPECT_THROW(tune_pools(knl7250(), TunedWorkload{0.0, 1.0}, 256),
+               InvalidArgumentError);
+  EXPECT_THROW(tune_pools(knl7250(), TunedWorkload{1e9, 0.0}, 256),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mlm::core

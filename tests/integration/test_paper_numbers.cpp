@@ -1,0 +1,146 @@
+// The reproduction contract as a regression test: every Table 1 cell of
+// the paper must stay within 10% of the simulated value, and the
+// qualitative claims of the evaluation section must hold.  If a model
+// change breaks the reproduction, this file fails before EXPERIMENTS.md
+// goes stale.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mlm/knlsim/merge_bench_timeline.h"
+#include "mlm/knlsim/sort_timeline.h"
+
+namespace mlm::knlsim {
+namespace {
+
+struct Cell {
+  std::uint64_t elements;
+  SimOrder order;
+  SortAlgo algo;
+  double paper_mean;
+};
+
+// Table 1 of the paper.  (6e9-random MLM-ddr uses the trend value ~27.5;
+// the printed 18.74 duplicates the 4e9 row.)
+const Cell kTable1[] = {
+    {2000000000ull, SimOrder::Random, SortAlgo::GnuFlat, 11.92},
+    {2000000000ull, SimOrder::Random, SortAlgo::GnuCache, 9.73},
+    {2000000000ull, SimOrder::Random, SortAlgo::MlmDdr, 9.28},
+    {2000000000ull, SimOrder::Random, SortAlgo::MlmSort, 8.09},
+    {2000000000ull, SimOrder::Random, SortAlgo::MlmImplicit, 7.37},
+    {4000000000ull, SimOrder::Random, SortAlgo::GnuFlat, 24.21},
+    {4000000000ull, SimOrder::Random, SortAlgo::GnuCache, 19.76},
+    {4000000000ull, SimOrder::Random, SortAlgo::MlmDdr, 18.74},
+    {4000000000ull, SimOrder::Random, SortAlgo::MlmSort, 16.28},
+    {4000000000ull, SimOrder::Random, SortAlgo::MlmImplicit, 14.56},
+    {6000000000ull, SimOrder::Random, SortAlgo::GnuFlat, 36.52},
+    {6000000000ull, SimOrder::Random, SortAlgo::GnuCache, 29.53},
+    {6000000000ull, SimOrder::Random, SortAlgo::MlmDdr, 27.50},
+    {6000000000ull, SimOrder::Random, SortAlgo::MlmSort, 22.71},
+    {6000000000ull, SimOrder::Random, SortAlgo::MlmImplicit, 21.66},
+    {2000000000ull, SimOrder::Reverse, SortAlgo::GnuFlat, 7.97},
+    {2000000000ull, SimOrder::Reverse, SortAlgo::GnuCache, 7.19},
+    {2000000000ull, SimOrder::Reverse, SortAlgo::MlmDdr, 4.79},
+    {2000000000ull, SimOrder::Reverse, SortAlgo::MlmSort, 4.46},
+    {2000000000ull, SimOrder::Reverse, SortAlgo::MlmImplicit, 4.10},
+    {4000000000ull, SimOrder::Reverse, SortAlgo::GnuFlat, 16.06},
+    {4000000000ull, SimOrder::Reverse, SortAlgo::GnuCache, 14.27},
+    {4000000000ull, SimOrder::Reverse, SortAlgo::MlmDdr, 9.53},
+    {4000000000ull, SimOrder::Reverse, SortAlgo::MlmSort, 9.02},
+    {4000000000ull, SimOrder::Reverse, SortAlgo::MlmImplicit, 8.31},
+    {6000000000ull, SimOrder::Reverse, SortAlgo::GnuFlat, 23.94},
+    {6000000000ull, SimOrder::Reverse, SortAlgo::GnuCache, 21.85},
+    {6000000000ull, SimOrder::Reverse, SortAlgo::MlmDdr, 14.48},
+    {6000000000ull, SimOrder::Reverse, SortAlgo::MlmSort, 12.56},
+    {6000000000ull, SimOrder::Reverse, SortAlgo::MlmImplicit, 12.76},
+};
+
+double simulate_cell(const Cell& c) {
+  SortRunConfig cfg;
+  cfg.algo = c.algo;
+  cfg.order = c.order;
+  cfg.elements = c.elements;
+  return simulate_sort(knl7250(), SortCostParams{}, cfg).seconds;
+}
+
+TEST(PaperNumbers, EveryTable1CellWithin10Percent) {
+  for (const Cell& c : kTable1) {
+    const double sim = simulate_cell(c);
+    EXPECT_NEAR(sim / c.paper_mean, 1.0, 0.10)
+        << to_string(c.algo) << " " << to_string(c.order) << " "
+        << c.elements << ": sim " << sim << " vs paper " << c.paper_mean;
+  }
+}
+
+TEST(PaperNumbers, HeadlineSpeedupBand) {
+  // §6: "performance speedup of approximately 1.6-1.9X (depending on
+  // input order) times that of using the non-chunking GNU sort without
+  // MCDRAM."  Allow the band edges a little slack for our 2e9 cells.
+  for (SimOrder order : {SimOrder::Random, SimOrder::Reverse}) {
+    for (std::uint64_t n :
+         {2000000000ull, 4000000000ull, 6000000000ull}) {
+      Cell gnu{n, order, SortAlgo::GnuFlat, 0};
+      double best = 1e300;
+      for (SortAlgo a : {SortAlgo::MlmSort, SortAlgo::MlmImplicit}) {
+        best = std::min(best, simulate_cell({n, order, a, 0}));
+      }
+      const double speedup = simulate_cell(gnu) / best;
+      EXPECT_GE(speedup, 1.45) << n << " " << to_string(order);
+      EXPECT_LE(speedup, 2.0) << n << " " << to_string(order);
+    }
+  }
+}
+
+TEST(PaperNumbers, Table1OrderingAllSizes) {
+  // Random inputs: GNU-flat > GNU-cache > MLM-ddr > MLM-sort and
+  // MLM-implicit beats MLM-sort except possibly at 6e9 reverse (the
+  // paper's own crossover).
+  for (std::uint64_t n : {2000000000ull, 4000000000ull, 6000000000ull}) {
+    const double gf = simulate_cell({n, SimOrder::Random,
+                                     SortAlgo::GnuFlat, 0});
+    const double gc = simulate_cell({n, SimOrder::Random,
+                                     SortAlgo::GnuCache, 0});
+    const double md = simulate_cell({n, SimOrder::Random,
+                                     SortAlgo::MlmDdr, 0});
+    const double ms = simulate_cell({n, SimOrder::Random,
+                                     SortAlgo::MlmSort, 0});
+    EXPECT_GT(gf, gc) << n;
+    EXPECT_GT(gc, md) << n;
+    EXPECT_GT(md, ms) << n;
+  }
+}
+
+TEST(PaperNumbers, ReverseCrossoverAt6Billion) {
+  // Table 1's odd cell: MLM-implicit lags MLM-sort only at 6e9 reverse.
+  const double ms = simulate_cell({6000000000ull, SimOrder::Reverse,
+                                   SortAlgo::MlmSort, 0});
+  const double mi = simulate_cell({6000000000ull, SimOrder::Reverse,
+                                   SortAlgo::MlmImplicit, 0});
+  EXPECT_GT(mi, ms);
+  // ...and only there: at 2e9/4e9 reverse implicit is at least on par.
+  for (std::uint64_t n : {2000000000ull, 4000000000ull}) {
+    const double s = simulate_cell({n, SimOrder::Reverse,
+                                    SortAlgo::MlmSort, 0});
+    const double i = simulate_cell({n, SimOrder::Reverse,
+                                    SortAlgo::MlmImplicit, 0});
+    EXPECT_LT(i, s * 1.01) << n;
+  }
+}
+
+TEST(PaperNumbers, Table3ShapesHold) {
+  // Model column monotone nonincreasing, empirical column too, and both
+  // reach few copy threads at repeats >= 32 (Table 3).
+  const std::vector<std::size_t> powers{1, 2, 4, 8, 16, 32};
+  std::size_t prev_emp = 1000;
+  for (unsigned rep : {1u, 4u, 16u, 64u}) {
+    MergeBenchConfig cfg;
+    cfg.repeats = rep;
+    const std::size_t emp = best_copy_threads(knl7250(), cfg, powers);
+    EXPECT_LE(emp, prev_emp) << rep;
+    prev_emp = emp;
+  }
+  EXPECT_LE(prev_emp, 2u);
+}
+
+}  // namespace
+}  // namespace mlm::knlsim

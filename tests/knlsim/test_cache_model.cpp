@@ -1,0 +1,108 @@
+#include "mlm/knlsim/cache_model.h"
+
+#include <gtest/gtest.h>
+
+#include "mlm/support/error.h"
+
+namespace mlm::knlsim {
+namespace {
+
+CacheConfig small_cache() {
+  CacheConfig c;
+  c.capacity_bytes = 1000.0;
+  c.tag_overhead = 0.0;
+  c.conflict_factor = 0.0;
+  c.dirty_fraction = 0.5;
+  return c;
+}
+
+TEST(CacheConfig, TagOverheadShrinksCapacity) {
+  CacheConfig c = small_cache();
+  c.tag_overhead = 0.03;
+  EXPECT_NEAR(c.effective_capacity(1), 970.0, 1e-9);
+}
+
+TEST(CacheConfig, ConflictsShrinkCapacityWithStreams) {
+  CacheConfig c = small_cache();
+  c.conflict_factor = 0.25;
+  EXPECT_NEAR(c.effective_capacity(1), 1000.0, 1e-9);
+  EXPECT_LT(c.effective_capacity(4), c.effective_capacity(2));
+  EXPECT_LT(c.effective_capacity(16), c.effective_capacity(4));
+}
+
+TEST(StreamingTraffic, SinglePassIsAllMisses) {
+  const CacheTraffic t =
+      streaming_traffic(small_cache(), 500.0, 500.0, 1.0);
+  EXPECT_NEAR(t.hit_fraction, 0.0, 1e-12);
+  // Miss traffic: fetch + dirty writebacks on DDR, fill + victim reads
+  // on MCDRAM.
+  EXPECT_NEAR(t.ddr_bytes, 500.0 * 1.5, 1e-9);
+  EXPECT_NEAR(t.mcdram_bytes, 500.0 * 1.5, 1e-9);
+}
+
+TEST(StreamingTraffic, FittingWorkingSetHitsAfterFirstPass) {
+  // Working set 500 fits the 1000 cache; 10 passes -> 9 of 10 hit.
+  const CacheTraffic t =
+      streaming_traffic(small_cache(), 5000.0, 500.0, 10.0);
+  EXPECT_NEAR(t.hit_fraction, 0.9, 1e-12);
+  EXPECT_NEAR(t.ddr_bytes, 5000.0 * 0.1 * 1.5, 1e-9);
+}
+
+TEST(StreamingTraffic, OversizedWorkingSetHitsOnlyResidentFraction) {
+  // Working set 2000 in a 1000 cache: resident fraction 0.5; with many
+  // passes hit fraction approaches 0.5.
+  const CacheTraffic t =
+      streaming_traffic(small_cache(), 2000.0 * 100, 2000.0, 100.0);
+  EXPECT_NEAR(t.hit_fraction, 0.5 * 99.0 / 100.0, 1e-9);
+}
+
+TEST(StreamingTraffic, MoreDdrTrafficThanPayloadWhenThrashing) {
+  // The cache-mode overhead the paper warns about: misses move MORE
+  // bytes than flat DDR access would.
+  const CacheTraffic t =
+      streaming_traffic(small_cache(), 1000.0, 10000.0, 1.0);
+  EXPECT_GT(t.ddr_bytes, 1000.0);
+  EXPECT_GT(t.mcdram_bytes, 0.0);
+}
+
+TEST(StreamingTraffic, RejectsBadArguments) {
+  EXPECT_THROW(streaming_traffic(small_cache(), -1.0, 10.0, 1.0),
+               InvalidArgumentError);
+  EXPECT_THROW(streaming_traffic(small_cache(), 1.0, 0.0, 1.0),
+               InvalidArgumentError);
+  EXPECT_THROW(streaming_traffic(small_cache(), 1.0, 10.0, 0.5),
+               InvalidArgumentError);
+}
+
+TEST(DncHitFraction, FullyFittingIsAllHits) {
+  EXPECT_DOUBLE_EQ(dnc_hit_fraction(small_cache(), 800.0, 32.0), 1.0);
+}
+
+TEST(DncHitFraction, DecreasesWithWorkingSet) {
+  const CacheConfig c = small_cache();
+  const double h1 = dnc_hit_fraction(c, 2000.0, 32.0);
+  const double h2 = dnc_hit_fraction(c, 8000.0, 32.0);
+  const double h3 = dnc_hit_fraction(c, 64000.0, 32.0);
+  EXPECT_GT(h1, h2);
+  EXPECT_GT(h2, h3);
+  EXPECT_GT(h3, 0.0);
+  EXPECT_LT(h1, 1.0);
+}
+
+TEST(DncHitFraction, LevelArithmetic) {
+  // working_set 4096, lower level 32 -> 7 levels; cache 1024 -> 2 miss
+  // levels -> hit fraction 5/7.
+  CacheConfig c = small_cache();
+  c.capacity_bytes = 1024.0;
+  EXPECT_NEAR(dnc_hit_fraction(c, 4096.0, 32.0), 1.0 - 2.0 / 7.0, 1e-9);
+}
+
+TEST(DncHitFraction, RejectsBadSizes) {
+  EXPECT_THROW(dnc_hit_fraction(small_cache(), 0.0, 32.0),
+               InvalidArgumentError);
+  EXPECT_THROW(dnc_hit_fraction(small_cache(), 100.0, 0.0),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mlm::knlsim

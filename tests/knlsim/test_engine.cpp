@@ -1,0 +1,223 @@
+#include "mlm/knlsim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "mlm/support/error.h"
+
+namespace mlm::knlsim {
+namespace {
+
+FlowSpec flow(double bytes, double peak,
+              std::vector<ResourceUse> uses, std::string label = "f") {
+  FlowSpec f;
+  f.bytes = bytes;
+  f.peak_rate = peak;
+  f.uses = std::move(uses);
+  f.label = std::move(label);
+  return f;
+}
+
+TEST(SimEngine, SingleFlowRateLimitedByPeak) {
+  SimEngine e;
+  const ResourceId r = e.add_resource("bw", 100.0);
+  e.start_flow(flow(50.0, 10.0, {{r, 1.0}}));
+  e.run_until_idle();
+  EXPECT_NEAR(e.now(), 5.0, 1e-9);  // 50 bytes at 10 B/s
+}
+
+TEST(SimEngine, SingleFlowRateLimitedByResource) {
+  SimEngine e;
+  const ResourceId r = e.add_resource("bw", 20.0);
+  e.start_flow(flow(100.0, 1000.0, {{r, 1.0}}));
+  e.run_until_idle();
+  EXPECT_NEAR(e.now(), 5.0, 1e-9);  // 100 bytes at 20 B/s
+}
+
+TEST(SimEngine, SymmetricFlowsShareEvenly) {
+  SimEngine e;
+  const ResourceId r = e.add_resource("bw", 30.0);
+  for (int i = 0; i < 3; ++i) {
+    e.start_flow(flow(100.0, 1000.0, {{r, 1.0}}));
+  }
+  e.run_until_idle();
+  // Each gets 10 B/s -> 10 s, all finish together.
+  EXPECT_NEAR(e.now(), 10.0, 1e-9);
+}
+
+TEST(SimEngine, MaxMinFairnessWithHeterogeneousPeaks) {
+  // Flow A capped at 2 B/s; B and C unbounded by peak.  Capacity 12:
+  // A gets 2, B and C get 5 each.
+  SimEngine e;
+  const ResourceId r = e.add_resource("bw", 12.0);
+  e.start_flow(flow(2.0, 2.0, {{r, 1.0}}, "A"));     // finishes at t=1
+  e.start_flow(flow(50.0, 1000.0, {{r, 1.0}}, "B"));
+  e.start_flow(flow(50.0, 1000.0, {{r, 1.0}}, "C"));
+  auto rates = e.current_rates();
+  ASSERT_EQ(rates.size(), 3u);
+  EXPECT_NEAR(rates[0].rate, 2.0, 1e-9);
+  EXPECT_NEAR(rates[1].rate, 5.0, 1e-9);
+  EXPECT_NEAR(rates[2].rate, 5.0, 1e-9);
+
+  // After A completes, B and C speed up to 6 each.
+  ASSERT_TRUE(e.step());  // A finishes at t=1 (2 bytes / 2 B/s)
+  EXPECT_NEAR(e.now(), 1.0, 1e-9);
+  rates = e.current_rates();
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_NEAR(rates[0].rate, 6.0, 1e-9);
+  EXPECT_NEAR(rates[1].rate, 6.0, 1e-9);
+}
+
+TEST(SimEngine, WeightedFlowConsumesWeightTimesRate) {
+  // Weight 2 flow on a 10-capacity resource alone: payload rate 5.
+  SimEngine e;
+  const ResourceId r = e.add_resource("bw", 10.0);
+  e.start_flow(flow(10.0, 1000.0, {{r, 2.0}}));
+  e.run_until_idle();
+  EXPECT_NEAR(e.now(), 2.0, 1e-9);
+  // Traffic meter integrates weight * payload.
+  EXPECT_NEAR(e.resource_traffic(r), 20.0, 1e-9);
+}
+
+TEST(SimEngine, FlowOnTwoResourcesBoundByTighter) {
+  SimEngine e;
+  const ResourceId a = e.add_resource("a", 100.0);
+  const ResourceId b = e.add_resource("b", 7.0);
+  e.start_flow(flow(14.0, 1000.0, {{a, 1.0}, {b, 1.0}}));
+  e.run_until_idle();
+  EXPECT_NEAR(e.now(), 2.0, 1e-9);
+  EXPECT_NEAR(e.resource_traffic(a), 14.0, 1e-9);
+  EXPECT_NEAR(e.resource_traffic(b), 14.0, 1e-9);
+}
+
+TEST(SimEngine, ModelEquation3Reproduced) {
+  // Paper Eq. (3): copy threads share DDR once saturated.  20 copy
+  // "threads" at S_copy=4.8 demand 96 > DDR_max=90 -> aggregate 90.
+  SimEngine e;
+  const ResourceId ddr = e.add_resource("ddr", 90.0);
+  e.start_flow(flow(180.0, 20 * 4.8, {{ddr, 1.0}}));
+  e.run_until_idle();
+  EXPECT_NEAR(e.now(), 2.0, 1e-9);
+
+  // 10 threads demand 48 <= 90 -> rate 48.
+  SimEngine e2;
+  const ResourceId ddr2 = e2.add_resource("ddr", 90.0);
+  e2.start_flow(flow(96.0, 10 * 4.8, {{ddr2, 1.0}}));
+  e2.run_until_idle();
+  EXPECT_NEAR(e2.now(), 2.0, 1e-9);
+}
+
+TEST(SimEngine, ModelEquation5Reproduced) {
+  // Compute and copy flows share MCDRAM; compute gets the remainder when
+  // copy is pinned by its own (DDR) bottleneck.
+  SimEngine e;
+  const ResourceId ddr = e.add_resource("ddr", 90.0);
+  const ResourceId mc = e.add_resource("mcdram", 400.0);
+  // Copy: 20 threads, peak 96, DDR+MCDRAM -> rate 90.
+  e.start_flow(flow(9000.0, 96.0, {{ddr, 1.0}, {mc, 1.0}}, "copy"));
+  // Compute: demand far above the 310 left in MCDRAM.
+  e.start_flow(flow(31000.0, 1600.0, {{mc, 1.0}}, "comp"));
+  auto rates = e.current_rates();
+  ASSERT_EQ(rates.size(), 2u);
+  EXPECT_NEAR(rates[0].rate, 90.0, 1e-6);
+  EXPECT_NEAR(rates[1].rate, 310.0, 1e-6);
+}
+
+TEST(SimEngine, CompletionCallbackStartsNextFlow) {
+  SimEngine e;
+  const ResourceId r = e.add_resource("bw", 10.0);
+  double second_done_at = -1.0;
+  FlowSpec first = flow(10.0, 1000.0, {{r, 1.0}}, "first");
+  first.on_complete = [&] {
+    FlowSpec second = flow(20.0, 1000.0, {{r, 1.0}}, "second");
+    second.on_complete = [&] { second_done_at = e.now(); };
+    e.start_flow(std::move(second));
+  };
+  e.start_flow(std::move(first));
+  e.run_until_idle();
+  EXPECT_NEAR(second_done_at, 3.0, 1e-9);  // 1s + 2s
+}
+
+TEST(SimEngine, ZeroByteFlowCompletesImmediately) {
+  SimEngine e;
+  const ResourceId r = e.add_resource("bw", 10.0);
+  bool fired = false;
+  FlowSpec f = flow(0.0, 1.0, {{r, 1.0}});
+  f.on_complete = [&] { fired = true; };
+  e.start_flow(std::move(f));
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(e.active_flows(), 0u);
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+}
+
+TEST(SimEngine, StepReturnsFalseWhenIdle) {
+  SimEngine e;
+  EXPECT_FALSE(e.step());
+}
+
+TEST(SimEngine, TrafficMeterResets) {
+  SimEngine e;
+  const ResourceId r = e.add_resource("bw", 10.0);
+  e.start_flow(flow(10.0, 100.0, {{r, 1.0}}));
+  e.run_until_idle();
+  EXPECT_GT(e.resource_traffic(r), 0.0);
+  e.reset_traffic();
+  EXPECT_DOUBLE_EQ(e.resource_traffic(r), 0.0);
+}
+
+TEST(SimEngine, RejectsBadFlows) {
+  SimEngine e;
+  const ResourceId r = e.add_resource("bw", 10.0);
+  EXPECT_THROW(e.start_flow(flow(-1.0, 1.0, {{r, 1.0}})),
+               InvalidArgumentError);
+  EXPECT_THROW(e.start_flow(flow(1.0, 0.0, {{r, 1.0}})),
+               InvalidArgumentError);
+  EXPECT_THROW(e.start_flow(flow(1.0, 1.0, {{99, 1.0}})),
+               InvalidArgumentError);
+  EXPECT_THROW(e.start_flow(flow(1.0, 1.0, {{r, 0.0}})),
+               InvalidArgumentError);
+  EXPECT_THROW(e.start_flow(flow(1.0, kUnbounded, {})),
+               InvalidArgumentError);
+}
+
+TEST(SimEngine, RejectsBadResources) {
+  SimEngine e;
+  EXPECT_THROW(e.add_resource("zero", 0.0), InvalidArgumentError);
+  EXPECT_THROW(e.resource_name(3), InvalidArgumentError);
+}
+
+TEST(RunPhase, TimeIsMaxOfComponents) {
+  SimEngine e;
+  const ResourceId a = e.add_resource("a", 100.0);
+  const ResourceId b = e.add_resource("b", 100.0);
+  const double t = run_phase(
+      e, {flow(100.0, 10.0, {{a, 1.0}}),    // 10 s
+          flow(100.0, 50.0, {{b, 1.0}})});  // 2 s
+  EXPECT_NEAR(t, 10.0, 1e-9);
+}
+
+TEST(RunPhase, RequiresIdleEngine) {
+  SimEngine e;
+  const ResourceId r = e.add_resource("bw", 10.0);
+  e.start_flow(flow(100.0, 1.0, {{r, 1.0}}));
+  EXPECT_THROW(run_phase(e, {flow(1.0, 1.0, {{r, 1.0}})}),
+               InvalidArgumentError);
+}
+
+TEST(SimEngine, ManyFlowsConservation) {
+  // Total completed bytes equals the sum of all flow sizes.
+  SimEngine e;
+  const ResourceId r = e.add_resource("bw", 13.0);
+  double total = 0.0;
+  for (int i = 1; i <= 20; ++i) {
+    e.start_flow(flow(i * 3.0, 0.5 + i * 0.3, {{r, 1.0}}));
+    total += i * 3.0;
+  }
+  e.run_until_idle();
+  EXPECT_NEAR(e.completed_bytes(), total, total * 1e-9);
+  EXPECT_NEAR(e.resource_traffic(r), total, total * 1e-9);
+}
+
+}  // namespace
+}  // namespace mlm::knlsim

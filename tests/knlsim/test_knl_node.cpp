@@ -1,0 +1,132 @@
+#include "mlm/knlsim/knl_node.h"
+
+#include <gtest/gtest.h>
+
+#include "mlm/support/error.h"
+#include "mlm/support/units.h"
+
+namespace mlm::knlsim {
+namespace {
+
+TEST(KnlNode, FlatModeScratchpadIsFullMcdram) {
+  KnlNode node(knl7250(), McdramMode::Flat);
+  EXPECT_TRUE(node.has_scratchpad());
+  EXPECT_FALSE(node.has_hardware_cache());
+  EXPECT_DOUBLE_EQ(node.scratchpad_bytes(),
+                   static_cast<double>(GiB(16)));
+}
+
+TEST(KnlNode, CacheModeHasNoScratchpad) {
+  KnlNode node(knl7250(), McdramMode::Cache);
+  EXPECT_FALSE(node.has_scratchpad());
+  EXPECT_TRUE(node.has_hardware_cache());
+  EXPECT_DOUBLE_EQ(node.scratchpad_bytes(), 0.0);
+  EXPECT_DOUBLE_EQ(node.cache_config().capacity_bytes,
+                   static_cast<double>(GiB(16)));
+}
+
+TEST(KnlNode, HybridSplits) {
+  KnlNode node(knl7250(), McdramMode::Hybrid, 0.5);
+  EXPECT_TRUE(node.has_scratchpad());
+  EXPECT_TRUE(node.has_hardware_cache());
+  EXPECT_DOUBLE_EQ(node.scratchpad_bytes(),
+                   static_cast<double>(GiB(16)) / 2);
+  EXPECT_DOUBLE_EQ(node.cache_config().capacity_bytes,
+                   static_cast<double>(GiB(16)) / 2);
+}
+
+TEST(KnlNode, CopyFlowUsesBothLevels) {
+  KnlNode node(knl7250(), McdramMode::Flat);
+  const FlowSpec f = node.copy_flow(1e9, 8);
+  EXPECT_DOUBLE_EQ(f.peak_rate, 8 * 4.8e9);
+  ASSERT_EQ(f.uses.size(), 3u);  // ddr + mcdram + noc
+  EXPECT_EQ(f.uses[0].resource, node.ddr_resource());
+  EXPECT_DOUBLE_EQ(f.uses[0].weight, 1.0);
+  EXPECT_EQ(f.uses[1].resource, node.mcdram_resource());
+  EXPECT_DOUBLE_EQ(f.uses[1].weight, 1.0);
+}
+
+TEST(KnlNode, HybridCopyPollutesCache) {
+  KnlNode node(knl7250(), McdramMode::Hybrid);
+  const FlowSpec f = node.copy_flow(1e9, 8);
+  // The MCDRAM side carries the scratchpad write plus the cache sweep.
+  EXPECT_DOUBLE_EQ(f.uses[1].weight, 2.0);
+}
+
+TEST(KnlNode, CopyFlowRequiresScratchpad) {
+  KnlNode node(knl7250(), McdramMode::Cache);
+  EXPECT_THROW(node.copy_flow(1e9, 8), Error);
+}
+
+TEST(KnlNode, StreamFlowsTargetTheirLevel) {
+  KnlNode node(knl7250(), McdramMode::Flat);
+  const FlowSpec ddr = node.ddr_stream_flow(1e9, 4, 5e9);
+  EXPECT_EQ(ddr.uses[0].resource, node.ddr_resource());
+  EXPECT_DOUBLE_EQ(ddr.peak_rate, 2e10);
+  const FlowSpec mc = node.mcdram_stream_flow(1e9, 4, 5e9);
+  EXPECT_EQ(mc.uses[0].resource, node.mcdram_resource());
+}
+
+TEST(KnlNode, CachedStreamFallsBackWithoutCache) {
+  KnlNode node(knl7250(), McdramMode::DdrOnly);
+  const FlowSpec f = node.cached_stream_flow(1e9, 1e9, 1.0, 4, 5e9, 1);
+  // Pure DDR stream: one DDR use (plus NoC).
+  ASSERT_EQ(f.uses.size(), 2u);
+  EXPECT_EQ(f.uses[0].resource, node.ddr_resource());
+  EXPECT_DOUBLE_EQ(f.uses[0].weight, 1.0);
+}
+
+TEST(KnlNode, CachedStreamSplitsTrafficInCacheMode) {
+  KnlNode node(knl7250(), McdramMode::Cache);
+  // Small working set, many passes: mostly hits -> little DDR weight.
+  const FlowSpec f =
+      node.cached_stream_flow(100e9, 1e9, 100.0, 4, 5e9, 1);
+  ASSERT_EQ(f.uses.size(), 3u);
+  EXPECT_LT(f.uses[0].weight, 0.1);   // ddr
+  EXPECT_GT(f.uses[1].weight, 0.9);   // mcdram
+}
+
+TEST(KnlNode, DncComputeFlowMoreDdrForBiggerWorkingSets) {
+  KnlNode node(knl7250(), McdramMode::ImplicitCache);
+  auto ddr_weight = [&](const FlowSpec& f) {
+    for (const ResourceUse& u : f.uses) {
+      if (u.resource == node.ddr_resource()) return u.weight;
+    }
+    return 0.0;  // all-hit flows carry no DDR use at all
+  };
+  const FlowSpec small =
+      node.dnc_compute_flow(1e9, 1e9, 512e3, 4, 5e9, 1);
+  const FlowSpec big =
+      node.dnc_compute_flow(1e9, 64e9, 512e3, 4, 5e9, 1);
+  EXPECT_LT(ddr_weight(small), ddr_weight(big));
+}
+
+TEST(KnlNode, NocWeightIsSumOfMemoryWeights) {
+  KnlNode node(knl7250(), McdramMode::Flat);
+  const FlowSpec f = node.copy_flow(1e9, 8);
+  EXPECT_DOUBLE_EQ(f.uses[2].weight,
+                   f.uses[0].weight + f.uses[1].weight);
+}
+
+TEST(KnlNode, CustomFlowPassesThrough) {
+  KnlNode node(knl7250(), McdramMode::Flat);
+  const FlowSpec f = node.custom_flow(5.0, 7.0, 0.25, 1.75, "x");
+  EXPECT_DOUBLE_EQ(f.bytes, 5.0);
+  EXPECT_DOUBLE_EQ(f.peak_rate, 7.0);
+  EXPECT_EQ(f.label, "x");
+  EXPECT_DOUBLE_EQ(f.uses[0].weight, 0.25);
+  EXPECT_DOUBLE_EQ(f.uses[1].weight, 1.75);
+}
+
+TEST(KnlNode, RejectsBadArguments) {
+  KnlNode node(knl7250(), McdramMode::Flat);
+  EXPECT_THROW(node.copy_flow(1e9, 0), InvalidArgumentError);
+  EXPECT_THROW(node.ddr_stream_flow(1e9, 0, 1e9), InvalidArgumentError);
+  EXPECT_THROW(node.mcdram_stream_flow(1e9, 4, 0.0),
+               InvalidArgumentError);
+  EXPECT_THROW(KnlNode(knl7250(), McdramMode::Hybrid, 0.0),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mlm::knlsim

@@ -1,0 +1,193 @@
+#include "mlm/knlsim/sort_timeline.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mlm/support/error.h"
+
+namespace mlm::knlsim {
+namespace {
+
+SortRunResult run(SortAlgo algo, std::uint64_t n,
+                  SimOrder order = SimOrder::Random,
+                  std::uint64_t megachunk = 0) {
+  SortRunConfig cfg;
+  cfg.algo = algo;
+  cfg.order = order;
+  cfg.elements = n;
+  cfg.megachunk_elements = megachunk;
+  return simulate_sort(knl7250(), SortCostParams{}, cfg);
+}
+
+constexpr std::uint64_t k2B = 2'000'000'000ull;
+constexpr std::uint64_t k6B = 6'000'000'000ull;
+
+TEST(SortTimeline, AllAlgorithmsProducePositiveTimes) {
+  for (SortAlgo a :
+       {SortAlgo::GnuFlat, SortAlgo::GnuCache, SortAlgo::MlmDdr,
+        SortAlgo::MlmSort, SortAlgo::MlmImplicit, SortAlgo::BasicChunked}) {
+    const SortRunResult r = run(a, k2B);
+    EXPECT_GT(r.seconds, 0.0) << to_string(a);
+    EXPECT_FALSE(r.phases.empty()) << to_string(a);
+    EXPECT_GT(r.ddr_traffic_bytes, 0.0) << to_string(a);
+  }
+}
+
+TEST(SortTimeline, Table1OrderingRandom2B) {
+  // The paper's headline ordering at 2e9 random elements:
+  // GNU-flat > GNU-cache > MLM-ddr > MLM-sort > MLM-implicit.
+  const double gnu_flat = run(SortAlgo::GnuFlat, k2B).seconds;
+  const double gnu_cache = run(SortAlgo::GnuCache, k2B).seconds;
+  const double mlm_ddr = run(SortAlgo::MlmDdr, k2B).seconds;
+  const double mlm_sort = run(SortAlgo::MlmSort, k2B).seconds;
+  const double mlm_impl = run(SortAlgo::MlmImplicit, k2B).seconds;
+  EXPECT_GT(gnu_flat, gnu_cache);
+  EXPECT_GT(gnu_cache, mlm_ddr);
+  EXPECT_GT(mlm_ddr, mlm_sort);
+  EXPECT_GT(mlm_sort, mlm_impl);
+}
+
+TEST(SortTimeline, SpeedupOverGnuFlatInPaperBand) {
+  // §6: "speedup of approximately 1.6-1.9X (depending on input order)"
+  // for the best MLM variant over GNU-flat.
+  for (SimOrder order : {SimOrder::Random, SimOrder::Reverse}) {
+    const double gnu = run(SortAlgo::GnuFlat, k2B, order).seconds;
+    const double best =
+        std::min(run(SortAlgo::MlmSort, k2B, order).seconds,
+                 run(SortAlgo::MlmImplicit, k2B, order).seconds);
+    const double speedup = gnu / best;
+    EXPECT_GT(speedup, 1.4) << to_string(order);
+    EXPECT_LT(speedup, 2.3) << to_string(order);
+  }
+}
+
+TEST(SortTimeline, TimeGrowsSuperlinearlyWithN) {
+  for (SortAlgo a : {SortAlgo::GnuFlat, SortAlgo::MlmSort}) {
+    const double t2 = run(a, k2B).seconds;
+    const double t4 = run(a, 2 * k2B).seconds;
+    const double t6 = run(a, 3 * k2B).seconds;
+    EXPECT_GT(t4, 1.9 * t2) << to_string(a);
+    EXPECT_GT(t6, 1.4 * t4) << to_string(a);
+  }
+}
+
+TEST(SortTimeline, ReverseInputFasterThanRandom) {
+  for (SortAlgo a : {SortAlgo::GnuFlat, SortAlgo::MlmDdr,
+                     SortAlgo::MlmSort, SortAlgo::MlmImplicit}) {
+    const double random = run(a, k2B, SimOrder::Random).seconds;
+    const double reverse = run(a, k2B, SimOrder::Reverse).seconds;
+    EXPECT_LT(reverse, random) << to_string(a);
+  }
+}
+
+TEST(SortTimeline, MlmExploitsReverseMoreThanGnu) {
+  // §4.1: "reversed input arrays have structure that our MLM-sort
+  // variants exploit more effectively than the stock GNU algorithms."
+  const double gnu_ratio =
+      run(SortAlgo::GnuFlat, k2B, SimOrder::Random).seconds /
+      run(SortAlgo::GnuFlat, k2B, SimOrder::Reverse).seconds;
+  const double mlm_ratio =
+      run(SortAlgo::MlmDdr, k2B, SimOrder::Random).seconds /
+      run(SortAlgo::MlmDdr, k2B, SimOrder::Reverse).seconds;
+  EXPECT_GT(mlm_ratio, gnu_ratio);
+}
+
+TEST(SortTimeline, MlmSortMegachunkMustFitMcdram) {
+  // 3e9 elements = 24 GB > 16 GiB MCDRAM (problem must exceed the
+  // megachunk so no clamping rescues it).
+  EXPECT_THROW(run(SortAlgo::MlmSort, k6B, SimOrder::Random,
+                   3'000'000'000ull),
+               Error);
+}
+
+TEST(SortTimeline, MlmImplicitAllowsOversizedMegachunks) {
+  // §4: "MLM-implicit allows megachunk sizes greater than MCDRAM."
+  EXPECT_NO_THROW(
+      run(SortAlgo::MlmImplicit, k6B, SimOrder::Random, k6B));
+}
+
+TEST(SortTimeline, PaperMegachunkDefaults) {
+  EXPECT_EQ(paper_megachunk(SortAlgo::MlmSort, k2B), 1'000'000'000ull);
+  EXPECT_EQ(paper_megachunk(SortAlgo::MlmSort, k6B), 1'500'000'000ull);
+  EXPECT_EQ(paper_megachunk(SortAlgo::MlmImplicit, k6B), k6B);
+  EXPECT_EQ(paper_megachunk(SortAlgo::GnuFlat, k2B), k2B);
+}
+
+TEST(SortTimeline, ChunkSizeSweepSmallChunksHurtFlatMode) {
+  // Figure 7 / §6: small chunks are slower (deep DDR-resident final
+  // merge), and "chunk sizes of 1-1.5GB are sufficient to provide
+  // near-minimal execution times" — the curve flattens once chunks are
+  // large.
+  const double t_tiny =
+      run(SortAlgo::MlmSort, k6B, SimOrder::Random, 125'000'000ull)
+          .seconds;
+  const double t_half =
+      run(SortAlgo::MlmSort, k6B, SimOrder::Random, 500'000'000ull)
+          .seconds;
+  const double t_1b =
+      run(SortAlgo::MlmSort, k6B, SimOrder::Random, 1'000'000'000ull)
+          .seconds;
+  const double t_paper =
+      run(SortAlgo::MlmSort, k6B, SimOrder::Random, 1'500'000'000ull)
+          .seconds;
+  const double t_min = std::min({t_half, t_1b, t_paper});
+  EXPECT_GT(t_tiny, t_min * 1.01);
+  // The paper's chosen megachunk (1.5e9) is near-minimal.
+  EXPECT_LT(t_paper, t_min * 1.03);
+}
+
+TEST(SortTimeline, ImplicitKeepsImprovingPastMcdramSize) {
+  // Figure 7's annotation: "MLM-implicit can continue improving as
+  // megachunk size exceeds MCDRAM."
+  const double at_mcdram =
+      run(SortAlgo::MlmImplicit, k6B, SimOrder::Random, 2'000'000'000ull)
+          .seconds;
+  const double beyond =
+      run(SortAlgo::MlmImplicit, k6B, SimOrder::Random, k6B).seconds;
+  EXPECT_LT(beyond, at_mcdram);
+}
+
+TEST(SortTimeline, HybridCloseToFlatAtSameChunk) {
+  // §4.2: "hybrid mode shows near identical performance to flat, given a
+  // chunk size."
+  SortRunConfig cfg;
+  cfg.algo = SortAlgo::MlmSort;
+  cfg.elements = k6B;
+  cfg.megachunk_elements = 500'000'000ull;  // fits the hybrid half
+  const double flat =
+      simulate_sort(knl7250(), SortCostParams{}, cfg).seconds;
+  cfg.hybrid = true;
+  const double hybrid =
+      simulate_sort(knl7250(), SortCostParams{}, cfg).seconds;
+  EXPECT_NEAR(hybrid / flat, 1.0, 0.1);
+}
+
+TEST(SortTimeline, McdramTrafficOnlyWhenUsed) {
+  EXPECT_EQ(run(SortAlgo::GnuFlat, k2B).mcdram_traffic_bytes, 0.0);
+  EXPECT_EQ(run(SortAlgo::MlmDdr, k2B).mcdram_traffic_bytes, 0.0);
+  EXPECT_GT(run(SortAlgo::MlmSort, k2B).mcdram_traffic_bytes, 0.0);
+  EXPECT_GT(run(SortAlgo::GnuCache, k2B).mcdram_traffic_bytes, 0.0);
+}
+
+TEST(SortTimeline, BenderDdrTrafficReduction) {
+  // §1.2/§2.3: chunking reduces DDR traffic substantially (Bender et al.
+  // predicted ~2.5x).
+  const double unchunked = run(SortAlgo::GnuFlat, k2B).ddr_traffic_bytes;
+  const double chunked = run(SortAlgo::MlmSort, k2B).ddr_traffic_bytes;
+  EXPECT_GT(unchunked / chunked, 1.8);
+}
+
+TEST(SortTimeline, RejectsBadConfigs) {
+  SortRunConfig cfg;
+  cfg.elements = 0;
+  EXPECT_THROW(simulate_sort(knl7250(), SortCostParams{}, cfg),
+               InvalidArgumentError);
+  cfg.elements = 100;
+  cfg.threads = 0;
+  EXPECT_THROW(simulate_sort(knl7250(), SortCostParams{}, cfg),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mlm::knlsim

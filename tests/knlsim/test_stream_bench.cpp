@@ -1,0 +1,58 @@
+#include "mlm/knlsim/stream_bench.h"
+
+#include <gtest/gtest.h>
+
+namespace mlm::knlsim {
+namespace {
+
+TEST(StreamBench, Table2ValuesRecovered) {
+  // The measured-on-substrate values must reproduce the paper's Table 2:
+  // the simulator realizes exactly the configured envelope.
+  const Table2Measurement m = measure_table2(knl7250());
+  EXPECT_NEAR(m.ddr_max, 90e9, 90e9 * 1e-9);
+  EXPECT_NEAR(m.mcdram_max, 400e9, 400e9 * 1e-9);
+  EXPECT_NEAR(m.s_copy, 4.8e9, 4.8e9 * 1e-9);
+  EXPECT_NEAR(m.s_comp, 6.78e9, 6.78e9 * 1e-9);
+}
+
+TEST(StreamBench, DdrBandwidthSaturates) {
+  const KnlConfig c = knl7250();
+  // One thread: S_comp.  272 threads: capped at DDR_max.
+  EXPECT_NEAR(ddr_stream_bandwidth(c, 1), c.s_comp, 1e-3);
+  EXPECT_NEAR(ddr_stream_bandwidth(c, 272), c.ddr_max_bw, 1e-3);
+  // The knee: 90 / 6.78 = 13.3 threads.
+  EXPECT_LT(ddr_stream_bandwidth(c, 13), c.ddr_max_bw);
+  EXPECT_NEAR(ddr_stream_bandwidth(c, 14), c.ddr_max_bw, 1e-3);
+}
+
+TEST(StreamBench, McdramBandwidthSaturatesLater) {
+  const KnlConfig c = knl7250();
+  // 400 / 6.78 = 59 threads to saturate MCDRAM.
+  EXPECT_LT(mcdram_stream_bandwidth(c, 32), c.mcdram_max_bw * 0.99);
+  EXPECT_NEAR(mcdram_stream_bandwidth(c, 64), c.mcdram_max_bw, 1e-3);
+}
+
+TEST(StreamBench, CopyBandwidthBoundByDdr) {
+  const KnlConfig c = knl7250();
+  // Copies hit DDR (90) long before MCDRAM (400): payload caps at 90.
+  EXPECT_NEAR(copy_bandwidth(c, 272), c.ddr_max_bw, 1e-3);
+  EXPECT_NEAR(copy_bandwidth(c, 4), 4 * c.s_copy, 1e-3);
+}
+
+TEST(StreamBench, SweepIsMonotoneNonDecreasing) {
+  const KnlConfig c = knl7250();
+  for (const auto& sweep :
+       {sweep_ddr_bandwidth(c, 272), sweep_mcdram_bandwidth(c, 272),
+        sweep_copy_bandwidth(c, 272)}) {
+    ASSERT_GE(sweep.size(), 2u);
+    for (std::size_t i = 1; i < sweep.size(); ++i) {
+      EXPECT_GE(sweep[i].bandwidth, sweep[i - 1].bandwidth * (1 - 1e-9));
+      EXPECT_GT(sweep[i].threads, sweep[i - 1].threads);
+    }
+    // The sweep ends at the requested max thread count.
+    EXPECT_EQ(sweep.back().threads, 272u);
+  }
+}
+
+}  // namespace
+}  // namespace mlm::knlsim

@@ -1,0 +1,86 @@
+#include "mlm/machine/knl_config.h"
+
+#include <gtest/gtest.h>
+
+#include "mlm/support/error.h"
+#include "mlm/support/units.h"
+
+namespace mlm {
+namespace {
+
+TEST(KnlConfig, Knl7250MatchesPaper) {
+  const KnlConfig c = knl7250();
+  // Section 1.1 topology.
+  EXPECT_EQ(c.cores, 68u);
+  EXPECT_EQ(c.smt_per_core, 4u);
+  EXPECT_EQ(c.total_threads(), 272u);
+  EXPECT_EQ(c.ddr_channels, 6u);
+  EXPECT_EQ(c.mcdram_stacks, 8u);
+  EXPECT_EQ(c.mcdram_bytes, GiB(16));
+  EXPECT_EQ(c.cache_line_bytes, 64u);
+  // Table 2 rates.
+  EXPECT_DOUBLE_EQ(c.ddr_max_bw, 90e9);
+  EXPECT_DOUBLE_EQ(c.mcdram_max_bw, 400e9);
+  EXPECT_DOUBLE_EQ(c.s_copy, 4.8e9);
+  EXPECT_DOUBLE_EQ(c.s_comp, 6.78e9);
+}
+
+TEST(KnlConfig, ValidateAcceptsDefault) {
+  EXPECT_NO_THROW(knl7250().validate());
+}
+
+TEST(KnlConfig, ValidateRejectsBrokenConfigs) {
+  KnlConfig c = knl7250();
+  c.cores = 0;
+  EXPECT_THROW(c.validate(), InvalidArgumentError);
+
+  c = knl7250();
+  c.mcdram_bytes = 0;
+  EXPECT_THROW(c.validate(), InvalidArgumentError);
+
+  c = knl7250();
+  c.s_copy = 0.0;
+  EXPECT_THROW(c.validate(), InvalidArgumentError);
+
+  c = knl7250();
+  c.cache_line_bytes = 48;  // not a power of two
+  EXPECT_THROW(c.validate(), InvalidArgumentError);
+
+  c = knl7250();
+  c.mcdram_max_bw = c.ddr_max_bw / 2;  // inverted hierarchy
+  EXPECT_THROW(c.validate(), InvalidArgumentError);
+}
+
+TEST(ScaledKnl, PreservesBandwidthRatios) {
+  const KnlConfig full = knl7250();
+  const KnlConfig small = scaled_knl(1024, 8);
+  EXPECT_DOUBLE_EQ(small.mcdram_max_bw / small.ddr_max_bw,
+                   full.mcdram_max_bw / full.ddr_max_bw);
+  EXPECT_DOUBLE_EQ(small.s_comp / small.s_copy,
+                   full.s_comp / full.s_copy);
+  EXPECT_EQ(small.mcdram_bytes, GiB(16) / 1024);
+  EXPECT_LE(small.total_threads(), 8u);
+}
+
+TEST(ScaledKnl, FactorOneKeepsCapacities) {
+  const KnlConfig c = scaled_knl(1, 0);
+  EXPECT_EQ(c.mcdram_bytes, GiB(16));
+  EXPECT_EQ(c.total_threads(), 272u);
+}
+
+TEST(ScaledKnl, RejectsZeroFactor) {
+  EXPECT_THROW(scaled_knl(0, 4), InvalidArgumentError);
+}
+
+TEST(MakeDualSpaceConfig, CarriesModeAndCapacity) {
+  const KnlConfig c = knl7250();
+  const DualSpaceConfig flat = make_dual_space_config(c, McdramMode::Flat);
+  EXPECT_EQ(flat.mode, McdramMode::Flat);
+  EXPECT_EQ(flat.mcdram_bytes, GiB(16));
+  const DualSpaceConfig hybrid =
+      make_dual_space_config(c, McdramMode::Hybrid, 0.25);
+  EXPECT_DOUBLE_EQ(hybrid.hybrid_flat_fraction, 0.25);
+}
+
+}  // namespace
+}  // namespace mlm

@@ -1,0 +1,147 @@
+#include "mlm/memory/memkind_shim.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mlm/memory/memory_space.h"
+#include "mlm/support/units.h"
+
+namespace mlm {
+namespace {
+
+class MemkindShimTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    mlm_hbw_set_space(nullptr);
+    mlm_hbw_set_policy(MLM_HBW_POLICY_PREFERRED);
+  }
+};
+
+TEST_F(MemkindShimTest, UnavailableWithoutInstalledSpace) {
+  mlm_hbw_set_space(nullptr);
+  EXPECT_EQ(mlm_hbw_check_available(), 0);
+  // PREFERRED policy still serves from the heap.
+  void* p = mlm_hbw_malloc(128);
+  ASSERT_NE(p, nullptr);
+  mlm_hbw_free(p);
+}
+
+TEST_F(MemkindShimTest, AllocatesFromInstalledSpace) {
+  MemorySpace space("hbw", MemKind::MCDRAM, KiB(64));
+  mlm_hbw_set_space(&space);
+  EXPECT_EQ(mlm_hbw_check_available(), 1);
+  void* p = mlm_hbw_malloc(KiB(16));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(space.stats().used_bytes, KiB(16));
+  mlm_hbw_free(p);
+  EXPECT_EQ(space.stats().used_bytes, 0u);
+}
+
+TEST_F(MemkindShimTest, BindPolicyFailsWhenExhausted) {
+  MemorySpace space("hbw", MemKind::MCDRAM, KiB(16));
+  mlm_hbw_set_space(&space);
+  ASSERT_EQ(mlm_hbw_set_policy(MLM_HBW_POLICY_BIND), 0);
+  void* p = mlm_hbw_malloc(KiB(16));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(mlm_hbw_malloc(KiB(16)), nullptr);
+  mlm_hbw_free(p);
+}
+
+TEST_F(MemkindShimTest, PreferredPolicyFallsBackToHeap) {
+  MemorySpace space("hbw", MemKind::MCDRAM, KiB(16));
+  mlm_hbw_set_space(&space);
+  ASSERT_EQ(mlm_hbw_set_policy(MLM_HBW_POLICY_PREFERRED), 0);
+  void* a = mlm_hbw_malloc(KiB(16));
+  void* b = mlm_hbw_malloc(KiB(16));  // exceeds the space -> heap
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(space.stats().used_bytes, KiB(16));
+  mlm_hbw_free(a);
+  mlm_hbw_free(b);  // must route to the heap, not the space
+  EXPECT_EQ(space.stats().used_bytes, 0u);
+}
+
+TEST_F(MemkindShimTest, CallocZeroesMemory) {
+  MemorySpace space("hbw", MemKind::MCDRAM, KiB(64));
+  mlm_hbw_set_space(&space);
+  auto* p = static_cast<unsigned char*>(mlm_hbw_calloc(100, 4));
+  ASSERT_NE(p, nullptr);
+  for (int i = 0; i < 400; ++i) EXPECT_EQ(p[i], 0);
+  mlm_hbw_free(p);
+}
+
+TEST_F(MemkindShimTest, CallocOverflowReturnsNull) {
+  EXPECT_EQ(mlm_hbw_calloc(static_cast<size_t>(-1), 8), nullptr);
+}
+
+TEST_F(MemkindShimTest, FreeNullIsNoop) {
+  EXPECT_NO_THROW(mlm_hbw_free(nullptr));
+}
+
+TEST_F(MemkindShimTest, PosixMemalignFromSpace) {
+  MemorySpace space("hbw", MemKind::MCDRAM, KiB(64));
+  mlm_hbw_set_space(&space);
+  void* p = nullptr;
+  ASSERT_EQ(mlm_hbw_posix_memalign(&p, 64, KiB(16)), 0);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u);
+  EXPECT_EQ(space.stats().used_bytes, KiB(16));
+  mlm_hbw_free(p);
+}
+
+TEST_F(MemkindShimTest, PosixMemalignBadAlignment) {
+  void* p = reinterpret_cast<void*>(0x1);
+  EXPECT_EQ(mlm_hbw_posix_memalign(&p, 0, 64), EINVAL);
+  EXPECT_EQ(mlm_hbw_posix_memalign(&p, 3, 64), EINVAL);
+  EXPECT_EQ(mlm_hbw_posix_memalign(&p, 48, 64), EINVAL);
+  EXPECT_EQ(p, nullptr);  // cleared on failure
+  EXPECT_EQ(mlm_hbw_posix_memalign(nullptr, 64, 64), EINVAL);
+}
+
+TEST_F(MemkindShimTest, PosixMemalignBindExhaustion) {
+  MemorySpace space("hbw", MemKind::MCDRAM, KiB(16));
+  mlm_hbw_set_space(&space);
+  mlm_hbw_set_policy(MLM_HBW_POLICY_BIND);
+  void* a = nullptr;
+  ASSERT_EQ(mlm_hbw_posix_memalign(&a, 64, KiB(16)), 0);
+  void* b = nullptr;
+  EXPECT_EQ(mlm_hbw_posix_memalign(&b, 64, KiB(16)), ENOMEM);
+  mlm_hbw_free(a);
+}
+
+TEST_F(MemkindShimTest, LargeAlignmentFallsBackToHeap) {
+  MemorySpace space("hbw", MemKind::MCDRAM, KiB(64));
+  mlm_hbw_set_space(&space);
+  void* p = nullptr;
+  ASSERT_EQ(mlm_hbw_posix_memalign(&p, 4096, KiB(8)), 0);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 4096, 0u);
+  // 4 KiB alignment exceeds the space's 64 B guarantee: heap-served.
+  EXPECT_EQ(space.stats().used_bytes, 0u);
+  EXPECT_EQ(mlm_hbw_verify(p), 0);
+  mlm_hbw_free(p);
+}
+
+TEST_F(MemkindShimTest, VerifyDistinguishesSpaceFromHeap) {
+  MemorySpace space("hbw", MemKind::MCDRAM, KiB(16));
+  mlm_hbw_set_space(&space);
+  void* hbw = mlm_hbw_malloc(KiB(8));
+  void* heap = mlm_hbw_malloc(KiB(16));  // exceeds remaining -> heap
+  ASSERT_NE(hbw, nullptr);
+  ASSERT_NE(heap, nullptr);
+  EXPECT_EQ(mlm_hbw_verify(hbw), 1);
+  EXPECT_EQ(mlm_hbw_verify(heap), 0);
+  EXPECT_EQ(mlm_hbw_verify(nullptr), 0);
+  int local = 0;
+  EXPECT_EQ(mlm_hbw_verify(&local), 0);
+  mlm_hbw_free(hbw);
+  mlm_hbw_free(heap);
+}
+
+TEST_F(MemkindShimTest, InvalidPolicyRejected) {
+  EXPECT_EQ(mlm_hbw_set_policy(static_cast<mlm_hbw_policy>(42)), -1);
+  EXPECT_EQ(mlm_hbw_get_policy(), MLM_HBW_POLICY_PREFERRED);
+}
+
+}  // namespace
+}  // namespace mlm

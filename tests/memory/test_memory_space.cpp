@@ -1,0 +1,174 @@
+#include "mlm/memory/memory_space.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "mlm/support/units.h"
+
+namespace mlm {
+namespace {
+
+TEST(MemorySpace, AllocateWithinCapacity) {
+  MemorySpace space("mcdram", MemKind::MCDRAM, KiB(64));
+  void* p = space.allocate(KiB(32));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(space.stats().used_bytes, KiB(32));
+  space.deallocate(p);
+  EXPECT_EQ(space.stats().used_bytes, 0u);
+}
+
+TEST(MemorySpace, ExhaustionThrowsOutOfMemory) {
+  MemorySpace space("mcdram", MemKind::MCDRAM, KiB(64));
+  void* p = space.allocate(KiB(48));
+  EXPECT_THROW(space.allocate(KiB(32)), OutOfMemoryError);
+  space.deallocate(p);
+  EXPECT_NO_THROW(space.deallocate(space.allocate(KiB(32))));
+}
+
+TEST(MemorySpace, TryAllocateReturnsNullInsteadOfThrowing) {
+  MemorySpace space("mcdram", MemKind::MCDRAM, KiB(16));
+  void* p = space.try_allocate(KiB(32));
+  EXPECT_EQ(p, nullptr);
+  EXPECT_EQ(space.stats().used_bytes, 0u);
+}
+
+TEST(MemorySpace, UnlimitedCapacity) {
+  MemorySpace space("ddr", MemKind::DDR, 0);
+  EXPECT_TRUE(space.unlimited());
+  EXPECT_TRUE(space.would_fit(GiB(1)));
+  void* p = space.allocate(MiB(4));
+  EXPECT_NE(p, nullptr);
+  space.deallocate(p);
+}
+
+TEST(MemorySpace, AlignmentIs64Bytes) {
+  MemorySpace space("s", MemKind::DDR, 0);
+  for (std::size_t sz : {1u, 7u, 63u, 64u, 100u}) {
+    void* p = space.allocate(sz);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u) << sz;
+    space.deallocate(p);
+  }
+}
+
+TEST(MemorySpace, AccountingRoundsUpToAlignment) {
+  MemorySpace space("s", MemKind::MCDRAM, 128);
+  void* p = space.allocate(1);  // rounds to 64
+  EXPECT_EQ(space.stats().used_bytes, 64u);
+  void* q = space.try_allocate(65);  // would round to 128 -> exceeds
+  EXPECT_EQ(q, nullptr) << "65 bytes rounds to 128, only 64 left";
+  space.deallocate(p);
+}
+
+TEST(MemorySpace, ZeroByteAllocationGetsDistinctPointer) {
+  MemorySpace space("s", MemKind::DDR, 0);
+  void* a = space.allocate(0);
+  void* b = space.allocate(0);
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(a, b);
+  space.deallocate(a);
+  space.deallocate(b);
+}
+
+TEST(MemorySpace, HighWaterTracksPeak) {
+  MemorySpace space("s", MemKind::MCDRAM, KiB(64));
+  void* a = space.allocate(KiB(16));
+  void* b = space.allocate(KiB(32));
+  space.deallocate(b);
+  EXPECT_EQ(space.stats().high_water_bytes, KiB(48));
+  space.reset_high_water();
+  EXPECT_EQ(space.stats().high_water_bytes, KiB(16));
+  space.deallocate(a);
+}
+
+TEST(MemorySpace, DoubleFreeAndForeignFreeAreNoops) {
+  MemorySpace space("s", MemKind::DDR, 0);
+  void* p = space.allocate(64);
+  space.deallocate(p);
+  space.deallocate(p);      // double free: no crash, no accounting change
+  int local = 0;
+  space.deallocate(&local); // foreign pointer: no-op
+  space.deallocate(nullptr);
+  EXPECT_EQ(space.stats().used_bytes, 0u);
+}
+
+TEST(MemorySpace, StatsCountAllocations) {
+  MemorySpace space("s", MemKind::DDR, 0);
+  void* a = space.allocate(64);
+  void* b = space.allocate(64);
+  EXPECT_EQ(space.stats().allocation_count, 2u);
+  EXPECT_EQ(space.stats().total_allocations, 2u);
+  space.deallocate(a);
+  EXPECT_EQ(space.stats().allocation_count, 1u);
+  EXPECT_EQ(space.stats().total_allocations, 2u);
+  space.deallocate(b);
+}
+
+TEST(MemorySpace, ConcurrentAllocateDeallocate) {
+  MemorySpace space("s", MemKind::MCDRAM, MiB(64));
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        void* p = space.try_allocate(KiB(16));
+        if (p == nullptr) {
+          ++failures;
+          continue;
+        }
+        std::memset(p, 0xAB, KiB(16));
+        space.deallocate(p);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(space.stats().used_bytes, 0u);
+  EXPECT_EQ(failures.load(), 0);  // 4 * 16KiB << 64 MiB
+}
+
+TEST(Allocation, RaiiReleases) {
+  MemorySpace space("s", MemKind::MCDRAM, KiB(64));
+  {
+    Allocation a(space, KiB(32));
+    EXPECT_TRUE(a.valid());
+    EXPECT_EQ(space.stats().used_bytes, KiB(32));
+  }
+  EXPECT_EQ(space.stats().used_bytes, 0u);
+}
+
+TEST(Allocation, MoveTransfersOwnership) {
+  MemorySpace space("s", MemKind::MCDRAM, KiB(64));
+  Allocation a(space, KiB(16));
+  void* p = a.get();
+  Allocation b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_EQ(b.get(), p);
+  EXPECT_EQ(space.stats().used_bytes, KiB(16));
+}
+
+TEST(SpaceBuffer, TypedAccess) {
+  MemorySpace space("s", MemKind::DDR, 0);
+  SpaceBuffer<int> buf(space, 100);
+  ASSERT_TRUE(buf.valid());
+  EXPECT_EQ(buf.size(), 100u);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<int>(i * i);
+  }
+  EXPECT_EQ(buf[9], 81);
+  int sum = 0;
+  for (int v : buf) sum += v;
+  EXPECT_EQ(sum, 328350);
+  buf.reset();
+  EXPECT_FALSE(buf.valid());
+  EXPECT_EQ(space.stats().used_bytes, 0u);
+}
+
+TEST(MemKind, Names) {
+  EXPECT_STREQ(to_string(MemKind::DDR), "DDR");
+  EXPECT_STREQ(to_string(MemKind::MCDRAM), "MCDRAM");
+}
+
+}  // namespace
+}  // namespace mlm

@@ -1,0 +1,100 @@
+#include "mlm/parallel/latch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+namespace {
+
+TEST(CountdownLatch, WaitReturnsAfterAllCountdowns) {
+  CountdownLatch latch(3);
+  std::atomic<int> done{0};
+  std::thread waiter([&] {
+    latch.wait();
+    done = 1;
+  });
+  EXPECT_FALSE(latch.try_wait());
+  latch.count_down();
+  latch.count_down();
+  EXPECT_FALSE(latch.try_wait());
+  latch.count_down();
+  waiter.join();
+  EXPECT_EQ(done.load(), 1);
+  EXPECT_TRUE(latch.try_wait());
+}
+
+TEST(CountdownLatch, BulkCountDown) {
+  CountdownLatch latch(5);
+  latch.count_down(5);
+  EXPECT_TRUE(latch.try_wait());
+  latch.wait();  // returns immediately
+}
+
+TEST(CountdownLatch, OverCountIsError) {
+  CountdownLatch latch(1);
+  latch.count_down();
+  EXPECT_THROW(latch.count_down(), Error);
+}
+
+TEST(CountdownLatch, ZeroInitialIsAlreadyOpen) {
+  CountdownLatch latch(0);
+  EXPECT_TRUE(latch.try_wait());
+}
+
+TEST(CyclicBarrier, ExactlyOneSerialThreadPerGeneration) {
+  constexpr std::size_t kParties = 4;
+  constexpr int kGenerations = 25;
+  CyclicBarrier barrier(kParties);
+  std::atomic<int> serial_count{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kParties; ++t) {
+    threads.emplace_back([&] {
+      for (int g = 0; g < kGenerations; ++g) {
+        if (barrier.arrive_and_wait()) ++serial_count;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(serial_count.load(), kGenerations);
+}
+
+TEST(CyclicBarrier, SinglePartyAlwaysSerial) {
+  CyclicBarrier barrier(1);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(barrier.arrive_and_wait());
+}
+
+TEST(CyclicBarrier, RejectsZeroParties) {
+  EXPECT_THROW(CyclicBarrier(0), InvalidArgumentError);
+}
+
+TEST(CyclicBarrier, SynchronizesPhases) {
+  // No thread may enter phase k+1 before all have finished phase k.
+  constexpr std::size_t kParties = 3;
+  CyclicBarrier barrier(kParties);
+  std::atomic<int> phase_counter{0};
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kParties; ++t) {
+    threads.emplace_back([&] {
+      for (int phase = 0; phase < 20; ++phase) {
+        ++phase_counter;
+        barrier.arrive_and_wait();
+        // After the barrier, everyone must have incremented.
+        if (phase_counter.load() < (phase + 1) * static_cast<int>(kParties)) {
+          violation = true;
+        }
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_FALSE(violation.load());
+}
+
+}  // namespace
+}  // namespace mlm

@@ -1,0 +1,87 @@
+#include "mlm/parallel/parallel_for.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(1000);
+  parallel_for(pool, 0, visits.size(),
+               [&](std::size_t i) { ++visits[i]; });
+  for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ParallelFor, RespectsBeginOffset) {
+  ThreadPool pool(3);
+  std::vector<int> hits(20, 0);
+  parallel_for(pool, 5, 15, [&](std::size_t i) { hits[i] = 1; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], (i >= 5 && i < 15) ? 1 : 0) << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  parallel_for(pool, 5, 5, [&](std::size_t) { called = true; });
+  parallel_for(pool, 7, 3, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelFor, PropagatesBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(pool, 0, 100,
+                            [&](std::size_t i) {
+                              if (i == 42) throw Error("boom");
+                            }),
+               Error);
+}
+
+TEST(ParallelForRanges, RangesTileTheInterval) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::vector<IndexRange> seen;
+  parallel_for_ranges(pool, 10, 110, [&](IndexRange r) {
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(r);
+  });
+  std::sort(seen.begin(), seen.end(),
+            [](auto& a, auto& b) { return a.begin < b.begin; });
+  ASSERT_FALSE(seen.empty());
+  EXPECT_EQ(seen.front().begin, 10u);
+  EXPECT_EQ(seen.back().end, 110u);
+  for (std::size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i].begin, seen[i - 1].end);
+  }
+}
+
+TEST(ParallelForRanges, SmallRangeFewerPartsThanWorkers) {
+  ThreadPool pool(8);
+  std::atomic<int> calls{0};
+  parallel_for_ranges(pool, 0, 3, [&](IndexRange r) {
+    EXPECT_EQ(r.size(), 1u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ParallelFor, SumMatchesSequential) {
+  ThreadPool pool(4);
+  std::vector<long> data(10000);
+  std::iota(data.begin(), data.end(), 1);
+  std::atomic<long> sum{0};
+  parallel_for(pool, 0, data.size(),
+               [&](std::size_t i) { sum += data[i]; });
+  EXPECT_EQ(sum.load(), 10000L * 10001 / 2);
+}
+
+}  // namespace
+}  // namespace mlm

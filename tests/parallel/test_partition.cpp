@@ -1,0 +1,90 @@
+#include "mlm/parallel/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+namespace {
+
+TEST(PartitionRange, EvenSplit) {
+  EXPECT_EQ(partition_range(12, 4, 0), (IndexRange{0, 3}));
+  EXPECT_EQ(partition_range(12, 4, 3), (IndexRange{9, 12}));
+}
+
+TEST(PartitionRange, RemainderGoesToFirstParts) {
+  // 10 over 4: sizes 3,3,2,2.
+  EXPECT_EQ(partition_range(10, 4, 0).size(), 3u);
+  EXPECT_EQ(partition_range(10, 4, 1).size(), 3u);
+  EXPECT_EQ(partition_range(10, 4, 2).size(), 2u);
+  EXPECT_EQ(partition_range(10, 4, 3).size(), 2u);
+}
+
+TEST(PartitionRange, MorePartsThanElements) {
+  // 2 over 5: sizes 1,1,0,0,0.
+  EXPECT_EQ(partition_range(2, 5, 0).size(), 1u);
+  EXPECT_EQ(partition_range(2, 5, 1).size(), 1u);
+  EXPECT_EQ(partition_range(2, 5, 4).size(), 0u);
+}
+
+TEST(PartitionRange, RejectsBadArgs) {
+  EXPECT_THROW(partition_range(10, 0, 0), InvalidArgumentError);
+  EXPECT_THROW(partition_range(10, 4, 4), InvalidArgumentError);
+}
+
+// Property sweep: partitions tile [0, n) exactly, sizes differ by <= 1.
+class PartitionProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+};
+
+TEST_P(PartitionProperty, TilesExactlyAndBalanced) {
+  const auto [n, parts] = GetParam();
+  const auto ranges = partition_all(n, parts);
+  ASSERT_EQ(ranges.size(), parts);
+  std::size_t expect_begin = 0;
+  std::size_t min_size = n, max_size = 0;
+  for (const IndexRange& r : ranges) {
+    EXPECT_EQ(r.begin, expect_begin);
+    expect_begin = r.end;
+    min_size = std::min(min_size, r.size());
+    max_size = std::max(max_size, r.size());
+  }
+  EXPECT_EQ(expect_begin, n);
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PartitionProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2, 7, 64, 1000, 12345),
+                       ::testing::Values(1, 2, 3, 4, 7, 16, 256)));
+
+TEST(ChunkRanges, ExactDivision) {
+  const auto c = chunk_ranges(12, 4);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[2], (IndexRange{8, 12}));
+}
+
+TEST(ChunkRanges, TrailingPartialChunk) {
+  const auto c = chunk_ranges(10, 4);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(c[2].size(), 2u);
+}
+
+TEST(ChunkRanges, ChunkLargerThanData) {
+  const auto c = chunk_ranges(5, 100);
+  ASSERT_EQ(c.size(), 1u);
+  EXPECT_EQ(c[0], (IndexRange{0, 5}));
+}
+
+TEST(ChunkRanges, EmptyData) {
+  EXPECT_TRUE(chunk_ranges(0, 4).empty());
+}
+
+TEST(ChunkRanges, RejectsZeroChunk) {
+  EXPECT_THROW(chunk_ranges(10, 0), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mlm

@@ -1,0 +1,111 @@
+#include "mlm/parallel/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+namespace {
+
+TEST(ThreadPool, RejectsZeroThreads) {
+  EXPECT_THROW(ThreadPool(0), InvalidArgumentError);
+}
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(4, "test");
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i) {
+    futs.push_back(pool.submit([&count] { ++count; }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.tasks_executed(), 100u);
+}
+
+TEST(ThreadPool, PostAndWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) pool.post([&count] { ++count; });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, SubmitPropagatesException) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([] { throw Error("task failed"); });
+  EXPECT_THROW(fut.get(), Error);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsPostedException) {
+  ThreadPool pool(2);
+  pool.post([] { throw Error("posted failure"); });
+  EXPECT_THROW(pool.wait_idle(), Error);
+  // Error is consumed; a second wait succeeds.
+  EXPECT_NO_THROW(pool.wait_idle());
+}
+
+TEST(ThreadPool, RunOnAllUsesEveryWorkerIndex) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::size_t> indices;
+  pool.run_on_all([&](std::size_t i) {
+    std::lock_guard<std::mutex> lock(mu);
+    indices.insert(i);
+  });
+  EXPECT_EQ(indices, (std::set<std::size_t>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPool, RunOnAllPropagatesException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.run_on_all([](std::size_t i) {
+    if (i == 1) throw Error("worker 1 failed");
+  }),
+               Error);
+}
+
+TEST(ThreadPool, TasksRunConcurrentlyAcrossWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 8; ++i) {
+    futs.push_back(pool.submit([&] {
+      const int now = ++in_flight;
+      int prev = max_in_flight.load();
+      while (now > prev && !max_in_flight.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      --in_flight;
+    }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_GE(max_in_flight.load(), 2);
+}
+
+TEST(ThreadPool, NullTaskRejected) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.post(nullptr), InvalidArgumentError);
+}
+
+TEST(ThreadPool, NameIsStored) {
+  ThreadPool pool(1, "copy-in");
+  EXPECT_EQ(pool.name(), "copy-in");
+  EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ManySmallTasksDrainCompletely) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  for (int i = 1; i <= 1000; ++i) pool.post([&sum, i] { sum += i; });
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(), 500500);
+}
+
+}  // namespace
+}  // namespace mlm

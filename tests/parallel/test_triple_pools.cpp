@@ -1,0 +1,69 @@
+#include "mlm/parallel/triple_pools.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+namespace {
+
+TEST(MakePoolSizes, PaperConvention) {
+  // 256 threads with 8 copy threads per direction -> 240 compute.
+  const PoolSizes s = make_pool_sizes(256, 8);
+  EXPECT_EQ(s.copy_in, 8u);
+  EXPECT_EQ(s.copy_out, 8u);
+  EXPECT_EQ(s.compute, 240u);
+  EXPECT_EQ(s.total(), 256u);
+}
+
+TEST(MakePoolSizes, MinimumBudget) {
+  const PoolSizes s = make_pool_sizes(3, 1);
+  EXPECT_EQ(s.compute, 1u);
+}
+
+TEST(MakePoolSizes, RejectsTooSmallBudget) {
+  EXPECT_THROW(make_pool_sizes(2, 1), InvalidArgumentError);
+  EXPECT_THROW(make_pool_sizes(16, 8), InvalidArgumentError);
+  EXPECT_THROW(make_pool_sizes(16, 0), InvalidArgumentError);
+}
+
+TEST(TriplePools, PoolsHaveConfiguredSizesAndNames) {
+  TriplePools pools(PoolSizes{2, 2, 3});
+  EXPECT_EQ(pools.copy_in().size(), 2u);
+  EXPECT_EQ(pools.copy_out().size(), 2u);
+  EXPECT_EQ(pools.compute().size(), 3u);
+  EXPECT_EQ(pools.copy_in().name(), "copy-in");
+  EXPECT_EQ(pools.compute().name(), "compute");
+  EXPECT_EQ(pools.copy_out().name(), "copy-out");
+}
+
+TEST(TriplePools, RejectsEmptyPool) {
+  EXPECT_THROW(TriplePools(PoolSizes{0, 1, 1}), InvalidArgumentError);
+  EXPECT_THROW(TriplePools(PoolSizes{1, 0, 1}), InvalidArgumentError);
+  EXPECT_THROW(TriplePools(PoolSizes{1, 1, 0}), InvalidArgumentError);
+}
+
+TEST(TriplePools, PoolsRunIndependently) {
+  TriplePools pools(PoolSizes{1, 1, 2});
+  std::atomic<int> in{0}, comp{0}, out{0};
+  for (int i = 0; i < 10; ++i) {
+    pools.copy_in().post([&] { ++in; });
+    pools.compute().post([&] { ++comp; });
+    pools.copy_out().post([&] { ++out; });
+  }
+  pools.wait_all_idle();
+  EXPECT_EQ(in.load(), 10);
+  EXPECT_EQ(comp.load(), 10);
+  EXPECT_EQ(out.load(), 10);
+}
+
+TEST(TriplePools, WaitAllIdleRethrowsAnyPoolError) {
+  TriplePools pools(PoolSizes{1, 1, 1});
+  pools.copy_out().post([] { throw Error("copy-out failed"); });
+  EXPECT_THROW(pools.wait_all_idle(), Error);
+}
+
+}  // namespace
+}  // namespace mlm

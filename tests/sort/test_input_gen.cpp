@@ -1,0 +1,78 @@
+#include "mlm/sort/input_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "mlm/support/error.h"
+
+namespace mlm::sort {
+namespace {
+
+TEST(InputGen, RandomIsDeterministicPerSeed) {
+  const auto a = make_input(1000, InputOrder::Random, 7);
+  const auto b = make_input(1000, InputOrder::Random, 7);
+  const auto c = make_input(1000, InputOrder::Random, 8);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+}
+
+TEST(InputGen, ReverseIsStrictlyDecreasing) {
+  const auto v = make_input(500, InputOrder::Reverse, 0);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<>{}));
+  EXPECT_EQ(std::set<std::int64_t>(v.begin(), v.end()).size(), v.size());
+}
+
+TEST(InputGen, SortedIsIncreasing) {
+  const auto v = make_input(500, InputOrder::Sorted, 0);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(InputGen, NearlySortedIsMostlyOrdered) {
+  const auto v = make_input(10000, InputOrder::NearlySorted, 3);
+  std::size_t inversions_adjacent = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] < v[i - 1]) ++inversions_adjacent;
+  }
+  EXPECT_GT(inversions_adjacent, 0u);
+  EXPECT_LT(inversions_adjacent, v.size() / 20);
+}
+
+TEST(InputGen, FewDistinctHasAtMost16Values) {
+  const auto v = make_input(5000, InputOrder::FewDistinct, 1);
+  const std::set<std::int64_t> distinct(v.begin(), v.end());
+  EXPECT_LE(distinct.size(), 16u);
+  EXPECT_GE(distinct.size(), 8u);  // overwhelmingly likely
+}
+
+TEST(InputGen, EmptyArrayOk) {
+  EXPECT_TRUE(make_input(0, InputOrder::Random, 0).empty());
+}
+
+TEST(InputGen, ParseRoundTrips) {
+  for (InputOrder o :
+       {InputOrder::Random, InputOrder::Reverse, InputOrder::Sorted,
+        InputOrder::NearlySorted, InputOrder::FewDistinct}) {
+    EXPECT_EQ(parse_input_order(to_string(o)), o);
+  }
+  EXPECT_THROW(parse_input_order("bogus"), InvalidArgumentError);
+}
+
+TEST(Checksum, InvariantUnderPermutation) {
+  auto v = make_input(1000, InputOrder::Random, 5);
+  const auto before = checksum(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(checksum(v), before);
+  v[0] ^= 1;  // corruption changes the checksum
+  EXPECT_NE(checksum(v), before);
+}
+
+TEST(Checksum, EmptyIsZero) {
+  const InputChecksum c = checksum({});
+  EXPECT_EQ(c.sum, 0u);
+  EXPECT_EQ(c.xor_, 0u);
+}
+
+}  // namespace
+}  // namespace mlm::sort

@@ -1,0 +1,146 @@
+#include "mlm/sort/loser_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mlm/support/error.h"
+#include "mlm/support/rng.h"
+
+namespace mlm::sort {
+namespace {
+
+std::vector<std::vector<int>> random_runs(std::size_t k,
+                                          std::size_t max_len,
+                                          std::uint64_t seed) {
+  mlm::Xoshiro256ss rng(seed);
+  std::vector<std::vector<int>> runs(k);
+  for (auto& r : runs) {
+    r.resize(rng.bounded(max_len + 1));
+    for (auto& v : r) v = static_cast<int>(rng.bounded(1000));
+    std::sort(r.begin(), r.end());
+  }
+  return runs;
+}
+
+std::vector<int> merge_with_tree(const std::vector<std::vector<int>>& runs) {
+  LoserTree<const int*> lt(runs.size());
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    lt.set_run(i, runs[i].data(), runs[i].data() + runs[i].size());
+  }
+  lt.init();
+  std::vector<int> out;
+  out.reserve(lt.remaining());
+  while (!lt.empty()) out.push_back(lt.pop());
+  return out;
+}
+
+std::vector<int> reference_merge(const std::vector<std::vector<int>>& runs) {
+  std::vector<int> all;
+  for (const auto& r : runs) all.insert(all.end(), r.begin(), r.end());
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+class LoserTreeK : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LoserTreeK, MatchesReferenceMerge) {
+  const std::size_t k = GetParam();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto runs = random_runs(k, 200, seed * 31 + k);
+    EXPECT_EQ(merge_with_tree(runs), reference_merge(runs))
+        << "k=" << k << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LoserTreeK,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 13, 16,
+                                           31, 32, 33, 64, 100, 256));
+
+TEST(LoserTree, SingleRunPassthrough) {
+  std::vector<int> run{1, 2, 3};
+  LoserTree<const int*> lt(1);
+  lt.set_run(0, run.data(), run.data() + run.size());
+  lt.init();
+  EXPECT_EQ(lt.pop(), 1);
+  EXPECT_EQ(lt.pop(), 2);
+  EXPECT_EQ(lt.pop(), 3);
+  EXPECT_TRUE(lt.empty());
+}
+
+TEST(LoserTree, AllRunsEmpty) {
+  LoserTree<const int*> lt(4);
+  std::vector<int> empty;
+  for (std::size_t i = 0; i < 4; ++i) {
+    lt.set_run(i, empty.data(), empty.data());
+  }
+  lt.init();
+  EXPECT_TRUE(lt.empty());
+  EXPECT_EQ(lt.remaining(), 0u);
+  EXPECT_THROW(lt.pop(), Error);
+}
+
+TEST(LoserTree, StableAcrossRunOrderOnTies) {
+  // Equal keys must come out in run order (required for stable merges of
+  // consecutive array slices).
+  std::vector<int> a{5, 5}, b{5}, c{5, 5, 5};
+  LoserTree<const int*> lt(3);
+  lt.set_run(0, a.data(), a.data() + a.size());
+  lt.set_run(1, b.data(), b.data() + b.size());
+  lt.set_run(2, c.data(), c.data() + c.size());
+  lt.init();
+  std::vector<std::size_t> origin;
+  while (!lt.empty()) {
+    origin.push_back(lt.top_run());
+    lt.pop();
+  }
+  EXPECT_TRUE(std::is_sorted(origin.begin(), origin.end()));
+  EXPECT_EQ(origin.size(), 6u);
+}
+
+TEST(LoserTree, TopAndTopRunConsistent) {
+  std::vector<int> a{10, 30}, b{20};
+  LoserTree<const int*> lt(2);
+  lt.set_run(0, a.data(), a.data() + 2);
+  lt.set_run(1, b.data(), b.data() + 1);
+  lt.init();
+  EXPECT_EQ(lt.top(), 10);
+  EXPECT_EQ(lt.top_run(), 0u);
+  lt.pop();
+  EXPECT_EQ(lt.top(), 20);
+  EXPECT_EQ(lt.top_run(), 1u);
+}
+
+TEST(LoserTree, CustomComparatorDescending) {
+  std::vector<int> a{9, 5, 1}, b{8, 4};
+  LoserTree<const int*, std::greater<>> lt(2, std::greater<>{});
+  lt.set_run(0, a.data(), a.data() + a.size());
+  lt.set_run(1, b.data(), b.data() + b.size());
+  lt.init();
+  std::vector<int> out;
+  while (!lt.empty()) out.push_back(lt.pop());
+  EXPECT_EQ(out, (std::vector<int>{9, 8, 5, 4, 1}));
+}
+
+TEST(LoserTree, RemainingCountsAllRuns) {
+  std::vector<int> a{1, 2}, b{3, 4, 5};
+  LoserTree<const int*> lt(2);
+  lt.set_run(0, a.data(), a.data() + a.size());
+  lt.set_run(1, b.data(), b.data() + b.size());
+  lt.init();
+  EXPECT_EQ(lt.remaining(), 5u);
+  lt.pop();
+  EXPECT_EQ(lt.remaining(), 4u);
+}
+
+TEST(LoserTree, RejectsBadArguments) {
+  EXPECT_THROW(LoserTree<const int*>(0), InvalidArgumentError);
+  LoserTree<const int*> lt(2);
+  std::vector<int> run{1};
+  EXPECT_THROW(lt.set_run(2, run.data(), run.data() + 1),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mlm::sort

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mlm/sort/multiway_merge.h"
+#include "mlm/support/error.h"
+#include "mlm/support/rng.h"
+
+namespace mlm::sort {
+namespace {
+
+using Runs = std::vector<std::vector<std::int64_t>>;
+// Alias avoids `Run<...>` resolving to testing::Test::Run inside TEST
+// bodies.
+using RunT = Run<std::int64_t>;
+
+Runs random_runs(std::size_t k, std::size_t max_len, std::uint64_t seed,
+                 std::uint64_t value_range) {
+  mlm::Xoshiro256ss rng(seed);
+  Runs runs(k);
+  for (auto& r : runs) {
+    r.resize(rng.bounded(max_len + 1));
+    for (auto& v : r) {
+      v = static_cast<std::int64_t>(rng.bounded(value_range));
+    }
+    std::sort(r.begin(), r.end());
+  }
+  return runs;
+}
+
+std::vector<RunT> as_spans(const Runs& runs) {
+  std::vector<RunT> spans;
+  for (const auto& r : runs) spans.emplace_back(r.data(), r.size());
+  return spans;
+}
+
+std::size_t total_size(const Runs& runs) {
+  std::size_t n = 0;
+  for (const auto& r : runs) n += r.size();
+  return n;
+}
+
+/// The defining property: splits sum to `rank`, and no prefix element
+/// exceeds any suffix element.
+void check_valid_partition(const Runs& runs,
+                           const std::vector<std::size_t>& splits,
+                           std::size_t rank) {
+  ASSERT_EQ(splits.size(), runs.size());
+  std::size_t sum = 0;
+  std::int64_t max_prefix = std::numeric_limits<std::int64_t>::min();
+  std::int64_t min_suffix = std::numeric_limits<std::int64_t>::max();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    ASSERT_LE(splits[i], runs[i].size());
+    sum += splits[i];
+    if (splits[i] > 0) {
+      max_prefix = std::max(max_prefix, runs[i][splits[i] - 1]);
+    }
+    if (splits[i] < runs[i].size()) {
+      min_suffix = std::min(min_suffix, runs[i][splits[i]]);
+    }
+  }
+  EXPECT_EQ(sum, rank);
+  EXPECT_LE(max_prefix, min_suffix);
+}
+
+class MultiseqPartitionProperty
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultiseqPartitionProperty, RandomRunsAllRanks) {
+  const std::uint64_t seed = GetParam();
+  const auto runs = random_runs(1 + seed % 9, 60, seed, 100);
+  const auto spans = as_spans(runs);
+  const std::size_t total = total_size(runs);
+  for (std::size_t rank = 0; rank <= total;
+       rank += std::max<std::size_t>(total / 17, 1)) {
+    const auto splits = multiseq_partition(
+        std::span<const RunT>(spans), rank);
+    check_valid_partition(runs, splits, rank);
+  }
+}
+
+TEST_P(MultiseqPartitionProperty, HeavyTies) {
+  const std::uint64_t seed = GetParam();
+  // Value range of 3 forces massive tie groups.
+  const auto runs = random_runs(1 + seed % 6, 80, seed + 1000, 3);
+  const auto spans = as_spans(runs);
+  const std::size_t total = total_size(runs);
+  for (std::size_t rank = 0; rank <= total; ++rank) {
+    const auto splits = multiseq_partition(
+        std::span<const RunT>(spans), rank);
+    check_valid_partition(runs, splits, rank);
+  }
+}
+
+TEST_P(MultiseqPartitionProperty, MonotoneInRank) {
+  const std::uint64_t seed = GetParam();
+  const auto runs = random_runs(4, 100, seed + 77, 50);
+  const auto spans = as_spans(runs);
+  const std::size_t total = total_size(runs);
+  std::vector<std::size_t> prev(runs.size(), 0);
+  for (std::size_t rank = 0; rank <= total; ++rank) {
+    const auto splits = multiseq_partition(
+        std::span<const RunT>(spans), rank);
+    for (std::size_t i = 0; i < splits.size(); ++i) {
+      EXPECT_GE(splits[i], prev[i]) << "rank " << rank << " run " << i;
+    }
+    prev = splits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiseqPartitionProperty,
+                         ::testing::Range<std::uint64_t>(0, 12));
+
+TEST(MultiseqPartition, RankZeroAndTotal) {
+  const Runs runs{{1, 2, 3}, {4, 5}};
+  const auto spans = as_spans(runs);
+  auto z = multiseq_partition(std::span<const RunT>(spans),
+                              0);
+  EXPECT_EQ(z, (std::vector<std::size_t>{0, 0}));
+  auto t = multiseq_partition(std::span<const RunT>(spans),
+                              5);
+  EXPECT_EQ(t, (std::vector<std::size_t>{3, 2}));
+}
+
+TEST(MultiseqPartition, RankBeyondTotalRejected) {
+  const Runs runs{{1}};
+  const auto spans = as_spans(runs);
+  EXPECT_THROW(multiseq_partition(
+                   std::span<const RunT>(spans), 2),
+               InvalidArgumentError);
+}
+
+TEST(MultiseqPartition, EmptyRunsHandled) {
+  const Runs runs{{}, {1, 2}, {}};
+  const auto spans = as_spans(runs);
+  const auto s = multiseq_partition(
+      std::span<const RunT>(spans), 1);
+  check_valid_partition(runs, s, 1);
+}
+
+TEST(MultiseqPartition, InterleavedExactSplit) {
+  const Runs runs{{0, 2, 4, 6, 8}, {1, 3, 5, 7, 9}};
+  const auto spans = as_spans(runs);
+  const auto s = multiseq_partition(
+      std::span<const RunT>(spans), 5);
+  // First five elements are 0..4: 3 from run 0 (0,2,4), 2 from run 1.
+  EXPECT_EQ(s, (std::vector<std::size_t>{3, 2}));
+}
+
+}  // namespace
+}  // namespace mlm::sort

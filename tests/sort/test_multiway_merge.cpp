@@ -1,0 +1,145 @@
+#include "mlm/sort/multiway_merge.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mlm/parallel/thread_pool.h"
+#include "mlm/support/error.h"
+#include "mlm/support/rng.h"
+
+namespace mlm::sort {
+namespace {
+
+// Alias avoids `Run<...>` resolving to testing::Test::Run inside TEST
+// bodies.
+using RunT = Run<std::int64_t>;
+
+std::vector<std::vector<std::int64_t>> random_runs(std::size_t k,
+                                                   std::size_t max_len,
+                                                   std::uint64_t seed) {
+  mlm::Xoshiro256ss rng(seed);
+  std::vector<std::vector<std::int64_t>> runs(k);
+  for (auto& r : runs) {
+    r.resize(rng.bounded(max_len + 1));
+    for (auto& v : r) v = static_cast<std::int64_t>(rng.bounded(5000));
+    std::sort(r.begin(), r.end());
+  }
+  return runs;
+}
+
+std::vector<RunT> as_spans(
+    const std::vector<std::vector<std::int64_t>>& runs) {
+  std::vector<RunT> spans;
+  spans.reserve(runs.size());
+  for (const auto& r : runs) spans.emplace_back(r.data(), r.size());
+  return spans;
+}
+
+std::vector<std::int64_t> reference(
+    const std::vector<std::vector<std::int64_t>>& runs) {
+  std::vector<std::int64_t> all;
+  for (const auto& r : runs) all.insert(all.end(), r.begin(), r.end());
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+class MultiwayMergeK : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MultiwayMergeK, SequentialMatchesReference) {
+  const auto runs = random_runs(GetParam(), 300, GetParam() * 7 + 1);
+  const auto spans = as_spans(runs);
+  const auto expect = reference(runs);
+  std::vector<std::int64_t> out(expect.size());
+  multiway_merge(std::span<const RunT>(spans),
+                 std::span<std::int64_t>(out));
+  EXPECT_EQ(out, expect);
+}
+
+TEST_P(MultiwayMergeK, ParallelMatchesReference) {
+  ThreadPool pool(4);
+  const auto runs = random_runs(GetParam(), 5000, GetParam() * 13 + 5);
+  const auto spans = as_spans(runs);
+  const auto expect = reference(runs);
+  std::vector<std::int64_t> out(expect.size());
+  parallel_multiway_merge(pool, std::span<const RunT>(spans),
+                          std::span<std::int64_t>(out));
+  EXPECT_EQ(out, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MultiwayMergeK,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 33, 64,
+                                           128));
+
+TEST(MultiwayMerge, EmptyInput) {
+  std::vector<RunT> spans;
+  std::vector<std::int64_t> out;
+  EXPECT_NO_THROW(multiway_merge(
+      std::span<const RunT>(spans), std::span<std::int64_t>(out)));
+}
+
+TEST(MultiwayMerge, SomeRunsEmpty) {
+  std::vector<std::int64_t> a{1, 3}, b, c{2};
+  std::vector<RunT> spans{{a.data(), a.size()},
+                                       {b.data(), b.size()},
+                                       {c.data(), c.size()}};
+  std::vector<std::int64_t> out(3);
+  multiway_merge(std::span<const RunT>(spans),
+                 std::span<std::int64_t>(out));
+  EXPECT_EQ(out, (std::vector<std::int64_t>{1, 2, 3}));
+}
+
+TEST(MultiwayMerge, OutputSizeMismatchRejected) {
+  std::vector<std::int64_t> a{1, 2};
+  std::vector<RunT> spans{{a.data(), a.size()}};
+  std::vector<std::int64_t> out(3);
+  EXPECT_THROW(multiway_merge(std::span<const RunT>(spans),
+                              std::span<std::int64_t>(out)),
+               InvalidArgumentError);
+}
+
+TEST(MultiwayMerge, DescendingComparator) {
+  std::vector<std::int64_t> a{9, 5}, b{8, 2};
+  std::vector<RunT> spans{{a.data(), a.size()},
+                                       {b.data(), b.size()}};
+  std::vector<std::int64_t> out(4);
+  multiway_merge(std::span<const RunT>(spans),
+                 std::span<std::int64_t>(out), std::greater<>{});
+  EXPECT_EQ(out, (std::vector<std::int64_t>{9, 8, 5, 2}));
+}
+
+TEST(ParallelMultiwayMerge, LargeSkewedRuns) {
+  ThreadPool pool(4);
+  // One huge run and several tiny ones: exercises split balancing.
+  mlm::Xoshiro256ss rng(3);
+  std::vector<std::vector<std::int64_t>> runs(5);
+  runs[0].resize(200000);
+  for (auto& v : runs[0]) v = static_cast<std::int64_t>(rng.bounded(1000));
+  std::sort(runs[0].begin(), runs[0].end());
+  for (std::size_t i = 1; i < 5; ++i) {
+    runs[i] = {static_cast<std::int64_t>(i), 500, 999};
+  }
+  const auto spans = as_spans(runs);
+  const auto expect = reference(runs);
+  std::vector<std::int64_t> out(expect.size());
+  parallel_multiway_merge(pool, std::span<const RunT>(spans),
+                          std::span<std::int64_t>(out));
+  EXPECT_EQ(out, expect);
+}
+
+TEST(ParallelMultiwayMerge, AllTiesSingleValue) {
+  ThreadPool pool(4);
+  std::vector<std::vector<std::int64_t>> runs(8,
+                                              std::vector<std::int64_t>(
+                                                  1000, 42));
+  const auto spans = as_spans(runs);
+  std::vector<std::int64_t> out(8000);
+  parallel_multiway_merge(pool, std::span<const RunT>(spans),
+                          std::span<std::int64_t>(out));
+  EXPECT_TRUE(std::all_of(out.begin(), out.end(),
+                          [](std::int64_t v) { return v == 42; }));
+}
+
+}  // namespace
+}  // namespace mlm::sort

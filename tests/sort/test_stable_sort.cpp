@@ -1,0 +1,137 @@
+#include "mlm/sort/stable_sort.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+
+#include "mlm/sort/input_gen.h"
+#include "mlm/support/error.h"
+#include "mlm/support/rng.h"
+
+namespace mlm::sort {
+namespace {
+
+/// Key + original index: stability means equal keys stay index-ordered.
+struct Rec {
+  std::int32_t key;
+  std::uint32_t idx;
+  friend bool operator==(const Rec&, const Rec&) = default;
+};
+struct ByKey {
+  bool operator()(const Rec& a, const Rec& b) const {
+    return a.key < b.key;
+  }
+};
+
+std::vector<Rec> make_records(std::size_t n, std::uint64_t distinct,
+                              std::uint64_t seed) {
+  mlm::Xoshiro256ss rng(seed);
+  std::vector<Rec> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = {static_cast<std::int32_t>(rng.bounded(distinct)),
+            static_cast<std::uint32_t>(i)};
+  }
+  return v;
+}
+
+using RunT = Run<std::int64_t>;
+
+void expect_stable_sorted(const std::vector<Rec>& v) {
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    ASSERT_LE(v[i - 1].key, v[i].key) << i;
+    if (v[i - 1].key == v[i].key) {
+      ASSERT_LT(v[i - 1].idx, v[i].idx) << "instability at " << i;
+    }
+  }
+}
+
+using Case = std::tuple<std::size_t, std::uint64_t, std::size_t>;
+
+class StableSortProperty : public ::testing::TestWithParam<Case> {};
+
+TEST_P(StableSortProperty, SerialStableAndSorted) {
+  const auto [n, distinct, threads] = GetParam();
+  (void)threads;
+  auto v = make_records(n, distinct, n + distinct);
+  std::vector<Rec> scratch(v.size());
+  stable_merge_sort(std::span<Rec>(v), std::span<Rec>(scratch), ByKey{});
+  expect_stable_sorted(v);
+}
+
+TEST_P(StableSortProperty, ParallelStableAndSorted) {
+  const auto [n, distinct, threads] = GetParam();
+  ThreadPool pool(threads);
+  auto v = make_records(n, distinct, n * 3 + distinct);
+  auto ref = v;
+  std::stable_sort(ref.begin(), ref.end(), ByKey{});
+  std::vector<Rec> scratch(v.size());
+  parallel_stable_sort(pool, std::span<Rec>(v), std::span<Rec>(scratch),
+                       ByKey{});
+  expect_stable_sorted(v);
+  EXPECT_EQ(v, ref);  // stability makes the result unique
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StableSortProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2, 33, 1000, 100000),
+                       ::testing::Values(2, 16, 1000),
+                       ::testing::Values(1, 4)));
+
+TEST(StableSort, Int64MatchesStdSort) {
+  auto v = make_input(50000, InputOrder::Random, 3);
+  auto expect = v;
+  std::sort(expect.begin(), expect.end());
+  std::vector<std::int64_t> scratch(v.size());
+  ThreadPool pool(4);
+  parallel_stable_sort(pool, std::span<std::int64_t>(v),
+                       std::span<std::int64_t>(scratch));
+  EXPECT_EQ(v, expect);
+}
+
+TEST(StableSort, ScratchTooSmallRejected) {
+  std::vector<std::int64_t> v(10), scratch(5);
+  EXPECT_THROW(stable_merge_sort(std::span<std::int64_t>(v),
+                                 std::span<std::int64_t>(scratch)),
+               InvalidArgumentError);
+}
+
+TEST(KthElementOfRuns, MatchesMergedOrder) {
+  mlm::Xoshiro256ss rng(17);
+  std::vector<std::vector<std::int64_t>> runs(5);
+  std::vector<std::int64_t> all;
+  for (auto& r : runs) {
+    r.resize(rng.bounded(200) + 1);
+    for (auto& x : r) x = static_cast<std::int64_t>(rng.bounded(500));
+    std::sort(r.begin(), r.end());
+    all.insert(all.end(), r.begin(), r.end());
+  }
+  std::sort(all.begin(), all.end());
+  std::vector<RunT> spans;
+  for (const auto& r : runs) spans.emplace_back(r.data(), r.size());
+  for (std::size_t k = 0; k < all.size();
+       k += std::max<std::size_t>(all.size() / 37, 1)) {
+    EXPECT_EQ(kth_element_of_runs(
+                  std::span<const RunT>(spans), k),
+              all[k])
+        << "k=" << k;
+  }
+  // Endpoints.
+  EXPECT_EQ(kth_element_of_runs(std::span<const RunT>(spans),
+                                0),
+            all.front());
+  EXPECT_EQ(kth_element_of_runs(std::span<const RunT>(spans),
+                                all.size() - 1),
+            all.back());
+}
+
+TEST(KthElementOfRuns, OutOfRangeRejected) {
+  std::vector<std::int64_t> r{1, 2, 3};
+  std::vector<RunT> spans{{r.data(), r.size()}};
+  EXPECT_THROW(kth_element_of_runs(
+                   std::span<const RunT>(spans), 3),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mlm::sort

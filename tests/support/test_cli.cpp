@@ -1,0 +1,106 @@
+#include "mlm/support/cli.h"
+
+#include <gtest/gtest.h>
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+namespace {
+
+std::vector<const char*> argv_of(std::initializer_list<const char*> args) {
+  std::vector<const char*> v{"prog"};
+  v.insert(v.end(), args.begin(), args.end());
+  return v;
+}
+
+TEST(CliParser, ParsesAllTypes) {
+  bool flag = false;
+  std::int64_t i = 0;
+  std::uint64_t u = 0;
+  double d = 0.0;
+  std::string s;
+  CliParser p("test");
+  p.add_flag("verbose", &flag, "");
+  p.add_int("count", &i, "");
+  p.add_uint("elements", &u, "");
+  p.add_double("fraction", &d, "");
+  p.add_string("mode", &s, "");
+
+  auto argv = argv_of({"--verbose", "--count=-3", "--elements",
+                       "2000000000", "--fraction=0.5", "--mode", "flat"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(flag);
+  EXPECT_EQ(i, -3);
+  EXPECT_EQ(u, 2000000000ull);
+  EXPECT_DOUBLE_EQ(d, 0.5);
+  EXPECT_EQ(s, "flat");
+}
+
+TEST(CliParser, BooleanForms) {
+  bool a = false, b = true;
+  CliParser p("test");
+  p.add_flag("a", &a, "");
+  p.add_flag("b", &b, "");
+  auto argv = argv_of({"--a=true", "--no-b"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(a);
+  EXPECT_FALSE(b);
+}
+
+TEST(CliParser, PositionalArguments) {
+  CliParser p("test");
+  auto argv = argv_of({"input.dat", "output.dat"});
+  ASSERT_TRUE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  ASSERT_EQ(p.positional().size(), 2u);
+  EXPECT_EQ(p.positional()[0], "input.dat");
+}
+
+TEST(CliParser, UnknownFlagFailsLoudly) {
+  CliParser p("test");
+  auto argv = argv_of({"--chunk-sise=5"});
+  EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()),
+               InvalidArgumentError);
+}
+
+TEST(CliParser, BadValuesRejected) {
+  std::int64_t i = 0;
+  std::uint64_t u = 0;
+  double d = 0.0;
+  CliParser p("test");
+  p.add_int("i", &i, "");
+  p.add_uint("u", &u, "");
+  p.add_double("d", &d, "");
+  for (const char* bad :
+       {"--i=abc", "--i=1.5", "--u=-2", "--u=zz", "--d=4x"}) {
+    auto argv = argv_of({bad});
+    EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()),
+                 InvalidArgumentError)
+        << bad;
+  }
+}
+
+TEST(CliParser, MissingValueRejected) {
+  std::int64_t i = 0;
+  CliParser p("test");
+  p.add_int("i", &i, "");
+  auto argv = argv_of({"--i"});
+  EXPECT_THROW(p.parse(static_cast<int>(argv.size()), argv.data()),
+               InvalidArgumentError);
+}
+
+TEST(CliParser, HelpReturnsFalse) {
+  CliParser p("test tool");
+  auto argv = argv_of({"--help"});
+  EXPECT_FALSE(p.parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(p.help().find("test tool"), std::string::npos);
+}
+
+TEST(CliParser, DuplicateRegistrationRejected) {
+  bool a = false;
+  CliParser p("test");
+  p.add_flag("x", &a, "");
+  EXPECT_THROW(p.add_flag("x", &a, ""), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mlm

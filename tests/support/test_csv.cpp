@@ -1,0 +1,61 @@
+#include "mlm/support/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/mlm_csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvWriterTest, HeaderAndRows) {
+  {
+    CsvWriter w(path_, {"algo", "seconds"});
+    w.write_row({"MLM-sort", "8.09"});
+    w.write_row({"GNU-flat", "11.92"});
+  }
+  EXPECT_EQ(read_file(path_),
+            "algo,seconds\nMLM-sort,8.09\nGNU-flat,11.92\n");
+}
+
+TEST_F(CsvWriterTest, QuotesSpecialCharacters) {
+  {
+    CsvWriter w(path_, {"a", "b"});
+    w.write_row({"has,comma", "has\"quote"});
+  }
+  EXPECT_EQ(read_file(path_), "a,b\n\"has,comma\",\"has\"\"quote\"\n");
+}
+
+TEST_F(CsvWriterTest, RejectsWidthMismatch) {
+  CsvWriter w(path_, {"a", "b"});
+  EXPECT_THROW(w.write_row({"only-one"}), InvalidArgumentError);
+}
+
+TEST_F(CsvWriterTest, WriteAfterCloseFails) {
+  CsvWriter w(path_, {"a"});
+  w.close();
+  EXPECT_THROW(w.write_row({"x"}), Error);
+}
+
+TEST(CsvWriter, UnwritablePathFails) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), Error);
+}
+
+}  // namespace
+}  // namespace mlm

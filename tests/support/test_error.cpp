@@ -1,0 +1,46 @@
+#include "mlm/support/error.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace mlm {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  EXPECT_NO_THROW(MLM_CHECK(1 + 1 == 2));
+}
+
+TEST(Check, FailingCheckThrowsWithLocation) {
+  try {
+    MLM_CHECK(false);
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("false"), std::string::npos);
+    EXPECT_NE(what.find("test_error.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, MessageIsIncluded) {
+  try {
+    MLM_CHECK_MSG(false, "extra context");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("extra context"),
+              std::string::npos);
+  }
+}
+
+TEST(Require, ThrowsInvalidArgument) {
+  EXPECT_THROW(MLM_REQUIRE(false, "bad arg"), InvalidArgumentError);
+  EXPECT_NO_THROW(MLM_REQUIRE(true, "fine"));
+}
+
+TEST(ErrorHierarchy, SubclassesAreErrors) {
+  EXPECT_THROW(throw OutOfMemoryError("x"), Error);
+  EXPECT_THROW(throw InvalidArgumentError("x"), Error);
+}
+
+}  // namespace
+}  // namespace mlm

@@ -1,0 +1,76 @@
+#include "mlm/support/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace mlm {
+namespace {
+
+TEST(SplitMix64, DeterministicForSeed) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro, DeterministicForSeed) {
+  Xoshiro256ss a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro, BoundedStaysInRange) {
+  Xoshiro256ss rng(5);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro, BoundedZeroIsZero) {
+  Xoshiro256ss rng(5);
+  EXPECT_EQ(rng.bounded(0), 0u);
+}
+
+TEST(Xoshiro, BoundedCoversSmallRangeUniformly) {
+  Xoshiro256ss rng(17);
+  std::vector<int> counts(8, 0);
+  const int n = 80000;
+  for (int i = 0; i < n; ++i) ++counts[rng.bounded(8)];
+  for (int c : counts) {
+    // Expected 10000 each; 4 sigma ~ 380.
+    EXPECT_NEAR(c, n / 8, 500);
+  }
+}
+
+TEST(Xoshiro, Uniform01InRangeAndVaried) {
+  Xoshiro256ss rng(3);
+  std::set<double> seen;
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    seen.insert(x);
+    sum += x;
+  }
+  EXPECT_GT(seen.size(), 9990u);
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro, SatisfiesUniformRandomBitGenerator) {
+  static_assert(std::uniform_random_bit_generator<Xoshiro256ss>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mlm

@@ -1,0 +1,75 @@
+#include "mlm/support/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+namespace {
+
+TEST(TextTable, BasicLayout) {
+  TextTable t({"Algorithm", "Mean(s)"});
+  t.add_row({"MLM-sort", "8.09"});
+  t.add_row({"MLM-implicit", "7.37"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Algorithm"), std::string::npos);
+  EXPECT_NE(s.find("MLM-implicit"), std::string::npos);
+  // Left-aligned first column, right-aligned numeric column.
+  EXPECT_NE(s.find("| MLM-sort     |"), std::string::npos);
+  EXPECT_NE(s.find("    8.09 |"), std::string::npos);
+}
+
+TEST(TextTable, RuleSeparatesGroups) {
+  TextTable t({"a"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string s = t.to_string();
+  // header rule + top + bottom + group rule = 4 dashed lines.
+  int rules = 0;
+  std::istringstream is(s);
+  for (std::string line; std::getline(is, line);) {
+    if (line.rfind("+-", 0) == 0) ++rules;
+  }
+  EXPECT_EQ(rules, 4);
+}
+
+TEST(TextTable, RejectsWidthMismatch) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgumentError);
+}
+
+TEST(TextTable, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable({}), InvalidArgumentError);
+}
+
+TEST(FmtDouble, Precision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.0, 0), "3");
+  EXPECT_EQ(fmt_double(-1.005, 1), "-1.0");
+}
+
+TEST(FmtCount, ThousandsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(2000000000ull), "2,000,000,000");
+  EXPECT_EQ(fmt_count(123456789ull), "123,456,789");
+}
+
+TEST(AsciiBar, Proportional) {
+  EXPECT_EQ(ascii_bar(5.0, 10.0, 10), "#####     ");
+  EXPECT_EQ(ascii_bar(10.0, 10.0, 4), "####");
+  EXPECT_EQ(ascii_bar(0.0, 10.0, 4), "    ");
+  // Values beyond max clamp to full.
+  EXPECT_EQ(ascii_bar(20.0, 10.0, 4), "####");
+}
+
+TEST(AsciiBar, RejectsNonPositiveWidth) {
+  EXPECT_THROW(ascii_bar(1.0, 2.0, 0), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mlm

@@ -1,0 +1,74 @@
+#include "mlm/support/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+namespace {
+
+TEST(TraceWriter, EmptyTraceIsValidSkeleton) {
+  TraceWriter w;
+  EXPECT_EQ(w.to_json(),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}");
+}
+
+TEST(TraceWriter, EventFieldsSerialized) {
+  TraceWriter w;
+  w.add_event("copy-in", "copy", 2, 1.5, 0.25);
+  const std::string json = w.to_json();
+  EXPECT_NE(json.find("\"name\":\"copy-in\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"copy\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.5e+06"), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(TraceWriter, SequentialPhasesAbutAndReturnEnd) {
+  TraceWriter w;
+  const double end = w.add_sequential(
+      {{"a", 1.0}, {"b", 2.0}, {"c", 0.5}}, "phases", 1, 10.0);
+  EXPECT_DOUBLE_EQ(end, 13.5);
+  EXPECT_EQ(w.size(), 3u);
+  const std::string json = w.to_json();
+  // b starts where a ends (11 s = 1.1e7 us).
+  EXPECT_NE(json.find("\"ts\":1.1e+07"), std::string::npos);
+}
+
+TEST(TraceWriter, EscapesSpecialCharacters) {
+  TraceWriter w;
+  w.add_event("quote\" back\\slash\nnewline", "c", 0, 0.0, 1.0);
+  const std::string json = w.to_json();
+  EXPECT_NE(json.find("quote\\\" back\\\\slash\\nnewline"),
+            std::string::npos);
+}
+
+TEST(TraceWriter, RejectsNegativeDuration) {
+  TraceWriter w;
+  EXPECT_THROW(w.add_event("x", "c", 0, 0.0, -1.0),
+               InvalidArgumentError);
+}
+
+TEST(TraceWriter, WritesFile) {
+  const std::string path = ::testing::TempDir() + "/mlm_trace_test.json";
+  TraceWriter w;
+  w.add_event("phase", "cat", 0, 0.0, 1.0);
+  w.write_file(path);
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  EXPECT_EQ(os.str(), w.to_json());
+  std::remove(path.c_str());
+}
+
+TEST(TraceWriter, UnwritablePathThrows) {
+  TraceWriter w;
+  EXPECT_THROW(w.write_file("/nonexistent-dir/trace.json"), Error);
+}
+
+}  // namespace
+}  // namespace mlm

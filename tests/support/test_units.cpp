@@ -1,0 +1,32 @@
+#include "mlm/support/units.h"
+
+#include <gtest/gtest.h>
+
+namespace mlm {
+namespace {
+
+TEST(Units, BinaryCapacities) {
+  EXPECT_EQ(KiB(1), 1024u);
+  EXPECT_EQ(MiB(1), 1024u * 1024u);
+  EXPECT_EQ(GiB(16), 16ull * 1024 * 1024 * 1024);
+}
+
+TEST(Units, DecimalBandwidth) {
+  EXPECT_DOUBLE_EQ(gb_per_s(90.0), 90e9);
+  EXPECT_DOUBLE_EQ(gb_per_s(400.0), 400e9);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(bytes_to_gb(14.9e9), 14.9);
+  EXPECT_DOUBLE_EQ(bytes_to_gib(static_cast<double>(GiB(16))), 16.0);
+  // The classic GB-vs-GiB gap: 16 GiB is ~17.18 GB.
+  EXPECT_NEAR(bytes_to_gb(static_cast<double>(GiB(16))), 17.18, 0.01);
+}
+
+TEST(Units, Time) {
+  EXPECT_DOUBLE_EQ(ms(250.0), 0.25);
+  EXPECT_DOUBLE_EQ(us(1.0), 1e-6);
+}
+
+}  // namespace
+}  // namespace mlm
