@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_buffering"
+  "../bench/bench_ablation_buffering.pdb"
+  "CMakeFiles/bench_ablation_buffering.dir/bench_ablation_buffering.cpp.o"
+  "CMakeFiles/bench_ablation_buffering.dir/bench_ablation_buffering.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_serialsort"
+  "../bench/bench_ablation_serialsort.pdb"
+  "CMakeFiles/bench_ablation_serialsort.dir/bench_ablation_serialsort.cpp.o"
+  "CMakeFiles/bench_ablation_serialsort.dir/bench_ablation_serialsort.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_serialsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

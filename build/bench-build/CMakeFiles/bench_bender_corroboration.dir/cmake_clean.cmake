@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bender_corroboration"
+  "../bench/bench_bender_corroboration.pdb"
+  "CMakeFiles/bench_bender_corroboration.dir/bench_bender_corroboration.cpp.o"
+  "CMakeFiles/bench_bender_corroboration.dir/bench_bender_corroboration.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bender_corroboration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_bender_corroboration.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_buffered_mlmsort"
+  "../bench/bench_ext_buffered_mlmsort.pdb"
+  "CMakeFiles/bench_ext_buffered_mlmsort.dir/bench_ext_buffered_mlmsort.cpp.o"
+  "CMakeFiles/bench_ext_buffered_mlmsort.dir/bench_ext_buffered_mlmsort.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_buffered_mlmsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

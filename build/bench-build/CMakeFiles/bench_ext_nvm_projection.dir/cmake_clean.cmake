@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_nvm_projection"
+  "../bench/bench_ext_nvm_projection.pdb"
+  "CMakeFiles/bench_ext_nvm_projection.dir/bench_ext_nvm_projection.cpp.o"
+  "CMakeFiles/bench_ext_nvm_projection.dir/bench_ext_nvm_projection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_nvm_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

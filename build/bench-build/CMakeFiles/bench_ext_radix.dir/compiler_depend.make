@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_ext_radix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_scatter.cpp" "bench-build/CMakeFiles/bench_ext_scatter.dir/bench_ext_scatter.cpp.o" "gcc" "bench-build/CMakeFiles/bench_ext_scatter.dir/bench_ext_scatter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mlm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/knlsim/CMakeFiles/mlm_knlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/mlm_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mlm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/mlm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mlm_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mlm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

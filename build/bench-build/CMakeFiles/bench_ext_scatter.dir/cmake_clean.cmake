@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_scatter"
+  "../bench/bench_ext_scatter.pdb"
+  "CMakeFiles/bench_ext_scatter.dir/bench_ext_scatter.cpp.o"
+  "CMakeFiles/bench_ext_scatter.dir/bench_ext_scatter.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

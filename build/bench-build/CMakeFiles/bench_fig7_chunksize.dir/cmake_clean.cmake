@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_chunksize"
+  "../bench/bench_fig7_chunksize.pdb"
+  "CMakeFiles/bench_fig7_chunksize.dir/bench_fig7_chunksize.cpp.o"
+  "CMakeFiles/bench_fig7_chunksize.dir/bench_fig7_chunksize.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_chunksize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

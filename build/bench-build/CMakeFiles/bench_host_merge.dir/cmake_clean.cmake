@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_host_merge"
+  "../bench/bench_host_merge.pdb"
+  "CMakeFiles/bench_host_merge.dir/bench_host_merge.cpp.o"
+  "CMakeFiles/bench_host_merge.dir/bench_host_merge.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_merge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

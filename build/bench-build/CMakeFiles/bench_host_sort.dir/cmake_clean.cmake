@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_host_sort"
+  "../bench/bench_host_sort.pdb"
+  "CMakeFiles/bench_host_sort.dir/bench_host_sort.cpp.o"
+  "CMakeFiles/bench_host_sort.dir/bench_host_sort.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_host_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_copythreads"
+  "../bench/bench_table3_copythreads.pdb"
+  "CMakeFiles/bench_table3_copythreads.dir/bench_table3_copythreads.cpp.o"
+  "CMakeFiles/bench_table3_copythreads.dir/bench_table3_copythreads.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_copythreads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copy_thread_planner.dir/copy_thread_planner.cpp.o"
+  "CMakeFiles/copy_thread_planner.dir/copy_thread_planner.cpp.o.d"
+  "copy_thread_planner"
+  "copy_thread_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copy_thread_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_sort_demo.dir/external_sort_demo.cpp.o"
+  "CMakeFiles/external_sort_demo.dir/external_sort_demo.cpp.o.d"
+  "external_sort_demo"
+  "external_sort_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_sort_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_of_core_wordstats.dir/out_of_core_wordstats.cpp.o"
+  "CMakeFiles/out_of_core_wordstats.dir/out_of_core_wordstats.cpp.o.d"
+  "out_of_core_wordstats"
+  "out_of_core_wordstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_of_core_wordstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

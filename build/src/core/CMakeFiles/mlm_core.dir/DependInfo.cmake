@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/src/buffer_model.cpp" "src/core/CMakeFiles/mlm_core.dir/src/buffer_model.cpp.o" "gcc" "src/core/CMakeFiles/mlm_core.dir/src/buffer_model.cpp.o.d"
+  "/root/repo/src/core/src/chunk_pipeline.cpp" "src/core/CMakeFiles/mlm_core.dir/src/chunk_pipeline.cpp.o" "gcc" "src/core/CMakeFiles/mlm_core.dir/src/chunk_pipeline.cpp.o.d"
+  "/root/repo/src/core/src/copy_thread_tuner.cpp" "src/core/CMakeFiles/mlm_core.dir/src/copy_thread_tuner.cpp.o" "gcc" "src/core/CMakeFiles/mlm_core.dir/src/copy_thread_tuner.cpp.o.d"
+  "/root/repo/src/core/src/merge_bench.cpp" "src/core/CMakeFiles/mlm_core.dir/src/merge_bench.cpp.o" "gcc" "src/core/CMakeFiles/mlm_core.dir/src/merge_bench.cpp.o.d"
+  "/root/repo/src/core/src/mlm_sort.cpp" "src/core/CMakeFiles/mlm_core.dir/src/mlm_sort.cpp.o" "gcc" "src/core/CMakeFiles/mlm_core.dir/src/mlm_sort.cpp.o.d"
+  "/root/repo/src/core/src/scatter_bench.cpp" "src/core/CMakeFiles/mlm_core.dir/src/scatter_bench.cpp.o" "gcc" "src/core/CMakeFiles/mlm_core.dir/src/scatter_bench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mlm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mlm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/mlm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/mlm_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mlm_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlm_core.dir/src/buffer_model.cpp.o"
+  "CMakeFiles/mlm_core.dir/src/buffer_model.cpp.o.d"
+  "CMakeFiles/mlm_core.dir/src/chunk_pipeline.cpp.o"
+  "CMakeFiles/mlm_core.dir/src/chunk_pipeline.cpp.o.d"
+  "CMakeFiles/mlm_core.dir/src/copy_thread_tuner.cpp.o"
+  "CMakeFiles/mlm_core.dir/src/copy_thread_tuner.cpp.o.d"
+  "CMakeFiles/mlm_core.dir/src/merge_bench.cpp.o"
+  "CMakeFiles/mlm_core.dir/src/merge_bench.cpp.o.d"
+  "CMakeFiles/mlm_core.dir/src/mlm_sort.cpp.o"
+  "CMakeFiles/mlm_core.dir/src/mlm_sort.cpp.o.d"
+  "CMakeFiles/mlm_core.dir/src/scatter_bench.cpp.o"
+  "CMakeFiles/mlm_core.dir/src/scatter_bench.cpp.o.d"
+  "libmlm_core.a"
+  "libmlm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

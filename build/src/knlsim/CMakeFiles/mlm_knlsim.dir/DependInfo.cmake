@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/knlsim/src/cache_model.cpp" "src/knlsim/CMakeFiles/mlm_knlsim.dir/src/cache_model.cpp.o" "gcc" "src/knlsim/CMakeFiles/mlm_knlsim.dir/src/cache_model.cpp.o.d"
+  "/root/repo/src/knlsim/src/cluster_timeline.cpp" "src/knlsim/CMakeFiles/mlm_knlsim.dir/src/cluster_timeline.cpp.o" "gcc" "src/knlsim/CMakeFiles/mlm_knlsim.dir/src/cluster_timeline.cpp.o.d"
+  "/root/repo/src/knlsim/src/engine.cpp" "src/knlsim/CMakeFiles/mlm_knlsim.dir/src/engine.cpp.o" "gcc" "src/knlsim/CMakeFiles/mlm_knlsim.dir/src/engine.cpp.o.d"
+  "/root/repo/src/knlsim/src/knl_node.cpp" "src/knlsim/CMakeFiles/mlm_knlsim.dir/src/knl_node.cpp.o" "gcc" "src/knlsim/CMakeFiles/mlm_knlsim.dir/src/knl_node.cpp.o.d"
+  "/root/repo/src/knlsim/src/merge_bench_timeline.cpp" "src/knlsim/CMakeFiles/mlm_knlsim.dir/src/merge_bench_timeline.cpp.o" "gcc" "src/knlsim/CMakeFiles/mlm_knlsim.dir/src/merge_bench_timeline.cpp.o.d"
+  "/root/repo/src/knlsim/src/nvm_timeline.cpp" "src/knlsim/CMakeFiles/mlm_knlsim.dir/src/nvm_timeline.cpp.o" "gcc" "src/knlsim/CMakeFiles/mlm_knlsim.dir/src/nvm_timeline.cpp.o.d"
+  "/root/repo/src/knlsim/src/scatter_timeline.cpp" "src/knlsim/CMakeFiles/mlm_knlsim.dir/src/scatter_timeline.cpp.o" "gcc" "src/knlsim/CMakeFiles/mlm_knlsim.dir/src/scatter_timeline.cpp.o.d"
+  "/root/repo/src/knlsim/src/sort_timeline.cpp" "src/knlsim/CMakeFiles/mlm_knlsim.dir/src/sort_timeline.cpp.o" "gcc" "src/knlsim/CMakeFiles/mlm_knlsim.dir/src/sort_timeline.cpp.o.d"
+  "/root/repo/src/knlsim/src/stream_bench.cpp" "src/knlsim/CMakeFiles/mlm_knlsim.dir/src/stream_bench.cpp.o" "gcc" "src/knlsim/CMakeFiles/mlm_knlsim.dir/src/stream_bench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mlm_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mlm_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/mlm_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

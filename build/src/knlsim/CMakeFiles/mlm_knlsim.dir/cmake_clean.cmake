@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlm_knlsim.dir/src/cache_model.cpp.o"
+  "CMakeFiles/mlm_knlsim.dir/src/cache_model.cpp.o.d"
+  "CMakeFiles/mlm_knlsim.dir/src/cluster_timeline.cpp.o"
+  "CMakeFiles/mlm_knlsim.dir/src/cluster_timeline.cpp.o.d"
+  "CMakeFiles/mlm_knlsim.dir/src/engine.cpp.o"
+  "CMakeFiles/mlm_knlsim.dir/src/engine.cpp.o.d"
+  "CMakeFiles/mlm_knlsim.dir/src/knl_node.cpp.o"
+  "CMakeFiles/mlm_knlsim.dir/src/knl_node.cpp.o.d"
+  "CMakeFiles/mlm_knlsim.dir/src/merge_bench_timeline.cpp.o"
+  "CMakeFiles/mlm_knlsim.dir/src/merge_bench_timeline.cpp.o.d"
+  "CMakeFiles/mlm_knlsim.dir/src/nvm_timeline.cpp.o"
+  "CMakeFiles/mlm_knlsim.dir/src/nvm_timeline.cpp.o.d"
+  "CMakeFiles/mlm_knlsim.dir/src/scatter_timeline.cpp.o"
+  "CMakeFiles/mlm_knlsim.dir/src/scatter_timeline.cpp.o.d"
+  "CMakeFiles/mlm_knlsim.dir/src/sort_timeline.cpp.o"
+  "CMakeFiles/mlm_knlsim.dir/src/sort_timeline.cpp.o.d"
+  "CMakeFiles/mlm_knlsim.dir/src/stream_bench.cpp.o"
+  "CMakeFiles/mlm_knlsim.dir/src/stream_bench.cpp.o.d"
+  "libmlm_knlsim.a"
+  "libmlm_knlsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlm_knlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlm_machine.dir/src/knl_config.cpp.o"
+  "CMakeFiles/mlm_machine.dir/src/knl_config.cpp.o.d"
+  "CMakeFiles/mlm_machine.dir/src/nvm_config.cpp.o"
+  "CMakeFiles/mlm_machine.dir/src/nvm_config.cpp.o.d"
+  "libmlm_machine.a"
+  "libmlm_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlm_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmlm_machine.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/memory/src/dual_space.cpp" "src/memory/CMakeFiles/mlm_memory.dir/src/dual_space.cpp.o" "gcc" "src/memory/CMakeFiles/mlm_memory.dir/src/dual_space.cpp.o.d"
+  "/root/repo/src/memory/src/memkind_shim.cpp" "src/memory/CMakeFiles/mlm_memory.dir/src/memkind_shim.cpp.o" "gcc" "src/memory/CMakeFiles/mlm_memory.dir/src/memkind_shim.cpp.o.d"
+  "/root/repo/src/memory/src/memory_space.cpp" "src/memory/CMakeFiles/mlm_memory.dir/src/memory_space.cpp.o" "gcc" "src/memory/CMakeFiles/mlm_memory.dir/src/memory_space.cpp.o.d"
+  "/root/repo/src/memory/src/triple_space.cpp" "src/memory/CMakeFiles/mlm_memory.dir/src/triple_space.cpp.o" "gcc" "src/memory/CMakeFiles/mlm_memory.dir/src/triple_space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mlm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

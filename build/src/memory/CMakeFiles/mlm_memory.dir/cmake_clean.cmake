@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlm_memory.dir/src/dual_space.cpp.o"
+  "CMakeFiles/mlm_memory.dir/src/dual_space.cpp.o.d"
+  "CMakeFiles/mlm_memory.dir/src/memkind_shim.cpp.o"
+  "CMakeFiles/mlm_memory.dir/src/memkind_shim.cpp.o.d"
+  "CMakeFiles/mlm_memory.dir/src/memory_space.cpp.o"
+  "CMakeFiles/mlm_memory.dir/src/memory_space.cpp.o.d"
+  "CMakeFiles/mlm_memory.dir/src/triple_space.cpp.o"
+  "CMakeFiles/mlm_memory.dir/src/triple_space.cpp.o.d"
+  "libmlm_memory.a"
+  "libmlm_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlm_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

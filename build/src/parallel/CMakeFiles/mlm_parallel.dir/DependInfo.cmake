@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/src/parallel_memcpy.cpp" "src/parallel/CMakeFiles/mlm_parallel.dir/src/parallel_memcpy.cpp.o" "gcc" "src/parallel/CMakeFiles/mlm_parallel.dir/src/parallel_memcpy.cpp.o.d"
+  "/root/repo/src/parallel/src/thread_pool.cpp" "src/parallel/CMakeFiles/mlm_parallel.dir/src/thread_pool.cpp.o" "gcc" "src/parallel/CMakeFiles/mlm_parallel.dir/src/thread_pool.cpp.o.d"
+  "/root/repo/src/parallel/src/triple_pools.cpp" "src/parallel/CMakeFiles/mlm_parallel.dir/src/triple_pools.cpp.o" "gcc" "src/parallel/CMakeFiles/mlm_parallel.dir/src/triple_pools.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/mlm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

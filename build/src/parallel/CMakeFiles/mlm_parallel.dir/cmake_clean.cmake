@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlm_parallel.dir/src/parallel_memcpy.cpp.o"
+  "CMakeFiles/mlm_parallel.dir/src/parallel_memcpy.cpp.o.d"
+  "CMakeFiles/mlm_parallel.dir/src/thread_pool.cpp.o"
+  "CMakeFiles/mlm_parallel.dir/src/thread_pool.cpp.o.d"
+  "CMakeFiles/mlm_parallel.dir/src/triple_pools.cpp.o"
+  "CMakeFiles/mlm_parallel.dir/src/triple_pools.cpp.o.d"
+  "libmlm_parallel.a"
+  "libmlm_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlm_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

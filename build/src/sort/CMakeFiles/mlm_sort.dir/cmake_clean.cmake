@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlm_sort.dir/src/input_gen.cpp.o"
+  "CMakeFiles/mlm_sort.dir/src/input_gen.cpp.o.d"
+  "libmlm_sort.a"
+  "libmlm_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlm_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlm_support.dir/src/cli.cpp.o"
+  "CMakeFiles/mlm_support.dir/src/cli.cpp.o.d"
+  "CMakeFiles/mlm_support.dir/src/csv.cpp.o"
+  "CMakeFiles/mlm_support.dir/src/csv.cpp.o.d"
+  "CMakeFiles/mlm_support.dir/src/error.cpp.o"
+  "CMakeFiles/mlm_support.dir/src/error.cpp.o.d"
+  "CMakeFiles/mlm_support.dir/src/stats.cpp.o"
+  "CMakeFiles/mlm_support.dir/src/stats.cpp.o.d"
+  "CMakeFiles/mlm_support.dir/src/table.cpp.o"
+  "CMakeFiles/mlm_support.dir/src/table.cpp.o.d"
+  "CMakeFiles/mlm_support.dir/src/trace.cpp.o"
+  "CMakeFiles/mlm_support.dir/src/trace.cpp.o.d"
+  "libmlm_support.a"
+  "libmlm_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlm_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

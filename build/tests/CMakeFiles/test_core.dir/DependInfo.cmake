@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_buffer_model.cpp" "tests/CMakeFiles/test_core.dir/core/test_buffer_model.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_buffer_model.cpp.o.d"
+  "/root/repo/tests/core/test_chunk_pipeline.cpp" "tests/CMakeFiles/test_core.dir/core/test_chunk_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_chunk_pipeline.cpp.o.d"
+  "/root/repo/tests/core/test_copy_thread_tuner.cpp" "tests/CMakeFiles/test_core.dir/core/test_copy_thread_tuner.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_copy_thread_tuner.cpp.o.d"
+  "/root/repo/tests/core/test_external_sort.cpp" "tests/CMakeFiles/test_core.dir/core/test_external_sort.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_external_sort.cpp.o.d"
+  "/root/repo/tests/core/test_merge_bench.cpp" "tests/CMakeFiles/test_core.dir/core/test_merge_bench.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_merge_bench.cpp.o.d"
+  "/root/repo/tests/core/test_mlm_radix.cpp" "tests/CMakeFiles/test_core.dir/core/test_mlm_radix.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_mlm_radix.cpp.o.d"
+  "/root/repo/tests/core/test_mlm_sort.cpp" "tests/CMakeFiles/test_core.dir/core/test_mlm_sort.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_mlm_sort.cpp.o.d"
+  "/root/repo/tests/core/test_mlm_sort_buffered.cpp" "tests/CMakeFiles/test_core.dir/core/test_mlm_sort_buffered.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_mlm_sort_buffered.cpp.o.d"
+  "/root/repo/tests/core/test_scatter_bench.cpp" "tests/CMakeFiles/test_core.dir/core/test_scatter_bench.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_scatter_bench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mlm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/knlsim/CMakeFiles/mlm_knlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/mlm_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mlm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/mlm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mlm_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mlm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

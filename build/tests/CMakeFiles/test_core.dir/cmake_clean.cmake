@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_buffer_model.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_buffer_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_chunk_pipeline.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_chunk_pipeline.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_copy_thread_tuner.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_copy_thread_tuner.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_external_sort.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_external_sort.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_merge_bench.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_merge_bench.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mlm_radix.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mlm_radix.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mlm_sort.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mlm_sort.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_mlm_sort_buffered.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_mlm_sort_buffered.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_scatter_bench.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_scatter_bench.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

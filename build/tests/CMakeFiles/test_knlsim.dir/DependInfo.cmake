@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/knlsim/test_cache_model.cpp" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_cache_model.cpp.o" "gcc" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_cache_model.cpp.o.d"
+  "/root/repo/tests/knlsim/test_cluster_timeline.cpp" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_cluster_timeline.cpp.o" "gcc" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_cluster_timeline.cpp.o.d"
+  "/root/repo/tests/knlsim/test_engine.cpp" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_engine.cpp.o" "gcc" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_engine.cpp.o.d"
+  "/root/repo/tests/knlsim/test_engine_properties.cpp" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_engine_properties.cpp.o" "gcc" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_engine_properties.cpp.o.d"
+  "/root/repo/tests/knlsim/test_knl_node.cpp" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_knl_node.cpp.o" "gcc" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_knl_node.cpp.o.d"
+  "/root/repo/tests/knlsim/test_merge_bench_timeline.cpp" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_merge_bench_timeline.cpp.o" "gcc" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_merge_bench_timeline.cpp.o.d"
+  "/root/repo/tests/knlsim/test_nvm_timeline.cpp" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_nvm_timeline.cpp.o" "gcc" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_nvm_timeline.cpp.o.d"
+  "/root/repo/tests/knlsim/test_scatter_timeline.cpp" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_scatter_timeline.cpp.o" "gcc" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_scatter_timeline.cpp.o.d"
+  "/root/repo/tests/knlsim/test_sort_timeline.cpp" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_sort_timeline.cpp.o" "gcc" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_sort_timeline.cpp.o.d"
+  "/root/repo/tests/knlsim/test_sort_timeline_buffered.cpp" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_sort_timeline_buffered.cpp.o" "gcc" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_sort_timeline_buffered.cpp.o.d"
+  "/root/repo/tests/knlsim/test_stream_bench.cpp" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_stream_bench.cpp.o" "gcc" "tests/CMakeFiles/test_knlsim.dir/knlsim/test_stream_bench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mlm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/knlsim/CMakeFiles/mlm_knlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/mlm_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mlm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/mlm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mlm_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mlm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

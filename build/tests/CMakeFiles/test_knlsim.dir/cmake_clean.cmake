@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_knlsim.dir/knlsim/test_cache_model.cpp.o"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_cache_model.cpp.o.d"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_cluster_timeline.cpp.o"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_cluster_timeline.cpp.o.d"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_engine.cpp.o"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_engine.cpp.o.d"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_engine_properties.cpp.o"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_engine_properties.cpp.o.d"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_knl_node.cpp.o"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_knl_node.cpp.o.d"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_merge_bench_timeline.cpp.o"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_merge_bench_timeline.cpp.o.d"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_nvm_timeline.cpp.o"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_nvm_timeline.cpp.o.d"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_scatter_timeline.cpp.o"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_scatter_timeline.cpp.o.d"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_sort_timeline.cpp.o"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_sort_timeline.cpp.o.d"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_sort_timeline_buffered.cpp.o"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_sort_timeline_buffered.cpp.o.d"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_stream_bench.cpp.o"
+  "CMakeFiles/test_knlsim.dir/knlsim/test_stream_bench.cpp.o.d"
+  "test_knlsim"
+  "test_knlsim.pdb"
+  "test_knlsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_knlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

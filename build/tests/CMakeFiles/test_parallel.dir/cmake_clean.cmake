@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel.dir/parallel/test_latch.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_latch.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_parallel_for.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_parallel_for.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_parallel_memcpy.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_parallel_memcpy.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_partition.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_partition.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_thread_pool.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_thread_pool.cpp.o.d"
+  "CMakeFiles/test_parallel.dir/parallel/test_triple_pools.cpp.o"
+  "CMakeFiles/test_parallel.dir/parallel/test_triple_pools.cpp.o.d"
+  "test_parallel"
+  "test_parallel.pdb"
+  "test_parallel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sort/test_funnelsort.cpp" "tests/CMakeFiles/test_sort.dir/sort/test_funnelsort.cpp.o" "gcc" "tests/CMakeFiles/test_sort.dir/sort/test_funnelsort.cpp.o.d"
+  "/root/repo/tests/sort/test_input_gen.cpp" "tests/CMakeFiles/test_sort.dir/sort/test_input_gen.cpp.o" "gcc" "tests/CMakeFiles/test_sort.dir/sort/test_input_gen.cpp.o.d"
+  "/root/repo/tests/sort/test_loser_tree.cpp" "tests/CMakeFiles/test_sort.dir/sort/test_loser_tree.cpp.o" "gcc" "tests/CMakeFiles/test_sort.dir/sort/test_loser_tree.cpp.o.d"
+  "/root/repo/tests/sort/test_multiseq_partition.cpp" "tests/CMakeFiles/test_sort.dir/sort/test_multiseq_partition.cpp.o" "gcc" "tests/CMakeFiles/test_sort.dir/sort/test_multiseq_partition.cpp.o.d"
+  "/root/repo/tests/sort/test_multiway_merge.cpp" "tests/CMakeFiles/test_sort.dir/sort/test_multiway_merge.cpp.o" "gcc" "tests/CMakeFiles/test_sort.dir/sort/test_multiway_merge.cpp.o.d"
+  "/root/repo/tests/sort/test_parallel_sort.cpp" "tests/CMakeFiles/test_sort.dir/sort/test_parallel_sort.cpp.o" "gcc" "tests/CMakeFiles/test_sort.dir/sort/test_parallel_sort.cpp.o.d"
+  "/root/repo/tests/sort/test_radix_sort.cpp" "tests/CMakeFiles/test_sort.dir/sort/test_radix_sort.cpp.o" "gcc" "tests/CMakeFiles/test_sort.dir/sort/test_radix_sort.cpp.o.d"
+  "/root/repo/tests/sort/test_serial_sort.cpp" "tests/CMakeFiles/test_sort.dir/sort/test_serial_sort.cpp.o" "gcc" "tests/CMakeFiles/test_sort.dir/sort/test_serial_sort.cpp.o.d"
+  "/root/repo/tests/sort/test_stable_sort.cpp" "tests/CMakeFiles/test_sort.dir/sort/test_stable_sort.cpp.o" "gcc" "tests/CMakeFiles/test_sort.dir/sort/test_stable_sort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mlm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/knlsim/CMakeFiles/mlm_knlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/mlm_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mlm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/mlm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mlm_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mlm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sort.dir/sort/test_funnelsort.cpp.o"
+  "CMakeFiles/test_sort.dir/sort/test_funnelsort.cpp.o.d"
+  "CMakeFiles/test_sort.dir/sort/test_input_gen.cpp.o"
+  "CMakeFiles/test_sort.dir/sort/test_input_gen.cpp.o.d"
+  "CMakeFiles/test_sort.dir/sort/test_loser_tree.cpp.o"
+  "CMakeFiles/test_sort.dir/sort/test_loser_tree.cpp.o.d"
+  "CMakeFiles/test_sort.dir/sort/test_multiseq_partition.cpp.o"
+  "CMakeFiles/test_sort.dir/sort/test_multiseq_partition.cpp.o.d"
+  "CMakeFiles/test_sort.dir/sort/test_multiway_merge.cpp.o"
+  "CMakeFiles/test_sort.dir/sort/test_multiway_merge.cpp.o.d"
+  "CMakeFiles/test_sort.dir/sort/test_parallel_sort.cpp.o"
+  "CMakeFiles/test_sort.dir/sort/test_parallel_sort.cpp.o.d"
+  "CMakeFiles/test_sort.dir/sort/test_radix_sort.cpp.o"
+  "CMakeFiles/test_sort.dir/sort/test_radix_sort.cpp.o.d"
+  "CMakeFiles/test_sort.dir/sort/test_serial_sort.cpp.o"
+  "CMakeFiles/test_sort.dir/sort/test_serial_sort.cpp.o.d"
+  "CMakeFiles/test_sort.dir/sort/test_stable_sort.cpp.o"
+  "CMakeFiles/test_sort.dir/sort/test_stable_sort.cpp.o.d"
+  "test_sort"
+  "test_sort.pdb"
+  "test_sort[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

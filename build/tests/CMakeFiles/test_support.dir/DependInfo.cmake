@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/support/test_cli.cpp" "tests/CMakeFiles/test_support.dir/support/test_cli.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_cli.cpp.o.d"
+  "/root/repo/tests/support/test_csv.cpp" "tests/CMakeFiles/test_support.dir/support/test_csv.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_csv.cpp.o.d"
+  "/root/repo/tests/support/test_error.cpp" "tests/CMakeFiles/test_support.dir/support/test_error.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_error.cpp.o.d"
+  "/root/repo/tests/support/test_rng.cpp" "tests/CMakeFiles/test_support.dir/support/test_rng.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_rng.cpp.o.d"
+  "/root/repo/tests/support/test_stats.cpp" "tests/CMakeFiles/test_support.dir/support/test_stats.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_stats.cpp.o.d"
+  "/root/repo/tests/support/test_table.cpp" "tests/CMakeFiles/test_support.dir/support/test_table.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_table.cpp.o.d"
+  "/root/repo/tests/support/test_trace.cpp" "tests/CMakeFiles/test_support.dir/support/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_trace.cpp.o.d"
+  "/root/repo/tests/support/test_units.cpp" "tests/CMakeFiles/test_support.dir/support/test_units.cpp.o" "gcc" "tests/CMakeFiles/test_support.dir/support/test_units.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mlm_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/knlsim/CMakeFiles/mlm_knlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sort/CMakeFiles/mlm_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/mlm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/mlm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mlm_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mlm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tools/calibrate_sort_model.cpp" "tools/CMakeFiles/calibrate_sort_model.dir/calibrate_sort_model.cpp.o" "gcc" "tools/CMakeFiles/calibrate_sort_model.dir/calibrate_sort_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/knlsim/CMakeFiles/mlm_knlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/mlm_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/mlm_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/mlm_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

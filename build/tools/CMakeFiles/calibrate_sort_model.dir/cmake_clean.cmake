@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_sort_model.dir/calibrate_sort_model.cpp.o"
+  "CMakeFiles/calibrate_sort_model.dir/calibrate_sort_model.cpp.o.d"
+  "calibrate_sort_model"
+  "calibrate_sort_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_sort_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
