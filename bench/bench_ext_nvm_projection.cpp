@@ -10,6 +10,7 @@
 #include <string>
 
 #include "mlm/knlsim/nvm_timeline.h"
+#include "mlm/machine/tier_params.h"
 #include "mlm/support/cli.h"
 #include "mlm/support/csv.h"
 #include "mlm/support/table.h"
@@ -50,6 +51,9 @@ int main(int argc, char** argv) {
   for (double write_gbps : {11.0, 30.0}) {
     NvmConfig nvm = optane_pmm();
     nvm.write_bw = gb_per_s(write_gbps);
+    // The same far->near tier list an executable MemoryHierarchy would
+    // be built from parameterizes the projection.
+    const std::vector<TierConfig> tiers = describe_tiers(machine, nvm);
     for (std::uint64_t n : {16'000'000'000ull, 24'000'000'000ull,
                             48'000'000'000ull}) {
       table.add_rule();
@@ -57,8 +61,8 @@ int main(int argc, char** argv) {
         NvmSortConfig cfg;
         cfg.strategy = s;
         cfg.elements = n;
-        const NvmSortResult r =
-            simulate_nvm_sort(machine, nvm, params, cfg);
+        const NvmSortResult r = simulate_nvm_sort(
+            std::span<const TierConfig>(tiers), machine, params, cfg);
         table.add_row({fmt_count(n), fmt_double(write_gbps, 0),
                        to_string(s), fmt_double(r.seconds, 1),
                        fmt_double(r.staging_seconds, 1),

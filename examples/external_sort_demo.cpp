@@ -7,15 +7,28 @@
 // block-buffered external merge staged through DDR finishes the sort.
 #include <algorithm>
 #include <iostream>
+#include <string>
 
 #include "mlm/core/external_sort.h"
 #include "mlm/sort/input_gen.h"
 #include "mlm/support/stopwatch.h"
 #include "mlm/support/table.h"
+#include "mlm/support/trace.h"
 #include "mlm/support/units.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mlm;
+
+  std::string trace_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--trace=out.json]\n";
+      return 2;
+    }
+  }
 
   TripleSpaceConfig tcfg;
   tcfg.mode = McdramMode::Flat;
@@ -41,6 +54,22 @@ int main() {
 
   core::ExternalSortConfig cfg;
   cfg.inner.variant = core::MlmVariant::Flat;
+
+  // One track per tier level: NVM<->DDR staging traffic, the DDR-level
+  // outer sorts, and the MCDRAM-level megachunk work.
+  TraceWriter trace;
+  Stopwatch epoch;
+  if (!trace_path.empty()) {
+    trace.set_track_name(0, "L0 nvm<->ddr staging/merge");
+    trace.set_track_name(1, "L1 ddr outer sort");
+    trace.set_track_name(2, "L2 mcdram megachunks");
+    cfg.trace = &trace;
+    cfg.trace_track = 0;
+    cfg.trace_epoch = &epoch;
+    cfg.inner.trace = &trace;
+    cfg.inner.trace_track = 2;
+    cfg.inner.trace_epoch = &epoch;
+  }
   core::ExternalMlmSorter<std::int64_t> sorter(space, pool, cfg);
 
   Stopwatch timer;
@@ -64,6 +93,18 @@ int main() {
             << fmt_count(tcfg.ddr_bytes) << "\n"
             << "MCDRAM high-water:              "
             << fmt_count(space.mcdram().stats().high_water_bytes)
-            << " of " << fmt_count(tcfg.mcdram_bytes) << "\n";
+            << " of " << fmt_count(tcfg.mcdram_bytes) << "\n"
+            << "Phases (staging/sorting/merging): "
+            << fmt_double(stats.staging_seconds, 2) << " / "
+            << fmt_double(stats.sorting_seconds, 2) << " / "
+            << fmt_double(stats.merging_seconds, 2) << " s\n"
+            << "NVM traffic (read/write):       "
+            << fmt_count(stats.nvm_read_bytes) << " / "
+            << fmt_count(stats.nvm_write_bytes) << " B\n";
+  if (!trace_path.empty()) {
+    trace.write_file(trace_path);
+    std::cout << "Trace (" << trace.size() << " events, 3 tier tracks): "
+              << trace_path << "\n";
+  }
   return ok ? 0 : 1;
 }

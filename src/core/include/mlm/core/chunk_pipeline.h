@@ -1,26 +1,39 @@
 // ChunkPipeline: the paper's triple-buffered chunking scheme (Section 3,
 // Figure 2) as executable host code.
 //
-// A large far-memory (DDR) array is processed in near-memory-sized
-// chunks by three dedicated thread pools: while the compute pool works
-// on chunk s-1 in near memory, the copy-in pool loads chunk s and the
-// copy-out pool stores chunk s-2.  Steps are barriers: a step ends when
-// its three stages have all finished — the same semantics the analytic
-// model (mlm/core/buffer_model.h) and the simulator assume.
+// A large far-memory array is processed in near-memory-sized chunks by
+// three dedicated thread pools: while the compute pool works on chunk
+// s-1 in near memory, the copy-in pool loads chunk s and the copy-out
+// pool stores chunk s-2.  Steps are barriers: a step ends when its three
+// stages have all finished — the same semantics the analytic model
+// (mlm/core/buffer_model.h) and the simulator assume.
 //
-// In modes without addressable MCDRAM (implicit cache mode, DDR-only)
-// the pipeline degenerates as the paper describes (§3.1): no explicit
-// copies happen, all threads compute, and each chunk is processed in
-// place — the hardware cache (when present) does the data movement.
+// The engine is expressed against one adjacent *tier pair* of a
+// MemoryHierarchy (mlm/memory/memory_hierarchy.h).  When the pair has no
+// addressable near tier (implicit cache mode, DDR-only) the pipeline
+// degenerates as the paper describes (§3.1): no explicit copies happen,
+// all threads compute, and each chunk is processed in place — the
+// hardware cache (when present) does the data movement.
+//
+// run_tiered_pipeline composes pipelines across every adjacent pair of
+// an N-tier hierarchy: the outer level streams farthest-tier-resident
+// megachunks into the middle tier while the inner level streams those
+// through the nearest tier — the paper's §6 "double chunking", for any
+// number of levels.
 #pragma once
 
 #include <cstddef>
 #include <functional>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "mlm/memory/dual_space.h"
+#include "mlm/memory/memory_hierarchy.h"
 #include "mlm/parallel/triple_pools.h"
+#include "mlm/support/error.h"
+#include "mlm/support/stopwatch.h"
+#include "mlm/support/trace.h"
 
 namespace mlm::core {
 
@@ -41,19 +54,55 @@ struct PipelineStats {
   std::vector<double> step_seconds;
   std::uint64_t bytes_copied_in = 0;
   std::uint64_t bytes_copied_out = 0;
+  /// Per-stage busy time: the span from posting a stage's slices to
+  /// their completion, summed over steps.  Overlapped stages share wall
+  /// time, so the three can sum to more than total_seconds.
+  double copy_in_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double copy_out_seconds = 0.0;
+
+  /// Effective far<->near transfer bandwidth observed per direction
+  /// (bytes over stage span; 0 when the stage never ran).
+  double effective_in_bw() const {
+    return copy_in_seconds > 0.0
+               ? static_cast<double>(bytes_copied_in) / copy_in_seconds
+               : 0.0;
+  }
+  double effective_out_bw() const {
+    return copy_out_seconds > 0.0
+               ? static_cast<double>(bytes_copied_out) / copy_out_seconds
+               : 0.0;
+  }
+
+  /// Accumulate another run's counters (tiered runs invoke the inner
+  /// pipeline once per outer chunk and merge the results per level).
+  void merge(const PipelineStats& other);
+};
+
+/// Optional Perfetto/chrome://tracing export of per-stage spans.
+struct PipelineTraceConfig {
+  TraceWriter* writer = nullptr;   ///< null = tracing off
+  /// Copy-in events land on `track_base`, compute on +1, copy-out on +2.
+  std::uint32_t track_base = 0;
+  std::string label;               ///< event-name prefix (e.g. "L0 ")
+  /// Shared clock so nested pipelines align on one timeline; null = the
+  /// run's own epoch.
+  const Stopwatch* epoch = nullptr;
 };
 
 /// Pipeline configuration.
 struct PipelineConfig {
   /// Chunk size in bytes; must allow `buffer_count` live buffers in the
   /// near space when explicit copies are used.  0 = near capacity
-  /// divided by the buffer count.
+  /// divided by the buffer count (the whole span when the near tier is
+  /// unlimited or absent).
   std::size_t chunk_bytes = 0;
   PoolSizes pools;
   Buffering buffering = Buffering::Triple;
   /// If false, chunks are read-only for compute and are not copied back
   /// (e.g. reductions); the copy-out pool idles.
   bool write_back = true;
+  PipelineTraceConfig trace;
 };
 
 /// Compute stage callback: process `chunk` (resident in near memory, or
@@ -63,14 +112,58 @@ using ComputeFn = std::function<void(std::span<std::byte> chunk,
                                      ThreadPool& pool,
                                      std::size_t chunk_index)>;
 
-/// Stream `data` through the near memory of `space` chunk by chunk,
-/// applying `compute` to each chunk.  Modifications are written back to
-/// `data` (unless config.write_back is false).  Throws OutOfMemoryError
-/// if the configured buffers do not fit in the near space.
+/// Stream `data` (resident in the pair's far tier) through the pair's
+/// near tier chunk by chunk, applying `compute` to each chunk.
+/// Modifications are written back to `data` (unless config.write_back is
+/// false).  Throws OutOfMemoryError if the configured buffers do not fit
+/// in the near tier.
+PipelineStats run_chunk_pipeline(const TierPair& tiers,
+                                 std::span<std::byte> data,
+                                 const PipelineConfig& config,
+                                 const ComputeFn& compute);
+
+/// Compatibility overload: the DDR -> MCDRAM pair of a DualSpace.
 PipelineStats run_chunk_pipeline(DualSpace& space,
                                  std::span<std::byte> data,
                                  const PipelineConfig& config,
                                  const ComputeFn& compute);
+
+/// Configuration of a tier-recursive pipeline run.
+struct TieredPipelineConfig {
+  /// One entry per tier pair, outermost (farthest pair) first; missing
+  /// entries default-construct.  Levels above the innermost drive the
+  /// next pipeline down from their compute stage, so a single compute
+  /// thread suffices there (see make_tiered_pool_sizes).
+  std::vector<PipelineConfig> levels;
+  /// When set, every level traces onto this writer: level L uses tracks
+  /// [3L, 3L+2] with label "L<L> " (overrides per-level trace config).
+  TraceWriter* trace = nullptr;
+};
+
+/// Statistics of a tiered run, aggregated per level (level 0 = the
+/// outermost pair).
+struct TieredPipelineStats {
+  std::vector<PipelineStats> levels;
+  double total_seconds = 0.0;
+
+  std::uint64_t bytes_copied_in(std::size_t level) const {
+    return levels.at(level).bytes_copied_in;
+  }
+  std::uint64_t bytes_copied_out(std::size_t level) const {
+    return levels.at(level).bytes_copied_out;
+  }
+};
+
+/// Recursive driver: stream `data` (resident in the farthest tier of
+/// `hierarchy`) through every nearer tier.  The pipeline over pair L
+/// runs the pipeline over pair L+1 as its compute stage; `compute` runs
+/// on the innermost chunks, which are resident in the nearest
+/// addressable tier.  With the 3-tier NVM -> DDR -> MCDRAM hierarchy
+/// this is exactly the paper's §6 double chunking, executable.
+TieredPipelineStats run_tiered_pipeline(MemoryHierarchy& hierarchy,
+                                        std::span<std::byte> data,
+                                        const TieredPipelineConfig& config,
+                                        const ComputeFn& compute);
 
 /// Typed convenience wrapper: chunk boundaries are element-aligned.
 template <typename T, typename Fn>
@@ -78,11 +171,37 @@ PipelineStats run_chunk_pipeline_typed(DualSpace& space, std::span<T> data,
                                        PipelineConfig config,
                                        Fn&& compute) {
   if (config.chunk_bytes != 0) {
+    MLM_REQUIRE(config.chunk_bytes >= sizeof(T),
+                "chunk_bytes smaller than one element");
     config.chunk_bytes -= config.chunk_bytes % sizeof(T);
   }
   auto bytes = std::as_writable_bytes(data);
   return run_chunk_pipeline(
       space, bytes, config,
+      [&compute](std::span<std::byte> chunk, ThreadPool& pool,
+                 std::size_t index) {
+        std::span<T> typed{reinterpret_cast<T*>(chunk.data()),
+                           chunk.size() / sizeof(T)};
+        compute(typed, pool, index);
+      });
+}
+
+/// Typed tiered wrapper: every level's chunk boundary is element-aligned.
+template <typename T, typename Fn>
+TieredPipelineStats run_tiered_pipeline_typed(MemoryHierarchy& hierarchy,
+                                              std::span<T> data,
+                                              TieredPipelineConfig config,
+                                              Fn&& compute) {
+  for (PipelineConfig& level : config.levels) {
+    if (level.chunk_bytes != 0) {
+      MLM_REQUIRE(level.chunk_bytes >= sizeof(T),
+                  "chunk_bytes smaller than one element");
+      level.chunk_bytes -= level.chunk_bytes % sizeof(T);
+    }
+  }
+  auto bytes = std::as_writable_bytes(data);
+  return run_tiered_pipeline(
+      hierarchy, bytes, config,
       [&compute](std::span<std::byte> chunk, ThreadPool& pool,
                  std::size_t index) {
         std::span<T> typed{reinterpret_cast<T*>(chunk.data()),

@@ -21,12 +21,15 @@
 #include <vector>
 
 #include "mlm/core/mlm_sort.h"
+#include "mlm/memory/memory_hierarchy.h"
 #include "mlm/memory/triple_space.h"
 #include "mlm/parallel/parallel_for.h"
 #include "mlm/parallel/parallel_memcpy.h"
 #include "mlm/sort/loser_tree.h"
 #include "mlm/sort/multiway_merge.h"
 #include "mlm/support/error.h"
+#include "mlm/support/stopwatch.h"
+#include "mlm/support/trace.h"
 
 namespace mlm::core {
 
@@ -155,9 +158,17 @@ struct ExternalSortConfig {
   /// (half the free DDR: chunk + inner-sort scratch).
   std::size_t outer_chunk_elements = 0;
   /// Inner sorter configuration (two-level MLM-sort in DDR+MCDRAM).
+  /// Its own trace fields route megachunk-level events to a track of the
+  /// caller's choosing (the MCDRAM track in external_sort_demo).
   MlmSortConfig inner;
   /// Staging block for the final external merge; 0 = auto from DDR.
   std::size_t merge_block_elements = 0;
+  /// Optional trace export: staging and merge spans (the NVM<->DDR
+  /// traffic) land on `trace_track`, per-outer-chunk inner-sort spans on
+  /// `trace_track + 1`.
+  TraceWriter* trace = nullptr;
+  std::uint32_t trace_track = 0;
+  const Stopwatch* trace_epoch = nullptr;
 };
 
 struct ExternalSortStats {
@@ -166,70 +177,140 @@ struct ExternalSortStats {
   std::uint64_t bytes_staged_out = 0;
   bool external_merge_ran = false;
   MlmSortStats last_inner;
+
+  // --- phase breakdown (comparable to knlsim's NvmSortResult) ---
+  double staging_seconds = 0.0;  ///< NVM<->DDR outer-chunk copies
+  double sorting_seconds = 0.0;  ///< inner (DDR+MCDRAM) sorts
+  double merging_seconds = 0.0;  ///< external merge incl. moving home
+  double total_seconds = 0.0;
+
+  /// NVM traffic.  Staging contributes one read and one write per outer
+  /// chunk, like the simulator; the external merge contributes
+  /// 2x total bytes per direction (runs -> scratch, scratch -> home) —
+  /// one read+write of the data more than the simulator's merge, which
+  /// does not model the scratch-to-home move.
+  std::uint64_t nvm_read_bytes = 0;
+  std::uint64_t nvm_write_bytes = 0;
 };
 
 /// Sorts NVM-resident data through DDR and MCDRAM with double chunking.
+/// Operates on the three farthest tiers of an NVM -> DDR -> MCDRAM
+/// MemoryHierarchy (TripleSpace remains accepted as a compatibility
+/// view).
 template <typename T, typename Comp = std::less<>>
 class ExternalMlmSorter {
  public:
+  ExternalMlmSorter(MemoryHierarchy& hierarchy, ThreadPool& pool,
+                    ExternalSortConfig config, Comp comp = {})
+      : hier_(hierarchy), upper_(hierarchy, 1), pool_(pool),
+        config_(config), comp_(comp) {
+    MLM_REQUIRE(hierarchy.tier_count() == 3,
+                "external sorter needs an NVM -> DDR -> MCDRAM hierarchy");
+  }
+
   ExternalMlmSorter(TripleSpace& space, ThreadPool& pool,
                     ExternalSortConfig config, Comp comp = {})
-      : space_(space), pool_(pool), config_(config), comp_(comp) {}
+      : ExternalMlmSorter(space.hierarchy(), pool, config, comp) {}
 
   ExternalSortStats sort(std::span<T> data) {
     ExternalSortStats stats;
     if (data.size() <= 1) return stats;
+    Stopwatch total;
 
     const std::size_t outer = resolve_outer_chunk();
     const std::vector<IndexRange> chunks =
         chunk_ranges(data.size(), outer);
     stats.outer_chunks = chunks.size();
 
-    MlmSorter<T, Comp> inner(space_.upper(), pool_, config_.inner, comp_);
+    MlmSorter<T, Comp> inner(upper_, pool_, config_.inner, comp_);
 
     {
       // Stage each outer chunk into DDR, sort it there (double
       // chunking: the inner sorter stages through MCDRAM), write the
       // sorted run back to NVM in place.
-      SpaceBuffer<T> ddr_buf(space_.ddr(), std::min(outer, data.size()));
+      SpaceBuffer<T> ddr_buf(ddr(), std::min(outer, data.size()));
+      std::size_t index = 0;
       for (const IndexRange& c : chunks) {
+        const std::uint64_t bytes = c.size() * sizeof(T);
+        const double t_in = trace_now();
         parallel_memcpy(pool_, ddr_buf.data(), data.data() + c.begin,
-                        c.size() * sizeof(T));
-        stats.bytes_staged_in += c.size() * sizeof(T);
+                        bytes);
+        note_staging(stats, "stage-in " + std::to_string(index), t_in);
+        stats.bytes_staged_in += bytes;
+        stats.nvm_read_bytes += bytes;
+
+        const double t_sort = trace_now();
         stats.last_inner =
             inner.sort(std::span<T>(ddr_buf.data(), c.size()));
+        stats.sorting_seconds += trace_now() - t_sort;
+        trace_emit(config_.trace_track + 1,
+                   "outer sort " + std::to_string(index), t_sort);
+
+        const double t_out = trace_now();
         parallel_memcpy(pool_, data.data() + c.begin, ddr_buf.data(),
-                        c.size() * sizeof(T));
-        stats.bytes_staged_out += c.size() * sizeof(T);
+                        bytes);
+        note_staging(stats, "stage-out " + std::to_string(index), t_out);
+        stats.bytes_staged_out += bytes;
+        stats.nvm_write_bytes += bytes;
+        ++index;
       }
     }  // release the DDR buffer before the merge claims staging blocks
 
-    if (chunks.size() == 1) return stats;
+    if (chunks.size() == 1) {
+      stats.total_seconds = total.elapsed_s();
+      return stats;
+    }
 
     // External k-way merge of the NVM runs into an NVM scratch, then
     // move the result home.
-    SpaceBuffer<T> nvm_out(space_.nvm(), data.size());
+    const double t_merge = trace_now();
+    SpaceBuffer<T> nvm_out(nvm(), data.size());
     std::vector<mlm::sort::Run<T>> runs;
     runs.reserve(chunks.size());
     for (const IndexRange& c : chunks) {
       runs.emplace_back(data.data() + c.begin, c.size());
     }
     const std::size_t block = resolve_merge_block(chunks.size());
-    external_multiway_merge(pool_, space_.ddr(),
+    external_multiway_merge(pool_, ddr(),
                             std::span<const mlm::sort::Run<T>>(runs),
                             std::span<T>(nvm_out.data(), data.size()),
                             block, comp_);
     stats.external_merge_ran = true;
     parallel_memcpy(pool_, data.data(), nvm_out.data(),
                     data.size() * sizeof(T));
+    const std::uint64_t total_bytes = data.size() * sizeof(T);
+    stats.nvm_read_bytes += 2 * total_bytes;   // runs + scratch re-read
+    stats.nvm_write_bytes += 2 * total_bytes;  // scratch + home
+    stats.merging_seconds = trace_now() - t_merge;
+    trace_emit(config_.trace_track, "external merge", t_merge);
+    stats.total_seconds = total.elapsed_s();
     return stats;
   }
 
  private:
+  MemorySpace& nvm() { return hier_.tier(0); }
+  MemorySpace& ddr() { return hier_.tier(1); }
+
+  double trace_now() const {
+    return config_.trace_epoch != nullptr ? config_.trace_epoch->elapsed_s()
+                                          : trace_clock_.elapsed_s();
+  }
+  void trace_emit(std::uint32_t track, const std::string& name,
+                  double t0) const {
+    if (config_.trace == nullptr) return;
+    config_.trace->add_event(name, "external-sort", track, t0,
+                             trace_now() - t0);
+  }
+  void note_staging(ExternalSortStats& stats, const std::string& name,
+                    double t0) const {
+    stats.staging_seconds += trace_now() - t0;
+    trace_emit(config_.trace_track, name, t0);
+  }
+
   std::size_t resolve_outer_chunk() const {
     std::size_t outer = config_.outer_chunk_elements;
     const std::size_t cap = static_cast<std::size_t>(
-        space_.ddr().stats().free_bytes() / sizeof(T) / 2);
+        hier_.tier(1).stats().free_bytes() / sizeof(T) / 2);
     MLM_CHECK_MSG(cap >= 1, "no DDR capacity for outer chunking");
     if (outer == 0) outer = cap;
     MLM_REQUIRE(outer <= cap,
@@ -241,17 +322,19 @@ class ExternalMlmSorter {
     std::size_t block = config_.merge_block_elements;
     if (block == 0) {
       const std::size_t cap = static_cast<std::size_t>(
-          space_.ddr().stats().free_bytes() / sizeof(T));
+          hier_.tier(1).stats().free_bytes() / sizeof(T));
       // One part's worth must fit even for a single worker.
       block = std::max<std::size_t>(cap / ((k + 1) * pool_.size()), 64);
     }
     return block;
   }
 
-  TripleSpace& space_;
+  MemoryHierarchy& hier_;
+  DualSpace upper_;  // view over tiers 1..2 for the inner sorter
   ThreadPool& pool_;
   ExternalSortConfig config_;
   Comp comp_;
+  Stopwatch trace_clock_;
 };
 
 }  // namespace mlm::core

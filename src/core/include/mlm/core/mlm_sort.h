@@ -38,6 +38,8 @@
 #include "mlm/sort/parallel_sort.h"
 #include "mlm/sort/serial_sort.h"
 #include "mlm/support/error.h"
+#include "mlm/support/stopwatch.h"
+#include "mlm/support/trace.h"
 
 namespace mlm::core {
 
@@ -60,6 +62,12 @@ struct MlmSortConfig {
   bool overlap_copy_in = false;
   /// Copy-in pool size when overlap_copy_in is set.
   std::size_t copy_threads = 2;
+  /// Optional trace export: megachunk copy-in and sort+merge spans land
+  /// on `trace_track` of `trace` (null = tracing off), timed against
+  /// `trace_epoch` (null = a clock local to the sorter).
+  TraceWriter* trace = nullptr;
+  std::uint32_t trace_track = 0;
+  const Stopwatch* trace_epoch = nullptr;
 };
 
 /// Per-run statistics for tests and benchmarks.
@@ -126,13 +134,25 @@ class MlmSorter {
     for (const IndexRange& mc : megachunks) {
       runs.emplace_back(scratch.data() + mc.begin, mc.size());
     }
+    const double t0 = trace_now();
     mlm::sort::parallel_multiway_merge(
         pool_, std::span<const mlm::sort::Run<T>>(runs), data, comp_);
+    trace_emit("final merge", t0);
     stats.final_merge_ran = true;
     return stats;
   }
 
  private:
+  double trace_now() const {
+    return config_.trace_epoch != nullptr ? config_.trace_epoch->elapsed_s()
+                                          : trace_clock_.elapsed_s();
+  }
+  void trace_emit(const std::string& name, double t0) const {
+    if (config_.trace == nullptr) return;
+    config_.trace->add_event(name, "mlm-sort", config_.trace_track, t0,
+                             trace_now() - t0);
+  }
+
   std::size_t resolve_megachunk(std::size_t n) const {
     std::size_t mega = config_.megachunk_elements;
     if (config_.variant == MlmVariant::Flat) {
@@ -183,16 +203,22 @@ class MlmSorter {
     if (config_.variant == MlmVariant::Flat) {
       near_buf = SpaceBuffer<T>(space_.mcdram(), megachunks.front().size());
     }
+    std::size_t index = 0;
     for (const IndexRange& mc : megachunks) {
       std::span<T> src = data.subspan(mc.begin, mc.size());
       std::span<T> work = src;
       if (config_.variant == MlmVariant::Flat) {
         work = std::span<T>(near_buf.data(), mc.size());
+        const double t0 = trace_now();
         parallel_memcpy(pool_, work.data(), src.data(),
                         mc.size() * sizeof(T));
+        trace_emit("mega copy-in " + std::to_string(index), t0);
         stats.bytes_copied_in += mc.size() * sizeof(T);
       }
+      const double t1 = trace_now();
       sort_and_merge_megachunk(work, scratch, mc.begin, stats);
+      trace_emit("mega sort+merge " + std::to_string(index), t1);
+      ++index;
     }
   }
 
@@ -223,9 +249,11 @@ class MlmSorter {
         pending = start_copy(c + 1);
         ++stats.overlapped_copies;
       }
+      const double t0 = trace_now();
       sort_and_merge_megachunk(
           std::span<T>(bufs[c % 2].data(), megachunks[c].size()), scratch,
           megachunks[c].begin, stats);
+      trace_emit("mega sort+merge " + std::to_string(c), t0);
     }
   }
 
@@ -233,6 +261,7 @@ class MlmSorter {
   ThreadPool& pool_;
   MlmSortConfig config_;
   Comp comp_;
+  Stopwatch trace_clock_;
 };
 
 /// The "basic algorithm" of Section 4: chunk the data, sort each chunk

@@ -19,6 +19,19 @@ const char* to_string(Buffering buffering) {
   return "?";
 }
 
+void PipelineStats::merge(const PipelineStats& other) {
+  chunks += other.chunks;
+  steps += other.steps;
+  total_seconds += other.total_seconds;
+  step_seconds.insert(step_seconds.end(), other.step_seconds.begin(),
+                      other.step_seconds.end());
+  bytes_copied_in += other.bytes_copied_in;
+  bytes_copied_out += other.bytes_copied_out;
+  copy_in_seconds += other.copy_in_seconds;
+  compute_seconds += other.compute_seconds;
+  copy_out_seconds += other.copy_out_seconds;
+}
+
 namespace {
 
 std::size_t buffer_count(Buffering b) {
@@ -30,25 +43,54 @@ std::size_t buffer_count(Buffering b) {
   return 3;
 }
 
+/// Stage clock + optional trace-event sink shared by all stages of one
+/// pipeline run.  Time is read from the caller's epoch when provided so
+/// nested (tiered) runs align on one timeline.
+class StageTracer {
+ public:
+  explicit StageTracer(const PipelineTraceConfig& cfg) : cfg_(cfg) {}
+
+  double now() const {
+    return cfg_.epoch != nullptr ? cfg_.epoch->elapsed_s()
+                                 : local_.elapsed_s();
+  }
+
+  /// stage: 0 = copy-in, 1 = compute, 2 = copy-out.
+  void emit(std::uint32_t stage, const char* name, std::size_t chunk,
+            double t0, double t1) const {
+    if (cfg_.writer == nullptr) return;
+    cfg_.writer->add_event(cfg_.label + name + " c" + std::to_string(chunk),
+                           name, cfg_.track_base + stage, t0, t1 - t0);
+  }
+
+ private:
+  const PipelineTraceConfig& cfg_;
+  Stopwatch local_;
+};
+
 /// Implicit/DDR-only execution: no copies, all chunks processed in
 /// place; the compute pool is the only active pool (§3.1: "In implicit
 /// cache mode all available threads are dedicated to performing the
 /// compute").
 PipelineStats run_in_place(std::span<std::byte> data,
-                           const PipelineConfig& config,
                            std::size_t chunk_bytes,
                            const ComputeFn& compute,
-                           ThreadPool& compute_pool) {
+                           ThreadPool& compute_pool,
+                           const StageTracer& tracer) {
   PipelineStats stats;
   Stopwatch total;
   std::size_t index = 0;
   for (std::size_t off = 0; off < data.size(); off += chunk_bytes) {
     const std::size_t len = std::min(chunk_bytes, data.size() - off);
     Stopwatch step;
-    compute(data.subspan(off, len), compute_pool, index++);
+    const double t0 = tracer.now();
+    compute(data.subspan(off, len), compute_pool, index);
+    const double t1 = tracer.now();
+    tracer.emit(1, "compute", index, t0, t1);
+    stats.compute_seconds += t1 - t0;
     stats.step_seconds.push_back(step.elapsed_s());
+    ++index;
   }
-  (void)config;
   stats.chunks = index;
   stats.steps = index;
   stats.total_seconds = total.elapsed_s();
@@ -57,7 +99,7 @@ PipelineStats run_in_place(std::span<std::byte> data,
 
 }  // namespace
 
-PipelineStats run_chunk_pipeline(DualSpace& space,
+PipelineStats run_chunk_pipeline(const TierPair& tiers,
                                  std::span<std::byte> data,
                                  const PipelineConfig& config,
                                  const ComputeFn& compute) {
@@ -65,13 +107,14 @@ PipelineStats run_chunk_pipeline(DualSpace& space,
   MLM_REQUIRE(!data.empty(), "no data to process");
 
   const std::size_t bufs = buffer_count(config.buffering);
-  const bool explicit_copies = space.has_addressable_mcdram();
+  const bool explicit_copies = tiers.explicit_copies();
+  const StageTracer tracer(config.trace);
 
   // Resolve the chunk size.
   std::size_t chunk_bytes = config.chunk_bytes;
   if (chunk_bytes == 0) {
-    if (explicit_copies) {
-      const std::uint64_t cap = space.mcdram().stats().free_bytes();
+    if (explicit_copies && !tiers.near_tier->unlimited()) {
+      const std::uint64_t cap = tiers.near_tier->stats().free_bytes();
       chunk_bytes = static_cast<std::size_t>(cap / bufs);
       chunk_bytes -= chunk_bytes % 64;  // keep buffers line-aligned
     } else {
@@ -83,15 +126,15 @@ PipelineStats run_chunk_pipeline(DualSpace& space,
   if (!explicit_copies) {
     // Implicit cache / DDR-only: one big compute pool, no copies.
     ThreadPool compute_pool(config.pools.total(), "compute");
-    return run_in_place(data, config, chunk_bytes, compute, compute_pool);
+    return run_in_place(data, chunk_bytes, compute, compute_pool, tracer);
   }
 
-  // Flat / hybrid: allocate the chunk buffers in MCDRAM and build the
-  // three pools.
+  // Flat / hybrid: allocate the chunk buffers in the near tier and build
+  // the three pools.
   std::vector<Allocation> buffers;
   buffers.reserve(bufs);
   for (std::size_t i = 0; i < bufs; ++i) {
-    buffers.emplace_back(space.mcdram(), chunk_bytes);
+    buffers.emplace_back(*tiers.near_tier, chunk_bytes);
   }
   TriplePools pools(config.pools);
 
@@ -119,15 +162,31 @@ PipelineStats run_chunk_pipeline(DualSpace& space,
   };
   auto run_compute = [&](std::size_t c) {
     auto r = chunk_range(c);
+    const double t0 = tracer.now();
     compute(std::span<std::byte>(
                 static_cast<std::byte*>(buffers[c % bufs].get()), r.size()),
             pools.compute(), c);
+    const double t1 = tracer.now();
+    stats.compute_seconds += t1 - t0;
+    tracer.emit(1, "compute", c, t0, t1);
   };
   auto copy_out_async = [&](std::size_t c) {
     auto dst = chunk_range(c);
     stats.bytes_copied_out += dst.size();
     return parallel_memcpy_async(pools.copy_out(), dst.data(),
                                  buffers[c % bufs].get(), dst.size());
+  };
+  // Stage spans run from posting the slices to their completion; under
+  // double/triple buffering that span includes whatever overlapped it.
+  auto note_in = [&](std::size_t c, double t0) {
+    const double t1 = tracer.now();
+    stats.copy_in_seconds += t1 - t0;
+    tracer.emit(0, "copy-in", c, t0, t1);
+  };
+  auto note_out = [&](std::size_t c, double t0) {
+    const double t1 = tracer.now();
+    stats.copy_out_seconds += t1 - t0;
+    tracer.emit(2, "copy-out", c, t0, t1);
   };
 
   auto timed_step = [&](auto&& body) {
@@ -142,12 +201,16 @@ PipelineStats run_chunk_pipeline(DualSpace& space,
       // Fully serialized: each chunk is loaded, computed, stored.
       for (std::size_t c = 0; c < num_chunks; ++c) {
         timed_step([&] {
+          const double t_in = tracer.now();
           auto in = copy_in_async(c);
           wait_all(in);
+          note_in(c, t_in);
           run_compute(c);
           if (config.write_back) {
+            const double t_out = tracer.now();
             auto out = copy_out_async(c);
             wait_all(out);
+            note_out(c, t_out);
           }
         });
       }
@@ -158,15 +221,19 @@ PipelineStats run_chunk_pipeline(DualSpace& space,
       for (std::size_t s = 0; s <= num_chunks; ++s) {
         timed_step([&] {
           std::vector<std::future<void>> in;
+          const double t_in = tracer.now();
           if (s < num_chunks) in = copy_in_async(s);
           if (s >= 1) {
             run_compute(s - 1);
             if (config.write_back) {
+              const double t_out = tracer.now();
               auto out = copy_out_async(s - 1);
               wait_all(out);
+              note_out(s - 1, t_out);
             }
           }
           wait_all(in);
+          if (s < num_chunks) note_in(s, t_in);
         });
       }
       break;
@@ -181,11 +248,15 @@ PipelineStats run_chunk_pipeline(DualSpace& space,
         if (!has_in && !has_compute && !has_out) continue;
         timed_step([&] {
           std::vector<std::future<void>> in, out;
+          const double t_in = tracer.now();
           if (has_in) in = copy_in_async(s);
+          const double t_out = tracer.now();
           if (has_out) out = copy_out_async(s - 2);
           if (has_compute) run_compute(s - 1);
           wait_all(in);
+          if (has_in) note_in(s, t_in);
           wait_all(out);
+          if (has_out) note_out(s - 2, t_out);
         });
       }
       break;
@@ -193,6 +264,73 @@ PipelineStats run_chunk_pipeline(DualSpace& space,
   }
 
   stats.total_seconds = total.elapsed_s();
+  return stats;
+}
+
+PipelineStats run_chunk_pipeline(DualSpace& space,
+                                 std::span<std::byte> data,
+                                 const PipelineConfig& config,
+                                 const ComputeFn& compute) {
+  return run_chunk_pipeline(space.tier_pair(), data, config, compute);
+}
+
+TieredPipelineStats run_tiered_pipeline(MemoryHierarchy& hierarchy,
+                                        std::span<std::byte> data,
+                                        const TieredPipelineConfig& config,
+                                        const ComputeFn& compute) {
+  MLM_REQUIRE(compute != nullptr, "compute callback required");
+  MLM_REQUIRE(hierarchy.tier_count() >= 2,
+              "tiered pipeline needs at least two tiers");
+  const std::size_t levels = hierarchy.pair_count();
+
+  TieredPipelineStats stats;
+  stats.levels.resize(levels);
+
+  std::vector<PipelineConfig> cfgs(levels);
+  for (std::size_t l = 0; l < levels && l < config.levels.size(); ++l) {
+    cfgs[l] = config.levels[l];
+  }
+  Stopwatch epoch;
+  if (config.trace != nullptr) {
+    for (std::size_t l = 0; l < levels; ++l) {
+      cfgs[l].trace.writer = config.trace;
+      cfgs[l].trace.track_base = static_cast<std::uint32_t>(3 * l);
+      cfgs[l].trace.label = "L" + std::to_string(l) + " ";
+      cfgs[l].trace.epoch = &epoch;
+      // Name the three stage tracks after the tier pair they move
+      // data between, e.g. "L0 nvm->ddr copy-in".
+      const std::string pair_name = hierarchy.tier_config(l).name + "->" +
+                                    hierarchy.tier_config(l + 1).name;
+      config.trace->set_track_name(cfgs[l].trace.track_base,
+                                   "L" + std::to_string(l) + " " +
+                                       pair_name + " copy-in");
+      config.trace->set_track_name(cfgs[l].trace.track_base + 1,
+                                   "L" + std::to_string(l) + " " +
+                                       hierarchy.tier_config(l + 1).name +
+                                       " compute");
+      config.trace->set_track_name(cfgs[l].trace.track_base + 2,
+                                   "L" + std::to_string(l) + " " +
+                                       pair_name + " copy-out");
+    }
+  }
+
+  std::function<void(std::size_t, std::span<std::byte>)> run_level =
+      [&](std::size_t level, std::span<std::byte> span) {
+        ComputeFn stage;
+        if (level + 1 < levels) {
+          stage = [&run_level, level](std::span<std::byte> chunk,
+                                      ThreadPool&, std::size_t) {
+            run_level(level + 1, chunk);
+          };
+        } else {
+          stage = compute;
+        }
+        stats.levels[level].merge(
+            run_chunk_pipeline(hierarchy.pair(level), span, cfgs[level],
+                               stage));
+      };
+  run_level(0, data);
+  stats.total_seconds = epoch.elapsed_s();
   return stats;
 }
 

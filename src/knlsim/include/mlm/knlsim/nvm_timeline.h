@@ -22,12 +22,14 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "mlm/knlsim/sort_timeline.h"
 #include "mlm/machine/knl_config.h"
 #include "mlm/machine/nvm_config.h"
+#include "mlm/memory/memory_hierarchy.h"
 
 namespace mlm::knlsim {
 
@@ -72,6 +74,16 @@ struct NvmSortResult {
 /// Simulate one NVM-resident sort on `machine` + `nvm`.
 NvmSortResult simulate_nvm_sort(const KnlConfig& machine,
                                 const NvmConfig& nvm,
+                                const SortCostParams& params,
+                                const NvmSortConfig& config);
+
+/// Tier-list overload: read capacities and bandwidths from the same
+/// far->near NVM/DDR/MCDRAM TierConfig list (mlm/machine/tier_params.h)
+/// that builds the host MemoryHierarchy, so the executable run and the
+/// projection share one machine description.  `compute` supplies the
+/// non-tier parameters (threads, per-thread rates, latencies).
+NvmSortResult simulate_nvm_sort(std::span<const TierConfig> tiers,
+                                const KnlConfig& compute,
                                 const SortCostParams& params,
                                 const NvmSortConfig& config);
 

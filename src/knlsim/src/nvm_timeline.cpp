@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mlm/machine/tier_params.h"
 #include "mlm/support/error.h"
 
 namespace mlm::knlsim {
@@ -39,6 +40,15 @@ SortRunResult inner_sort(const KnlConfig& machine,
   inner.order = cfg.order;
   inner.elements = elements;
   inner.megachunk_elements = cfg.inner_megachunk_elements;
+  if (inner.megachunk_elements == 0) {
+    // The paper's default megachunk assumes a full-size (16 GB) MCDRAM;
+    // on a scaled-down machine clamp it to what the scratchpad holds.
+    // An explicit inner_megachunk_elements still validates as-is.
+    const auto fits = static_cast<std::uint64_t>(
+        static_cast<double>(machine.mcdram_bytes) / params.elem_bytes);
+    inner.megachunk_elements =
+        std::min(paper_megachunk(SortAlgo::MlmSort, elements), fits);
+  }
   inner.threads = threads;
   return simulate_sort(machine, params, inner);
 }
@@ -238,6 +248,26 @@ NvmSortResult simulate_nvm_sort(const KnlConfig& machine,
   }
   MLM_CHECK_MSG(false, "unreachable strategy");
   return r;
+}
+
+NvmSortResult simulate_nvm_sort(std::span<const TierConfig> tiers,
+                                const KnlConfig& compute,
+                                const SortCostParams& params,
+                                const NvmSortConfig& config) {
+  MLM_REQUIRE(tiers.size() == 3,
+              "tier overload expects an NVM -> DDR -> MCDRAM list");
+  MLM_REQUIRE(tiers[0].kind == MemKind::NVM &&
+                  tiers[1].kind == MemKind::DDR &&
+                  tiers[2].kind == MemKind::MCDRAM,
+              "tiers must be ordered NVM, DDR, MCDRAM");
+  const NvmConfig nvm = nvm_config_from_tier(tiers[0]);
+  KnlConfig machine = compute;
+  machine.ddr_bytes = tiers[1].capacity_bytes;
+  machine.mcdram_bytes = tiers[2].capacity_bytes;
+  if (tiers[1].read_bw > 0.0) machine.ddr_max_bw = tiers[1].read_bw;
+  if (tiers[2].read_bw > 0.0) machine.mcdram_max_bw = tiers[2].read_bw;
+  if (tiers[1].s_copy > 0.0) machine.s_copy = tiers[1].s_copy;
+  return simulate_nvm_sort(machine, nvm, params, config);
 }
 
 }  // namespace mlm::knlsim

@@ -1,0 +1,45 @@
+// One machine description for host hierarchies and simulator projections.
+//
+// describe_tiers() renders a KnlConfig (optionally with an NVM level
+// below it) as the far->near TierConfig list a MemoryHierarchy is built
+// from.  The same list parameterizes knlsim's NVM sort timeline
+// (simulate_nvm_sort's tier overload), so the executable hierarchy and
+// the analytic projection are guaranteed to read identical capacities
+// and bandwidths — the numbers come from the paper's Table 2 via
+// KnlConfig and from published Optane measurements via NvmConfig.
+#pragma once
+
+#include <vector>
+
+#include "mlm/machine/knl_config.h"
+#include "mlm/machine/nvm_config.h"
+#include "mlm/memory/memory_hierarchy.h"
+
+namespace mlm {
+
+/// The two-level DDR -> MCDRAM tier list of a KNL node.  Each tier's
+/// s_copy is the per-thread copy rate to the next-nearer tier (0 for the
+/// nearest tier).
+std::vector<TierConfig> describe_tiers(const KnlConfig& machine);
+
+/// The three-level NVM -> DDR -> MCDRAM tier list of a KNL node with an
+/// NVM level attached below DDR (paper §6).
+std::vector<TierConfig> describe_tiers(const KnlConfig& machine,
+                                       const NvmConfig& nvm);
+
+/// HierarchyConfig for this machine under a given MCDRAM mode.
+HierarchyConfig make_hierarchy_config(const KnlConfig& machine,
+                                      McdramMode mode,
+                                      double hybrid_flat_fraction = 0.5);
+
+/// Three-level variant.
+HierarchyConfig make_hierarchy_config(const KnlConfig& machine,
+                                      const NvmConfig& nvm, McdramMode mode,
+                                      double hybrid_flat_fraction = 0.5);
+
+/// Recover an NvmConfig from an NVM-kind tier entry (used by knlsim to
+/// consume describe_tiers output).  Throws InvalidArgumentError when the
+/// tier's kind is not NVM.
+NvmConfig nvm_config_from_tier(const TierConfig& tier);
+
+}  // namespace mlm

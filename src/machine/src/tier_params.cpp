@@ -1,0 +1,76 @@
+#include "mlm/machine/tier_params.h"
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+
+std::vector<TierConfig> describe_tiers(const KnlConfig& machine) {
+  machine.validate();
+  std::vector<TierConfig> tiers(2);
+  tiers[0].name = "ddr";
+  tiers[0].kind = MemKind::DDR;
+  tiers[0].capacity_bytes = machine.ddr_bytes;
+  tiers[0].read_bw = machine.ddr_max_bw;
+  tiers[0].write_bw = machine.ddr_max_bw;
+  tiers[0].s_copy = machine.s_copy;  // DDR <-> MCDRAM per-thread rate
+  tiers[1].name = "mcdram";
+  tiers[1].kind = MemKind::MCDRAM;
+  tiers[1].capacity_bytes = machine.mcdram_bytes;
+  tiers[1].read_bw = machine.mcdram_max_bw;
+  tiers[1].write_bw = machine.mcdram_max_bw;
+  return tiers;
+}
+
+std::vector<TierConfig> describe_tiers(const KnlConfig& machine,
+                                       const NvmConfig& nvm) {
+  nvm.validate();
+  std::vector<TierConfig> tiers = describe_tiers(machine);
+  TierConfig bottom;
+  bottom.name = "nvm";
+  bottom.kind = MemKind::NVM;
+  bottom.capacity_bytes = nvm.bytes;
+  bottom.read_bw = nvm.read_bw;
+  bottom.write_bw = nvm.write_bw;
+  bottom.s_copy = nvm.s_copy;  // NVM <-> DDR per-thread rate
+  tiers.insert(tiers.begin(), bottom);
+  return tiers;
+}
+
+namespace {
+HierarchyConfig finish_config(std::vector<TierConfig> tiers,
+                              McdramMode mode,
+                              double hybrid_flat_fraction) {
+  HierarchyConfig config;
+  config.tiers = std::move(tiers);
+  config.mode = mode;
+  config.hybrid_flat_fraction = hybrid_flat_fraction;
+  return config;
+}
+}  // namespace
+
+HierarchyConfig make_hierarchy_config(const KnlConfig& machine,
+                                      McdramMode mode,
+                                      double hybrid_flat_fraction) {
+  return finish_config(describe_tiers(machine), mode, hybrid_flat_fraction);
+}
+
+HierarchyConfig make_hierarchy_config(const KnlConfig& machine,
+                                      const NvmConfig& nvm, McdramMode mode,
+                                      double hybrid_flat_fraction) {
+  return finish_config(describe_tiers(machine, nvm), mode,
+                       hybrid_flat_fraction);
+}
+
+NvmConfig nvm_config_from_tier(const TierConfig& tier) {
+  MLM_REQUIRE(tier.kind == MemKind::NVM,
+              "tier '" + tier.name + "' is not an NVM tier");
+  NvmConfig nvm;
+  nvm.bytes = tier.capacity_bytes;
+  nvm.read_bw = tier.read_bw;
+  nvm.write_bw = tier.write_bw;
+  nvm.s_copy = tier.s_copy;
+  nvm.validate();
+  return nvm;
+}
+
+}  // namespace mlm

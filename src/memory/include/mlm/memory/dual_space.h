@@ -6,31 +6,21 @@
 // the hardware cache.  In (implicit) cache mode and DDR-only mode there
 // is no addressable MCDRAM at all — algorithms allocate from DDR and the
 // (modeled or real) hardware cache provides any speedup.
+//
+// DualSpace is a compatibility view over a two-tier MemoryHierarchy
+// (mlm/memory/memory_hierarchy.h): it either owns a hierarchy built from
+// its config, or aliases two adjacent tiers of a larger one (this is how
+// TripleSpace exposes its DDR+MCDRAM upper pair).  New code should
+// program against MemoryHierarchy / TierPair directly.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 
+#include "mlm/memory/memory_hierarchy.h"
 #include "mlm/memory/memory_space.h"
 
 namespace mlm {
-
-/// KNL MCDRAM BIOS usage modes plus the paper's two software-level modes.
-enum class McdramMode : std::uint8_t {
-  Flat,          ///< all MCDRAM addressable (scratchpad)
-  Cache,         ///< all MCDRAM is a direct-mapped hardware cache
-  Hybrid,        ///< part scratchpad, part hardware cache
-  ImplicitCache, ///< chunked algorithm run under Cache mode (paper, §3.1)
-  DdrOnly,       ///< MCDRAM unused (baseline "GNU-flat" / "MLM-ddr")
-};
-
-const char* to_string(McdramMode mode);
-
-/// True for modes in which software may allocate MCDRAM directly.
-bool mode_has_addressable_mcdram(McdramMode mode);
-
-/// True for modes in which the hardware cache in front of DDR is active.
-bool mode_has_hardware_cache(McdramMode mode);
 
 /// Configuration for a DualSpace.
 struct DualSpaceConfig {
@@ -44,32 +34,49 @@ struct DualSpaceConfig {
   std::uint64_t ddr_bytes = 0;
 };
 
-/// The memory environment of one KNL node under a given usage mode.
+/// The memory environment of one KNL node under a given usage mode:
+/// a two-tier (DDR -> MCDRAM) hierarchy view.
 class DualSpace {
  public:
   explicit DualSpace(const DualSpaceConfig& config);
 
+  /// Non-owning view over the adjacent tier pair of `hierarchy` whose
+  /// far side is tier `far_level` (the nearer tier plays the MCDRAM
+  /// role).  The hierarchy must outlive the view.
+  DualSpace(MemoryHierarchy& hierarchy, std::size_t far_level);
+
   const DualSpaceConfig& config() const { return config_; }
   McdramMode mode() const { return config_.mode; }
 
-  MemorySpace& ddr() { return *ddr_; }
-  const MemorySpace& ddr() const { return *ddr_; }
+  /// The underlying hierarchy (two tiers when self-owned).
+  MemoryHierarchy& hierarchy() { return *hier_; }
+  const MemoryHierarchy& hierarchy() const { return *hier_; }
+
+  /// The (far, near) pair chunked algorithms stream across.
+  TierPair tier_pair() { return hier_->pair(far_level_); }
+
+  MemorySpace& ddr() { return hier_->tier(far_level_); }
+  const MemorySpace& ddr() const { return hier_->tier(far_level_); }
 
   /// The addressable MCDRAM space.  Throws Error if the current mode has
   /// no addressable MCDRAM (Cache / ImplicitCache / DdrOnly).
-  MemorySpace& mcdram();
-  const MemorySpace& mcdram() const;
+  MemorySpace& mcdram() { return hier_->tier(far_level_ + 1); }
+  const MemorySpace& mcdram() const { return hier_->tier(far_level_ + 1); }
 
   bool has_addressable_mcdram() const {
-    return mode_has_addressable_mcdram(config_.mode);
+    return hier_->tier_addressable(far_level_ + 1);
   }
 
   /// Bytes of addressable MCDRAM under the configured mode
   /// (0 in Cache/ImplicitCache/DdrOnly modes).
-  std::uint64_t addressable_mcdram_bytes() const;
+  std::uint64_t addressable_mcdram_bytes() const {
+    return hier_->addressable_bytes(far_level_ + 1);
+  }
 
   /// Bytes of MCDRAM acting as hardware cache under the configured mode.
-  std::uint64_t cache_mcdram_bytes() const;
+  std::uint64_t cache_mcdram_bytes() const {
+    return hier_->cache_bytes(far_level_ + 1);
+  }
 
   /// The space chunked algorithms should place their working buffers in:
   /// MCDRAM when addressable, DDR otherwise (implicit mode relies on the
@@ -78,8 +85,9 @@ class DualSpace {
 
  private:
   DualSpaceConfig config_;
-  std::unique_ptr<MemorySpace> ddr_;
-  std::unique_ptr<MemorySpace> mcdram_;  // null when not addressable
+  std::unique_ptr<MemoryHierarchy> owned_;
+  MemoryHierarchy* hier_ = nullptr;
+  std::size_t far_level_ = 0;
 };
 
 }  // namespace mlm

@@ -6,12 +6,19 @@
 // DAX mapping or memkind's PMEM kind).  DDR becomes capacity-limited
 // too, because the whole point of the third level is problems larger
 // than DDR.
+//
+// TripleSpace is a compatibility view over a three-tier MemoryHierarchy;
+// upper() exposes the DDR+MCDRAM pair as a DualSpace view so every
+// two-level component (ChunkPipeline, MlmSorter, ...) runs unchanged on
+// the middle and near tiers.  New code should program against
+// MemoryHierarchy directly.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 
 #include "mlm/memory/dual_space.h"
+#include "mlm/memory/memory_hierarchy.h"
 #include "mlm/memory/memory_space.h"
 
 namespace mlm {
@@ -33,24 +40,28 @@ class TripleSpace {
 
   const TripleSpaceConfig& config() const { return config_; }
 
-  MemorySpace& nvm() { return *nvm_; }
-  const MemorySpace& nvm() const { return *nvm_; }
+  /// The underlying three-tier hierarchy (NVM -> DDR -> MCDRAM).
+  MemoryHierarchy& hierarchy() { return *hier_; }
+  const MemoryHierarchy& hierarchy() const { return *hier_; }
+
+  MemorySpace& nvm() { return hier_->tier(0); }
+  const MemorySpace& nvm() const { return hier_->tier(0); }
 
   /// The DDR + MCDRAM pair, usable with every two-level component
   /// (ChunkPipeline, MlmSorter, ...).
   DualSpace& upper() { return *upper_; }
   const DualSpace& upper() const { return *upper_; }
 
-  MemorySpace& ddr() { return upper_->ddr(); }
-  MemorySpace& mcdram() { return upper_->mcdram(); }
+  MemorySpace& ddr() { return hier_->tier(1); }
+  MemorySpace& mcdram() { return hier_->tier(2); }
   bool has_addressable_mcdram() const {
-    return upper_->has_addressable_mcdram();
+    return hier_->tier_addressable(2);
   }
 
  private:
   TripleSpaceConfig config_;
-  std::unique_ptr<MemorySpace> nvm_;
-  std::unique_ptr<DualSpace> upper_;
+  std::unique_ptr<MemoryHierarchy> hier_;
+  std::unique_ptr<DualSpace> upper_;  // view over tiers 1..2
 };
 
 }  // namespace mlm

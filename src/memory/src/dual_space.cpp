@@ -2,82 +2,31 @@
 
 namespace mlm {
 
-const char* to_string(McdramMode mode) {
-  switch (mode) {
-    case McdramMode::Flat: return "flat";
-    case McdramMode::Cache: return "cache";
-    case McdramMode::Hybrid: return "hybrid";
-    case McdramMode::ImplicitCache: return "implicit";
-    case McdramMode::DdrOnly: return "ddr-only";
-  }
-  return "?";
-}
-
-bool mode_has_addressable_mcdram(McdramMode mode) {
-  return mode == McdramMode::Flat || mode == McdramMode::Hybrid;
-}
-
-bool mode_has_hardware_cache(McdramMode mode) {
-  return mode == McdramMode::Cache || mode == McdramMode::Hybrid ||
-         mode == McdramMode::ImplicitCache;
-}
-
 DualSpace::DualSpace(const DualSpaceConfig& config) : config_(config) {
   MLM_REQUIRE(config.mcdram_bytes > 0, "MCDRAM size must be positive");
-  MLM_REQUIRE(config.hybrid_flat_fraction > 0.0 &&
-                  config.hybrid_flat_fraction < 1.0,
-              "hybrid flat fraction must be in (0,1)");
-  ddr_ = std::make_unique<MemorySpace>("ddr", MemKind::DDR,
-                                       config.ddr_bytes);
-  const std::uint64_t addressable = addressable_mcdram_bytes();
-  if (addressable > 0) {
-    mcdram_ = std::make_unique<MemorySpace>("mcdram", MemKind::MCDRAM,
-                                            addressable);
-  }
+  HierarchyConfig hier;
+  hier.mode = config.mode;
+  hier.hybrid_flat_fraction = config.hybrid_flat_fraction;
+  hier.tiers = {
+      TierConfig{"ddr", MemKind::DDR, config.ddr_bytes, 0.0, 0.0, 0.0},
+      TierConfig{"mcdram", MemKind::MCDRAM, config.mcdram_bytes, 0.0, 0.0,
+                 0.0},
+  };
+  owned_ = std::make_unique<MemoryHierarchy>(hier);
+  hier_ = owned_.get();
 }
 
-MemorySpace& DualSpace::mcdram() {
-  MLM_CHECK_MSG(mcdram_ != nullptr,
-                std::string("mode '") + to_string(config_.mode) +
-                    "' has no addressable MCDRAM");
-  return *mcdram_;
-}
-
-const MemorySpace& DualSpace::mcdram() const {
-  MLM_CHECK_MSG(mcdram_ != nullptr,
-                std::string("mode '") + to_string(config_.mode) +
-                    "' has no addressable MCDRAM");
-  return *mcdram_;
-}
-
-std::uint64_t DualSpace::addressable_mcdram_bytes() const {
-  switch (config_.mode) {
-    case McdramMode::Flat:
-      return config_.mcdram_bytes;
-    case McdramMode::Hybrid:
-      return static_cast<std::uint64_t>(
-          static_cast<double>(config_.mcdram_bytes) *
-          config_.hybrid_flat_fraction);
-    case McdramMode::Cache:
-    case McdramMode::ImplicitCache:
-    case McdramMode::DdrOnly:
-      return 0;
-  }
-  return 0;
-}
-
-std::uint64_t DualSpace::cache_mcdram_bytes() const {
-  switch (config_.mode) {
-    case McdramMode::Cache:
-    case McdramMode::ImplicitCache:
-      return config_.mcdram_bytes;
-    case McdramMode::Hybrid:
-      return config_.mcdram_bytes - addressable_mcdram_bytes();
-    case McdramMode::Flat:
-    case McdramMode::DdrOnly:
-      return 0;
-  }
-  return 0;
+DualSpace::DualSpace(MemoryHierarchy& hierarchy, std::size_t far_level)
+    : hier_(&hierarchy), far_level_(far_level) {
+  MLM_REQUIRE(far_level + 1 < hierarchy.tier_count(),
+              "dual view needs two adjacent tiers");
+  // Synthesize the legacy config for callers that introspect it.
+  const TierConfig& near_tier = hierarchy.tier_config(far_level + 1);
+  config_.mode = near_tier.kind == MemKind::MCDRAM ? hierarchy.mode()
+                                                   : McdramMode::Flat;
+  config_.mcdram_bytes = near_tier.capacity_bytes;
+  config_.hybrid_flat_fraction = hierarchy.config().hybrid_flat_fraction;
+  config_.ddr_bytes = hierarchy.tier_config(far_level).capacity_bytes;
 }
 
 MemorySpace& DualSpace::near_space() {

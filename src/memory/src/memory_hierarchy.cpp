@@ -1,0 +1,124 @@
+#include "mlm/memory/memory_hierarchy.h"
+
+namespace mlm {
+
+const char* to_string(McdramMode mode) {
+  switch (mode) {
+    case McdramMode::Flat: return "flat";
+    case McdramMode::Cache: return "cache";
+    case McdramMode::Hybrid: return "hybrid";
+    case McdramMode::ImplicitCache: return "implicit";
+    case McdramMode::DdrOnly: return "ddr-only";
+  }
+  return "?";
+}
+
+bool mode_has_addressable_mcdram(McdramMode mode) {
+  return mode == McdramMode::Flat || mode == McdramMode::Hybrid;
+}
+
+bool mode_has_hardware_cache(McdramMode mode) {
+  return mode == McdramMode::Cache || mode == McdramMode::Hybrid ||
+         mode == McdramMode::ImplicitCache;
+}
+
+MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
+    : config_(config) {
+  MLM_REQUIRE(!config.tiers.empty(), "hierarchy needs at least one tier");
+  MLM_REQUIRE(config.hybrid_flat_fraction > 0.0 &&
+                  config.hybrid_flat_fraction < 1.0,
+              "hybrid flat fraction must be in (0,1)");
+  spaces_.reserve(config_.tiers.size());
+  for (std::size_t level = 0; level < config_.tiers.size(); ++level) {
+    const TierConfig& t = config_.tiers[level];
+    MLM_REQUIRE(!t.name.empty(), "tier needs a name");
+    if (t.kind == MemKind::MCDRAM) {
+      MLM_REQUIRE(t.capacity_bytes > 0, "MCDRAM size must be positive");
+    }
+    if (tier_addressable(level)) {
+      spaces_.push_back(std::make_unique<MemorySpace>(
+          t.name, t.kind, addressable_bytes(level)));
+    } else {
+      spaces_.push_back(nullptr);
+    }
+  }
+}
+
+const TierConfig& MemoryHierarchy::tier_config(std::size_t level) const {
+  MLM_REQUIRE(level < config_.tiers.size(), "tier level out of range");
+  return config_.tiers[level];
+}
+
+bool MemoryHierarchy::tier_addressable(std::size_t level) const {
+  const TierConfig& t = tier_config(level);
+  if (t.kind != MemKind::MCDRAM) return true;
+  return mode_has_addressable_mcdram(config_.mode);
+}
+
+std::uint64_t MemoryHierarchy::addressable_bytes(std::size_t level) const {
+  const TierConfig& t = tier_config(level);
+  if (t.kind != MemKind::MCDRAM) return t.capacity_bytes;
+  switch (config_.mode) {
+    case McdramMode::Flat:
+      return t.capacity_bytes;
+    case McdramMode::Hybrid:
+      return static_cast<std::uint64_t>(
+          static_cast<double>(t.capacity_bytes) *
+          config_.hybrid_flat_fraction);
+    case McdramMode::Cache:
+    case McdramMode::ImplicitCache:
+    case McdramMode::DdrOnly:
+      return 0;
+  }
+  return 0;
+}
+
+std::uint64_t MemoryHierarchy::cache_bytes(std::size_t level) const {
+  const TierConfig& t = tier_config(level);
+  if (t.kind != MemKind::MCDRAM) return 0;
+  switch (config_.mode) {
+    case McdramMode::Cache:
+    case McdramMode::ImplicitCache:
+      return t.capacity_bytes;
+    case McdramMode::Hybrid:
+      return t.capacity_bytes - addressable_bytes(level);
+    case McdramMode::Flat:
+    case McdramMode::DdrOnly:
+      return 0;
+  }
+  return 0;
+}
+
+MemorySpace& MemoryHierarchy::tier(std::size_t level) {
+  MLM_REQUIRE(level < spaces_.size(), "tier level out of range");
+  MLM_CHECK_MSG(spaces_[level] != nullptr,
+                "tier '" + config_.tiers[level].name + "' under mode '" +
+                    to_string(config_.mode) +
+                    "' has no addressable memory");
+  return *spaces_[level];
+}
+
+const MemorySpace& MemoryHierarchy::tier(std::size_t level) const {
+  return const_cast<MemoryHierarchy*>(this)->tier(level);
+}
+
+MemorySpace& MemoryHierarchy::nearest_addressable() {
+  for (std::size_t level = tier_count(); level-- > 0;) {
+    if (spaces_[level] != nullptr) return *spaces_[level];
+  }
+  MLM_CHECK_MSG(false, "hierarchy has no addressable tier");
+  return *spaces_.front();  // unreachable
+}
+
+TierPair MemoryHierarchy::pair(std::size_t far_level) {
+  MLM_REQUIRE(far_level + 1 < tier_count(),
+              "tier pair needs a nearer tier above the far level");
+  TierPair p;
+  p.far_tier = &tier(far_level);
+  p.near_tier = tier_addressable(far_level + 1)
+                    ? &tier(far_level + 1)
+                    : nullptr;
+  return p;
+}
+
+}  // namespace mlm

@@ -6,14 +6,17 @@ TripleSpace::TripleSpace(const TripleSpaceConfig& config)
     : config_(config) {
   MLM_REQUIRE(config.ddr_bytes > 0,
               "three-level setting requires a DDR capacity limit");
-  nvm_ = std::make_unique<MemorySpace>("nvm", MemKind::NVM,
-                                       config.nvm_bytes);
-  DualSpaceConfig upper;
-  upper.mode = config.mode;
-  upper.mcdram_bytes = config.mcdram_bytes;
-  upper.hybrid_flat_fraction = config.hybrid_flat_fraction;
-  upper.ddr_bytes = config.ddr_bytes;
-  upper_ = std::make_unique<DualSpace>(upper);
+  HierarchyConfig hier;
+  hier.mode = config.mode;
+  hier.hybrid_flat_fraction = config.hybrid_flat_fraction;
+  hier.tiers = {
+      TierConfig{"nvm", MemKind::NVM, config.nvm_bytes, 0.0, 0.0, 0.0},
+      TierConfig{"ddr", MemKind::DDR, config.ddr_bytes, 0.0, 0.0, 0.0},
+      TierConfig{"mcdram", MemKind::MCDRAM, config.mcdram_bytes, 0.0, 0.0,
+                 0.0},
+  };
+  hier_ = std::make_unique<MemoryHierarchy>(hier);
+  upper_ = std::make_unique<DualSpace>(*hier_, 1);
 }
 
 }  // namespace mlm

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <vector>
 
 #include "mlm/parallel/thread_pool.h"
 
@@ -32,6 +33,16 @@ struct PoolSizes {
 /// `total` threads and `copy_per_direction` copy threads for each of
 /// copy-in and copy-out, the compute pool gets the rest.
 PoolSizes make_pool_sizes(std::size_t total, std::size_t copy_per_direction);
+
+/// Split a hardware-thread budget across the `levels` concurrently-live
+/// pipeline levels of a tiered run (outermost level first).  Every level
+/// gets `copy_per_direction` threads per copy direction; outer levels'
+/// compute stage only orchestrates the next pipeline down, so they get a
+/// single compute thread and the innermost level receives all remaining
+/// threads for the real computation.
+std::vector<PoolSizes> make_tiered_pool_sizes(std::size_t total,
+                                              std::size_t levels,
+                                              std::size_t copy_per_direction);
 
 /// Owner of the copy-in / compute / copy-out pools.
 class TriplePools {

@@ -16,6 +16,26 @@ PoolSizes make_pool_sizes(std::size_t total,
   return s;
 }
 
+std::vector<PoolSizes> make_tiered_pool_sizes(std::size_t total,
+                                              std::size_t levels,
+                                              std::size_t copy_per_direction) {
+  MLM_REQUIRE(levels >= 1, "need at least one pipeline level");
+  MLM_REQUIRE(copy_per_direction >= 1,
+              "need at least one copy thread per direction");
+  const std::size_t floor = levels * (2 * copy_per_direction + 1);
+  MLM_REQUIRE(total >= floor,
+              "thread budget too small for the requested pipeline levels");
+  std::vector<PoolSizes> out(levels);
+  for (std::size_t l = 0; l < levels; ++l) {
+    out[l].copy_in = copy_per_direction;
+    out[l].copy_out = copy_per_direction;
+    out[l].compute = 1;
+  }
+  // All levels run concurrently; the innermost does the real compute.
+  out[levels - 1].compute = total - floor + 1;
+  return out;
+}
+
 TriplePools::TriplePools(const PoolSizes& sizes) : sizes_(sizes) {
   MLM_REQUIRE(sizes.copy_in >= 1 && sizes.copy_out >= 1 &&
                   sizes.compute >= 1,

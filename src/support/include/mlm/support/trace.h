@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,13 @@ class TraceWriter {
                         const std::string& category, std::uint32_t track,
                         double start_s = 0.0);
 
+  /// Give `track` a human-readable name (rendered as the thread name in
+  /// the viewer via a "thread_name" metadata event).
+  void set_track_name(std::uint32_t track, const std::string& name);
+
+  /// The name set for `track`, or "" when unnamed.
+  std::string track_name(std::uint32_t track) const;
+
   std::size_t size() const { return events_.size(); }
 
   /// Serialize as Trace Event Format JSON (object form with
@@ -45,6 +53,7 @@ class TraceWriter {
     double duration_us;
   };
   std::vector<Event> events_;
+  std::map<std::uint32_t, std::string> track_names_;
 };
 
 }  // namespace mlm

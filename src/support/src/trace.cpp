@@ -51,10 +51,26 @@ double TraceWriter::add_sequential(
   return t;
 }
 
+void TraceWriter::set_track_name(std::uint32_t track,
+                                 const std::string& name) {
+  track_names_[track] = name;
+}
+
+std::string TraceWriter::track_name(std::uint32_t track) const {
+  auto it = track_names_.find(track);
+  return it != track_names_.end() ? it->second : std::string();
+}
+
 std::string TraceWriter::to_json() const {
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   bool first = true;
+  for (const auto& [track, name] : track_names_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << track << ",\"args\":{\"name\":\"" << escape_json(name) << "\"}}";
+  }
   for (const Event& e : events_) {
     if (!first) os << ",";
     first = false;

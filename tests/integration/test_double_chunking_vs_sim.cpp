@@ -1,0 +1,140 @@
+// Executable §6 double chunking vs the knlsim projection.
+//
+// One TierConfig list (NVM -> DDR -> MCDRAM) builds both the host
+// MemoryHierarchy an ExternalMlmSorter runs on and parameterizes
+// simulate_nvm_sort's DoubleChunked strategy.  The two must agree on the
+// structural phase breakdown: outer chunk counts, staged byte volumes,
+// and NVM traffic (the host moves exactly one extra read+write of the
+// data, the scratch-to-home move the simulator does not model).  Time is
+// checked for internal consistency on each side — the host's phase sum
+// must account for its wall clock within a stated 25% tolerance, and the
+// simulator's phases must sum to its total exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "mlm/core/external_sort.h"
+#include "mlm/knlsim/nvm_timeline.h"
+#include "mlm/machine/tier_params.h"
+#include "mlm/sort/input_gen.h"
+#include "mlm/support/units.h"
+
+namespace mlm {
+namespace {
+
+constexpr std::size_t kElements = (8 * 1024 * 1024) / sizeof(std::int64_t);
+
+std::vector<TierConfig> scaled_tiers() {
+  // A geometrically scaled node: every capacity ratio of the paper's
+  // KNL + Optane design point, shrunk to host-test size.
+  KnlConfig machine = knl7250();
+  machine.mcdram_bytes = KiB(512);
+  machine.ddr_bytes = MiB(2);
+  NvmConfig nvm = optane_pmm();
+  nvm.bytes = MiB(32);
+  return describe_tiers(machine, nvm);
+}
+
+TEST(DoubleChunkingVsSim, PhaseBreakdownAgrees) {
+  const std::vector<TierConfig> tiers = scaled_tiers();
+
+  // --- host: executable double-chunked sort over the tier list ---
+  HierarchyConfig hc;
+  hc.tiers = tiers;
+  hc.mode = McdramMode::Flat;
+  MemoryHierarchy hier(hc);
+  ThreadPool pool(4);
+
+  SpaceBuffer<std::int64_t> data(hier.tier(0), kElements);
+  {
+    auto init = sort::make_input(kElements, sort::InputOrder::Random, 99);
+    std::copy(init.begin(), init.end(), data.data());
+  }
+  core::ExternalSortConfig host_cfg;
+  host_cfg.inner.variant = core::MlmVariant::Flat;
+  core::ExternalMlmSorter<std::int64_t> sorter(hier, pool, host_cfg);
+  const core::ExternalSortStats host =
+      sorter.sort(std::span<std::int64_t>(data.data(), kElements));
+  ASSERT_TRUE(std::is_sorted(data.data(), data.data() + kElements));
+
+  // --- sim: the same tier list drives the DoubleChunked projection ---
+  KnlConfig compute = knl7250();
+  knlsim::SortCostParams params;
+  knlsim::NvmSortConfig sim_cfg;
+  sim_cfg.strategy = knlsim::NvmStrategy::DoubleChunked;
+  sim_cfg.elements = kElements;
+  const knlsim::NvmSortResult sim = knlsim::simulate_nvm_sort(
+      std::span<const TierConfig>(tiers), compute, params, sim_cfg);
+
+  // Both sides derive the outer chunk from the same DDR capacity
+  // (DDR/2: chunk + inner scratch), so the chunk structure must match.
+  EXPECT_EQ(host.outer_chunks, sim.outer_chunks);
+  EXPECT_EQ(host.outer_chunks, 8u);
+  EXPECT_TRUE(host.external_merge_ran);
+  EXPECT_GE(host.last_inner.megachunks, 2u);  // double chunking happened
+
+  // Staged volume: every byte crosses NVM -> DDR once and back once.
+  const std::uint64_t total_bytes = kElements * sizeof(std::int64_t);
+  EXPECT_EQ(host.bytes_staged_in, total_bytes);
+  EXPECT_EQ(host.bytes_staged_out, total_bytes);
+  EXPECT_DOUBLE_EQ(sim.nvm_read_bytes - static_cast<double>(total_bytes),
+                   static_cast<double>(host.bytes_staged_in));
+
+  // NVM traffic: host = sim + one read and one write of the data (the
+  // merge scratch moved home, which the simulator's merge skips).
+  EXPECT_DOUBLE_EQ(static_cast<double>(host.nvm_read_bytes),
+                   sim.nvm_read_bytes + static_cast<double>(total_bytes));
+  EXPECT_DOUBLE_EQ(static_cast<double>(host.nvm_write_bytes),
+                   sim.nvm_write_bytes + static_cast<double>(total_bytes));
+
+  // Host phase breakdown: all three phases ran and account for the wall
+  // clock within 25% (stated tolerance; the remainder is alloc/setup).
+  EXPECT_GT(host.staging_seconds, 0.0);
+  EXPECT_GT(host.sorting_seconds, 0.0);
+  EXPECT_GT(host.merging_seconds, 0.0);
+  const double phase_sum =
+      host.staging_seconds + host.sorting_seconds + host.merging_seconds;
+  EXPECT_LE(phase_sum, host.total_seconds * 1.25 + 1e-6);
+  EXPECT_GE(phase_sum, host.total_seconds * 0.75 - 1e-6);
+
+  // Sim phase breakdown: phases partition the simulated total exactly
+  // (no overlap was requested).
+  EXPECT_NEAR(sim.staging_seconds + sim.sorting_seconds +
+                  sim.merging_seconds,
+              sim.seconds, sim.seconds * 1e-9);
+}
+
+TEST(DoubleChunkingVsSim, TierOverloadMatchesExplicitConfigs) {
+  // The tier-list overload must be a pure repackaging of the
+  // (machine, nvm) overload — same description in, same projection out.
+  KnlConfig machine = knl7250();
+  machine.mcdram_bytes = KiB(512);
+  machine.ddr_bytes = MiB(2);
+  NvmConfig nvm = optane_pmm();
+  nvm.bytes = MiB(32);
+
+  knlsim::SortCostParams params;
+  knlsim::NvmSortConfig cfg;
+  cfg.strategy = knlsim::NvmStrategy::DoubleChunked;
+  cfg.elements = kElements;
+
+  const knlsim::NvmSortResult direct =
+      knlsim::simulate_nvm_sort(machine, nvm, params, cfg);
+  const std::vector<TierConfig> tiers = describe_tiers(machine, nvm);
+  const knlsim::NvmSortResult via_tiers = knlsim::simulate_nvm_sort(
+      std::span<const TierConfig>(tiers), machine, params, cfg);
+
+  EXPECT_DOUBLE_EQ(via_tiers.seconds, direct.seconds);
+  EXPECT_DOUBLE_EQ(via_tiers.staging_seconds, direct.staging_seconds);
+  EXPECT_DOUBLE_EQ(via_tiers.sorting_seconds, direct.sorting_seconds);
+  EXPECT_DOUBLE_EQ(via_tiers.merging_seconds, direct.merging_seconds);
+  EXPECT_EQ(via_tiers.outer_chunks, direct.outer_chunks);
+  EXPECT_DOUBLE_EQ(via_tiers.nvm_read_bytes, direct.nvm_read_bytes);
+  EXPECT_DOUBLE_EQ(via_tiers.nvm_write_bytes, direct.nvm_write_bytes);
+}
+
+}  // namespace
+}  // namespace mlm

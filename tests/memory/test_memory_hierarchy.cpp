@@ -1,0 +1,113 @@
+#include "mlm/memory/memory_hierarchy.h"
+
+#include <gtest/gtest.h>
+
+#include "mlm/support/units.h"
+
+namespace mlm {
+namespace {
+
+HierarchyConfig three_tier(McdramMode mode, double hybrid_frac = 0.5) {
+  HierarchyConfig c;
+  c.mode = mode;
+  c.hybrid_flat_fraction = hybrid_frac;
+  c.tiers = {
+      TierConfig{"nvm", MemKind::NVM, 0, 0.0, 0.0, 0.0},
+      TierConfig{"ddr", MemKind::DDR, MiB(2), 0.0, 0.0, 0.0},
+      TierConfig{"mcdram", MemKind::MCDRAM, KiB(512), 0.0, 0.0, 0.0},
+  };
+  return c;
+}
+
+TEST(MemoryHierarchy, TierAndPairCounts) {
+  MemoryHierarchy h(three_tier(McdramMode::Flat));
+  EXPECT_EQ(h.tier_count(), 3u);
+  EXPECT_EQ(h.pair_count(), 2u);
+  EXPECT_EQ(h.tier_config(0).name, "nvm");
+  EXPECT_EQ(h.tier_config(2).name, "mcdram");
+}
+
+TEST(MemoryHierarchy, FlatModeAllTiersAddressable) {
+  MemoryHierarchy h(three_tier(McdramMode::Flat));
+  EXPECT_TRUE(h.tier_addressable(0));
+  EXPECT_TRUE(h.tier_addressable(1));
+  EXPECT_TRUE(h.tier_addressable(2));
+  EXPECT_TRUE(h.tier(0).unlimited());
+  EXPECT_EQ(h.tier(1).capacity_bytes(), MiB(2));
+  EXPECT_EQ(h.tier(2).capacity_bytes(), KiB(512));
+  EXPECT_EQ(&h.nearest_addressable(), &h.tier(2));
+  EXPECT_EQ(&h.farthest(), &h.tier(0));
+}
+
+TEST(MemoryHierarchy, CacheModeSkipsMcdramTier) {
+  MemoryHierarchy h(three_tier(McdramMode::Cache));
+  EXPECT_TRUE(h.tier_addressable(1));
+  EXPECT_FALSE(h.tier_addressable(2));
+  EXPECT_THROW(h.tier(2), Error);
+  EXPECT_EQ(h.addressable_bytes(2), 0u);
+  EXPECT_EQ(h.cache_bytes(2), KiB(512));
+  // Chunked code stages into the last addressable tier: DDR.
+  EXPECT_EQ(&h.nearest_addressable(), &h.tier(1));
+}
+
+TEST(MemoryHierarchy, HybridSplitsOnlyMcdramTiers) {
+  MemoryHierarchy h(three_tier(McdramMode::Hybrid, 0.25));
+  EXPECT_EQ(h.addressable_bytes(2), KiB(512) / 4);
+  EXPECT_EQ(h.cache_bytes(2), KiB(512) * 3 / 4);
+  EXPECT_EQ(h.tier(2).capacity_bytes(), KiB(512) / 4);
+  // Non-MCDRAM tiers are unaffected by the mode.
+  EXPECT_EQ(h.addressable_bytes(1), MiB(2));
+  EXPECT_EQ(h.cache_bytes(1), 0u);
+}
+
+TEST(MemoryHierarchy, PairExposesAdjacentTiers) {
+  MemoryHierarchy h(three_tier(McdramMode::Flat));
+  TierPair outer = h.pair(0);
+  EXPECT_EQ(outer.far_tier, &h.tier(0));
+  EXPECT_EQ(outer.near_tier, &h.tier(1));
+  EXPECT_TRUE(outer.explicit_copies());
+  TierPair inner = h.pair(1);
+  EXPECT_EQ(inner.far_tier, &h.tier(1));
+  EXPECT_EQ(inner.near_tier, &h.tier(2));
+  EXPECT_THROW(h.pair(2), InvalidArgumentError);
+}
+
+TEST(MemoryHierarchy, PairDegeneratesWithoutAddressableNearTier) {
+  MemoryHierarchy h(three_tier(McdramMode::ImplicitCache));
+  TierPair inner = h.pair(1);
+  EXPECT_EQ(inner.far_tier, &h.tier(1));
+  EXPECT_EQ(inner.near_tier, nullptr);
+  EXPECT_FALSE(inner.explicit_copies());
+}
+
+TEST(MemoryHierarchy, RejectsBadConfig) {
+  HierarchyConfig empty;
+  EXPECT_THROW(MemoryHierarchy h(empty), InvalidArgumentError);
+
+  HierarchyConfig zero_mcdram = three_tier(McdramMode::Flat);
+  zero_mcdram.tiers[2].capacity_bytes = 0;
+  EXPECT_THROW(MemoryHierarchy h(zero_mcdram), InvalidArgumentError);
+
+  EXPECT_THROW(MemoryHierarchy h(three_tier(McdramMode::Hybrid, 0.0)),
+               InvalidArgumentError);
+  EXPECT_THROW(MemoryHierarchy h(three_tier(McdramMode::Hybrid, 1.0)),
+               InvalidArgumentError);
+
+  HierarchyConfig unnamed = three_tier(McdramMode::Flat);
+  unnamed.tiers[0].name.clear();
+  EXPECT_THROW(MemoryHierarchy h(unnamed), InvalidArgumentError);
+}
+
+TEST(MemoryHierarchy, CapacityEnforcedPerTier) {
+  MemoryHierarchy h(three_tier(McdramMode::Flat));
+  void* p = h.tier(2).allocate(KiB(512) - 64);
+  EXPECT_THROW(h.tier(2).allocate(KiB(64)), OutOfMemoryError);
+  h.tier(2).deallocate(p);
+  // DDR tier enforces its own limit independently.
+  void* q = h.tier(1).allocate(MiB(2));
+  EXPECT_THROW(h.tier(1).allocate(64), OutOfMemoryError);
+  h.tier(1).deallocate(q);
+}
+
+}  // namespace
+}  // namespace mlm

@@ -1,0 +1,91 @@
+#include "mlm/memory/triple_space.h"
+
+#include <gtest/gtest.h>
+
+#include "mlm/support/units.h"
+
+namespace mlm {
+namespace {
+
+TripleSpaceConfig cfg(McdramMode mode) {
+  TripleSpaceConfig c;
+  c.mode = mode;
+  c.mcdram_bytes = KiB(512);
+  c.ddr_bytes = MiB(2);
+  c.nvm_bytes = MiB(16);
+  return c;
+}
+
+TEST(TripleSpace, ExposesThreeTierHierarchy) {
+  TripleSpace ts(cfg(McdramMode::Flat));
+  EXPECT_EQ(ts.hierarchy().tier_count(), 3u);
+  EXPECT_EQ(&ts.nvm(), &ts.hierarchy().tier(0));
+  EXPECT_EQ(&ts.ddr(), &ts.hierarchy().tier(1));
+  EXPECT_EQ(&ts.mcdram(), &ts.hierarchy().tier(2));
+  EXPECT_EQ(ts.nvm().kind(), MemKind::NVM);
+  EXPECT_EQ(ts.ddr().kind(), MemKind::DDR);
+  EXPECT_EQ(ts.mcdram().kind(), MemKind::MCDRAM);
+}
+
+TEST(TripleSpace, CapacityAccountingPerTier) {
+  TripleSpace ts(cfg(McdramMode::Flat));
+  void* n = ts.nvm().allocate(MiB(8));
+  void* d = ts.ddr().allocate(MiB(1));
+  void* m = ts.mcdram().allocate(KiB(256));
+  EXPECT_EQ(ts.nvm().stats().used_bytes, MiB(8));
+  EXPECT_EQ(ts.ddr().stats().used_bytes, MiB(1));
+  EXPECT_EQ(ts.mcdram().stats().used_bytes, KiB(256));
+  // Usage in one tier does not consume another tier's capacity.
+  EXPECT_EQ(ts.ddr().stats().free_bytes(), MiB(1));
+  EXPECT_EQ(ts.mcdram().stats().free_bytes(), KiB(256));
+  ts.nvm().deallocate(n);
+  ts.ddr().deallocate(d);
+  ts.mcdram().deallocate(m);
+  EXPECT_EQ(ts.ddr().stats().used_bytes, 0u);
+}
+
+TEST(TripleSpace, UpperPairSharesTheHierarchyTiers) {
+  TripleSpace ts(cfg(McdramMode::Flat));
+  DualSpace& upper = ts.upper();
+  EXPECT_EQ(&upper.ddr(), &ts.ddr());
+  EXPECT_EQ(&upper.mcdram(), &ts.mcdram());
+  EXPECT_EQ(&upper.hierarchy(), &ts.hierarchy());
+  // Allocations through the view are visible through the owner.
+  void* p = upper.mcdram().allocate(KiB(128));
+  EXPECT_EQ(ts.mcdram().stats().used_bytes, KiB(128));
+  upper.mcdram().deallocate(p);
+}
+
+TEST(TripleSpace, ModeGovernsMcdramAddressability) {
+  for (McdramMode mode : {McdramMode::Cache, McdramMode::ImplicitCache,
+                          McdramMode::DdrOnly}) {
+    TripleSpace ts(cfg(mode));
+    EXPECT_FALSE(ts.has_addressable_mcdram()) << to_string(mode);
+    EXPECT_THROW(ts.mcdram(), Error);
+    EXPECT_FALSE(ts.upper().has_addressable_mcdram());
+    // The NVM and DDR tiers stay addressable regardless of mode.
+    EXPECT_EQ(ts.nvm().capacity_bytes(), MiB(16));
+    EXPECT_EQ(&ts.upper().near_space(), &ts.ddr());
+  }
+  TripleSpace hybrid(cfg(McdramMode::Hybrid));
+  EXPECT_TRUE(hybrid.has_addressable_mcdram());
+  EXPECT_EQ(hybrid.mcdram().capacity_bytes(), KiB(256));
+}
+
+TEST(TripleSpace, OutOfMemoryPropagatesPerTier) {
+  TripleSpace ts(cfg(McdramMode::Flat));
+  EXPECT_THROW(ts.mcdram().allocate(MiB(1)), OutOfMemoryError);
+  EXPECT_THROW(ts.ddr().allocate(MiB(4)), OutOfMemoryError);
+  EXPECT_THROW(ts.nvm().allocate(MiB(32)), OutOfMemoryError);
+  // try_allocate reports the same exhaustion without throwing.
+  EXPECT_EQ(ts.mcdram().try_allocate(MiB(1)), nullptr);
+}
+
+TEST(TripleSpace, RequiresDdrLimit) {
+  TripleSpaceConfig c = cfg(McdramMode::Flat);
+  c.ddr_bytes = 0;
+  EXPECT_THROW(TripleSpace ts(c), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mlm
