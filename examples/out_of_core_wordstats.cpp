@@ -44,7 +44,7 @@ int main() {
   const core::PipelineStats stats =
       core::run_chunk_pipeline_typed<std::int64_t>(
           space, std::span<std::int64_t>(data), config,
-          [&](std::span<std::int64_t> chunk, ThreadPool& pool,
+          [&](std::span<std::int64_t> chunk, Executor& pool,
               std::size_t) {
             parallel_for_ranges(pool, 0, chunk.size(), [&](IndexRange r) {
               std::array<std::uint64_t, 16> local_hist{};

@@ -30,12 +30,19 @@
 
 #include "mlm/memory/dual_space.h"
 #include "mlm/memory/memory_hierarchy.h"
+#include "mlm/parallel/executor.h"
 #include "mlm/parallel/triple_pools.h"
 #include "mlm/support/error.h"
 #include "mlm/support/stopwatch.h"
 #include "mlm/support/trace.h"
 
+namespace mlm {
+class DeterministicScheduler;
+}  // namespace mlm
+
 namespace mlm::core {
+
+class PipelineValidator;
 
 /// How many chunk buffers the pipeline cycles through.
 enum class Buffering : std::uint8_t {
@@ -90,6 +97,15 @@ struct PipelineTraceConfig {
   const Stopwatch* epoch = nullptr;
 };
 
+/// Deliberate orchestration bugs, injectable so the schedule harness can
+/// prove the invariant checks catch them (tests/sched).  Never set in
+/// production code.
+struct PipelineFaultInjection {
+  /// Skip the step-barrier join on copy-out futures — the classic
+  /// buffer-reuse-before-copy-out-completes double-buffering bug.
+  bool skip_copy_out_wait = false;
+};
+
 /// Pipeline configuration.
 struct PipelineConfig {
   /// Chunk size in bytes; must allow `buffer_count` live buffers in the
@@ -103,20 +119,32 @@ struct PipelineConfig {
   /// (e.g. reductions); the copy-out pool idles.
   bool write_back = true;
   PipelineTraceConfig trace;
+  /// When set, the run uses single-threaded DeterministicExecutors on
+  /// this scheduler instead of real thread pools: task interleaving is
+  /// a pure function of the scheduler's seed and fully replayable (see
+  /// mlm/parallel/deterministic_executor.h).
+  DeterministicScheduler* scheduler = nullptr;
+  /// When set, buffer-ownership transitions are reported here and every
+  /// ordering-invariant violation throws PipelineInvariantError (see
+  /// mlm/core/pipeline_validator.h).
+  PipelineValidator* validator = nullptr;
+  PipelineFaultInjection faults;
 };
 
 /// Compute stage callback: process `chunk` (resident in near memory, or
-/// in place under implicit mode) using `pool`'s worker threads.
+/// in place under implicit mode) using `pool`'s workers — a real
+/// ThreadPool or a DeterministicExecutor, depending on the run.
 /// `chunk_index` identifies the chunk within the run.
 using ComputeFn = std::function<void(std::span<std::byte> chunk,
-                                     ThreadPool& pool,
+                                     Executor& pool,
                                      std::size_t chunk_index)>;
 
 /// Stream `data` (resident in the pair's far tier) through the pair's
 /// near tier chunk by chunk, applying `compute` to each chunk.
 /// Modifications are written back to `data` (unless config.write_back is
-/// false).  Throws OutOfMemoryError if the configured buffers do not fit
-/// in the near tier.
+/// false).  An empty `data` is a no-op returning zeroed stats.  Throws
+/// OutOfMemoryError if the configured buffers do not fit in the near
+/// tier.
 PipelineStats run_chunk_pipeline(const TierPair& tiers,
                                  std::span<std::byte> data,
                                  const PipelineConfig& config,
@@ -138,6 +166,10 @@ struct TieredPipelineConfig {
   /// When set, every level traces onto this writer: level L uses tracks
   /// [3L, 3L+2] with label "L<L> " (overrides per-level trace config).
   TraceWriter* trace = nullptr;
+  /// When set, every level runs deterministically on this one scheduler
+  /// (overrides per-level scheduler config), so outer-level copies and
+  /// inner-level stages interleave under a single seeded schedule.
+  DeterministicScheduler* scheduler = nullptr;
 };
 
 /// Statistics of a tiered run, aggregated per level (level 0 = the
@@ -178,7 +210,7 @@ PipelineStats run_chunk_pipeline_typed(DualSpace& space, std::span<T> data,
   auto bytes = std::as_writable_bytes(data);
   return run_chunk_pipeline(
       space, bytes, config,
-      [&compute](std::span<std::byte> chunk, ThreadPool& pool,
+      [&compute](std::span<std::byte> chunk, Executor& pool,
                  std::size_t index) {
         std::span<T> typed{reinterpret_cast<T*>(chunk.data()),
                            chunk.size() / sizeof(T)};
@@ -202,7 +234,7 @@ TieredPipelineStats run_tiered_pipeline_typed(MemoryHierarchy& hierarchy,
   auto bytes = std::as_writable_bytes(data);
   return run_tiered_pipeline(
       hierarchy, bytes, config,
-      [&compute](std::span<std::byte> chunk, ThreadPool& pool,
+      [&compute](std::span<std::byte> chunk, Executor& pool,
                  std::size_t index) {
         std::span<T> typed{reinterpret_cast<T*>(chunk.data()),
                            chunk.size() / sizeof(T)};

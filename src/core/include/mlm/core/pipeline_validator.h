@@ -1,0 +1,95 @@
+// Pipeline invariant checks for the chunking scheme of Section 3.
+//
+// The pipeline's correctness rests on a small set of ordering invariants
+// that real-thread runs cannot check (a green run only proves one lucky
+// schedule).  The pipeline reports its buffer ownership transitions to a
+// PipelineValidator, which throws PipelineInvariantError the moment a
+// schedule violates:
+//
+//   1. a chunk buffer is never owned by two stages at once;
+//   2. stages of one chunk run in order: copy-in -> compute -> copy-out;
+//   3. a buffer is not reused for chunk k until chunk k - num_buffers
+//      fully completed (copy-out joined — the classic double-buffer bug);
+//   4. at end of run, every chunk completed and the PipelineStats byte
+//      counters exactly match the input size.
+//
+// All callbacks fire on the orchestrating thread (the pipeline posts and
+// joins stages from one thread), so the validator needs no locking and
+// works identically under real pools and the deterministic harness.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mlm/support/error.h"
+
+namespace mlm::core {
+
+struct PipelineStats;
+
+/// Thrown when a pipeline schedule violates an ordering invariant.
+class PipelineInvariantError : public Error {
+ public:
+  explicit PipelineInvariantError(const std::string& what) : Error(what) {}
+};
+
+/// The three stages a chunk passes through.
+enum class PipelineStage : std::uint8_t { CopyIn, Compute, CopyOut };
+
+const char* to_string(PipelineStage stage);
+
+/// Records buffer-ownership transitions of one pipeline run and throws
+/// PipelineInvariantError on any ordering violation.  Reusable: each
+/// begin_run resets per-run state (tiered runs give every level its own
+/// validator and re-enter it once per outer chunk).
+class PipelineValidator {
+ public:
+  /// Called by the pipeline before the first chunk.  `explicit_copies`
+  /// is false for the implicit/DDR-only degenerate mode (no copy
+  /// stages, chunks processed in place).
+  void begin_run(std::size_t num_chunks, std::size_t num_buffers,
+                 std::uint64_t data_bytes, bool explicit_copies,
+                 bool write_back);
+
+  /// Stage `stage` of chunk `chunk` takes ownership of buffer `buffer`.
+  /// For copy stages this fires when the slices are posted — the buffer
+  /// is committed to the transfer from that point.
+  void acquire(PipelineStage stage, std::size_t chunk, std::size_t buffer);
+
+  /// Ownership returns after the stage's completion was observed (the
+  /// step barrier joined its futures / the compute call returned).
+  void release(PipelineStage stage, std::size_t chunk, std::size_t buffer);
+
+  /// Called after the last step barrier; checks completion and that the
+  /// stats byte counters match the input size exactly.
+  void end_run(const PipelineStats& stats);
+
+  /// Totals across all begin_run..end_run cycles (test observability).
+  std::size_t runs_completed() const { return runs_completed_; }
+  std::size_t events_checked() const { return events_checked_; }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const;
+  /// Bitmask of completed (released) stages for chunk `c`.
+  std::uint8_t& progress(std::size_t c) { return progress_.at(c); }
+  bool chunk_done(std::size_t c) const;
+
+  struct Owner {
+    bool owned = false;
+    PipelineStage stage = PipelineStage::CopyIn;
+    std::size_t chunk = 0;
+  };
+
+  bool in_run_ = false;
+  std::size_t num_chunks_ = 0;
+  std::uint64_t data_bytes_ = 0;
+  bool explicit_copies_ = true;
+  bool write_back_ = true;
+  std::vector<Owner> buffers_;
+  std::vector<std::uint8_t> progress_;
+  std::size_t runs_completed_ = 0;
+  std::size_t events_checked_ = 0;
+};
+
+}  // namespace mlm::core

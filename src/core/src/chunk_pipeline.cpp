@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <future>
 
+#include "mlm/core/pipeline_validator.h"
 #include "mlm/memory/memory_space.h"
+#include "mlm/parallel/deterministic_executor.h"
 #include "mlm/parallel/parallel_memcpy.h"
+#include "mlm/parallel/thread_pool.h"
 #include "mlm/support/error.h"
 #include "mlm/support/stopwatch.h"
 
@@ -71,12 +74,14 @@ class StageTracer {
 /// Implicit/DDR-only execution: no copies, all chunks processed in
 /// place; the compute pool is the only active pool (§3.1: "In implicit
 /// cache mode all available threads are dedicated to performing the
-/// compute").
+/// compute").  Chunks are serialized, so the validator sees one virtual
+/// buffer cycled through every chunk.
 PipelineStats run_in_place(std::span<std::byte> data,
                            std::size_t chunk_bytes,
                            const ComputeFn& compute,
-                           ThreadPool& compute_pool,
-                           const StageTracer& tracer) {
+                           Executor& compute_pool,
+                           const StageTracer& tracer,
+                           PipelineValidator* validator) {
   PipelineStats stats;
   Stopwatch total;
   std::size_t index = 0;
@@ -84,7 +89,13 @@ PipelineStats run_in_place(std::span<std::byte> data,
     const std::size_t len = std::min(chunk_bytes, data.size() - off);
     Stopwatch step;
     const double t0 = tracer.now();
+    if (validator != nullptr) {
+      validator->acquire(PipelineStage::Compute, index, 0);
+    }
     compute(data.subspan(off, len), compute_pool, index);
+    if (validator != nullptr) {
+      validator->release(PipelineStage::Compute, index, 0);
+    }
     const double t1 = tracer.now();
     tracer.emit(1, "compute", index, t0, t1);
     stats.compute_seconds += t1 - t0;
@@ -104,11 +115,20 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
                                  const PipelineConfig& config,
                                  const ComputeFn& compute) {
   MLM_REQUIRE(compute != nullptr, "compute callback required");
-  MLM_REQUIRE(!data.empty(), "no data to process");
 
   const std::size_t bufs = buffer_count(config.buffering);
   const bool explicit_copies = tiers.explicit_copies();
   const StageTracer tracer(config.trace);
+  PipelineValidator* validator = config.validator;
+
+  if (data.empty()) {
+    PipelineStats stats;
+    if (validator != nullptr) {
+      validator->begin_run(0, bufs, 0, explicit_copies, config.write_back);
+      validator->end_run(stats);
+    }
+    return stats;
+  }
 
   // Resolve the chunk size.
   std::size_t chunk_bytes = config.chunk_bytes;
@@ -123,23 +143,43 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
   }
   MLM_REQUIRE(chunk_bytes > 0, "chunk size must be positive");
 
+  const std::size_t num_chunks =
+      (data.size() + chunk_bytes - 1) / chunk_bytes;
+
   if (!explicit_copies) {
     // Implicit cache / DDR-only: one big compute pool, no copies.
-    ThreadPool compute_pool(config.pools.total(), "compute");
-    return run_in_place(data, chunk_bytes, compute, compute_pool, tracer);
+    if (validator != nullptr) {
+      validator->begin_run(num_chunks, 1, data.size(), false,
+                           config.write_back);
+    }
+    PipelineStats stats;
+    if (config.scheduler != nullptr) {
+      DeterministicExecutor pool(*config.scheduler, config.pools.total(),
+                                 "compute");
+      stats = run_in_place(data, chunk_bytes, compute, pool, tracer,
+                           validator);
+    } else {
+      ThreadPool pool(config.pools.total(), "compute");
+      stats = run_in_place(data, chunk_bytes, compute, pool, tracer,
+                           validator);
+    }
+    if (validator != nullptr) validator->end_run(stats);
+    return stats;
   }
 
   // Flat / hybrid: allocate the chunk buffers in the near tier and build
-  // the three pools.
+  // the three pools.  Buffers are declared before the pools so that on
+  // any exit the pools drain (or, deterministically, drop) their pending
+  // slices while the buffers are still alive.
   std::vector<Allocation> buffers;
   buffers.reserve(bufs);
   for (std::size_t i = 0; i < bufs; ++i) {
     buffers.emplace_back(*tiers.near_tier, chunk_bytes);
   }
-  TriplePools pools(config.pools);
+  TriplePools pools = config.scheduler != nullptr
+                          ? TriplePools(config.pools, *config.scheduler)
+                          : TriplePools(config.pools);
 
-  const std::size_t num_chunks =
-      (data.size() + chunk_bytes - 1) / chunk_bytes;
   auto chunk_range = [&](std::size_t c) {
     const std::size_t off = c * chunk_bytes;
     return data.subspan(off, std::min(chunk_bytes, data.size() - off));
@@ -149,13 +189,28 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
   stats.chunks = num_chunks;
   Stopwatch total;
 
+  if (validator != nullptr) {
+    validator->begin_run(num_chunks, bufs, data.size(), true,
+                         config.write_back);
+  }
+  auto vacquire = [&](PipelineStage st, std::size_t c) {
+    if (validator != nullptr) validator->acquire(st, c, c % bufs);
+  };
+  auto vrelease = [&](PipelineStage st, std::size_t c) {
+    if (validator != nullptr) validator->release(st, c, c % bufs);
+  };
+
   // The orchestrating thread posts copy slices asynchronously so every
   // pool worker stays available for the slices themselves (wrapping a
   // blocking parallel_memcpy in a pool task would deadlock a 1-thread
   // pool), then drives the compute stage synchronously and joins the
-  // copies at the step barrier.
+  // copies at the step barrier.  Joins go through Executor::wait so a
+  // DeterministicExecutor can run its tasks while the orchestrator
+  // blocks.  A buffer is owned (validator-acquired) from slice posting
+  // until its join.
   auto copy_in_async = [&](std::size_t c) {
     auto src = chunk_range(c);
+    vacquire(PipelineStage::CopyIn, c);
     stats.bytes_copied_in += src.size();
     return parallel_memcpy_async(pools.copy_in(), buffers[c % bufs].get(),
                                  src.data(), src.size());
@@ -163,27 +218,37 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
   auto run_compute = [&](std::size_t c) {
     auto r = chunk_range(c);
     const double t0 = tracer.now();
+    vacquire(PipelineStage::Compute, c);
     compute(std::span<std::byte>(
                 static_cast<std::byte*>(buffers[c % bufs].get()), r.size()),
             pools.compute(), c);
+    vrelease(PipelineStage::Compute, c);
     const double t1 = tracer.now();
     stats.compute_seconds += t1 - t0;
     tracer.emit(1, "compute", c, t0, t1);
   };
   auto copy_out_async = [&](std::size_t c) {
     auto dst = chunk_range(c);
+    vacquire(PipelineStage::CopyOut, c);
     stats.bytes_copied_out += dst.size();
     return parallel_memcpy_async(pools.copy_out(), dst.data(),
                                  buffers[c % bufs].get(), dst.size());
   };
   // Stage spans run from posting the slices to their completion; under
   // double/triple buffering that span includes whatever overlapped it.
-  auto note_in = [&](std::size_t c, double t0) {
+  auto join_in = [&](std::size_t c, std::vector<std::future<void>>& in,
+                     double t0) {
+    pools.copy_in().wait(in);
+    vrelease(PipelineStage::CopyIn, c);
     const double t1 = tracer.now();
     stats.copy_in_seconds += t1 - t0;
     tracer.emit(0, "copy-in", c, t0, t1);
   };
-  auto note_out = [&](std::size_t c, double t0) {
+  auto join_out = [&](std::size_t c, std::vector<std::future<void>>& out,
+                      double t0) {
+    if (config.faults.skip_copy_out_wait) return;  // injected bug
+    pools.copy_out().wait(out);
+    vrelease(PipelineStage::CopyOut, c);
     const double t1 = tracer.now();
     stats.copy_out_seconds += t1 - t0;
     tracer.emit(2, "copy-out", c, t0, t1);
@@ -203,14 +268,12 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
         timed_step([&] {
           const double t_in = tracer.now();
           auto in = copy_in_async(c);
-          wait_all(in);
-          note_in(c, t_in);
+          join_in(c, in, t_in);
           run_compute(c);
           if (config.write_back) {
             const double t_out = tracer.now();
             auto out = copy_out_async(c);
-            wait_all(out);
-            note_out(c, t_out);
+            join_out(c, out, t_out);
           }
         });
       }
@@ -228,12 +291,10 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
             if (config.write_back) {
               const double t_out = tracer.now();
               auto out = copy_out_async(s - 1);
-              wait_all(out);
-              note_out(s - 1, t_out);
+              join_out(s - 1, out, t_out);
             }
           }
-          wait_all(in);
-          if (s < num_chunks) note_in(s, t_in);
+          if (s < num_chunks) join_in(s, in, t_in);
         });
       }
       break;
@@ -253,10 +314,8 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
           const double t_out = tracer.now();
           if (has_out) out = copy_out_async(s - 2);
           if (has_compute) run_compute(s - 1);
-          wait_all(in);
-          if (has_in) note_in(s, t_in);
-          wait_all(out);
-          if (has_out) note_out(s - 2, t_out);
+          if (has_in) join_in(s, in, t_in);
+          if (has_out) join_out(s - 2, out, t_out);
         });
       }
       break;
@@ -264,6 +323,7 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
   }
 
   stats.total_seconds = total.elapsed_s();
+  if (validator != nullptr) validator->end_run(stats);
   return stats;
 }
 
@@ -289,6 +349,9 @@ TieredPipelineStats run_tiered_pipeline(MemoryHierarchy& hierarchy,
   std::vector<PipelineConfig> cfgs(levels);
   for (std::size_t l = 0; l < levels && l < config.levels.size(); ++l) {
     cfgs[l] = config.levels[l];
+  }
+  if (config.scheduler != nullptr) {
+    for (PipelineConfig& cfg : cfgs) cfg.scheduler = config.scheduler;
   }
   Stopwatch epoch;
   if (config.trace != nullptr) {
@@ -319,7 +382,7 @@ TieredPipelineStats run_tiered_pipeline(MemoryHierarchy& hierarchy,
         ComputeFn stage;
         if (level + 1 < levels) {
           stage = [&run_level, level](std::span<std::byte> chunk,
-                                      ThreadPool&, std::size_t) {
+                                      Executor&, std::size_t) {
             run_level(level + 1, chunk);
           };
         } else {

@@ -46,7 +46,7 @@ MergeBenchResult run_merge_bench(DualSpace& space,
   Stopwatch timer;
   result.pipeline = run_chunk_pipeline_typed<std::int64_t>(
       space, data.subspan(0, config.elements), pcfg,
-      [&](std::span<std::int64_t> chunk, ThreadPool& pool,
+      [&](std::span<std::int64_t> chunk, Executor& pool,
           std::size_t /*chunk_index*/) {
         // Disperse the chunk among the compute threads; each thread
         // merges its portion's two halves `repeats` times.

@@ -1,0 +1,152 @@
+#include "mlm/core/pipeline_validator.h"
+
+#include <sstream>
+
+#include "mlm/core/chunk_pipeline.h"
+
+namespace mlm::core {
+
+namespace {
+
+std::uint8_t stage_bit(PipelineStage stage) {
+  return static_cast<std::uint8_t>(1u << static_cast<unsigned>(stage));
+}
+
+}  // namespace
+
+const char* to_string(PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::CopyIn: return "copy-in";
+    case PipelineStage::Compute: return "compute";
+    case PipelineStage::CopyOut: return "copy-out";
+  }
+  return "?";
+}
+
+void PipelineValidator::begin_run(std::size_t num_chunks,
+                                  std::size_t num_buffers,
+                                  std::uint64_t data_bytes,
+                                  bool explicit_copies, bool write_back) {
+  if (in_run_) fail("begin_run while a run is already active");
+  in_run_ = true;
+  num_chunks_ = num_chunks;
+  data_bytes_ = data_bytes;
+  explicit_copies_ = explicit_copies;
+  write_back_ = write_back;
+  buffers_.assign(num_buffers, Owner{});
+  progress_.assign(num_chunks, 0);
+}
+
+bool PipelineValidator::chunk_done(std::size_t c) const {
+  const std::uint8_t p = progress_.at(c);
+  if (!explicit_copies_) return (p & stage_bit(PipelineStage::Compute)) != 0;
+  const PipelineStage final_stage =
+      write_back_ ? PipelineStage::CopyOut : PipelineStage::Compute;
+  return (p & stage_bit(final_stage)) != 0;
+}
+
+void PipelineValidator::acquire(PipelineStage stage, std::size_t chunk,
+                                std::size_t buffer) {
+  ++events_checked_;
+  if (!in_run_) fail("acquire outside a run");
+  if (chunk >= num_chunks_ || buffer >= buffers_.size()) {
+    fail("acquire with out-of-range chunk/buffer");
+  }
+  Owner& owner = buffers_[buffer];
+  if (owner.owned) {
+    std::ostringstream os;
+    os << to_string(stage) << " of chunk " << chunk << " acquired buffer "
+       << buffer << " while " << to_string(owner.stage) << " of chunk "
+       << owner.chunk << " still owns it";
+    fail(os.str());
+  }
+  // Stage order within one chunk.
+  const std::uint8_t p = progress_[chunk];
+  switch (stage) {
+    case PipelineStage::CopyIn:
+      if (p != 0) fail("copy-in after the chunk already made progress");
+      // The previous tenant of this buffer must have fully completed —
+      // the "copy-out of chunk k before its buffer is reused" invariant.
+      if (chunk >= buffers_.size() &&
+          !chunk_done(chunk - buffers_.size())) {
+        std::ostringstream os;
+        os << "buffer " << buffer << " reused for chunk " << chunk
+           << " before chunk " << chunk - buffers_.size()
+           << " completed its final stage";
+        fail(os.str());
+      }
+      break;
+    case PipelineStage::Compute:
+      if (explicit_copies_ && !(p & stage_bit(PipelineStage::CopyIn))) {
+        fail("compute started before copy-in completed");
+      }
+      break;
+    case PipelineStage::CopyOut:
+      if (!(p & stage_bit(PipelineStage::Compute))) {
+        fail("copy-out started before compute completed");
+      }
+      break;
+  }
+  owner = Owner{true, stage, chunk};
+}
+
+void PipelineValidator::release(PipelineStage stage, std::size_t chunk,
+                                std::size_t buffer) {
+  ++events_checked_;
+  if (!in_run_) fail("release outside a run");
+  if (buffer >= buffers_.size()) fail("release of out-of-range buffer");
+  Owner& owner = buffers_[buffer];
+  if (!owner.owned || owner.stage != stage || owner.chunk != chunk) {
+    std::ostringstream os;
+    os << to_string(stage) << " of chunk " << chunk
+       << " released buffer " << buffer << " it does not own";
+    fail(os.str());
+  }
+  owner.owned = false;
+  progress_[chunk] |= stage_bit(stage);
+}
+
+void PipelineValidator::end_run(const PipelineStats& stats) {
+  if (!in_run_) fail("end_run without begin_run");
+  for (const Owner& owner : buffers_) {
+    if (owner.owned) {
+      std::ostringstream os;
+      os << "run ended with buffer still owned by "
+         << to_string(owner.stage) << " of chunk " << owner.chunk;
+      fail(os.str());
+    }
+  }
+  for (std::size_t c = 0; c < num_chunks_; ++c) {
+    if (!chunk_done(c)) {
+      std::ostringstream os;
+      os << "run ended but chunk " << c << " never completed";
+      fail(os.str());
+    }
+  }
+  if (stats.chunks != num_chunks_) {
+    fail("PipelineStats.chunks disagrees with the chunk count");
+  }
+  const std::uint64_t expect_in = explicit_copies_ ? data_bytes_ : 0;
+  const std::uint64_t expect_out =
+      explicit_copies_ && write_back_ ? data_bytes_ : 0;
+  if (stats.bytes_copied_in != expect_in) {
+    std::ostringstream os;
+    os << "bytes_copied_in=" << stats.bytes_copied_in
+       << " does not match input size " << expect_in;
+    fail(os.str());
+  }
+  if (stats.bytes_copied_out != expect_out) {
+    std::ostringstream os;
+    os << "bytes_copied_out=" << stats.bytes_copied_out
+       << " does not match expected " << expect_out;
+    fail(os.str());
+  }
+  in_run_ = false;
+  ++runs_completed_;
+}
+
+void PipelineValidator::fail(const std::string& what) const {
+  throw PipelineInvariantError("pipeline invariant violated: " + what);
+}
+
+}  // namespace mlm::core

@@ -1,0 +1,74 @@
+// Executor: the task-execution seam between pipeline orchestration and
+// the machinery that actually runs tasks.
+//
+// The paper's buffered chunking scheme (Section 3) overlaps copy-in,
+// compute and copy-out on dedicated thread pools, which makes every
+// ordering bug (buffer reuse before copy-out, missed step barriers) a
+// nondeterministic real-thread race.  All pipeline code is therefore
+// written against this interface, with two implementations:
+//
+//   - ThreadPool            real worker threads, the production fast path
+//   - DeterministicExecutor single-threaded seeded schedule exploration
+//     (mlm/parallel/deterministic_executor.h) for the tests/sched harness
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <future>
+#include <string>
+#include <vector>
+
+namespace mlm {
+
+/// Abstract task executor.  Tasks are opaque callables; exceptions from
+/// post()ed tasks are captured and rethrown by wait_idle(), exceptions
+/// from submit()ed tasks travel through the returned future.
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Logical worker count (used by parallel_for / parallel_memcpy to
+  /// pick slice counts; a deterministic executor reports the size of the
+  /// real pool it stands in for).
+  virtual std::size_t size() const = 0;
+
+  /// Diagnostic label ("copy-in", "compute", ...).
+  virtual const std::string& name() const = 0;
+
+  /// Enqueue a task without a future (slightly cheaper); exceptions are
+  /// stored and rethrown by the next wait_idle().
+  virtual void post(std::function<void()> task) = 0;
+
+  /// Enqueue a task; returns a future for its completion/exception.
+  virtual std::future<void> submit(std::function<void()> task) = 0;
+
+  /// Block until the queue is empty and all workers are idle.  Rethrows
+  /// the first exception captured from a post()ed task, if any.
+  virtual void wait_idle() = 0;
+
+  /// Block until every future is ready, rethrowing the first captured
+  /// exception.  This is the only way pipeline code may join futures
+  /// returned by submit(): a deterministic executor has no worker
+  /// threads, so a bare future.get() would never return — its wait()
+  /// drives the schedule instead.
+  virtual void wait(std::vector<std::future<void>>& futures) = 0;
+
+  /// Number of tasks executed since construction (tests/diagnostics).
+  virtual std::size_t tasks_executed() const = 0;
+
+  /// Run `body(worker_index)` once for each of size() logical workers
+  /// and block until all complete.  The calling thread does not
+  /// participate.
+  void run_on_all(const std::function<void(std::size_t)>& body) {
+    const std::size_t n = size();
+    std::vector<std::future<void>> futs;
+    futs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      futs.push_back(submit([&body, i] { body(i); }));
+    }
+    wait(futs);
+  }
+};
+
+}  // namespace mlm

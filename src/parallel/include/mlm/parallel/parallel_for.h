@@ -1,11 +1,13 @@
-// Blocking data-parallel loops over a ThreadPool.
+// Blocking data-parallel loops over an Executor (real ThreadPool or a
+// DeterministicExecutor — joins go through Executor::wait so the
+// deterministic harness can drive the schedule).
 #pragma once
 
 #include <cstddef>
 #include <functional>
 
+#include "mlm/parallel/executor.h"
 #include "mlm/parallel/partition.h"
-#include "mlm/parallel/thread_pool.h"
 
 namespace mlm {
 
@@ -13,7 +15,7 @@ namespace mlm {
 /// the pool's workers.  Blocks until complete; rethrows the first task
 /// exception.
 template <typename Body>
-void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+void parallel_for(Executor& pool, std::size_t begin, std::size_t end,
                   Body&& body) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
@@ -26,22 +28,14 @@ void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
       for (std::size_t i = r.begin; i < r.end; ++i) body(begin + i);
     }));
   }
-  std::exception_ptr err;
-  for (auto& f : futs) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!err) err = std::current_exception();
-    }
-  }
-  if (err) std::rethrow_exception(err);
+  pool.wait(futs);
 }
 
 /// Run `body(range)` for each of the pool-size balanced subranges of
 /// [begin, end).  Preferred when per-range setup (buffers, cursors) is
 /// expensive; this is the idiom MLM-sort uses for per-thread serial sorts.
 template <typename Body>
-void parallel_for_ranges(ThreadPool& pool, std::size_t begin,
+void parallel_for_ranges(Executor& pool, std::size_t begin,
                          std::size_t end, Body&& body) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
@@ -54,15 +48,7 @@ void parallel_for_ranges(ThreadPool& pool, std::size_t begin,
     r.end += begin;
     futs.push_back(pool.submit([&body, r] { body(r); }));
   }
-  std::exception_ptr err;
-  for (auto& f : futs) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!err) err = std::current_exception();
-    }
-  }
-  if (err) std::rethrow_exception(err);
+  pool.wait(futs);
 }
 
 }  // namespace mlm

@@ -5,6 +5,9 @@
 // splits one large copy across a pool — this is exactly the work the
 // paper's copy-in / copy-out pools perform, and the operation whose
 // per-thread rate S_copy (Table 2: 4.8 GB/s) the model depends on.
+//
+// All variants take an Executor, so the same slicing runs on real
+// ThreadPool workers or under a DeterministicExecutor's seeded schedule.
 #pragma once
 
 #include <cstddef>
@@ -13,31 +16,33 @@
 
 namespace mlm {
 
-class ThreadPool;
+class Executor;
 
 /// Copy `bytes` bytes from `src` to `dst` using every worker of `pool`.
 /// Regions must not overlap.  Blocks until the copy completes.
-void parallel_memcpy(ThreadPool& pool, void* dst, const void* src,
+void parallel_memcpy(Executor& pool, void* dst, const void* src,
                      std::size_t bytes);
 
 /// As above but splits into at most `max_ways` slices (used when a caller
 /// wants to leave some pool workers free for other queued transfers).
-void parallel_memcpy(ThreadPool& pool, void* dst, const void* src,
+void parallel_memcpy(Executor& pool, void* dst, const void* src,
                      std::size_t bytes, std::size_t max_ways);
 
 /// Non-blocking variant: slices are posted to the pool and their futures
-/// returned.  The caller must keep src/dst alive and wait on every
-/// future before touching either region.  Safe to call from the
+/// returned.  The caller must keep src/dst alive and join every future
+/// (via pool.wait(), which a deterministic executor needs to drive its
+/// schedule) before touching either region.  Safe to call from the
 /// orchestrating thread while the pool's workers stay free to run the
 /// slices (unlike wrapping the blocking call in a pool task, which
 /// deadlocks a pool of size one).
-std::vector<std::future<void>> parallel_memcpy_async(ThreadPool& pool,
+std::vector<std::future<void>> parallel_memcpy_async(Executor& pool,
                                                      void* dst,
                                                      const void* src,
                                                      std::size_t bytes);
 
 /// Block on futures returned by parallel_memcpy_async, rethrowing the
-/// first captured exception.
+/// first captured exception.  Only valid for real thread pools; under a
+/// DeterministicExecutor use pool.wait(futures) instead.
 void wait_all(std::vector<std::future<void>>& futures);
 
 }  // namespace mlm

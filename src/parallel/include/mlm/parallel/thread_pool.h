@@ -18,45 +18,46 @@
 #include <thread>
 #include <vector>
 
+#include "mlm/parallel/executor.h"
 #include "mlm/support/error.h"
 
 namespace mlm {
 
-/// Fixed-size FIFO thread pool.
+/// Fixed-size FIFO thread pool — the real-threads Executor.
 ///
 /// Threads are created in the constructor and joined in the destructor.
 /// Tasks thrown exceptions are captured and rethrown from wait_idle() /
 /// the returned future, never swallowed.
-class ThreadPool {
+class ThreadPool : public Executor {
  public:
   /// Creates `num_threads` workers (must be >= 1).  `name` labels the pool
   /// in diagnostics ("copy-in", "compute", ...).
   explicit ThreadPool(std::size_t num_threads, std::string name = "pool");
-  ~ThreadPool();
+  ~ThreadPool() override;
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t size() const { return threads_.size(); }
-  const std::string& name() const { return name_; }
+  std::size_t size() const override { return threads_.size(); }
+  const std::string& name() const override { return name_; }
 
   /// Enqueue a task; returns a future for its completion/exception.
-  std::future<void> submit(std::function<void()> task);
+  std::future<void> submit(std::function<void()> task) override;
 
   /// Enqueue a task without a future (slightly cheaper); exceptions are
   /// stored and rethrown by the next wait_idle().
-  void post(std::function<void()> task);
-
-  /// Run `body(worker_index)` once on each of `size()` logical workers and
-  /// block until all complete.  The calling thread does not participate.
-  void run_on_all(const std::function<void(std::size_t)>& body);
+  void post(std::function<void()> task) override;
 
   /// Block until the queue is empty and all workers are idle.  Rethrows
   /// the first exception captured from a post()ed task, if any.
-  void wait_idle();
+  void wait_idle() override;
+
+  /// Block on every future (the workers make progress on their own),
+  /// rethrowing the first captured exception.
+  void wait(std::vector<std::future<void>>& futures) override;
 
   /// Number of tasks executed since construction (for tests/diagnostics).
-  std::size_t tasks_executed() const;
+  std::size_t tasks_executed() const override;
 
  private:
   void worker_loop();

@@ -44,14 +44,22 @@ std::vector<PoolSizes> make_tiered_pool_sizes(std::size_t total,
                                               std::size_t levels,
                                               std::size_t copy_per_direction);
 
-/// Owner of the copy-in / compute / copy-out pools.
+class DeterministicScheduler;
+
+/// Owner of the copy-in / compute / copy-out stage executors.
 class TriplePools {
  public:
+  /// Real worker threads (the production fast path).
   explicit TriplePools(const PoolSizes& sizes);
 
-  ThreadPool& copy_in() { return *copy_in_; }
-  ThreadPool& compute() { return *compute_; }
-  ThreadPool& copy_out() { return *copy_out_; }
+  /// Deterministic variant: the three stages are DeterministicExecutors
+  /// sharing `scheduler`, so stage tasks interleave under its seeded
+  /// schedule (see mlm/parallel/deterministic_executor.h).
+  TriplePools(const PoolSizes& sizes, DeterministicScheduler& scheduler);
+
+  Executor& copy_in() { return *copy_in_; }
+  Executor& compute() { return *compute_; }
+  Executor& copy_out() { return *copy_out_; }
 
   const PoolSizes& sizes() const { return sizes_; }
 
@@ -61,9 +69,9 @@ class TriplePools {
 
  private:
   PoolSizes sizes_;
-  std::unique_ptr<ThreadPool> copy_in_;
-  std::unique_ptr<ThreadPool> compute_;
-  std::unique_ptr<ThreadPool> copy_out_;
+  std::unique_ptr<Executor> copy_in_;
+  std::unique_ptr<Executor> compute_;
+  std::unique_ptr<Executor> copy_out_;
 };
 
 }  // namespace mlm

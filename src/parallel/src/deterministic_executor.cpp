@@ -1,0 +1,143 @@
+#include "mlm/parallel/deterministic_executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+
+bool DeterministicScheduler::step() {
+  if (runnable_.empty()) return false;
+  const std::size_t pick =
+      static_cast<std::size_t>(rng_.bounded(runnable_.size()));
+  Task task = std::move(runnable_[pick]);
+  runnable_.erase(runnable_.begin() +
+                  static_cast<std::ptrdiff_t>(pick));
+  // Record before running so a throwing task still appears in the trace.
+  trace_.push_back(ScheduleRecord{ticks_, task.tag});
+  ++ticks_;
+  task.fn();
+  return true;
+}
+
+std::size_t DeterministicScheduler::run_all() {
+  std::size_t n = 0;
+  while (step()) ++n;
+  return n;
+}
+
+std::string DeterministicScheduler::format_trace() const {
+  std::ostringstream os;
+  os << "deterministic schedule: seed=" << seed_ << " executed=" << ticks_
+     << " pending=" << runnable_.size() << "\n";
+  for (const ScheduleRecord& r : trace_) {
+    os << "  [" << r.tick << "] " << r.tag << "\n";
+  }
+  for (const Task& t : runnable_) {
+    os << "  [pending] " << t.tag << "\n";
+  }
+  return os.str();
+}
+
+void DeterministicScheduler::enqueue(DeterministicExecutor* owner,
+                                     std::string tag,
+                                     std::function<void()> fn) {
+  runnable_.push_back(Task{owner, std::move(tag), std::move(fn)});
+}
+
+void DeterministicScheduler::drop_tasks(const DeterministicExecutor* owner) {
+  std::erase_if(runnable_,
+                [owner](const Task& t) { return t.owner == owner; });
+}
+
+bool DeterministicScheduler::has_tasks(
+    const DeterministicExecutor* owner) const {
+  return std::any_of(runnable_.begin(), runnable_.end(),
+                     [owner](const Task& t) { return t.owner == owner; });
+}
+
+DeterministicExecutor::DeterministicExecutor(DeterministicScheduler& scheduler,
+                                             std::size_t size,
+                                             std::string name)
+    : sched_(scheduler), size_(size), name_(std::move(name)) {
+  MLM_REQUIRE(size >= 1, "executor needs at least one logical worker");
+}
+
+DeterministicExecutor::~DeterministicExecutor() {
+  sched_.drop_tasks(this);
+}
+
+void DeterministicExecutor::post(std::function<void()> task) {
+  MLM_REQUIRE(task != nullptr, "cannot post a null task");
+  const std::uint64_t seq = posted_++;
+  sched_.enqueue(this, name_ + "#" + std::to_string(seq),
+                 [this, task = std::move(task)] {
+                   try {
+                     task();
+                   } catch (...) {
+                     if (!first_error_) {
+                       first_error_ = std::current_exception();
+                     }
+                   }
+                   ++executed_;
+                 });
+}
+
+std::future<void> DeterministicExecutor::submit(std::function<void()> task) {
+  MLM_REQUIRE(task != nullptr, "cannot submit a null task");
+  auto promise = std::make_shared<std::promise<void>>();
+  std::future<void> fut = promise->get_future();
+  post([task = std::move(task), promise] {
+    try {
+      task();
+      promise->set_value();
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  return fut;
+}
+
+void DeterministicExecutor::wait_idle() {
+  while (sched_.has_tasks(this)) {
+    sched_.step();
+  }
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+void DeterministicExecutor::wait(std::vector<std::future<void>>& futures) {
+  auto all_ready = [&futures] {
+    for (const std::future<void>& f : futures) {
+      if (f.valid() && f.wait_for(std::chrono::seconds(0)) !=
+                           std::future_status::ready) {
+        return false;
+      }
+    }
+    return true;
+  };
+  while (!all_ready()) {
+    if (!sched_.step()) {
+      throw Error("deterministic wait deadlocked: futures not ready and "
+                  "no runnable tasks\n" +
+                  sched_.format_trace());
+    }
+  }
+  std::exception_ptr err;
+  for (std::future<void>& f : futures) {
+    try {
+      if (f.valid()) f.get();
+    } catch (...) {
+      if (!err) err = std::current_exception();
+    }
+  }
+  if (err) std::rethrow_exception(err);
+}
+
+}  // namespace mlm

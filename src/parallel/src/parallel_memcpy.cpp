@@ -2,8 +2,9 @@
 
 #include <cstring>
 
-#include "mlm/parallel/parallel_for.h"
-#include "mlm/parallel/thread_pool.h"
+#include "mlm/parallel/executor.h"
+#include "mlm/parallel/partition.h"
+#include "mlm/support/error.h"
 
 namespace mlm {
 namespace {
@@ -13,12 +14,12 @@ constexpr std::size_t kMinSliceBytes = 64 * 1024;
 
 }  // namespace
 
-void parallel_memcpy(ThreadPool& pool, void* dst, const void* src,
+void parallel_memcpy(Executor& pool, void* dst, const void* src,
                      std::size_t bytes) {
   parallel_memcpy(pool, dst, src, bytes, pool.size());
 }
 
-void parallel_memcpy(ThreadPool& pool, void* dst, const void* src,
+void parallel_memcpy(Executor& pool, void* dst, const void* src,
                      std::size_t bytes, std::size_t max_ways) {
   MLM_REQUIRE(dst != nullptr && src != nullptr, "null copy endpoint");
   if (bytes == 0) return;
@@ -43,10 +44,10 @@ void parallel_memcpy(ThreadPool& pool, void* dst, const void* src,
     futs.push_back(pool.submit(
         [d, s, r] { std::memcpy(d + r.begin, s + r.begin, r.size()); }));
   }
-  wait_all(futs);
+  pool.wait(futs);
 }
 
-std::vector<std::future<void>> parallel_memcpy_async(ThreadPool& pool,
+std::vector<std::future<void>> parallel_memcpy_async(Executor& pool,
                                                      void* dst,
                                                      const void* src,
                                                      std::size_t bytes) {

@@ -72,17 +72,11 @@ void ThreadPool::post(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
-void ThreadPool::run_on_all(const std::function<void(std::size_t)>& body) {
-  const std::size_t n = size();
-  std::vector<std::future<void>> futs;
-  futs.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futs.push_back(submit([&body, i] { body(i); }));
-  }
+void ThreadPool::wait(std::vector<std::future<void>>& futures) {
   std::exception_ptr err;
-  for (auto& f : futs) {
+  for (auto& f : futures) {
     try {
-      f.get();
+      if (f.valid()) f.get();
     } catch (...) {
       if (!err) err = std::current_exception();
     }

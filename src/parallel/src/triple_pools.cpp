@@ -1,6 +1,18 @@
 #include "mlm/parallel/triple_pools.h"
 
+#include "mlm/parallel/deterministic_executor.h"
+
 namespace mlm {
+
+namespace {
+
+void check_sizes(const PoolSizes& sizes) {
+  MLM_REQUIRE(sizes.copy_in >= 1 && sizes.copy_out >= 1 &&
+                  sizes.compute >= 1,
+              "each pool needs at least one thread");
+}
+
+}  // namespace
 
 PoolSizes make_pool_sizes(std::size_t total,
                           std::size_t copy_per_direction) {
@@ -37,17 +49,30 @@ std::vector<PoolSizes> make_tiered_pool_sizes(std::size_t total,
 }
 
 TriplePools::TriplePools(const PoolSizes& sizes) : sizes_(sizes) {
-  MLM_REQUIRE(sizes.copy_in >= 1 && sizes.copy_out >= 1 &&
-                  sizes.compute >= 1,
-              "each pool needs at least one thread");
+  check_sizes(sizes);
   copy_in_ = std::make_unique<ThreadPool>(sizes.copy_in, "copy-in");
   compute_ = std::make_unique<ThreadPool>(sizes.compute, "compute");
   copy_out_ = std::make_unique<ThreadPool>(sizes.copy_out, "copy-out");
 }
 
+TriplePools::TriplePools(const PoolSizes& sizes,
+                         DeterministicScheduler& scheduler)
+    : sizes_(sizes) {
+  check_sizes(sizes);
+  copy_in_ = std::make_unique<DeterministicExecutor>(scheduler,
+                                                     sizes.copy_in,
+                                                     "copy-in");
+  compute_ = std::make_unique<DeterministicExecutor>(scheduler,
+                                                     sizes.compute,
+                                                     "compute");
+  copy_out_ = std::make_unique<DeterministicExecutor>(scheduler,
+                                                      sizes.copy_out,
+                                                      "copy-out");
+}
+
 void TriplePools::wait_all_idle() {
   std::exception_ptr err;
-  for (ThreadPool* pool : {copy_in_.get(), compute_.get(), copy_out_.get()}) {
+  for (Executor* pool : {copy_in_.get(), compute_.get(), copy_out_.get()}) {
     try {
       pool->wait_idle();
     } catch (...) {

@@ -1,0 +1,161 @@
+// Minimal property-testing support: seeded generators, bounded input
+// shrinking, and stable digests.
+//
+// The repo's reproducibility rule (see mlm/support/rng.h) extends to
+// randomized tests: every random input derives from an explicit 64-bit
+// seed through the fully-specified Xoshiro256ss stream, so a failing
+// property is reproducible forever from the seed printed in the failure
+// message.  No framework dependency — the helpers compose with plain
+// GoogleTest assertions.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "mlm/support/rng.h"
+
+namespace mlm {
+
+/// FNV-1a 64-bit digest of a byte range.  Used for golden digests in
+/// seed-stability tests: a generator is byte-identical run to run iff
+/// its digest matches the recorded constant.
+constexpr std::uint64_t fnv1a64(const std::uint8_t* data,
+                                std::size_t bytes) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Digest of a trivially-copyable value sequence.
+template <typename T>
+std::uint64_t digest_of(std::span<const T> values) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return fnv1a64(reinterpret_cast<const std::uint8_t*>(values.data()),
+                 values.size() * sizeof(T));
+}
+
+/// Seeded input generator for property tests.  Thin sugar over
+/// Xoshiro256ss; one Gen per property case, seeded by case index.
+class Gen {
+ public:
+  explicit Gen(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  std::uint64_t u64() { return rng_.next(); }
+
+  /// Uniform in [0, bound).
+  std::uint64_t below(std::uint64_t bound) { return rng_.bounded(bound); }
+
+  /// Uniform in [lo, hi] (inclusive).
+  std::int64_t int_in(std::int64_t lo, std::int64_t hi) {
+    const auto width =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo);
+    return lo + static_cast<std::int64_t>(rng_.bounded(width + 1));
+  }
+
+  /// Uniform size in [lo, hi] (inclusive).
+  std::size_t size_in(std::size_t lo, std::size_t hi) {
+    return lo + static_cast<std::size_t>(rng_.bounded(hi - lo + 1));
+  }
+
+  bool boolean(double p_true = 0.5) { return rng_.uniform01() < p_true; }
+
+  /// Vector of `size_in(min_len, max_len)` elements drawn from `elem`.
+  template <typename T, typename Fn>
+  std::vector<T> vector(std::size_t min_len, std::size_t max_len,
+                        Fn&& elem) {
+    std::vector<T> v(size_in(min_len, max_len));
+    for (T& x : v) x = elem(*this);
+    return v;
+  }
+
+  /// Integer vector with values in [lo, hi].
+  std::vector<std::int64_t> int_vector(std::size_t min_len,
+                                       std::size_t max_len,
+                                       std::int64_t lo, std::int64_t hi) {
+    return vector<std::int64_t>(
+        min_len, max_len, [lo, hi](Gen& g) { return g.int_in(lo, hi); });
+  }
+
+ private:
+  std::uint64_t seed_;
+  Xoshiro256ss rng_;
+};
+
+/// Bounded greedy shrinking of a failing vector input: repeatedly try
+/// removing blocks (halves, quarters, ... single elements) and — for
+/// integral T — simplifying elements toward zero, keeping every
+/// transformation under which `fails` still returns true.  The predicate
+/// is invoked at most `max_attempts` times, so shrinking always
+/// terminates quickly; the result is a locally-minimal failing input,
+/// not a guaranteed global minimum.
+template <typename T>
+std::vector<T> shrink_vector(
+    std::vector<T> failing,
+    const std::function<bool(const std::vector<T>&)>& fails,
+    std::size_t max_attempts = 256) {
+  std::size_t attempts = 0;
+  auto try_candidate = [&](const std::vector<T>& candidate) {
+    if (attempts >= max_attempts) return false;
+    ++attempts;
+    return fails(candidate);
+  };
+
+  // Phase 1: delta-debugging-style block removal.
+  for (std::size_t block = failing.size(); block >= 1; block /= 2) {
+    bool removed = true;
+    while (removed && failing.size() > 0 && attempts < max_attempts) {
+      removed = false;
+      for (std::size_t off = 0; off + block <= failing.size();
+           off += block) {
+        std::vector<T> candidate;
+        candidate.reserve(failing.size() - block);
+        candidate.insert(candidate.end(), failing.begin(),
+                         failing.begin() + static_cast<std::ptrdiff_t>(off));
+        candidate.insert(
+            candidate.end(),
+            failing.begin() + static_cast<std::ptrdiff_t>(off + block),
+            failing.end());
+        if (try_candidate(candidate)) {
+          failing = std::move(candidate);
+          removed = true;
+          break;
+        }
+      }
+    }
+    if (block == 1) break;
+  }
+
+  // Phase 2: simplify surviving elements toward zero.  Binary search
+  // between zero and the current value so boundary counterexamples
+  // (e.g. exactly 100 for "fails iff >= 100") are found, not just
+  // power-of-two fractions.
+  if constexpr (std::is_integral_v<T>) {
+    for (std::size_t i = 0;
+         i < failing.size() && attempts < max_attempts; ++i) {
+      T bound = 0;
+      while (failing[i] != bound && attempts < max_attempts) {
+        const T mid = static_cast<T>(bound + (failing[i] - bound) / 2);
+        if (mid == failing[i]) break;
+        std::vector<T> candidate = failing;
+        candidate[i] = mid;
+        if (try_candidate(candidate)) {
+          failing = std::move(candidate);
+        } else {
+          bound = static_cast<T>(mid + (failing[i] > bound ? 1 : -1));
+        }
+      }
+    }
+  }
+  return failing;
+}
+
+}  // namespace mlm

@@ -38,7 +38,7 @@ TEST_P(BufferingModes, IncrementsEveryElementExactlyOnce) {
 
   const PipelineStats stats = run_chunk_pipeline_typed<std::int64_t>(
       space, std::span<std::int64_t>(data), small_config(GetParam()),
-      [](std::span<std::int64_t> chunk, ThreadPool&, std::size_t) {
+      [](std::span<std::int64_t> chunk, Executor&, std::size_t) {
         for (auto& v : chunk) v += 1;
       });
 
@@ -67,7 +67,7 @@ TEST(ChunkPipeline, ChunkIndicesArriveInOrderWithCorrectSlices) {
   std::vector<std::int64_t> first_elements;
   run_chunk_pipeline_typed<std::int64_t>(
       space, std::span<std::int64_t>(data), small_config(),
-      [&](std::span<std::int64_t> chunk, ThreadPool&, std::size_t idx) {
+      [&](std::span<std::int64_t> chunk, Executor&, std::size_t idx) {
         indices.push_back(idx);
         first_elements.push_back(chunk.front());
       });
@@ -87,7 +87,7 @@ TEST(ChunkPipeline, ImplicitModeProcessesInPlaceWithoutCopies) {
 
   const PipelineStats stats = run_chunk_pipeline_typed<std::int64_t>(
       space, std::span<std::int64_t>(data), small_config(),
-      [&](std::span<std::int64_t> chunk, ThreadPool&, std::size_t) {
+      [&](std::span<std::int64_t> chunk, Executor&, std::size_t) {
         // Implicit mode must hand us the original storage.
         if (chunk.data() < original_ptr ||
             chunk.data() >= original_ptr + data.size()) {
@@ -112,7 +112,7 @@ TEST(ChunkPipeline, WriteBackFalseLeavesDataUntouched) {
 
   run_chunk_pipeline_typed<std::int64_t>(
       space, std::span<std::int64_t>(data), cfg,
-      [&](std::span<std::int64_t> chunk, ThreadPool&, std::size_t) {
+      [&](std::span<std::int64_t> chunk, Executor&, std::size_t) {
         std::int64_t local = 0;
         for (auto& v : chunk) {
           local += v;
@@ -133,7 +133,7 @@ TEST(ChunkPipeline, DefaultChunkSizeFillsNearMemory) {
   cfg.chunk_bytes = 0;  // auto: capacity / 3 buffers = 1 MiB
   const PipelineStats stats = run_chunk_pipeline_typed<std::int64_t>(
       space, std::span<std::int64_t>(data), cfg,
-      [](std::span<std::int64_t>, ThreadPool&, std::size_t) {});
+      [](std::span<std::int64_t>, Executor&, std::size_t) {});
   EXPECT_EQ(stats.chunks, 2u);
 }
 
@@ -143,7 +143,7 @@ TEST(ChunkPipeline, OversizedBuffersThrowOutOfMemory) {
   PipelineConfig cfg = small_config(Buffering::Triple, MiB(1));
   EXPECT_THROW(run_chunk_pipeline_typed<std::int64_t>(
                    space, std::span<std::int64_t>(data), cfg,
-                   [](std::span<std::int64_t>, ThreadPool&, std::size_t) {}),
+                   [](std::span<std::int64_t>, Executor&, std::size_t) {}),
                OutOfMemoryError);
 }
 
@@ -157,7 +157,7 @@ TEST(ChunkPipeline, SingleBufferingFitsWhereTripleDoesNot) {
   PipelineConfig cfg = small_config(Buffering::Single, MiB(1) - 64);
   run_chunk_pipeline_typed<std::int64_t>(
       space, std::span<std::int64_t>(data), cfg,
-      [](std::span<std::int64_t> chunk, ThreadPool&, std::size_t) {
+      [](std::span<std::int64_t> chunk, Executor&, std::size_t) {
         for (auto& v : chunk) v *= 2;
       });
   EXPECT_EQ(data, expect);
@@ -169,7 +169,7 @@ TEST(ChunkPipeline, ComputeExceptionPropagates) {
   EXPECT_THROW(
       run_chunk_pipeline_typed<std::int64_t>(
           space, std::span<std::int64_t>(data), small_config(),
-          [](std::span<std::int64_t>, ThreadPool&, std::size_t idx) {
+          [](std::span<std::int64_t>, Executor&, std::size_t idx) {
             if (idx == 1) throw Error("compute failed");
           }),
       Error);
@@ -178,10 +178,13 @@ TEST(ChunkPipeline, ComputeExceptionPropagates) {
 TEST(ChunkPipeline, RejectsBadArguments) {
   DualSpace space = make_space(McdramMode::Flat);
   std::vector<std::int64_t> data(100, 1);
-  EXPECT_THROW(run_chunk_pipeline(space, {}, small_config(),
-                                  [](std::span<std::byte>, ThreadPool&,
-                                     std::size_t) {}),
-               InvalidArgumentError);
+  // Empty input is a no-op, not an error.
+  const PipelineStats empty = run_chunk_pipeline(
+      space, {}, small_config(),
+      [](std::span<std::byte>, Executor&, std::size_t) {});
+  EXPECT_EQ(empty.chunks, 0u);
+  EXPECT_EQ(empty.steps, 0u);
+  EXPECT_EQ(empty.bytes_copied_in, 0u);
   EXPECT_THROW(
       run_chunk_pipeline(space, std::as_writable_bytes(
                                     std::span<std::int64_t>(data)),
@@ -204,7 +207,7 @@ TEST(ChunkPipeline, HybridModeUsesScratchpadHalf) {
   cfg.chunk_bytes = 0;  // auto: (4 MiB * 0.5) / 3 buffers
   const PipelineStats stats = run_chunk_pipeline_typed<std::int64_t>(
       space, std::span<std::int64_t>(data), cfg,
-      [](std::span<std::int64_t> chunk, ThreadPool&, std::size_t) {
+      [](std::span<std::int64_t> chunk, Executor&, std::size_t) {
         for (auto& v : chunk) v = -v;
       });
   for (std::size_t i = 0; i < data.size(); ++i) {
@@ -224,7 +227,7 @@ TEST(ChunkPipeline, StatsStepCountsMatchBuffering) {
         {Buffering::Triple, 6u}}) {
     const PipelineStats stats = run_chunk_pipeline_typed<std::int64_t>(
         space, std::span<std::int64_t>(data), small_config(buffering),
-        [](std::span<std::int64_t>, ThreadPool&, std::size_t) {});
+        [](std::span<std::int64_t>, Executor&, std::size_t) {});
     EXPECT_EQ(stats.chunks, 4u);
     EXPECT_EQ(stats.steps, expected_steps) << to_string(buffering);
   }

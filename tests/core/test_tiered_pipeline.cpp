@@ -1,0 +1,171 @@
+#include "mlm/core/chunk_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "mlm/support/error.h"
+#include "mlm/support/trace.h"
+#include "mlm/support/units.h"
+
+namespace mlm::core {
+namespace {
+
+HierarchyConfig three_tier(McdramMode mode) {
+  HierarchyConfig c;
+  c.mode = mode;
+  c.tiers = {
+      TierConfig{"nvm", MemKind::NVM, 0, 0.0, 0.0, 0.0},
+      TierConfig{"ddr", MemKind::DDR, MiB(2), 0.0, 0.0, 0.0},
+      TierConfig{"mcdram", MemKind::MCDRAM, KiB(512), 0.0, 0.0, 0.0},
+  };
+  return c;
+}
+
+TieredPipelineConfig small_tiered_config() {
+  TieredPipelineConfig cfg;
+  cfg.levels.resize(2);
+  cfg.levels[0].chunk_bytes = KiB(512);  // NVM -> DDR outer chunks
+  cfg.levels[0].pools = PoolSizes{1, 1, 1};
+  cfg.levels[1].chunk_bytes = KiB(128);  // DDR -> MCDRAM inner chunks
+  cfg.levels[1].pools = PoolSizes{1, 1, 2};
+  return cfg;
+}
+
+TEST(TieredPipeline, DoubleChunkingTouchesEveryElementOnce) {
+  MemoryHierarchy hier(three_tier(McdramMode::Flat));
+  std::vector<std::int64_t> data(MiB(4) / sizeof(std::int64_t));
+  std::iota(data.begin(), data.end(), 0);
+
+  const TieredPipelineStats stats =
+      run_tiered_pipeline_typed<std::int64_t>(
+          hier, std::span<std::int64_t>(data), small_tiered_config(),
+          [](std::span<std::int64_t> chunk, Executor&, std::size_t) {
+            for (auto& v : chunk) v += 1;
+          });
+
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(data[i], static_cast<std::int64_t>(i) + 1) << i;
+  }
+  ASSERT_EQ(stats.levels.size(), 2u);
+  // Outer level: 4 MiB in 512 KiB chunks = 8 chunks, each copied in and
+  // out once.  Inner level: every outer chunk re-chunked 512/128 = 4
+  // ways.
+  EXPECT_EQ(stats.levels[0].chunks, 8u);
+  EXPECT_EQ(stats.levels[1].chunks, 8u * 4u);
+  EXPECT_EQ(stats.bytes_copied_in(0), MiB(4));
+  EXPECT_EQ(stats.bytes_copied_out(0), MiB(4));
+  // Every outer byte also crosses the DDR -> MCDRAM boundary.
+  EXPECT_EQ(stats.bytes_copied_in(1), MiB(4));
+  EXPECT_EQ(stats.bytes_copied_out(1), MiB(4));
+  EXPECT_GE(stats.total_seconds, 0.0);
+}
+
+TEST(TieredPipeline, PerStageSecondsAndBandwidthReported) {
+  MemoryHierarchy hier(three_tier(McdramMode::Flat));
+  std::vector<std::int64_t> data(MiB(2) / sizeof(std::int64_t));
+
+  const TieredPipelineStats stats =
+      run_tiered_pipeline_typed<std::int64_t>(
+          hier, std::span<std::int64_t>(data), small_tiered_config(),
+          [](std::span<std::int64_t> chunk, Executor&, std::size_t) {
+            for (auto& v : chunk) v = 7;
+          });
+
+  for (const PipelineStats& level : stats.levels) {
+    EXPECT_GT(level.copy_in_seconds, 0.0);
+    EXPECT_GT(level.compute_seconds, 0.0);
+    EXPECT_GT(level.copy_out_seconds, 0.0);
+    EXPECT_GT(level.effective_in_bw(), 0.0);
+    EXPECT_GT(level.effective_out_bw(), 0.0);
+  }
+}
+
+TEST(TieredPipeline, ImplicitModeDegeneratesInnerLevelToInPlace) {
+  MemoryHierarchy hier(three_tier(McdramMode::ImplicitCache));
+  std::vector<std::int64_t> data(MiB(4) / sizeof(std::int64_t));
+  std::iota(data.begin(), data.end(), 0);
+
+  const TieredPipelineStats stats =
+      run_tiered_pipeline_typed<std::int64_t>(
+          hier, std::span<std::int64_t>(data), small_tiered_config(),
+          [](std::span<std::int64_t> chunk, Executor&, std::size_t) {
+            for (auto& v : chunk) v += 1;
+          });
+
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(data[i], static_cast<std::int64_t>(i) + 1) << i;
+  }
+  // NVM -> DDR still runs explicit copies; DDR -> "MCDRAM" does not.
+  EXPECT_EQ(stats.bytes_copied_in(0), MiB(4));
+  EXPECT_EQ(stats.bytes_copied_in(1), 0u);
+  EXPECT_EQ(stats.bytes_copied_out(1), 0u);
+  EXPECT_GT(stats.levels[1].compute_seconds, 0.0);
+}
+
+TEST(TieredPipeline, TraceProducesDistinctTracksPerLevel) {
+  MemoryHierarchy hier(three_tier(McdramMode::Flat));
+  std::vector<std::int64_t> data(MiB(2) / sizeof(std::int64_t));
+
+  TraceWriter trace;
+  TieredPipelineConfig cfg = small_tiered_config();
+  cfg.trace = &trace;
+  run_tiered_pipeline_typed<std::int64_t>(
+      hier, std::span<std::int64_t>(data), cfg,
+      [](std::span<std::int64_t>, Executor&, std::size_t) {});
+
+  EXPECT_GT(trace.size(), 0u);
+  // Level 0 stages on tracks 0..2, level 1 on tracks 3..5, each named
+  // after its tier pair.
+  EXPECT_EQ(trace.track_name(0), "L0 nvm->ddr copy-in");
+  EXPECT_EQ(trace.track_name(1), "L0 ddr compute");
+  EXPECT_EQ(trace.track_name(2), "L0 nvm->ddr copy-out");
+  EXPECT_EQ(trace.track_name(3), "L1 ddr->mcdram copy-in");
+  EXPECT_EQ(trace.track_name(4), "L1 mcdram compute");
+  EXPECT_EQ(trace.track_name(5), "L1 ddr->mcdram copy-out");
+  const std::string json = trace.to_json();
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("L1 copy-in"), std::string::npos);
+}
+
+TEST(TieredPipeline, TypedWrapperRejectsSubElementChunks) {
+  MemoryHierarchy hier(three_tier(McdramMode::Flat));
+  std::vector<std::int64_t> data(1024);
+  TieredPipelineConfig cfg = small_tiered_config();
+  cfg.levels[1].chunk_bytes = sizeof(std::int64_t) - 1;
+  EXPECT_THROW(run_tiered_pipeline_typed<std::int64_t>(
+                   hier, std::span<std::int64_t>(data), cfg,
+                   [](std::span<std::int64_t>, Executor&, std::size_t) {}),
+               InvalidArgumentError);
+}
+
+TEST(TieredPipeline, PoolSizingGivesInnerLevelTheComputeThreads) {
+  const std::vector<PoolSizes> sizes = make_tiered_pool_sizes(16, 2, 2);
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0].copy_in, 2u);
+  EXPECT_EQ(sizes[0].copy_out, 2u);
+  EXPECT_EQ(sizes[0].compute, 1u);  // outer compute only orchestrates
+  EXPECT_EQ(sizes[1].copy_in, 2u);
+  EXPECT_EQ(sizes[1].copy_out, 2u);
+  EXPECT_EQ(sizes[1].compute, 7u);  // 16 - 2*(2+2) - 1
+  EXPECT_EQ(sizes[0].total() + sizes[1].total(), 16u);
+
+  EXPECT_THROW(make_tiered_pool_sizes(5, 2, 1), InvalidArgumentError);
+  EXPECT_THROW(make_tiered_pool_sizes(16, 0, 1), InvalidArgumentError);
+}
+
+TEST(TieredPipeline, RequiresAtLeastTwoTiers) {
+  HierarchyConfig single;
+  single.tiers = {TierConfig{"ddr", MemKind::DDR, 0, 0.0, 0.0, 0.0}};
+  MemoryHierarchy hier(single);
+  std::vector<std::byte> data(1024);
+  EXPECT_THROW(
+      run_tiered_pipeline(hier, std::span<std::byte>(data), {},
+                          [](std::span<std::byte>, Executor&,
+                             std::size_t) {}),
+      InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mlm::core

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <numeric>
+#include <vector>
 
 #include "mlm/core/chunk_pipeline.h"
 #include "mlm/core/mlm_sort.h"
@@ -68,7 +70,7 @@ TEST(FailureInjection, PipelineThrowsOnFirstChunkFailure) {
   EXPECT_THROW(
       core::run_chunk_pipeline_typed<std::int64_t>(
           space, std::span<std::int64_t>(data), cfg,
-          [&](std::span<std::int64_t>, ThreadPool&, std::size_t) {
+          [&](std::span<std::int64_t>, Executor&, std::size_t) {
             ++chunks_started;
             throw Error("injected compute failure");
           }),
@@ -87,11 +89,93 @@ TEST(FailureInjection, PipelineMidStreamFailureStillCleansUp) {
   EXPECT_THROW(
       core::run_chunk_pipeline_typed<std::int64_t>(
           space, std::span<std::int64_t>(data), cfg,
-          [&](std::span<std::int64_t>, ThreadPool&, std::size_t idx) {
+          [&](std::span<std::int64_t>, Executor&, std::size_t idx) {
             if (idx == 17) throw Error("late failure");
           }),
       Error);
   EXPECT_EQ(space.mcdram().stats().used_bytes, 0u);
+}
+
+TEST(FailureInjection, ComputeThrowingOnFinalChunkStillCleansUp) {
+  // The last chunk's failure happens after every copy-in has been
+  // posted; the step barrier must still join the in-flight copies
+  // before the buffers die.
+  DualSpace space = flat_space();
+  const std::size_t n = 5 * 64 * 1024 / sizeof(std::int64_t);  // 5 chunks
+  std::vector<std::int64_t> data(n, 1);
+  core::PipelineConfig cfg;
+  cfg.chunk_bytes = 64 * 1024;
+  cfg.pools = PoolSizes{1, 1, 2};
+  std::atomic<std::size_t> last_seen{0};
+  EXPECT_THROW(
+      core::run_chunk_pipeline_typed<std::int64_t>(
+          space, std::span<std::int64_t>(data), cfg,
+          [&](std::span<std::int64_t>, Executor&, std::size_t idx) {
+            last_seen = idx;
+            if (idx == 4) throw Error("final chunk failure");
+          }),
+      Error);
+  EXPECT_EQ(last_seen.load(), 4u);
+  EXPECT_EQ(space.mcdram().stats().used_bytes, 0u);
+}
+
+TEST(PipelineEdgeCases, ZeroLengthInputIsNoop) {
+  DualSpace space = flat_space();
+  core::PipelineConfig cfg;
+  cfg.chunk_bytes = 64 * 1024;
+  cfg.pools = PoolSizes{1, 1, 1};
+  std::atomic<int> calls{0};
+  const core::PipelineStats stats =
+      core::run_chunk_pipeline_typed<std::int64_t>(
+          space, std::span<std::int64_t>(), cfg,
+          [&](std::span<std::int64_t>, Executor&, std::size_t) {
+            ++calls;
+          });
+  EXPECT_EQ(calls.load(), 0);
+  EXPECT_EQ(stats.chunks, 0u);
+  EXPECT_EQ(stats.steps, 0u);
+  EXPECT_EQ(stats.bytes_copied_in, 0u);
+  EXPECT_EQ(stats.bytes_copied_out, 0u);
+  EXPECT_EQ(space.mcdram().stats().used_bytes, 0u);
+}
+
+TEST(PipelineEdgeCases, ChunkBytesNotMultipleOfElementSize) {
+  // The typed wrapper rounds chunk_bytes down to an element boundary,
+  // so a ragged request still touches every element exactly once.
+  DualSpace space = flat_space();
+  const std::size_t n = 40000;
+  std::vector<std::int64_t> data(n);
+  std::iota(data.begin(), data.end(), 0);
+  core::PipelineConfig cfg;
+  cfg.chunk_bytes = 64 * 1024 + 3;  // not a multiple of 8
+  cfg.pools = PoolSizes{1, 1, 2};
+  core::run_chunk_pipeline_typed<std::int64_t>(
+      space, std::span<std::int64_t>(data), cfg,
+      [](std::span<std::int64_t> chunk, Executor&, std::size_t) {
+        for (auto& x : chunk) x += 1;
+      });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(data[i], static_cast<std::int64_t>(i) + 1) << i;
+  }
+}
+
+TEST(PipelineEdgeCases, ChunkLargerThanInputRunsAsOneChunk) {
+  DualSpace space = flat_space();
+  const std::size_t n = 1000;
+  std::vector<std::int64_t> data(n, 5);
+  core::PipelineConfig cfg;
+  cfg.chunk_bytes = 512 * 1024;  // far larger than 8 KB of data
+  cfg.pools = PoolSizes{1, 1, 1};
+  const core::PipelineStats stats =
+      core::run_chunk_pipeline_typed<std::int64_t>(
+          space, std::span<std::int64_t>(data), cfg,
+          [](std::span<std::int64_t> chunk, Executor&, std::size_t) {
+            for (auto& x : chunk) x *= 2;
+          });
+  EXPECT_EQ(stats.chunks, 1u);
+  EXPECT_EQ(stats.bytes_copied_in, n * sizeof(std::int64_t));
+  EXPECT_TRUE(std::all_of(data.begin(), data.end(),
+                          [](std::int64_t v) { return v == 10; }));
 }
 
 TEST(FailureInjection, ShimPreferredPolicySurvivesExhaustion) {

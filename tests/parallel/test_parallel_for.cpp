@@ -1,5 +1,7 @@
 #include "mlm/parallel/parallel_for.h"
 
+#include "mlm/parallel/thread_pool.h"
+
 #include <gtest/gtest.h>
 
 #include <atomic>

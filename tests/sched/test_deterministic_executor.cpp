@@ -1,0 +1,192 @@
+#include "mlm/parallel/deterministic_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "mlm/parallel/parallel_for.h"
+#include "mlm/parallel/parallel_memcpy.h"
+#include "mlm/support/error.h"
+
+namespace mlm {
+namespace {
+
+TEST(DeterministicExecutor, PostDoesNotRunUntilStepped) {
+  DeterministicScheduler sched(1);
+  DeterministicExecutor ex(sched, 2, "ex");
+  bool ran = false;
+  ex.post([&] { ran = true; });
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sched.pending(), 1u);
+  EXPECT_TRUE(sched.step());
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sched.now(), 1u);
+  EXPECT_FALSE(sched.step());
+}
+
+TEST(DeterministicExecutor, SameSeedSameTrace) {
+  auto run = [](std::uint64_t seed) {
+    DeterministicScheduler sched(seed);
+    DeterministicExecutor a(sched, 1, "a");
+    DeterministicExecutor b(sched, 1, "b");
+    for (int i = 0; i < 8; ++i) {
+      a.post([] {});
+      b.post([] {});
+    }
+    sched.run_all();
+    return sched.trace();
+  };
+  EXPECT_EQ(run(42), run(42));
+  // 16 tasks from two executors: two seeds agreeing on the whole
+  // permutation is astronomically unlikely.
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(DeterministicExecutor, SeedsPermuteAcrossExecutors) {
+  // With enough seeds, both executors get to go first at least once.
+  bool a_first = false;
+  bool b_first = false;
+  for (std::uint64_t seed = 0; seed < 32; ++seed) {
+    DeterministicScheduler sched(seed);
+    DeterministicExecutor a(sched, 1, "a");
+    DeterministicExecutor b(sched, 1, "b");
+    a.post([] {});
+    b.post([] {});
+    sched.run_all();
+    const std::string& first = sched.trace().front().tag;
+    a_first = a_first || first == "a#0";
+    b_first = b_first || first == "b#0";
+  }
+  EXPECT_TRUE(a_first);
+  EXPECT_TRUE(b_first);
+}
+
+TEST(DeterministicExecutor, WaitDrivesFuturesToCompletion) {
+  DeterministicScheduler sched(7);
+  DeterministicExecutor ex(sched, 4, "ex");
+  int sum = 0;
+  std::vector<std::future<void>> futs;
+  for (int i = 1; i <= 4; ++i) {
+    futs.push_back(ex.submit([&sum, i] { sum += i; }));
+  }
+  ex.wait(futs);
+  EXPECT_EQ(sum, 10);
+  EXPECT_EQ(ex.tasks_executed(), 4u);
+}
+
+TEST(DeterministicExecutor, WaitOnForeignExecutorTasksAlsoRuns) {
+  // wait() steps the shared scheduler, so another executor's tasks may
+  // run while this one waits — the overlap being modeled.
+  DeterministicScheduler sched(11);
+  DeterministicExecutor a(sched, 1, "a");
+  DeterministicExecutor b(sched, 1, "b");
+  bool b_ran = false;
+  b.post([&] { b_ran = true; });
+  std::vector<std::future<void>> futs;
+  futs.push_back(a.submit([] {}));
+  a.wait(futs);
+  b.wait_idle();
+  EXPECT_TRUE(b_ran);
+}
+
+TEST(DeterministicExecutor, WaitOnUnfulfillableFutureThrowsWithTrace) {
+  DeterministicScheduler sched(3);
+  DeterministicExecutor ex(sched, 1, "ex");
+  std::promise<void> never;
+  std::vector<std::future<void>> futs;
+  futs.push_back(never.get_future());
+  ex.post([] {});
+  try {
+    ex.wait(futs);
+    FAIL() << "expected deadlock Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("deadlock"), std::string::npos);
+    EXPECT_NE(what.find("seed=3"), std::string::npos);
+  }
+}
+
+TEST(DeterministicExecutor, WaitIdleRethrowsPostedTaskError) {
+  DeterministicScheduler sched(5);
+  DeterministicExecutor ex(sched, 1, "ex");
+  ex.post([] { throw Error("boom"); });
+  ex.post([] {});
+  EXPECT_THROW(ex.wait_idle(), Error);
+  // The error is consumed; the executor is reusable.
+  ex.post([] {});
+  EXPECT_NO_THROW(ex.wait_idle());
+}
+
+TEST(DeterministicExecutor, SubmitPropagatesExceptionThroughFuture) {
+  DeterministicScheduler sched(5);
+  DeterministicExecutor ex(sched, 1, "ex");
+  std::vector<std::future<void>> futs;
+  futs.push_back(ex.submit([] { throw Error("task failed"); }));
+  EXPECT_THROW(ex.wait(futs), Error);
+}
+
+TEST(DeterministicExecutor, DestructorDropsPendingTasks) {
+  DeterministicScheduler sched(9);
+  bool ran = false;
+  {
+    DeterministicExecutor ex(sched, 1, "ex");
+    ex.post([&] { ran = true; });
+    EXPECT_EQ(sched.pending(), 1u);
+  }
+  EXPECT_EQ(sched.pending(), 0u);
+  sched.run_all();
+  EXPECT_FALSE(ran);
+}
+
+TEST(DeterministicExecutor, TasksMayEnqueueMoreTasks) {
+  DeterministicScheduler sched(13);
+  DeterministicExecutor ex(sched, 1, "ex");
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) ex.post(recurse);
+  };
+  ex.post(recurse);
+  EXPECT_EQ(sched.run_all(), 5u);
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(DeterministicExecutor, ParallelForVisitsEveryIndex) {
+  DeterministicScheduler sched(17);
+  DeterministicExecutor ex(sched, 4, "ex");
+  std::vector<int> visits(1000, 0);
+  parallel_for(ex, 0, visits.size(),
+               [&](std::size_t i) { visits[i] += 1; });
+  for (std::size_t i = 0; i < visits.size(); ++i) {
+    ASSERT_EQ(visits[i], 1) << i;
+  }
+}
+
+TEST(DeterministicExecutor, ParallelMemcpyCopiesUnderSeededSchedule) {
+  DeterministicScheduler sched(19);
+  DeterministicExecutor ex(sched, 4, "ex");
+  std::vector<std::int64_t> src(200000);
+  std::iota(src.begin(), src.end(), 0);
+  std::vector<std::int64_t> dst(src.size(), -1);
+  parallel_memcpy(ex, dst.data(), src.data(),
+                  src.size() * sizeof(std::int64_t));
+  EXPECT_EQ(src, dst);
+}
+
+TEST(DeterministicExecutor, FormatTraceListsExecutedAndPending) {
+  DeterministicScheduler sched(23);
+  DeterministicExecutor ex(sched, 1, "ex");
+  ex.post([] {});
+  ex.post([] {});
+  sched.step();
+  const std::string trace = sched.format_trace();
+  EXPECT_NE(trace.find("seed=23"), std::string::npos);
+  EXPECT_NE(trace.find("executed=1"), std::string::npos);
+  EXPECT_NE(trace.find("pending=1"), std::string::npos);
+  EXPECT_NE(trace.find("[0] ex#"), std::string::npos);
+  EXPECT_NE(trace.find("[pending] ex#"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mlm

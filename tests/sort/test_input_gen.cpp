@@ -6,6 +6,7 @@
 #include <set>
 
 #include "mlm/support/error.h"
+#include "mlm/support/proptest.h"
 
 namespace mlm::sort {
 namespace {
@@ -72,6 +73,46 @@ TEST(Checksum, EmptyIsZero) {
   const InputChecksum c = checksum({});
   EXPECT_EQ(c.sum, 0u);
   EXPECT_EQ(c.xor_, 0u);
+}
+
+// Golden digests: the generator streams are part of the repo's
+// reproducibility contract (benchmark inputs and property-test cases
+// derive from them), so their bytes must never drift — not across runs,
+// compilers, or standard libraries.  If one of these fails, a generator
+// change silently invalidated every recorded benchmark baseline.
+TEST(InputGen, SeedStabilityGoldenDigests) {
+  struct Golden {
+    InputOrder order;
+    std::uint64_t digest;
+  };
+  const Golden goldens[] = {
+      {InputOrder::Random, 0xa2add2d917036f9eULL},
+      {InputOrder::Reverse, 0x06eb1cc3a8308b75ULL},
+      {InputOrder::Sorted, 0x34815615f489cb25ULL},
+      {InputOrder::NearlySorted, 0x064f7c98ea7a10d5ULL},
+      {InputOrder::FewDistinct, 0x60c911220fa83ca2ULL},
+  };
+  for (const Golden& g : goldens) {
+    const auto v = make_input(4096, g.order, 42);
+    EXPECT_EQ(digest_of(std::span<const std::int64_t>(v)), g.digest)
+        << to_string(g.order);
+  }
+  // A second (size, seed) point so a lucky collision cannot hide drift.
+  const auto w = make_input(1000, InputOrder::Random, 7);
+  EXPECT_EQ(digest_of(std::span<const std::int64_t>(w)),
+            0x9d5e060481d18c7dULL);
+}
+
+TEST(InputGen, DigestIsByteIdenticalAcrossRepeatedRuns) {
+  for (InputOrder order :
+       {InputOrder::Random, InputOrder::NearlySorted,
+        InputOrder::FewDistinct}) {
+    const auto a = make_input(2048, order, 123);
+    const auto b = make_input(2048, order, 123);
+    EXPECT_EQ(digest_of(std::span<const std::int64_t>(a)),
+              digest_of(std::span<const std::int64_t>(b)))
+        << to_string(order);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,129 @@
+#include "mlm/support/proptest.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace mlm {
+namespace {
+
+TEST(Fnv1a64, MatchesKnownVectors) {
+  // Standard FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64(nullptr, 0), 0xcbf29ce484222325ULL);
+  const std::uint8_t a[] = {'a'};
+  EXPECT_EQ(fnv1a64(a, 1), 0xaf63dc4c8601ec8cULL);
+  const std::uint8_t foobar[] = {'f', 'o', 'o', 'b', 'a', 'r'};
+  EXPECT_EQ(fnv1a64(foobar, 6), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64, DigestOfIsOrderSensitive) {
+  const std::vector<std::int64_t> v1{1, 2, 3};
+  const std::vector<std::int64_t> v2{3, 2, 1};
+  EXPECT_NE(digest_of(std::span<const std::int64_t>(v1)),
+            digest_of(std::span<const std::int64_t>(v2)));
+  EXPECT_EQ(digest_of(std::span<const std::int64_t>(v1)),
+            digest_of(std::span<const std::int64_t>(v1)));
+}
+
+TEST(Gen, IsDeterministicPerSeed) {
+  Gen a(99);
+  Gen b(99);
+  Gen c(100);
+  bool any_diff = false;
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t va = a.u64();
+    EXPECT_EQ(va, b.u64());
+    any_diff = any_diff || va != c.u64();
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Gen, RangesAreRespected) {
+  Gen gen(7);
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = gen.int_in(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    const std::size_t s = gen.size_in(3, 9);
+    EXPECT_GE(s, 3u);
+    EXPECT_LE(s, 9u);
+    EXPECT_LT(gen.below(17), 17u);
+  }
+}
+
+TEST(Gen, IntVectorHonorsBounds) {
+  Gen gen(11);
+  for (int i = 0; i < 50; ++i) {
+    const auto v = gen.int_vector(0, 32, -10, 10);
+    EXPECT_LE(v.size(), 32u);
+    for (std::int64_t x : v) {
+      EXPECT_GE(x, -10);
+      EXPECT_LE(x, 10);
+    }
+  }
+}
+
+TEST(Gen, BooleanProbabilityIsRoughlyRespected) {
+  Gen gen(13);
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) trues += gen.boolean(0.25) ? 1 : 0;
+  EXPECT_GT(trues, 2000);
+  EXPECT_LT(trues, 3000);
+}
+
+TEST(ShrinkVector, RemovesIrrelevantElements) {
+  // Fails iff the vector contains a 7.  Minimal counterexample: {7}.
+  std::vector<std::int64_t> failing(100);
+  std::iota(failing.begin(), failing.end(), 0);
+  const auto minimal = shrink_vector<std::int64_t>(
+      failing,
+      [](const std::vector<std::int64_t>& v) {
+        return std::find(v.begin(), v.end(), 7) != v.end();
+      },
+      4000);
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0], 7);
+}
+
+TEST(ShrinkVector, ShrinksValuesToBoundary) {
+  // Fails iff some element >= 1000.
+  std::vector<std::int64_t> failing{5000, 3, 2500};
+  const auto minimal = shrink_vector<std::int64_t>(
+      failing,
+      [](const std::vector<std::int64_t>& v) {
+        return std::any_of(v.begin(), v.end(),
+                           [](std::int64_t x) { return x >= 1000; });
+      },
+      4000);
+  ASSERT_EQ(minimal.size(), 1u);
+  EXPECT_EQ(minimal[0], 1000);
+}
+
+TEST(ShrinkVector, RespectsAttemptBudget) {
+  std::size_t calls = 0;
+  std::vector<std::int64_t> failing(64, 1);
+  shrink_vector<std::int64_t>(
+      failing,
+      [&calls](const std::vector<std::int64_t>&) {
+        ++calls;
+        return true;  // everything "fails" — worst case for the search
+      },
+      10);
+  EXPECT_LE(calls, 10u);
+}
+
+TEST(ShrinkVector, ReturnsInputWhenNothingSmallerFails) {
+  const std::vector<std::int64_t> failing{4, 2};
+  const auto minimal = shrink_vector<std::int64_t>(
+      failing,
+      [](const std::vector<std::int64_t>& v) {
+        return v == std::vector<std::int64_t>{4, 2};
+      },
+      1000);
+  EXPECT_EQ(minimal, failing);
+}
+
+}  // namespace
+}  // namespace mlm
