@@ -1,64 +1,10 @@
-// Ablation A1 — buffering depth (DESIGN.md): the paper's pipeline uses
-// three buffers so copy-in, compute, and copy-out all overlap, at the
-// cost of limiting chunks to a third of MCDRAM (§3).  This ablation
-// quantifies that trade-off on the simulated node: single vs double vs
-// triple buffering across the merge benchmark's repeats range.
-//
-// Usage: bench_ablation_buffering [--csv=PATH]
-#include <iostream>
-#include <string>
-#include <vector>
-
-#include "mlm/knlsim/merge_bench_timeline.h"
-#include "mlm/support/cli.h"
-#include "mlm/support/csv.h"
-#include "mlm/support/table.h"
+// Thin entry point: Ablation: pipeline buffering depth — registered on the unified bench harness
+// (see bench/suites/ablation_buffering.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
 
 int main(int argc, char** argv) {
-  using namespace mlm;
-  using namespace mlm::knlsim;
-
-  std::string csv_path = "results_ablation_buffering.csv";
-  CliParser cli(
-      "Ablation: single vs double vs triple buffering for the merge "
-      "benchmark pipeline.");
-  cli.add_string("csv", &csv_path, "CSV output path (empty = none)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const KnlConfig machine = knl7250();
-  std::unique_ptr<CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<CsvWriter>(
-        csv_path, std::vector<std::string>{"repeats", "buffers",
-                                           "seconds", "vs_triple"});
-  }
-
-  std::cout << "=== Ablation: pipeline buffering depth (merge benchmark, "
-               "8 copy threads/direction) ===\n\n";
-  TextTable table({"Repeats", "Single(s)", "Double(s)", "Triple(s)",
-                   "Single/Triple", "Double/Triple"});
-  for (unsigned rep : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
-    double t[4] = {0, 0, 0, 0};
-    for (unsigned b : {1u, 2u, 3u}) {
-      MergeBenchConfig cfg;
-      cfg.repeats = rep;
-      cfg.copy_threads = 8;
-      cfg.buffers = b;
-      t[b] = simulate_merge_bench(machine, cfg).seconds;
-      if (csv) {
-        csv->write_row({std::to_string(rep), std::to_string(b),
-                        fmt_double(t[b], 5),
-                        b == 3 ? "1.0" : ""});
-      }
-    }
-    table.add_row({std::to_string(rep), fmt_double(t[1], 3),
-                   fmt_double(t[2], 3), fmt_double(t[3], 3),
-                   fmt_double(t[1] / t[3]), fmt_double(t[2] / t[3])});
-  }
-  table.print(std::cout);
-  std::cout << "\nTriple buffering wins where copy and compute times are "
-               "comparable (overlap pays); at very high repeats compute "
-               "dominates and the depths converge.\n";
-  if (csv) std::cout << "CSV written to " << csv_path << "\n";
-  return 0;
+  mlm::bench::Harness h("bench_ablation_buffering", "Ablation: pipeline buffering depth.");
+  mlm::bench::suites::register_ablation_buffering(h);
+  return h.run(argc, argv);
 }

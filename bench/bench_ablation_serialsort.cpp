@@ -1,73 +1,10 @@
-// Ablation A2 — serial-sort megachunks (DESIGN.md): MLM-sort's key
-// design decision is sorting each thread's chunk with a *serial* sort
-// instead of running a multithreaded sort over the megachunk ("MLM-sort
-// does not rely on thread-scalability of multithreaded algorithms", §4).
-// This ablation compares, on the simulated node:
-//   - MLM-sort      (per-thread serial sorts, flat mode)
-//   - Basic chunked (GNU-style parallel sort per chunk, flat mode,
-//                    triple-buffered — the §4 "basic algorithm")
-//   - GNU-cache     (no chunking at all, hardware cache mode)
-//
-// Usage: bench_ablation_serialsort [--csv=PATH]
-#include <iostream>
-#include <string>
-
-#include "mlm/knlsim/sort_timeline.h"
-#include "mlm/support/cli.h"
-#include "mlm/support/csv.h"
-#include "mlm/support/table.h"
+// Thin entry point: Ablation: serial vs parallel megachunk sorting — registered on the unified bench harness
+// (see bench/suites/ablation_serialsort.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
 
 int main(int argc, char** argv) {
-  using namespace mlm;
-  using namespace mlm::knlsim;
-
-  std::string csv_path = "results_ablation_serialsort.csv";
-  CliParser cli(
-      "Ablation: per-thread serial sorts (MLM-sort) vs parallel chunk "
-      "sort (basic algorithm) vs unchunked hardware-cache sort.");
-  cli.add_string("csv", &csv_path, "CSV output path (empty = none)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const KnlConfig machine = knl7250();
-  const SortCostParams params;
-  std::unique_ptr<CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<CsvWriter>(
-        csv_path, std::vector<std::string>{"elements", "order",
-                                           "algorithm", "seconds"});
-  }
-
-  std::cout << "=== Ablation: how megachunks get sorted ===\n\n";
-  TextTable table({"Elements", "Order", "MLM-sort(s)",
-                   "Basic chunked(s)", "GNU-cache(s)",
-                   "Serial-sort advantage"});
-  for (SimOrder order : {SimOrder::Random, SimOrder::Reverse}) {
-    for (std::uint64_t n : {2000000000ull, 6000000000ull}) {
-      double t[3];
-      const SortAlgo algos[] = {SortAlgo::MlmSort, SortAlgo::BasicChunked,
-                                SortAlgo::GnuCache};
-      for (int i = 0; i < 3; ++i) {
-        SortRunConfig cfg;
-        cfg.algo = algos[i];
-        cfg.order = order;
-        cfg.elements = n;
-        t[i] = simulate_sort(machine, params, cfg).seconds;
-        if (csv) {
-          csv->write_row({std::to_string(n), to_string(order),
-                          to_string(algos[i]), fmt_double(t[i], 4)});
-        }
-      }
-      table.add_row({fmt_count(n), to_string(order), fmt_double(t[0]),
-                     fmt_double(t[1]), fmt_double(t[2]),
-                     fmt_double(t[1] / t[0], 2) + "x"});
-    }
-  }
-  table.print(std::cout);
-  std::cout << "\nPer-thread serial sorts avoid the parallel sort's "
-               "thread-scaling overheads inside each chunk — the basic "
-               "chunked algorithm only matches GNU-cache (§4: it "
-               "\"yields no advantage over GNU parallel sort run in "
-               "hardware cache mode\"), while MLM-sort pulls ahead.\n";
-  if (csv) std::cout << "CSV written to " << csv_path << "\n";
-  return 0;
+  mlm::bench::Harness h("bench_ablation_serialsort", "Ablation: serial vs parallel megachunk sorting.");
+  mlm::bench::suites::register_ablation_serialsort(h);
+  return h.run(argc, argv);
 }

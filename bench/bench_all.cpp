@@ -1,0 +1,18 @@
+// Aggregator: every benchmark suite in one binary, one artifact.
+//
+// `bench_all --json=BENCH.json` runs all 17 suites and writes one
+// merged JSON perf artifact; `bench_all --smoke --json=...` is the CI
+// liveness configuration compared against bench/baselines/smoke.json by
+// tools/bench_compare.  Use --filter=SUBSTR to run a subset and --list
+// to enumerate cases.
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
+
+int main(int argc, char** argv) {
+  mlm::bench::Harness h(
+      "bench_all",
+      "Runs every benchmark suite (paper reproductions, ablations, "
+      "extensions, host benchmarks) and writes one merged artifact.");
+  mlm::bench::suites::register_all(h);
+  return h.run(argc, argv);
+}

@@ -1,87 +1,10 @@
-// Experiment E8 — corroboration of Bender et al. (§1.2, §2.3, §4):
-// the basic chunked sorting algorithm vs the unchunked GNU-style sort.
-// Bender et al. predicted ~30% speedup and ~2.5x less DDR traffic from
-// chunking through high-bandwidth memory; the paper reports confirming
-// the ~30% on real KNL (§4).  We measure both on the simulated node via
-// its per-resource traffic meters.
-//
-// Usage: bench_bender_corroboration [--csv=PATH]
-#include <iostream>
-#include <string>
-
-#include "mlm/knlsim/sort_timeline.h"
-#include "mlm/support/cli.h"
-#include "mlm/support/csv.h"
-#include "mlm/support/table.h"
-#include "mlm/support/units.h"
+// Thin entry point: Bender et al. corroboration: chunked vs unchunked sort — registered on the unified bench harness
+// (see bench/suites/bender_corroboration.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
 
 int main(int argc, char** argv) {
-  using namespace mlm;
-  using namespace mlm::knlsim;
-
-  std::string csv_path = "results_bender_corroboration.csv";
-  CliParser cli(
-      "Corroborates Bender et al.: basic chunked sort vs unchunked GNU "
-      "sort — speedup and DDR-traffic reduction on the simulated KNL.");
-  cli.add_string("csv", &csv_path, "CSV output path (empty = none)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const KnlConfig machine = knl7250();
-  const SortCostParams params;
-
-  std::unique_ptr<CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<CsvWriter>(
-        csv_path,
-        std::vector<std::string>{"elements", "algorithm", "seconds",
-                                 "ddr_traffic_gb", "mcdram_traffic_gb"});
-  }
-
-  std::cout << "=== Bender et al. corroboration: chunking vs unchunked "
-               "sort ===\n"
-            << "(prediction: ~30% speedup, ~2.5x DDR traffic reduction)\n\n";
-  TextTable table({"Elements", "Algorithm", "Time(s)", "DDR traffic(GB)",
-                   "MCDRAM traffic(GB)", "Speedup", "DDR reduction"});
-
-  for (std::uint64_t n : {2000000000ull, 4000000000ull, 6000000000ull}) {
-    SortRunConfig cfg;
-    cfg.elements = n;
-    cfg.algo = SortAlgo::GnuFlat;
-    const SortRunResult unchunked = simulate_sort(machine, params, cfg);
-    cfg.algo = SortAlgo::BasicChunked;
-    const SortRunResult chunked = simulate_sort(machine, params, cfg);
-    // MLM-sort is the refined chunked algorithm; include for context.
-    cfg.algo = SortAlgo::MlmSort;
-    const SortRunResult mlm = simulate_sort(machine, params, cfg);
-
-    const SortRunResult* rows[] = {&unchunked, &chunked, &mlm};
-    const char* names[] = {"GNU-flat (unchunked)", "Basic chunked",
-                           "MLM-sort"};
-    table.add_rule();
-    for (int i = 0; i < 3; ++i) {
-      const SortRunResult& r = *rows[i];
-      table.add_row(
-          {fmt_count(n), names[i], fmt_double(r.seconds),
-           fmt_double(bytes_to_gb(r.ddr_traffic_bytes), 1),
-           fmt_double(bytes_to_gb(r.mcdram_traffic_bytes), 1),
-           i == 0 ? "1.00"
-                  : fmt_double(unchunked.seconds / r.seconds),
-           i == 0 ? "1.00"
-                  : fmt_double(unchunked.ddr_traffic_bytes /
-                               r.ddr_traffic_bytes)});
-      if (csv) {
-        csv->write_row({std::to_string(n), names[i],
-                        fmt_double(r.seconds, 4),
-                        fmt_double(bytes_to_gb(r.ddr_traffic_bytes), 3),
-                        fmt_double(bytes_to_gb(r.mcdram_traffic_bytes),
-                                   3)});
-      }
-    }
-  }
-  table.print(std::cout);
-  std::cout << "\nThe basic chunked algorithm lands near Bender et al.'s "
-               "~1.3x prediction; the DDR-traffic reduction comes from "
-               "sort passes moving into MCDRAM.\n";
-  if (csv) std::cout << "CSV written to " << csv_path << "\n";
-  return 0;
+  mlm::bench::Harness h("bench_bender_corroboration", "Bender et al. corroboration: chunked vs unchunked sort.");
+  mlm::bench::suites::register_bender_corroboration(h);
+  return h.run(argc, argv);
 }

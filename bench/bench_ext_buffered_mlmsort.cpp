@@ -1,96 +1,10 @@
-// Extension bench (paper §6): "We leave as future work the question of
-// buffering in our MLM-sort algorithm ... a slightly different approach
-// might allow hiding the copy-in latency of the next megachunk."
-//
-// Implemented and measured: double-buffered megachunks with a dedicated
-// copy-in pool, swept over copy-pool sizes and megachunk sizes, against
-// the paper's unbuffered MLM-sort.
-//
-// Usage: bench_ext_buffered_mlmsort [--csv=PATH] [--elements=N]
-#include <iostream>
-#include <string>
-
-#include "mlm/knlsim/sort_timeline.h"
-#include "mlm/support/cli.h"
-#include "mlm/support/csv.h"
-#include "mlm/support/table.h"
+// Thin entry point: Extension: double-buffered megachunks for MLM-sort — registered on the unified bench harness
+// (see bench/suites/ext_buffered_mlmsort.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
 
 int main(int argc, char** argv) {
-  using namespace mlm;
-  using namespace mlm::knlsim;
-
-  std::string csv_path = "results_ext_buffered_mlmsort.csv";
-  std::uint64_t elements = 6'000'000'000ull;
-  CliParser cli(
-      "Buffered (double-megachunk) MLM-sort vs the paper's unbuffered "
-      "variant (§6 future work, implemented).");
-  cli.add_string("csv", &csv_path, "CSV output path (empty = none)");
-  cli.add_uint("elements", &elements, "problem size in elements");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const KnlConfig machine = knl7250();
-  const SortCostParams params;
-  std::unique_ptr<CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<CsvWriter>(
-        csv_path,
-        std::vector<std::string>{"megachunk", "copy_threads", "buffered",
-                                 "seconds"});
-  }
-
-  auto simulate = [&](std::uint64_t mega, std::size_t copy_threads,
-                      bool buffered) {
-    SortRunConfig cfg;
-    cfg.algo = SortAlgo::MlmSort;
-    cfg.elements = elements;
-    cfg.megachunk_elements = mega;
-    cfg.copy_threads = copy_threads;
-    cfg.buffered_megachunks = buffered;
-    const double t = simulate_sort(machine, params, cfg).seconds;
-    if (csv) {
-      csv->write_row({std::to_string(mega), std::to_string(copy_threads),
-                      buffered ? "yes" : "no", fmt_double(t, 4)});
-    }
-    return t;
-  };
-
-  std::cout << "=== Buffered MLM-sort (" << fmt_count(elements)
-            << " random int64) ===\n\n";
-  TextTable table({"Megachunk", "Unbuffered(s)", "Buffered c=2",
-                   "Buffered c=4", "Buffered c=8", "Buffered c=16",
-                   "Best gain"});
-  double best_buffered = 1e300, best_plain = 1e300;
-  for (std::uint64_t mega :
-       {250'000'000ull, 500'000'000ull, 750'000'000ull, 1'000'000'000ull}) {
-    const double plain = simulate(mega, 8, false);
-    best_plain = std::min(best_plain, plain);
-    double best = plain;
-    std::vector<std::string> row{fmt_count(mega), fmt_double(plain)};
-    for (std::size_t c : {2u, 4u, 8u, 16u}) {
-      const double t = simulate(mega, c, true);
-      row.push_back(fmt_double(t));
-      best = std::min(best, t);
-      best_buffered = std::min(best_buffered, t);
-    }
-    row.push_back(fmt_double((plain / best - 1.0) * 100.0, 1) + "%");
-    table.add_row(std::move(row));
-  }
-  table.print(std::cout);
-
-  const double paper = simulate(0, 8, false);
-  std::cout << "\nPaper configuration (unbuffered, default megachunk): "
-            << fmt_double(paper) << " s\n"
-            << "Best unbuffered over the sweep:                      "
-            << fmt_double(best_plain) << " s\n"
-            << "Best buffered over the sweep:                        "
-            << fmt_double(best_buffered) << " s\n"
-            << "\nFinding: megachunk buffering buys under 1% — the "
-               "copies it hides are only ~2% of the runtime and the "
-               "donated copy threads slow the compute-bound sorts by "
-               "almost as much.  This quantifies why the paper could "
-               "defer it (§6) and why MLM-implicit, which removes the "
-               "copies entirely, is the stronger answer; small copy "
-               "pools are the only ones that break even.\n";
-  if (csv) std::cout << "CSV written to " << csv_path << "\n";
-  return 0;
+  mlm::bench::Harness h("bench_ext_buffered_mlmsort", "Extension: double-buffered megachunks for MLM-sort.");
+  mlm::bench::suites::register_ext_buffered_mlmsort(h);
+  return h.run(argc, argv);
 }

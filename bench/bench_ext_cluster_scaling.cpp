@@ -1,78 +1,10 @@
-// Extension bench (paper §6): "Future work will extend this to multiple
-// KNL nodes."  Distributed MLM-sort strong-scaling sweep: fixed total
-// problem, node count 1..256, per-node Omni-Path-class NIC.
-//
-// Usage: bench_ext_cluster_scaling [--csv=PATH] [--elements=N]
-//                                  [--nic-gbps=12.5]
-#include <iostream>
-#include <string>
-
-#include "mlm/knlsim/cluster_timeline.h"
-#include "mlm/support/cli.h"
-#include "mlm/support/csv.h"
-#include "mlm/support/table.h"
-#include "mlm/support/units.h"
+// Thin entry point: Extension: distributed MLM-sort strong scaling — registered on the unified bench harness
+// (see bench/suites/ext_cluster_scaling.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
 
 int main(int argc, char** argv) {
-  using namespace mlm;
-  using namespace mlm::knlsim;
-
-  std::string csv_path = "results_ext_cluster_scaling.csv";
-  std::uint64_t elements = 16'000'000'000ull;
-  double nic_gbps = 12.5;
-  CliParser cli(
-      "Distributed MLM-sort strong scaling across simulated KNL nodes "
-      "(paper §6 future work).");
-  cli.add_string("csv", &csv_path, "CSV output path (empty = none)");
-  cli.add_uint("elements", &elements, "total elements across the cluster");
-  cli.add_double("nic-gbps", &nic_gbps, "per-node NIC bandwidth, GB/s");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const KnlConfig machine = knl7250();
-  const SortCostParams params;
-  std::unique_ptr<CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<CsvWriter>(
-        csv_path,
-        std::vector<std::string>{"nodes", "seconds", "speedup",
-                                 "efficiency", "local_sort_s",
-                                 "exchange_s", "merge_s"});
-  }
-
-  std::cout << "=== Distributed MLM-sort: " << fmt_count(elements)
-            << " int64 elements ("
-            << fmt_double(bytes_to_gb(double(elements) * 8), 0)
-            << " GB), NIC " << nic_gbps << " GB/s per node ===\n\n";
-  TextTable table({"Nodes", "Time(s)", "Speedup", "Efficiency",
-                   "Local sort(s)", "Exchange(s)", "Merge(s)", ""});
-  for (std::size_t p : {1u, 2u, 4u, 8u, 16u, 32u, 64u, 128u, 256u}) {
-    ClusterConfig cfg;
-    cfg.nodes = p;
-    cfg.elements = elements;
-    cfg.nic_bw = gb_per_s(nic_gbps);
-    const ClusterSortResult r =
-        simulate_cluster_sort(machine, params, cfg);
-    table.add_row({std::to_string(p), fmt_double(r.seconds),
-                   fmt_double(r.speedup_vs_single, 1),
-                   fmt_double(r.parallel_efficiency, 3),
-                   fmt_double(r.local_sort_seconds),
-                   fmt_double(r.exchange_seconds),
-                   fmt_double(r.final_merge_seconds),
-                   ascii_bar(r.parallel_efficiency, 1.0, 20)});
-    if (csv) {
-      csv->write_row({std::to_string(p), fmt_double(r.seconds, 4),
-                      fmt_double(r.speedup_vs_single, 3),
-                      fmt_double(r.parallel_efficiency, 4),
-                      fmt_double(r.local_sort_seconds, 4),
-                      fmt_double(r.exchange_seconds, 4),
-                      fmt_double(r.final_merge_seconds, 4)});
-    }
-  }
-  table.print(std::cout);
-  std::cout << "\nEfficiency stays in the 0.78-0.86 band: the n·log n "
-               "local work shrinks superlinearly, partly paying for the "
-               "fixed-fraction all-to-all exchange — MLM-sort's "
-               "distributed framing (§4) carries over to real clusters.\n";
-  if (csv) std::cout << "CSV written to " << csv_path << "\n";
-  return 0;
+  mlm::bench::Harness h("bench_ext_cluster_scaling", "Extension: distributed MLM-sort strong scaling.");
+  mlm::bench::suites::register_ext_cluster_scaling(h);
+  return h.run(argc, argv);
 }

@@ -1,102 +1,10 @@
-// Extension bench (paper §6): "using a variation of the model, we will
-// explore alternative configurations that may be possible in future
-// technologies, in hopes of suggesting more optimal design points for
-// both hardware and applications."
-//
-// Sweeps the hardware envelope — MCDRAM bandwidth, MCDRAM capacity, DDR
-// bandwidth — and reports (a) the best sort configuration's time and the
-// winning algorithm at each design point, and (b) how the model's
-// optimal copy-thread split moves.
-//
-// Usage: bench_ext_design_space [--csv=PATH]
-#include <iostream>
-#include <string>
-
-#include "mlm/core/buffer_model.h"
-#include "mlm/knlsim/sort_timeline.h"
-#include "mlm/support/cli.h"
-#include "mlm/support/csv.h"
-#include "mlm/support/table.h"
-#include "mlm/support/units.h"
+// Thin entry point: Extension: hardware design-space exploration — registered on the unified bench harness
+// (see bench/suites/ext_design_space.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
 
 int main(int argc, char** argv) {
-  using namespace mlm;
-  using namespace mlm::knlsim;
-
-  std::string csv_path = "results_ext_design_space.csv";
-  CliParser cli(
-      "Hardware design-space exploration with the calibrated model "
-      "(paper §6).");
-  cli.add_string("csv", &csv_path, "CSV output path (empty = none)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const SortCostParams params;
-  std::unique_ptr<CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<CsvWriter>(
-        csv_path,
-        std::vector<std::string>{"mcdram_gbps", "mcdram_gib", "ddr_gbps",
-                                 "winner", "best_seconds",
-                                 "speedup_vs_gnu_flat",
-                                 "model_copy_threads_rep8"});
-  }
-
-  const SortAlgo algos[] = {SortAlgo::GnuCache, SortAlgo::MlmSort,
-                            SortAlgo::MlmImplicit};
-
-  std::cout << "=== Design-space exploration: 2e9-element random sort "
-               "across hardware envelopes ===\n\n";
-  TextTable table({"MCDRAM GB/s", "MCDRAM GiB", "DDR GB/s", "Winner",
-                   "Best(s)", "vs GNU-flat", "Copy thr (rep=8)"});
-  for (double mc_bw : {200.0, 400.0, 800.0}) {
-    for (std::uint64_t mc_gib : {8ull, 16ull, 32ull}) {
-      for (double ddr_bw : {90.0, 180.0}) {
-        KnlConfig m = knl7250();
-        m.mcdram_max_bw = gb_per_s(mc_bw);
-        m.mcdram_bytes = GiB(mc_gib);
-        m.ddr_max_bw = gb_per_s(ddr_bw);
-        m.validate();
-
-        SortRunConfig cfg;
-        cfg.elements = 2'000'000'000ull;
-        cfg.algo = SortAlgo::GnuFlat;
-        const double base = simulate_sort(m, params, cfg).seconds;
-        double best = 1e300;
-        SortAlgo winner = SortAlgo::GnuFlat;
-        for (SortAlgo a : algos) {
-          cfg.algo = a;
-          const double t = simulate_sort(m, params, cfg).seconds;
-          if (t < best) {
-            best = t;
-            winner = a;
-          }
-        }
-        const std::size_t copy = core::optimal_copy_threads(
-            core::ModelParams::from_machine(m),
-            core::ModelWorkload{14.9e9, 8.0}, 256);
-        table.add_row({fmt_double(mc_bw, 0), std::to_string(mc_gib),
-                       fmt_double(ddr_bw, 0), to_string(winner),
-                       fmt_double(best), fmt_double(base / best, 2) + "x",
-                       std::to_string(copy)});
-        if (csv) {
-          csv->write_row({fmt_double(mc_bw, 0), std::to_string(mc_gib),
-                          fmt_double(ddr_bw, 0), to_string(winner),
-                          fmt_double(best, 4),
-                          fmt_double(base / best, 4),
-                          std::to_string(copy)});
-        }
-      }
-    }
-  }
-  table.print(std::cout);
-  std::cout << "\nReading the sweep: more MCDRAM capacity widens "
-               "MLM-sort's megachunks (fewer final-merge runs); doubling "
-               "DDR bandwidth mostly helps the DDR-resident final merge "
-               "and shifts the model's copy-thread optimum up; MCDRAM "
-               "bandwidth beyond ~400 GB/s is not the bottleneck for "
-               "sorting-class workloads — the paper's implicit claim "
-               "that sort is DDR- and compute-limited, quantified "
-               "forward.\n";
-  if (csv) std::cout << "CSV written to " << csv_path << "\n";
-  return 0;
+  mlm::bench::Harness h("bench_ext_design_space", "Extension: hardware design-space exploration.");
+  mlm::bench::suites::register_ext_design_space(h);
+  return h.run(argc, argv);
 }

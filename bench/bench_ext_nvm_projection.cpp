@@ -1,94 +1,10 @@
-// Extension bench (paper §6): projecting to a third memory level.
-// Sorts NVM-resident data sets (beyond DDR capacity) under three
-// strategies — double chunking (NVM->DDR->MCDRAM), direct-to-MCDRAM
-// chunking, and sorting in place on NVM — across problem sizes and NVM
-// write bandwidths (the §6 "alternative configurations ... more optimal
-// design points" exploration).
-//
-// Usage: bench_ext_nvm_projection [--csv=PATH]
-#include <iostream>
-#include <string>
-
-#include "mlm/knlsim/nvm_timeline.h"
-#include "mlm/machine/tier_params.h"
-#include "mlm/support/cli.h"
-#include "mlm/support/csv.h"
-#include "mlm/support/table.h"
-#include "mlm/support/units.h"
+// Thin entry point: Extension: NVM-resident sorting strategies — registered on the unified bench harness
+// (see bench/suites/ext_nvm_projection.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
 
 int main(int argc, char** argv) {
-  using namespace mlm;
-  using namespace mlm::knlsim;
-
-  std::string csv_path = "results_ext_nvm_projection.csv";
-  CliParser cli(
-      "Projection: sorting NVM-resident data with double chunking vs "
-      "direct MCDRAM chunking vs in-NVM sorting (paper §6).");
-  cli.add_string("csv", &csv_path, "CSV output path (empty = none)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const KnlConfig machine = knl7250();
-  const SortCostParams params;
-  std::unique_ptr<CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<CsvWriter>(
-        csv_path,
-        std::vector<std::string>{"elements", "nvm_write_gbps", "strategy",
-                                 "seconds", "staging_s", "sorting_s",
-                                 "merging_s", "nvm_read_gb",
-                                 "nvm_write_gb"});
-  }
-
-  const NvmStrategy strategies[] = {NvmStrategy::DoubleChunked,
-                                    NvmStrategy::DirectToMcdram,
-                                    NvmStrategy::InNvm};
-
-  std::cout << "=== NVM projection: sorting beyond DDR capacity (96 GB "
-               "DDR, 16 GiB MCDRAM) ===\n\n";
-  TextTable table({"Elements", "NVM write GB/s", "Strategy", "Time(s)",
-                   "Staging(s)", "Sorting(s)", "Merging(s)",
-                   "NVM read GB"});
-  for (double write_gbps : {11.0, 30.0}) {
-    NvmConfig nvm = optane_pmm();
-    nvm.write_bw = gb_per_s(write_gbps);
-    // The same far->near tier list an executable MemoryHierarchy would
-    // be built from parameterizes the projection.
-    const std::vector<TierConfig> tiers = describe_tiers(machine, nvm);
-    for (std::uint64_t n : {16'000'000'000ull, 24'000'000'000ull,
-                            48'000'000'000ull}) {
-      table.add_rule();
-      for (NvmStrategy s : strategies) {
-        NvmSortConfig cfg;
-        cfg.strategy = s;
-        cfg.elements = n;
-        const NvmSortResult r = simulate_nvm_sort(
-            std::span<const TierConfig>(tiers), machine, params, cfg);
-        table.add_row({fmt_count(n), fmt_double(write_gbps, 0),
-                       to_string(s), fmt_double(r.seconds, 1),
-                       fmt_double(r.staging_seconds, 1),
-                       fmt_double(r.sorting_seconds, 1),
-                       fmt_double(r.merging_seconds, 1),
-                       fmt_double(bytes_to_gb(r.nvm_read_bytes), 0)});
-        if (csv) {
-          csv->write_row({std::to_string(n), fmt_double(write_gbps, 1),
-                          to_string(s), fmt_double(r.seconds, 3),
-                          fmt_double(r.staging_seconds, 3),
-                          fmt_double(r.sorting_seconds, 3),
-                          fmt_double(r.merging_seconds, 3),
-                          fmt_double(bytes_to_gb(r.nvm_read_bytes), 2),
-                          fmt_double(bytes_to_gb(r.nvm_write_bytes), 2)});
-        }
-      }
-    }
-  }
-  table.print(std::cout);
-  std::cout << "\nFindings: chunking through the upper levels is "
-               "mandatory (in-NVM sorting moves " "an order of magnitude "
-               "more media traffic); at Optane-class write bandwidth the "
-               "double-chunked and direct-to-MCDRAM strategies are within "
-               "~15% — the level that matters is MCDRAM, with DDR's role "
-               "being merge-block staging (§6's open question, "
-               "quantified).\n";
-  if (csv) std::cout << "CSV written to " << csv_path << "\n";
-  return 0;
+  mlm::bench::Harness h("bench_ext_nvm_projection", "Extension: NVM-resident sorting strategies.");
+  mlm::bench::suites::register_ext_nvm_projection(h);
+  return h.run(argc, argv);
 }

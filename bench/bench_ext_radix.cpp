@@ -1,139 +1,10 @@
-// Extension bench: MLM-radix — the chunking framework applied to a
-// bandwidth-bound non-comparison sort.
-//
-// The paper uses comparison sorts, which on KNL are largely per-thread
-// compute-bound (hence the modest 1.2x of hardware cache mode).  LSD
-// radix sort is the opposite regime: almost pure streaming, so by the
-// Bender/Snir test of §2.3 it is bandwidth-bound and the MCDRAM:DDR
-// bandwidth ratio (400:90) bounds the achievable chunking gain.  This
-// bench projects both on the KNL envelope (closed-form, parameters
-// below) and measures the real host implementations side by side.
-//
-// Usage: bench_ext_radix [--csv=PATH]
-#include <iostream>
-#include <string>
-
-#include "mlm/core/mlm_radix.h"
-#include "mlm/machine/knl_config.h"
-#include "mlm/sort/input_gen.h"
-#include "mlm/sort/parallel_sort.h"
-#include "mlm/support/cli.h"
-#include "mlm/support/csv.h"
-#include "mlm/support/stopwatch.h"
-#include "mlm/support/table.h"
-#include "mlm/support/units.h"
-
-namespace {
-
-using namespace mlm;
-
-// Closed-form KNL projection for LSD radix sort of n int64 elements.
-// Each of the 8 passes reads and writes every byte; the scatter's 256
-// write streams run at `scatter_eff` of STREAM bandwidth; per-thread
-// scatter work caps at r_scatter.
-struct RadixProjection {
-  double seconds;
-  double traffic_gb;
-};
-
-RadixProjection project_radix(const KnlConfig& m, double n,
-                              bool use_mcdram) {
-  constexpr double kPasses = 8.0;
-  constexpr double kScatterEff = 0.7;
-  constexpr double kPerThreadScatter = 0.9e9;  // bytes/s, payload
-  const double bytes = n * 8.0;
-  const double pass_payload = 2.0 * bytes;  // read + write
-  const double level_bw =
-      (use_mcdram ? m.mcdram_max_bw : m.ddr_max_bw) * kScatterEff;
-  const double rate = std::min(
-      static_cast<double>(m.total_threads()) * kPerThreadScatter,
-      level_bw / 2.0);  // weight 2 per payload byte (read+write)
-  RadixProjection p;
-  p.seconds = kPasses * pass_payload / 2.0 / rate;
-  p.traffic_gb = bytes_to_gb(kPasses * pass_payload);
-  if (use_mcdram) {
-    // Copies in/out of MCDRAM, chunked (DDR-bound), plus the final
-    // multiway merge of the ~n/1e9 megachunk runs in DDR.
-    p.seconds += 2.0 * bytes / m.ddr_max_bw;  // copy in + sorted out
-    p.seconds += 2.0 * bytes / (m.ddr_max_bw / 2.0) / 2.0;  // merge pass
-  }
-  return p;
-}
-
-}  // namespace
+// Thin entry point: Extension: MLM-radix bandwidth-bound sorting — registered on the unified bench harness
+// (see bench/suites/ext_radix.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
 
 int main(int argc, char** argv) {
-  std::string csv_path = "results_ext_radix.csv";
-  CliParser cli(
-      "MLM-radix: chunked bandwidth-bound sorting, projected on KNL and "
-      "measured on the host.");
-  cli.add_string("csv", &csv_path, "CSV output path (empty = none)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const KnlConfig machine = knl7250();
-  std::unique_ptr<CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<CsvWriter>(
-        csv_path, std::vector<std::string>{"section", "config",
-                                           "seconds", "notes"});
-  }
-
-  std::cout << "=== KNL projection: radix sort of 2e9 int64 ===\n";
-  const RadixProjection ddr = project_radix(machine, 2e9, false);
-  const RadixProjection mc = project_radix(machine, 2e9, true);
-  TextTable proj({"Configuration", "Time(s)", "Traffic(GB)", "Note"});
-  proj.add_row({"radix, DDR only", fmt_double(ddr.seconds, 2),
-                fmt_double(ddr.traffic_gb, 0),
-                "8 streaming passes at DDR bandwidth"});
-  proj.add_row({"MLM-radix (MCDRAM chunks)", fmt_double(mc.seconds, 2),
-                fmt_double(mc.traffic_gb, 0),
-                "passes in MCDRAM + copies + final merge"});
-  proj.add_row({"MLM-sort (comparison, for scale)", "7.50", "-",
-                "from bench_table1_fig6"});
-  proj.print(std::cout);
-  std::cout << "Bandwidth-bound kernels amplify the MCDRAM win: "
-            << fmt_double(ddr.seconds / mc.seconds, 1)
-            << "x for radix vs ~1.2x for the compute-bound comparison "
-               "sorts — the regime split §2.3's model test predicts.\n\n";
-  if (csv) {
-    csv->write_row({"projection", "radix-ddr", fmt_double(ddr.seconds, 3),
-                    "8 passes at DDR"});
-    csv->write_row({"projection", "mlm-radix", fmt_double(mc.seconds, 3),
-                    "8 passes in MCDRAM"});
-  }
-
-  std::cout << "=== Host measurement: 2M int64, scaled machine ===\n";
-  const std::size_t n = 2 << 20;
-  const KnlConfig scaled = scaled_knl(1024, 4);
-  DualSpace space(make_dual_space_config(scaled, McdramMode::Flat));
-  ThreadPool pool(4);
-  TextTable host({"Algorithm", "Time(s)", "M elem/s"});
-  auto measure = [&](const char* name, auto&& fn) {
-    auto data = sort::make_input(n, sort::InputOrder::Random, 99);
-    Stopwatch sw;
-    fn(data);
-    const double s = sw.elapsed_s();
-    host.add_row({name, fmt_double(s, 3),
-                  fmt_double(double(n) / s / 1e6, 1)});
-    if (csv) {
-      csv->write_row({"host", name, fmt_double(s, 4), ""});
-    }
-  };
-  measure("parallel radix (flat array)", [&](auto& d) {
-    std::vector<std::int64_t> scratch(d.size());
-    sort::parallel_radix_sort(pool, std::span<std::int64_t>(d),
-                              std::span<std::int64_t>(scratch));
-  });
-  measure("MLM-radix (chunked via MCDRAM)", [&](auto& d) {
-    core::mlm_radix_sort(space, pool, std::span<std::int64_t>(d));
-  });
-  measure("GNU-like parallel mergesort", [&](auto& d) {
-    sort::gnu_like_parallel_sort(pool, std::span<std::int64_t>(d));
-  });
-  host.print(std::cout);
-  std::cout << "(Host numbers show algorithmic throughput on this "
-               "machine; the chunked variant adds staging copies that a "
-               "real MCDRAM would repay.)\n";
-  if (csv) std::cout << "CSV written to " << csv_path << "\n";
-  return 0;
+  mlm::bench::Harness h("bench_ext_radix", "Extension: MLM-radix bandwidth-bound sorting.");
+  mlm::bench::suites::register_ext_radix(h);
+  return h.run(argc, argv);
 }

@@ -1,89 +1,10 @@
-// Extension bench (paper §6): non-uniform access patterns — when does
-// chunking apply to an irregular kernel?  Simulated scatter/histogram
-// across table sizes, strategies, and key skews on the KNL envelope.
-//
-// Usage: bench_ext_scatter [--csv=PATH] [--updates=N]
-#include <iostream>
-#include <string>
-
-#include "mlm/knlsim/scatter_timeline.h"
-#include "mlm/support/cli.h"
-#include "mlm/support/csv.h"
-#include "mlm/support/table.h"
-#include "mlm/support/units.h"
+// Thin entry point: Extension: scatter/histogram chunking — registered on the unified bench harness
+// (see bench/suites/ext_scatter.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
 
 int main(int argc, char** argv) {
-  using namespace mlm;
-  using namespace mlm::knlsim;
-
-  std::string csv_path = "results_ext_scatter.csv";
-  std::uint64_t updates = 10'000'000'000ull;
-  CliParser cli(
-      "Scatter/histogram on the simulated KNL: direct (DDR / hardware "
-      "cache) vs two-pass partitioned chunking (paper §6).");
-  cli.add_string("csv", &csv_path, "CSV output path (empty = none)");
-  cli.add_uint("updates", &updates, "number of 8-byte updates");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const KnlConfig machine = knl7250();
-  const ScatterCostParams params;
-  std::unique_ptr<CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<CsvWriter>(
-        csv_path,
-        std::vector<std::string>{"table_gb", "hot_fraction", "mode",
-                                 "seconds", "gupdates_per_s", "buckets"});
-  }
-
-  const ScatterMode modes[] = {ScatterMode::DirectDdr,
-                               ScatterMode::DirectCache,
-                               ScatterMode::PartitionedFlat};
-
-  std::cout << "=== Scatter: " << fmt_count(updates)
-            << " random 8-byte updates, table size swept across the "
-               "MCDRAM boundary ===\n\n";
-  TextTable table({"Table", "Hot keys", "direct-ddr(s)",
-                   "direct-cache(s)", "partitioned(s)", "Winner"});
-  for (double hot : {0.0, 0.9}) {
-    for (double gb : {1.0, 8.0, 32.0, 64.0, 256.0}) {
-      std::vector<std::string> row{fmt_double(gb, 0) + " GB",
-                                   fmt_double(hot * 100, 0) + "%"};
-      double best = 1e300;
-      ScatterMode winner = modes[0];
-      for (ScatterMode m : modes) {
-        ScatterSimConfig cfg;
-        cfg.mode = m;
-        cfg.updates = updates;
-        cfg.table_bytes = gb * 1e9;
-        cfg.hot_fraction = hot;
-        const ScatterSimResult r =
-            simulate_scatter(machine, params, cfg);
-        row.push_back(fmt_double(r.seconds));
-        if (r.seconds < best) {
-          best = r.seconds;
-          winner = m;
-        }
-        if (csv) {
-          csv->write_row({fmt_double(gb, 1), fmt_double(hot, 2),
-                          to_string(m), fmt_double(r.seconds, 4),
-                          fmt_double(r.updates_per_second / 1e9, 3),
-                          std::to_string(r.buckets)});
-        }
-      }
-      row.push_back(to_string(winner));
-      table.add_row(std::move(row));
-    }
-    table.add_rule();
-  }
-  table.print(std::cout);
-  std::cout
-      << "\nShape: the hardware cache is unbeatable while the table fits "
-         "MCDRAM (the no-effort path the paper recommends for large "
-         "apps); beyond it the two-pass partitioned rewrite wins — "
-         "chunking DOES apply to irregular kernels, via key-range "
-         "partitioning — until the table so dwarfs the update count "
-         "that staging the slices dominates; strong key skew rescues "
-         "the direct modes.\n";
-  if (csv) std::cout << "CSV written to " << csv_path << "\n";
-  return 0;
+  mlm::bench::Harness h("bench_ext_scatter", "Extension: scatter/histogram chunking.");
+  mlm::bench::suites::register_ext_scatter(h);
+  return h.run(argc, argv);
 }

@@ -1,105 +1,10 @@
-// Experiment E3 — Figure 7 of the paper: performance of the chunked sort
-// (6 billion int64 elements) under flat, hybrid, and implicit MCDRAM
-// configurations while sweeping the megachunk size.  Shows the two
-// headline effects: small chunks hurt (deep DDR-resident final merge),
-// and MLM-implicit keeps improving as the megachunk exceeds MCDRAM.
-//
-// Usage: bench_fig7_chunksize [--csv=PATH] [--elements=N]
-#include <iostream>
-#include <string>
-#include <vector>
-
-#include "mlm/knlsim/sort_timeline.h"
-#include "mlm/support/cli.h"
-#include "mlm/support/csv.h"
-#include "mlm/support/table.h"
+// Thin entry point: Figure 7: chunked sort vs megachunk size — registered on the unified bench harness
+// (see bench/suites/fig7_chunksize.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
 
 int main(int argc, char** argv) {
-  using namespace mlm;
-  using namespace mlm::knlsim;
-
-  std::string csv_path = "results_fig7_chunksize.csv";
-  std::uint64_t elements = 6000000000ull;
-  CliParser cli(
-      "Reproduces Figure 7: chunked sort vs megachunk size for flat, "
-      "hybrid, and implicit MCDRAM configurations.");
-  cli.add_string("csv", &csv_path, "CSV output path (empty = none)");
-  cli.add_uint("elements", &elements, "problem size in elements");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const KnlConfig machine = knl7250();
-  const SortCostParams params;
-
-  // Megachunk sizes in elements.  Flat mode tops out at MCDRAM capacity
-  // (2e9 int64 < 16 GiB); implicit continues beyond it.
-  const std::vector<std::uint64_t> sweep = {
-      62500000ull,   125000000ull,  250000000ull, 500000000ull,
-      1000000000ull, 1500000000ull, 2000000000ull, 3000000000ull,
-      4000000000ull, 6000000000ull};
-  const double mcdram_elems =
-      static_cast<double>(machine.mcdram_bytes) / 8.0;
-
-  std::unique_ptr<CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<CsvWriter>(
-        csv_path, std::vector<std::string>{"megachunk_elements", "mode",
-                                           "seconds"});
-  }
-
-  std::cout << "=== Figure 7: chunked sort of " << fmt_count(elements)
-            << " int64 elements vs megachunk size ===\n"
-            << "(MCDRAM holds " << fmt_count(static_cast<std::uint64_t>(
-                                         mcdram_elems))
-            << " elements; '-' = megachunk does not fit that mode)\n\n";
-
-  TextTable table({"Megachunk", "MLM-sort flat(s)", "MLM-sort hybrid(s)",
-                   "MLM-implicit(s)"});
-  double best_flat = 1e30, best_impl = 1e30;
-  for (std::uint64_t mega : sweep) {
-    std::vector<std::string> row{fmt_count(mega)};
-    // Flat: megachunk must fit all of MCDRAM.
-    for (bool hybrid : {false, true}) {
-      const double capacity_elems =
-          hybrid ? mcdram_elems * 0.5 : mcdram_elems;
-      if (static_cast<double>(mega) > capacity_elems) {
-        row.push_back("-");
-        continue;
-      }
-      SortRunConfig cfg;
-      cfg.algo = SortAlgo::MlmSort;
-      cfg.elements = elements;
-      cfg.megachunk_elements = mega;
-      cfg.hybrid = hybrid;
-      const double t = simulate_sort(machine, params, cfg).seconds;
-      row.push_back(fmt_double(t));
-      if (!hybrid) best_flat = std::min(best_flat, t);
-      if (csv) {
-        csv->write_row({std::to_string(mega), hybrid ? "hybrid" : "flat",
-                        fmt_double(t, 4)});
-      }
-    }
-    {
-      SortRunConfig cfg;
-      cfg.algo = SortAlgo::MlmImplicit;
-      cfg.elements = elements;
-      cfg.megachunk_elements = mega;
-      const double t = simulate_sort(machine, params, cfg).seconds;
-      row.push_back(fmt_double(t));
-      best_impl = std::min(best_impl, t);
-      if (csv) {
-        csv->write_row({std::to_string(mega), "implicit",
-                        fmt_double(t, 4)});
-      }
-    }
-    table.add_row(std::move(row));
-  }
-  table.print(std::cout);
-
-  std::cout << "\nBest flat: " << fmt_double(best_flat)
-            << " s   best implicit: " << fmt_double(best_impl)
-            << " s (paper: 22.71 / 21.66 s at 6e9 random)\n"
-            << "Note: MLM-implicit's best point is megachunk = problem "
-               "size, beyond MCDRAM capacity (paper §4.2).\n";
-  if (csv) std::cout << "CSV written to " << csv_path << "\n";
-  return 0;
+  mlm::bench::Harness h("bench_fig7_chunksize", "Figure 7: chunked sort vs megachunk size.");
+  mlm::bench::suites::register_fig7_chunksize(h);
+  return h.run(argc, argv);
 }

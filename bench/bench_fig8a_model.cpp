@@ -1,94 +1,10 @@
-// Experiment E5 — Figure 8(a) of the paper: execution times of the merge
-// benchmark as *estimated by the analytic buffering model* (Section 3.2,
-// Eqs. 1-5) for repeats 1..64 while sweeping the number of copy threads.
-// The minimum of each series is the model's copy-thread recommendation
-// (Table 3's "Model" column).
-//
-// Usage: bench_fig8a_model [--csv=PATH] [--threads=N] [--bytes=B]
-#include <iostream>
-#include <string>
-#include <vector>
-
-#include "mlm/core/buffer_model.h"
-#include "mlm/support/cli.h"
-#include "mlm/support/csv.h"
-#include "mlm/support/table.h"
+// Thin entry point: Figure 8(a): model-predicted merge benchmark times — registered on the unified bench harness
+// (see bench/suites/fig8a_model.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
 
 int main(int argc, char** argv) {
-  using namespace mlm;
-  using namespace mlm::core;
-
-  std::string csv_path = "results_fig8a_model.csv";
-  std::uint64_t total_threads = 256;
-  double bytes = 14.9e9;
-  CliParser cli(
-      "Reproduces Figure 8(a): merge-benchmark execution time predicted "
-      "by the Section 3.2 model, per copy-thread count and repeats.");
-  cli.add_string("csv", &csv_path, "CSV output path (empty = none)");
-  cli.add_uint("threads", &total_threads, "total hardware threads");
-  cli.add_double("bytes", &bytes, "data set size in bytes (B_copy)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const ModelParams params = ModelParams::from_machine(knl7250());
-  const std::vector<unsigned> repeats = {1, 2, 4, 8, 16, 32, 64};
-  const std::vector<std::size_t> copy_counts = {1,  2,  3,  4,  6,  8,
-                                                10, 12, 16, 24, 32};
-
-  std::unique_ptr<CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<CsvWriter>(
-        csv_path,
-        std::vector<std::string>{"repeats", "copy_threads", "t_copy_s",
-                                 "t_comp_s", "t_total_s"});
-  }
-
-  std::cout << "=== Figure 8(a): model-estimated merge benchmark time "
-               "(seconds) ===\n"
-            << "rows: copy threads per direction; columns: repeats; "
-               "* marks each column's minimum\n\n";
-
-  // Column minima for marking.
-  std::vector<std::size_t> best(repeats.size());
-  for (std::size_t r = 0; r < repeats.size(); ++r) {
-    best[r] = optimal_copy_threads(
-        params, ModelWorkload{bytes, double(repeats[r])},
-        static_cast<std::size_t>(total_threads), copy_counts);
-  }
-
-  std::vector<std::string> header{"copy threads"};
-  for (unsigned r : repeats) header.push_back("rep=" + std::to_string(r));
-  TextTable table(header);
-  for (std::size_t c : copy_counts) {
-    std::vector<std::string> row{std::to_string(c)};
-    for (std::size_t r = 0; r < repeats.size(); ++r) {
-      const ModelPrediction p = predict(
-          params, ModelWorkload{bytes, double(repeats[r])},
-          ThreadSplit{c, static_cast<std::size_t>(total_threads) - 2 * c});
-      std::string cell = fmt_double(p.t_total, 3);
-      if (best[r] == c) cell += "*";
-      row.push_back(cell);
-      if (csv) {
-        csv->write_row({std::to_string(repeats[r]), std::to_string(c),
-                        fmt_double(p.t_copy, 5), fmt_double(p.t_comp, 5),
-                        fmt_double(p.t_total, 5)});
-      }
-    }
-    table.add_row(std::move(row));
-  }
-  table.print(std::cout);
-
-  std::cout << "\nModel-optimal copy threads per repeats (full sweep, "
-               "not just the grid above):\n";
-  TextTable opt({"Repeats", "Model optimum", "Paper Table 3"});
-  const int paper_model[] = {10, 10, 10, 8, 3, 2, 1};
-  for (std::size_t r = 0; r < repeats.size(); ++r) {
-    const std::size_t full = optimal_copy_threads(
-        params, ModelWorkload{bytes, double(repeats[r])},
-        static_cast<std::size_t>(total_threads));
-    opt.add_row({std::to_string(repeats[r]), std::to_string(full),
-                 std::to_string(paper_model[r])});
-  }
-  opt.print(std::cout);
-  if (csv) std::cout << "CSV written to " << csv_path << "\n";
-  return 0;
+  mlm::bench::Harness h("bench_fig8a_model", "Figure 8(a): model-predicted merge benchmark times.");
+  mlm::bench::suites::register_fig8a_model(h);
+  return h.run(argc, argv);
 }

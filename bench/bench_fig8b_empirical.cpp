@@ -1,82 +1,10 @@
-// Experiment E6 — Figure 8(b) of the paper: merge-benchmark execution
-// time measured on the simulated pipeline (triple-buffered chunk steps,
-// fill/drain included) for 1..64 repeats and 1..32 copy threads — the
-// substrate-level counterpart of bench_fig8a_model's closed form.
-//
-// Usage: bench_fig8b_empirical [--csv=PATH] [--threads=N]
-#include <iostream>
-#include <string>
-#include <vector>
-
-#include "mlm/knlsim/merge_bench_timeline.h"
-#include "mlm/support/cli.h"
-#include "mlm/support/csv.h"
-#include "mlm/support/table.h"
+// Thin entry point: Figure 8(b): simulated-pipeline merge benchmark times — registered on the unified bench harness
+// (see bench/suites/fig8b_empirical.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
 
 int main(int argc, char** argv) {
-  using namespace mlm;
-  using namespace mlm::knlsim;
-
-  std::string csv_path = "results_fig8b_empirical.csv";
-  std::uint64_t total_threads = 256;
-  CliParser cli(
-      "Reproduces Figure 8(b): merge-benchmark execution time on the "
-      "simulated pipeline, per copy-thread count and repeats.");
-  cli.add_string("csv", &csv_path, "CSV output path (empty = none)");
-  cli.add_uint("threads", &total_threads, "total hardware threads");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const KnlConfig machine = knl7250();
-  const std::vector<unsigned> repeats = {1, 2, 4, 8, 16, 32, 64};
-  const std::vector<std::size_t> copy_counts = {1, 2, 4, 8, 16, 32};
-
-  std::unique_ptr<CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<CsvWriter>(
-        csv_path, std::vector<std::string>{"repeats", "copy_threads",
-                                           "seconds", "chunks"});
-  }
-
-  std::cout << "=== Figure 8(b): simulated merge benchmark time "
-               "(seconds) ===\n"
-            << "rows: copy threads per direction (powers of two, as in "
-               "the paper); * marks each column's minimum\n\n";
-
-  std::vector<std::string> header{"copy threads"};
-  for (unsigned r : repeats) header.push_back("rep=" + std::to_string(r));
-  TextTable table(header);
-
-  std::vector<std::size_t> best(repeats.size());
-  for (std::size_t r = 0; r < repeats.size(); ++r) {
-    MergeBenchConfig cfg;
-    cfg.repeats = repeats[r];
-    cfg.total_threads = static_cast<std::size_t>(total_threads);
-    best[r] = best_copy_threads(machine, cfg, copy_counts);
-  }
-
-  for (std::size_t c : copy_counts) {
-    std::vector<std::string> row{std::to_string(c)};
-    for (std::size_t r = 0; r < repeats.size(); ++r) {
-      MergeBenchConfig cfg;
-      cfg.repeats = repeats[r];
-      cfg.copy_threads = c;
-      cfg.total_threads = static_cast<std::size_t>(total_threads);
-      const MergeBenchResult res = simulate_merge_bench(machine, cfg);
-      std::string cell = fmt_double(res.seconds, 3);
-      if (best[r] == c) cell += "*";
-      row.push_back(cell);
-      if (csv) {
-        csv->write_row({std::to_string(repeats[r]), std::to_string(c),
-                        fmt_double(res.seconds, 5),
-                        std::to_string(res.chunks)});
-      }
-    }
-    table.add_row(std::move(row));
-  }
-  table.print(std::cout);
-
-  std::cout << "\nEmpirical optimum falls as repeats grow (paper: 16, "
-               "16, 8, 4, 2, 2, 1).\n";
-  if (csv) std::cout << "CSV written to " << csv_path << "\n";
-  return 0;
+  mlm::bench::Harness h("bench_fig8b_empirical", "Figure 8(b): simulated-pipeline merge benchmark times.");
+  mlm::bench::suites::register_fig8b_empirical(h);
+  return h.run(argc, argv);
 }

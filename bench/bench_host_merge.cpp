@@ -1,93 +1,10 @@
-// Host-mode merge benchmark: the real (thread-and-memcpy) counterpart of
-// bench_fig8b_empirical, run at host scale on this machine.
-//
-// The pipeline, pools, and compute kernel are exactly the code a KNL
-// deployment would run; only the machine differs.  Reports mean/stddev
-// over repetitions like the paper's tables.  On machines without a real
-// bandwidth gap between levels the copy-thread sweep is expected to be
-// flat — the interesting output is the repeats scaling and the pipeline
-// overheads.
-//
-// Usage: bench_host_merge [--csv=PATH] [--elements=N] [--reps=3]
-#include <iostream>
-#include <string>
-#include <vector>
-
-#include "mlm/core/merge_bench.h"
-#include "mlm/machine/knl_config.h"
-#include "mlm/sort/input_gen.h"
-#include "mlm/support/cli.h"
-#include "mlm/support/csv.h"
-#include "mlm/support/stats.h"
-#include "mlm/support/table.h"
+// Thin entry point: Host-mode merge benchmark (real chunk pipeline) — registered on the unified bench harness
+// (see bench/suites/host_merge.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
 
 int main(int argc, char** argv) {
-  using namespace mlm;
-
-  std::string csv_path = "results_host_merge.csv";
-  std::uint64_t elements = 1 << 21;  // 16 MiB of int64
-  std::uint64_t reps = 3;
-  CliParser cli(
-      "Host-mode merge benchmark: the real chunk pipeline measured on "
-      "this machine (scaled KNL memory spaces).");
-  cli.add_string("csv", &csv_path, "CSV output path (empty = none)");
-  cli.add_uint("elements", &elements, "data size in int64 elements");
-  cli.add_uint("reps", &reps, "repetitions per configuration");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const KnlConfig machine = scaled_knl(1024, 4);
-  std::unique_ptr<CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<CsvWriter>(
-        csv_path,
-        std::vector<std::string>{"repeats", "copy_threads", "mean_s",
-                                 "stddev_s", "chunks"});
-  }
-
-  std::cout << "=== Host merge benchmark: " << fmt_count(elements)
-            << " int64 through a " << fmt_count(machine.mcdram_bytes)
-            << "-byte near space ===\n\n";
-  TextTable table({"Repeats", "Copy thr", "Mean(s)", "Stddev(s)",
-                   "Chunks", "Merges"});
-  auto base = sort::make_input(elements, sort::InputOrder::Random, 5);
-  for (unsigned repeats : {1u, 4u, 16u}) {
-    for (std::size_t copy_threads : {1u, 2u}) {
-      RunningStats stats;
-      std::size_t chunks = 0;
-      std::uint64_t merges = 0;
-      for (std::uint64_t rep = 0; rep < reps; ++rep) {
-        DualSpace space(
-            make_dual_space_config(machine, McdramMode::Flat));
-        auto data = base;
-        core::MergeBenchConfig cfg;
-        cfg.elements = elements;
-        cfg.copy_threads = copy_threads;
-        cfg.compute_threads = 2;
-        cfg.repeats = repeats;
-        const auto r = core::run_merge_bench(
-            space, std::span<std::int64_t>(data), cfg);
-        stats.add(r.seconds);
-        chunks = r.pipeline.chunks;
-        merges = r.merges_performed;
-      }
-      table.add_row({std::to_string(repeats),
-                     std::to_string(copy_threads),
-                     fmt_double(stats.mean(), 3),
-                     fmt_double(stats.stddev(), 3),
-                     std::to_string(chunks), fmt_count(merges)});
-      if (csv) {
-        csv->write_row({std::to_string(repeats),
-                        std::to_string(copy_threads),
-                        fmt_double(stats.mean(), 5),
-                        fmt_double(stats.stddev(), 5),
-                        std::to_string(chunks)});
-      }
-    }
-  }
-  table.print(std::cout);
-  std::cout << "\nTime scales with repeats (compute grows, copies fixed) "
-               "— the knob Figure 8 sweeps — while data integrity is "
-               "checked by the test suite (test_merge_bench).\n";
-  if (csv) std::cout << "CSV written to " << csv_path << "\n";
-  return 0;
+  mlm::bench::Harness h("bench_host_merge", "Host-mode merge benchmark (real chunk pipeline).");
+  mlm::bench::suites::register_host_merge(h);
+  return h.run(argc, argv);
 }

@@ -1,148 +1,10 @@
-// H1 — host-mode microbenchmarks (google-benchmark): real throughput of
-// the library's sorting building blocks and of MLM-sort end-to-end on
-// *this* machine (not the simulated KNL).  Validates that the real code
-// paths behind the simulated timelines are sound and measures their
-// native performance.
-#include <benchmark/benchmark.h>
+// Thin entry point: Host-mode sorting microbenchmarks — registered on the unified bench harness
+// (see bench/suites/host_sort.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
 
-#include <algorithm>
-
-#include "mlm/core/mlm_sort.h"
-#include "mlm/machine/knl_config.h"
-#include "mlm/sort/funnelsort.h"
-#include "mlm/sort/input_gen.h"
-#include "mlm/sort/multiway_merge.h"
-#include "mlm/sort/parallel_sort.h"
-#include "mlm/sort/serial_sort.h"
-
-namespace {
-
-using namespace mlm;
-using sort::InputOrder;
-
-void BM_SerialIntrosort(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto base = sort::make_input(n, InputOrder::Random, 1);
-  std::vector<std::int64_t> v(n);
-  for (auto _ : state) {
-    state.PauseTiming();
-    v = base;
-    state.ResumeTiming();
-    sort::introsort(v.begin(), v.end());
-    benchmark::DoNotOptimize(v.data());
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
+int main(int argc, char** argv) {
+  mlm::bench::Harness h("bench_host_sort", "Host-mode sorting microbenchmarks.");
+  mlm::bench::suites::register_host_sort(h);
+  return h.run(argc, argv);
 }
-BENCHMARK(BM_SerialIntrosort)->Arg(1 << 14)->Arg(1 << 17)->Arg(1 << 20);
-
-void BM_SerialIntrosortReverse(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto base = sort::make_input(n, InputOrder::Reverse, 1);
-  std::vector<std::int64_t> v(n);
-  for (auto _ : state) {
-    state.PauseTiming();
-    v = base;
-    state.ResumeTiming();
-    sort::introsort(v.begin(), v.end());
-    benchmark::DoNotOptimize(v.data());
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
-}
-BENCHMARK(BM_SerialIntrosortReverse)->Arg(1 << 17)->Arg(1 << 20);
-
-void BM_StdSortBaseline(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto base = sort::make_input(n, InputOrder::Random, 1);
-  std::vector<std::int64_t> v(n);
-  for (auto _ : state) {
-    state.PauseTiming();
-    v = base;
-    state.ResumeTiming();
-    std::sort(v.begin(), v.end());
-    benchmark::DoNotOptimize(v.data());
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
-}
-BENCHMARK(BM_StdSortBaseline)->Arg(1 << 17)->Arg(1 << 20);
-
-void BM_Funnelsort(benchmark::State& state) {
-  // The cache-oblivious alternative (§2.1): no MCDRAM-size parameter.
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const auto base = sort::make_input(n, InputOrder::Random, 1);
-  std::vector<std::int64_t> v(n), scratch(n);
-  for (auto _ : state) {
-    state.PauseTiming();
-    v = base;
-    state.ResumeTiming();
-    sort::funnelsort(std::span<std::int64_t>(v),
-                     std::span<std::int64_t>(scratch));
-    benchmark::DoNotOptimize(v.data());
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
-}
-BENCHMARK(BM_Funnelsort)->Arg(1 << 17)->Arg(1 << 20);
-
-void BM_MultiwayMerge(benchmark::State& state) {
-  const auto k = static_cast<std::size_t>(state.range(0));
-  constexpr std::size_t kTotal = 1 << 20;
-  std::vector<std::vector<std::int64_t>> runs(k);
-  for (std::size_t i = 0; i < k; ++i) {
-    runs[i] = sort::make_input(kTotal / k, InputOrder::Random, i);
-    std::sort(runs[i].begin(), runs[i].end());
-  }
-  std::vector<sort::Run<std::int64_t>> spans;
-  for (const auto& r : runs) spans.emplace_back(r.data(), r.size());
-  std::vector<std::int64_t> out(k * (kTotal / k));
-  for (auto _ : state) {
-    sort::multiway_merge(std::span<const sort::Run<std::int64_t>>(spans),
-                         std::span<std::int64_t>(out));
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          static_cast<long>(out.size()));
-}
-BENCHMARK(BM_MultiwayMerge)->Arg(2)->Arg(8)->Arg(64)->Arg(256);
-
-void BM_GnuLikeParallelSort(benchmark::State& state) {
-  const auto n = static_cast<std::size_t>(state.range(0));
-  ThreadPool pool(4);
-  const auto base = sort::make_input(n, InputOrder::Random, 2);
-  std::vector<std::int64_t> v(n), scratch(n);
-  for (auto _ : state) {
-    state.PauseTiming();
-    v = base;
-    state.ResumeTiming();
-    sort::gnu_like_parallel_sort(pool, std::span<std::int64_t>(v),
-                                 std::span<std::int64_t>(scratch));
-    benchmark::DoNotOptimize(v.data());
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
-}
-BENCHMARK(BM_GnuLikeParallelSort)->Arg(1 << 18)->Arg(1 << 21);
-
-void BM_MlmSortEndToEnd(benchmark::State& state) {
-  // MLM-sort against a scaled KNL whose "MCDRAM" (16 MiB) is smaller
-  // than the data, so real chunking happens.
-  const auto n = static_cast<std::size_t>(state.range(0));
-  const KnlConfig machine = scaled_knl(1024, 4);
-  DualSpace space(make_dual_space_config(machine, McdramMode::Flat));
-  ThreadPool pool(4);
-  core::MlmSortConfig cfg;
-  cfg.variant = core::MlmVariant::Flat;
-  core::MlmSorter<std::int64_t> sorter(space, pool, cfg);
-  const auto base = sort::make_input(n, InputOrder::Random, 3);
-  std::vector<std::int64_t> v(n);
-  for (auto _ : state) {
-    state.PauseTiming();
-    v = base;
-    state.ResumeTiming();
-    sorter.sort(std::span<std::int64_t>(v));
-    benchmark::DoNotOptimize(v.data());
-  }
-  state.SetItemsProcessed(state.iterations() * static_cast<long>(n));
-}
-BENCHMARK(BM_MlmSortEndToEnd)->Arg(1 << 20)->Arg(1 << 22);
-
-}  // namespace
-
-BENCHMARK_MAIN();

@@ -1,141 +1,10 @@
-// Experiment E1/E2 — Table 1 and Figure 6(a)/(b) of the paper:
-// sorting 2/4/6 billion int64 elements, random and reverse-sorted, with
-// GNU-flat, GNU-cache, MLM-ddr, MLM-sort, MLM-implicit on the simulated
-// KNL 7250.  Prints Table-1-style rows with the paper's values beside
-// the simulated ones, plus Figure-6-style speedup-over-GNU-flat series.
-//
-// Usage: bench_table1_fig6 [--csv=PATH] [--threads=N]
-#include <iostream>
-#include <map>
-#include <string>
-#include <vector>
-
-#include "mlm/knlsim/sort_timeline.h"
-#include "mlm/support/cli.h"
-#include "mlm/support/csv.h"
-#include "mlm/support/table.h"
-
-namespace {
-
-using namespace mlm;
-using namespace mlm::knlsim;
-
-struct PaperCell {
-  double mean;
-};
-
-// Table 1 of the paper (means in seconds), for side-by-side comparison.
-const std::map<std::tuple<std::uint64_t, SimOrder, SortAlgo>, double>
-    kPaper = {
-        {{2000000000ull, SimOrder::Random, SortAlgo::GnuFlat}, 11.92},
-        {{2000000000ull, SimOrder::Random, SortAlgo::GnuCache}, 9.73},
-        {{2000000000ull, SimOrder::Random, SortAlgo::MlmDdr}, 9.28},
-        {{2000000000ull, SimOrder::Random, SortAlgo::MlmSort}, 8.09},
-        {{2000000000ull, SimOrder::Random, SortAlgo::MlmImplicit}, 7.37},
-        {{4000000000ull, SimOrder::Random, SortAlgo::GnuFlat}, 24.21},
-        {{4000000000ull, SimOrder::Random, SortAlgo::GnuCache}, 19.76},
-        {{4000000000ull, SimOrder::Random, SortAlgo::MlmDdr}, 18.74},
-        {{4000000000ull, SimOrder::Random, SortAlgo::MlmSort}, 16.28},
-        {{4000000000ull, SimOrder::Random, SortAlgo::MlmImplicit}, 14.56},
-        {{6000000000ull, SimOrder::Random, SortAlgo::GnuFlat}, 36.52},
-        {{6000000000ull, SimOrder::Random, SortAlgo::GnuCache}, 29.53},
-        // Table 1 prints 18.74 for MLM-ddr at 6e9 random — an apparent
-        // copy-paste of the 4e9 row; ~27.5 follows the trend.
-        {{6000000000ull, SimOrder::Random, SortAlgo::MlmDdr}, 27.50},
-        {{6000000000ull, SimOrder::Random, SortAlgo::MlmSort}, 22.71},
-        {{6000000000ull, SimOrder::Random, SortAlgo::MlmImplicit}, 21.66},
-        {{2000000000ull, SimOrder::Reverse, SortAlgo::GnuFlat}, 7.97},
-        {{2000000000ull, SimOrder::Reverse, SortAlgo::GnuCache}, 7.19},
-        {{2000000000ull, SimOrder::Reverse, SortAlgo::MlmDdr}, 4.79},
-        {{2000000000ull, SimOrder::Reverse, SortAlgo::MlmSort}, 4.46},
-        {{2000000000ull, SimOrder::Reverse, SortAlgo::MlmImplicit}, 4.10},
-        {{4000000000ull, SimOrder::Reverse, SortAlgo::GnuFlat}, 16.06},
-        {{4000000000ull, SimOrder::Reverse, SortAlgo::GnuCache}, 14.27},
-        {{4000000000ull, SimOrder::Reverse, SortAlgo::MlmDdr}, 9.53},
-        {{4000000000ull, SimOrder::Reverse, SortAlgo::MlmSort}, 9.02},
-        {{4000000000ull, SimOrder::Reverse, SortAlgo::MlmImplicit}, 8.31},
-        {{6000000000ull, SimOrder::Reverse, SortAlgo::GnuFlat}, 23.94},
-        {{6000000000ull, SimOrder::Reverse, SortAlgo::GnuCache}, 21.85},
-        {{6000000000ull, SimOrder::Reverse, SortAlgo::MlmDdr}, 14.48},
-        {{6000000000ull, SimOrder::Reverse, SortAlgo::MlmSort}, 12.56},
-        {{6000000000ull, SimOrder::Reverse, SortAlgo::MlmImplicit}, 12.76},
-};
-
-const SortAlgo kAlgos[] = {SortAlgo::GnuFlat, SortAlgo::GnuCache,
-                           SortAlgo::MlmDdr, SortAlgo::MlmSort,
-                           SortAlgo::MlmImplicit};
-const std::uint64_t kSizes[] = {2000000000ull, 4000000000ull,
-                                6000000000ull};
-
-}  // namespace
+// Thin entry point: Table 1 / Figure 6: sort time on the simulated KNL 7250 — registered on the unified bench harness
+// (see bench/suites/table1_fig6.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
 
 int main(int argc, char** argv) {
-  std::string csv_path = "results_table1_fig6.csv";
-  std::uint64_t threads = 256;
-  CliParser cli(
-      "Reproduces Table 1 / Figure 6: sort time on the simulated KNL "
-      "7250 for all five configurations, both input orders.");
-  cli.add_string("csv", &csv_path, "CSV output path (empty = none)");
-  cli.add_uint("threads", &threads, "worker threads");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const KnlConfig machine = knl7250();
-  const SortCostParams params;
-
-  std::unique_ptr<CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<CsvWriter>(
-        csv_path,
-        std::vector<std::string>{"elements", "order", "algorithm",
-                                 "simulated_s", "paper_s",
-                                 "speedup_vs_gnu_flat"});
-  }
-
-  std::cout << "=== Table 1: raw sorting performance (simulated KNL vs "
-               "paper) ===\n";
-  TextTable table({"Elements", "Input Order", "Algorithm", "Sim(s)",
-                   "Paper(s)", "Sim/Paper"});
-  std::cout << "=== Figure 6: speedup over GNU-flat ===\n";
-
-  for (SimOrder order : {SimOrder::Random, SimOrder::Reverse}) {
-    TextTable fig({"Elements", "Algorithm", "Speedup", ""});
-    for (std::uint64_t n : kSizes) {
-      double gnu_flat_time = 0.0;
-      table.add_rule();
-      for (SortAlgo algo : kAlgos) {
-        SortRunConfig cfg;
-        cfg.algo = algo;
-        cfg.order = order;
-        cfg.elements = n;
-        cfg.threads = static_cast<std::size_t>(threads);
-        const SortRunResult r = simulate_sort(machine, params, cfg);
-        if (algo == SortAlgo::GnuFlat) gnu_flat_time = r.seconds;
-        const double speedup = gnu_flat_time / r.seconds;
-
-        const auto it = kPaper.find({n, order, algo});
-        const double paper = it != kPaper.end() ? it->second : 0.0;
-        table.add_row({fmt_count(n), to_string(order), to_string(algo),
-                       fmt_double(r.seconds), fmt_double(paper),
-                       paper > 0 ? fmt_double(r.seconds / paper) : "-"});
-        fig.add_row({fmt_count(n), to_string(algo), fmt_double(speedup),
-                     ascii_bar(speedup, 2.0, 24)});
-        if (csv) {
-          csv->write_row({std::to_string(n), to_string(order),
-                          to_string(algo), fmt_double(r.seconds, 4),
-                          fmt_double(paper, 2), fmt_double(speedup, 4)});
-        }
-      }
-      fig.add_rule();
-    }
-    std::cout << "--- Figure 6(" << (order == SimOrder::Random ? "a" : "b")
-              << "): " << to_string(order) << " input ---\n";
-    fig.print(std::cout);
-  }
-
-  std::cout << "\n";
-  table.print(std::cout);
-  if (csv) {
-    std::cout << "CSV written to " << csv_path << "\n";
-  }
-  return 0;
+  mlm::bench::Harness h("bench_table1_fig6", "Table 1 / Figure 6: sort time on the simulated KNL 7250.");
+  mlm::bench::suites::register_table1_fig6(h);
+  return h.run(argc, argv);
 }

@@ -1,83 +1,10 @@
-// Experiment E4 — Table 2 of the paper: the buffering-model parameters,
-// measured on the simulated substrate the way the paper measured them on
-// hardware (STREAM for DDR_max / MCDRAM_max, single-thread copy and
-// merge-compute runs for S_copy / S_comp).  Also prints the
-// bandwidth-vs-threads sweeps behind the plateau values.
-//
-// Usage: bench_table2_params [--csv=PATH]
-#include <iostream>
-#include <string>
-
-#include "mlm/knlsim/stream_bench.h"
-#include "mlm/support/cli.h"
-#include "mlm/support/csv.h"
-#include "mlm/support/table.h"
-#include "mlm/support/units.h"
+// Thin entry point: Table 2: STREAM-style model-parameter measurement — registered on the unified bench harness
+// (see bench/suites/table2_params.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
 
 int main(int argc, char** argv) {
-  using namespace mlm;
-  using namespace mlm::knlsim;
-
-  std::string csv_path = "results_table2_params.csv";
-  CliParser cli(
-      "Reproduces Table 2: STREAM-style measurement of the model "
-      "parameters on the simulated KNL 7250.");
-  cli.add_string("csv", &csv_path, "CSV output path (empty = none)");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const KnlConfig machine = knl7250();
-  const Table2Measurement m = measure_table2(machine);
-
-  std::cout << "=== Table 2: model parameters (measured on substrate) "
-               "===\n";
-  TextTable table({"Parameter", "Measured", "Paper", "Description"});
-  table.add_row({"B_copy", "14.9 GB", "14.9 GB",
-                 "merge-benchmark data size (workload input)"});
-  table.add_row({"DDR_max", fmt_double(bytes_to_gb(m.ddr_max), 1) + " GB/s",
-                 "90 GB/s", "STREAM plateau, all threads, DDR"});
-  table.add_row({"MCDRAM_max",
-                 fmt_double(bytes_to_gb(m.mcdram_max), 1) + " GB/s",
-                 "400 GB/s", "STREAM plateau, all threads, MCDRAM flat"});
-  table.add_row({"S_copy", fmt_double(bytes_to_gb(m.s_copy), 2) + " GB/s",
-                 "4.8 GB/s", "single-thread DDR<->MCDRAM copy rate"});
-  table.add_row({"S_comp", fmt_double(bytes_to_gb(m.s_comp), 2) + " GB/s",
-                 "6.78 GB/s", "single-thread merge compute rate"});
-  table.print(std::cout);
-
-  std::cout << "\n=== Bandwidth vs thread count (the sweeps behind the "
-               "plateaus) ===\n";
-  TextTable sweep({"Threads", "DDR stream (GB/s)", "MCDRAM stream (GB/s)",
-                   "Copy payload (GB/s)"});
-  const auto ddr = sweep_ddr_bandwidth(machine, machine.total_threads());
-  const auto mc = sweep_mcdram_bandwidth(machine, machine.total_threads());
-  const auto cp = sweep_copy_bandwidth(machine, machine.total_threads());
-
-  std::unique_ptr<CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<CsvWriter>(
-        csv_path, std::vector<std::string>{"threads", "ddr_gbps",
-                                           "mcdram_gbps", "copy_gbps"});
-  }
-  for (std::size_t i = 0; i < ddr.size(); ++i) {
-    sweep.add_row({std::to_string(ddr[i].threads),
-                   fmt_double(bytes_to_gb(ddr[i].bandwidth), 1),
-                   fmt_double(bytes_to_gb(mc[i].bandwidth), 1),
-                   fmt_double(bytes_to_gb(cp[i].bandwidth), 1)});
-    if (csv) {
-      csv->write_row({std::to_string(ddr[i].threads),
-                      fmt_double(bytes_to_gb(ddr[i].bandwidth), 3),
-                      fmt_double(bytes_to_gb(mc[i].bandwidth), 3),
-                      fmt_double(bytes_to_gb(cp[i].bandwidth), 3)});
-    }
-  }
-  sweep.print(std::cout);
-  std::cout << "Knees: DDR saturates at ~"
-            << static_cast<int>(machine.ddr_max_bw / machine.s_comp + 1)
-            << " threads, MCDRAM at ~"
-            << static_cast<int>(machine.mcdram_max_bw / machine.s_comp + 1)
-            << " threads, copies pin DDR at ~"
-            << static_cast<int>(machine.ddr_max_bw / machine.s_copy + 1)
-            << " copy threads.\n";
-  if (csv) std::cout << "CSV written to " << csv_path << "\n";
-  return 0;
+  mlm::bench::Harness h("bench_table2_params", "Table 2: STREAM-style model-parameter measurement.");
+  mlm::bench::suites::register_table2_params(h);
+  return h.run(argc, argv);
 }

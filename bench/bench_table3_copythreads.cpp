@@ -1,75 +1,10 @@
-// Experiment E7 — Table 3 of the paper: optimal number of copy threads
-// for the merge benchmark, model vs empirical (simulated), side by side
-// with the paper's reported values.
-//
-// Usage: bench_table3_copythreads [--csv=PATH] [--threads=N]
-#include <iostream>
-#include <string>
-#include <vector>
-
-#include "mlm/core/buffer_model.h"
-#include "mlm/knlsim/merge_bench_timeline.h"
-#include "mlm/support/cli.h"
-#include "mlm/support/csv.h"
-#include "mlm/support/table.h"
+// Thin entry point: Table 3: optimal copy-thread counts, model vs empirical — registered on the unified bench harness
+// (see bench/suites/table3_copythreads.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
 
 int main(int argc, char** argv) {
-  using namespace mlm;
-
-  std::string csv_path = "results_table3_copythreads.csv";
-  std::uint64_t total_threads = 256;
-  CliParser cli(
-      "Reproduces Table 3: optimal copy-thread counts for the merge "
-      "benchmark, model (Eqs. 1-5) vs empirical (simulated pipeline).");
-  cli.add_string("csv", &csv_path, "CSV output path (empty = none)");
-  cli.add_uint("threads", &total_threads, "total hardware threads");
-  if (!cli.parse(argc, argv)) return 0;
-
-  const KnlConfig machine = knl7250();
-  const core::ModelParams params = core::ModelParams::from_machine(machine);
-  const std::vector<unsigned> repeats = {1, 2, 4, 8, 16, 32, 64};
-  const std::vector<std::size_t> powers = {1, 2, 4, 8, 16, 32};
-  const int paper_model[] = {10, 10, 10, 8, 3, 2, 1};
-  const int paper_empirical[] = {16, 16, 8, 4, 2, 2, 1};
-
-  std::unique_ptr<CsvWriter> csv;
-  if (!csv_path.empty()) {
-    csv = std::make_unique<CsvWriter>(
-        csv_path,
-        std::vector<std::string>{"repeats", "model", "empirical_pow2",
-                                 "paper_model", "paper_empirical"});
-  }
-
-  std::cout << "=== Table 3: optimal number of copy threads for the "
-               "merge benchmark ===\n";
-  TextTable table({"Repeats", "Model", "Empirical (pow2)", "Paper model",
-                   "Paper empirical"});
-  for (std::size_t i = 0; i < repeats.size(); ++i) {
-    const std::size_t model = core::optimal_copy_threads(
-        params, core::ModelWorkload{14.9e9, double(repeats[i])},
-        static_cast<std::size_t>(total_threads));
-    knlsim::MergeBenchConfig cfg;
-    cfg.repeats = repeats[i];
-    cfg.total_threads = static_cast<std::size_t>(total_threads);
-    const std::size_t empirical =
-        knlsim::best_copy_threads(machine, cfg, powers);
-    table.add_row({std::to_string(repeats[i]), std::to_string(model),
-                   std::to_string(empirical),
-                   std::to_string(paper_model[i]),
-                   std::to_string(paper_empirical[i])});
-    if (csv) {
-      csv->write_row({std::to_string(repeats[i]), std::to_string(model),
-                      std::to_string(empirical),
-                      std::to_string(paper_model[i]),
-                      std::to_string(paper_empirical[i])});
-    }
-  }
-  table.print(std::cout);
-  std::cout
-      << "\nBoth columns fall monotonically as compute work grows — the "
-         "paper's central claim.  Exact values differ by at most one "
-         "sweep step from the paper's, matching its own observation "
-         "that \"the numbers do not match exactly\".\n";
-  if (csv) std::cout << "CSV written to " << csv_path << "\n";
-  return 0;
+  mlm::bench::Harness h("bench_table3_copythreads", "Table 3: optimal copy-thread counts, model vs empirical.");
+  mlm::bench::suites::register_table3_copythreads(h);
+  return h.run(argc, argv);
 }

@@ -1,0 +1,88 @@
+// Ablation A2 — serial-sort megachunks (DESIGN.md): MLM-sort's key
+// design decision is sorting each thread's chunk with a *serial* sort
+// instead of running a multithreaded sort over the megachunk ("MLM-sort
+// does not rely on thread-scalability of multithreaded algorithms", §4).
+// This ablation compares, on the simulated node:
+//   - MLM-sort      (per-thread serial sorts, flat mode)
+//   - Basic chunked (GNU-style parallel sort per chunk, flat mode,
+//                    triple-buffered — the §4 "basic algorithm")
+//   - GNU-cache     (no chunking at all, hardware cache mode)
+#include <ostream>
+#include <string>
+
+#include "mlm/knlsim/sort_timeline.h"
+#include "mlm/support/table.h"
+#include "suites.h"
+
+namespace mlm::bench::suites {
+
+namespace {
+
+using namespace mlm::knlsim;
+
+const SortAlgo kAlgos[] = {SortAlgo::MlmSort, SortAlgo::BasicChunked,
+                           SortAlgo::GnuCache};
+const std::uint64_t kSizes[] = {2000000000ull, 6000000000ull};
+
+std::string case_name(SimOrder order, std::uint64_t n, SortAlgo algo) {
+  return std::string(to_string(order)) + "/" + std::to_string(n) + "/" +
+         to_string(algo);
+}
+
+void view(const RunReport& report, std::ostream& out) {
+  out << "=== Ablation: how megachunks get sorted ===\n\n";
+  TextTable table({"Elements", "Order", "MLM-sort(s)",
+                   "Basic chunked(s)", "GNU-cache(s)",
+                   "Serial-sort advantage"});
+  for (SimOrder order : {SimOrder::Random, SimOrder::Reverse}) {
+    for (std::uint64_t n : kSizes) {
+      double t[3];
+      for (int i = 0; i < 3; ++i) {
+        t[i] = report.value(
+            "ablation_serialsort/" + case_name(order, n, kAlgos[i]),
+            "sim_seconds");
+      }
+      table.add_row({fmt_count(n), to_string(order), fmt_double(t[0]),
+                     fmt_double(t[1]), fmt_double(t[2]),
+                     fmt_double(t[1] / t[0], 2) + "x"});
+    }
+  }
+  table.print(out);
+  out << "\nPer-thread serial sorts avoid the parallel sort's "
+         "thread-scaling overheads inside each chunk — the basic "
+         "chunked algorithm only matches GNU-cache (§4: it "
+         "\"yields no advantage over GNU parallel sort run in "
+         "hardware cache mode\"), while MLM-sort pulls ahead.\n";
+}
+
+}  // namespace
+
+void register_ablation_serialsort(Harness& h) {
+  Suite suite = h.suite(
+      "ablation_serialsort",
+      "Ablation: per-thread serial sorts (MLM-sort) vs parallel chunk "
+      "sort (basic algorithm) vs unchunked hardware-cache sort");
+
+  for (SimOrder order : {SimOrder::Random, SimOrder::Reverse}) {
+    for (std::uint64_t n : kSizes) {
+      for (SortAlgo algo : kAlgos) {
+        suite.add_case(case_name(order, n, algo), [=](BenchContext& ctx) {
+          ctx.param("order", to_string(order));
+          ctx.param("elements", n);
+          ctx.param("algorithm", to_string(algo));
+
+          SortRunConfig cfg;
+          cfg.algo = algo;
+          cfg.order = order;
+          cfg.elements = n;
+          const SortRunResult r =
+              simulate_sort(knl7250(), SortCostParams{}, cfg);
+          ctx.metric("sim_seconds", r.seconds, "s");
+        });
+      }
+    }
+  }
+  suite.set_view(view);
+}
+
+}  // namespace mlm::bench::suites

@@ -1,0 +1,126 @@
+// Extension bench (paper §6): "using a variation of the model, we will
+// explore alternative configurations that may be possible in future
+// technologies, in hopes of suggesting more optimal design points for
+// both hardware and applications."
+//
+// Sweeps the hardware envelope — MCDRAM bandwidth, MCDRAM capacity, DDR
+// bandwidth — and reports (a) the best sort configuration's time and the
+// winning algorithm at each design point, and (b) how the model's
+// optimal copy-thread split moves.
+#include <ostream>
+#include <string>
+
+#include "mlm/core/buffer_model.h"
+#include "mlm/knlsim/sort_timeline.h"
+#include "mlm/support/table.h"
+#include "mlm/support/units.h"
+#include "suites.h"
+
+namespace mlm::bench::suites {
+
+namespace {
+
+using namespace mlm::knlsim;
+
+const double kMcBw[] = {200.0, 400.0, 800.0};
+const std::uint64_t kMcGib[] = {8, 16, 32};
+const double kDdrBw[] = {90.0, 180.0};
+const SortAlgo kContenders[] = {SortAlgo::GnuCache, SortAlgo::MlmSort,
+                                SortAlgo::MlmImplicit};
+
+std::string case_name(double mc_bw, std::uint64_t mc_gib,
+                      double ddr_bw) {
+  return "mc" + std::to_string(static_cast<int>(mc_bw)) + "gbps/mc" +
+         std::to_string(mc_gib) + "gib/ddr" +
+         std::to_string(static_cast<int>(ddr_bw)) + "gbps";
+}
+
+void view(const RunReport& report, std::ostream& out) {
+  out << "=== Design-space exploration: 2e9-element random sort "
+         "across hardware envelopes ===\n\n";
+  TextTable table({"MCDRAM GB/s", "MCDRAM GiB", "DDR GB/s", "Winner",
+                   "Best(s)", "vs GNU-flat", "Copy thr (rep=8)"});
+  for (double mc_bw : kMcBw) {
+    for (std::uint64_t mc_gib : kMcGib) {
+      for (double ddr_bw : kDdrBw) {
+        const CaseResult* c = report.find(
+            "ext_design_space/" + case_name(mc_bw, mc_gib, ddr_bw));
+        if (c == nullptr) continue;
+        const double best = c->find_metric("best_seconds")->value();
+        const double base = c->find_metric("gnu_flat_seconds")->value();
+        table.add_row(
+            {fmt_double(mc_bw, 0), std::to_string(mc_gib),
+             fmt_double(ddr_bw, 0), *c->find_param("winner"),
+             fmt_double(best), fmt_double(base / best, 2) + "x",
+             std::to_string(static_cast<int>(
+                 c->find_metric("model_copy_threads_rep8")->value()))});
+      }
+    }
+  }
+  table.print(out);
+  out << "\nReading the sweep: more MCDRAM capacity widens "
+         "MLM-sort's megachunks (fewer final-merge runs); doubling "
+         "DDR bandwidth mostly helps the DDR-resident final merge "
+         "and shifts the model's copy-thread optimum up; MCDRAM "
+         "bandwidth beyond ~400 GB/s is not the bottleneck for "
+         "sorting-class workloads — the paper's implicit claim "
+         "that sort is DDR- and compute-limited, quantified "
+         "forward.\n";
+}
+
+}  // namespace
+
+void register_ext_design_space(Harness& h) {
+  Suite suite = h.suite(
+      "ext_design_space",
+      "Hardware design-space exploration with the calibrated model "
+      "(paper §6)");
+
+  for (double mc_bw : kMcBw) {
+    for (std::uint64_t mc_gib : kMcGib) {
+      for (double ddr_bw : kDdrBw) {
+        suite.add_case(case_name(mc_bw, mc_gib, ddr_bw),
+                       [=](BenchContext& ctx) {
+          ctx.param("mcdram_gbps", mc_bw);
+          ctx.param("mcdram_gib", mc_gib);
+          ctx.param("ddr_gbps", ddr_bw);
+
+          KnlConfig m = knl7250();
+          m.mcdram_max_bw = gb_per_s(mc_bw);
+          m.mcdram_bytes = GiB(mc_gib);
+          m.ddr_max_bw = gb_per_s(ddr_bw);
+          m.validate();
+
+          const SortCostParams params;
+          SortRunConfig cfg;
+          cfg.elements = 2'000'000'000ull;
+          cfg.algo = SortAlgo::GnuFlat;
+          const double base = simulate_sort(m, params, cfg).seconds;
+          double best = 1e300;
+          SortAlgo winner = SortAlgo::GnuFlat;
+          for (SortAlgo a : kContenders) {
+            cfg.algo = a;
+            const double t = simulate_sort(m, params, cfg).seconds;
+            if (t < best) {
+              best = t;
+              winner = a;
+            }
+          }
+          const std::size_t copy = core::optimal_copy_threads(
+              core::ModelParams::from_machine(m),
+              core::ModelWorkload{14.9e9, 8.0}, 256);
+
+          ctx.param("winner", to_string(winner));
+          ctx.metric("gnu_flat_seconds", base, "s");
+          ctx.metric("best_seconds", best, "s");
+          ctx.metric("speedup_vs_gnu_flat", base / best, "x");
+          ctx.metric("model_copy_threads_rep8",
+                     static_cast<double>(copy), "threads");
+        });
+      }
+    }
+  }
+  suite.set_view(view);
+}
+
+}  // namespace mlm::bench::suites

@@ -1,0 +1,105 @@
+// Extension bench (paper §6): non-uniform access patterns — when does
+// chunking apply to an irregular kernel?  Simulated scatter/histogram
+// across table sizes, strategies, and key skews on the KNL envelope.
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "mlm/knlsim/scatter_timeline.h"
+#include "mlm/support/table.h"
+#include "mlm/support/units.h"
+#include "suites.h"
+
+namespace mlm::bench::suites {
+
+namespace {
+
+using namespace mlm::knlsim;
+
+const ScatterMode kModes[] = {ScatterMode::DirectDdr,
+                              ScatterMode::DirectCache,
+                              ScatterMode::PartitionedFlat};
+const double kHotFractions[] = {0.0, 0.9};
+const double kTableGb[] = {1.0, 8.0, 32.0, 64.0, 256.0};
+
+std::uint64_t g_updates = 10'000'000'000ull;
+
+std::string case_name(double hot, double gb, ScatterMode m) {
+  return "hot" + std::to_string(static_cast<int>(hot * 100)) + "/table" +
+         std::to_string(static_cast<int>(gb)) + "gb/" + to_string(m);
+}
+
+void view(const RunReport& report, std::ostream& out) {
+  out << "=== Scatter: " << fmt_count(g_updates)
+      << " random 8-byte updates, table size swept across the "
+         "MCDRAM boundary ===\n\n";
+  TextTable table({"Table", "Hot keys", "direct-ddr(s)",
+                   "direct-cache(s)", "partitioned(s)", "Winner"});
+  for (double hot : kHotFractions) {
+    for (double gb : kTableGb) {
+      std::vector<std::string> row{fmt_double(gb, 0) + " GB",
+                                   fmt_double(hot * 100, 0) + "%"};
+      double best = 1e300;
+      ScatterMode winner = kModes[0];
+      for (ScatterMode m : kModes) {
+        const double t = report.value(
+            "ext_scatter/" + case_name(hot, gb, m), "sim_seconds");
+        row.push_back(fmt_double(t));
+        if (t < best) {
+          best = t;
+          winner = m;
+        }
+      }
+      row.push_back(to_string(winner));
+      table.add_row(std::move(row));
+    }
+    table.add_rule();
+  }
+  table.print(out);
+  out << "\nShape: the hardware cache is unbeatable while the table fits "
+         "MCDRAM (the no-effort path the paper recommends for large "
+         "apps); beyond it the two-pass partitioned rewrite wins — "
+         "chunking DOES apply to irregular kernels, via key-range "
+         "partitioning — until the table so dwarfs the update count "
+         "that staging the slices dominates; strong key skew rescues "
+         "the direct modes.\n";
+}
+
+}  // namespace
+
+void register_ext_scatter(Harness& h) {
+  Suite suite = h.suite(
+      "ext_scatter",
+      "Scatter/histogram on the simulated KNL: direct (DDR / hardware "
+      "cache) vs two-pass partitioned chunking (paper §6)");
+  suite.cli().add_uint("scatter-updates", &g_updates,
+                       "number of 8-byte updates");
+
+  for (double hot : kHotFractions) {
+    for (double gb : kTableGb) {
+      for (ScatterMode m : kModes) {
+        suite.add_case(case_name(hot, gb, m), [=](BenchContext& ctx) {
+          ctx.param("table_gb", gb);
+          ctx.param("hot_fraction", hot);
+          ctx.param("mode", to_string(m));
+          ctx.param("updates", g_updates);
+
+          ScatterSimConfig cfg;
+          cfg.mode = m;
+          cfg.updates = g_updates;
+          cfg.table_bytes = gb * 1e9;
+          cfg.hot_fraction = hot;
+          const ScatterSimResult r =
+              simulate_scatter(knl7250(), ScatterCostParams{}, cfg);
+          ctx.metric("sim_seconds", r.seconds, "s");
+          ctx.metric("gupdates_per_s", r.updates_per_second / 1e9,
+                     "Gup/s");
+          ctx.metric("buckets", static_cast<double>(r.buckets));
+        });
+      }
+    }
+  }
+  suite.set_view(view);
+}
+
+}  // namespace mlm::bench::suites

@@ -1,0 +1,122 @@
+// Experiment E3 — Figure 7 of the paper: performance of the chunked sort
+// (6 billion int64 elements) under flat, hybrid, and implicit MCDRAM
+// configurations while sweeping the megachunk size.  Shows the two
+// headline effects: small chunks hurt (deep DDR-resident final merge),
+// and MLM-implicit keeps improving as the megachunk exceeds MCDRAM.
+#include <algorithm>
+#include <ostream>
+#include <vector>
+
+#include "mlm/knlsim/sort_timeline.h"
+#include "mlm/support/table.h"
+#include "suites.h"
+
+namespace mlm::bench::suites {
+
+namespace {
+
+using namespace mlm::knlsim;
+
+// Megachunk sizes in elements.  Flat mode tops out at MCDRAM capacity
+// (2e9 int64 < 16 GiB); implicit continues beyond it.
+const std::vector<std::uint64_t> kSweep = {
+    62500000ull,   125000000ull,  250000000ull,  500000000ull,
+    1000000000ull, 1500000000ull, 2000000000ull, 3000000000ull,
+    4000000000ull, 6000000000ull};
+const char* kModes[] = {"flat", "hybrid", "implicit"};
+
+std::uint64_t g_elements = 6000000000ull;
+
+/// Megachunk capacity limit of a mode, in elements; <0 = unlimited.
+double mode_capacity_elems(const KnlConfig& machine,
+                           const std::string& mode) {
+  const double mcdram_elems =
+      static_cast<double>(machine.mcdram_bytes) / 8.0;
+  if (mode == "flat") return mcdram_elems;
+  if (mode == "hybrid") return mcdram_elems * 0.5;
+  return -1.0;  // implicit: no limit
+}
+
+void view(const RunReport& report, std::ostream& out) {
+  const KnlConfig machine = knl7250();
+  const double mcdram_elems =
+      static_cast<double>(machine.mcdram_bytes) / 8.0;
+  out << "=== Figure 7: chunked sort of " << fmt_count(g_elements)
+      << " int64 elements vs megachunk size ===\n"
+      << "(MCDRAM holds "
+      << fmt_count(static_cast<std::uint64_t>(mcdram_elems))
+      << " elements; '-' = megachunk does not fit that mode)\n\n";
+
+  TextTable table({"Megachunk", "MLM-sort flat(s)", "MLM-sort hybrid(s)",
+                   "MLM-implicit(s)"});
+  double best_flat = 1e30, best_impl = 1e30;
+  for (std::uint64_t mega : kSweep) {
+    std::vector<std::string> row{fmt_count(mega)};
+    for (const char* mode : kModes) {
+      const CaseResult* c = report.find("fig7_chunksize/" +
+                                        std::string(mode) + "/" +
+                                        std::to_string(mega));
+      if (c == nullptr) {
+        row.push_back("-");
+        continue;
+      }
+      const double t = c->find_metric("sim_seconds")->value();
+      row.push_back(fmt_double(t));
+      if (std::string(mode) == "flat") best_flat = std::min(best_flat, t);
+      if (std::string(mode) == "implicit") {
+        best_impl = std::min(best_impl, t);
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(out);
+
+  out << "\nBest flat: " << fmt_double(best_flat)
+      << " s   best implicit: " << fmt_double(best_impl)
+      << " s (paper: 22.71 / 21.66 s at 6e9 random)\n"
+      << "Note: MLM-implicit's best point is megachunk = problem "
+         "size, beyond MCDRAM capacity (paper §4.2).\n";
+}
+
+}  // namespace
+
+void register_fig7_chunksize(Harness& h) {
+  Suite suite = h.suite(
+      "fig7_chunksize",
+      "Figure 7: chunked sort vs megachunk size for flat, hybrid, and "
+      "implicit MCDRAM configurations");
+  suite.cli().add_uint("fig7-elements", &g_elements,
+                       "problem size in elements for the fig7 suite");
+
+  const KnlConfig machine = knl7250();
+  for (const char* mode : kModes) {
+    for (std::uint64_t mega : kSweep) {
+      const double cap = mode_capacity_elems(machine, mode);
+      if (cap >= 0.0 && static_cast<double>(mega) > cap) continue;
+      const std::string mode_name = mode;
+      suite.add_case(mode_name + "/" + std::to_string(mega),
+                     [=](BenchContext& ctx) {
+        ctx.param("mode", mode_name);
+        ctx.param("megachunk_elements", mega);
+        ctx.param("elements", g_elements);
+
+        SortRunConfig cfg;
+        cfg.algo = mode_name == "implicit" ? SortAlgo::MlmImplicit
+                                           : SortAlgo::MlmSort;
+        cfg.elements = g_elements;
+        cfg.megachunk_elements = mega;
+        cfg.hybrid = mode_name == "hybrid";
+        const SortRunResult r =
+            simulate_sort(knl7250(), SortCostParams{}, cfg);
+        ctx.metric("sim_seconds", r.seconds, "s");
+        ctx.metric("ddr_traffic_bytes",
+                   static_cast<double>(r.ddr_traffic_bytes), "B");
+        ctx.metric("mcdram_traffic_bytes",
+                   static_cast<double>(r.mcdram_traffic_bytes), "B");
+      });
+    }
+  }
+  suite.set_view(view);
+}
+
+}  // namespace mlm::bench::suites

@@ -1,0 +1,122 @@
+// Experiment E5 — Figure 8(a) of the paper: execution times of the merge
+// benchmark as *estimated by the analytic buffering model* (Section 3.2,
+// Eqs. 1-5) for repeats 1..64 while sweeping the number of copy threads.
+// The minimum of each series is the model's copy-thread recommendation
+// (Table 3's "Model" column).
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "mlm/core/buffer_model.h"
+#include "mlm/support/table.h"
+#include "suites.h"
+
+namespace mlm::bench::suites {
+
+namespace {
+
+using namespace mlm::core;
+
+const std::vector<unsigned> kRepeats = {1, 2, 4, 8, 16, 32, 64};
+const std::vector<std::size_t> kCopyCounts = {1,  2,  3,  4,  6,  8,
+                                              10, 12, 16, 24, 32};
+const int kPaperModel[] = {10, 10, 10, 8, 3, 2, 1};
+
+std::uint64_t g_threads = 256;
+double g_bytes = 14.9e9;
+
+std::string case_name(unsigned repeats, std::size_t copy_threads) {
+  return "rep" + std::to_string(repeats) + "/copy" +
+         std::to_string(copy_threads);
+}
+
+void view(const RunReport& report, std::ostream& out) {
+  out << "=== Figure 8(a): model-estimated merge benchmark time "
+         "(seconds) ===\n"
+      << "rows: copy threads per direction; columns: repeats; "
+         "* marks each column's minimum\n\n";
+
+  std::vector<std::string> header{"copy threads"};
+  for (unsigned r : kRepeats) header.push_back("rep=" + std::to_string(r));
+  TextTable table(header);
+  for (std::size_t c : kCopyCounts) {
+    std::vector<std::string> row{std::to_string(c)};
+    for (std::size_t r = 0; r < kRepeats.size(); ++r) {
+      const std::string name = "fig8a_model/" + case_name(kRepeats[r], c);
+      const double t = report.value(name, "t_total");
+      const double best =
+          report.value("fig8a_model/optimum/rep" +
+                           std::to_string(kRepeats[r]),
+                       "grid_optimal_copy_threads");
+      std::string cell = fmt_double(t, 3);
+      if (static_cast<std::size_t>(best) == c) cell += "*";
+      row.push_back(std::move(cell));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(out);
+
+  out << "\nModel-optimal copy threads per repeats (full sweep, "
+         "not just the grid above):\n";
+  TextTable opt({"Repeats", "Model optimum", "Paper Table 3"});
+  for (std::size_t r = 0; r < kRepeats.size(); ++r) {
+    const double full =
+        report.value("fig8a_model/optimum/rep" +
+                         std::to_string(kRepeats[r]),
+                     "optimal_copy_threads");
+    opt.add_row({std::to_string(kRepeats[r]),
+                 std::to_string(static_cast<int>(full)),
+                 std::to_string(kPaperModel[r])});
+  }
+  opt.print(out);
+}
+
+}  // namespace
+
+void register_fig8a_model(Harness& h) {
+  Suite suite = h.suite(
+      "fig8a_model",
+      "Figure 8(a): merge-benchmark execution time predicted by the "
+      "Section 3.2 model, per copy-thread count and repeats");
+  suite.cli().add_uint("fig8a-threads", &g_threads,
+                       "total hardware threads for the fig8a suite");
+  suite.cli().add_double("fig8a-bytes", &g_bytes,
+                         "data set size in bytes (B_copy) for fig8a");
+
+  for (unsigned repeats : kRepeats) {
+    for (std::size_t c : kCopyCounts) {
+      suite.add_case(case_name(repeats, c), [=](BenchContext& ctx) {
+        ctx.param("repeats", static_cast<std::uint64_t>(repeats));
+        ctx.param("copy_threads", static_cast<std::uint64_t>(c));
+        ctx.param("bytes", g_bytes);
+
+        const ModelParams params = ModelParams::from_machine(knl7250());
+        const ModelPrediction p = predict(
+            params, ModelWorkload{g_bytes, double(repeats)},
+            ThreadSplit{c, static_cast<std::size_t>(g_threads) - 2 * c});
+        ctx.metric("t_copy", p.t_copy, "s");
+        ctx.metric("t_comp", p.t_comp, "s");
+        ctx.metric("t_total", p.t_total, "s");
+      });
+    }
+    suite.add_case("optimum/rep" + std::to_string(repeats),
+                   [=](BenchContext& ctx) {
+      ctx.param("repeats", static_cast<std::uint64_t>(repeats));
+      const ModelParams params = ModelParams::from_machine(knl7250());
+      const ModelWorkload workload{g_bytes, double(repeats)};
+      ctx.metric("grid_optimal_copy_threads",
+                 static_cast<double>(optimal_copy_threads(
+                     params, workload,
+                     static_cast<std::size_t>(g_threads), kCopyCounts)),
+                 "threads");
+      ctx.metric("optimal_copy_threads",
+                 static_cast<double>(optimal_copy_threads(
+                     params, workload,
+                     static_cast<std::size_t>(g_threads))),
+                 "threads");
+    });
+  }
+  suite.set_view(view);
+}
+
+}  // namespace mlm::bench::suites

@@ -1,0 +1,102 @@
+// Experiment E6 — Figure 8(b) of the paper: merge-benchmark execution
+// time measured on the simulated pipeline (triple-buffered chunk steps,
+// fill/drain included) for 1..64 repeats and 1..32 copy threads — the
+// substrate-level counterpart of the fig8a_model suite's closed form.
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "mlm/knlsim/merge_bench_timeline.h"
+#include "mlm/support/table.h"
+#include "suites.h"
+
+namespace mlm::bench::suites {
+
+namespace {
+
+using namespace mlm::knlsim;
+
+const std::vector<unsigned> kRepeats = {1, 2, 4, 8, 16, 32, 64};
+const std::vector<std::size_t> kCopyCounts = {1, 2, 4, 8, 16, 32};
+
+std::uint64_t g_threads = 256;
+
+std::string case_name(unsigned repeats, std::size_t copy_threads) {
+  return "rep" + std::to_string(repeats) + "/copy" +
+         std::to_string(copy_threads);
+}
+
+void view(const RunReport& report, std::ostream& out) {
+  out << "=== Figure 8(b): simulated merge benchmark time "
+         "(seconds) ===\n"
+      << "rows: copy threads per direction (powers of two, as in "
+         "the paper); * marks each column's minimum\n\n";
+
+  std::vector<std::string> header{"copy threads"};
+  for (unsigned r : kRepeats) header.push_back("rep=" + std::to_string(r));
+  TextTable table(header);
+  for (std::size_t c : kCopyCounts) {
+    std::vector<std::string> row{std::to_string(c)};
+    for (unsigned repeats : kRepeats) {
+      const double t = report.value(
+          "fig8b_empirical/" + case_name(repeats, c), "sim_seconds");
+      const double best = report.value(
+          "fig8b_empirical/optimum/rep" + std::to_string(repeats),
+          "best_copy_threads");
+      std::string cell = fmt_double(t, 3);
+      if (static_cast<std::size_t>(best) == c) cell += "*";
+      row.push_back(std::move(cell));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(out);
+
+  out << "\nEmpirical optimum falls as repeats grow (paper: 16, "
+         "16, 8, 4, 2, 2, 1).\n";
+}
+
+}  // namespace
+
+void register_fig8b_empirical(Harness& h) {
+  Suite suite = h.suite(
+      "fig8b_empirical",
+      "Figure 8(b): merge-benchmark execution time on the simulated "
+      "pipeline, per copy-thread count and repeats");
+  suite.cli().add_uint("fig8b-threads", &g_threads,
+                       "total hardware threads for the fig8b suite");
+
+  for (unsigned repeats : kRepeats) {
+    for (std::size_t c : kCopyCounts) {
+      suite.add_case(case_name(repeats, c), [=](BenchContext& ctx) {
+        ctx.param("repeats", static_cast<std::uint64_t>(repeats));
+        ctx.param("copy_threads", static_cast<std::uint64_t>(c));
+
+        MergeBenchConfig cfg;
+        cfg.repeats = repeats;
+        cfg.copy_threads = c;
+        cfg.total_threads = static_cast<std::size_t>(g_threads);
+        const MergeBenchResult res = simulate_merge_bench(knl7250(), cfg);
+        ctx.metric("sim_seconds", res.seconds, "s");
+        ctx.metric("chunks", static_cast<double>(res.chunks));
+        ctx.metric("ddr_traffic_bytes",
+                   static_cast<double>(res.ddr_traffic_bytes), "B");
+        ctx.metric("mcdram_traffic_bytes",
+                   static_cast<double>(res.mcdram_traffic_bytes), "B");
+      });
+    }
+    suite.add_case("optimum/rep" + std::to_string(repeats),
+                   [=](BenchContext& ctx) {
+      ctx.param("repeats", static_cast<std::uint64_t>(repeats));
+      MergeBenchConfig cfg;
+      cfg.repeats = repeats;
+      cfg.total_threads = static_cast<std::size_t>(g_threads);
+      ctx.metric("best_copy_threads",
+                 static_cast<double>(
+                     best_copy_threads(knl7250(), cfg, kCopyCounts)),
+                 "threads");
+    });
+  }
+  suite.set_view(view);
+}
+
+}  // namespace mlm::bench::suites

@@ -1,0 +1,107 @@
+// Host-mode merge benchmark: the real (thread-and-memcpy) counterpart
+// of the fig8b_empirical suite, run at host scale on this machine.
+//
+// The pipeline, pools, and compute kernel are exactly the code a KNL
+// deployment would run; only the machine differs.  Wall-clock samples
+// follow the harness protocol (warmup discarded, `repetitions` kept).
+// On machines without a real bandwidth gap between levels the
+// copy-thread sweep is expected to be flat — the interesting output is
+// the repeats scaling and the pipeline overheads.
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "mlm/core/merge_bench.h"
+#include "mlm/machine/knl_config.h"
+#include "mlm/sort/input_gen.h"
+#include "mlm/support/table.h"
+#include "suites.h"
+
+namespace mlm::bench::suites {
+
+namespace {
+
+const unsigned kRepeats[] = {1u, 4u, 16u};
+const std::size_t kCopyThreads[] = {1, 2};
+
+std::uint64_t g_elements = 1 << 21;  // 16 MiB of int64
+
+std::string case_name(unsigned repeats, std::size_t copy_threads) {
+  return "rep" + std::to_string(repeats) + "/copy" +
+         std::to_string(copy_threads);
+}
+
+void view(const RunReport& report, std::ostream& out) {
+  out << "=== Host merge benchmark ===\n\n";
+  TextTable table({"Repeats", "Copy thr", "Mean(s)", "Stddev(s)",
+                   "Chunks", "Merges"});
+  for (unsigned repeats : kRepeats) {
+    for (std::size_t copy_threads : kCopyThreads) {
+      const CaseResult* c = report.find(
+          "host_merge/" + case_name(repeats, copy_threads));
+      if (c == nullptr) continue;
+      const SampleSummary s = c->find_metric("seconds")->summary();
+      table.add_row(
+          {std::to_string(repeats), std::to_string(copy_threads),
+           fmt_double(s.mean, 3), fmt_double(s.stddev, 3),
+           std::to_string(
+               static_cast<long>(c->find_metric("chunks")->value())),
+           fmt_count(static_cast<std::uint64_t>(
+               c->find_metric("merges_performed")->value()))});
+    }
+  }
+  table.print(out);
+  out << "\nTime scales with repeats (compute grows, copies fixed) "
+         "— the knob Figure 8 sweeps — while data integrity is "
+         "checked by the test suite (test_merge_bench).\n";
+}
+
+}  // namespace
+
+void register_host_merge(Harness& h) {
+  Suite suite = h.suite(
+      "host_merge",
+      "Host-mode merge benchmark: the real chunk pipeline measured on "
+      "this machine (scaled KNL memory spaces)");
+  suite.cli().add_uint("hostmerge-elements", &g_elements,
+                       "data size in int64 elements");
+
+  for (unsigned repeats : kRepeats) {
+    for (std::size_t copy_threads : kCopyThreads) {
+      suite.add_case(case_name(repeats, copy_threads),
+                     [=](BenchContext& ctx) {
+        const std::uint64_t elements = ctx.scaled(g_elements, 1 << 18);
+        ctx.param("elements", elements);
+        ctx.param("repeats", static_cast<std::uint64_t>(repeats));
+        ctx.param("copy_threads",
+                  static_cast<std::uint64_t>(copy_threads));
+
+        const KnlConfig machine = scaled_knl(1024, 4);
+        const auto base =
+            sort::make_input(elements, sort::InputOrder::Random,
+                             ctx.seed());
+        std::size_t chunks = 0;
+        std::uint64_t merges = 0;
+        ctx.measure("seconds", [&] {
+          DualSpace space(
+              make_dual_space_config(machine, McdramMode::Flat));
+          auto data = base;
+          core::MergeBenchConfig cfg;
+          cfg.elements = elements;
+          cfg.copy_threads = copy_threads;
+          cfg.compute_threads = 2;
+          cfg.repeats = repeats;
+          const auto r = core::run_merge_bench(
+              space, std::span<std::int64_t>(data), cfg);
+          chunks = r.pipeline.chunks;
+          merges = r.merges_performed;
+        });
+        ctx.metric("chunks", static_cast<double>(chunks));
+        ctx.metric("merges_performed", static_cast<double>(merges));
+      });
+    }
+  }
+  suite.set_view(view);
+}
+
+}  // namespace mlm::bench::suites

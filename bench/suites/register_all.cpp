@@ -1,0 +1,25 @@
+#include "suites.h"
+
+namespace mlm::bench::suites {
+
+void register_all(Harness& h) {
+  register_table1_fig6(h);
+  register_fig7_chunksize(h);
+  register_table2_params(h);
+  register_fig8a_model(h);
+  register_fig8b_empirical(h);
+  register_table3_copythreads(h);
+  register_bender_corroboration(h);
+  register_ablation_buffering(h);
+  register_ablation_serialsort(h);
+  register_ext_buffered_mlmsort(h);
+  register_ext_nvm_projection(h);
+  register_ext_cluster_scaling(h);
+  register_ext_design_space(h);
+  register_ext_scatter(h);
+  register_ext_radix(h);
+  register_host_merge(h);
+  register_host_sort(h);
+}
+
+}  // namespace mlm::bench::suites

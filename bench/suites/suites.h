@@ -1,0 +1,50 @@
+// Registration functions for every benchmark suite.
+//
+// Each bench/suites/<name>.cpp ports one of the original bench binaries
+// onto the mlm::bench harness: it registers its measured configurations
+// as cases (deterministic knlsim outputs and/or host wall-clock
+// timings) and re-creates the binary's paper-comparison tables as a
+// suite view over the recorded results.  The thin bench_<name> mains
+// call exactly one of these; bench_all calls register_all to aggregate
+// every suite into one artifact.
+//
+// Registration is via explicit functions rather than static
+// initializers so suites survive being placed in a static library.
+// Per-suite tunables registered on the shared CLI use suite-prefixed
+// flag names (e.g. --table1-threads) so all suites can coexist in
+// bench_all without flag collisions.
+#pragma once
+
+#include "mlm/bench/bench.h"
+
+namespace mlm::bench::suites {
+
+// Paper reproductions (knlsim; deterministic metrics).
+void register_table1_fig6(Harness& h);
+void register_fig7_chunksize(Harness& h);
+void register_table2_params(Harness& h);
+void register_fig8a_model(Harness& h);
+void register_fig8b_empirical(Harness& h);
+void register_table3_copythreads(Harness& h);
+void register_bender_corroboration(Harness& h);
+
+// Ablations (knlsim; deterministic metrics).
+void register_ablation_buffering(Harness& h);
+void register_ablation_serialsort(Harness& h);
+
+// Extensions (knlsim; deterministic metrics, some host timings).
+void register_ext_buffered_mlmsort(Harness& h);
+void register_ext_nvm_projection(Harness& h);
+void register_ext_cluster_scaling(Harness& h);
+void register_ext_design_space(Harness& h);
+void register_ext_scatter(Harness& h);
+void register_ext_radix(Harness& h);
+
+// Host benchmarks (real execution; wall-clock metrics).
+void register_host_merge(Harness& h);
+void register_host_sort(Harness& h);
+
+/// Every suite above, in the order listed — the bench_all set.
+void register_all(Harness& h);
+
+}  // namespace mlm::bench::suites

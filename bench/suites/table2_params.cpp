@@ -1,0 +1,114 @@
+// Experiment E4 — Table 2 of the paper: the buffering-model parameters,
+// measured on the simulated substrate the way the paper measured them on
+// hardware (STREAM for DDR_max / MCDRAM_max, single-thread copy and
+// merge-compute runs for S_copy / S_comp).  The view prints the
+// parameter table plus the bandwidth-vs-threads sweeps behind the
+// plateau values.
+#include <ostream>
+#include <string>
+
+#include "mlm/knlsim/stream_bench.h"
+#include "mlm/support/table.h"
+#include "mlm/support/units.h"
+#include "suites.h"
+
+namespace mlm::bench::suites {
+
+namespace {
+
+using namespace mlm::knlsim;
+
+void view(const RunReport& report, std::ostream& out) {
+  const KnlConfig machine = knl7250();
+  const std::string params_case = "table2_params/model_parameters";
+
+  out << "=== Table 2: model parameters (measured on substrate) ===\n";
+  TextTable table({"Parameter", "Measured", "Paper", "Description"});
+  table.add_row({"B_copy", "14.9 GB", "14.9 GB",
+                 "merge-benchmark data size (workload input)"});
+  table.add_row(
+      {"DDR_max",
+       fmt_double(bytes_to_gb(report.value(params_case, "ddr_max")), 1) +
+           " GB/s",
+       "90 GB/s", "STREAM plateau, all threads, DDR"});
+  table.add_row(
+      {"MCDRAM_max",
+       fmt_double(bytes_to_gb(report.value(params_case, "mcdram_max")), 1) +
+           " GB/s",
+       "400 GB/s", "STREAM plateau, all threads, MCDRAM flat"});
+  table.add_row(
+      {"S_copy",
+       fmt_double(bytes_to_gb(report.value(params_case, "s_copy")), 2) +
+           " GB/s",
+       "4.8 GB/s", "single-thread DDR<->MCDRAM copy rate"});
+  table.add_row(
+      {"S_comp",
+       fmt_double(bytes_to_gb(report.value(params_case, "s_comp")), 2) +
+           " GB/s",
+       "6.78 GB/s", "single-thread merge compute rate"});
+  table.print(out);
+
+  out << "\n=== Bandwidth vs thread count (the sweeps behind the "
+         "plateaus) ===\n";
+  TextTable sweep({"Threads", "DDR stream (GB/s)", "MCDRAM stream (GB/s)",
+                   "Copy payload (GB/s)"});
+  for (const CaseResult& c : report.cases) {
+    if (c.suite != "table2_params" ||
+        c.name.find("/sweep/") == std::string::npos) {
+      continue;
+    }
+    sweep.add_row(
+        {*c.find_param("threads"),
+         fmt_double(bytes_to_gb(c.find_metric("ddr_bw")->value()), 1),
+         fmt_double(bytes_to_gb(c.find_metric("mcdram_bw")->value()), 1),
+         fmt_double(bytes_to_gb(c.find_metric("copy_bw")->value()), 1)});
+  }
+  sweep.print(out);
+  out << "Knees: DDR saturates at ~"
+      << static_cast<int>(machine.ddr_max_bw / machine.s_comp + 1)
+      << " threads, MCDRAM at ~"
+      << static_cast<int>(machine.mcdram_max_bw / machine.s_comp + 1)
+      << " threads, copies pin DDR at ~"
+      << static_cast<int>(machine.ddr_max_bw / machine.s_copy + 1)
+      << " copy threads.\n";
+}
+
+}  // namespace
+
+void register_table2_params(Harness& h) {
+  Suite suite = h.suite(
+      "table2_params",
+      "Table 2: STREAM-style measurement of the model parameters on the "
+      "simulated KNL 7250");
+
+  suite.add_case("model_parameters", [](BenchContext& ctx) {
+    const Table2Measurement m = measure_table2(knl7250());
+    ctx.metric("ddr_max", m.ddr_max, "B/s");
+    ctx.metric("mcdram_max", m.mcdram_max, "B/s");
+    ctx.metric("s_copy", m.s_copy, "B/s");
+    ctx.metric("s_comp", m.s_comp, "B/s");
+  });
+
+  // The sweeps are computed once outside the per-thread-count cases so
+  // registration stays cheap; each case then indexes the shared result.
+  const KnlConfig machine = knl7250();
+  const auto ddr = sweep_ddr_bandwidth(machine, machine.total_threads());
+  const auto mc = sweep_mcdram_bandwidth(machine, machine.total_threads());
+  const auto cp = sweep_copy_bandwidth(machine, machine.total_threads());
+  for (std::size_t i = 0; i < ddr.size(); ++i) {
+    const std::size_t threads = ddr[i].threads;
+    const double ddr_bw = ddr[i].bandwidth;
+    const double mc_bw = mc[i].bandwidth;
+    const double cp_bw = cp[i].bandwidth;
+    suite.add_case("sweep/" + std::to_string(threads),
+                   [=](BenchContext& ctx) {
+      ctx.param("threads", static_cast<std::uint64_t>(threads));
+      ctx.metric("ddr_bw", ddr_bw, "B/s");
+      ctx.metric("mcdram_bw", mc_bw, "B/s");
+      ctx.metric("copy_bw", cp_bw, "B/s");
+    });
+  }
+  suite.set_view(view);
+}
+
+}  // namespace mlm::bench::suites

@@ -1,0 +1,70 @@
+// Regression comparison between two bench artifacts (see report.h for
+// the schema).  This is the library behind tools/bench_compare, kept
+// separate so the pass/fail logic is unit-testable without spawning
+// processes.
+//
+// Semantics, per metric of each baseline case:
+//  - Deterministic metrics must match the current run EXACTLY.  These
+//    are knlsim model outputs and traffic counters; any drift means the
+//    model changed, which a perf PR must either intend (refresh the
+//    baseline) or fix.
+//  - Wall-clock metrics compare means under a relative threshold
+//    (default 10%).  Only slowdowns beyond the threshold fail;
+//    improvements are reported but pass.  CI compares cross-machine, so
+//    gating runs pass ignore_wall=true and rely on the deterministic
+//    metrics alone.
+//  - A baseline case or metric missing from the current run fails
+//    (deleted benchmarks must be removed from the baseline on purpose);
+//    new cases in the current run are reported and pass.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mlm/bench/bench.h"
+
+namespace mlm::bench {
+
+struct CompareOptions {
+  /// Relative slowdown tolerated for wall-clock means (0.10 == 10%).
+  double wall_threshold = 0.10;
+  /// Skip wall-clock metrics entirely (cross-machine CI gating).
+  bool ignore_wall = false;
+  /// Tolerate baseline cases absent from the current run.
+  bool allow_missing = false;
+};
+
+enum class FindingKind : std::uint8_t {
+  DeterministicMismatch,
+  WallRegression,
+  WallImprovement,  ///< informational; does not fail
+  MissingCase,
+  MissingMetric,
+  NewCase,          ///< informational; does not fail
+};
+
+struct Finding {
+  FindingKind kind;
+  std::string case_name;
+  std::string metric;   ///< empty for case-level findings
+  double baseline = 0.0;
+  double current = 0.0;
+  std::string message;  ///< human-readable one-liner
+};
+
+struct CompareResult {
+  bool ok = true;
+  std::size_t cases_checked = 0;
+  std::size_t metrics_checked = 0;
+  std::vector<Finding> findings;
+
+  /// Only the findings that fail the comparison.
+  std::vector<Finding> failures() const;
+};
+
+/// Compare `current` against `baseline`.
+CompareResult compare_reports(const RunReport& current,
+                              const RunReport& baseline,
+                              const CompareOptions& options = {});
+
+}  // namespace mlm::bench

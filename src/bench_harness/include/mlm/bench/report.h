@@ -1,0 +1,56 @@
+// Artifact serialization for bench runs.
+//
+// The JSON schema (schema_version 1) is the repo's perf-artifact
+// contract — bench_compare, the CI baseline under bench/baselines/, and
+// the nightly BENCH.json all speak it:
+//
+//   {
+//     "schema_version": 1,
+//     "tool": "bench_all",
+//     "git_sha": "<sha or 'unknown'>",
+//     "options": {"smoke": bool, "repetitions": N, "warmup": N, "seed": N},
+//     "machine": {"name": "knl-7250",
+//                 "tiers": [{"name","kind","capacity_bytes",
+//                            "read_bw","write_bw","s_copy"}, ...]},
+//     "cases": [
+//       {"name": "<suite>/<case>", "suite": "<suite>",
+//        "params": {"key": "value", ...},
+//        "metrics": [
+//          {"name","unit","kind":"deterministic","value": X} |
+//          {"name","unit","kind":"wall","samples":[...],
+//           "mean","stddev","min","median","max"}, ...]}, ...]
+//   }
+//
+// Deterministic metrics round-trip exactly (number_repr preserves every
+// bit), which is what lets bench_compare demand equality for simulator
+// outputs.  The flat CSV view carries one row per metric with the params
+// packed as "k=v;..." — CsvWriter quoting keeps that safe.
+#pragma once
+
+#include <string>
+
+#include "mlm/bench/bench.h"
+#include "mlm/support/json.h"
+
+namespace mlm::bench {
+
+inline constexpr int kSchemaVersion = 1;
+
+/// Render a finished run as a schema-v1 JSON document.
+JsonValue report_to_json(const RunReport& report);
+
+/// Rebuild a RunReport from a schema-v1 document (the compare path).
+/// Throws mlm::Error on schema violations or unknown versions.
+RunReport report_from_json(const JsonValue& doc);
+
+/// Write the JSON artifact to `path`.
+void write_json_report(const RunReport& report, const std::string& path);
+
+/// Write the flat CSV view (one row per metric) to `path`.
+void write_csv_report(const RunReport& report, const std::string& path);
+
+/// The git SHA recorded in artifacts: `git rev-parse HEAD` when the
+/// process runs inside a work tree, else "unknown".
+std::string current_git_sha();
+
+}  // namespace mlm::bench

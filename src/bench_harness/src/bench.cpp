@@ -1,0 +1,258 @@
+#include "mlm/bench/bench.h"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+#include "mlm/bench/report.h"
+#include "mlm/machine/tier_params.h"
+#include "mlm/support/error.h"
+#include "mlm/support/table.h"
+
+namespace mlm::bench {
+
+const char* to_string(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::Deterministic: return "deterministic";
+    case MetricKind::WallClock: return "wall";
+  }
+  return "?";
+}
+
+double Metric::value() const {
+  MLM_CHECK_MSG(!samples.empty(), "metric has no samples: " + name);
+  if (kind == MetricKind::Deterministic) return samples.front();
+  return summarize(samples).mean;
+}
+
+const Metric* CaseResult::find_metric(const std::string& metric_name) const {
+  for (const Metric& m : metrics) {
+    if (m.name == metric_name) return &m;
+  }
+  return nullptr;
+}
+
+const std::string* CaseResult::find_param(const std::string& key) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const CaseResult* RunReport::find(const std::string& case_name) const {
+  for (const CaseResult& c : cases) {
+    if (c.name == case_name) return &c;
+  }
+  return nullptr;
+}
+
+double RunReport::value(const std::string& case_name,
+                        const std::string& metric) const {
+  const CaseResult* c = find(case_name);
+  MLM_CHECK_MSG(c != nullptr, "no such bench case: " + case_name);
+  const Metric* m = c->find_metric(metric);
+  MLM_CHECK_MSG(m != nullptr,
+                "case " + case_name + " has no metric " + metric);
+  return m->value();
+}
+
+void BenchContext::param(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : result_.params) {
+    MLM_CHECK_MSG(k != key, "duplicate bench param: " + key);
+  }
+  result_.params.emplace_back(key, value);
+}
+
+void BenchContext::param(const std::string& key, const char* value) {
+  param(key, std::string(value));
+}
+
+void BenchContext::param(const std::string& key, std::uint64_t value) {
+  param(key, std::to_string(value));
+}
+
+void BenchContext::param(const std::string& key, double value) {
+  std::ostringstream os;
+  os << value;
+  param(key, os.str());
+}
+
+void BenchContext::metric(const std::string& name, double value,
+                          const std::string& unit) {
+  add_metric(name, MetricKind::Deterministic, {value}, unit);
+}
+
+void BenchContext::wall_metric(const std::string& name,
+                               std::vector<double> samples,
+                               const std::string& unit) {
+  MLM_REQUIRE(!samples.empty(), "wall metric needs at least one sample");
+  add_metric(name, MetricKind::WallClock, std::move(samples), unit);
+}
+
+void BenchContext::add_metric(const std::string& name, MetricKind kind,
+                              std::vector<double> samples,
+                              const std::string& unit) {
+  MLM_CHECK_MSG(result_.find_metric(name) == nullptr,
+                "duplicate metric in case " + result_.name + ": " + name);
+  Metric m;
+  m.name = name;
+  m.unit = unit;
+  m.kind = kind;
+  m.samples = std::move(samples);
+  result_.metrics.push_back(std::move(m));
+}
+
+void Suite::add_case(const std::string& case_name, BenchFn fn) {
+  harness_.add_case(name_, case_name, std::move(fn));
+}
+
+void Suite::set_view(ViewFn view) { harness_.set_view(name_, std::move(view)); }
+
+CliParser& Suite::cli() { return harness_.cli(); }
+
+Harness::Harness(std::string tool, std::string description)
+    : tool_(std::move(tool)), cli_(std::move(description)) {
+  cli_.add_uint("repetitions", &opts_.repetitions,
+                "timed samples per wall-clock metric");
+  cli_.add_uint("warmup", &opts_.warmup,
+                "discarded warmup runs per wall-clock metric");
+  cli_.add_uint("seed", &opts_.seed, "workload generator seed");
+  cli_.add_flag("smoke", &opts_.smoke,
+                "CI liveness scale: small sizes, one repetition");
+  cli_.add_string("json", &opts_.json_path,
+                  "write the JSON perf artifact here (empty = none)");
+  cli_.add_string("csv", &opts_.csv_path,
+                  "write the flat CSV view here (empty = none)");
+  cli_.add_string("filter", &opts_.filter,
+                  "only run cases whose name contains this substring");
+  cli_.add_flag("list", &opts_.list, "list case names and exit");
+  cli_.add_flag("quiet", &opts_.quiet, "suppress the table views");
+}
+
+void Harness::set_machine(std::string name, std::vector<TierConfig> tiers) {
+  report_.machine_name = std::move(name);
+  report_.machine_tiers = std::move(tiers);
+}
+
+Suite Harness::suite(const std::string& name,
+                     const std::string& description) {
+  for (const SuiteInfo& s : suites_) {
+    MLM_CHECK_MSG(s.name != name, "suite registered twice: " + name);
+  }
+  suites_.push_back(SuiteInfo{name, description, {}});
+  return Suite(*this, name);
+}
+
+void Harness::add_case(const std::string& suite,
+                       const std::string& case_name, BenchFn fn) {
+  MLM_REQUIRE(static_cast<bool>(fn), "bench case needs a body");
+  const std::string full = suite + "/" + case_name;
+  for (const Registered& r : cases_) {
+    MLM_CHECK_MSG(r.name != full, "bench case registered twice: " + full);
+  }
+  cases_.push_back(Registered{full, suite, std::move(fn)});
+}
+
+void Harness::set_view(const std::string& suite, ViewFn view) {
+  for (SuiteInfo& s : suites_) {
+    if (s.name == suite) {
+      s.view = std::move(view);
+      return;
+    }
+  }
+  throw Error("set_view for unregistered suite: " + suite);
+}
+
+int Harness::run(int argc, const char* const* argv) {
+  const HarnessOptions defaults;
+  try {
+    if (!cli_.parse(argc, argv)) return 0;  // --help
+  } catch (const Error& e) {
+    std::cerr << tool_ << ": " << e.what() << "\n";
+    return 2;
+  }
+  // --smoke implies the liveness protocol unless the caller overrode the
+  // repetition knobs explicitly.
+  if (opts_.smoke) {
+    if (opts_.repetitions == defaults.repetitions) opts_.repetitions = 1;
+    if (opts_.warmup == defaults.warmup) opts_.warmup = 0;
+  }
+  MLM_REQUIRE(opts_.repetitions > 0, "--repetitions must be positive");
+
+  if (opts_.list) {
+    for (const Registered& r : cases_) std::cout << r.name << "\n";
+    return 0;
+  }
+
+  if (report_.machine_tiers.empty()) {
+    const KnlConfig machine = knl7250();
+    set_machine(machine.name, describe_tiers(machine));
+  }
+  report_.tool = tool_;
+  report_.options = opts_;
+  report_.cases.clear();
+
+  std::size_t ran = 0;
+  for (const Registered& r : cases_) {
+    if (!opts_.filter.empty() &&
+        r.name.find(opts_.filter) == std::string::npos) {
+      continue;
+    }
+    CaseResult result;
+    result.name = r.name;
+    result.suite = r.suite;
+    BenchContext ctx(opts_, result);
+    try {
+      r.fn(ctx);
+    } catch (const std::exception& e) {
+      std::cerr << tool_ << ": case " << r.name << " failed: " << e.what()
+                << "\n";
+      return 1;
+    }
+    report_.cases.push_back(std::move(result));
+    ++ran;
+  }
+  if (ran == 0) {
+    std::cerr << tool_ << ": no cases matched filter '" << opts_.filter
+              << "'\n";
+    return 2;
+  }
+
+  if (!opts_.quiet) {
+    for (const SuiteInfo& s : suites_) {
+      if (!s.view) continue;
+      const bool suite_ran =
+          std::any_of(report_.cases.begin(), report_.cases.end(),
+                      [&](const CaseResult& c) { return c.suite == s.name; });
+      if (!suite_ran) continue;
+      try {
+        s.view(report_, std::cout);
+      } catch (const std::exception& e) {
+        // Views index the full case set; a --filter run may starve them.
+        std::cout << "(view for suite '" << s.name
+                  << "' skipped: " << e.what() << ")\n";
+      }
+    }
+  }
+
+  try {
+    if (!opts_.json_path.empty()) {
+      write_json_report(report_, opts_.json_path);
+      if (!opts_.quiet) {
+        std::cout << "JSON artifact written to " << opts_.json_path << "\n";
+      }
+    }
+    if (!opts_.csv_path.empty()) {
+      write_csv_report(report_, opts_.csv_path);
+      if (!opts_.quiet) {
+        std::cout << "CSV written to " << opts_.csv_path << "\n";
+      }
+    }
+  } catch (const Error& e) {
+    std::cerr << tool_ << ": " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace mlm::bench

@@ -1,0 +1,119 @@
+#include "mlm/bench/compare.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace mlm::bench {
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(6);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<Finding> CompareResult::failures() const {
+  std::vector<Finding> out;
+  for (const Finding& f : findings) {
+    switch (f.kind) {
+      case FindingKind::DeterministicMismatch:
+      case FindingKind::WallRegression:
+      case FindingKind::MissingCase:
+      case FindingKind::MissingMetric:
+        out.push_back(f);
+        break;
+      case FindingKind::WallImprovement:
+      case FindingKind::NewCase:
+        break;
+    }
+  }
+  return out;
+}
+
+CompareResult compare_reports(const RunReport& current,
+                              const RunReport& baseline,
+                              const CompareOptions& options) {
+  CompareResult result;
+  auto add = [&](Finding f, bool fails) {
+    if (fails) result.ok = false;
+    result.findings.push_back(std::move(f));
+  };
+
+  for (const CaseResult& base_case : baseline.cases) {
+    const CaseResult* cur_case = current.find(base_case.name);
+    if (cur_case == nullptr) {
+      if (!options.allow_missing) {
+        add({FindingKind::MissingCase, base_case.name, "", 0.0, 0.0,
+             "case missing from current run: " + base_case.name},
+            true);
+      }
+      continue;
+    }
+    ++result.cases_checked;
+
+    for (const Metric& base_metric : base_case.metrics) {
+      if (base_metric.kind == MetricKind::WallClock && options.ignore_wall) {
+        continue;
+      }
+      const Metric* cur_metric = cur_case->find_metric(base_metric.name);
+      if (cur_metric == nullptr) {
+        add({FindingKind::MissingMetric, base_case.name, base_metric.name,
+             base_metric.value(), 0.0,
+             base_case.name + ": metric missing from current run: " +
+                 base_metric.name},
+            true);
+        continue;
+      }
+      ++result.metrics_checked;
+      const double base_v = base_metric.value();
+      const double cur_v = cur_metric->value();
+
+      if (base_metric.kind == MetricKind::Deterministic) {
+        if (cur_v != base_v) {
+          add({FindingKind::DeterministicMismatch, base_case.name,
+               base_metric.name, base_v, cur_v,
+               base_case.name + "/" + base_metric.name +
+                   ": deterministic mismatch: baseline " + fmt(base_v) +
+                   " vs current " + fmt(cur_v)},
+              true);
+        }
+        continue;
+      }
+
+      // Wall-clock: lower is better for every unit the harness records
+      // as wall time (seconds).  Relative to the baseline mean.
+      if (base_v <= 0.0) continue;  // degenerate baseline; nothing to gate
+      const double rel = (cur_v - base_v) / base_v;
+      if (rel > options.wall_threshold) {
+        add({FindingKind::WallRegression, base_case.name, base_metric.name,
+             base_v, cur_v,
+             base_case.name + "/" + base_metric.name + ": slower by " +
+                 fmt(rel * 100.0) + "% (baseline " + fmt(base_v) +
+                 ", current " + fmt(cur_v) + ", threshold " +
+                 fmt(options.wall_threshold * 100.0) + "%)"},
+            true);
+      } else if (rel < -options.wall_threshold) {
+        add({FindingKind::WallImprovement, base_case.name,
+             base_metric.name, base_v, cur_v,
+             base_case.name + "/" + base_metric.name + ": faster by " +
+                 fmt(-rel * 100.0) + "%"},
+            false);
+      }
+    }
+  }
+
+  for (const CaseResult& cur_case : current.cases) {
+    if (baseline.find(cur_case.name) == nullptr) {
+      add({FindingKind::NewCase, cur_case.name, "", 0.0, 0.0,
+           "new case not in baseline: " + cur_case.name},
+          false);
+    }
+  }
+  return result;
+}
+
+}  // namespace mlm::bench

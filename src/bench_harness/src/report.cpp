@@ -1,0 +1,203 @@
+#include "mlm/bench/report.h"
+
+#include <cstdio>
+
+#include "mlm/support/csv.h"
+#include "mlm/support/error.h"
+
+namespace mlm::bench {
+
+namespace {
+
+JsonValue tiers_to_json(const std::vector<TierConfig>& tiers) {
+  JsonValue arr = JsonValue::array();
+  for (const TierConfig& t : tiers) {
+    JsonValue tier = JsonValue::object();
+    tier.set("name", t.name);
+    tier.set("kind", std::string(to_string(t.kind)));
+    tier.set("capacity_bytes", static_cast<double>(t.capacity_bytes));
+    tier.set("read_bw", t.read_bw);
+    tier.set("write_bw", t.write_bw);
+    tier.set("s_copy", t.s_copy);
+    arr.push_back(std::move(tier));
+  }
+  return arr;
+}
+
+std::vector<TierConfig> tiers_from_json(const JsonValue& arr) {
+  std::vector<TierConfig> tiers;
+  for (const JsonValue& tj : arr.items()) {
+    TierConfig t;
+    t.name = tj.get("name").as_string();
+    t.kind = mem_kind_from_string(tj.get("kind").as_string());
+    t.capacity_bytes =
+        static_cast<std::uint64_t>(tj.get("capacity_bytes").as_number());
+    t.read_bw = tj.get("read_bw").as_number();
+    t.write_bw = tj.get("write_bw").as_number();
+    t.s_copy = tj.get("s_copy").as_number();
+    tiers.push_back(std::move(t));
+  }
+  return tiers;
+}
+
+JsonValue metric_to_json(const Metric& m) {
+  JsonValue mj = JsonValue::object();
+  mj.set("name", m.name);
+  mj.set("unit", m.unit);
+  mj.set("kind", std::string(to_string(m.kind)));
+  if (m.kind == MetricKind::Deterministic) {
+    mj.set("value", m.samples.front());
+  } else {
+    JsonValue samples = JsonValue::array();
+    for (double s : m.samples) samples.push_back(s);
+    mj.set("samples", std::move(samples));
+    const SampleSummary s = m.summary();
+    mj.set("mean", s.mean);
+    mj.set("stddev", s.stddev);
+    mj.set("min", s.min);
+    mj.set("median", s.median);
+    mj.set("max", s.max);
+  }
+  return mj;
+}
+
+Metric metric_from_json(const JsonValue& mj) {
+  Metric m;
+  m.name = mj.get("name").as_string();
+  m.unit = mj.get("unit").as_string();
+  const std::string& kind = mj.get("kind").as_string();
+  if (kind == "deterministic") {
+    m.kind = MetricKind::Deterministic;
+    m.samples = {mj.get("value").as_number()};
+  } else if (kind == "wall") {
+    m.kind = MetricKind::WallClock;
+    for (const JsonValue& s : mj.get("samples").items()) {
+      m.samples.push_back(s.as_number());
+    }
+    MLM_CHECK_MSG(!m.samples.empty(),
+                  "wall metric without samples: " + m.name);
+  } else {
+    throw Error("unknown metric kind in artifact: " + kind);
+  }
+  return m;
+}
+
+}  // namespace
+
+JsonValue report_to_json(const RunReport& report) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema_version", kSchemaVersion);
+  doc.set("tool", report.tool);
+  doc.set("git_sha", current_git_sha());
+
+  JsonValue opts = JsonValue::object();
+  opts.set("smoke", report.options.smoke);
+  opts.set("repetitions", report.options.repetitions);
+  opts.set("warmup", report.options.warmup);
+  opts.set("seed", report.options.seed);
+  doc.set("options", std::move(opts));
+
+  JsonValue machine = JsonValue::object();
+  machine.set("name", report.machine_name);
+  machine.set("tiers", tiers_to_json(report.machine_tiers));
+  doc.set("machine", std::move(machine));
+
+  JsonValue cases = JsonValue::array();
+  for (const CaseResult& c : report.cases) {
+    JsonValue cj = JsonValue::object();
+    cj.set("name", c.name);
+    cj.set("suite", c.suite);
+    JsonValue params = JsonValue::object();
+    for (const auto& [k, v] : c.params) params.set(k, v);
+    cj.set("params", std::move(params));
+    JsonValue metrics = JsonValue::array();
+    for (const Metric& m : c.metrics) metrics.push_back(metric_to_json(m));
+    cj.set("metrics", std::move(metrics));
+    cases.push_back(std::move(cj));
+  }
+  doc.set("cases", std::move(cases));
+  return doc;
+}
+
+RunReport report_from_json(const JsonValue& doc) {
+  const int version = static_cast<int>(doc.get("schema_version").as_number());
+  MLM_CHECK_MSG(version == kSchemaVersion,
+                "unsupported bench artifact schema_version: " +
+                    std::to_string(version));
+  RunReport report;
+  report.tool = doc.get("tool").as_string();
+
+  const JsonValue& opts = doc.get("options");
+  report.options.smoke = opts.get("smoke").as_bool();
+  report.options.repetitions =
+      static_cast<std::uint64_t>(opts.get("repetitions").as_number());
+  report.options.warmup =
+      static_cast<std::uint64_t>(opts.get("warmup").as_number());
+  report.options.seed =
+      static_cast<std::uint64_t>(opts.get("seed").as_number());
+
+  const JsonValue& machine = doc.get("machine");
+  report.machine_name = machine.get("name").as_string();
+  report.machine_tiers = tiers_from_json(machine.get("tiers"));
+
+  for (const JsonValue& cj : doc.get("cases").items()) {
+    CaseResult c;
+    c.name = cj.get("name").as_string();
+    c.suite = cj.get("suite").as_string();
+    for (const auto& [k, v] : cj.get("params").members()) {
+      c.params.emplace_back(k, v.as_string());
+    }
+    for (const JsonValue& mj : cj.get("metrics").items()) {
+      c.metrics.push_back(metric_from_json(mj));
+    }
+    report.cases.push_back(std::move(c));
+  }
+  return report;
+}
+
+void write_json_report(const RunReport& report, const std::string& path) {
+  json_write_file(path, report_to_json(report));
+}
+
+void write_csv_report(const RunReport& report, const std::string& path) {
+  CsvWriter csv(path, {"tool", "suite", "case", "metric", "kind", "unit",
+                       "count", "mean", "stddev", "min", "median", "max",
+                       "params"});
+  for (const CaseResult& c : report.cases) {
+    std::string params;
+    for (const auto& [k, v] : c.params) {
+      if (!params.empty()) params += ';';
+      params += k + "=" + v;
+    }
+    for (const Metric& m : c.metrics) {
+      const SampleSummary s = m.summary();
+      csv.write_row({report.tool, c.suite, c.name, m.name,
+                     to_string(m.kind), m.unit,
+                     std::to_string(s.count),
+                     JsonValue::number_repr(s.mean),
+                     JsonValue::number_repr(s.stddev),
+                     JsonValue::number_repr(s.min),
+                     JsonValue::number_repr(s.median),
+                     JsonValue::number_repr(s.max), params});
+    }
+  }
+  csv.close();
+}
+
+std::string current_git_sha() {
+  // popen keeps this dependency-free; bench binaries run from inside the
+  // work tree (build/bench), so plain `git` resolves the right repo.
+  FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  char buf[64] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, pipe);
+  const int status = ::pclose(pipe);
+  if (status != 0 || n < 7) return "unknown";
+  std::string sha(buf, n);
+  while (!sha.empty() && (sha.back() == '\n' || sha.back() == '\r')) {
+    sha.pop_back();
+  }
+  return sha.empty() ? "unknown" : sha;
+}
+
+}  // namespace mlm::bench

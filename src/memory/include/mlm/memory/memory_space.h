@@ -29,6 +29,11 @@ enum class MemKind : std::uint8_t {
 
 const char* to_string(MemKind kind);
 
+/// Inverse of to_string(MemKind); throws InvalidArgumentError on an
+/// unknown name.  Used when machine descriptions are read back from
+/// bench artifacts.
+MemKind mem_kind_from_string(const std::string& name);
+
 /// Point-in-time usage statistics for a MemorySpace.
 struct SpaceStats {
   std::uint64_t capacity_bytes = 0;

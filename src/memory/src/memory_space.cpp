@@ -16,6 +16,13 @@ const char* to_string(MemKind kind) {
   return "?";
 }
 
+MemKind mem_kind_from_string(const std::string& name) {
+  if (name == "DDR") return MemKind::DDR;
+  if (name == "MCDRAM") return MemKind::MCDRAM;
+  if (name == "NVM") return MemKind::NVM;
+  throw InvalidArgumentError("unknown MemKind name: " + name);
+}
+
 namespace {
 constexpr std::size_t kAlignment = 64;  // one KNL cache line
 

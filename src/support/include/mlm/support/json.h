@@ -1,0 +1,110 @@
+// Minimal JSON document model for benchmark artifacts.
+//
+// The bench harness (mlm/bench) emits machine-readable perf artifacts
+// with a stable schema, and tools/bench_compare reads two of them back
+// to gate regressions in CI.  Both directions live here: JsonValue is a
+// small ordered document tree with a writer (stable member order, full
+// string escaping, round-trippable number formatting) and a strict
+// parser.  It is deliberately not a general-purpose JSON library — no
+// comments, no NaN/Infinity extensions, UTF-8 passed through verbatim.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+
+/// Thrown by json_parse on malformed input (with offset context).
+class JsonParseError : public Error {
+ public:
+  explicit JsonParseError(const std::string& what) : Error(what) {}
+};
+
+/// One JSON value: null, bool, number, string, array, or object.
+/// Objects preserve insertion order so emitted artifacts are stable and
+/// diffable run-to-run.
+class JsonValue {
+ public:
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  JsonValue() : kind_(Kind::Null) {}
+  JsonValue(std::nullptr_t) : kind_(Kind::Null) {}
+  JsonValue(bool b) : kind_(Kind::Bool), bool_(b) {}
+  JsonValue(double d) : kind_(Kind::Number), num_(d) {}
+  JsonValue(int i) : kind_(Kind::Number), num_(i) {}
+  JsonValue(std::int64_t i)
+      : kind_(Kind::Number), num_(static_cast<double>(i)) {}
+  JsonValue(std::uint64_t u)
+      : kind_(Kind::Number), num_(static_cast<double>(u)) {}
+  JsonValue(const char* s) : kind_(Kind::String), str_(s) {}
+  JsonValue(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  // Typed accessors; throw mlm::Error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  // Array access.
+  void push_back(JsonValue v);
+  std::size_t size() const;
+  const JsonValue& at(std::size_t i) const;
+  const std::vector<JsonValue>& items() const;
+
+  // Object access.  set() appends or overwrites in place (keeping the
+  // original position); get() throws on a missing key, find() returns
+  // nullptr instead.
+  void set(const std::string& key, JsonValue v);
+  bool contains(const std::string& key) const;
+  const JsonValue& get(const std::string& key) const;
+  const JsonValue* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Serialize.  indent > 0 pretty-prints with that many spaces per
+  /// level; indent == 0 emits the compact single-line form.
+  std::string dump(int indent = 2) const;
+
+  /// Escape + quote one string as a JSON string literal.
+  static std::string quote(const std::string& s);
+
+  /// Render one double the way dump() does: integers without a decimal
+  /// point, everything else with enough digits to round-trip.
+  static std::string number_repr(double v);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<JsonValue> arr_;
+  std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+JsonValue json_parse(const std::string& text);
+
+/// Read and parse a JSON file; throws mlm::Error on I/O failure.
+JsonValue json_parse_file(const std::string& path);
+
+/// Write `value.dump(indent)` to `path`; throws mlm::Error on failure.
+void json_write_file(const std::string& path, const JsonValue& value,
+                     int indent = 2);
+
+}  // namespace mlm

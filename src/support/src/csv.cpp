@@ -25,12 +25,21 @@ void CsvWriter::write_row(const std::vector<std::string>& cells) {
 }
 
 void CsvWriter::close() {
-  if (out_.is_open()) out_.close();
+  if (!out_.is_open()) return;
+  out_.flush();
+  const bool ok = out_.good();
+  out_.close();
+  MLM_CHECK_MSG(ok, "CSV write failed (disk full or file truncated?)");
 }
 
 std::string CsvWriter::escape(const std::string& cell) {
+  // Quote on separators/quotes/newlines (RFC 4180) and also on
+  // leading/trailing whitespace, which spreadsheet importers strip
+  // from unquoted fields — bench param strings must round-trip exactly.
   const bool needs_quote =
-      cell.find_first_of(",\"\n\r") != std::string::npos;
+      cell.find_first_of(",\"\n\r") != std::string::npos ||
+      (!cell.empty() && (cell.front() == ' ' || cell.back() == ' ' ||
+                         cell.front() == '\t' || cell.back() == '\t'));
   if (!needs_quote) return cell;
   std::string out = "\"";
   for (char c : cell) {

@@ -1,0 +1,136 @@
+#include "mlm/bench/compare.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mlm::bench {
+namespace {
+
+CaseResult make_case(const std::string& suite, const std::string& name,
+                     std::vector<Metric> metrics) {
+  CaseResult c;
+  c.suite = suite;
+  c.name = suite + "/" + name;
+  c.metrics = std::move(metrics);
+  return c;
+}
+
+Metric det(const std::string& name, double value) {
+  return Metric{name, "s", MetricKind::Deterministic, {value}};
+}
+
+Metric wall(const std::string& name, std::vector<double> samples) {
+  return Metric{name, "s", MetricKind::WallClock, std::move(samples)};
+}
+
+RunReport baseline_report() {
+  RunReport r;
+  r.tool = "bench_all";
+  r.cases.push_back(
+      make_case("s", "det_case", {det("sim_seconds", 7.25)}));
+  r.cases.push_back(
+      make_case("s", "wall_case", {wall("seconds", {1.0, 1.0, 1.0})}));
+  return r;
+}
+
+TEST(BenchCompare, IdenticalReportsPass) {
+  const RunReport base = baseline_report();
+  const CompareResult result = compare_reports(base, base, {});
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.cases_checked, 2u);
+  EXPECT_EQ(result.metrics_checked, 2u);
+  EXPECT_TRUE(result.failures().empty());
+}
+
+TEST(BenchCompare, DeterministicMetricsAreComparedExactly) {
+  const RunReport base = baseline_report();
+  RunReport current = base;
+  // A deviation far below any wall threshold still fails: simulator
+  // outputs are machine-independent and must match bit-for-bit.
+  current.cases[0].metrics[0].samples[0] = 7.25 * (1.0 + 1e-12);
+  const CompareResult result = compare_reports(current, base, {});
+  EXPECT_FALSE(result.ok);
+  ASSERT_EQ(result.failures().size(), 1u);
+  EXPECT_EQ(result.failures()[0].kind,
+            FindingKind::DeterministicMismatch);
+  EXPECT_EQ(result.failures()[0].case_name, "s/det_case");
+}
+
+TEST(BenchCompare, WallClockUsesRelativeThreshold) {
+  const RunReport base = baseline_report();
+
+  RunReport slower = base;
+  slower.cases[1].metrics[0].samples = {1.05, 1.05, 1.05};  // +5%
+  EXPECT_TRUE(compare_reports(slower, base, {}).ok);  // default 10%
+
+  slower.cases[1].metrics[0].samples = {1.2, 1.2, 1.2};  // +20%
+  const CompareResult result = compare_reports(slower, base, {});
+  EXPECT_FALSE(result.ok);
+  ASSERT_EQ(result.failures().size(), 1u);
+  EXPECT_EQ(result.failures()[0].kind, FindingKind::WallRegression);
+
+  CompareOptions loose;
+  loose.wall_threshold = 0.25;
+  EXPECT_TRUE(compare_reports(slower, base, loose).ok);
+}
+
+TEST(BenchCompare, WallImprovementIsInformationalOnly) {
+  const RunReport base = baseline_report();
+  RunReport faster = base;
+  faster.cases[1].metrics[0].samples = {0.5, 0.5, 0.5};
+  const CompareResult result = compare_reports(faster, base, {});
+  EXPECT_TRUE(result.ok);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].kind, FindingKind::WallImprovement);
+}
+
+TEST(BenchCompare, IgnoreWallSkipsWallMetrics) {
+  const RunReport base = baseline_report();
+  RunReport current = base;
+  current.cases[1].metrics[0].samples = {99.0};  // massive "regression"
+  CompareOptions options;
+  options.ignore_wall = true;
+  const CompareResult result = compare_reports(current, base, options);
+  EXPECT_TRUE(result.ok);
+  EXPECT_EQ(result.metrics_checked, 1u);  // only the deterministic one
+}
+
+TEST(BenchCompare, MissingCaseFailsUnlessAllowed) {
+  const RunReport base = baseline_report();
+  RunReport current = base;
+  current.cases.erase(current.cases.begin());
+  const CompareResult strict = compare_reports(current, base, {});
+  EXPECT_FALSE(strict.ok);
+  ASSERT_EQ(strict.failures().size(), 1u);
+  EXPECT_EQ(strict.failures()[0].kind, FindingKind::MissingCase);
+
+  CompareOptions options;
+  options.allow_missing = true;
+  EXPECT_TRUE(compare_reports(current, base, options).ok);
+}
+
+TEST(BenchCompare, MissingMetricFails) {
+  const RunReport base = baseline_report();
+  RunReport current = base;
+  current.cases[0].metrics.clear();
+  current.cases[0].metrics.push_back(det("renamed", 7.25));
+  const CompareResult result = compare_reports(current, base, {});
+  EXPECT_FALSE(result.ok);
+  ASSERT_EQ(result.failures().size(), 1u);
+  EXPECT_EQ(result.failures()[0].kind, FindingKind::MissingMetric);
+}
+
+TEST(BenchCompare, NewCasesAreInformationalOnly) {
+  const RunReport base = baseline_report();
+  RunReport current = base;
+  current.cases.push_back(make_case("s", "brand_new", {det("x", 1.0)}));
+  const CompareResult result = compare_reports(current, base, {});
+  EXPECT_TRUE(result.ok);
+  ASSERT_EQ(result.findings.size(), 1u);
+  EXPECT_EQ(result.findings[0].kind, FindingKind::NewCase);
+}
+
+}  // namespace
+}  // namespace mlm::bench

@@ -1,0 +1,177 @@
+#include "mlm/bench/bench.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mlm/bench/report.h"
+#include "mlm/support/error.h"
+
+namespace mlm::bench {
+namespace {
+
+int run(Harness& h, std::vector<const char*> args) {
+  args.insert(args.begin(), "test_bench");
+  return h.run(static_cast<int>(args.size()), args.data());
+}
+
+TEST(BenchHarness, RunsRegisteredCasesAndRecordsMetrics) {
+  Harness h("test_tool", "test");
+  Suite suite = h.suite("demo", "demo suite");
+  suite.add_case("alpha", [](BenchContext& ctx) {
+    ctx.param("size", std::uint64_t{64});
+    ctx.metric("answer", 42.0, "units");
+  });
+  suite.add_case("beta", [](BenchContext& ctx) {
+    ctx.wall_metric("elapsed", {0.25, 0.75});
+  });
+
+  ASSERT_EQ(run(h, {"--quiet"}), 0);
+  const RunReport& report = h.report();
+  EXPECT_EQ(report.tool, "test_tool");
+  ASSERT_EQ(report.cases.size(), 2u);
+  EXPECT_EQ(report.cases[0].name, "demo/alpha");
+  EXPECT_EQ(report.cases[0].suite, "demo");
+  EXPECT_EQ(*report.cases[0].find_param("size"), "64");
+  EXPECT_EQ(report.value("demo/alpha", "answer"), 42.0);
+  // Wall-clock compare value is the mean over samples.
+  EXPECT_EQ(report.value("demo/beta", "elapsed"), 0.5);
+  // Default machine description: the paper's KNL 7250 tier list.
+  EXPECT_EQ(report.machine_name, "knl-7250");
+  EXPECT_FALSE(report.machine_tiers.empty());
+}
+
+TEST(BenchHarness, SmokeClampsRepetitionProtocol) {
+  Harness h("t", "d");
+  Suite suite = h.suite("s", "");
+  std::size_t calls = 0;
+  suite.add_case("c", [&](BenchContext& ctx) {
+    EXPECT_TRUE(ctx.smoke());
+    EXPECT_EQ(ctx.scaled(100, 7), 7u);
+    ctx.measure("m", [&] { ++calls; });
+  });
+  ASSERT_EQ(run(h, {"--smoke", "--quiet"}), 0);
+  // --smoke => 1 repetition, 0 warmup unless overridden.
+  EXPECT_EQ(calls, 1u);
+  EXPECT_EQ(h.report().find("s/c")->find_metric("m")->samples.size(), 1u);
+}
+
+TEST(BenchHarness, MeasureDiscardsWarmupRuns) {
+  Harness h("t", "d");
+  Suite suite = h.suite("s", "");
+  std::size_t calls = 0;
+  suite.add_case("c", [&](BenchContext& ctx) {
+    ctx.measure("m", [&] { ++calls; });
+  });
+  ASSERT_EQ(run(h, {"--quiet", "--repetitions=4", "--warmup=2"}), 0);
+  EXPECT_EQ(calls, 6u);  // 2 warmup (discarded) + 4 timed
+  EXPECT_EQ(h.report().find("s/c")->find_metric("m")->samples.size(), 4u);
+}
+
+TEST(BenchHarness, FilterSelectsSubsetAndUnmatchedFilterFails) {
+  Harness h("t", "d");
+  Suite suite = h.suite("s", "");
+  suite.add_case("keep_me", [](BenchContext& ctx) { ctx.metric("x", 1); });
+  suite.add_case("drop_me", [](BenchContext& ctx) { ctx.metric("x", 2); });
+  ASSERT_EQ(run(h, {"--quiet", "--filter=keep"}), 0);
+  EXPECT_EQ(h.report().cases.size(), 1u);
+  EXPECT_EQ(h.report().cases[0].name, "s/keep_me");
+
+  Harness h2("t", "d");
+  Suite s2 = h2.suite("s", "");
+  s2.add_case("only", [](BenchContext& ctx) { ctx.metric("x", 1); });
+  EXPECT_EQ(run(h2, {"--quiet", "--filter=no-such-case"}), 2);
+}
+
+TEST(BenchHarness, ThrowingCaseFailsTheRun) {
+  Harness h("t", "d");
+  Suite suite = h.suite("s", "");
+  suite.add_case("bad", [](BenchContext&) {
+    throw Error("deliberate failure");
+  });
+  EXPECT_EQ(run(h, {"--quiet"}), 1);
+}
+
+TEST(BenchHarness, RejectsDuplicateCasesMetricsAndParams) {
+  Harness h("t", "d");
+  Suite suite = h.suite("s", "");
+  suite.add_case("c", [](BenchContext& ctx) {
+    ctx.param("p", "v");
+    EXPECT_THROW(ctx.param("p", "again"), Error);
+    ctx.metric("m", 1);
+    EXPECT_THROW(ctx.metric("m", 2), Error);
+  });
+  EXPECT_THROW(suite.add_case("c", [](BenchContext&) {}), Error);
+  EXPECT_THROW(h.suite("s", "again"), Error);
+  ASSERT_EQ(run(h, {"--quiet"}), 0);
+}
+
+TEST(BenchReport, JsonArtifactRoundTrips) {
+  Harness h("roundtrip_tool", "d");
+  Suite suite = h.suite("s", "");
+  suite.add_case("det", [](BenchContext& ctx) {
+    ctx.param("elements", std::uint64_t{1000});
+    ctx.metric("sim_seconds", 7.497391234, "s");
+  });
+  suite.add_case("wall", [](BenchContext& ctx) {
+    ctx.wall_metric("seconds", {0.125, 0.5, 0.25});
+  });
+  const std::string path =
+      ::testing::TempDir() + "/mlm_bench_roundtrip.json";
+  ASSERT_EQ(run(h, {"--quiet", "--seed=7"}), 0);
+  write_json_report(h.report(), path);
+
+  const JsonValue doc = json_parse_file(path);
+  EXPECT_EQ(doc.get("schema_version").as_number(), kSchemaVersion);
+  EXPECT_EQ(doc.get("tool").as_string(), "roundtrip_tool");
+  EXPECT_TRUE(doc.contains("git_sha"));
+  EXPECT_EQ(doc.get("options").get("seed").as_number(), 7.0);
+
+  const RunReport back = report_from_json(doc);
+  EXPECT_EQ(back.tool, "roundtrip_tool");
+  EXPECT_EQ(back.machine_name, h.report().machine_name);
+  ASSERT_EQ(back.machine_tiers.size(), h.report().machine_tiers.size());
+  EXPECT_EQ(back.machine_tiers[0].capacity_bytes,
+            h.report().machine_tiers[0].capacity_bytes);
+  ASSERT_EQ(back.cases.size(), 2u);
+  // Deterministic values survive the round-trip bit-for-bit.
+  EXPECT_EQ(back.value("s/det", "sim_seconds"), 7.497391234);
+  EXPECT_EQ(*back.find("s/det")->find_param("elements"), "1000");
+  const Metric* wall = back.find("s/wall")->find_metric("seconds");
+  ASSERT_NE(wall, nullptr);
+  EXPECT_EQ(wall->kind, MetricKind::WallClock);
+  ASSERT_EQ(wall->samples.size(), 3u);
+  EXPECT_EQ(wall->samples[1], 0.5);
+  std::remove(path.c_str());
+}
+
+TEST(BenchReport, RejectsUnknownSchemaVersion) {
+  JsonValue doc = JsonValue::object();
+  doc.set("schema_version", 999);
+  EXPECT_THROW(report_from_json(doc), Error);
+}
+
+TEST(BenchReport, CsvViewHasOneRowPerMetric) {
+  Harness h("t", "d");
+  Suite suite = h.suite("s", "");
+  suite.add_case("c", [](BenchContext& ctx) {
+    ctx.param("k", "v,with comma");
+    ctx.metric("m1", 1.5, "s");
+    ctx.metric("m2", 2.5, "B");
+  });
+  ASSERT_EQ(run(h, {"--quiet"}), 0);
+  const std::string path = ::testing::TempDir() + "/mlm_bench_view.csv";
+  write_csv_report(h.report(), path);
+  std::ifstream in(path);
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 3u);  // header + one row per metric
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mlm::bench

@@ -57,5 +57,35 @@ TEST(CsvWriter, UnwritablePathFails) {
   EXPECT_THROW(CsvWriter("/nonexistent-dir/x.csv", {"a"}), Error);
 }
 
+TEST_F(CsvWriterTest, QuotesNewlinesAndCarriageReturns) {
+  {
+    CsvWriter w(path_, {"a", "b"});
+    w.write_row({"line\nbreak", "cr\rhere"});
+  }
+  EXPECT_EQ(read_file(path_), "a,b\n\"line\nbreak\",\"cr\rhere\"\n");
+}
+
+TEST_F(CsvWriterTest, QuotesLeadingAndTrailingWhitespace) {
+  // RFC-4180 consumers may strip unquoted outer whitespace; quoting
+  // preserves it (params packed as " k=v" must survive round-trips).
+  {
+    CsvWriter w(path_, {"a", "b", "c", "d"});
+    w.write_row({" leading", "trailing ", "\ttabbed", "inner space"});
+  }
+  EXPECT_EQ(read_file(path_),
+            "a,b,c,d\n\" leading\",\"trailing \",\"\ttabbed\","
+            "inner space\n");
+}
+
+TEST_F(CsvWriterTest, CloseReportsWriteFailure) {
+  // /dev/full accepts opens and buffered writes but fails on flush;
+  // close() must surface that instead of silently truncating.
+  std::ifstream probe("/dev/full");
+  if (!probe.good()) GTEST_SKIP() << "/dev/full not available";
+  CsvWriter w("/dev/full", {"col"});
+  w.write_row({"x"});
+  EXPECT_THROW(w.close(), Error);
+}
+
 }  // namespace
 }  // namespace mlm

@@ -1,0 +1,135 @@
+#include "mlm/support/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <string>
+
+#include "mlm/support/error.h"
+
+namespace mlm {
+namespace {
+
+TEST(JsonValue, KindsAndAccessors) {
+  EXPECT_TRUE(JsonValue().is_null());
+  EXPECT_TRUE(JsonValue(nullptr).is_null());
+  EXPECT_TRUE(JsonValue(true).as_bool());
+  EXPECT_EQ(JsonValue(3.5).as_number(), 3.5);
+  EXPECT_EQ(JsonValue("hi").as_string(), "hi");
+  EXPECT_THROW(JsonValue(3.5).as_string(), Error);
+  EXPECT_THROW(JsonValue("hi").as_number(), Error);
+}
+
+TEST(JsonValue, ObjectPreservesInsertionOrder) {
+  JsonValue obj = JsonValue::object();
+  obj.set("zebra", 1);
+  obj.set("alpha", 2);
+  obj.set("mid", 3);
+  EXPECT_EQ(obj.members()[0].first, "zebra");
+  EXPECT_EQ(obj.members()[1].first, "alpha");
+  EXPECT_EQ(obj.members()[2].first, "mid");
+  // Overwrite keeps the original position.
+  obj.set("zebra", 9);
+  EXPECT_EQ(obj.members()[0].first, "zebra");
+  EXPECT_EQ(obj.get("zebra").as_number(), 9.0);
+  EXPECT_EQ(obj.size(), 3u);
+  EXPECT_TRUE(obj.contains("mid"));
+  EXPECT_FALSE(obj.contains("nope"));
+  EXPECT_EQ(obj.find("nope"), nullptr);
+  EXPECT_THROW(obj.get("nope"), Error);
+}
+
+TEST(JsonValue, StringEscaping) {
+  EXPECT_EQ(JsonValue::quote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonValue::quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonValue::quote("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(JsonValue::quote("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(JsonValue::quote("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(JsonValue::quote(std::string("nul\0byte", 8)),
+            "\"nul\\u0000byte\"");
+  // UTF-8 passes through verbatim.
+  EXPECT_EQ(JsonValue::quote("caf\xc3\xa9"), "\"caf\xc3\xa9\"");
+}
+
+TEST(JsonValue, NumberReprIntegers) {
+  EXPECT_EQ(JsonValue::number_repr(0.0), "0");
+  EXPECT_EQ(JsonValue::number_repr(-3.0), "-3");
+  EXPECT_EQ(JsonValue::number_repr(400000000000.0), "400000000000");
+  // 2^53, the largest exactly-representable contiguous integer.
+  EXPECT_EQ(JsonValue::number_repr(9007199254740992.0),
+            "9007199254740992");
+}
+
+TEST(JsonValue, NumberReprRoundTrips) {
+  for (double v : {0.1, 1.0 / 3.0, 7.497391234, 1e-300, 6.02214076e23,
+                   -123.456789012345678}) {
+    const std::string repr = JsonValue::number_repr(v);
+    EXPECT_EQ(std::stod(repr), v) << repr;
+  }
+}
+
+TEST(JsonValue, NumberReprRejectsNonFinite) {
+  EXPECT_THROW(JsonValue::number_repr(std::nan("")), Error);
+  EXPECT_THROW(
+      JsonValue::number_repr(std::numeric_limits<double>::infinity()),
+      Error);
+}
+
+TEST(JsonValue, DumpCompactAndPretty) {
+  JsonValue obj = JsonValue::object();
+  obj.set("n", 1);
+  JsonValue arr = JsonValue::array();
+  arr.push_back("x");
+  arr.push_back(true);
+  obj.set("a", std::move(arr));
+  EXPECT_EQ(obj.dump(0), "{\"n\":1,\"a\":[\"x\",true]}");
+  EXPECT_EQ(obj.dump(2), "{\n  \"n\": 1,\n  \"a\": [\n    \"x\",\n"
+                         "    true\n  ]\n}");
+}
+
+TEST(JsonParse, RoundTripsDocuments) {
+  const std::string text =
+      R"({"name":"case","value":7.497391234,"flags":[true,false,null],)"
+      R"("nested":{"deep":[1,2,3]},"empty_arr":[],"empty_obj":{}})";
+  const JsonValue doc = json_parse(text);
+  EXPECT_EQ(doc.dump(0), text);
+  // Pretty-printed output parses back to the same document.
+  EXPECT_EQ(json_parse(doc.dump(2)).dump(0), text);
+}
+
+TEST(JsonParse, UnicodeEscapes) {
+  EXPECT_EQ(json_parse("\"A\\u00e9\"").as_string(), "A\xc3\xa9");
+  EXPECT_EQ(json_parse("\"\\u2603\"").as_string(), "\xe2\x98\x83");
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_THROW(json_parse(""), JsonParseError);
+  EXPECT_THROW(json_parse("{"), JsonParseError);
+  EXPECT_THROW(json_parse("[1,]"), JsonParseError);
+  EXPECT_THROW(json_parse("{\"a\":1,}"), JsonParseError);
+  EXPECT_THROW(json_parse("\"unterminated"), JsonParseError);
+  EXPECT_THROW(json_parse("nul"), JsonParseError);
+  EXPECT_THROW(json_parse("1.2.3"), JsonParseError);
+  EXPECT_THROW(json_parse("{} trailing"), JsonParseError);
+  EXPECT_THROW(json_parse("{\"dup\":1,\"dup\":2}"), JsonParseError);
+  EXPECT_THROW(json_parse("\"bad\\q\""), JsonParseError);
+}
+
+TEST(JsonFile, WriteAndParseFile) {
+  const std::string path = ::testing::TempDir() + "/mlm_json_test.json";
+  JsonValue obj = JsonValue::object();
+  obj.set("sha", "abc123");
+  obj.set("count", 42);
+  json_write_file(path, obj);
+  const JsonValue back = json_parse_file(path);
+  EXPECT_EQ(back.get("sha").as_string(), "abc123");
+  EXPECT_EQ(back.get("count").as_number(), 42.0);
+  std::remove(path.c_str());
+  EXPECT_THROW(json_parse_file(path), Error);
+  EXPECT_THROW(json_write_file("/nonexistent-dir/x.json", obj), Error);
+}
+
+}  // namespace
+}  // namespace mlm

@@ -110,5 +110,43 @@ TEST(Percentile, RejectsBadInput) {
   EXPECT_THROW(percentile({1.0}, 101.0), InvalidArgumentError);
 }
 
+TEST(Summarize, FullSummaryOfKnownSamples) {
+  // The exact shape the bench harness records for wall metrics.
+  const SampleSummary s = summarize({0.5, 0.25, 1.0, 0.25});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.5);
+  EXPECT_DOUBLE_EQ(s.min, 0.25);
+  EXPECT_DOUBLE_EQ(s.max, 1.0);
+  EXPECT_DOUBLE_EQ(s.median, 0.375);
+  // Sample stddev (n-1): variance = (0 + 2*0.0625 + 0.25)/3 = 0.125.
+  EXPECT_NEAR(s.stddev, std::sqrt(0.125), 1e-12);
+}
+
+TEST(Summarize, SingleSampleHasZeroSpread) {
+  const SampleSummary s = summarize({3.25});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.25);
+  EXPECT_DOUBLE_EQ(s.median, 3.25);
+  EXPECT_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, InputOrderDoesNotMatter) {
+  const SampleSummary a = summarize({5.0, 1.0, 3.0, 2.0, 4.0});
+  const SampleSummary b = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(a.median, b.median);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.median, 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenRanks) {
+  std::vector<double> v{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 90), 46.0);
+  // Unsorted input gives the same quantiles.
+  std::vector<double> shuffled{50, 10, 40, 20, 30};
+  EXPECT_DOUBLE_EQ(percentile(shuffled, 90), 46.0);
+}
+
 }  // namespace
 }  // namespace mlm

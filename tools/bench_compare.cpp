@@ -1,0 +1,73 @@
+// CI regression gate: diff two bench-harness JSON artifacts.
+//
+//   bench_compare CURRENT BASELINE [--threshold=0.10] [--ignore-wall]
+//                 [--allow-missing]
+//
+// Deterministic metrics (knlsim outputs, traffic counters) must match
+// exactly; wall-clock metrics may regress up to --threshold relative to
+// the baseline mean.  Exit codes: 0 = pass, 1 = regression found,
+// 2 = usage or unreadable input.
+#include <iostream>
+#include <string>
+
+#include "mlm/bench/compare.h"
+#include "mlm/bench/report.h"
+#include "mlm/support/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace mlm;
+  using namespace mlm::bench;
+
+  CompareOptions options;
+  CliParser cli(
+      "Compares a bench-harness JSON artifact against a baseline: "
+      "deterministic metrics exactly, wall-clock metrics within a "
+      "relative threshold.  Usage: bench_compare CURRENT BASELINE");
+  cli.add_double("threshold", &options.wall_threshold,
+                 "allowed relative wall-clock regression (0.10 = 10%)");
+  cli.add_flag("ignore-wall", &options.ignore_wall,
+               "compare only deterministic metrics (cross-machine CI)");
+  cli.add_flag("allow-missing", &options.allow_missing,
+               "baseline cases absent from the current run are not "
+               "failures (for --filter/--smoke subsets)");
+  try {
+    if (!cli.parse(argc, argv)) return 0;  // --help
+  } catch (const Error& e) {
+    std::cerr << "bench_compare: " << e.what() << "\n";
+    return 2;
+  }
+  if (cli.positional().size() != 2) {
+    std::cerr << "bench_compare: expected exactly two artifacts "
+                 "(CURRENT BASELINE), got "
+              << cli.positional().size() << "\n"
+              << cli.help();
+    return 2;
+  }
+  if (options.wall_threshold < 0.0) {
+    std::cerr << "bench_compare: --threshold must be >= 0\n";
+    return 2;
+  }
+
+  RunReport current, baseline;
+  try {
+    current = report_from_json(json_parse_file(cli.positional()[0]));
+    baseline = report_from_json(json_parse_file(cli.positional()[1]));
+  } catch (const Error& e) {
+    std::cerr << "bench_compare: " << e.what() << "\n";
+    return 2;
+  }
+
+  const CompareResult result = compare_reports(current, baseline, options);
+  for (const Finding& f : result.findings) {
+    const bool informational = f.kind == FindingKind::WallImprovement ||
+                               f.kind == FindingKind::NewCase;
+    (informational ? std::cout : std::cerr)
+        << (informational ? "note: " : "FAIL: ") << f.message << "\n";
+  }
+  std::cout << "bench_compare: " << result.cases_checked << " cases, "
+            << result.metrics_checked << " metrics checked against "
+            << cli.positional()[1] << ": "
+            << (result.ok ? "OK" : "REGRESSION") << " ("
+            << result.failures().size() << " failures)\n";
+  return result.ok ? 0 : 1;
+}
