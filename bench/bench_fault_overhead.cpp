@@ -1,0 +1,12 @@
+// Thin entry point: fault-injection overhead and forced-degradation
+// benchmarks (see bench/suites/fault_overhead.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
+
+int main(int argc, char** argv) {
+  mlm::bench::Harness h("bench_fault_overhead",
+                        "Fault-site overhead and degradation-ladder "
+                        "benchmarks.");
+  mlm::bench::suites::register_fault_overhead(h);
+  return h.run(argc, argv);
+}

@@ -44,6 +44,9 @@ void register_ext_radix(Harness& h);
 void register_host_merge(Harness& h);
 void register_host_sort(Harness& h);
 
+// Robustness (wall-clock overhead + deterministic degradation counters).
+void register_fault_overhead(Harness& h);
+
 /// Every suite above, in the order listed — the bench_all set.
 void register_all(Harness& h);
 

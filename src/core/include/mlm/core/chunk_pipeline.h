@@ -28,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "mlm/core/degrade.h"
 #include "mlm/memory/dual_space.h"
 #include "mlm/memory/memory_hierarchy.h"
 #include "mlm/parallel/executor.h"
@@ -67,6 +68,12 @@ struct PipelineStats {
   double copy_in_seconds = 0.0;
   double compute_seconds = 0.0;
   double copy_out_seconds = 0.0;
+  /// Recovery-ladder rungs taken (mlm/core/degrade.h): counts plus the
+  /// full event list.  All zero/empty on an undisturbed run.
+  std::size_t retries = 0;
+  std::size_t chunk_halvings = 0;
+  std::size_t tier_fallbacks = 0;
+  std::vector<DegradationEvent> degradations;
 
   /// Effective far<->near transfer bandwidth observed per direction
   /// (bytes over stage span; 0 when the stage never ran).
@@ -97,15 +104,6 @@ struct PipelineTraceConfig {
   const Stopwatch* epoch = nullptr;
 };
 
-/// Deliberate orchestration bugs, injectable so the schedule harness can
-/// prove the invariant checks catch them (tests/sched).  Never set in
-/// production code.
-struct PipelineFaultInjection {
-  /// Skip the step-barrier join on copy-out futures — the classic
-  /// buffer-reuse-before-copy-out-completes double-buffering bug.
-  bool skip_copy_out_wait = false;
-};
-
 /// Pipeline configuration.
 struct PipelineConfig {
   /// Chunk size in bytes; must allow `buffer_count` live buffers in the
@@ -128,7 +126,13 @@ struct PipelineConfig {
   /// ordering-invariant violation throws PipelineInvariantError (see
   /// mlm/core/pipeline_validator.h).
   PipelineValidator* validator = nullptr;
-  PipelineFaultInjection faults;
+  /// Recovery ladder for near-tier exhaustion and stage failures
+  /// (mlm/core/degrade.h).  Defaults off: failures propagate as
+  /// structured errors.  Fault injection lives in mlm/fault/fault.h —
+  /// arm the pipeline.* sites to exercise this ladder deterministically
+  /// (the schedule harness arms pipeline.skip_copy_out_wait to plant the
+  /// classic missed-join bug for PipelineValidator to catch).
+  DegradePolicy degrade;
 };
 
 /// Compute stage callback: process `chunk` (resident in near memory, or

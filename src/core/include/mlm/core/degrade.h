@@ -1,0 +1,67 @@
+// Graceful-degradation policy shared by the chunk pipeline and the
+// external sorter.
+//
+// The paper's working regime is "data doesn't fit in MCDRAM": the near
+// tier is, by construction, one failed allocation away from exhaustion.
+// Real memkind gives applications two answers — BIND fails hard,
+// PREFERRED silently moves to DDR.  DegradePolicy spells out the middle
+// ground as an explicit recovery ladder, applied when a near-tier
+// allocation or a pipeline stage fails (for real, or through an armed
+// fault site from mlm/fault/fault.h):
+//
+//   1. retry     — up to max_retries, with doubling backoff, for
+//                  transient exhaustion (a co-tenant freeing MCDRAM);
+//   2. halve     — shrink the chunk size (keeping 64-byte alignment)
+//                  down to min_chunk_bytes so the working set fits;
+//   3. fall back — run on the far tier without explicit near buffers,
+//                  mirroring HBW_POLICY_PREFERRED's DDR fallback.
+//
+// Every rung taken is recorded as a DegradationEvent in the run's stats,
+// so a run that survived pressure is distinguishable from one that never
+// saw it.  All rungs default off: with a default policy, behaviour is
+// byte-identical to the pre-policy library and failures propagate as
+// structured errors (mlm/support/error.h).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mlm::core {
+
+/// Recovery ladder configuration.  Defaults disable every rung.
+struct DegradePolicy {
+  /// Rung 1: re-attempts per failing operation before moving down the
+  /// ladder (0 = no retries).
+  std::size_t max_retries = 0;
+  /// Sleep before the first retry, doubling each subsequent retry
+  /// (0 = no backoff).  Never sleeps under a DeterministicScheduler —
+  /// schedule exploration must stay a pure function of the seed.
+  std::size_t backoff_us = 0;
+  /// Rung 2: allow halving the chunk size when near-tier buffers do not
+  /// fit.  Halved sizes stay 64-byte aligned, so element alignment is
+  /// preserved for power-of-two scalar types.
+  bool allow_chunk_halving = false;
+  /// Floor for rung 2; halving below this moves to rung 3.
+  std::size_t min_chunk_bytes = 4096;
+  /// Rung 3: allow falling back to the far tier (in-place compute, no
+  /// explicit near buffers) — the HBW_POLICY_PREFERRED analogue.
+  bool allow_tier_fallback = false;
+
+  /// True when any rung is enabled.
+  bool any_enabled() const {
+    return max_retries > 0 || allow_chunk_halving || allow_tier_fallback;
+  }
+};
+
+/// One rung taken during a run; collected in PipelineStats /
+/// ExternalSortStats so degradation is observable, not silent.
+struct DegradationEvent {
+  std::string site;    ///< fault-site or phase name that failed
+  std::string action;  ///< "retry" | "chunk_halved" | "tier_fallback"
+  std::int64_t chunk = -1;  ///< chunk/outer-chunk index; -1 = run-level
+  std::size_t attempt = 0;  ///< 1-based attempt count for retries
+};
+
+}  // namespace mlm::core

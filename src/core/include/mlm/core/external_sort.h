@@ -17,10 +17,15 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
+#include <optional>
+#include <thread>
 #include <vector>
 
+#include "mlm/core/degrade.h"
 #include "mlm/core/mlm_sort.h"
+#include "mlm/fault/fault.h"
 #include "mlm/memory/memory_hierarchy.h"
 #include "mlm/memory/triple_space.h"
 #include "mlm/parallel/parallel_for.h"
@@ -32,6 +37,27 @@
 #include "mlm/support/trace.h"
 
 namespace mlm::core {
+
+namespace external_sort_detail {
+// One static site per sorter phase (mlm/fault/fault.h); a query is a
+// single relaxed atomic load unless a plan is installed.
+inline fault::FaultSite& stage_in_site() {
+  static fault::FaultSite site(fault::sites::kExternalSortStageIn);
+  return site;
+}
+inline fault::FaultSite& inner_sort_site() {
+  static fault::FaultSite site(fault::sites::kExternalSortInner);
+  return site;
+}
+inline fault::FaultSite& stage_out_site() {
+  static fault::FaultSite site(fault::sites::kExternalSortStageOut);
+  return site;
+}
+inline fault::FaultSite& merge_site() {
+  static fault::FaultSite site(fault::sites::kExternalSortMerge);
+  return site;
+}
+}  // namespace external_sort_detail
 
 /// Block-buffered k-way merge of far-resident sorted runs into a
 /// far-resident output, staging through `staging` (DDR).  Each worker
@@ -169,6 +195,11 @@ struct ExternalSortConfig {
   TraceWriter* trace = nullptr;
   std::uint32_t trace_track = 0;
   const Stopwatch* trace_epoch = nullptr;
+  /// Recovery ladder (mlm/core/degrade.h): retry transient failures,
+  /// halve the outer chunk when the DDR staging buffer does not fit,
+  /// and fall the inner sorter back to DDR-only (no MCDRAM) when the
+  /// inner sort fails — mirroring HBW_POLICY_PREFERRED.  Defaults off.
+  DegradePolicy degrade;
 };
 
 struct ExternalSortStats {
@@ -191,6 +222,15 @@ struct ExternalSortStats {
   /// does not model the scratch-to-home move.
   std::uint64_t nvm_read_bytes = 0;
   std::uint64_t nvm_write_bytes = 0;
+
+  /// Recovery-ladder rungs taken (mlm/core/degrade.h); all zero/empty
+  /// on an undisturbed run.
+  std::size_t retries = 0;
+  std::size_t outer_chunk_halvings = 0;
+  /// The inner sorter was recreated DDR-only after an inner-sort
+  /// failure (the HBW_POLICY_PREFERRED analogue).
+  bool inner_tier_fallback = false;
+  std::vector<DegradationEvent> degradations;
 };
 
 /// Sorts NVM-resident data through DDR and MCDRAM with double chunking.
@@ -216,73 +256,13 @@ class ExternalMlmSorter {
     ExternalSortStats stats;
     if (data.size() <= 1) return stats;
     Stopwatch total;
-
-    const std::size_t outer = resolve_outer_chunk();
-    const std::vector<IndexRange> chunks =
-        chunk_ranges(data.size(), outer);
-    stats.outer_chunks = chunks.size();
-
-    MlmSorter<T, Comp> inner(upper_, pool_, config_.inner, comp_);
-
-    {
-      // Stage each outer chunk into DDR, sort it there (double
-      // chunking: the inner sorter stages through MCDRAM), write the
-      // sorted run back to NVM in place.
-      SpaceBuffer<T> ddr_buf(ddr(), std::min(outer, data.size()));
-      std::size_t index = 0;
-      for (const IndexRange& c : chunks) {
-        const std::uint64_t bytes = c.size() * sizeof(T);
-        const double t_in = trace_now();
-        parallel_memcpy(pool_, ddr_buf.data(), data.data() + c.begin,
-                        bytes);
-        note_staging(stats, "stage-in " + std::to_string(index), t_in);
-        stats.bytes_staged_in += bytes;
-        stats.nvm_read_bytes += bytes;
-
-        const double t_sort = trace_now();
-        stats.last_inner =
-            inner.sort(std::span<T>(ddr_buf.data(), c.size()));
-        stats.sorting_seconds += trace_now() - t_sort;
-        trace_emit(config_.trace_track + 1,
-                   "outer sort " + std::to_string(index), t_sort);
-
-        const double t_out = trace_now();
-        parallel_memcpy(pool_, data.data() + c.begin, ddr_buf.data(),
-                        bytes);
-        note_staging(stats, "stage-out " + std::to_string(index), t_out);
-        stats.bytes_staged_out += bytes;
-        stats.nvm_write_bytes += bytes;
-        ++index;
-      }
-    }  // release the DDR buffer before the merge claims staging blocks
-
-    if (chunks.size() == 1) {
-      stats.total_seconds = total.elapsed_s();
-      return stats;
+    try {
+      run_phases(data, stats);
+    } catch (Error& e) {
+      e.with_frame({"external_sort", -1, nvm().name(), "",
+                    std::to_string(data.size()) + " elements"});
+      throw;
     }
-
-    // External k-way merge of the NVM runs into an NVM scratch, then
-    // move the result home.
-    const double t_merge = trace_now();
-    SpaceBuffer<T> nvm_out(nvm(), data.size());
-    std::vector<mlm::sort::Run<T>> runs;
-    runs.reserve(chunks.size());
-    for (const IndexRange& c : chunks) {
-      runs.emplace_back(data.data() + c.begin, c.size());
-    }
-    const std::size_t block = resolve_merge_block(chunks.size());
-    external_multiway_merge(pool_, ddr(),
-                            std::span<const mlm::sort::Run<T>>(runs),
-                            std::span<T>(nvm_out.data(), data.size()),
-                            block, comp_);
-    stats.external_merge_ran = true;
-    parallel_memcpy(pool_, data.data(), nvm_out.data(),
-                    data.size() * sizeof(T));
-    const std::uint64_t total_bytes = data.size() * sizeof(T);
-    stats.nvm_read_bytes += 2 * total_bytes;   // runs + scratch re-read
-    stats.nvm_write_bytes += 2 * total_bytes;  // scratch + home
-    stats.merging_seconds = trace_now() - t_merge;
-    trace_emit(config_.trace_track, "external merge", t_merge);
     stats.total_seconds = total.elapsed_s();
     return stats;
   }
@@ -290,6 +270,201 @@ class ExternalMlmSorter {
  private:
   MemorySpace& nvm() { return hier_.tier(0); }
   MemorySpace& ddr() { return hier_.tier(1); }
+  MemorySpace& mcdram() { return hier_.tier(2); }
+
+  void run_phases(std::span<T> data, ExternalSortStats& stats) {
+    using namespace external_sort_detail;
+    std::size_t outer = std::min(resolve_outer_chunk(), data.size());
+
+    // Recovery rungs 1+2 for the DDR staging buffer: retry transient
+    // exhaustion, then halve the outer chunk until it fits or hits the
+    // policy floor (mlm/core/degrade.h).
+    const std::size_t floor_elems = std::max<std::size_t>(
+        config_.degrade.min_chunk_bytes / sizeof(T), 1);
+    std::optional<SpaceBuffer<T>> ddr_buf;
+    for (std::size_t attempt = 0;;) {
+      try {
+        ddr_buf.emplace(ddr(), outer);
+        break;
+      } catch (OutOfMemoryError& e) {
+        if (attempt < config_.degrade.max_retries) {
+          ++attempt;
+          ++stats.retries;
+          record_degradation(stats, "sort.external.ddr_staging", "retry",
+                             -1, attempt);
+          backoff(attempt);
+          continue;
+        }
+        if (config_.degrade.allow_chunk_halving &&
+            outer / 2 >= floor_elems) {
+          outer /= 2;
+          attempt = 0;
+          ++stats.outer_chunk_halvings;
+          record_degradation(stats, "sort.external.ddr_staging",
+                             "chunk_halved", -1, 0);
+          continue;
+        }
+        e.with_frame({"ddr_staging_alloc", -1, ddr().name(),
+                      "orchestrator",
+                      "outer_chunk_elements=" + std::to_string(outer)});
+        throw;
+      }
+    }
+
+    const std::vector<IndexRange> chunks = chunk_ranges(data.size(), outer);
+    stats.outer_chunks = chunks.size();
+
+    std::optional<MlmSorter<T, Comp>> inner;
+    inner.emplace(upper_, pool_, config_.inner, comp_);
+
+    // Stage each outer chunk into DDR, sort it there (double chunking:
+    // the inner sorter stages through MCDRAM), write the sorted run
+    // back to NVM in place.
+    std::size_t index = 0;
+    for (const IndexRange& c : chunks) {
+      const std::uint64_t bytes = c.size() * sizeof(T);
+      const auto chunk_idx = static_cast<std::int64_t>(index);
+
+      phase_guard(stats, stage_in_site(), "stage_in", chunk_idx,
+                  ddr().name());
+      const double t_in = trace_now();
+      try {
+        parallel_memcpy(pool_, ddr_buf->data(), data.data() + c.begin,
+                        bytes);
+      } catch (Error& e) {
+        e.with_frame(
+            {"stage_in", chunk_idx, ddr().name(), "pool-worker", ""});
+        throw;
+      }
+      note_staging(stats, "stage-in " + std::to_string(index), t_in);
+      stats.bytes_staged_in += bytes;
+      stats.nvm_read_bytes += bytes;
+
+      const double t_sort = trace_now();
+      try {
+        if (!stats.inner_tier_fallback) {
+          phase_guard(stats, inner_sort_site(), "inner_sort", chunk_idx,
+                      mcdram().name());
+        }
+        stats.last_inner =
+            inner->sort(std::span<T>(ddr_buf->data(), c.size()));
+      } catch (Error& e) {
+        if (!config_.degrade.allow_tier_fallback ||
+            stats.inner_tier_fallback) {
+          e.with_frame({"inner_sort", chunk_idx, mcdram().name(),
+                        "orchestrator", ""});
+          throw;
+        }
+        // Rung 3, the HBW_POLICY_PREFERRED analogue: recreate the inner
+        // sorter DDR-only and redo this chunk without MCDRAM.  The
+        // failed sort may have left the staged copy partially permuted,
+        // so re-stage from NVM (still the untouched original) first.
+        stats.inner_tier_fallback = true;
+        record_degradation(stats, fault::sites::kExternalSortInner,
+                           "tier_fallback", chunk_idx, 0);
+        MlmSortConfig ddr_cfg = config_.inner;
+        ddr_cfg.variant = MlmVariant::DdrOnly;
+        inner.emplace(upper_, pool_, ddr_cfg, comp_);
+        parallel_memcpy(pool_, ddr_buf->data(), data.data() + c.begin,
+                        bytes);
+        stats.bytes_staged_in += bytes;
+        stats.nvm_read_bytes += bytes;
+        stats.last_inner =
+            inner->sort(std::span<T>(ddr_buf->data(), c.size()));
+      }
+      stats.sorting_seconds += trace_now() - t_sort;
+      trace_emit(config_.trace_track + 1,
+                 "outer sort " + std::to_string(index), t_sort);
+
+      phase_guard(stats, stage_out_site(), "stage_out", chunk_idx,
+                  nvm().name());
+      const double t_out = trace_now();
+      try {
+        parallel_memcpy(pool_, data.data() + c.begin, ddr_buf->data(),
+                        bytes);
+      } catch (Error& e) {
+        e.with_frame(
+            {"stage_out", chunk_idx, nvm().name(), "pool-worker", ""});
+        throw;
+      }
+      note_staging(stats, "stage-out " + std::to_string(index), t_out);
+      stats.bytes_staged_out += bytes;
+      stats.nvm_write_bytes += bytes;
+      ++index;
+    }
+    ddr_buf.reset();  // release before the merge claims staging blocks
+
+    if (chunks.size() == 1) return;
+
+    // External k-way merge of the NVM runs into an NVM scratch, then
+    // move the result home.
+    phase_guard(stats, merge_site(), "merge", -1, nvm().name());
+    const double t_merge = trace_now();
+    try {
+      SpaceBuffer<T> nvm_out(nvm(), data.size());
+      std::vector<mlm::sort::Run<T>> runs;
+      runs.reserve(chunks.size());
+      for (const IndexRange& c : chunks) {
+        runs.emplace_back(data.data() + c.begin, c.size());
+      }
+      const std::size_t block = resolve_merge_block(chunks.size());
+      external_multiway_merge(pool_, ddr(),
+                              std::span<const mlm::sort::Run<T>>(runs),
+                              std::span<T>(nvm_out.data(), data.size()),
+                              block, comp_);
+      stats.external_merge_ran = true;
+      parallel_memcpy(pool_, data.data(), nvm_out.data(),
+                      data.size() * sizeof(T));
+    } catch (Error& e) {
+      e.with_frame({"merge", -1, nvm().name(), "pool-worker",
+                    std::to_string(chunks.size()) + " runs"});
+      throw;
+    }
+    const std::uint64_t total_bytes = data.size() * sizeof(T);
+    stats.nvm_read_bytes += 2 * total_bytes;   // runs + scratch re-read
+    stats.nvm_write_bytes += 2 * total_bytes;  // scratch + home
+    stats.merging_seconds = trace_now() - t_merge;
+    trace_emit(config_.trace_track, "external merge", t_merge);
+  }
+
+  void backoff(std::size_t attempt) const {
+    if (config_.degrade.backoff_us == 0) return;
+    const std::size_t shift = std::min<std::size_t>(attempt - 1, 10);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config_.degrade.backoff_us << shift));
+  }
+
+  void record_degradation(ExternalSortStats& stats, std::string site,
+                          std::string action, std::int64_t chunk,
+                          std::size_t attempt) const {
+    stats.degradations.push_back(
+        DegradationEvent{std::move(site), std::move(action), chunk,
+                         attempt});
+  }
+
+  /// Phase-launch fault guard: runs before the phase moves any data, so
+  /// a retry re-attempts from a clean state; exhausted retries throw an
+  /// error naming the phase, outer chunk, and tier.
+  void phase_guard(ExternalSortStats& stats, fault::FaultSite& site,
+                   const char* op, std::int64_t chunk,
+                   const std::string& tier) const {
+    std::size_t attempt = 0;
+    while (site.should_fire()) {
+      if (attempt < config_.degrade.max_retries) {
+        ++attempt;
+        ++stats.retries;
+        record_degradation(stats, site.name(), "retry", chunk, attempt);
+        backoff(attempt);
+        continue;
+      }
+      fault::InjectedFaultError err("injected fault at site '" +
+                                    site.name() + "'");
+      err.with_frame({op, chunk, tier, "orchestrator",
+                      "retries exhausted after " +
+                          std::to_string(attempt) + " attempts"});
+      throw err;
+    }
+  }
 
   double trace_now() const {
     return config_.trace_epoch != nullptr ? config_.trace_epoch->elapsed_s()

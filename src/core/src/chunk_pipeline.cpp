@@ -1,9 +1,12 @@
 #include "mlm/core/chunk_pipeline.h"
 
 #include <algorithm>
+#include <chrono>
 #include <future>
+#include <thread>
 
 #include "mlm/core/pipeline_validator.h"
+#include "mlm/fault/fault.h"
 #include "mlm/memory/memory_space.h"
 #include "mlm/parallel/deterministic_executor.h"
 #include "mlm/parallel/parallel_memcpy.h"
@@ -33,6 +36,11 @@ void PipelineStats::merge(const PipelineStats& other) {
   copy_in_seconds += other.copy_in_seconds;
   compute_seconds += other.compute_seconds;
   copy_out_seconds += other.copy_out_seconds;
+  retries += other.retries;
+  chunk_halvings += other.chunk_halvings;
+  tier_fallbacks += other.tier_fallbacks;
+  degradations.insert(degradations.end(), other.degradations.begin(),
+                      other.degradations.end());
 }
 
 namespace {
@@ -44,6 +52,29 @@ std::size_t buffer_count(Buffering b) {
     case Buffering::Triple: return 3;
   }
   return 3;
+}
+
+// One static site per pipeline failure class (mlm/fault/fault.h); a
+// query is a single relaxed atomic load unless a plan is installed.
+fault::FaultSite& buffer_alloc_fault_site() {
+  static fault::FaultSite site(fault::sites::kPipelineBufferAlloc);
+  return site;
+}
+fault::FaultSite& copy_in_fault_site() {
+  static fault::FaultSite site(fault::sites::kPipelineCopyIn);
+  return site;
+}
+fault::FaultSite& compute_fault_site() {
+  static fault::FaultSite site(fault::sites::kPipelineCompute);
+  return site;
+}
+fault::FaultSite& copy_out_fault_site() {
+  static fault::FaultSite site(fault::sites::kPipelineCopyOut);
+  return site;
+}
+fault::FaultSite& skip_copy_out_wait_site() {
+  static fault::FaultSite site(fault::sites::kPipelineSkipCopyOutWait);
+  return site;
 }
 
 /// Stage clock + optional trace-event sink shared by all stages of one
@@ -143,11 +174,10 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
   }
   MLM_REQUIRE(chunk_bytes > 0, "chunk size must be positive");
 
-  const std::size_t num_chunks =
-      (data.size() + chunk_bytes - 1) / chunk_bytes;
-
   if (!explicit_copies) {
     // Implicit cache / DDR-only: one big compute pool, no copies.
+    const std::size_t num_chunks =
+        (data.size() + chunk_bytes - 1) / chunk_bytes;
     if (validator != nullptr) {
       validator->begin_run(num_chunks, 1, data.size(), false,
                            config.write_back);
@@ -167,15 +197,109 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
     return stats;
   }
 
-  // Flat / hybrid: allocate the chunk buffers in the near tier and build
-  // the three pools.  Buffers are declared before the pools so that on
-  // any exit the pools drain (or, deterministically, drop) their pending
-  // slices while the buffers are still alive.
+  const std::string near_name = tiers.near_tier->name();
+  PipelineStats stats;
+
+  auto record_degradation = [&stats](std::string site, std::string action,
+                                     std::int64_t chunk,
+                                     std::size_t attempt) {
+    stats.degradations.push_back(DegradationEvent{
+        std::move(site), std::move(action), chunk, attempt});
+  };
+  // Doubling backoff before a retry.  Deterministic runs never sleep:
+  // schedule exploration must stay a pure function of the seed.
+  auto backoff = [&config](std::size_t attempt) {
+    if (config.degrade.backoff_us == 0 || config.scheduler != nullptr) {
+      return;
+    }
+    const std::size_t shift = std::min<std::size_t>(attempt - 1, 10);
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(config.degrade.backoff_us << shift));
+  };
+
+  // Flat / hybrid: allocate the chunk buffers in the near tier, walking
+  // the recovery ladder on exhaustion (real or injected): retry for
+  // transient pressure, halve the chunk size down to the policy floor,
+  // and finally fall back to in-place far-tier compute — the
+  // HBW_POLICY_PREFERRED analogue.  Buffers are declared before the
+  // pools so that on any exit the pools drain (or, deterministically,
+  // drop) their pending slices while the buffers are still alive.
   std::vector<Allocation> buffers;
   buffers.reserve(bufs);
-  for (std::size_t i = 0; i < bufs; ++i) {
-    buffers.emplace_back(*tiers.near_tier, chunk_bytes);
+  bool far_tier_fallback = false;
+  for (std::size_t attempt = 0;;) {
+    try {
+      if (buffer_alloc_fault_site().should_fire()) {
+        throw OutOfMemoryError(
+            "injected near-tier exhaustion at site '" +
+            std::string(fault::sites::kPipelineBufferAlloc) + "'");
+      }
+      while (buffers.size() < bufs) {
+        buffers.emplace_back(*tiers.near_tier, chunk_bytes);
+      }
+      break;
+    } catch (OutOfMemoryError& e) {
+      buffers.clear();  // release partial progress before degrading
+      if (attempt < config.degrade.max_retries) {
+        ++attempt;
+        ++stats.retries;
+        record_degradation(fault::sites::kPipelineBufferAlloc, "retry", -1,
+                           attempt);
+        backoff(attempt);
+        continue;
+      }
+      const std::size_t floor_bytes =
+          std::max<std::size_t>(config.degrade.min_chunk_bytes, 64);
+      const std::size_t halved = (chunk_bytes / 2) / 64 * 64;
+      if (config.degrade.allow_chunk_halving && halved >= floor_bytes) {
+        chunk_bytes = halved;
+        attempt = 0;
+        ++stats.chunk_halvings;
+        record_degradation(fault::sites::kPipelineBufferAlloc,
+                           "chunk_halved", -1, 0);
+        continue;
+      }
+      if (config.degrade.allow_tier_fallback) {
+        ++stats.tier_fallbacks;
+        record_degradation(fault::sites::kPipelineBufferAlloc,
+                           "tier_fallback", -1, 0);
+        far_tier_fallback = true;
+        break;
+      }
+      e.with_frame(
+          {"buffer_alloc", -1, near_name, "orchestrator",
+           "chunk_bytes=" + std::to_string(chunk_bytes) + " buffers=" +
+               std::to_string(bufs)});
+      e.with_frame({"run_chunk_pipeline", -1, near_name, "", ""});
+      throw;
+    }
   }
+
+  if (far_tier_fallback) {
+    // Rung 3: process the data where it already lives (the far tier),
+    // no explicit copies — exactly what PREFERRED would have done.
+    const std::size_t num_chunks =
+        (data.size() + chunk_bytes - 1) / chunk_bytes;
+    if (validator != nullptr) {
+      validator->begin_run(num_chunks, 1, data.size(), false,
+                           config.write_back);
+    }
+    if (config.scheduler != nullptr) {
+      DeterministicExecutor pool(*config.scheduler, config.pools.total(),
+                                 "compute");
+      stats.merge(run_in_place(data, chunk_bytes, compute, pool, tracer,
+                               validator));
+    } else {
+      ThreadPool pool(config.pools.total(), "compute");
+      stats.merge(run_in_place(data, chunk_bytes, compute, pool, tracer,
+                               validator));
+    }
+    if (validator != nullptr) validator->end_run(stats);
+    return stats;
+  }
+
+  const std::size_t num_chunks =
+      (data.size() + chunk_bytes - 1) / chunk_bytes;
   TriplePools pools = config.scheduler != nullptr
                           ? TriplePools(config.pools, *config.scheduler)
                           : TriplePools(config.pools);
@@ -185,7 +309,6 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
     return data.subspan(off, std::min(chunk_bytes, data.size() - off));
   };
 
-  PipelineStats stats;
   stats.chunks = num_chunks;
   Stopwatch total;
 
@@ -200,6 +323,37 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
     if (validator != nullptr) validator->release(st, c, c % bufs);
   };
 
+  // Stage-launch fault guard.  Runs before the stage acquires its buffer
+  // or posts any slice, so a retry re-attempts from a clean state; when
+  // retries are exhausted the error names the stage, chunk, and tier.
+  auto stage_guard = [&](fault::FaultSite& site, const char* op,
+                         std::size_t c) {
+    std::size_t attempt = 0;
+    while (site.should_fire()) {
+      if (attempt < config.degrade.max_retries) {
+        ++attempt;
+        ++stats.retries;
+        record_degradation(site.name(), "retry",
+                           static_cast<std::int64_t>(c), attempt);
+        backoff(attempt);
+        continue;
+      }
+      fault::InjectedFaultError err("injected fault at site '" +
+                                    site.name() + "'");
+      err.with_frame({op, static_cast<std::int64_t>(c), near_name,
+                      "orchestrator",
+                      "retries exhausted after " +
+                          std::to_string(attempt) + " attempts"});
+      throw err;
+    }
+  };
+  // Task-level failures (thrown by pool workers, surfaced at the join /
+  // inside compute) get annotated with the same stage context.
+  auto annotate = [&](Error& e, const char* op, std::size_t c,
+                      const char* thread) {
+    e.with_frame({op, static_cast<std::int64_t>(c), near_name, thread, ""});
+  };
+
   // The orchestrating thread posts copy slices asynchronously so every
   // pool worker stays available for the slices themselves (wrapping a
   // blocking parallel_memcpy in a pool task would deadlock a 1-thread
@@ -209,6 +363,7 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
   // blocks.  A buffer is owned (validator-acquired) from slice posting
   // until its join.
   auto copy_in_async = [&](std::size_t c) {
+    stage_guard(copy_in_fault_site(), "copy_in", c);
     auto src = chunk_range(c);
     vacquire(PipelineStage::CopyIn, c);
     stats.bytes_copied_in += src.size();
@@ -216,18 +371,26 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
                                  src.data(), src.size());
   };
   auto run_compute = [&](std::size_t c) {
+    stage_guard(compute_fault_site(), "compute", c);
     auto r = chunk_range(c);
     const double t0 = tracer.now();
     vacquire(PipelineStage::Compute, c);
-    compute(std::span<std::byte>(
-                static_cast<std::byte*>(buffers[c % bufs].get()), r.size()),
-            pools.compute(), c);
+    try {
+      compute(std::span<std::byte>(
+                  static_cast<std::byte*>(buffers[c % bufs].get()),
+                  r.size()),
+              pools.compute(), c);
+    } catch (Error& e) {
+      annotate(e, "compute", c, "pool-worker");
+      throw;
+    }
     vrelease(PipelineStage::Compute, c);
     const double t1 = tracer.now();
     stats.compute_seconds += t1 - t0;
     tracer.emit(1, "compute", c, t0, t1);
   };
   auto copy_out_async = [&](std::size_t c) {
+    stage_guard(copy_out_fault_site(), "copy_out", c);
     auto dst = chunk_range(c);
     vacquire(PipelineStage::CopyOut, c);
     stats.bytes_copied_out += dst.size();
@@ -238,7 +401,12 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
   // double/triple buffering that span includes whatever overlapped it.
   auto join_in = [&](std::size_t c, std::vector<std::future<void>>& in,
                      double t0) {
-    pools.copy_in().wait(in);
+    try {
+      pools.copy_in().wait(in);
+    } catch (Error& e) {
+      annotate(e, "copy_in", c, "pool-worker");
+      throw;
+    }
     vrelease(PipelineStage::CopyIn, c);
     const double t1 = tracer.now();
     stats.copy_in_seconds += t1 - t0;
@@ -246,8 +414,15 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
   };
   auto join_out = [&](std::size_t c, std::vector<std::future<void>>& out,
                       double t0) {
-    if (config.faults.skip_copy_out_wait) return;  // injected bug
-    pools.copy_out().wait(out);
+    // The planted missed-join bug the schedule harness arms to prove
+    // PipelineValidator catches buffer reuse before copy-out completes.
+    if (skip_copy_out_wait_site().should_fire()) return;
+    try {
+      pools.copy_out().wait(out);
+    } catch (Error& e) {
+      annotate(e, "copy_out", c, "pool-worker");
+      throw;
+    }
     vrelease(PipelineStage::CopyOut, c);
     const double t1 = tracer.now();
     stats.copy_out_seconds += t1 - t0;
@@ -261,6 +436,7 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
     ++stats.steps;
   };
 
+  try {
   switch (config.buffering) {
     case Buffering::Single: {
       // Fully serialized: each chunk is loaded, computed, stored.
@@ -321,9 +497,26 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
       break;
     }
   }
+  } catch (Error& e) {
+    e.with_frame({"run_chunk_pipeline", -1, near_name, "",
+                  std::string(to_string(config.buffering)) +
+                      " buffering, chunk_bytes=" +
+                      std::to_string(chunk_bytes)});
+    throw;
+  }
 
   stats.total_seconds = total.elapsed_s();
-  if (validator != nullptr) validator->end_run(stats);
+  if (validator != nullptr) {
+    try {
+      validator->end_run(stats);
+    } catch (Error& e) {
+      e.with_frame({"run_chunk_pipeline", -1, near_name, "",
+                    std::string(to_string(config.buffering)) +
+                        " buffering, chunk_bytes=" +
+                        std::to_string(chunk_bytes)});
+      throw;
+    }
+  }
   return stats;
 }
 
@@ -381,9 +574,20 @@ TieredPipelineStats run_tiered_pipeline(MemoryHierarchy& hierarchy,
       [&](std::size_t level, std::span<std::byte> span) {
         ComputeFn stage;
         if (level + 1 < levels) {
-          stage = [&run_level, level](std::span<std::byte> chunk,
-                                      Executor&, std::size_t) {
-            run_level(level + 1, chunk);
+          // A failure in a nested level is annotated with the outer
+          // chunk that was being streamed when it happened, so a tiered
+          // error chain reads outermost-context-last.
+          stage = [&run_level, &hierarchy, level](
+                      std::span<std::byte> chunk, Executor&,
+                      std::size_t outer_chunk) {
+            try {
+              run_level(level + 1, chunk);
+            } catch (Error& e) {
+              e.with_frame({"tiered_level_" + std::to_string(level + 1),
+                            static_cast<std::int64_t>(outer_chunk),
+                            hierarchy.tier_config(level + 1).name, "", ""});
+              throw;
+            }
           };
         } else {
           stage = compute;

@@ -1,0 +1,208 @@
+// Deterministic fault injection for the memory hierarchy and pipelines.
+//
+// The paper's whole premise is operating at the edge of MCDRAM capacity:
+// hbw_malloc under HBW_POLICY_BIND fails when the 16 GB is exhausted and
+// PREFERRED silently falls back to DDR.  Code that is only ever tested on
+// the happy path cannot claim to tolerate that edge, so every
+// allocation/copy/compute boundary in the library is instrumented with a
+// named *fault site*.  A test (or a chaos run) installs a FaultPlan that
+// arms some sites with seeded triggers; armed sites then simulate
+// exhaustion or stage failure deterministically, and the recovery
+// machinery (mlm/core/degrade.h) is exercised for real.
+//
+// Design constraints:
+//  - Near-zero overhead when no plan is installed: a site query is one
+//    relaxed atomic load (the production fast path never takes a lock).
+//  - Deterministic: nth-call / after-N triggers count calls exactly;
+//    probability triggers draw from a per-site Xoshiro256ss stream seeded
+//    by the plan, so a failing run is reproducible from its seed.
+//  - Thread-safe: sites are queried concurrently from pool workers while
+//    the orchestrating thread owns the plan.
+//
+// There is exactly ONE injection mechanism in the tree: the ad-hoc
+// skip_copy_out_wait bool that PipelineValidator was proven against now
+// lives here as the pipeline.skip_copy_out_wait site.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mlm/support/error.h"
+
+namespace mlm::fault {
+
+/// Thrown by FaultSite::maybe_throw when an armed trigger fires: the
+/// simulated failure of a compute task or pipeline stage.  Derives from
+/// Error so the normal propagation/annotation paths handle it.
+class InjectedFaultError : public Error {
+ public:
+  explicit InjectedFaultError(const std::string& what) : Error(what) {}
+};
+
+/// When an armed site fires.  Call indices are 0-based and counted per
+/// site, across all threads, for the lifetime of the plan.
+struct FaultTrigger {
+  enum class Kind : std::uint8_t {
+    Never,        ///< armed but inert (useful to reserve a site)
+    NthCall,      ///< fire exactly on call index `n`
+    AfterN,       ///< fire on every call with index >= `n`
+    Probability,  ///< fire with probability `p`, seeded stream
+  };
+
+  Kind kind = Kind::Never;
+  std::uint64_t n = 0;
+  double p = 0.0;
+  std::uint64_t seed = 0;
+  /// Stop firing after this many fires — models *transient* exhaustion
+  /// (memkind returning ENOMEM until a co-tenant frees its buffers).
+  std::uint64_t max_fires = std::numeric_limits<std::uint64_t>::max();
+
+  /// Fire once, on the `call`-th query of the site (0-based).
+  static FaultTrigger nth_call(std::uint64_t call);
+  /// Fire on every query from index `first` on, capped at `max_fires`.
+  static FaultTrigger after_n(
+      std::uint64_t first,
+      std::uint64_t max_fires = std::numeric_limits<std::uint64_t>::max());
+  /// Always fire (permanent fault).
+  static FaultTrigger always();
+  /// Fire with probability `p` per query from a stream seeded by `seed`.
+  static FaultTrigger probability(
+      double p, std::uint64_t seed,
+      std::uint64_t max_fires = std::numeric_limits<std::uint64_t>::max());
+};
+
+/// Per-site observability counters.
+struct SiteStats {
+  std::uint64_t hits = 0;   ///< queries while this plan was installed
+  std::uint64_t fires = 0;  ///< queries that triggered the fault
+};
+
+/// A set of armed sites.  Thread-safe: sites may be queried from pool
+/// workers while the plan is installed.  Arm/disarm between runs, not
+/// while worker threads are mid-query.
+class FaultPlan {
+ public:
+  FaultPlan();
+  ~FaultPlan();
+
+  FaultPlan(const FaultPlan&) = delete;
+  FaultPlan& operator=(const FaultPlan&) = delete;
+
+  /// Arm `site` with `trigger` (replacing any previous trigger and
+  /// resetting its counters).
+  void arm(const std::string& site, const FaultTrigger& trigger);
+
+  /// Disarm `site`; its counters are kept for inspection.
+  void disarm(const std::string& site);
+
+  /// Counters for `site` (zeroes when the site was never armed).
+  SiteStats stats(const std::string& site) const;
+
+  /// Total fires across all sites.
+  std::uint64_t total_fires() const;
+
+  /// Decide whether the current query of `site` fires.  Called by
+  /// FaultSite::should_fire; counts a hit either way.
+  bool should_fire(std::string_view site);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// RAII installer of the process-global fault plan.  Injectors nest: the
+/// constructor installs `plan` over whatever was active and the
+/// destructor restores it.  `plan` must outlive the injector.  With no
+/// injector alive, every site query is a single relaxed atomic load.
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(FaultPlan& plan);
+  ~ScopedFaultInjector();
+
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+
+ private:
+  FaultPlan* previous_;
+};
+
+/// Currently installed plan (nullptr when none) — for diagnostics only;
+/// instrumented code goes through FaultSite.
+FaultPlan* installed_plan();
+
+/// A named injection point.  Instrumented code holds one (static) site
+/// per failure class and queries it at the failure boundary:
+///
+///   static fault::FaultSite site(fault::sites::kMemorySpaceAllocate);
+///   if (site.should_fire()) return nullptr;  // simulated ENOMEM
+///
+/// Construction registers the name in the global site registry.
+class FaultSite {
+ public:
+  explicit FaultSite(std::string name);
+
+  const std::string& name() const { return name_; }
+
+  /// True when an installed plan armed this site and its trigger fires
+  /// for this query.  One relaxed atomic load when no plan is installed.
+  bool should_fire() noexcept;
+
+  /// Throws InjectedFaultError naming the site when should_fire().
+  void maybe_throw();
+
+ private:
+  std::string name_;
+};
+
+/// Every site name registered so far, sorted.  The well-known catalog in
+/// fault::sites is pre-registered, so this is a complete list of the
+/// library's injection points even before any of them executed.
+std::vector<std::string> registered_sites();
+
+/// Register `name` without constructing a FaultSite (used by the
+/// catalog; idempotent).
+void register_site(const std::string& name);
+
+/// Well-known fault sites wired into the library.  DESIGN.md's
+/// "Failure model & degradation policies" section documents what each
+/// one simulates and which recovery applies.
+namespace sites {
+/// MemorySpace::try_allocate — simulated arena exhaustion (nullptr /
+/// OutOfMemoryError from the throwing overload).
+inline constexpr const char* kMemorySpaceAllocate = "memory.space.allocate";
+/// mlm_hbw_malloc — simulated HBW exhaustion: nullptr under BIND, heap
+/// fallback under PREFERRED (memkind semantics).
+inline constexpr const char* kHbwMalloc = "memkind.hbw_malloc";
+/// mlm_hbw_posix_memalign — as kHbwMalloc, surfacing ENOMEM under BIND.
+inline constexpr const char* kHbwPosixMemalign =
+    "memkind.hbw_posix_memalign";
+/// Task execution in ThreadPool / DeterministicExecutor workers — the
+/// injected exception travels the task-error path (futures, wait_idle).
+inline constexpr const char* kTaskRun = "parallel.task.run";
+/// Near-tier chunk-buffer allocation in run_chunk_pipeline — the
+/// MCDRAM-exhaustion entry of the degradation ladder.
+inline constexpr const char* kPipelineBufferAlloc = "pipeline.buffer.alloc";
+/// Pipeline stage launch points (orchestrator side, before the stage's
+/// slices are posted) — retryable.
+inline constexpr const char* kPipelineCopyIn = "pipeline.stage.copy_in";
+inline constexpr const char* kPipelineCompute = "pipeline.stage.compute";
+inline constexpr const char* kPipelineCopyOut = "pipeline.stage.copy_out";
+/// The classic double-buffering orchestration bug: the step barrier
+/// skips joining copy-out futures.  Armed only by the schedule harness
+/// to prove PipelineValidator catches it (never recovered from).
+inline constexpr const char* kPipelineSkipCopyOutWait =
+    "pipeline.skip_copy_out_wait";
+/// ExternalMlmSorter phases (NVM->DDR staging, inner DDR+MCDRAM sort,
+/// DDR->NVM write-back, final external merge).
+inline constexpr const char* kExternalSortStageIn = "sort.external.stage_in";
+inline constexpr const char* kExternalSortInner = "sort.external.inner_sort";
+inline constexpr const char* kExternalSortStageOut =
+    "sort.external.stage_out";
+inline constexpr const char* kExternalSortMerge = "sort.external.merge";
+}  // namespace sites
+
+}  // namespace mlm::fault

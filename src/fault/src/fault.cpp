@@ -1,0 +1,188 @@
+#include "mlm/fault/fault.h"
+
+#include <algorithm>
+#include <mutex>
+#include <set>
+#include <unordered_map>
+
+#include "mlm/support/rng.h"
+
+namespace mlm::fault {
+
+namespace {
+
+// The installed plan.  Relaxed is enough on the fast path: installation
+// happens-before the runs it governs through the thread-pool post/join
+// edges, and a stale nullptr read merely skips an injection that the
+// orchestrating thread had not yet published.
+std::atomic<FaultPlan*> g_plan{nullptr};
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::set<std::string>& registry() {
+  static std::set<std::string> names;
+  return names;
+}
+
+// Pre-register the well-known catalog so registered_sites() is complete
+// even before any instrumented code path executed.
+const bool g_catalog_registered = [] {
+  for (const char* name :
+       {sites::kMemorySpaceAllocate, sites::kHbwMalloc,
+        sites::kHbwPosixMemalign, sites::kTaskRun,
+        sites::kPipelineBufferAlloc, sites::kPipelineCopyIn,
+        sites::kPipelineCompute, sites::kPipelineCopyOut,
+        sites::kPipelineSkipCopyOutWait, sites::kExternalSortStageIn,
+        sites::kExternalSortInner, sites::kExternalSortStageOut,
+        sites::kExternalSortMerge}) {
+    register_site(name);
+  }
+  return true;
+}();
+
+}  // namespace
+
+FaultTrigger FaultTrigger::nth_call(std::uint64_t call) {
+  FaultTrigger t;
+  t.kind = Kind::NthCall;
+  t.n = call;
+  t.max_fires = 1;
+  return t;
+}
+
+FaultTrigger FaultTrigger::after_n(std::uint64_t first,
+                                   std::uint64_t max_fires) {
+  FaultTrigger t;
+  t.kind = Kind::AfterN;
+  t.n = first;
+  t.max_fires = max_fires;
+  return t;
+}
+
+FaultTrigger FaultTrigger::always() { return after_n(0); }
+
+FaultTrigger FaultTrigger::probability(double p, std::uint64_t seed,
+                                       std::uint64_t max_fires) {
+  MLM_REQUIRE(p >= 0.0 && p <= 1.0,
+              "fault probability must be in [0, 1]");
+  FaultTrigger t;
+  t.kind = Kind::Probability;
+  t.p = p;
+  t.seed = seed;
+  t.max_fires = max_fires;
+  return t;
+}
+
+struct FaultPlan::Impl {
+  struct SiteState {
+    FaultTrigger trigger;
+    SiteStats stats;
+    Xoshiro256ss rng{0};
+    bool armed = false;
+  };
+
+  mutable std::mutex mutex;
+  std::unordered_map<std::string, SiteState> sites;
+};
+
+FaultPlan::FaultPlan() : impl_(new Impl) {}
+
+FaultPlan::~FaultPlan() { delete impl_; }
+
+void FaultPlan::arm(const std::string& site, const FaultTrigger& trigger) {
+  register_site(site);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  Impl::SiteState& state = impl_->sites[site];
+  state.trigger = trigger;
+  state.stats = SiteStats{};
+  state.rng = Xoshiro256ss(trigger.seed);
+  state.armed = true;
+}
+
+void FaultPlan::disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->sites.find(site);
+  if (it != impl_->sites.end()) it->second.armed = false;
+}
+
+SiteStats FaultPlan::stats(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->sites.find(site);
+  return it == impl_->sites.end() ? SiteStats{} : it->second.stats;
+}
+
+std::uint64_t FaultPlan::total_fires() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::uint64_t total = 0;
+  for (const auto& [name, state] : impl_->sites) total += state.stats.fires;
+  return total;
+}
+
+bool FaultPlan::should_fire(std::string_view site) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->sites.find(std::string(site));
+  if (it == impl_->sites.end() || !it->second.armed) return false;
+  Impl::SiteState& state = it->second;
+  const std::uint64_t call = state.stats.hits++;
+  if (state.stats.fires >= state.trigger.max_fires) return false;
+
+  bool fire = false;
+  switch (state.trigger.kind) {
+    case FaultTrigger::Kind::Never:
+      break;
+    case FaultTrigger::Kind::NthCall:
+      fire = call == state.trigger.n;
+      break;
+    case FaultTrigger::Kind::AfterN:
+      fire = call >= state.trigger.n;
+      break;
+    case FaultTrigger::Kind::Probability:
+      // Deterministic per (seed, call index): one draw per query.
+      fire = state.rng.uniform01() < state.trigger.p;
+      break;
+  }
+  if (fire) ++state.stats.fires;
+  return fire;
+}
+
+ScopedFaultInjector::ScopedFaultInjector(FaultPlan& plan)
+    : previous_(g_plan.exchange(&plan, std::memory_order_release)) {}
+
+ScopedFaultInjector::~ScopedFaultInjector() {
+  g_plan.store(previous_, std::memory_order_release);
+}
+
+FaultPlan* installed_plan() {
+  return g_plan.load(std::memory_order_acquire);
+}
+
+FaultSite::FaultSite(std::string name) : name_(std::move(name)) {
+  register_site(name_);
+}
+
+bool FaultSite::should_fire() noexcept {
+  FaultPlan* plan = g_plan.load(std::memory_order_relaxed);
+  if (plan == nullptr) return false;  // production fast path
+  return plan->should_fire(name_);
+}
+
+void FaultSite::maybe_throw() {
+  if (should_fire()) {
+    throw InjectedFaultError("injected fault at site '" + name_ + "'");
+  }
+}
+
+std::vector<std::string> registered_sites() {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  return {registry().begin(), registry().end()};
+}
+
+void register_site(const std::string& name) {
+  std::lock_guard<std::mutex> lock(registry_mutex());
+  registry().insert(name);
+}
+
+}  // namespace mlm::fault

@@ -57,9 +57,11 @@ int mlm_hbw_verify(void* ptr);
 namespace mlm {
 
 /// Install `space` as the backing store for mlm_hbw_malloc (not owned);
-/// pass nullptr to uninstall.  Not thread-safe with respect to concurrent
-/// mlm_hbw_malloc calls — install once at startup, as with real memkind
-/// partitions.
+/// pass nullptr to uninstall.  The installation is atomic: a concurrent
+/// mlm_hbw_malloc sees either the old or the new space, never a torn
+/// pointer, and mlm_hbw_free routes each pointer to the allocator that
+/// produced it even across a swap.  `space` must outlive all allocations
+/// made from it.
 void mlm_hbw_set_space(MemorySpace* space);
 
 /// Currently installed space (may be nullptr).

@@ -1,34 +1,61 @@
 #include "mlm/memory/memkind_shim.h"
 
+#include <atomic>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
 #include <mutex>
 #include <unordered_set>
 
+#include "mlm/fault/fault.h"
 #include "mlm/memory/memory_space.h"
 
 namespace {
 
-mlm::MemorySpace* g_space = nullptr;
-mlm_hbw_policy g_policy = MLM_HBW_POLICY_PREFERRED;
+// Atomic so mlm_hbw_set_space is safe against concurrent mlm_hbw_malloc
+// (an allocation races the install and sees either the old or the new
+// space, never a torn pointer).  Swapping spaces while allocations from
+// the old space are still live is fine: mlm_hbw_free routes fallback
+// pointers by the g_fallback_ptrs set and space pointers by ownership.
+std::atomic<mlm::MemorySpace*> g_space{nullptr};
+std::atomic<mlm_hbw_policy> g_policy{MLM_HBW_POLICY_PREFERRED};
 
 // Pointers handed out by the heap fallback, so mlm_hbw_free can route
 // frees correctly even if the space is swapped between malloc and free.
 std::mutex g_fallback_mu;
 std::unordered_set<void*> g_fallback_ptrs;
 
+// Simulated HBW exhaustion: when armed, the space behaves as full for
+// this call — nullptr/ENOMEM under BIND, heap fallback under PREFERRED —
+// exactly the memkind semantics at the 16 GB MCDRAM edge.
+mlm::fault::FaultSite& malloc_fault_site() {
+  static mlm::fault::FaultSite site(mlm::fault::sites::kHbwMalloc);
+  return site;
+}
+
+mlm::fault::FaultSite& memalign_fault_site() {
+  static mlm::fault::FaultSite site(mlm::fault::sites::kHbwPosixMemalign);
+  return site;
+}
+
 }  // namespace
 
 extern "C" {
 
-int mlm_hbw_check_available(void) { return g_space != nullptr ? 1 : 0; }
+int mlm_hbw_check_available(void) {
+  return g_space.load(std::memory_order_acquire) != nullptr ? 1 : 0;
+}
 
 void* mlm_hbw_malloc(size_t size) {
-  if (g_space != nullptr) {
-    void* p = g_space->try_allocate(size);
+  mlm::MemorySpace* space = g_space.load(std::memory_order_acquire);
+  if (space != nullptr) {
+    void* p = malloc_fault_site().should_fire()
+                  ? nullptr
+                  : space->try_allocate(size);
     if (p != nullptr) return p;
-    if (g_policy == MLM_HBW_POLICY_BIND) return nullptr;
+    if (g_policy.load(std::memory_order_relaxed) == MLM_HBW_POLICY_BIND) {
+      return nullptr;
+    }
     // PREFERRED: fall through to heap.
   }
   void* p = std::malloc(size != 0 ? size : 1);
@@ -58,7 +85,8 @@ void mlm_hbw_free(void* ptr) {
       return;
     }
   }
-  if (g_space != nullptr) g_space->deallocate(ptr);
+  mlm::MemorySpace* space = g_space.load(std::memory_order_acquire);
+  if (space != nullptr) space->deallocate(ptr);
 }
 
 int mlm_hbw_posix_memalign(void** memptr, size_t alignment,
@@ -70,14 +98,19 @@ int mlm_hbw_posix_memalign(void** memptr, size_t alignment,
       alignment % sizeof(void*) != 0) {
     return EINVAL;
   }
-  if (g_space != nullptr && alignment <= 64) {
+  mlm::MemorySpace* space = g_space.load(std::memory_order_acquire);
+  if (space != nullptr && alignment <= 64) {
     // MemorySpace guarantees 64-byte alignment.
-    void* p = g_space->try_allocate(size);
+    void* p = memalign_fault_site().should_fire()
+                  ? nullptr
+                  : space->try_allocate(size);
     if (p != nullptr) {
       *memptr = p;
       return 0;
     }
-    if (g_policy == MLM_HBW_POLICY_BIND) return ENOMEM;
+    if (g_policy.load(std::memory_order_relaxed) == MLM_HBW_POLICY_BIND) {
+      return ENOMEM;
+    }
   }
   void* p = nullptr;
   if (posix_memalign(&p, alignment, size != 0 ? size : alignment) != 0) {
@@ -92,23 +125,26 @@ int mlm_hbw_posix_memalign(void** memptr, size_t alignment,
 }
 
 int mlm_hbw_verify(void* ptr) {
-  if (ptr == nullptr || g_space == nullptr) return 0;
+  mlm::MemorySpace* space = g_space.load(std::memory_order_acquire);
+  if (ptr == nullptr || space == nullptr) return 0;
   {
     std::lock_guard<std::mutex> lock(g_fallback_mu);
     if (g_fallback_ptrs.count(ptr) != 0) return 0;
   }
   // Route through deallocate's ownership check indirectly: the space
   // tracks live allocations; probe via stats-safe interface.
-  return g_space->owns(ptr) ? 1 : 0;
+  return space->owns(ptr) ? 1 : 0;
 }
 
-mlm_hbw_policy mlm_hbw_get_policy(void) { return g_policy; }
+mlm_hbw_policy mlm_hbw_get_policy(void) {
+  return g_policy.load(std::memory_order_relaxed);
+}
 
 int mlm_hbw_set_policy(mlm_hbw_policy policy) {
   if (policy != MLM_HBW_POLICY_BIND && policy != MLM_HBW_POLICY_PREFERRED) {
     return -1;
   }
-  g_policy = policy;
+  g_policy.store(policy, std::memory_order_relaxed);
   return 0;
 }
 
@@ -116,8 +152,12 @@ int mlm_hbw_set_policy(mlm_hbw_policy policy) {
 
 namespace mlm {
 
-void mlm_hbw_set_space(MemorySpace* space) { g_space = space; }
+void mlm_hbw_set_space(MemorySpace* space) {
+  g_space.store(space, std::memory_order_release);
+}
 
-MemorySpace* mlm_hbw_get_space() { return g_space; }
+MemorySpace* mlm_hbw_get_space() {
+  return g_space.load(std::memory_order_acquire);
+}
 
 }  // namespace mlm

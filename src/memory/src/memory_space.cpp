@@ -5,6 +5,8 @@
 #include <sstream>
 #include <unordered_map>
 
+#include "mlm/fault/fault.h"
+
 namespace mlm {
 
 const char* to_string(MemKind kind) {
@@ -69,6 +71,10 @@ void* MemorySpace::allocate(std::size_t bytes) {
 }
 
 void* MemorySpace::try_allocate(std::size_t bytes) noexcept {
+  // Simulated arena exhaustion (the BIND-policy failure mode): the
+  // throwing allocate() overload turns this into OutOfMemoryError.
+  static fault::FaultSite fault_site(fault::sites::kMemorySpaceAllocate);
+  if (fault_site.should_fire()) return nullptr;
   const std::size_t asize = aligned_size(bytes);
   {
     std::lock_guard<std::mutex> lock(impl_->mu);

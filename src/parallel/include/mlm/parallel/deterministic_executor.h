@@ -132,6 +132,12 @@ class DeterministicExecutor : public Executor {
   DeterministicScheduler& scheduler() { return sched_; }
 
  private:
+  /// Tag and hand `fn` to the scheduler.  post()/submit() wrap tasks
+  /// with the parallel.task.run fault site inside their own error paths
+  /// (first_error_ vs. promise) before calling this, so an injected
+  /// failure can never strand a future.
+  void enqueue_task(std::function<void()> fn);
+
   DeterministicScheduler& sched_;
   std::size_t size_;
   std::string name_;

@@ -61,6 +61,11 @@ class ThreadPool : public Executor {
 
  private:
   void worker_loop();
+  /// Raw queue push shared by post()/submit().  The public entry points
+  /// wrap tasks with the parallel.task.run fault site *inside* their
+  /// respective error paths (worker capture vs. promise), so an injected
+  /// failure can never strand a future.
+  void enqueue(std::function<void()> task);
 
   std::string name_;
   std::vector<std::thread> threads_;

@@ -5,9 +5,19 @@
 #include <sstream>
 #include <utility>
 
+#include "mlm/fault/fault.h"
 #include "mlm/support/error.h"
 
 namespace mlm {
+
+namespace {
+// Same site name as ThreadPool's: the deterministic executor is a
+// drop-in stand-in, so one armed trigger covers both execution models.
+fault::FaultSite& task_fault_site() {
+  static fault::FaultSite site(fault::sites::kTaskRun);
+  return site;
+}
+}  // namespace
 
 bool DeterministicScheduler::step() {
   if (runnable_.empty()) return false;
@@ -72,33 +82,42 @@ DeterministicExecutor::~DeterministicExecutor() {
 
 void DeterministicExecutor::post(std::function<void()> task) {
   MLM_REQUIRE(task != nullptr, "cannot post a null task");
-  const std::uint64_t seq = posted_++;
-  sched_.enqueue(this, name_ + "#" + std::to_string(seq),
-                 [this, task = std::move(task)] {
-                   try {
-                     task();
-                   } catch (...) {
-                     if (!first_error_) {
-                       first_error_ = std::current_exception();
-                     }
-                   }
-                   ++executed_;
-                 });
+  enqueue_task([this, task = std::move(task)] {
+    try {
+      task_fault_site().maybe_throw();
+      task();
+    } catch (...) {
+      if (!first_error_) {
+        first_error_ = std::current_exception();
+      }
+    }
+    ++executed_;
+  });
 }
 
 std::future<void> DeterministicExecutor::submit(std::function<void()> task) {
   MLM_REQUIRE(task != nullptr, "cannot submit a null task");
   auto promise = std::make_shared<std::promise<void>>();
   std::future<void> fut = promise->get_future();
-  post([task = std::move(task), promise] {
+  // Fault check inside the promise's try block: an injected task
+  // failure becomes a future exception, never a stranded future (which
+  // wait() would report as a bogus orchestration deadlock).
+  enqueue_task([this, task = std::move(task), promise] {
     try {
+      task_fault_site().maybe_throw();
       task();
       promise->set_value();
     } catch (...) {
       promise->set_exception(std::current_exception());
     }
+    ++executed_;
   });
   return fut;
+}
+
+void DeterministicExecutor::enqueue_task(std::function<void()> fn) {
+  const std::uint64_t seq = posted_++;
+  sched_.enqueue(this, name_ + "#" + std::to_string(seq), std::move(fn));
 }
 
 void DeterministicExecutor::wait_idle() {

@@ -2,7 +2,19 @@
 
 #include <atomic>
 
+#include "mlm/fault/fault.h"
+
 namespace mlm {
+
+namespace {
+// Simulated task failure inside a pool worker; the injected exception
+// travels the normal error path (promise for submit(), first_error_ for
+// post()), exercising future propagation and wait_idle() rethrow.
+fault::FaultSite& task_fault_site() {
+  static fault::FaultSite site(fault::sites::kTaskRun);
+  return site;
+}
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads, std::string name)
     : name_(std::move(name)) {
@@ -49,10 +61,14 @@ void ThreadPool::worker_loop() {
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
+  MLM_REQUIRE(task != nullptr, "cannot submit a null task");
   auto promise = std::make_shared<std::promise<void>>();
   std::future<void> fut = promise->get_future();
-  post([task = std::move(task), promise] {
+  // The fault check sits inside the promise's try block: an injected
+  // task failure becomes a future exception, never a stranded future.
+  enqueue([task = std::move(task), promise] {
     try {
+      task_fault_site().maybe_throw();
       task();
       promise->set_value();
     } catch (...) {
@@ -64,6 +80,15 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::post(std::function<void()> task) {
   MLM_REQUIRE(task != nullptr, "cannot post a null task");
+  // Injected failures propagate to worker_loop's catch and surface from
+  // the next wait_idle(), like any other post() task exception.
+  enqueue([task = std::move(task)] {
+    task_fault_site().maybe_throw();
+    task();
+  });
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     MLM_CHECK_MSG(!stop_, "post() on a stopped pool: " + name_);

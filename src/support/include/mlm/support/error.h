@@ -3,17 +3,67 @@
 // Library code never calls abort()/exit(); invariant violations throw
 // mlm::Error so tests can assert on failure modes and applications can
 // recover (e.g. fall back to DDR when an MCDRAM arena is exhausted).
+//
+// Errors carry a *context chain*: as an exception unwinds through the
+// chunk pipeline or the external sorter, each layer annotates it with an
+// ErrorFrame (which stage, which chunk, which tier, which thread) via
+// Error::with_frame and rethrows.  what() then reads like
+//
+//   injected fault at site 'pipeline.stage.compute'
+//     in compute [chunk 3] [tier mcdram] [thread pool-worker]
+//     in run_chunk_pipeline [tier mcdram]
+//
+// so an unrecoverable fault at MCDRAM capacity is diagnosable from the
+// message alone, without a debugger attached to the dead run.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace mlm {
+
+/// One layer of context attached to an Error as it propagates.
+struct ErrorFrame {
+  /// The operation that was in flight (stage or phase name, e.g.
+  /// "copy_in", "sort.external.stage_in", "run_chunk_pipeline").
+  std::string op;
+  /// Chunk index the operation was processing; -1 when not applicable.
+  std::int64_t chunk = -1;
+  /// Memory tier involved (e.g. "mcdram", "ddr"); empty when unknown.
+  std::string tier;
+  /// Thread that observed the failure (e.g. "orchestrator",
+  /// "pool-worker"); empty when unknown.
+  std::string thread;
+  /// Free-form extra context (retry counts, sizes, ...).
+  std::string detail;
+
+  /// "in <op> [chunk N] [tier T] [thread X] (<detail>)" — only the
+  /// fields that are set.
+  std::string to_string() const;
+};
 
 /// Base exception for all mlm library errors.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what)
+      : std::runtime_error(what), message_(what) {}
+
+  /// Append a context frame (innermost first) and return *this so a
+  /// catch site can `throw e.with_frame({...})` or annotate-and-rethrow.
+  Error& with_frame(ErrorFrame frame);
+
+  /// Context frames, innermost (closest to the failure) first.
+  const std::vector<ErrorFrame>& chain() const noexcept { return frames_; }
+
+  /// Original message plus one indented line per frame.
+  const char* what() const noexcept override;
+
+ private:
+  std::string message_;
+  std::vector<ErrorFrame> frames_;
+  mutable std::string formatted_;
 };
 
 /// Thrown when an allocation does not fit in a capacity-limited MemorySpace.

@@ -2,7 +2,44 @@
 
 #include <sstream>
 
-namespace mlm::detail {
+namespace mlm {
+
+std::string ErrorFrame::to_string() const {
+  std::ostringstream os;
+  os << "in " << (op.empty() ? "?" : op);
+  if (chunk >= 0) os << " [chunk " << chunk << "]";
+  if (!tier.empty()) os << " [tier " << tier << "]";
+  if (!thread.empty()) os << " [thread " << thread << "]";
+  if (!detail.empty()) os << " (" << detail << ")";
+  return os.str();
+}
+
+Error& Error::with_frame(ErrorFrame frame) {
+  frames_.push_back(std::move(frame));
+  formatted_.clear();  // rebuilt lazily by what()
+  return *this;
+}
+
+const char* Error::what() const noexcept {
+  if (frames_.empty()) return std::runtime_error::what();
+  try {
+    if (formatted_.empty()) {
+      std::ostringstream os;
+      os << message_;
+      for (const ErrorFrame& frame : frames_) {
+        os << "\n  " << frame.to_string();
+      }
+      formatted_ = os.str();
+    }
+    return formatted_.c_str();
+  } catch (...) {
+    // Formatting must never throw out of what(); fall back to the
+    // original message.
+    return std::runtime_error::what();
+  }
+}
+
+namespace detail {
 
 void throw_check_failure(const char* expr, const char* file, int line,
                          const std::string& msg) {
@@ -12,4 +49,5 @@ void throw_check_failure(const char* expr, const char* file, int line,
   throw Error(os.str());
 }
 
-}  // namespace mlm::detail
+}  // namespace detail
+}  // namespace mlm

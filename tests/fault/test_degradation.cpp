@@ -1,0 +1,209 @@
+// Graceful-degradation tests that do NOT rely on injection for the
+// failure itself: real near-tier capacity pressure drives the recovery
+// ladder (retry -> chunk halving -> tier fallback), and the structured
+// error chain is inspected when the ladder is exhausted.
+#include "mlm/core/degrade.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mlm/core/chunk_pipeline.h"
+#include "mlm/fault/fault.h"
+#include "mlm/support/units.h"
+
+namespace mlm::core {
+namespace {
+
+DualSpace tiny_mcdram_space(std::uint64_t mcdram_bytes) {
+  DualSpaceConfig cfg;
+  cfg.mode = McdramMode::Flat;
+  cfg.mcdram_bytes = mcdram_bytes;
+  return DualSpace(cfg);
+}
+
+std::vector<std::int64_t> iota_data(std::size_t n) {
+  std::vector<std::int64_t> data(n);
+  std::iota(data.begin(), data.end(), 0);
+  return data;
+}
+
+void check_incremented(const std::vector<std::int64_t>& data) {
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(data[i], static_cast<std::int64_t>(i) + 1) << "i=" << i;
+  }
+}
+
+PipelineConfig triple_config(std::size_t chunk_bytes) {
+  PipelineConfig cfg;
+  cfg.chunk_bytes = chunk_bytes;
+  cfg.pools = PoolSizes{1, 1, 1};
+  cfg.buffering = Buffering::Triple;
+  return cfg;
+}
+
+auto increment = [](std::span<std::int64_t> chunk, Executor&,
+                    std::size_t) {
+  for (auto& x : chunk) x += 1;
+};
+
+// 3 x 64 KiB triple buffers cannot fit in 128 KiB of MCDRAM; with
+// halving allowed the pipeline lands on 32 KiB chunks and completes.
+TEST(DegradeChunkHalving, RealCapacityPressureHalvesUntilFit) {
+  DualSpace space = tiny_mcdram_space(KiB(128));
+  auto data = iota_data(4 * KiB(64) / sizeof(std::int64_t));
+  PipelineConfig cfg = triple_config(KiB(64));
+  cfg.degrade.allow_chunk_halving = true;
+  cfg.degrade.min_chunk_bytes = 4096;
+
+  const PipelineStats stats = run_chunk_pipeline_typed<std::int64_t>(
+      space, std::span<std::int64_t>(data), cfg, increment);
+
+  EXPECT_EQ(stats.chunk_halvings, 1u);
+  EXPECT_EQ(stats.tier_fallbacks, 0u);
+  EXPECT_EQ(stats.chunks, 8u);  // 256 KiB of data in 32 KiB chunks
+  ASSERT_EQ(stats.degradations.size(), 1u);
+  EXPECT_EQ(stats.degradations[0].action, "chunk_halved");
+  EXPECT_EQ(stats.degradations[0].site,
+            fault::sites::kPipelineBufferAlloc);
+  check_incremented(data);
+}
+
+// 8 KiB of MCDRAM cannot hold three 4 KiB buffers even at the halving
+// floor; with tier fallback allowed the run completes in place in DDR.
+TEST(DegradeTierFallback, ExhaustedLadderRunsInPlaceInFarTier) {
+  DualSpace space = tiny_mcdram_space(KiB(8));
+  auto data = iota_data(2 * KiB(64) / sizeof(std::int64_t));
+  PipelineConfig cfg = triple_config(KiB(64));
+  cfg.degrade.allow_chunk_halving = true;
+  cfg.degrade.min_chunk_bytes = 4096;
+  cfg.degrade.allow_tier_fallback = true;
+
+  const PipelineStats stats = run_chunk_pipeline_typed<std::int64_t>(
+      space, std::span<std::int64_t>(data), cfg, increment);
+
+  EXPECT_GE(stats.chunk_halvings, 1u);
+  EXPECT_EQ(stats.tier_fallbacks, 1u);
+  EXPECT_EQ(stats.bytes_copied_in, 0u);   // no explicit staging
+  EXPECT_EQ(stats.bytes_copied_out, 0u);
+  check_incremented(data);
+}
+
+// With the ladder disabled the same pressure is a structured error:
+// innermost frame names the allocation, outermost names the pipeline.
+TEST(DegradeDisabled, CapacityPressureIsAStructuredError) {
+  DualSpace space = tiny_mcdram_space(KiB(128));
+  auto data = iota_data(4 * KiB(64) / sizeof(std::int64_t));
+  PipelineConfig cfg = triple_config(KiB(64));  // degrade defaults off
+  EXPECT_FALSE(cfg.degrade.any_enabled());
+
+  try {
+    run_chunk_pipeline_typed<std::int64_t>(
+        space, std::span<std::int64_t>(data), cfg, increment);
+    FAIL() << "expected OutOfMemoryError";
+  } catch (const OutOfMemoryError& e) {
+    const auto& chain = e.chain();
+    ASSERT_EQ(chain.size(), 2u);
+    EXPECT_EQ(chain[0].op, "buffer_alloc");
+    EXPECT_EQ(chain[0].tier, space.mcdram().name());
+    EXPECT_EQ(chain[0].thread, "orchestrator");
+    EXPECT_NE(chain[0].detail.find("chunk_bytes=65536"),
+              std::string::npos);
+    EXPECT_EQ(chain[1].op, "run_chunk_pipeline");
+    // what() renders the base message plus one line per frame.
+    const std::string what = e.what();
+    EXPECT_NE(what.find("in buffer_alloc"), std::string::npos);
+    EXPECT_NE(what.find("in run_chunk_pipeline"), std::string::npos);
+  }
+}
+
+// Retry bookkeeping: a single injected transient exhaustion costs
+// exactly one retry and is recorded as a degradation event.
+TEST(DegradeRetry, TransientExhaustionCostsOneRecordedRetry) {
+  DualSpace space = tiny_mcdram_space(MiB(4));
+  auto data = iota_data(4 * KiB(64) / sizeof(std::int64_t));
+  PipelineConfig cfg = triple_config(KiB(64));
+  cfg.degrade.max_retries = 2;
+
+  fault::FaultPlan plan;
+  plan.arm(fault::sites::kPipelineBufferAlloc,
+           fault::FaultTrigger::nth_call(0));
+  fault::ScopedFaultInjector inject(plan);
+
+  const PipelineStats stats = run_chunk_pipeline_typed<std::int64_t>(
+      space, std::span<std::int64_t>(data), cfg, increment);
+
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.chunk_halvings, 0u);
+  ASSERT_EQ(stats.degradations.size(), 1u);
+  EXPECT_EQ(stats.degradations[0].action, "retry");
+  EXPECT_EQ(stats.degradations[0].attempt, 1u);
+  check_incremented(data);
+}
+
+// Backoff path smoke test: real (microsecond) backoff between retries
+// on real thread pools — must terminate promptly and still recover.
+TEST(DegradeRetry, BackoffBetweenRetriesRecovers) {
+  DualSpace space = tiny_mcdram_space(MiB(4));
+  auto data = iota_data(4 * KiB(64) / sizeof(std::int64_t));
+  PipelineConfig cfg = triple_config(KiB(64));
+  cfg.degrade.max_retries = 3;
+  cfg.degrade.backoff_us = 10;
+
+  fault::FaultPlan plan;
+  plan.arm(fault::sites::kPipelineCopyIn,
+           fault::FaultTrigger::after_n(0, 3));
+  fault::ScopedFaultInjector inject(plan);
+
+  const PipelineStats stats = run_chunk_pipeline_typed<std::int64_t>(
+      space, std::span<std::int64_t>(data), cfg, increment);
+
+  EXPECT_EQ(stats.retries, 3u);
+  check_incremented(data);
+}
+
+// Stage retries exhausted: the error says how many attempts were made
+// and the stats that *were* accumulated are lost with the throw, but
+// the degradation trail travels in the error chain detail.
+TEST(DegradeRetry, ExhaustedStageRetriesThrowWithAttemptCount) {
+  DualSpace space = tiny_mcdram_space(MiB(4));
+  auto data = iota_data(4 * KiB(64) / sizeof(std::int64_t));
+  PipelineConfig cfg = triple_config(KiB(64));
+  cfg.degrade.max_retries = 2;
+
+  fault::FaultPlan plan;
+  plan.arm(fault::sites::kPipelineCopyIn, fault::FaultTrigger::always());
+  fault::ScopedFaultInjector inject(plan);
+
+  try {
+    run_chunk_pipeline_typed<std::int64_t>(
+        space, std::span<std::int64_t>(data), cfg, increment);
+    FAIL() << "expected InjectedFaultError";
+  } catch (const fault::InjectedFaultError& e) {
+    const auto& chain = e.chain();
+    ASSERT_FALSE(chain.empty());
+    EXPECT_EQ(chain.front().op, "copy_in");
+    EXPECT_NE(chain.front().detail.find("retries exhausted after 2"),
+              std::string::npos);
+  }
+}
+
+// DegradePolicy::any_enabled drives the zero-cost default path.
+TEST(DegradePolicy, AnyEnabledReflectsConfiguredRungs) {
+  DegradePolicy p;
+  EXPECT_FALSE(p.any_enabled());
+  p.max_retries = 1;
+  EXPECT_TRUE(p.any_enabled());
+  p = DegradePolicy{};
+  p.allow_chunk_halving = true;
+  EXPECT_TRUE(p.any_enabled());
+  p = DegradePolicy{};
+  p.allow_tier_fallback = true;
+  EXPECT_TRUE(p.any_enabled());
+}
+
+}  // namespace
+}  // namespace mlm::core

@@ -1,0 +1,213 @@
+// Unit tests for the fault-injection primitives: trigger semantics,
+// plan installation/nesting, the site registry, and thread safety.
+#include "mlm/fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace mlm::fault {
+namespace {
+
+TEST(FaultSite, NeverFiresWithoutInstalledPlan) {
+  FaultSite site("test.noplan");
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(site.should_fire());
+  EXPECT_NO_THROW(site.maybe_throw());
+  EXPECT_EQ(installed_plan(), nullptr);
+}
+
+TEST(FaultSite, UnarmedSiteNeverFiresUnderPlan) {
+  FaultPlan plan;
+  plan.arm("test.other", FaultTrigger::always());
+  ScopedFaultInjector inject(plan);
+  FaultSite site("test.unarmed");
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(site.should_fire());
+}
+
+TEST(FaultTrigger, NthCallFiresExactlyOnceAtIndex) {
+  FaultPlan plan;
+  plan.arm("test.nth", FaultTrigger::nth_call(3));
+  ScopedFaultInjector inject(plan);
+  FaultSite site("test.nth");
+  std::vector<bool> fired;
+  for (int i = 0; i < 10; ++i) fired.push_back(site.should_fire());
+  const std::vector<bool> expect{false, false, false, true, false,
+                                 false, false, false, false, false};
+  EXPECT_EQ(fired, expect);
+  EXPECT_EQ(plan.stats("test.nth").hits, 10u);
+  EXPECT_EQ(plan.stats("test.nth").fires, 1u);
+}
+
+TEST(FaultTrigger, AfterNFiresFromIndexUntilMaxFires) {
+  FaultPlan plan;
+  plan.arm("test.aftern", FaultTrigger::after_n(2, 3));
+  ScopedFaultInjector inject(plan);
+  FaultSite site("test.aftern");
+  std::vector<bool> fired;
+  for (int i = 0; i < 8; ++i) fired.push_back(site.should_fire());
+  // Fires on calls 2,3,4 then the transient fault "clears".
+  const std::vector<bool> expect{false, false, true, true,
+                                 true,  false, false, false};
+  EXPECT_EQ(fired, expect);
+}
+
+TEST(FaultTrigger, AlwaysFiresEveryCall) {
+  FaultPlan plan;
+  plan.arm("test.always", FaultTrigger::always());
+  ScopedFaultInjector inject(plan);
+  FaultSite site("test.always");
+  for (int i = 0; i < 20; ++i) EXPECT_TRUE(site.should_fire());
+  EXPECT_EQ(plan.total_fires(), 20u);
+}
+
+TEST(FaultTrigger, ProbabilityZeroNeverOneAlways) {
+  FaultPlan plan;
+  plan.arm("test.p0", FaultTrigger::probability(0.0, 42));
+  plan.arm("test.p1", FaultTrigger::probability(1.0, 42));
+  ScopedFaultInjector inject(plan);
+  FaultSite p0("test.p0"), p1("test.p1");
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(p0.should_fire());
+    EXPECT_TRUE(p1.should_fire());
+  }
+}
+
+TEST(FaultTrigger, ProbabilityStreamIsSeedDeterministic) {
+  auto pattern = [](std::uint64_t seed) {
+    FaultPlan plan;
+    plan.arm("test.prob", FaultTrigger::probability(0.3, seed));
+    ScopedFaultInjector inject(plan);
+    FaultSite site("test.prob");
+    std::vector<bool> fired;
+    for (int i = 0; i < 200; ++i) fired.push_back(site.should_fire());
+    return fired;
+  };
+  EXPECT_EQ(pattern(7), pattern(7));
+  EXPECT_NE(pattern(7), pattern(8));
+  // ~30% of 200 draws should fire; allow a generous band.
+  const auto p = pattern(7);
+  const auto fires = std::count(p.begin(), p.end(), true);
+  EXPECT_GT(fires, 20);
+  EXPECT_LT(fires, 120);
+}
+
+TEST(FaultTrigger, ProbabilityRejectsOutOfRange) {
+  EXPECT_THROW(FaultTrigger::probability(-0.1, 0), InvalidArgumentError);
+  EXPECT_THROW(FaultTrigger::probability(1.1, 0), InvalidArgumentError);
+}
+
+TEST(FaultPlan, RearmResetsCounters) {
+  FaultPlan plan;
+  plan.arm("test.rearm", FaultTrigger::always());
+  ScopedFaultInjector inject(plan);
+  FaultSite site("test.rearm");
+  EXPECT_TRUE(site.should_fire());
+  plan.arm("test.rearm", FaultTrigger::nth_call(0));
+  EXPECT_EQ(plan.stats("test.rearm").hits, 0u);
+  EXPECT_TRUE(site.should_fire());
+  EXPECT_FALSE(site.should_fire());
+}
+
+TEST(FaultPlan, DisarmStopsFiringKeepsCounters) {
+  FaultPlan plan;
+  plan.arm("test.disarm", FaultTrigger::always());
+  ScopedFaultInjector inject(plan);
+  FaultSite site("test.disarm");
+  EXPECT_TRUE(site.should_fire());
+  plan.disarm("test.disarm");
+  EXPECT_FALSE(site.should_fire());
+  EXPECT_EQ(plan.stats("test.disarm").hits, 1u);
+  EXPECT_EQ(plan.stats("test.disarm").fires, 1u);
+}
+
+TEST(ScopedFaultInjector, NestsAndRestoresPreviousPlan) {
+  FaultPlan outer, inner;
+  outer.arm("test.nest", FaultTrigger::always());
+  FaultSite site("test.nest");
+  EXPECT_FALSE(site.should_fire());
+  {
+    ScopedFaultInjector i1(outer);
+    EXPECT_EQ(installed_plan(), &outer);
+    EXPECT_TRUE(site.should_fire());
+    {
+      ScopedFaultInjector i2(inner);  // inner plan: site unarmed
+      EXPECT_EQ(installed_plan(), &inner);
+      EXPECT_FALSE(site.should_fire());
+    }
+    EXPECT_EQ(installed_plan(), &outer);
+    EXPECT_TRUE(site.should_fire());
+  }
+  EXPECT_EQ(installed_plan(), nullptr);
+  EXPECT_FALSE(site.should_fire());
+}
+
+TEST(FaultSite, MaybeThrowRaisesInjectedFaultErrorNamingSite) {
+  FaultPlan plan;
+  plan.arm("test.throw", FaultTrigger::always());
+  ScopedFaultInjector inject(plan);
+  FaultSite site("test.throw");
+  try {
+    site.maybe_throw();
+    FAIL() << "expected InjectedFaultError";
+  } catch (const InjectedFaultError& e) {
+    EXPECT_NE(std::string(e.what()).find("test.throw"), std::string::npos);
+  }
+}
+
+TEST(FaultRegistry, WellKnownCatalogIsPreRegistered) {
+  const std::vector<std::string> sites = registered_sites();
+  auto has = [&](const char* name) {
+    return std::find(sites.begin(), sites.end(), name) != sites.end();
+  };
+  // The acceptance floor is >= 8 registered sites; the catalog has 13.
+  EXPECT_GE(sites.size(), 13u);
+  EXPECT_TRUE(has(sites::kMemorySpaceAllocate));
+  EXPECT_TRUE(has(sites::kHbwMalloc));
+  EXPECT_TRUE(has(sites::kHbwPosixMemalign));
+  EXPECT_TRUE(has(sites::kTaskRun));
+  EXPECT_TRUE(has(sites::kPipelineBufferAlloc));
+  EXPECT_TRUE(has(sites::kPipelineCopyIn));
+  EXPECT_TRUE(has(sites::kPipelineCompute));
+  EXPECT_TRUE(has(sites::kPipelineCopyOut));
+  EXPECT_TRUE(has(sites::kPipelineSkipCopyOutWait));
+  EXPECT_TRUE(has(sites::kExternalSortStageIn));
+  EXPECT_TRUE(has(sites::kExternalSortInner));
+  EXPECT_TRUE(has(sites::kExternalSortStageOut));
+  EXPECT_TRUE(has(sites::kExternalSortMerge));
+  // Sorted and duplicate-free.
+  EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
+  EXPECT_EQ(std::adjacent_find(sites.begin(), sites.end()), sites.end());
+}
+
+// Concurrent queries against one armed site must be safe (run under
+// tsan via the race label) and must honor max_fires exactly.
+TEST(FaultPlan, ConcurrentQueriesRespectMaxFires) {
+  constexpr std::uint64_t kMaxFires = 64;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  FaultPlan plan;
+  plan.arm("test.mt", FaultTrigger::after_n(0, kMaxFires));
+  ScopedFaultInjector inject(plan);
+  std::atomic<std::uint64_t> observed{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&observed] {
+      FaultSite site("test.mt");
+      for (int i = 0; i < kPerThread; ++i) {
+        if (site.should_fire()) observed.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(observed.load(), kMaxFires);
+  EXPECT_EQ(plan.stats("test.mt").fires, kMaxFires);
+  EXPECT_EQ(plan.stats("test.mt").hits,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace mlm::fault

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "mlm/core/pipeline_validator.h"
+#include "mlm/fault/fault.h"
 #include "mlm/parallel/deterministic_executor.h"
 #include "mlm/support/units.h"
 
@@ -152,7 +153,10 @@ TEST(PipelineFaults, SkippedCopyOutWaitIsCaughtUnderEverySchedule) {
       DeterministicScheduler sched(seed);
       PipelineValidator validator;
       PipelineConfig cfg = sched_config(buffering, sched, validator);
-      cfg.faults.skip_copy_out_wait = true;
+      fault::FaultPlan plan;
+      plan.arm(fault::sites::kPipelineSkipCopyOutWait,
+               fault::FaultTrigger::always());
+      fault::ScopedFaultInjector inject(plan);
       EXPECT_THROW(
           run_chunk_pipeline_typed<std::int64_t>(
               space, std::span<std::int64_t>(data), cfg,
@@ -172,7 +176,10 @@ TEST(PipelineFaults, SkippedCopyOutWaitCaughtAtEndOfRunWithoutReuse) {
   DeterministicScheduler sched(0);
   PipelineValidator validator;
   PipelineConfig cfg = sched_config(Buffering::Triple, sched, validator);
-  cfg.faults.skip_copy_out_wait = true;
+  fault::FaultPlan plan;
+  plan.arm(fault::sites::kPipelineSkipCopyOutWait,
+           fault::FaultTrigger::always());
+  fault::ScopedFaultInjector inject(plan);
   EXPECT_THROW(
       run_chunk_pipeline_typed<std::int64_t>(
           space, std::span<std::int64_t>(data), cfg,

@@ -42,5 +42,54 @@ TEST(ErrorHierarchy, SubclassesAreErrors) {
   EXPECT_THROW(throw InvalidArgumentError("x"), Error);
 }
 
+TEST(ErrorFrame, ToStringRendersOnlySetFields) {
+  const ErrorFrame bare{"stage_in", -1, "", "", ""};
+  EXPECT_EQ(bare.to_string(), "in stage_in");
+  const ErrorFrame full{"copy_out", 3, "mcdram", "pool-worker",
+                        "slice 2/4"};
+  EXPECT_EQ(full.to_string(),
+            "in copy_out [chunk 3] [tier mcdram] [thread pool-worker] "
+            "(slice 2/4)");
+  const ErrorFrame no_chunk{"merge", -1, "nvm", "", ""};
+  EXPECT_EQ(no_chunk.to_string(), "in merge [tier nvm]");
+}
+
+TEST(ErrorChain, FramesAccumulateInnermostFirst) {
+  Error e("boom");
+  EXPECT_TRUE(e.chain().empty());
+  e.with_frame({"alloc", -1, "mcdram", "", ""});
+  e.with_frame({"run_chunk_pipeline", -1, "mcdram", "", ""});
+  ASSERT_EQ(e.chain().size(), 2u);
+  EXPECT_EQ(e.chain()[0].op, "alloc");
+  EXPECT_EQ(e.chain()[1].op, "run_chunk_pipeline");
+}
+
+TEST(ErrorChain, WhatRendersBaseMessagePlusOneLinePerFrame) {
+  Error e("boom");
+  EXPECT_STREQ(e.what(), "boom");
+  e.with_frame({"stage_in", 0, "ddr", "orchestrator", ""});
+  const std::string what = e.what();
+  EXPECT_NE(what.find("boom"), std::string::npos);
+  EXPECT_NE(what.find("\n  in stage_in [chunk 0] [tier ddr] "
+                      "[thread orchestrator]"),
+            std::string::npos);
+}
+
+TEST(ErrorChain, CatchByReferenceAndRethrowKeepsDerivedTypeAndFrames) {
+  try {
+    try {
+      throw OutOfMemoryError("mcdram full");
+    } catch (Error& e) {
+      e.with_frame({"buffer_alloc", -1, "mcdram", "", ""});
+      throw;  // rethrow the original object, not a slice
+    }
+  } catch (const OutOfMemoryError& e) {
+    ASSERT_EQ(e.chain().size(), 1u);
+    EXPECT_EQ(e.chain()[0].op, "buffer_alloc");
+    EXPECT_NE(std::string(e.what()).find("mcdram full"),
+              std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace mlm

@@ -6,7 +6,10 @@
 // Deterministic metrics (knlsim outputs, traffic counters) must match
 // exactly; wall-clock metrics may regress up to --threshold relative to
 // the baseline mean.  Exit codes: 0 = pass, 1 = regression found,
-// 2 = usage or unreadable input.
+// 2 = usage error, 3 = missing or unparsable artifact.  CI keys off the
+// distinction: 1 means the code got slower, 3 means the gate itself is
+// broken (artifact never produced, truncated JSON, wrong path).
+#include <exception>
 #include <iostream>
 #include <string>
 
@@ -49,12 +52,23 @@ int main(int argc, char** argv) {
   }
 
   RunReport current, baseline;
-  try {
-    current = report_from_json(json_parse_file(cli.positional()[0]));
-    baseline = report_from_json(json_parse_file(cli.positional()[1]));
-  } catch (const Error& e) {
-    std::cerr << "bench_compare: " << e.what() << "\n";
-    return 2;
+  const auto load = [](const std::string& path, const char* role,
+                       RunReport& out) {
+    try {
+      out = report_from_json(json_parse_file(path));
+      return true;
+    } catch (const std::exception& e) {
+      std::cerr << "bench_compare: cannot load " << role << " artifact '"
+                << path << "': " << e.what() << "\n"
+                << "bench_compare: this is a gate failure, not a "
+                   "performance regression — check that the bench run "
+                   "produced the artifact at this path.\n";
+      return false;
+    }
+  };
+  if (!load(cli.positional()[0], "current", current) ||
+      !load(cli.positional()[1], "baseline", baseline)) {
+    return 3;
   }
 
   const CompareResult result = compare_reports(current, baseline, options);
