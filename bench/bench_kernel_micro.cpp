@@ -1,0 +1,12 @@
+// Thin entry point: kernel microbenchmarks (merge, copy, dispatch) — registered on the unified bench harness
+// (see bench/suites/kernel_micro.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
+
+int main(int argc, char** argv) {
+  mlm::bench::Harness h("bench_kernel_micro",
+                        "Merge, copy, and dispatch kernel "
+                        "microbenchmarks (before/after pairs).");
+  mlm::bench::suites::register_kernel_micro(h);
+  return h.run(argc, argv);
+}

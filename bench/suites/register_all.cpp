@@ -20,6 +20,7 @@ void register_all(Harness& h) {
   register_ext_radix(h);
   register_host_merge(h);
   register_host_sort(h);
+  register_kernel_micro(h);
   register_fault_overhead(h);
 }
 

@@ -44,6 +44,9 @@ void register_ext_radix(Harness& h);
 void register_host_merge(Harness& h);
 void register_host_sort(Harness& h);
 
+// Kernel microbenchmarks (host; before/after pairs per hot kernel).
+void register_kernel_micro(Harness& h);
+
 // Robustness (wall-clock overhead + deterministic degradation counters).
 void register_fault_overhead(Harness& h);
 

@@ -32,6 +32,7 @@
 #include "mlm/memory/dual_space.h"
 #include "mlm/memory/memory_hierarchy.h"
 #include "mlm/parallel/executor.h"
+#include "mlm/parallel/stream_copy.h"
 #include "mlm/parallel/triple_pools.h"
 #include "mlm/support/error.h"
 #include "mlm/support/stopwatch.h"
@@ -116,6 +117,12 @@ struct PipelineConfig {
   /// If false, chunks are read-only for compute and are not copied back
   /// (e.g. reductions); the copy-out pool idles.
   bool write_back = true;
+  /// Copy-out slice kernel (mlm/parallel/stream_copy.h).  Evicted
+  /// chunks are dead to the near-tier working set, so the default
+  /// streams large copy-outs with non-temporal stores instead of
+  /// dragging them through the cache; bytes and schedules are identical
+  /// in every mode.
+  CopyMode copy_out_mode = CopyMode::Auto;
   PipelineTraceConfig trace;
   /// When set, the run uses single-threaded DeterministicExecutors on
   /// this scheduler instead of real thread pools: task interleaving is

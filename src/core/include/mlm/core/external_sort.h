@@ -151,28 +151,33 @@ void external_multiway_merge(ThreadPool& pool, MemorySpace& staging,
       out_fill = 0;
     };
 
-    for (;;) {
-      mlm::sort::LoserTree<const T*, Comp> lt(k, comp);
+    mlm::sort::LoserTree<const T*, Comp> lt(k, comp);
+    auto reseat = [&] {
       for (std::size_t i = 0; i < k; ++i) {
         lt.set_run(i, in_blocks[i].data() + win[i].first,
                    in_blocks[i].data() + win[i].second);
       }
       lt.init();
-      bool need_refill = false;
-      while (!lt.empty()) {
-        const std::size_t src = lt.top_run();
-        out_block[out_fill++] = lt.pop();
-        ++win[src].first;
-        if (out_fill == block_elements) flush_out();
-        if (win[src].first == win[src].second &&
-            cursors[src].next != cursors[src].end) {
-          // Window drained but far data remains: refill and rebuild.
-          refill(src);
-          need_refill = true;
-          break;
-        }
+    };
+    reseat();
+    // pop_streak extracts whole runs of elements from one staged window
+    // per call (batched merge kernel); the streak boundary is exactly
+    // where window-drain bookkeeping must happen, so the per-element
+    // drain checks of the old loop disappear.  Full output blocks are
+    // flushed eagerly, so the streak always has >= 1 element of space.
+    while (!lt.empty()) {
+      std::size_t src = 0;
+      const std::size_t got = lt.pop_streak(
+          out_block.data() + out_fill, block_elements - out_fill, src);
+      out_fill += got;
+      win[src].first += got;
+      if (out_fill == block_elements) flush_out();
+      if (win[src].first == win[src].second &&
+          cursors[src].next != cursors[src].end) {
+        // Window drained but far data remains: refill and rebuild.
+        refill(src);
+        reseat();
       }
-      if (!need_refill) break;
     }
     flush_out();
   });
@@ -380,8 +385,10 @@ class ExternalMlmSorter {
                   nvm().name());
       const double t_out = trace_now();
       try {
+        // Outbound runs are dead to the DDR working set: stream large
+        // stage-outs past the cache (bytes are identical either way).
         parallel_memcpy(pool_, data.data() + c.begin, ddr_buf->data(),
-                        bytes);
+                        bytes, pool_.size(), CopyMode::Auto);
       } catch (Error& e) {
         e.with_frame(
             {"stage_out", chunk_idx, nvm().name(), "pool-worker", ""});
@@ -414,7 +421,8 @@ class ExternalMlmSorter {
                               block, comp_);
       stats.external_merge_ran = true;
       parallel_memcpy(pool_, data.data(), nvm_out.data(),
-                      data.size() * sizeof(T));
+                      data.size() * sizeof(T), pool_.size(),
+                      CopyMode::Auto);
     } catch (Error& e) {
       e.with_frame({"merge", -1, nvm().name(), "pool-worker",
                     std::to_string(chunks.size()) + " runs"});

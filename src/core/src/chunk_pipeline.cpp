@@ -395,7 +395,8 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
     vacquire(PipelineStage::CopyOut, c);
     stats.bytes_copied_out += dst.size();
     return parallel_memcpy_async(pools.copy_out(), dst.data(),
-                                 buffers[c % bufs].get(), dst.size());
+                                 buffers[c % bufs].get(), dst.size(),
+                                 config.copy_out_mode);
   };
   // Stage spans run from posting the slices to their completion; under
   // double/triple buffering that span includes whatever overlapped it.

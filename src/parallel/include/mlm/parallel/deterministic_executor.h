@@ -117,6 +117,12 @@ class DeterministicExecutor : public Executor {
   void post(std::function<void()> task) override;
   std::future<void> submit(std::function<void()> task) override;
 
+  /// Enqueue pre-wrapped non-throwing tasks (see Executor::post_bulk):
+  /// each stays an individually schedulable unit with its own
+  /// "<name>#<seq>" tag, so submit_slices batches permute under seeded
+  /// schedules exactly like per-task submits did.
+  void post_bulk(std::vector<std::function<void()>> tasks) override;
+
   /// Drives the scheduler until this executor has no runnable tasks
   /// (other executors' tasks may execute along the way — that is the
   /// overlap being modeled).  Rethrows the first post() task exception.

@@ -14,6 +14,11 @@ namespace mlm {
 /// Run `body(i)` for every i in [begin, end), statically partitioned over
 /// the pool's workers.  Blocks until complete; rethrows the first task
 /// exception.
+///
+/// Slices are dispatched through Executor::submit_slices: one shared
+/// allocation and one queue transaction for the whole loop instead of a
+/// promise + lock round trip per slice, while each slice stays an
+/// individually schedulable task.
 template <typename Body>
 void parallel_for(Executor& pool, std::size_t begin, std::size_t end,
                   Body&& body) {
@@ -21,13 +26,11 @@ void parallel_for(Executor& pool, std::size_t begin, std::size_t end,
   const std::size_t n = end - begin;
   const std::size_t parts = std::min(pool.size(), n);
   std::vector<std::future<void>> futs;
-  futs.reserve(parts);
-  for (std::size_t p = 0; p < parts; ++p) {
-    const IndexRange r = partition_range(n, parts, p);
-    futs.push_back(pool.submit([&body, begin, r] {
-      for (std::size_t i = r.begin; i < r.end; ++i) body(begin + i);
-    }));
-  }
+  futs.push_back(
+      pool.submit_slices(parts, [&body, begin, n, parts](std::size_t p) {
+        const IndexRange r = partition_range(n, parts, p);
+        for (std::size_t i = r.begin; i < r.end; ++i) body(begin + i);
+      }));
   pool.wait(futs);
 }
 
@@ -41,13 +44,13 @@ void parallel_for_ranges(Executor& pool, std::size_t begin,
   const std::size_t n = end - begin;
   const std::size_t parts = std::min(pool.size(), n);
   std::vector<std::future<void>> futs;
-  futs.reserve(parts);
-  for (std::size_t p = 0; p < parts; ++p) {
-    IndexRange r = partition_range(n, parts, p);
-    r.begin += begin;
-    r.end += begin;
-    futs.push_back(pool.submit([&body, r] { body(r); }));
-  }
+  futs.push_back(
+      pool.submit_slices(parts, [&body, begin, n, parts](std::size_t p) {
+        IndexRange r = partition_range(n, parts, p);
+        r.begin += begin;
+        r.end += begin;
+        body(r);
+      }));
   pool.wait(futs);
 }
 

@@ -7,16 +7,31 @@
 // per-thread rate S_copy (Table 2: 4.8 GB/s) the model depends on.
 //
 // All variants take an Executor, so the same slicing runs on real
-// ThreadPool workers or under a DeterministicExecutor's seeded schedule.
+// ThreadPool workers or under a DeterministicExecutor's seeded schedule,
+// and a CopyMode (mlm/parallel/stream_copy.h) so copy-out-shaped
+// transfers can use non-temporal stores instead of polluting the cache.
 #pragma once
 
 #include <cstddef>
 #include <future>
 #include <vector>
 
+#include "mlm/parallel/stream_copy.h"
+
 namespace mlm {
 
 class Executor;
+
+/// Floor on the work one copy slice is worth dispatching for.
+inline constexpr std::size_t kParallelMemcpyMinSliceBytes = 64 * 1024;
+
+/// Number of slices a copy of `bytes` is split into: capped by the pool
+/// size and `max_ways`, and rounded so every slice carries at least
+/// kParallelMemcpyMinSliceBytes (never 0 slices for a nonzero copy).
+/// Exposed for tests pinning the boundaries.
+std::size_t parallel_memcpy_slice_count(std::size_t bytes,
+                                        std::size_t pool_size,
+                                        std::size_t max_ways);
 
 /// Copy `bytes` bytes from `src` to `dst` using every worker of `pool`.
 /// Regions must not overlap.  Blocks until the copy completes.
@@ -24,21 +39,23 @@ void parallel_memcpy(Executor& pool, void* dst, const void* src,
                      std::size_t bytes);
 
 /// As above but splits into at most `max_ways` slices (used when a caller
-/// wants to leave some pool workers free for other queued transfers).
+/// wants to leave some pool workers free for other queued transfers) and
+/// copies each slice per `mode` (streaming copies produce identical
+/// bytes; they only bypass the cache).
 void parallel_memcpy(Executor& pool, void* dst, const void* src,
-                     std::size_t bytes, std::size_t max_ways);
+                     std::size_t bytes, std::size_t max_ways,
+                     CopyMode mode = CopyMode::Cached);
 
-/// Non-blocking variant: slices are posted to the pool and their futures
-/// returned.  The caller must keep src/dst alive and join every future
-/// (via pool.wait(), which a deterministic executor needs to drive its
-/// schedule) before touching either region.  Safe to call from the
-/// orchestrating thread while the pool's workers stay free to run the
-/// slices (unlike wrapping the blocking call in a pool task, which
-/// deadlocks a pool of size one).
-std::vector<std::future<void>> parallel_memcpy_async(Executor& pool,
-                                                     void* dst,
-                                                     const void* src,
-                                                     std::size_t bytes);
+/// Non-blocking variant: slices are posted to the pool and the batch
+/// future returned.  The caller must keep src/dst alive and join every
+/// future (via pool.wait(), which a deterministic executor needs to
+/// drive its schedule) before touching either region.  Safe to call
+/// from the orchestrating thread while the pool's workers stay free to
+/// run the slices (unlike wrapping the blocking call in a pool task,
+/// which deadlocks a pool of size one).
+std::vector<std::future<void>> parallel_memcpy_async(
+    Executor& pool, void* dst, const void* src, std::size_t bytes,
+    CopyMode mode = CopyMode::Cached);
 
 /// Block on futures returned by parallel_memcpy_async, rethrowing the
 /// first captured exception.  Only valid for real thread pools; under a

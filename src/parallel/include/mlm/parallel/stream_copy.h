@@ -1,0 +1,52 @@
+// Non-temporal (streaming) memory copy.
+//
+// The chunk pipeline's copy-out stage writes sorted chunks back to DDR
+// while the compute pool keeps merging in MCDRAM-sized working sets
+// (Section 3).  A plain memcpy pulls every destination line into cache
+// on write-allocate, evicting exactly the working set the paper's
+// scheme is built to keep resident; non-temporal stores bypass the
+// cache hierarchy and leave it untouched (the out-of-core stencil
+// literature reports the same effect for DDR<->MCDRAM streaming).  The
+// copied bytes are identical either way, so deterministic digests and
+// schedule sweeps are unaffected by the mode choice.
+//
+// Dispatch is compile-time (SSE2 intrinsics when available — baseline
+// on every x86-64 target, scalar std::memcpy elsewhere) plus runtime
+// (CopyMode::Auto streams only above kStreamCopyThresholdBytes, where
+// cache pollution outweighs the store-buffer cost).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mlm {
+
+/// How a bulk copy treats the cache hierarchy.
+enum class CopyMode : std::uint8_t {
+  Cached,     ///< plain std::memcpy (write-allocate)
+  Streaming,  ///< non-temporal stores when supported, else memcpy
+  Auto,       ///< stream at/above kStreamCopyThresholdBytes
+};
+
+/// CopyMode::Auto switches to streaming at this size: well past every
+/// cache level a single slice could usefully warm.
+inline constexpr std::size_t kStreamCopyThresholdBytes = std::size_t{1}
+                                                         << 20;
+
+/// True when this build carries a real non-temporal store path (SSE2);
+/// otherwise the streaming entry points degrade to std::memcpy.
+bool stream_copy_supported();
+
+/// memcpy with non-temporal stores: aligns the destination to 16
+/// bytes, streams 64-byte groups, tails with memcpy, and fences so the
+/// bytes are globally visible on return.  Byte-identical to memcpy.
+void memcpy_streaming(void* dst, const void* src, std::size_t bytes);
+
+/// One-slice copy kernel used by parallel_memcpy: picks cached or
+/// streaming per `mode` (Auto applies the size threshold per call).
+void copy_bytes(void* dst, const void* src, std::size_t bytes,
+                CopyMode mode);
+
+const char* to_string(CopyMode mode);
+
+}  // namespace mlm

@@ -48,6 +48,11 @@ class ThreadPool : public Executor {
   /// stored and rethrown by the next wait_idle().
   void post(std::function<void()> task) override;
 
+  /// Enqueue pre-wrapped non-throwing tasks under one lock acquisition
+  /// and one wakeup broadcast (the submit_slices fast path; see
+  /// Executor::post_bulk for the contract).
+  void post_bulk(std::vector<std::function<void()>> tasks) override;
+
   /// Block until the queue is empty and all workers are idle.  Rethrows
   /// the first exception captured from a post()ed task, if any.
   void wait_idle() override;

@@ -115,6 +115,19 @@ std::future<void> DeterministicExecutor::submit(std::function<void()> task) {
   return fut;
 }
 
+void DeterministicExecutor::post_bulk(
+    std::vector<std::function<void()>> tasks) {
+  for (auto& task : tasks) {
+    MLM_REQUIRE(task != nullptr, "cannot post a null task");
+    // No fault-site or error wrapper: batch tasks handle both
+    // internally (Executor::post_bulk contract).
+    enqueue_task([this, task = std::move(task)] {
+      task();
+      ++executed_;
+    });
+  }
+}
+
 void DeterministicExecutor::enqueue_task(std::function<void()> fn) {
   const std::uint64_t seq = posted_++;
   sched_.enqueue(this, name_ + "#" + std::to_string(seq), std::move(fn));

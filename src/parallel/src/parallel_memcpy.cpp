@@ -1,5 +1,6 @@
 #include "mlm/parallel/parallel_memcpy.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "mlm/parallel/executor.h"
@@ -7,12 +8,19 @@
 #include "mlm/support/error.h"
 
 namespace mlm {
-namespace {
 
-// Slices smaller than this are not worth a task dispatch.
-constexpr std::size_t kMinSliceBytes = 64 * 1024;
-
-}  // namespace
+std::size_t parallel_memcpy_slice_count(std::size_t bytes,
+                                        std::size_t pool_size,
+                                        std::size_t max_ways) {
+  if (bytes == 0) return 0;
+  // Round *down* to the slice count whose slices all meet the minimum
+  // (the old `bytes / kMin + 1` handed out sub-minimum slices just past
+  // each multiple of the minimum), but never below one slice.
+  const std::size_t by_size =
+      std::max<std::size_t>(bytes / kParallelMemcpyMinSliceBytes, 1);
+  return std::max<std::size_t>(std::min({max_ways, pool_size, by_size}),
+                               1);
+}
 
 void parallel_memcpy(Executor& pool, void* dst, const void* src,
                      std::size_t bytes) {
@@ -20,7 +28,8 @@ void parallel_memcpy(Executor& pool, void* dst, const void* src,
 }
 
 void parallel_memcpy(Executor& pool, void* dst, const void* src,
-                     std::size_t bytes, std::size_t max_ways) {
+                     std::size_t bytes, std::size_t max_ways,
+                     CopyMode mode) {
   MLM_REQUIRE(dst != nullptr && src != nullptr, "null copy endpoint");
   if (bytes == 0) return;
 
@@ -30,27 +39,27 @@ void parallel_memcpy(Executor& pool, void* dst, const void* src,
   MLM_REQUIRE(d + bytes <= s || s + bytes <= d,
               "parallel_memcpy regions must not overlap");
 
-  std::size_t ways = std::min({max_ways, pool.size(),
-                               bytes / kMinSliceBytes + 1});
+  const std::size_t ways =
+      parallel_memcpy_slice_count(bytes, pool.size(), max_ways);
   if (ways <= 1) {
-    std::memcpy(d, s, bytes);
+    copy_bytes(d, s, bytes, mode);
     return;
   }
 
   std::vector<std::future<void>> futs;
-  futs.reserve(ways);
-  for (std::size_t p = 0; p < ways; ++p) {
-    const IndexRange r = partition_range(bytes, ways, p);
-    futs.push_back(pool.submit(
-        [d, s, r] { std::memcpy(d + r.begin, s + r.begin, r.size()); }));
-  }
+  futs.push_back(
+      pool.submit_slices(ways, [d, s, bytes, ways, mode](std::size_t p) {
+        const IndexRange r = partition_range(bytes, ways, p);
+        copy_bytes(d + r.begin, s + r.begin, r.size(), mode);
+      }));
   pool.wait(futs);
 }
 
 std::vector<std::future<void>> parallel_memcpy_async(Executor& pool,
                                                      void* dst,
                                                      const void* src,
-                                                     std::size_t bytes) {
+                                                     std::size_t bytes,
+                                                     CopyMode mode) {
   MLM_REQUIRE(dst != nullptr && src != nullptr, "null copy endpoint");
   std::vector<std::future<void>> futs;
   if (bytes == 0) return futs;
@@ -60,14 +69,13 @@ std::vector<std::future<void>> parallel_memcpy_async(Executor& pool,
   MLM_REQUIRE(d + bytes <= s || s + bytes <= d,
               "parallel_memcpy regions must not overlap");
 
-  const std::size_t ways = std::max<std::size_t>(
-      std::min({pool.size(), bytes / kMinSliceBytes + 1}), 1);
-  futs.reserve(ways);
-  for (std::size_t p = 0; p < ways; ++p) {
-    const IndexRange r = partition_range(bytes, ways, p);
-    futs.push_back(pool.submit(
-        [d, s, r] { std::memcpy(d + r.begin, s + r.begin, r.size()); }));
-  }
+  const std::size_t ways =
+      parallel_memcpy_slice_count(bytes, pool.size(), pool.size());
+  futs.push_back(
+      pool.submit_slices(ways, [d, s, bytes, ways, mode](std::size_t p) {
+        const IndexRange r = partition_range(bytes, ways, p);
+        copy_bytes(d + r.begin, s + r.begin, r.size(), mode);
+      }));
   return futs;
 }
 

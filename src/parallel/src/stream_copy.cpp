@@ -1,0 +1,90 @@
+#include "mlm/parallel/stream_copy.h"
+
+#include <algorithm>
+#include <cstring>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace mlm {
+
+bool stream_copy_supported() {
+#if defined(__SSE2__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+void memcpy_streaming(void* dst, const void* src, std::size_t bytes) {
+  if (bytes == 0) return;
+#if defined(__SSE2__)
+  auto* d = static_cast<unsigned char*>(dst);
+  const auto* s = static_cast<const unsigned char*>(src);
+  // _mm_stream_si128 requires a 16-byte-aligned destination; copy a
+  // short head the cached way to get there.  Sources stay unaligned
+  // (loadu) — parallel slice boundaries land anywhere.
+  const auto mis = static_cast<std::size_t>(
+      reinterpret_cast<std::uintptr_t>(d) & 15u);
+  if (mis != 0) {
+    const std::size_t head = std::min<std::size_t>(16 - mis, bytes);
+    std::memcpy(d, s, head);
+    d += head;
+    s += head;
+    bytes -= head;
+  }
+  while (bytes >= 64) {
+    // Pull the source a few lines ahead into cache: loads are the only
+    // cache-visible side of this loop (stores bypass), and the modest
+    // lookahead keeps the load ports fed without the eviction cost an
+    // NTA hint would add.
+    _mm_prefetch(reinterpret_cast<const char*>(s + 256), _MM_HINT_T0);
+    const __m128i v0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(s));
+    const __m128i v1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + 16));
+    const __m128i v2 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + 32));
+    const __m128i v3 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + 48));
+    _mm_stream_si128(reinterpret_cast<__m128i*>(d), v0);
+    _mm_stream_si128(reinterpret_cast<__m128i*>(d + 16), v1);
+    _mm_stream_si128(reinterpret_cast<__m128i*>(d + 32), v2);
+    _mm_stream_si128(reinterpret_cast<__m128i*>(d + 48), v3);
+    d += 64;
+    s += 64;
+    bytes -= 64;
+  }
+  if (bytes > 0) std::memcpy(d, s, bytes);
+  // Non-temporal stores are weakly ordered; fence before the caller's
+  // completion is observable (the pipeline reuses buffers at joins).
+  _mm_sfence();
+#else
+  std::memcpy(dst, src, bytes);
+#endif
+}
+
+void copy_bytes(void* dst, const void* src, std::size_t bytes,
+                CopyMode mode) {
+  if (bytes == 0) return;
+  const bool stream =
+      mode == CopyMode::Streaming ||
+      (mode == CopyMode::Auto && bytes >= kStreamCopyThresholdBytes);
+  if (stream && stream_copy_supported()) {
+    memcpy_streaming(dst, src, bytes);
+  } else {
+    std::memcpy(dst, src, bytes);
+  }
+}
+
+const char* to_string(CopyMode mode) {
+  switch (mode) {
+    case CopyMode::Cached: return "cached";
+    case CopyMode::Streaming: return "streaming";
+    case CopyMode::Auto: return "auto";
+  }
+  return "?";
+}
+
+}  // namespace mlm

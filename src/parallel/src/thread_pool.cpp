@@ -88,6 +88,21 @@ void ThreadPool::post(std::function<void()> task) {
   });
 }
 
+void ThreadPool::post_bulk(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    MLM_CHECK_MSG(!stop_, "post_bulk() on a stopped pool: " + name_);
+    for (auto& task : tasks) {
+      MLM_CHECK_MSG(task != nullptr, "cannot post a null task");
+      queue_.push_back(std::move(task));
+    }
+  }
+  // One broadcast instead of one notify per task; extra wakeups on a
+  // short batch just re-sleep.
+  cv_task_.notify_all();
+}
+
 void ThreadPool::enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);

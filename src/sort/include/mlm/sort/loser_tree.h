@@ -5,12 +5,36 @@
 // minimum among k run heads with exactly ceil(log2 k) comparisons per
 // extracted element and no branching on run indices, which is what makes
 // multiway merge "exploit prefetching well on the KNL cores" (§4).
+//
+// Two kernel-level optimizations keep the inner loop tight (DESIGN.md
+// §5d):
+//
+//   - Cached keys: every tree node carries a copy of its run's head
+//     element, so a replay comparison touches the node array only —
+//     no indirection through the run cursor per comparison.  A cached
+//     key is invalidated only when its own run's cursor advances, and
+//     only the winner's cursor ever advances, so loser keys stay valid
+//     between replays by construction.
+//   - Batched extraction: pop_batch()/pop_streak() emit a *streak* of
+//     elements from the current winning run in one tight loop, guarded
+//     by a single "challenger" comparison per element, and replay the
+//     tree only when the winner changes.  The challenger — the best
+//     loser on the winner's leaf-to-root path — is exactly the overall
+//     second-best run: every run off that path lost its match against
+//     something other than the winner, i.e. against a run that beats
+//     it, so by transitivity it cannot be second-best.  While the
+//     streak runs, no other run's cursor moves, so the challenger is a
+//     loop invariant and the emitted sequence is element-for-element
+//     identical to repeated pop() calls (stability included: streaks
+//     end on the same run-index tie-breaks pop() applies).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <functional>
 #include <iterator>
 #include <limits>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -24,10 +48,14 @@ namespace mlm::sort {
 ///   LoserTree<const T*> lt(k, comp);
 ///   lt.set_run(i, begin_i, end_i);  // for each run
 ///   lt.init();
-///   while (!lt.empty()) *out++ = lt.pop();
+///   while (!lt.empty()) n = lt.pop_batch(out, space);  // or pop()
 ///
 /// Ties are broken by run index, so merging runs that are consecutive
 /// slices of one array is stable.
+///
+/// The element type must be default-constructible and copyable (tree
+/// nodes cache run heads by value); every in-tree instantiation merges
+/// trivially copyable records through `const T*` runs.
 ///
 /// Layout: implicit complete binary tree with the k leaves at array
 /// positions k..2k-1; internal nodes 1..k-1 each store the *loser* of the
@@ -52,24 +80,80 @@ class LoserTree {
   /// Build the tournament; call after all set_run calls, before pop().
   void init() { winner_ = build(1); }
 
-  bool empty() const {
-    return winner_ == kInvalid || runs_[winner_].exhausted();
-  }
+  bool empty() const { return !winner_.live; }
 
   /// The current minimum element (precondition: !empty()).
-  const value_type& top() const { return *runs_[winner_].cur; }
+  const value_type& top() const { return winner_.key; }
 
   /// Index of the run the current minimum comes from.
-  std::size_t top_run() const { return winner_; }
+  std::size_t top_run() const { return winner_.run; }
 
   /// Extract the minimum and advance its run; O(log k).
   value_type pop() {
     MLM_CHECK_MSG(!empty(), "pop from empty loser tree");
-    Run& r = runs_[winner_];
-    value_type v = *r.cur;
+    value_type v = winner_.key;
+    Run& r = runs_[winner_.run];
     ++r.cur;
-    replay_from(winner_);
+    reload_winner_key(r);
+    replay();
     return v;
+  }
+
+  /// Extract up to `n` elements into `out`, batching streaks from each
+  /// winning run; returns the number written (less than `n` only when
+  /// the tree drains).  Equivalent to n sequential pop() calls.
+  std::size_t pop_batch(value_type* out, std::size_t n) {
+    std::size_t produced = 0;
+    std::size_t run = 0;
+    while (produced < n && winner_.live) {
+      produced += pop_streak(out + produced, n - produced, run);
+    }
+    return produced;
+  }
+
+  /// Extract up to `n` elements into `out`, all from the *current*
+  /// winning run (one streak); stores that run's index in `run` and
+  /// returns the count (0 only when empty or n == 0).  A streak ends
+  /// when the winner's next element no longer beats the best rival,
+  /// when the winning run exhausts, or at `n`.  Callers that track
+  /// per-run consumption (the external merge's staging windows) use
+  /// this directly; everything else wants pop_batch().
+  std::size_t pop_streak(value_type* out, std::size_t n, std::size_t& run) {
+    if (n == 0 || !winner_.live) return 0;
+    run = winner_.run;
+    Run& r = runs_[run];
+    const auto avail = static_cast<std::size_t>(r.end - r.cur);
+    const std::size_t cap = std::min(n, avail);
+    It cur = r.cur;
+    prefetch_run(cur, avail);
+
+    // Best live loser on the winner's path = overall second best (see
+    // header comment); nullptr when every rival is exhausted.
+    const Node* ch = challenger();
+
+    std::size_t produced = 0;
+    if (ch == nullptr) {
+      for (; produced < cap; ++produced) out[produced] = *cur++;
+    } else {
+      // Hoisted run-index tie-break: constant for the whole streak.
+      const bool win_ties = run < ch->run;
+      const value_type& ck = ch->key;
+      while (produced < cap) {
+        const value_type& v = *cur;
+        if (comp_(ck, v)) break;                // challenger strictly wins
+        if (!win_ties && !comp_(v, ck)) break;  // tie goes to challenger
+        out[produced] = v;
+        ++produced;
+        ++cur;
+      }
+    }
+    // Tournament invariant: at entry the winner beats the challenger,
+    // so the first element is always emitted — callers can rely on
+    // progress while !empty().
+    r.cur = cur;
+    reload_winner_key(r);
+    replay();
+    return produced;
   }
 
   /// Total elements remaining across all runs.
@@ -79,60 +163,114 @@ class LoserTree {
     return n;
   }
 
- private:
-  static constexpr std::size_t kInvalid =
-      std::numeric_limits<std::size_t>::max();
+  /// Unconsumed range of run `i` — lets a caller drain a partially
+  /// popped tree through a different merge strategy (multiway_merge's
+  /// probe-then-cascade switch).
+  std::pair<It, It> run_range(std::size_t i) const {
+    MLM_REQUIRE(i < k_, "run index out of range");
+    return {runs_[i].cur, runs_[i].end};
+  }
 
+ private:
   struct Run {
     It cur{};
     It end{};
     bool exhausted() const { return cur == end; }
   };
 
-  /// True if run a's head must be emitted before run b's head.
-  /// Exhausted runs lose to live runs; run-index ties keep stability.
-  bool beats(std::size_t a, std::size_t b) const {
-    if (a == kInvalid) return false;
-    if (b == kInvalid) return true;
-    const bool a_done = runs_[a].exhausted();
-    const bool b_done = runs_[b].exhausted();
-    if (a_done != b_done) return b_done;
-    if (a_done && b_done) return a < b;
-    if (comp_(*runs_[a].cur, *runs_[b].cur)) return true;
-    if (comp_(*runs_[b].cur, *runs_[a].cur)) return false;
-    return a < b;
+  /// A match participant: run index, liveness, and a cached copy of the
+  /// run's head element (valid while the run's cursor is unchanged).
+  struct Node {
+    std::size_t run = std::numeric_limits<std::size_t>::max();
+    bool live = false;
+    value_type key{};
+  };
+
+  /// True if node a's head must be emitted before node b's.  Exhausted
+  /// runs lose to live runs; run-index ties keep stability.
+  bool node_beats(const Node& a, const Node& b) const {
+    if (!a.live) return false;
+    if (!b.live) return true;
+    if (comp_(a.key, b.key)) return true;
+    if (comp_(b.key, a.key)) return false;
+    return a.run < b.run;
+  }
+
+  Node make_leaf(std::size_t i) const {
+    Node n;
+    n.run = i;
+    n.live = !runs_[i].exhausted();
+    if (n.live) n.key = *runs_[i].cur;
+    return n;
   }
 
   /// Recursively play the subtree rooted at `node`; stores losers in
   /// internal nodes and returns the subtree winner.
-  std::size_t build(std::size_t node) {
-    if (node >= k_) return node - k_;  // leaf: run index
-    const std::size_t l = build(2 * node);
-    const std::size_t r = build(2 * node + 1);
-    if (beats(l, r)) {
-      tree_[node] = r;
+  Node build(std::size_t node) {
+    if (node >= k_) return make_leaf(node - k_);
+    Node l = build(2 * node);
+    Node r = build(2 * node + 1);
+    if (node_beats(l, r)) {
+      tree_[node] = std::move(r);
       return l;
     }
-    tree_[node] = l;
+    tree_[node] = std::move(l);
     return r;
   }
 
-  /// Replay the path from leaf `leaf` to the root after its run head
-  /// changed; updates winner_.
-  void replay_from(std::size_t leaf) {
-    std::size_t contender = leaf;
-    for (std::size_t node = (leaf + k_) / 2; node >= 1; node /= 2) {
-      if (beats(tree_[node], contender)) std::swap(tree_[node], contender);
+  /// Refresh the winner's cached key after its cursor advanced.
+  void reload_winner_key(const Run& r) {
+    if (r.exhausted()) {
+      winner_.live = false;
+    } else {
+      winner_.key = *r.cur;
+    }
+  }
+
+  /// Replay the winner's leaf-to-root path after its head changed.
+  void replay() {
+    for (std::size_t node = (winner_.run + k_) / 2; node >= 1; node /= 2) {
+      if (node_beats(tree_[node], winner_)) std::swap(tree_[node], winner_);
       if (node == 1) break;
     }
-    winner_ = contender;
+  }
+
+  /// Best live loser on the current winner's path, or nullptr.
+  const Node* challenger() const {
+    const Node* best = nullptr;
+    for (std::size_t node = (winner_.run + k_) / 2; node >= 1; node /= 2) {
+      const Node& cand = tree_[node];
+      if (cand.live && (best == nullptr || node_beats(cand, *best))) {
+        best = &cand;
+      }
+      if (node == 1) break;
+    }
+    return best;
+  }
+
+  /// Pull the streak's read stream into cache ahead of the copy loop.
+  /// Contiguous pointer runs only; prefetching past the run end is a
+  /// harmless hint, so no tail guard is needed.
+  static void prefetch_run(It cur, std::size_t avail) {
+#if defined(__GNUC__) || defined(__clang__)
+    if constexpr (std::is_pointer_v<It>) {
+      constexpr std::size_t kLine = 64 / sizeof(value_type) > 0
+                                        ? 64 / sizeof(value_type)
+                                        : 1;
+      __builtin_prefetch(cur + kLine);
+      if (avail > 2 * kLine) __builtin_prefetch(cur + 2 * kLine);
+    }
+#else
+    (void)cur;
+    (void)avail;
+#endif
   }
 
   std::size_t k_;
   Comp comp_;
   std::vector<Run> runs_;
-  std::vector<std::size_t> tree_;  // indices 1..k-1 hold losers
-  std::size_t winner_ = kInvalid;
+  std::vector<Node> tree_;  // indices 1..k-1 hold losers
+  Node winner_;
 };
 
 }  // namespace mlm::sort

@@ -1,0 +1,115 @@
+// Branch-light two-run merge kernel.
+//
+// Two-run merges are the k == 2 fast path of multiway_merge and the
+// bottom of every merge tree; std::merge compiles to an unpredictable
+// branch per element, which stalls the in-order-ish KNL cores the paper
+// targets.  merge_two_runs instead selects each output element with a
+// conditional move (take_b ? *b : *a) and advances the cursors by the
+// comparison result, so the inner loop has no data-dependent branch.
+// The main loop is 4-way unrolled and only runs while both runs hold at
+// least 4 elements, which removes the per-element exhaustion checks; a
+// scalar loop and bulk tail copies finish the job.
+//
+// Stability: b is taken only when comp(*b, *a) is strictly true, so
+// equal elements come out a-first — same tie-break as std::merge and as
+// LoserTree's run-index ordering.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mlm/support/error.h"
+
+namespace mlm::sort {
+
+/// Merge sorted [a, a_end) and [b, b_end) into `out` (which must hold
+/// the combined length and may not overlap the inputs); returns the
+/// write cursor past the last element.  Stable: ties favor run a.
+template <typename T, typename Comp>
+T* merge_two_runs(const T* a, const T* a_end, const T* b, const T* b_end,
+                  T* out, Comp comp) {
+  // Each unrolled step advances exactly one cursor, so four steps stay
+  // in bounds as long as both runs entered the iteration with >= 4.
+  while (a_end - a >= 4 && b_end - b >= 4) {
+    for (int step = 0; step < 4; ++step) {
+      const bool take_b = comp(*b, *a);
+      *out++ = take_b ? *b : *a;
+      a += !take_b;
+      b += take_b;
+    }
+  }
+  while (a != a_end && b != b_end) {
+    const bool take_b = comp(*b, *a);
+    *out++ = take_b ? *b : *a;
+    a += !take_b;
+    b += take_b;
+  }
+  out = std::copy(a, a_end, out);
+  out = std::copy(b, b_end, out);
+  return out;
+}
+
+/// k-way merge as a cascade of branch-light two-run merges: adjacent
+/// run pairs merge level by level, ping-ponging between `out` and
+/// `scratch` (scratch.size() >= out.size()), until one run remains in
+/// `out`.  Each element moves ceil(log2 k) times but every move costs
+/// one predictable-branch-free comparison, which beats the loser tree's
+/// log2(k) *mispredicted* comparisons per element when runs interleave
+/// finely (few duplicates); the tree's streak extraction wins when long
+/// same-run streaks exist.  multiway_merge probes and picks at runtime.
+///
+/// Stable: adjacent pairs preserve run order and merge_two_runs breaks
+/// ties toward the lower-indexed run, so the output is byte-identical
+/// to the loser-tree path.
+template <typename T, typename Comp>
+void multiway_merge_cascade(std::span<const std::span<const T>> runs,
+                            std::span<T> out, std::span<T> scratch,
+                            Comp comp) {
+  MLM_REQUIRE(scratch.size() >= out.size(),
+              "cascade merge needs scratch >= output");
+  std::size_t total = 0;
+  for (const auto& r : runs) total += r.size();
+  MLM_REQUIRE(out.size() == total, "output size must equal total run size");
+  if (total == 0) return;
+
+  // Number of pairwise levels; parity decides the starting buffer so
+  // the final level lands in `out`.
+  std::size_t levels = 0;
+  for (std::size_t w = 1; w < runs.size(); w *= 2) ++levels;
+  T* const bufs[2] = {out.data(), scratch.data()};
+  std::size_t which = levels % 2;
+
+  // Seed level: copy the runs, contiguously, into the starting buffer.
+  std::vector<std::size_t> offs;
+  offs.reserve(runs.size() + 1);
+  offs.push_back(0);
+  for (const auto& r : runs) {
+    std::copy(r.begin(), r.end(), bufs[which] + offs.back());
+    offs.push_back(offs.back() + r.size());
+  }
+
+  std::vector<std::size_t> next_offs;
+  while (offs.size() > 2) {
+    const T* const src = bufs[which];
+    T* const dst = bufs[which ^ 1];
+    next_offs.clear();
+    next_offs.push_back(0);
+    std::size_t i = 0;
+    for (; i + 2 < offs.size(); i += 2) {
+      merge_two_runs(src + offs[i], src + offs[i + 1], src + offs[i + 1],
+                     src + offs[i + 2], dst + offs[i], comp);
+      next_offs.push_back(offs[i + 2]);
+    }
+    if (i + 2 == offs.size()) {  // odd run count: carry the last run
+      std::copy(src + offs[i], src + offs[i + 1], dst + offs[i]);
+      next_offs.push_back(offs[i + 1]);
+    }
+    offs.swap(next_offs);
+    which ^= 1;
+  }
+  MLM_CHECK_MSG(which == 0, "cascade merge parity error");
+}
+
+}  // namespace mlm::sort

@@ -9,11 +9,13 @@
 #include <cstddef>
 #include <functional>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "mlm/parallel/parallel_for.h"
 #include "mlm/parallel/thread_pool.h"
 #include "mlm/sort/loser_tree.h"
+#include "mlm/sort/merge_kernels.h"
 #include "mlm/support/error.h"
 
 namespace mlm::sort {
@@ -22,9 +24,24 @@ namespace mlm::sort {
 template <typename T>
 using Run = std::span<const T>;
 
+/// Probe budget and switch threshold for the hybrid k >= 3 merge: the
+/// first min(total/8, 64Ki) elements run through the loser tree's
+/// streak extraction while counting streaks; if the mean streak is
+/// shorter than kCascadeStreakThreshold (runs interleave finely — the
+/// duplicate-poor regime where per-element replay mispredicts), the
+/// remainder drains through the two-run cascade instead.  Both paths
+/// are stable with identical tie-breaks, so the choice never changes a
+/// single output byte — only the time and a transient scratch
+/// allocation.  The probe statistic is a pure function of the input,
+/// keeping outputs and decisions deterministic.
+inline constexpr std::size_t kCascadeMinElements = 4096;
+inline constexpr std::size_t kCascadeProbeMax = std::size_t{1} << 16;
+inline constexpr std::size_t kCascadeStreakThreshold = 2;
+
 /// Sequential k-way merge of sorted runs into `out` (size = total run
-/// length).  Two-run inputs use a branch-light binary merge; k >= 3 uses
-/// a loser tree.  Stable across run order.
+/// length).  Two-run inputs use a branch-light binary merge; k >= 3
+/// starts on a loser tree and may hand off to the two-run cascade (see
+/// kCascadeStreakThreshold above).  Stable across run order.
 template <typename T, typename Comp = std::less<>>
 void multiway_merge(std::span<const Run<T>> runs, std::span<T> out,
                     Comp comp = {}) {
@@ -45,8 +62,9 @@ void multiway_merge(std::span<const Run<T>> runs, std::span<T> out,
     return;
   }
   if (live.size() == 2) {
-    std::merge(live[0].begin(), live[0].end(), live[1].begin(),
-               live[1].end(), out.begin(), comp);
+    merge_two_runs(live[0].data(), live[0].data() + live[0].size(),
+                   live[1].data(), live[1].data() + live[1].size(),
+                   out.data(), comp);
     return;
   }
 
@@ -55,9 +73,48 @@ void multiway_merge(std::span<const Run<T>> runs, std::span<T> out,
     lt.set_run(i, live[i].data(), live[i].data() + live[i].size());
   }
   lt.init();
-  T* o = out.data();
-  while (!lt.empty()) *o++ = lt.pop();
-  MLM_CHECK(o == out.data() + out.size());
+
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    if (total >= kCascadeMinElements) {
+      const std::size_t probe =
+          std::min<std::size_t>(total / 8, kCascadeProbeMax);
+      std::size_t produced = 0;
+      std::size_t streaks = 0;
+      std::size_t src = 0;
+      while (produced < probe && !lt.empty()) {
+        produced += lt.pop_streak(out.data() + produced, probe - produced,
+                                  src);
+        ++streaks;
+      }
+      if (!lt.empty() &&
+          produced < streaks * kCascadeStreakThreshold) {
+        // Fine interleaving: drain the leftover run tails through the
+        // cascade.  The scratch is transient and sized to the leftover.
+        std::vector<Run<T>> rest;
+        rest.reserve(live.size());
+        std::size_t left = 0;
+        for (std::size_t i = 0; i < live.size(); ++i) {
+          const auto [cur, end] = lt.run_range(i);
+          if (cur != end) {
+            rest.emplace_back(cur, static_cast<std::size_t>(end - cur));
+            left += rest.back().size();
+          }
+        }
+        MLM_CHECK(produced + left == total);
+        std::vector<T> scratch(left);
+        multiway_merge_cascade(std::span<const Run<T>>(rest),
+                               out.subspan(produced, left),
+                               std::span<T>(scratch), comp);
+        return;
+      }
+      const std::size_t got =
+          lt.pop_batch(out.data() + produced, total - produced);
+      MLM_CHECK(produced + got == total && lt.empty());
+      return;
+    }
+  }
+  const std::size_t got = lt.pop_batch(out.data(), out.size());
+  MLM_CHECK(got == out.size() && lt.empty());
 }
 
 /// Exact multisequence partition: split positions s[i] such that

@@ -13,10 +13,12 @@
 #include <algorithm>
 #include <functional>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "mlm/parallel/parallel_for.h"
 #include "mlm/parallel/thread_pool.h"
+#include "mlm/sort/merge_kernels.h"
 #include "mlm/sort/multiway_merge.h"
 #include "mlm/support/error.h"
 
@@ -48,11 +50,19 @@ void msort(T* data, T* buf, std::size_t lo, std::size_t hi, Comp& comp) {
   msort(data, buf, lo, mid, comp);
   msort(data, buf, mid, hi, comp);
   // Merge halves into buf, stably (left wins ties), then move back.
-  std::merge(std::make_move_iterator(data + lo),
-             std::make_move_iterator(data + mid),
-             std::make_move_iterator(data + mid),
-             std::make_move_iterator(data + hi), buf + lo, comp);
-  std::move(buf + lo, buf + hi, data + lo);
+  // Trivially copyable types take the branch-light unrolled kernel;
+  // move-only/heavy types keep the move-iterator std::merge.
+  if constexpr (std::is_trivially_copyable_v<T>) {
+    merge_two_runs<T>(data + lo, data + mid, data + mid, data + hi,
+                      buf + lo, comp);
+    std::copy(buf + lo, buf + hi, data + lo);
+  } else {
+    std::merge(std::make_move_iterator(data + lo),
+               std::make_move_iterator(data + mid),
+               std::make_move_iterator(data + mid),
+               std::make_move_iterator(data + hi), buf + lo, comp);
+    std::move(buf + lo, buf + hi, data + lo);
+  }
 }
 }  // namespace stable_detail
 

@@ -105,5 +105,52 @@ TEST(WaitAll, EmptyVectorOk) {
   EXPECT_NO_THROW(wait_all(futs));
 }
 
+TEST(ParallelMemcpySliceCount, EverySliceMeetsTheMinimum) {
+  constexpr std::size_t kMin = kParallelMemcpyMinSliceBytes;
+  // The old `bytes / kMin + 1` formula handed out 2 slices for
+  // kMin + 1 bytes — one of them far below the minimum.  Slice counts
+  // round down now: a second slice only exists once both can carry kMin.
+  EXPECT_EQ(parallel_memcpy_slice_count(0, 8, 8), 0u);
+  EXPECT_EQ(parallel_memcpy_slice_count(1, 8, 8), 1u);
+  EXPECT_EQ(parallel_memcpy_slice_count(kMin - 1, 8, 8), 1u);
+  EXPECT_EQ(parallel_memcpy_slice_count(kMin, 8, 8), 1u);
+  EXPECT_EQ(parallel_memcpy_slice_count(kMin + 1, 8, 8), 1u);
+  EXPECT_EQ(parallel_memcpy_slice_count(2 * kMin - 1, 8, 8), 1u);
+  EXPECT_EQ(parallel_memcpy_slice_count(2 * kMin, 8, 8), 2u);
+  EXPECT_EQ(parallel_memcpy_slice_count(3 * kMin, 8, 8), 3u);
+  EXPECT_EQ(parallel_memcpy_slice_count(100 * kMin, 8, 8), 8u);
+
+  // Exhaustive floor check across the boundary region: no chosen count
+  // ever yields a sub-minimum slice (balanced partitioning: the
+  // smallest slice is bytes / ways).
+  for (std::size_t bytes = 1; bytes <= 4 * kMin; bytes += kMin / 4) {
+    const std::size_t ways = parallel_memcpy_slice_count(bytes, 16, 16);
+    ASSERT_GE(ways, 1u);
+    if (ways > 1) {
+      EXPECT_GE(bytes / ways, kMin) << "bytes=" << bytes;
+    }
+  }
+}
+
+TEST(ParallelMemcpySliceCount, CappedByPoolAndMaxWays) {
+  constexpr std::size_t kMin = kParallelMemcpyMinSliceBytes;
+  EXPECT_EQ(parallel_memcpy_slice_count(100 * kMin, 4, 8), 4u);
+  EXPECT_EQ(parallel_memcpy_slice_count(100 * kMin, 8, 3), 3u);
+  // Degenerate caps still produce one slice for a nonzero copy.
+  EXPECT_EQ(parallel_memcpy_slice_count(100 * kMin, 1, 0), 1u);
+}
+
+TEST(ParallelMemcpy, StreamingModeCopiesExactly) {
+  ThreadPool pool(3);
+  for (std::size_t n :
+       {std::size_t{1} << 12, (std::size_t{1} << 21) + 17}) {
+    const auto src = random_bytes(n, n + 3);
+    std::vector<unsigned char> dst(n, 0xEE);
+    parallel_memcpy(pool, dst.data(), src.data(), n, pool.size(),
+                    CopyMode::Streaming);
+    EXPECT_EQ(dst, src);
+  }
+}
+
 }  // namespace
 }  // namespace mlm

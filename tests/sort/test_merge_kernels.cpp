@@ -1,0 +1,340 @@
+// Property tests for the batched merge kernels (PR 5): pop_batch /
+// pop_streak against sequential pop() and std::merge references, the
+// unrolled two-run merge against std::merge, with seeded dup-heavy
+// inputs, byte-exact output checks, and run-order stability.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "mlm/sort/loser_tree.h"
+#include "mlm/sort/merge_kernels.h"
+#include "mlm/sort/multiway_merge.h"
+#include "mlm/support/error.h"
+#include "mlm/support/proptest.h"
+
+namespace mlm::sort {
+namespace {
+
+// Key + origin tag: comparisons see only the key, so the tag exposes
+// stability violations that value comparison would miss.
+struct Tagged {
+  std::int64_t key = 0;
+  std::uint32_t run = 0;
+  std::uint32_t pos = 0;
+
+  friend bool operator==(const Tagged&, const Tagged&) = default;
+};
+struct TaggedKeyLess {
+  bool operator()(const Tagged& a, const Tagged& b) const {
+    return a.key < b.key;
+  }
+};
+
+/// Seeded sorted runs; keys drawn from [0, key_bound) — small bounds
+/// produce the heavy duplicates that exercise streaks and tie-breaks.
+std::vector<std::vector<Tagged>> gen_runs(Gen& g, std::size_t max_k,
+                                          std::size_t max_len,
+                                          std::int64_t key_bound) {
+  const std::size_t k = g.size_in(1, max_k);
+  std::vector<std::vector<Tagged>> runs(k);
+  for (std::uint32_t i = 0; i < k; ++i) {
+    auto keys = g.int_vector(0, max_len, 0, key_bound - 1);
+    std::sort(keys.begin(), keys.end());
+    runs[i].resize(keys.size());
+    for (std::uint32_t p = 0; p < keys.size(); ++p) {
+      runs[i][p] = Tagged{keys[p], i, p};
+    }
+  }
+  return runs;
+}
+
+template <typename T, typename Comp>
+LoserTree<const T*, Comp> seated(const std::vector<std::vector<T>>& runs,
+                                 Comp comp) {
+  LoserTree<const T*, Comp> lt(runs.size(), comp);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    lt.set_run(i, runs[i].data(), runs[i].data() + runs[i].size());
+  }
+  lt.init();
+  return lt;
+}
+
+/// The trusted reference: run-by-run stable merge with std::merge
+/// (lower run index wins ties, matching the tree's tie-break).
+std::vector<Tagged> reference_merge(
+    const std::vector<std::vector<Tagged>>& runs) {
+  std::vector<Tagged> out;
+  for (const auto& r : runs) {
+    std::vector<Tagged> next(out.size() + r.size());
+    std::merge(out.begin(), out.end(), r.begin(), r.end(), next.begin(),
+               TaggedKeyLess{});
+    out = std::move(next);
+  }
+  return out;
+}
+
+TEST(PopBatchProperty, MatchesSequentialPopsAndReference) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    Gen g(seed * 7919 + 1);
+    // Alternate dup-heavy (8 distinct keys) and wide key spaces.
+    const auto runs =
+        gen_runs(g, 12, 150, seed % 2 == 0 ? 8 : 1'000'000);
+    std::size_t total = 0;
+    for (const auto& r : runs) total += r.size();
+
+    auto lt_seq = seated(runs, TaggedKeyLess{});
+    std::vector<Tagged> via_pop;
+    via_pop.reserve(total);
+    while (!lt_seq.empty()) via_pop.push_back(lt_seq.pop());
+
+    auto lt_batch = seated(runs, TaggedKeyLess{});
+    std::vector<Tagged> via_batch(total);
+    // Odd batch sizes force streaks to split across pop_batch calls.
+    std::size_t off = 0;
+    const std::size_t step = g.size_in(1, 7);
+    while (off < total) {
+      const std::size_t got =
+          lt_batch.pop_batch(via_batch.data() + off, step);
+      ASSERT_GT(got, 0u) << "no progress at off=" << off;
+      off += got;
+    }
+    ASSERT_EQ(off, total);
+    EXPECT_TRUE(lt_batch.empty());
+
+    // Byte-exact: tags included, so this asserts stability too.
+    EXPECT_EQ(via_batch, via_pop) << "seed=" << seed;
+    EXPECT_EQ(via_batch, reference_merge(runs)) << "seed=" << seed;
+  }
+}
+
+TEST(PopBatchProperty, StabilityUnderAllEqualKeys) {
+  Gen g(99);
+  auto runs = gen_runs(g, 6, 40, 1);  // every key identical
+  auto lt = seated(runs, TaggedKeyLess{});
+  std::vector<Tagged> out(lt.remaining());
+  EXPECT_EQ(lt.pop_batch(out.data(), out.size()), out.size());
+  // All ties: output must be runs 0..k-1 in order, each in position
+  // order.
+  std::size_t i = 0;
+  for (std::uint32_t r = 0; r < runs.size(); ++r) {
+    for (std::uint32_t p = 0; p < runs[r].size(); ++p, ++i) {
+      ASSERT_EQ(out[i].run, r) << "i=" << i;
+      ASSERT_EQ(out[i].pos, p) << "i=" << i;
+    }
+  }
+}
+
+TEST(PopBatch, NLargerThanRemainingDrainsAndStops) {
+  std::vector<std::vector<int>> runs{{1, 3, 5}, {2, 4}};
+  auto lt = seated(runs, std::less<>{});
+  std::vector<int> out(100, -1);
+  EXPECT_EQ(lt.pop_batch(out.data(), 100), 5u);
+  EXPECT_TRUE(lt.empty());
+  EXPECT_EQ(lt.pop_batch(out.data() + 5, 100), 0u);
+  EXPECT_EQ((std::vector<int>(out.begin(), out.begin() + 5)),
+            (std::vector<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(out[5], -1);
+}
+
+TEST(PopBatch, ZeroBudgetPopsNothing) {
+  std::vector<std::vector<int>> runs{{1, 2}};
+  auto lt = seated(runs, std::less<>{});
+  int sink = 0;
+  EXPECT_EQ(lt.pop_batch(&sink, 0), 0u);
+  EXPECT_EQ(lt.remaining(), 2u);
+}
+
+TEST(PopBatch, SingleRunTreeBulkCopies) {
+  // k = 1: no challenger exists; the whole run must stream out in one
+  // streak.
+  std::vector<std::vector<int>> runs{{1, 1, 2, 3, 5, 8}};
+  auto lt = seated(runs, std::less<>{});
+  std::vector<int> out(6);
+  std::size_t src = 99;
+  EXPECT_EQ(lt.pop_streak(out.data(), 6, src), 6u);
+  EXPECT_EQ(src, 0u);
+  EXPECT_TRUE(lt.empty());
+  EXPECT_EQ(out, runs[0]);
+}
+
+TEST(PopStreak, StopsAtRunSwitchAndReportsSource) {
+  std::vector<std::vector<int>> runs{{1, 1, 7, 8}, {2, 3, 9}};
+  auto lt = seated(runs, std::less<>{});
+  std::vector<int> out(16, -1);
+  std::size_t src = 99;
+  // Run 0 leads with 1,1; the challenger head is 2, so the streak must
+  // stop after exactly the two 1s.
+  EXPECT_EQ(lt.pop_streak(out.data(), 16, src), 2u);
+  EXPECT_EQ(src, 0u);
+  // Then 2,3 from run 1 (stops when 7 beats it... i.e. 7 > 3 ends it).
+  EXPECT_EQ(lt.pop_streak(out.data() + 2, 16, src), 2u);
+  EXPECT_EQ(src, 1u);
+  EXPECT_EQ(lt.pop_streak(out.data() + 4, 16, src), 2u);  // 7, 8
+  EXPECT_EQ(src, 0u);
+  EXPECT_EQ(lt.pop_streak(out.data() + 6, 16, src), 1u);  // 9
+  EXPECT_EQ(src, 1u);
+  EXPECT_TRUE(lt.empty());
+  EXPECT_EQ((std::vector<int>(out.begin(), out.begin() + 7)),
+            (std::vector<int>{1, 1, 2, 3, 7, 8, 9}));
+}
+
+TEST(PopStreak, RespectsSpaceCapMidStreak) {
+  std::vector<std::vector<int>> runs{{1, 2, 3, 4}, {10}};
+  auto lt = seated(runs, std::less<>{});
+  std::vector<int> out(2, -1);
+  std::size_t src = 99;
+  EXPECT_EQ(lt.pop_streak(out.data(), 2, src), 2u);
+  EXPECT_EQ(src, 0u);
+  EXPECT_EQ(lt.top(), 3);  // cap, not run switch, ended the streak
+  EXPECT_EQ(lt.remaining(), 3u);
+}
+
+TEST(MergeTwoRunsProperty, MatchesStdMerge) {
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    Gen g(seed * 131 + 7);
+    const std::int64_t bound = seed % 3 == 0 ? 4 : 100'000;
+    auto a = g.int_vector(0, 200, 0, bound);
+    auto b = g.int_vector(0, 200, 0, bound);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+
+    std::vector<std::int64_t> expect(a.size() + b.size());
+    std::merge(a.begin(), a.end(), b.begin(), b.end(), expect.begin());
+    std::vector<std::int64_t> got(a.size() + b.size(), -1);
+    std::int64_t* end = merge_two_runs(
+        a.data(), a.data() + a.size(), b.data(), b.data() + b.size(),
+        got.data(), std::less<>{});
+    EXPECT_EQ(end, got.data() + got.size());
+    EXPECT_EQ(got, expect) << "seed=" << seed;
+  }
+}
+
+TEST(MergeTwoRunsProperty, StableTiesFavorFirstRun) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    Gen g(seed + 1000);
+    std::vector<std::vector<Tagged>> runs =
+        gen_runs(g, 2, 120, 3);  // dup-heavy
+    runs.resize(2);
+    std::vector<Tagged> got(runs[0].size() + runs[1].size());
+    merge_two_runs(runs[0].data(), runs[0].data() + runs[0].size(),
+                   runs[1].data(), runs[1].data() + runs[1].size(),
+                   got.data(), TaggedKeyLess{});
+    std::vector<Tagged> expect(got.size());
+    std::merge(runs[0].begin(), runs[0].end(), runs[1].begin(),
+               runs[1].end(), expect.begin(), TaggedKeyLess{});
+    EXPECT_EQ(got, expect) << "seed=" << seed;
+  }
+}
+
+TEST(MergeTwoRuns, EmptyRunsAndTails) {
+  const std::vector<int> empty;
+  std::vector<int> a{1, 2, 3};
+  std::vector<int> out(3, -1);
+  int* end = merge_two_runs(a.data(), a.data() + a.size(), empty.data(),
+                            empty.data(), out.data(), std::less<>{});
+  EXPECT_EQ(end, out.data() + 3);
+  EXPECT_EQ(out, a);
+  end = merge_two_runs(empty.data(), empty.data(), a.data(),
+                       a.data() + a.size(), out.data(), std::less<>{});
+  EXPECT_EQ(end, out.data() + 3);
+  EXPECT_EQ(out, a);
+  end = merge_two_runs(empty.data(), empty.data(), empty.data(),
+                       empty.data(), out.data(), std::less<>{});
+  EXPECT_EQ(end, out.data());
+}
+
+TEST(CascadeProperty, MatchesReferenceIncludingStability) {
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    Gen g(seed * 97 + 3);
+    // Odd k values included; dup-heavy every third seed.
+    const auto runs =
+        gen_runs(g, 11, 120, seed % 3 == 0 ? 5 : 1'000'000);
+    std::size_t total = 0;
+    for (const auto& r : runs) total += r.size();
+    std::vector<std::span<const Tagged>> spans(runs.begin(), runs.end());
+    std::vector<Tagged> out(total), scratch(total);
+    multiway_merge_cascade(std::span<const std::span<const Tagged>>(spans),
+                           std::span<Tagged>(out),
+                           std::span<Tagged>(scratch), TaggedKeyLess{});
+    EXPECT_EQ(out, reference_merge(runs)) << "seed=" << seed;
+  }
+}
+
+TEST(Cascade, RejectsUndersizedScratch) {
+  std::vector<int> a{1, 2}, b{3, 4};
+  std::vector<std::span<const int>> spans{a, b};
+  std::vector<int> out(4), scratch(3);
+  EXPECT_THROW(
+      multiway_merge_cascade(std::span<const std::span<const int>>(spans),
+                             std::span<int>(out), std::span<int>(scratch),
+                             std::less<>{}),
+      InvalidArgumentError);
+}
+
+TEST(Cascade, SingleAndEmptyRuns) {
+  std::vector<int> a{1, 2, 3};
+  std::vector<std::span<const int>> one{a};
+  std::vector<int> out(3), scratch(3);
+  multiway_merge_cascade(std::span<const std::span<const int>>(one),
+                         std::span<int>(out), std::span<int>(scratch),
+                         std::less<>{});
+  EXPECT_EQ(out, a);
+
+  std::vector<std::span<const int>> none;
+  std::vector<int> empty_out;
+  multiway_merge_cascade(std::span<const std::span<const int>>(none),
+                         std::span<int>(empty_out),
+                         std::span<int>(scratch), std::less<>{});
+}
+
+TEST(HybridMergeProperty, TreeAndCascadeRegimesAgreeWithReference) {
+  // Big enough to cross kCascadeMinElements so the probe actually runs:
+  // "random" takes the cascade handoff, "dups" stays on streaks.  The
+  // output must be identical (stability included) either way.
+  for (const std::int64_t bound : {std::int64_t{4}, std::int64_t{1} << 40}) {
+    Gen g(static_cast<std::uint64_t>(bound) + 17);
+    const std::size_t k = 7;
+    std::vector<std::vector<Tagged>> runs(k);
+    for (std::uint32_t i = 0; i < k; ++i) {
+      auto keys = g.int_vector(1500, 2500, 0, bound - 1);
+      std::sort(keys.begin(), keys.end());
+      runs[i].resize(keys.size());
+      for (std::uint32_t p = 0; p < keys.size(); ++p) {
+        runs[i][p] = Tagged{keys[p], i, p};
+      }
+    }
+    std::size_t total = 0;
+    for (const auto& r : runs) total += r.size();
+    ASSERT_GE(total, kCascadeMinElements);
+    std::vector<std::span<const Tagged>> spans(runs.begin(), runs.end());
+    std::vector<Tagged> out(total);
+    multiway_merge(std::span<const std::span<const Tagged>>(spans),
+                   std::span<Tagged>(out), TaggedKeyLess{});
+    EXPECT_EQ(out, reference_merge(runs)) << "bound=" << bound;
+  }
+}
+
+TEST(PopBatchProperty, ByteExactDigestAgainstReference) {
+  // digest_of over the raw structs: any byte-level divergence (padding
+  // included — Tagged is trivially copyable and fully initialized)
+  // fails even if operator== were too lax.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Gen g(seed + 31337);
+    const auto runs = gen_runs(g, 9, 100, 6);
+    std::size_t total = 0;
+    for (const auto& r : runs) total += r.size();
+    auto lt = seated(runs, TaggedKeyLess{});
+    std::vector<Tagged> out(total);
+    EXPECT_EQ(lt.pop_batch(out.data(), total), total);
+    const auto expect = reference_merge(runs);
+    EXPECT_EQ(digest_of<Tagged>(out), digest_of<Tagged>(expect))
+        << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mlm::sort
