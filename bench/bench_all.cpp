@@ -1,6 +1,6 @@
 // Aggregator: every benchmark suite in one binary, one artifact.
 //
-// `bench_all --json=BENCH.json` runs all 17 suites and writes one
+// `bench_all --json=BENCH.json` runs every suite and writes one
 // merged JSON perf artifact; `bench_all --smoke --json=...` is the CI
 // liveness configuration compared against bench/baselines/smoke.json by
 // tools/bench_compare.  Use --filter=SUBSTR to run a subset and --list

@@ -1,0 +1,13 @@
+// Thin entry point: service-layer scheduler benchmarks (see
+// bench/suites/service.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
+
+int main(int argc, char** argv) {
+  mlm::bench::Harness h("bench_service",
+                        "Multi-tenant sort-job scheduler benchmarks: "
+                        "contended batches, admission cycle cost, and "
+                        "deterministic schedule counters.");
+  mlm::bench::suites::register_service(h);
+  return h.run(argc, argv);
+}

@@ -22,6 +22,7 @@ void register_all(Harness& h) {
   register_host_sort(h);
   register_kernel_micro(h);
   register_fault_overhead(h);
+  register_service(h);
 }
 
 }  // namespace mlm::bench::suites

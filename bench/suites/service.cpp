@@ -1,0 +1,182 @@
+// S1 — service-layer benchmarks: the multi-tenant sort-job scheduler.
+//
+// The wall-clock cases time a contended batch end-to-end on real pool
+// workers (scheduler + admission overhead on top of the raw sorts) and
+// the raw admission-arbiter decide/release cycle.  The deterministic
+// case replays a fixed over-subscribed four-tenant schedule under a
+// seeded DeterministicExecutor and records the service counters —
+// queue rounds, steps, peak near-tier commit, degraded tenants — which
+// must never drift run-to-run for a given seed.
+#include <algorithm>
+#include <cstdint>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mlm/memory/memory_space.h"
+#include "mlm/parallel/deterministic_executor.h"
+#include "mlm/parallel/thread_pool.h"
+#include "mlm/service/admission.h"
+#include "mlm/service/job_scheduler.h"
+#include "mlm/service/sort_job.h"
+#include "mlm/sort/input_gen.h"
+#include "mlm/support/table.h"
+#include "mlm/support/units.h"
+#include "suites.h"
+
+namespace mlm::bench::suites {
+
+namespace {
+
+using service::JobConfig;
+using service::JobScheduler;
+using service::JobSchedulerConfig;
+using service::ServiceStats;
+
+struct Tenant {
+  std::size_t n;
+  sort::InputOrder order;
+  int priority;
+  std::uint64_t near_budget;
+};
+
+HierarchyConfig service_hierarchy() {
+  HierarchyConfig cfg;
+  cfg.tiers = {TierConfig{"nvm", MemKind::NVM, 0},
+               TierConfig{"ddr", MemKind::DDR, MiB(8)},
+               TierConfig{"mcdram", MemKind::MCDRAM, KiB(256)}};
+  cfg.mode = McdramMode::Flat;
+  return cfg;
+}
+
+// The standard over-subscribed mix: two contenders that fit one at a
+// time, a token (no-near) tenant, and a whale that must degrade.
+std::vector<Tenant> tenant_mix(std::size_t n) {
+  return {{n, sort::InputOrder::Random, 0, KiB(160)},
+          {n, sort::InputOrder::Reverse, 1, KiB(160)},
+          {n / 2, sort::InputOrder::FewDistinct, 0, 0},
+          {n, sort::InputOrder::NearlySorted, 0, KiB(512)}};
+}
+
+/// Submits the mix against `svc` and returns the aggregate after
+/// run_all.  Buffers live in the far tier (NVM) like a real ingest.
+ServiceStats run_mix(MemoryHierarchy& hier, JobScheduler& svc,
+                     const std::vector<Tenant>& tenants,
+                     std::vector<SpaceBuffer<std::int64_t>>& buffers,
+                     std::uint64_t seed) {
+  core::ExternalSortConfig sort_cfg;
+  sort_cfg.outer_chunk_elements = 1024;
+  sort_cfg.inner.variant = core::MlmVariant::Flat;
+  for (std::size_t j = 0; j < tenants.size(); ++j) {
+    const Tenant& t = tenants[j];
+    buffers.emplace_back(hier.tier(0), t.n);
+    const auto init = sort::make_input(t.n, t.order, seed + j);
+    std::copy(init.begin(), init.end(), buffers[j].data());
+    JobConfig jc;
+    jc.name = "tenant" + std::to_string(j);
+    jc.priority = t.priority;
+    jc.near_budget_bytes = t.near_budget;
+    svc.submit(jc, service::make_sort_job(
+                       std::span<std::int64_t>(buffers[j].data(), t.n),
+                       sort_cfg));
+  }
+  return svc.run_all();
+}
+
+void view(const RunReport& report, std::ostream& out) {
+  out << "=== Service layer: multi-tenant scheduler ===\n\n";
+  TextTable table({"Case", "Metric", "Value"});
+  for (const CaseResult& c : report.cases) {
+    if (c.suite != "service") continue;
+    for (const Metric& m : c.metrics) {
+      table.add_row({c.name.substr(std::string("service/").size()), m.name,
+                     fmt_double(m.summary().mean, 6) +
+                         (m.unit.empty() ? "" : " " + m.unit)});
+    }
+  }
+  table.print(out);
+}
+
+}  // namespace
+
+void register_service(Harness& h) {
+  Suite suite = h.suite(
+      "service",
+      "Multi-tenant sort-job scheduler: contended batch throughput, "
+      "admission-arbiter cycle cost, and deterministic schedule counters");
+
+  // End-to-end contended batch on real pool workers: scheduler +
+  // admission overhead on top of the four raw sorts.
+  suite.add_case("contended_batch", [](BenchContext& ctx) {
+    const std::size_t n = static_cast<std::size_t>(
+        ctx.scaled(64 * 1024, 2 * 1024));
+    ctx.param("elements_per_tenant", static_cast<std::uint64_t>(n));
+    ctx.param("tenants", std::uint64_t{4});
+    const std::vector<Tenant> tenants = tenant_mix(n);
+    ServiceStats last{};
+    ctx.measure("batch_seconds", [&] {
+      MemoryHierarchy hier(service_hierarchy());
+      ThreadPool driver(3, "svc-driver");
+      JobSchedulerConfig cfg;
+      cfg.max_concurrent = 2;
+      cfg.job_workers = 2;
+      cfg.degrade.allow_tier_fallback = true;
+      JobScheduler svc(hier, driver, cfg);
+      std::vector<SpaceBuffer<std::int64_t>> buffers;
+      buffers.reserve(tenants.size());
+      last = run_mix(hier, svc, tenants, buffers, ctx.seed());
+    });
+    ctx.metric("jobs_completed", static_cast<double>(last.jobs_completed));
+    ctx.metric("jobs_degraded", static_cast<double>(last.jobs_degraded));
+  });
+
+  // Raw admission-arbiter cycle: decide + release on the hot path that
+  // every queue round replays.
+  suite.add_case("admission_cycle", [](BenchContext& ctx) {
+    const std::uint64_t cycles = ctx.scaled(1 << 22, 1 << 16);
+    ctx.param("cycles", cycles);
+    service::AdmissionController ac(KiB(256), /*allow_degrade=*/true);
+    std::uint64_t admitted = 0;
+    ctx.measure("cycle_seconds", [&] {
+      for (std::uint64_t i = 0; i < cycles; ++i) {
+        const auto v = ac.decide(KiB(64));
+        if (v.decision == service::AdmissionDecision::Admitted) {
+          ++admitted;
+          ac.release(v.granted_bytes);
+        }
+      }
+    });
+    ctx.metric("admitted", static_cast<double>(admitted));
+  });
+
+  // Deterministic schedule counters: the over-subscribed mix under one
+  // seeded interleaving.  Exact model outputs — any drift is a bug.
+  suite.add_case("det_schedule_counters", [](BenchContext& ctx) {
+    const std::size_t n = 2048;
+    ctx.param("elements_per_tenant", static_cast<std::uint64_t>(n));
+    MemoryHierarchy hier(service_hierarchy());
+    DeterministicScheduler sched(ctx.seed());
+    DeterministicExecutor driver(sched, 2, "svc-driver");
+    JobSchedulerConfig cfg;
+    cfg.max_concurrent = 2;
+    cfg.job_workers = 2;
+    cfg.degrade.allow_tier_fallback = true;
+    JobScheduler svc(hier, driver, cfg);
+    std::vector<SpaceBuffer<std::int64_t>> buffers;
+    buffers.reserve(4);
+    const ServiceStats m =
+        run_mix(hier, svc, tenant_mix(n), buffers, ctx.seed());
+    ctx.metric("jobs_completed", static_cast<double>(m.jobs_completed));
+    ctx.metric("jobs_degraded", static_cast<double>(m.jobs_degraded));
+    ctx.metric("queue_rounds", static_cast<double>(m.queue_rounds));
+    ctx.metric("total_steps", static_cast<double>(m.total_steps));
+    ctx.metric("peak_near_committed_bytes",
+               static_cast<double>(m.peak_near_committed_bytes));
+    ctx.metric("ticks", static_cast<double>(sched.now()));
+  });
+
+  suite.set_view(view);
+}
+
+}  // namespace mlm::bench::suites

@@ -50,6 +50,10 @@ void register_kernel_micro(Harness& h);
 // Robustness (wall-clock overhead + deterministic degradation counters).
 void register_fault_overhead(Harness& h);
 
+// Service layer (wall-clock batch/arbiter cost + deterministic
+// schedule counters for the multi-tenant sort-job scheduler).
+void register_service(Harness& h);
+
 /// Every suite above, in the order listed — the bench_all set.
 void register_all(Harness& h);
 

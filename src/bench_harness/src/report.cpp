@@ -63,21 +63,30 @@ JsonValue metric_to_json(const Metric& m) {
 
 Metric metric_from_json(const JsonValue& mj) {
   Metric m;
-  m.name = mj.get("name").as_string();
-  m.unit = mj.get("unit").as_string();
-  const std::string& kind = mj.get("kind").as_string();
-  if (kind == "deterministic") {
-    m.kind = MetricKind::Deterministic;
-    m.samples = {mj.get("value").as_number()};
-  } else if (kind == "wall") {
-    m.kind = MetricKind::WallClock;
-    for (const JsonValue& s : mj.get("samples").items()) {
-      m.samples.push_back(s.as_number());
+  try {
+    m.name = mj.get("name").as_string();
+    m.unit = mj.get("unit").as_string();
+    const std::string& kind = mj.get("kind").as_string();
+    if (kind == "deterministic") {
+      m.kind = MetricKind::Deterministic;
+      m.samples = {mj.get("value").as_number()};
+    } else if (kind == "wall") {
+      m.kind = MetricKind::WallClock;
+      for (const JsonValue& s : mj.get("samples").items()) {
+        m.samples.push_back(s.as_number());
+      }
+      MLM_CHECK_MSG(!m.samples.empty(),
+                    "wall metric without samples: " + m.name);
+    } else {
+      throw Error("unknown metric kind in artifact: " + kind);
     }
-    MLM_CHECK_MSG(!m.samples.empty(),
-                  "wall metric without samples: " + m.name);
-  } else {
-    throw Error("unknown metric kind in artifact: " + kind);
+  } catch (Error& e) {
+    // Name the metric so an exit-3 gate failure points at the offending
+    // entry instead of a bare missing-key message ("?" if even the name
+    // key is unreadable).
+    throw e.with_frame(
+        {"parse_metric", -1, "", "",
+         "metric '" + (m.name.empty() ? std::string("?") : m.name) + "'"});
   }
   return m;
 }
@@ -142,13 +151,24 @@ RunReport report_from_json(const JsonValue& doc) {
 
   for (const JsonValue& cj : doc.get("cases").items()) {
     CaseResult c;
-    c.name = cj.get("name").as_string();
-    c.suite = cj.get("suite").as_string();
-    for (const auto& [k, v] : cj.get("params").members()) {
-      c.params.emplace_back(k, v.as_string());
-    }
-    for (const JsonValue& mj : cj.get("metrics").items()) {
-      c.metrics.push_back(metric_from_json(mj));
+    try {
+      c.name = cj.get("name").as_string();
+      c.suite = cj.get("suite").as_string();
+      for (const auto& [k, v] : cj.get("params").members()) {
+        c.params.emplace_back(k, v.as_string());
+      }
+      for (const JsonValue& mj : cj.get("metrics").items()) {
+        c.metrics.push_back(metric_from_json(mj));
+      }
+    } catch (Error& e) {
+      // Suite/case context for the exit-3 diagnostic; a metric frame
+      // from metric_from_json sits inside this one.
+      throw e.with_frame(
+          {"parse_case", static_cast<std::int64_t>(report.cases.size()), "",
+           "",
+           "suite '" + (c.suite.empty() ? std::string("?") : c.suite) +
+               "' case '" +
+               (c.name.empty() ? std::string("?") : c.name) + "'"});
     }
     report.cases.push_back(std::move(c));
   }

@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -161,6 +162,51 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
                                  const PipelineConfig& config,
                                  const ComputeFn& compute);
 
+/// Resumable form of run_chunk_pipeline, the suspension primitive of the
+/// service layer (mlm/service/job.h).
+///
+/// Construction performs the whole setup: chunk sizing, the near-tier
+/// buffer-allocation recovery ladder (retry / halve / far-tier
+/// fallback), pool creation, and validator begin_run.  Each step() then
+/// executes exactly one barrier step of the configured buffering scheme,
+/// so the caller — a run-to-completion loop or a multi-job scheduler —
+/// decides when the next step runs, and a job holding a stepper can be
+/// suspended at every chunk boundary.  finish() closes the run
+/// (validator end_run) and returns the stats.  Destroying a stepper
+/// before completion cancels the run: buffers are released and pending
+/// pool tasks are drained or dropped.
+///
+/// run_chunk_pipeline(tiers, data, config, compute) is exactly
+/// `ChunkPipelineStepper s{...}; while (s.step()) {} return s.finish();`.
+class ChunkPipelineStepper {
+ public:
+  ChunkPipelineStepper(const TierPair& tiers, std::span<std::byte> data,
+                       const PipelineConfig& config, ComputeFn compute);
+  ~ChunkPipelineStepper();
+
+  ChunkPipelineStepper(const ChunkPipelineStepper&) = delete;
+  ChunkPipelineStepper& operator=(const ChunkPipelineStepper&) = delete;
+
+  /// Execute the next barrier step.  Returns true while more steps
+  /// remain, false once the run is complete (a completed or empty run
+  /// returns false without doing work).  Throws the same structured
+  /// errors as run_chunk_pipeline; a throwing stepper is dead (done()).
+  bool step();
+
+  /// Whether the run is complete (all steps executed, or failed).
+  bool done() const;
+
+  /// Chunks this run will process.
+  std::size_t chunks() const;
+
+  /// Close the run and return its statistics.  Call once, after done().
+  PipelineStats finish();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
 /// Compatibility overload: the DDR -> MCDRAM pair of a DualSpace.
 PipelineStats run_chunk_pipeline(DualSpace& space,
                                  std::span<std::byte> data,
@@ -214,8 +260,15 @@ PipelineStats run_chunk_pipeline_typed(DualSpace& space, std::span<T> data,
                                        PipelineConfig config,
                                        Fn&& compute) {
   if (config.chunk_bytes != 0) {
+    // Name the tier the chunks stream into so a multi-job degradation
+    // log attributes the bad configuration to the right arena.
+    TierPair pair = space.tier_pair();
+    const MemorySpace& staged =
+        pair.explicit_copies() ? *pair.near_tier : *pair.far_tier;
     MLM_REQUIRE(config.chunk_bytes >= sizeof(T),
-                "chunk_bytes smaller than one element");
+                "chunk_bytes=" + std::to_string(config.chunk_bytes) +
+                    " smaller than one element (tier '" + staged.name() +
+                    "')");
     config.chunk_bytes -= config.chunk_bytes % sizeof(T);
   }
   auto bytes = std::as_writable_bytes(data);
@@ -235,10 +288,20 @@ TieredPipelineStats run_tiered_pipeline_typed(MemoryHierarchy& hierarchy,
                                               std::span<T> data,
                                               TieredPipelineConfig config,
                                               Fn&& compute) {
-  for (PipelineConfig& level : config.levels) {
+  for (std::size_t l = 0; l < config.levels.size(); ++l) {
+    PipelineConfig& level = config.levels[l];
     if (level.chunk_bytes != 0) {
+      // Level l streams into tier l+1 (or processes tier l in place
+      // when that tier is not addressable).
+      const std::size_t tier = std::min(l + 1, hierarchy.tier_count() - 1);
+      const std::string& tier_name =
+          hierarchy.tier_addressable(tier)
+              ? hierarchy.tier_config(tier).name
+              : hierarchy.tier_config(std::min(l, tier)).name;
       MLM_REQUIRE(level.chunk_bytes >= sizeof(T),
-                  "chunk_bytes smaller than one element");
+                  "chunk_bytes=" + std::to_string(level.chunk_bytes) +
+                      " smaller than one element (tier '" + tier_name +
+                      "')");
       level.chunk_bytes -= level.chunk_bytes % sizeof(T);
     }
   }

@@ -68,7 +68,7 @@ inline fault::FaultSite& merge_site() {
 /// parts * (k + 1) * block_elements elements of staging capacity, where
 /// parts <= pool.size() is chosen to fit.
 template <typename T, typename Comp = std::less<>>
-void external_multiway_merge(ThreadPool& pool, MemorySpace& staging,
+void external_multiway_merge(Executor& pool, MemorySpace& staging,
                              std::span<const mlm::sort::Run<T>> runs,
                              std::span<T> out,
                              std::size_t block_elements, Comp comp = {}) {
@@ -245,7 +245,7 @@ struct ExternalSortStats {
 template <typename T, typename Comp = std::less<>>
 class ExternalMlmSorter {
  public:
-  ExternalMlmSorter(MemoryHierarchy& hierarchy, ThreadPool& pool,
+  ExternalMlmSorter(MemoryHierarchy& hierarchy, Executor& pool,
                     ExternalSortConfig config, Comp comp = {})
       : hier_(hierarchy), upper_(hierarchy, 1), pool_(pool),
         config_(config), comp_(comp) {
@@ -253,187 +253,309 @@ class ExternalMlmSorter {
                 "external sorter needs an NVM -> DDR -> MCDRAM hierarchy");
   }
 
-  ExternalMlmSorter(TripleSpace& space, ThreadPool& pool,
+  ExternalMlmSorter(TripleSpace& space, Executor& pool,
                     ExternalSortConfig config, Comp comp = {})
       : ExternalMlmSorter(space.hierarchy(), pool, config, comp) {}
 
-  ExternalSortStats sort(std::span<T> data) {
-    ExternalSortStats stats;
-    if (data.size() <= 1) return stats;
-    Stopwatch total;
-    try {
-      run_phases(data, stats);
-    } catch (Error& e) {
-      e.with_frame({"external_sort", -1, nvm().name(), "",
-                    std::to_string(data.size()) + " elements"});
-      throw;
+  /// Resumable form of sort(), the unit the service-layer JobScheduler
+  /// drives.  The four sorter phases are explicit steps, and the
+  /// staging/sort loop takes one step per phase per outer chunk, so a
+  /// sort job can be suspended (and its tenant budgets arbitrated) at
+  /// every outer-chunk boundary:
+  ///
+  ///   per chunk: StageIn -> InnerSort -> StageOut
+  ///   then:      Merge -> MoveHome (skipped for a single run)
+  ///
+  /// Construction performs setup: outer-chunk resolution and the DDR
+  /// staging-buffer recovery ladder (retry / halve).  Destroying a
+  /// stepper mid-run cancels the sort, releasing its staging buffers;
+  /// the input is then in an unspecified permutation of itself.
+  /// sort(data) is exactly
+  /// `Stepper s{*this, data}; while (s.step()) {} return s.finish();`.
+  class Stepper {
+   public:
+    Stepper(ExternalMlmSorter& sorter, std::span<T> data)
+        : s_(sorter), data_(data) {
+      try {
+        init();
+      } catch (Error& e) {
+        add_sort_frame(e);
+        throw;
+      }
     }
-    stats.total_seconds = total.elapsed_s();
-    return stats;
+
+    Stepper(const Stepper&) = delete;
+    Stepper& operator=(const Stepper&) = delete;
+
+    /// Execute the next phase step.  Returns true while more steps
+    /// remain, false once the sort is complete.  Throws the same
+    /// structured errors as sort(); a throwing stepper is dead.
+    bool step() {
+      if (phase_ == Phase::Done) return false;
+      try {
+        run_step();
+      } catch (Error& e) {
+        phase_ = Phase::Done;
+        add_sort_frame(e);
+        throw;
+      }
+      return phase_ != Phase::Done;
+    }
+
+    bool done() const { return phase_ == Phase::Done; }
+
+    /// Outer chunks this sort stages (0 for a trivial input).
+    std::size_t outer_chunks() const { return chunks_.size(); }
+
+    /// Close the run and return its statistics.  Call once, after
+    /// done().
+    ExternalSortStats finish() {
+      MLM_CHECK_MSG(phase_ == Phase::Done,
+                    "finish() before the sort completed");
+      MLM_CHECK_MSG(!finished_, "finish() called twice");
+      finished_ = true;
+      if (!chunks_.empty()) stats_.total_seconds = total_.elapsed_s();
+      return stats_;
+    }
+
+   private:
+    enum class Phase : std::uint8_t {
+      StageIn,   ///< NVM -> DDR copy of outer chunk `index_`
+      InnerSort, ///< two-level MLM-sort of the staged chunk
+      StageOut,  ///< DDR -> NVM write-back of the sorted run
+      Merge,     ///< external k-way merge of all runs into NVM scratch
+      MoveHome,  ///< NVM scratch -> home
+      Done,
+    };
+
+    void add_sort_frame(Error& e) const {
+      e.with_frame({"external_sort", -1, s_.nvm().name(), "",
+                    std::to_string(data_.size()) + " elements"});
+    }
+
+    void init() {
+      if (data_.size() <= 1) {
+        phase_ = Phase::Done;
+        return;
+      }
+      std::size_t outer =
+          std::min(s_.resolve_outer_chunk(), data_.size());
+
+      // Recovery rungs 1+2 for the DDR staging buffer: retry transient
+      // exhaustion, then halve the outer chunk until it fits or hits
+      // the policy floor (mlm/core/degrade.h).
+      const std::size_t floor_elems = std::max<std::size_t>(
+          s_.config_.degrade.min_chunk_bytes / sizeof(T), 1);
+      for (std::size_t attempt = 0;;) {
+        try {
+          ddr_buf_.emplace(s_.ddr(), outer);
+          break;
+        } catch (OutOfMemoryError& e) {
+          if (attempt < s_.config_.degrade.max_retries) {
+            ++attempt;
+            ++stats_.retries;
+            s_.record_degradation(stats_, "sort.external.ddr_staging",
+                                  "retry", -1, attempt);
+            s_.backoff(attempt);
+            continue;
+          }
+          if (s_.config_.degrade.allow_chunk_halving &&
+              outer / 2 >= floor_elems) {
+            outer /= 2;
+            attempt = 0;
+            ++stats_.outer_chunk_halvings;
+            s_.record_degradation(stats_, "sort.external.ddr_staging",
+                                  "chunk_halved", -1, 0);
+            continue;
+          }
+          e.with_frame({"ddr_staging_alloc", -1, s_.ddr().name(),
+                        "orchestrator",
+                        "outer_chunk_elements=" + std::to_string(outer)});
+          throw;
+        }
+      }
+
+      chunks_ = chunk_ranges(data_.size(), outer);
+      stats_.outer_chunks = chunks_.size();
+      inner_.emplace(s_.upper_, s_.pool_, s_.config_.inner, s_.comp_);
+    }
+
+    void run_step() {
+      using namespace external_sort_detail;
+      const IndexRange& c = chunks_[std::min(index_, chunks_.size() - 1)];
+      const std::uint64_t bytes = c.size() * sizeof(T);
+      const auto chunk_idx = static_cast<std::int64_t>(index_);
+
+      switch (phase_) {
+        case Phase::StageIn: {
+          s_.phase_guard(stats_, stage_in_site(), "stage_in", chunk_idx,
+                         s_.ddr().name());
+          const double t_in = s_.trace_now();
+          try {
+            parallel_memcpy(s_.pool_, ddr_buf_->data(),
+                            data_.data() + c.begin, bytes);
+          } catch (Error& e) {
+            e.with_frame({"stage_in", chunk_idx, s_.ddr().name(),
+                          "pool-worker", ""});
+            throw;
+          }
+          s_.note_staging(stats_, "stage-in " + std::to_string(index_),
+                          t_in);
+          stats_.bytes_staged_in += bytes;
+          stats_.nvm_read_bytes += bytes;
+          phase_ = Phase::InnerSort;
+          break;
+        }
+        case Phase::InnerSort: {
+          const double t_sort = s_.trace_now();
+          try {
+            if (!stats_.inner_tier_fallback) {
+              s_.phase_guard(stats_, inner_sort_site(), "inner_sort",
+                             chunk_idx, s_.mcdram().name());
+            }
+            stats_.last_inner =
+                inner_->sort(std::span<T>(ddr_buf_->data(), c.size()));
+          } catch (Error& e) {
+            if (!s_.config_.degrade.allow_tier_fallback ||
+                stats_.inner_tier_fallback) {
+              e.with_frame({"inner_sort", chunk_idx, s_.mcdram().name(),
+                            "orchestrator", ""});
+              throw;
+            }
+            // Rung 3, the HBW_POLICY_PREFERRED analogue: recreate the
+            // inner sorter DDR-only and redo this chunk without MCDRAM.
+            // The failed sort may have left the staged copy partially
+            // permuted, so re-stage from NVM (still the untouched
+            // original) first.
+            stats_.inner_tier_fallback = true;
+            s_.record_degradation(stats_, fault::sites::kExternalSortInner,
+                                  "tier_fallback", chunk_idx, 0);
+            MlmSortConfig ddr_cfg = s_.config_.inner;
+            ddr_cfg.variant = MlmVariant::DdrOnly;
+            inner_.emplace(s_.upper_, s_.pool_, ddr_cfg, s_.comp_);
+            parallel_memcpy(s_.pool_, ddr_buf_->data(),
+                            data_.data() + c.begin, bytes);
+            stats_.bytes_staged_in += bytes;
+            stats_.nvm_read_bytes += bytes;
+            stats_.last_inner =
+                inner_->sort(std::span<T>(ddr_buf_->data(), c.size()));
+          }
+          stats_.sorting_seconds += s_.trace_now() - t_sort;
+          s_.trace_emit(s_.config_.trace_track + 1,
+                        "outer sort " + std::to_string(index_), t_sort);
+          phase_ = Phase::StageOut;
+          break;
+        }
+        case Phase::StageOut: {
+          s_.phase_guard(stats_, stage_out_site(), "stage_out", chunk_idx,
+                         s_.nvm().name());
+          const double t_out = s_.trace_now();
+          try {
+            // Outbound runs are dead to the DDR working set: stream
+            // large stage-outs past the cache (bytes are identical
+            // either way).
+            parallel_memcpy(s_.pool_, data_.data() + c.begin,
+                            ddr_buf_->data(), bytes, s_.pool_.size(),
+                            CopyMode::Auto);
+          } catch (Error& e) {
+            e.with_frame({"stage_out", chunk_idx, s_.nvm().name(),
+                          "pool-worker", ""});
+            throw;
+          }
+          s_.note_staging(stats_, "stage-out " + std::to_string(index_),
+                          t_out);
+          stats_.bytes_staged_out += bytes;
+          stats_.nvm_write_bytes += bytes;
+          ++index_;
+          if (index_ < chunks_.size()) {
+            phase_ = Phase::StageIn;
+          } else {
+            ddr_buf_.reset();  // release before the merge claims blocks
+            inner_.reset();
+            phase_ = chunks_.size() == 1 ? Phase::Done : Phase::Merge;
+          }
+          break;
+        }
+        case Phase::Merge: {
+          // External k-way merge of the NVM runs into an NVM scratch.
+          s_.phase_guard(stats_, merge_site(), "merge", -1,
+                         s_.nvm().name());
+          t_merge_ = s_.trace_now();
+          try {
+            nvm_out_.emplace(s_.nvm(), data_.size());
+            std::vector<mlm::sort::Run<T>> runs;
+            runs.reserve(chunks_.size());
+            for (const IndexRange& r : chunks_) {
+              runs.emplace_back(data_.data() + r.begin, r.size());
+            }
+            const std::size_t block =
+                s_.resolve_merge_block(chunks_.size());
+            external_multiway_merge(
+                s_.pool_, s_.ddr(),
+                std::span<const mlm::sort::Run<T>>(runs),
+                std::span<T>(nvm_out_->data(), data_.size()), block,
+                s_.comp_);
+            stats_.external_merge_ran = true;
+          } catch (Error& e) {
+            e.with_frame({"merge", -1, s_.nvm().name(), "pool-worker",
+                          std::to_string(chunks_.size()) + " runs"});
+            throw;
+          }
+          phase_ = Phase::MoveHome;
+          break;
+        }
+        case Phase::MoveHome: {
+          try {
+            parallel_memcpy(s_.pool_, data_.data(), nvm_out_->data(),
+                            data_.size() * sizeof(T), s_.pool_.size(),
+                            CopyMode::Auto);
+          } catch (Error& e) {
+            e.with_frame({"merge", -1, s_.nvm().name(), "pool-worker",
+                          std::to_string(chunks_.size()) + " runs"});
+            throw;
+          }
+          nvm_out_.reset();
+          const std::uint64_t total_bytes = data_.size() * sizeof(T);
+          stats_.nvm_read_bytes += 2 * total_bytes;  // runs + re-read
+          stats_.nvm_write_bytes += 2 * total_bytes; // scratch + home
+          stats_.merging_seconds = s_.trace_now() - t_merge_;
+          s_.trace_emit(s_.config_.trace_track, "external merge",
+                        t_merge_);
+          phase_ = Phase::Done;
+          break;
+        }
+        case Phase::Done:
+          break;
+      }
+    }
+
+    ExternalMlmSorter& s_;
+    std::span<T> data_;
+    ExternalSortStats stats_;
+    Stopwatch total_;
+    std::optional<SpaceBuffer<T>> ddr_buf_;
+    std::vector<IndexRange> chunks_;
+    std::optional<MlmSorter<T, Comp>> inner_;
+    std::optional<SpaceBuffer<T>> nvm_out_;
+    std::size_t index_ = 0;
+    Phase phase_ = Phase::StageIn;
+    double t_merge_ = 0.0;
+    bool finished_ = false;
+  };
+
+  ExternalSortStats sort(std::span<T> data) {
+    Stepper stepper(*this, data);
+    while (stepper.step()) {
+    }
+    return stepper.finish();
   }
 
  private:
+  friend class Stepper;
+
   MemorySpace& nvm() { return hier_.tier(0); }
   MemorySpace& ddr() { return hier_.tier(1); }
   MemorySpace& mcdram() { return hier_.tier(2); }
-
-  void run_phases(std::span<T> data, ExternalSortStats& stats) {
-    using namespace external_sort_detail;
-    std::size_t outer = std::min(resolve_outer_chunk(), data.size());
-
-    // Recovery rungs 1+2 for the DDR staging buffer: retry transient
-    // exhaustion, then halve the outer chunk until it fits or hits the
-    // policy floor (mlm/core/degrade.h).
-    const std::size_t floor_elems = std::max<std::size_t>(
-        config_.degrade.min_chunk_bytes / sizeof(T), 1);
-    std::optional<SpaceBuffer<T>> ddr_buf;
-    for (std::size_t attempt = 0;;) {
-      try {
-        ddr_buf.emplace(ddr(), outer);
-        break;
-      } catch (OutOfMemoryError& e) {
-        if (attempt < config_.degrade.max_retries) {
-          ++attempt;
-          ++stats.retries;
-          record_degradation(stats, "sort.external.ddr_staging", "retry",
-                             -1, attempt);
-          backoff(attempt);
-          continue;
-        }
-        if (config_.degrade.allow_chunk_halving &&
-            outer / 2 >= floor_elems) {
-          outer /= 2;
-          attempt = 0;
-          ++stats.outer_chunk_halvings;
-          record_degradation(stats, "sort.external.ddr_staging",
-                             "chunk_halved", -1, 0);
-          continue;
-        }
-        e.with_frame({"ddr_staging_alloc", -1, ddr().name(),
-                      "orchestrator",
-                      "outer_chunk_elements=" + std::to_string(outer)});
-        throw;
-      }
-    }
-
-    const std::vector<IndexRange> chunks = chunk_ranges(data.size(), outer);
-    stats.outer_chunks = chunks.size();
-
-    std::optional<MlmSorter<T, Comp>> inner;
-    inner.emplace(upper_, pool_, config_.inner, comp_);
-
-    // Stage each outer chunk into DDR, sort it there (double chunking:
-    // the inner sorter stages through MCDRAM), write the sorted run
-    // back to NVM in place.
-    std::size_t index = 0;
-    for (const IndexRange& c : chunks) {
-      const std::uint64_t bytes = c.size() * sizeof(T);
-      const auto chunk_idx = static_cast<std::int64_t>(index);
-
-      phase_guard(stats, stage_in_site(), "stage_in", chunk_idx,
-                  ddr().name());
-      const double t_in = trace_now();
-      try {
-        parallel_memcpy(pool_, ddr_buf->data(), data.data() + c.begin,
-                        bytes);
-      } catch (Error& e) {
-        e.with_frame(
-            {"stage_in", chunk_idx, ddr().name(), "pool-worker", ""});
-        throw;
-      }
-      note_staging(stats, "stage-in " + std::to_string(index), t_in);
-      stats.bytes_staged_in += bytes;
-      stats.nvm_read_bytes += bytes;
-
-      const double t_sort = trace_now();
-      try {
-        if (!stats.inner_tier_fallback) {
-          phase_guard(stats, inner_sort_site(), "inner_sort", chunk_idx,
-                      mcdram().name());
-        }
-        stats.last_inner =
-            inner->sort(std::span<T>(ddr_buf->data(), c.size()));
-      } catch (Error& e) {
-        if (!config_.degrade.allow_tier_fallback ||
-            stats.inner_tier_fallback) {
-          e.with_frame({"inner_sort", chunk_idx, mcdram().name(),
-                        "orchestrator", ""});
-          throw;
-        }
-        // Rung 3, the HBW_POLICY_PREFERRED analogue: recreate the inner
-        // sorter DDR-only and redo this chunk without MCDRAM.  The
-        // failed sort may have left the staged copy partially permuted,
-        // so re-stage from NVM (still the untouched original) first.
-        stats.inner_tier_fallback = true;
-        record_degradation(stats, fault::sites::kExternalSortInner,
-                           "tier_fallback", chunk_idx, 0);
-        MlmSortConfig ddr_cfg = config_.inner;
-        ddr_cfg.variant = MlmVariant::DdrOnly;
-        inner.emplace(upper_, pool_, ddr_cfg, comp_);
-        parallel_memcpy(pool_, ddr_buf->data(), data.data() + c.begin,
-                        bytes);
-        stats.bytes_staged_in += bytes;
-        stats.nvm_read_bytes += bytes;
-        stats.last_inner =
-            inner->sort(std::span<T>(ddr_buf->data(), c.size()));
-      }
-      stats.sorting_seconds += trace_now() - t_sort;
-      trace_emit(config_.trace_track + 1,
-                 "outer sort " + std::to_string(index), t_sort);
-
-      phase_guard(stats, stage_out_site(), "stage_out", chunk_idx,
-                  nvm().name());
-      const double t_out = trace_now();
-      try {
-        // Outbound runs are dead to the DDR working set: stream large
-        // stage-outs past the cache (bytes are identical either way).
-        parallel_memcpy(pool_, data.data() + c.begin, ddr_buf->data(),
-                        bytes, pool_.size(), CopyMode::Auto);
-      } catch (Error& e) {
-        e.with_frame(
-            {"stage_out", chunk_idx, nvm().name(), "pool-worker", ""});
-        throw;
-      }
-      note_staging(stats, "stage-out " + std::to_string(index), t_out);
-      stats.bytes_staged_out += bytes;
-      stats.nvm_write_bytes += bytes;
-      ++index;
-    }
-    ddr_buf.reset();  // release before the merge claims staging blocks
-
-    if (chunks.size() == 1) return;
-
-    // External k-way merge of the NVM runs into an NVM scratch, then
-    // move the result home.
-    phase_guard(stats, merge_site(), "merge", -1, nvm().name());
-    const double t_merge = trace_now();
-    try {
-      SpaceBuffer<T> nvm_out(nvm(), data.size());
-      std::vector<mlm::sort::Run<T>> runs;
-      runs.reserve(chunks.size());
-      for (const IndexRange& c : chunks) {
-        runs.emplace_back(data.data() + c.begin, c.size());
-      }
-      const std::size_t block = resolve_merge_block(chunks.size());
-      external_multiway_merge(pool_, ddr(),
-                              std::span<const mlm::sort::Run<T>>(runs),
-                              std::span<T>(nvm_out.data(), data.size()),
-                              block, comp_);
-      stats.external_merge_ran = true;
-      parallel_memcpy(pool_, data.data(), nvm_out.data(),
-                      data.size() * sizeof(T), pool_.size(),
-                      CopyMode::Auto);
-    } catch (Error& e) {
-      e.with_frame({"merge", -1, nvm().name(), "pool-worker",
-                    std::to_string(chunks.size()) + " runs"});
-      throw;
-    }
-    const std::uint64_t total_bytes = data.size() * sizeof(T);
-    stats.nvm_read_bytes += 2 * total_bytes;   // runs + scratch re-read
-    stats.nvm_write_bytes += 2 * total_bytes;  // scratch + home
-    stats.merging_seconds = trace_now() - t_merge;
-    trace_emit(config_.trace_track, "external merge", t_merge);
-  }
 
   void backoff(std::size_t attempt) const {
     if (config_.degrade.backoff_us == 0) return;
@@ -514,7 +636,7 @@ class ExternalMlmSorter {
 
   MemoryHierarchy& hier_;
   DualSpace upper_;  // view over tiers 1..2 for the inner sorter
-  ThreadPool& pool_;
+  Executor& pool_;
   ExternalSortConfig config_;
   Comp comp_;
   Stopwatch trace_clock_;

@@ -86,7 +86,7 @@ struct MlmSortStats {
 template <typename T, typename Comp = std::less<>>
 class MlmSorter {
  public:
-  MlmSorter(DualSpace& space, ThreadPool& pool, MlmSortConfig config,
+  MlmSorter(DualSpace& space, Executor& pool, MlmSortConfig config,
             Comp comp = {})
       : space_(space), pool_(pool), config_(config), comp_(comp) {
     if (config_.variant == MlmVariant::Flat) {
@@ -258,7 +258,7 @@ class MlmSorter {
   }
 
   DualSpace& space_;
-  ThreadPool& pool_;
+  Executor& pool_;
   MlmSortConfig config_;
   Comp comp_;
   Stopwatch trace_clock_;
@@ -269,7 +269,7 @@ class MlmSorter {
 /// end.  Runs through the triple-buffered ChunkPipeline when the space
 /// has addressable MCDRAM.  Used as the Bender-corroboration baseline.
 template <typename T, typename Comp = std::less<>>
-void basic_chunked_sort(DualSpace& space, ThreadPool& pool,
+void basic_chunked_sort(DualSpace& space, Executor& pool,
                         std::span<T> data, std::size_t chunk_elements,
                         Comp comp = {}) {
   MLM_REQUIRE(chunk_elements >= 1, "chunk size must be positive");

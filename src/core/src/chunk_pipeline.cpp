@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <future>
+#include <optional>
 #include <thread>
 
 #include "mlm/core/pipeline_validator.h"
@@ -102,232 +103,214 @@ class StageTracer {
   Stopwatch local_;
 };
 
-/// Implicit/DDR-only execution: no copies, all chunks processed in
-/// place; the compute pool is the only active pool (§3.1: "In implicit
-/// cache mode all available threads are dedicated to performing the
-/// compute").  Chunks are serialized, so the validator sees one virtual
-/// buffer cycled through every chunk.
-PipelineStats run_in_place(std::span<std::byte> data,
-                           std::size_t chunk_bytes,
-                           const ComputeFn& compute,
-                           Executor& compute_pool,
-                           const StageTracer& tracer,
-                           PipelineValidator* validator) {
-  PipelineStats stats;
-  Stopwatch total;
-  std::size_t index = 0;
-  for (std::size_t off = 0; off < data.size(); off += chunk_bytes) {
-    const std::size_t len = std::min(chunk_bytes, data.size() - off);
-    Stopwatch step;
-    const double t0 = tracer.now();
-    if (validator != nullptr) {
-      validator->acquire(PipelineStage::Compute, index, 0);
-    }
-    compute(data.subspan(off, len), compute_pool, index);
-    if (validator != nullptr) {
-      validator->release(PipelineStage::Compute, index, 0);
-    }
-    const double t1 = tracer.now();
-    tracer.emit(1, "compute", index, t0, t1);
-    stats.compute_seconds += t1 - t0;
-    stats.step_seconds.push_back(step.elapsed_s());
-    ++index;
-  }
-  stats.chunks = index;
-  stats.steps = index;
-  stats.total_seconds = total.elapsed_s();
-  return stats;
-}
-
 }  // namespace
 
-PipelineStats run_chunk_pipeline(const TierPair& tiers,
-                                 std::span<std::byte> data,
-                                 const PipelineConfig& config,
-                                 const ComputeFn& compute) {
-  MLM_REQUIRE(compute != nullptr, "compute callback required");
+/// All state of one resumable pipeline run.  The former run-to-completion
+/// function body, with its closure captures promoted to members so that a
+/// scheduler can execute the barrier steps one at a time.
+struct ChunkPipelineStepper::Impl {
+  TierPair tiers;
+  std::span<std::byte> data;
+  PipelineConfig config;
+  ComputeFn compute;
+  StageTracer tracer;
+  PipelineValidator* validator;
+  std::size_t bufs;
+  bool explicit_copies;
+  std::string near_name;
 
-  const std::size_t bufs = buffer_count(config.buffering);
-  const bool explicit_copies = tiers.explicit_copies();
-  const StageTracer tracer(config.trace);
-  PipelineValidator* validator = config.validator;
+  std::size_t chunk_bytes = 0;
+  std::size_t num_chunks = 0;
+  /// Implicit/DDR-only mode, or rung 3 of the recovery ladder: chunks
+  /// are processed in place by the compute pool, no copies.
+  bool in_place = false;
+  /// Loop bound on the step index (buffering-dependent: triple
+  /// buffering needs two drain steps past the last chunk).
+  std::size_t step_limit = 0;
 
-  if (data.empty()) {
-    PipelineStats stats;
-    if (validator != nullptr) {
-      validator->begin_run(0, bufs, 0, explicit_copies, config.write_back);
-      validator->end_run(stats);
-    }
-    return stats;
-  }
+  // Buffers are declared before the pools so that on any exit the pools
+  // drain (or, deterministically, drop) their pending slices while the
+  // buffers are still alive.
+  std::vector<Allocation> buffers;
+  std::unique_ptr<Executor> inplace_pool;
+  std::optional<TriplePools> pools;
 
-  // Resolve the chunk size.
-  std::size_t chunk_bytes = config.chunk_bytes;
-  if (chunk_bytes == 0) {
-    if (explicit_copies && !tiers.near_tier->unlimited()) {
-      const std::uint64_t cap = tiers.near_tier->stats().free_bytes();
-      chunk_bytes = static_cast<std::size_t>(cap / bufs);
-      chunk_bytes -= chunk_bytes % 64;  // keep buffers line-aligned
-    } else {
-      chunk_bytes = data.size();
-    }
-  }
-  MLM_REQUIRE(chunk_bytes > 0, "chunk size must be positive");
-
-  if (!explicit_copies) {
-    // Implicit cache / DDR-only: one big compute pool, no copies.
-    const std::size_t num_chunks =
-        (data.size() + chunk_bytes - 1) / chunk_bytes;
-    if (validator != nullptr) {
-      validator->begin_run(num_chunks, 1, data.size(), false,
-                           config.write_back);
-    }
-    PipelineStats stats;
-    if (config.scheduler != nullptr) {
-      DeterministicExecutor pool(*config.scheduler, config.pools.total(),
-                                 "compute");
-      stats = run_in_place(data, chunk_bytes, compute, pool, tracer,
-                           validator);
-    } else {
-      ThreadPool pool(config.pools.total(), "compute");
-      stats = run_in_place(data, chunk_bytes, compute, pool, tracer,
-                           validator);
-    }
-    if (validator != nullptr) validator->end_run(stats);
-    return stats;
-  }
-
-  const std::string near_name = tiers.near_tier->name();
   PipelineStats stats;
+  Stopwatch total;
+  std::size_t s = 0;  ///< next step index
+  bool complete = false;
+  bool finished = false;
 
-  auto record_degradation = [&stats](std::string site, std::string action,
-                                     std::int64_t chunk,
-                                     std::size_t attempt) {
+  Impl(const TierPair& tiers_in, std::span<std::byte> data_in,
+       const PipelineConfig& config_in, ComputeFn compute_in)
+      : tiers(tiers_in),
+        data(data_in),
+        config(config_in),
+        compute(std::move(compute_in)),
+        tracer(config.trace),
+        validator(config.validator),
+        bufs(buffer_count(config.buffering)),
+        explicit_copies(tiers.explicit_copies()),
+        near_name(explicit_copies ? tiers.near_tier->name()
+                                  : tiers.far_tier != nullptr
+                                        ? tiers.far_tier->name()
+                                        : std::string()) {
+    MLM_REQUIRE(compute != nullptr, "compute callback required");
+
+    if (data.empty()) {
+      if (validator != nullptr) {
+        validator->begin_run(0, bufs, 0, explicit_copies,
+                             config.write_back);
+      }
+      complete = true;
+      return;
+    }
+
+    // Resolve the chunk size.
+    chunk_bytes = config.chunk_bytes;
+    if (chunk_bytes == 0) {
+      if (explicit_copies && !tiers.near_tier->unlimited()) {
+        const std::uint64_t cap = tiers.near_tier->stats().free_bytes();
+        chunk_bytes = static_cast<std::size_t>(cap / bufs);
+        chunk_bytes -= chunk_bytes % 64;  // keep buffers line-aligned
+      } else {
+        chunk_bytes = data.size();
+      }
+    }
+    MLM_REQUIRE(chunk_bytes > 0, "chunk size must be positive");
+
+    if (explicit_copies) {
+      allocate_buffers_or_fall_back();
+    } else {
+      in_place = true;
+    }
+
+    num_chunks = (data.size() + chunk_bytes - 1) / chunk_bytes;
+    stats.chunks = num_chunks;
+    if (in_place) {
+      // Implicit cache / DDR-only / rung 3: one big compute pool, no
+      // copies (§3.1: "all available threads are dedicated to
+      // performing the compute").  Chunks are serialized, so the
+      // validator sees one virtual buffer cycled through every chunk.
+      if (config.scheduler != nullptr) {
+        inplace_pool = std::make_unique<DeterministicExecutor>(
+            *config.scheduler, config.pools.total(), "compute");
+      } else {
+        inplace_pool = std::make_unique<ThreadPool>(config.pools.total(),
+                                                    "compute");
+      }
+      step_limit = num_chunks;
+      if (validator != nullptr) {
+        validator->begin_run(num_chunks, 1, data.size(), false,
+                             config.write_back);
+      }
+    } else {
+      pools.emplace(config.scheduler != nullptr
+                        ? TriplePools(config.pools, *config.scheduler)
+                        : TriplePools(config.pools));
+      switch (config.buffering) {
+        case Buffering::Single: step_limit = num_chunks; break;
+        case Buffering::Double: step_limit = num_chunks + 1; break;
+        case Buffering::Triple: step_limit = num_chunks + 2; break;
+      }
+      if (validator != nullptr) {
+        validator->begin_run(num_chunks, bufs, data.size(), true,
+                             config.write_back);
+      }
+    }
+  }
+
+  void record_degradation(std::string site, std::string action,
+                          std::int64_t chunk, std::size_t attempt) {
     stats.degradations.push_back(DegradationEvent{
         std::move(site), std::move(action), chunk, attempt});
-  };
+  }
+
   // Doubling backoff before a retry.  Deterministic runs never sleep:
   // schedule exploration must stay a pure function of the seed.
-  auto backoff = [&config](std::size_t attempt) {
+  void backoff(std::size_t attempt) const {
     if (config.degrade.backoff_us == 0 || config.scheduler != nullptr) {
       return;
     }
     const std::size_t shift = std::min<std::size_t>(attempt - 1, 10);
     std::this_thread::sleep_for(
         std::chrono::microseconds(config.degrade.backoff_us << shift));
-  };
+  }
 
   // Flat / hybrid: allocate the chunk buffers in the near tier, walking
   // the recovery ladder on exhaustion (real or injected): retry for
   // transient pressure, halve the chunk size down to the policy floor,
   // and finally fall back to in-place far-tier compute — the
-  // HBW_POLICY_PREFERRED analogue.  Buffers are declared before the
-  // pools so that on any exit the pools drain (or, deterministically,
-  // drop) their pending slices while the buffers are still alive.
-  std::vector<Allocation> buffers;
-  buffers.reserve(bufs);
-  bool far_tier_fallback = false;
-  for (std::size_t attempt = 0;;) {
-    try {
-      if (buffer_alloc_fault_site().should_fire()) {
-        throw OutOfMemoryError(
-            "injected near-tier exhaustion at site '" +
-            std::string(fault::sites::kPipelineBufferAlloc) + "'");
+  // HBW_POLICY_PREFERRED analogue.
+  void allocate_buffers_or_fall_back() {
+    buffers.reserve(bufs);
+    for (std::size_t attempt = 0;;) {
+      try {
+        if (buffer_alloc_fault_site().should_fire()) {
+          throw OutOfMemoryError(
+              "injected near-tier exhaustion at site '" +
+              std::string(fault::sites::kPipelineBufferAlloc) + "'");
+        }
+        while (buffers.size() < bufs) {
+          buffers.emplace_back(*tiers.near_tier, chunk_bytes);
+        }
+        return;
+      } catch (OutOfMemoryError& e) {
+        buffers.clear();  // release partial progress before degrading
+        if (attempt < config.degrade.max_retries) {
+          ++attempt;
+          ++stats.retries;
+          record_degradation(fault::sites::kPipelineBufferAlloc, "retry",
+                             -1, attempt);
+          backoff(attempt);
+          continue;
+        }
+        const std::size_t floor_bytes =
+            std::max<std::size_t>(config.degrade.min_chunk_bytes, 64);
+        const std::size_t halved = (chunk_bytes / 2) / 64 * 64;
+        if (config.degrade.allow_chunk_halving && halved >= floor_bytes) {
+          chunk_bytes = halved;
+          attempt = 0;
+          ++stats.chunk_halvings;
+          record_degradation(fault::sites::kPipelineBufferAlloc,
+                             "chunk_halved", -1, 0);
+          continue;
+        }
+        if (config.degrade.allow_tier_fallback) {
+          // Rung 3: process the data where it already lives (the far
+          // tier) — exactly what PREFERRED would have done.
+          ++stats.tier_fallbacks;
+          record_degradation(fault::sites::kPipelineBufferAlloc,
+                             "tier_fallback", -1, 0);
+          in_place = true;
+          return;
+        }
+        e.with_frame(
+            {"buffer_alloc", -1, near_name, "orchestrator",
+             "chunk_bytes=" + std::to_string(chunk_bytes) + " buffers=" +
+                 std::to_string(bufs)});
+        e.with_frame({"run_chunk_pipeline", -1, near_name, "", ""});
+        throw;
       }
-      while (buffers.size() < bufs) {
-        buffers.emplace_back(*tiers.near_tier, chunk_bytes);
-      }
-      break;
-    } catch (OutOfMemoryError& e) {
-      buffers.clear();  // release partial progress before degrading
-      if (attempt < config.degrade.max_retries) {
-        ++attempt;
-        ++stats.retries;
-        record_degradation(fault::sites::kPipelineBufferAlloc, "retry", -1,
-                           attempt);
-        backoff(attempt);
-        continue;
-      }
-      const std::size_t floor_bytes =
-          std::max<std::size_t>(config.degrade.min_chunk_bytes, 64);
-      const std::size_t halved = (chunk_bytes / 2) / 64 * 64;
-      if (config.degrade.allow_chunk_halving && halved >= floor_bytes) {
-        chunk_bytes = halved;
-        attempt = 0;
-        ++stats.chunk_halvings;
-        record_degradation(fault::sites::kPipelineBufferAlloc,
-                           "chunk_halved", -1, 0);
-        continue;
-      }
-      if (config.degrade.allow_tier_fallback) {
-        ++stats.tier_fallbacks;
-        record_degradation(fault::sites::kPipelineBufferAlloc,
-                           "tier_fallback", -1, 0);
-        far_tier_fallback = true;
-        break;
-      }
-      e.with_frame(
-          {"buffer_alloc", -1, near_name, "orchestrator",
-           "chunk_bytes=" + std::to_string(chunk_bytes) + " buffers=" +
-               std::to_string(bufs)});
-      e.with_frame({"run_chunk_pipeline", -1, near_name, "", ""});
-      throw;
     }
   }
 
-  if (far_tier_fallback) {
-    // Rung 3: process the data where it already lives (the far tier),
-    // no explicit copies — exactly what PREFERRED would have done.
-    const std::size_t num_chunks =
-        (data.size() + chunk_bytes - 1) / chunk_bytes;
-    if (validator != nullptr) {
-      validator->begin_run(num_chunks, 1, data.size(), false,
-                           config.write_back);
-    }
-    if (config.scheduler != nullptr) {
-      DeterministicExecutor pool(*config.scheduler, config.pools.total(),
-                                 "compute");
-      stats.merge(run_in_place(data, chunk_bytes, compute, pool, tracer,
-                               validator));
-    } else {
-      ThreadPool pool(config.pools.total(), "compute");
-      stats.merge(run_in_place(data, chunk_bytes, compute, pool, tracer,
-                               validator));
-    }
-    if (validator != nullptr) validator->end_run(stats);
-    return stats;
-  }
-
-  const std::size_t num_chunks =
-      (data.size() + chunk_bytes - 1) / chunk_bytes;
-  TriplePools pools = config.scheduler != nullptr
-                          ? TriplePools(config.pools, *config.scheduler)
-                          : TriplePools(config.pools);
-
-  auto chunk_range = [&](std::size_t c) {
+  std::span<std::byte> chunk_range(std::size_t c) const {
     const std::size_t off = c * chunk_bytes;
     return data.subspan(off, std::min(chunk_bytes, data.size() - off));
-  };
-
-  stats.chunks = num_chunks;
-  Stopwatch total;
-
-  if (validator != nullptr) {
-    validator->begin_run(num_chunks, bufs, data.size(), true,
-                         config.write_back);
   }
-  auto vacquire = [&](PipelineStage st, std::size_t c) {
+
+  void vacquire(PipelineStage st, std::size_t c) {
     if (validator != nullptr) validator->acquire(st, c, c % bufs);
-  };
-  auto vrelease = [&](PipelineStage st, std::size_t c) {
+  }
+  void vrelease(PipelineStage st, std::size_t c) {
     if (validator != nullptr) validator->release(st, c, c % bufs);
-  };
+  }
 
   // Stage-launch fault guard.  Runs before the stage acquires its buffer
   // or posts any slice, so a retry re-attempts from a clean state; when
   // retries are exhausted the error names the stage, chunk, and tier.
-  auto stage_guard = [&](fault::FaultSite& site, const char* op,
-                         std::size_t c) {
+  void stage_guard(fault::FaultSite& site, const char* op, std::size_t c) {
     std::size_t attempt = 0;
     while (site.should_fire()) {
       if (attempt < config.degrade.max_retries) {
@@ -346,13 +329,14 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
                           std::to_string(attempt) + " attempts"});
       throw err;
     }
-  };
+  }
+
   // Task-level failures (thrown by pool workers, surfaced at the join /
   // inside compute) get annotated with the same stage context.
-  auto annotate = [&](Error& e, const char* op, std::size_t c,
-                      const char* thread) {
+  void annotate(Error& e, const char* op, std::size_t c,
+                const char* thread) const {
     e.with_frame({op, static_cast<std::int64_t>(c), near_name, thread, ""});
-  };
+  }
 
   // The orchestrating thread posts copy slices asynchronously so every
   // pool worker stays available for the slices themselves (wrapping a
@@ -362,15 +346,15 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
   // DeterministicExecutor can run its tasks while the orchestrator
   // blocks.  A buffer is owned (validator-acquired) from slice posting
   // until its join.
-  auto copy_in_async = [&](std::size_t c) {
+  std::vector<std::future<void>> copy_in_async(std::size_t c) {
     stage_guard(copy_in_fault_site(), "copy_in", c);
     auto src = chunk_range(c);
     vacquire(PipelineStage::CopyIn, c);
     stats.bytes_copied_in += src.size();
-    return parallel_memcpy_async(pools.copy_in(), buffers[c % bufs].get(),
+    return parallel_memcpy_async(pools->copy_in(), buffers[c % bufs].get(),
                                  src.data(), src.size());
-  };
-  auto run_compute = [&](std::size_t c) {
+  }
+  void run_compute(std::size_t c) {
     stage_guard(compute_fault_site(), "compute", c);
     auto r = chunk_range(c);
     const double t0 = tracer.now();
@@ -379,7 +363,7 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
       compute(std::span<std::byte>(
                   static_cast<std::byte*>(buffers[c % bufs].get()),
                   r.size()),
-              pools.compute(), c);
+              pools->compute(), c);
     } catch (Error& e) {
       annotate(e, "compute", c, "pool-worker");
       throw;
@@ -388,22 +372,22 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
     const double t1 = tracer.now();
     stats.compute_seconds += t1 - t0;
     tracer.emit(1, "compute", c, t0, t1);
-  };
-  auto copy_out_async = [&](std::size_t c) {
+  }
+  std::vector<std::future<void>> copy_out_async(std::size_t c) {
     stage_guard(copy_out_fault_site(), "copy_out", c);
     auto dst = chunk_range(c);
     vacquire(PipelineStage::CopyOut, c);
     stats.bytes_copied_out += dst.size();
-    return parallel_memcpy_async(pools.copy_out(), dst.data(),
+    return parallel_memcpy_async(pools->copy_out(), dst.data(),
                                  buffers[c % bufs].get(), dst.size(),
                                  config.copy_out_mode);
-  };
+  }
   // Stage spans run from posting the slices to their completion; under
   // double/triple buffering that span includes whatever overlapped it.
-  auto join_in = [&](std::size_t c, std::vector<std::future<void>>& in,
-                     double t0) {
+  void join_in(std::size_t c, std::vector<std::future<void>>& in,
+               double t0) {
     try {
-      pools.copy_in().wait(in);
+      pools->copy_in().wait(in);
     } catch (Error& e) {
       annotate(e, "copy_in", c, "pool-worker");
       throw;
@@ -412,14 +396,14 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
     const double t1 = tracer.now();
     stats.copy_in_seconds += t1 - t0;
     tracer.emit(0, "copy-in", c, t0, t1);
-  };
-  auto join_out = [&](std::size_t c, std::vector<std::future<void>>& out,
-                      double t0) {
+  }
+  void join_out(std::size_t c, std::vector<std::future<void>>& out,
+                double t0) {
     // The planted missed-join bug the schedule harness arms to prove
     // PipelineValidator catches buffer reuse before copy-out completes.
     if (skip_copy_out_wait_site().should_fire()) return;
     try {
-      pools.copy_out().wait(out);
+      pools->copy_out().wait(out);
     } catch (Error& e) {
       annotate(e, "copy_out", c, "pool-worker");
       throw;
@@ -428,97 +412,155 @@ PipelineStats run_chunk_pipeline(const TierPair& tiers,
     const double t1 = tracer.now();
     stats.copy_out_seconds += t1 - t0;
     tracer.emit(2, "copy-out", c, t0, t1);
-  };
+  }
 
-  auto timed_step = [&](auto&& body) {
+  /// Whether barrier step `idx` has at least one active stage (triple
+  /// buffering without write-back leaves a dead drain step).
+  bool has_work(std::size_t idx) const {
+    if (in_place || config.buffering != Buffering::Triple) return true;
+    const bool has_in = idx < num_chunks;
+    const bool has_compute = idx >= 1 && idx - 1 < num_chunks;
+    const bool has_out =
+        config.write_back && idx >= 2 && idx - 2 < num_chunks;
+    return has_in || has_compute || has_out;
+  }
+
+  void run_step(std::size_t idx) {
     Stopwatch step;
-    body();
-    stats.step_seconds.push_back(step.elapsed_s());
-    ++stats.steps;
-  };
-
-  try {
-  switch (config.buffering) {
-    case Buffering::Single: {
-      // Fully serialized: each chunk is loaded, computed, stored.
-      for (std::size_t c = 0; c < num_chunks; ++c) {
-        timed_step([&] {
+    if (in_place) {
+      const std::size_t off = idx * chunk_bytes;
+      const std::size_t len = std::min(chunk_bytes, data.size() - off);
+      const double t0 = tracer.now();
+      if (validator != nullptr) {
+        validator->acquire(PipelineStage::Compute, idx, 0);
+      }
+      compute(data.subspan(off, len), *inplace_pool, idx);
+      if (validator != nullptr) {
+        validator->release(PipelineStage::Compute, idx, 0);
+      }
+      const double t1 = tracer.now();
+      tracer.emit(1, "compute", idx, t0, t1);
+      stats.compute_seconds += t1 - t0;
+    } else {
+      switch (config.buffering) {
+        case Buffering::Single: {
+          // Fully serialized: each chunk is loaded, computed, stored.
           const double t_in = tracer.now();
-          auto in = copy_in_async(c);
-          join_in(c, in, t_in);
-          run_compute(c);
+          auto in = copy_in_async(idx);
+          join_in(idx, in, t_in);
+          run_compute(idx);
           if (config.write_back) {
             const double t_out = tracer.now();
-            auto out = copy_out_async(c);
-            join_out(c, out, t_out);
+            auto out = copy_out_async(idx);
+            join_out(idx, out, t_out);
           }
-        });
-      }
-      break;
-    }
-    case Buffering::Double: {
-      // copy-in of chunk s overlaps {compute; copy-out} of chunk s-1.
-      for (std::size_t s = 0; s <= num_chunks; ++s) {
-        timed_step([&] {
+          break;
+        }
+        case Buffering::Double: {
+          // copy-in of chunk s overlaps {compute; copy-out} of s-1.
           std::vector<std::future<void>> in;
           const double t_in = tracer.now();
-          if (s < num_chunks) in = copy_in_async(s);
-          if (s >= 1) {
-            run_compute(s - 1);
+          if (idx < num_chunks) in = copy_in_async(idx);
+          if (idx >= 1) {
+            run_compute(idx - 1);
             if (config.write_back) {
               const double t_out = tracer.now();
-              auto out = copy_out_async(s - 1);
-              join_out(s - 1, out, t_out);
+              auto out = copy_out_async(idx - 1);
+              join_out(idx - 1, out, t_out);
             }
           }
-          if (s < num_chunks) join_in(s, in, t_in);
-        });
-      }
-      break;
-    }
-    case Buffering::Triple: {
-      // Full three-stage overlap (Figure 2).
-      for (std::size_t s = 0; s < num_chunks + 2; ++s) {
-        const bool has_in = s < num_chunks;
-        const bool has_compute = s >= 1 && s - 1 < num_chunks;
-        const bool has_out =
-            config.write_back && s >= 2 && s - 2 < num_chunks;
-        if (!has_in && !has_compute && !has_out) continue;
-        timed_step([&] {
+          if (idx < num_chunks) join_in(idx, in, t_in);
+          break;
+        }
+        case Buffering::Triple: {
+          // Full three-stage overlap (Figure 2).
+          const bool has_in = idx < num_chunks;
+          const bool has_compute = idx >= 1 && idx - 1 < num_chunks;
+          const bool has_out =
+              config.write_back && idx >= 2 && idx - 2 < num_chunks;
           std::vector<std::future<void>> in, out;
           const double t_in = tracer.now();
-          if (has_in) in = copy_in_async(s);
+          if (has_in) in = copy_in_async(idx);
           const double t_out = tracer.now();
-          if (has_out) out = copy_out_async(s - 2);
-          if (has_compute) run_compute(s - 1);
-          if (has_in) join_in(s, in, t_in);
-          if (has_out) join_out(s - 2, out, t_out);
-        });
+          if (has_out) out = copy_out_async(idx - 2);
+          if (has_compute) run_compute(idx - 1);
+          if (has_in) join_in(idx, in, t_in);
+          if (has_out) join_out(idx - 2, out, t_out);
+          break;
+        }
       }
-      break;
     }
+    stats.step_seconds.push_back(step.elapsed_s());
+    ++stats.steps;
   }
-  } catch (Error& e) {
+
+  void add_run_frame(Error& e) const {
     e.with_frame({"run_chunk_pipeline", -1, near_name, "",
                   std::string(to_string(config.buffering)) +
                       " buffering, chunk_bytes=" +
                       std::to_string(chunk_bytes)});
+  }
+};
+
+ChunkPipelineStepper::ChunkPipelineStepper(const TierPair& tiers,
+                                           std::span<std::byte> data,
+                                           const PipelineConfig& config,
+                                           ComputeFn compute)
+    : impl_(std::make_unique<Impl>(tiers, data, config,
+                                   std::move(compute))) {}
+
+ChunkPipelineStepper::~ChunkPipelineStepper() = default;
+
+bool ChunkPipelineStepper::done() const { return impl_->complete; }
+
+std::size_t ChunkPipelineStepper::chunks() const {
+  return impl_->num_chunks;
+}
+
+bool ChunkPipelineStepper::step() {
+  Impl& im = *impl_;
+  if (im.complete) return false;
+  try {
+    while (im.s < im.step_limit && !im.has_work(im.s)) ++im.s;
+    if (im.s < im.step_limit) {
+      im.run_step(im.s);
+      ++im.s;
+    }
+    while (im.s < im.step_limit && !im.has_work(im.s)) ++im.s;
+  } catch (Error& e) {
+    im.complete = true;
+    if (!im.in_place) im.add_run_frame(e);
     throw;
   }
+  if (im.s >= im.step_limit) im.complete = true;
+  return !im.complete;
+}
 
-  stats.total_seconds = total.elapsed_s();
-  if (validator != nullptr) {
+PipelineStats ChunkPipelineStepper::finish() {
+  Impl& im = *impl_;
+  MLM_CHECK_MSG(im.complete, "finish() before the run completed");
+  MLM_CHECK_MSG(!im.finished, "finish() called twice");
+  im.finished = true;
+  im.stats.total_seconds = im.total.elapsed_s();
+  if (im.validator != nullptr) {
     try {
-      validator->end_run(stats);
+      im.validator->end_run(im.stats);
     } catch (Error& e) {
-      e.with_frame({"run_chunk_pipeline", -1, near_name, "",
-                    std::string(to_string(config.buffering)) +
-                        " buffering, chunk_bytes=" +
-                        std::to_string(chunk_bytes)});
+      if (!im.in_place) im.add_run_frame(e);
       throw;
     }
   }
-  return stats;
+  return im.stats;
+}
+
+PipelineStats run_chunk_pipeline(const TierPair& tiers,
+                                 std::span<std::byte> data,
+                                 const PipelineConfig& config,
+                                 const ComputeFn& compute) {
+  ChunkPipelineStepper stepper(tiers, data, config, compute);
+  while (stepper.step()) {
+  }
+  return stepper.finish();
 }
 
 PipelineStats run_chunk_pipeline(DualSpace& space,

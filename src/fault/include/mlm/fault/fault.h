@@ -203,6 +203,13 @@ inline constexpr const char* kExternalSortInner = "sort.external.inner_sort";
 inline constexpr const char* kExternalSortStageOut =
     "sort.external.stage_out";
 inline constexpr const char* kExternalSortMerge = "sort.external.merge";
+/// Service-layer job scheduling (mlm/service).  Admit: transient failure
+/// of the near-tier admission arbiter (the job stays queued this round).
+/// JobStep: failure of one job step (surfaces as a structured job error).
+/// JobCancel: cancel delivery to a running job is delayed one step.
+inline constexpr const char* kServiceAdmit = "service.admission.admit";
+inline constexpr const char* kServiceJobStep = "service.job.step";
+inline constexpr const char* kServiceJobCancel = "service.job.cancel";
 }  // namespace sites
 
 }  // namespace mlm::fault

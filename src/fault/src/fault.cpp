@@ -37,7 +37,8 @@ const bool g_catalog_registered = [] {
         sites::kPipelineCompute, sites::kPipelineCopyOut,
         sites::kPipelineSkipCopyOutWait, sites::kExternalSortStageIn,
         sites::kExternalSortInner, sites::kExternalSortStageOut,
-        sites::kExternalSortMerge}) {
+        sites::kExternalSortMerge, sites::kServiceAdmit,
+        sites::kServiceJobStep, sites::kServiceJobCancel}) {
     register_site(name);
   }
   return true;

@@ -84,6 +84,18 @@ class MemoryHierarchy {
  public:
   explicit MemoryHierarchy(const HierarchyConfig& config);
 
+  /// Per-job budgeted view of `parent`: tier `i` becomes a budgeted
+  /// sub-arena of the parent's tier `i` (see the MemorySpace sub-arena
+  /// constructor), capped so that `budgets[i]` bytes is the view's tier
+  /// capacity (0 or missing = share the parent tier's full capacity).
+  /// Non-addressable tiers stay non-addressable; `label` prefixes the
+  /// sub-arena names ("job3/mcdram").  Allocations through the view are
+  /// accounted in the parent, so the sum of all tenants still honours
+  /// the real arena.  The parent must outlive the view.
+  MemoryHierarchy(MemoryHierarchy& parent,
+                  const std::vector<std::uint64_t>& budgets,
+                  const std::string& label);
+
   MemoryHierarchy(const MemoryHierarchy&) = delete;
   MemoryHierarchy& operator=(const MemoryHierarchy&) = delete;
 

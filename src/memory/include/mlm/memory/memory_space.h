@@ -55,6 +55,16 @@ class MemorySpace {
   /// `capacity_bytes == 0` means unlimited (used for DDR, which in the
   /// paper's experiments is always big enough to hold the full problem).
   MemorySpace(std::string name, MemKind kind, std::uint64_t capacity_bytes);
+
+  /// Budgeted sub-arena: every allocation is forwarded to (and accounted
+  /// in) `parent`, but additionally capped at `budget_bytes`
+  /// (0 = no extra cap, pure forwarding).  This is the per-job
+  /// near-tier budget primitive of the service layer: a job allocating
+  /// through its sub-arena can never exceed its granted budget, and the
+  /// parent's own capacity still bounds the sum of all tenants.  The
+  /// parent must outlive the sub-arena.
+  MemorySpace(std::string name, MemorySpace& parent,
+              std::uint64_t budget_bytes);
   ~MemorySpace();
 
   MemorySpace(const MemorySpace&) = delete;
@@ -64,6 +74,9 @@ class MemorySpace {
   MemKind kind() const { return kind_; }
   std::uint64_t capacity_bytes() const { return capacity_; }
   bool unlimited() const { return capacity_ == 0; }
+
+  /// The arena this sub-arena forwards to (nullptr for a root space).
+  MemorySpace* parent() const;
 
   /// Allocate `bytes` (64-byte aligned).  Throws OutOfMemoryError if the
   /// space's remaining capacity is insufficient.

@@ -1,5 +1,7 @@
 #include "mlm/memory/memory_hierarchy.h"
 
+#include <algorithm>
+
 namespace mlm {
 
 const char* to_string(McdramMode mode) {
@@ -38,6 +40,36 @@ MemoryHierarchy::MemoryHierarchy(const HierarchyConfig& config)
     if (tier_addressable(level)) {
       spaces_.push_back(std::make_unique<MemorySpace>(
           t.name, t.kind, addressable_bytes(level)));
+    } else {
+      spaces_.push_back(nullptr);
+    }
+  }
+}
+
+MemoryHierarchy::MemoryHierarchy(MemoryHierarchy& parent,
+                                 const std::vector<std::uint64_t>& budgets,
+                                 const std::string& label)
+    : config_(parent.config_) {
+  MLM_REQUIRE(budgets.size() <= tier_count(),
+              "more tier budgets than tiers in the parent hierarchy");
+  for (std::size_t level = 0; level < tier_count(); ++level) {
+    TierConfig& t = config_.tiers[level];
+    const std::uint64_t budget =
+        level < budgets.size() ? budgets[level] : 0;
+    if (budget != 0) {
+      // A view can only shrink a tier; an unlimited parent tier (0)
+      // becomes exactly the budget.
+      t.capacity_bytes = t.capacity_bytes == 0
+                             ? budget
+                             : std::min(t.capacity_bytes, budget);
+    }
+  }
+  spaces_.reserve(tier_count());
+  for (std::size_t level = 0; level < tier_count(); ++level) {
+    if (tier_addressable(level)) {
+      spaces_.push_back(std::make_unique<MemorySpace>(
+          label + "/" + config_.tiers[level].name, parent.tier(level),
+          addressable_bytes(level)));
     } else {
       spaces_.push_back(nullptr);
     }

@@ -42,6 +42,9 @@ struct MemorySpace::Impl {
   std::uint64_t used = 0;
   std::uint64_t high_water = 0;
   std::uint64_t total_allocations = 0;
+  /// Sub-arena mode: allocations are forwarded here instead of the host
+  /// heap, so the parent's accounting (and real capacity) still governs.
+  MemorySpace* parent = nullptr;
 };
 
 MemorySpace::MemorySpace(std::string name, MemKind kind,
@@ -51,18 +54,40 @@ MemorySpace::MemorySpace(std::string name, MemKind kind,
       capacity_(capacity_bytes),
       impl_(std::make_unique<Impl>()) {}
 
+MemorySpace::MemorySpace(std::string name, MemorySpace& parent,
+                         std::uint64_t budget_bytes)
+    : name_(std::move(name)),
+      kind_(parent.kind()),
+      capacity_(budget_bytes),
+      impl_(std::make_unique<Impl>()) {
+  impl_->parent = &parent;
+}
+
 MemorySpace::~MemorySpace() {
   // Leaked allocations are a program bug but freeing them here would hide
-  // double-free errors; release the backing memory and move on.
+  // double-free errors; release the backing memory (returning it to the
+  // parent arena for a sub-arena, so tenant accounting stays exact) and
+  // move on.
   std::lock_guard<std::mutex> lock(impl_->mu);
-  for (auto& [p, bytes] : impl_->live) std::free(p);
+  for (auto& [p, bytes] : impl_->live) {
+    if (impl_->parent != nullptr) {
+      impl_->parent->deallocate(p);
+    } else {
+      std::free(p);
+    }
+  }
 }
+
+MemorySpace* MemorySpace::parent() const { return impl_->parent; }
 
 void* MemorySpace::allocate(std::size_t bytes) {
   void* p = try_allocate(bytes);
   if (p == nullptr) {
     std::ostringstream os;
     os << "MemorySpace '" << name_ << "' (" << to_string(kind_)
+       << (impl_->parent != nullptr ? ", sub-arena of '" +
+                                          impl_->parent->name() + "'"
+                                    : std::string())
        << ") cannot allocate " << bytes << " bytes: used "
        << stats().used_bytes << " of " << capacity_ << " capacity";
     throw OutOfMemoryError(os.str());
@@ -72,9 +97,11 @@ void* MemorySpace::allocate(std::size_t bytes) {
 
 void* MemorySpace::try_allocate(std::size_t bytes) noexcept {
   // Simulated arena exhaustion (the BIND-policy failure mode): the
-  // throwing allocate() overload turns this into OutOfMemoryError.
+  // throwing allocate() overload turns this into OutOfMemoryError.  A
+  // sub-arena skips the query — its forwarded parent allocation performs
+  // it, so one logical allocation stays one site query.
   static fault::FaultSite fault_site(fault::sites::kMemorySpaceAllocate);
-  if (fault_site.should_fire()) return nullptr;
+  if (impl_->parent == nullptr && fault_site.should_fire()) return nullptr;
   const std::size_t asize = aligned_size(bytes);
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
@@ -83,7 +110,9 @@ void* MemorySpace::try_allocate(std::size_t bytes) noexcept {
     impl_->high_water = std::max(impl_->high_water, impl_->used);
     ++impl_->total_allocations;
   }
-  void* p = std::aligned_alloc(kAlignment, asize);
+  void* p = impl_->parent != nullptr
+                ? impl_->parent->try_allocate(bytes)
+                : std::aligned_alloc(kAlignment, asize);
   if (p == nullptr) {
     std::lock_guard<std::mutex> lock(impl_->mu);
     impl_->used -= asize;
@@ -108,7 +137,11 @@ void MemorySpace::deallocate(void* p) noexcept {
     impl_->live.erase(it);
     impl_->used -= asize;
   }
-  std::free(p);
+  if (impl_->parent != nullptr) {
+    impl_->parent->deallocate(p);
+  } else {
+    std::free(p);
+  }
 }
 
 bool MemorySpace::owns(const void* p) const {

@@ -135,6 +135,8 @@ class DeterministicExecutor : public Executor {
 
   std::size_t tasks_executed() const override { return executed_; }
 
+  bool deterministic() const override { return true; }
+
   DeterministicScheduler& scheduler() { return sched_; }
 
  private:

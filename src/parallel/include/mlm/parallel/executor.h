@@ -78,6 +78,14 @@ class Executor {
   /// Number of tasks executed since construction (tests/diagnostics).
   virtual std::size_t tasks_executed() const = 0;
 
+  /// Whether this executor runs under a seeded deterministic schedule
+  /// (mlm/parallel/deterministic_executor.h).  Scheduling layers key off
+  /// this to avoid wall-clock-dependent behaviour — the service-layer
+  /// JobScheduler disables deadline timers and backoff sleeps when its
+  /// driver is deterministic, so multi-job interleavings stay a pure
+  /// function of the seed.
+  virtual bool deterministic() const { return false; }
+
   /// Run `body(worker_index)` once for each of size() logical workers
   /// and block until all complete.  The calling thread does not
   /// participate.

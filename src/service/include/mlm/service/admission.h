@@ -1,0 +1,91 @@
+// AdmissionController: arbitration of the shared near-tier (MCDRAM)
+// arena between sort jobs.
+//
+// The paper's premise — data doesn't fit in MCDRAM — becomes, in a
+// multi-tenant service, "the *sum of tenant working sets* doesn't fit
+// in MCDRAM".  The controller holds the one invariant that makes the
+// shared arena safe: committed near-tier budgets never exceed capacity.
+// A request is
+//
+//   - Admitted  when it fits in the free budget (committed += request),
+//   - Queued    when it would fit eventually but not now (wait for a
+//               running tenant to release), and
+//   - Degraded  when it can *never* fit (request > capacity) and the
+//               DegradePolicy ladder allows far-tier fallback: the job
+//               is admitted with a token budget and runs its DdrOnly
+//               variant — HBW_POLICY_PREFERRED at service granularity.
+//
+// The service.admission.admit fault site models a transient arbiter
+// failure: a firing query denies the round (Queued) without touching
+// the books, exercising re-queue paths deterministically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "mlm/service/job.h"
+
+namespace mlm::service {
+
+class AdmissionController {
+ public:
+  /// `near_capacity_bytes` — addressable bytes of the arbitrated tier
+  /// (0 = nothing to arbitrate: every request is trivially Admitted
+  /// with a zero grant).  `allow_degrade` gates the Degraded decision
+  /// (DegradePolicy::allow_tier_fallback); without it an impossible
+  /// request is the caller's error to surface.  `degraded_budget_bytes`
+  /// is the token near budget granted to degraded and zero-request
+  /// jobs — enough for nothing, so accidental near-tier use by a
+  /// supposedly far-tier job fails loudly.
+  explicit AdmissionController(std::uint64_t near_capacity_bytes,
+                               bool allow_degrade = false,
+                               std::uint64_t degraded_budget_bytes = 64);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  struct Verdict {
+    AdmissionDecision decision = AdmissionDecision::Queued;
+    /// Bytes committed against the arena (0 unless Admitted/Degraded).
+    std::uint64_t granted_bytes = 0;
+  };
+
+  /// Decide one admission attempt for a request of `requested_bytes`.
+  /// Admitted/Degraded commit the granted budget immediately; Queued
+  /// commits nothing.  Queries the service.admission.admit fault site.
+  Verdict decide(std::uint64_t requested_bytes);
+
+  /// Whether a request of this size can ever be admitted un-degraded.
+  bool can_ever_fit(std::uint64_t requested_bytes) const {
+    return capacity_ == 0 || requested_bytes <= capacity_;
+  }
+
+  /// Return a terminated job's grant to the free budget.
+  void release(std::uint64_t granted_bytes);
+
+  std::uint64_t capacity() const { return capacity_; }
+  std::uint64_t committed() const { return committed_; }
+  std::uint64_t peak_committed() const { return peak_committed_; }
+  std::uint64_t free_bytes() const { return capacity_ - committed_; }
+  bool allow_degrade() const { return allow_degrade_; }
+  std::uint64_t degraded_budget_bytes() const { return degraded_budget_; }
+
+  /// Decision counters (service metrics).
+  std::size_t admitted_count() const { return admitted_count_; }
+  std::size_t queued_count() const { return queued_count_; }
+  std::size_t degraded_count() const { return degraded_count_; }
+
+ private:
+  std::uint64_t commit(std::uint64_t bytes);
+
+  std::uint64_t capacity_;
+  bool allow_degrade_;
+  std::uint64_t degraded_budget_;
+  std::uint64_t committed_ = 0;
+  std::uint64_t peak_committed_ = 0;
+  std::size_t admitted_count_ = 0;
+  std::size_t queued_count_ = 0;
+  std::size_t degraded_count_ = 0;
+};
+
+}  // namespace mlm::service

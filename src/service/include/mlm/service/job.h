@@ -1,0 +1,188 @@
+// Job model for the MLM service layer ("MLM-as-a-service").
+//
+// A *job* is a resumable unit of sorting work: anything that exposes the
+// step()/finish() protocol the resumable steppers established
+// (ExternalMlmSorter::Stepper, ChunkPipelineStepper).  The JobScheduler
+// (mlm/service/job_scheduler.h) drives many jobs over one shared
+// MemoryHierarchy, suspending each at step boundaries so the scarce
+// near tier (MCDRAM) can be arbitrated between tenants instead of being
+// first-come-first-served inside one monolithic sort() call.
+//
+// Each admitted job runs against a *budgeted view* of the service
+// hierarchy (the MemoryHierarchy tenant-view constructor): its near-tier
+// allocations are capped at the budget the AdmissionController granted
+// and accounted in the parent arena, so the sum of all tenants can never
+// over-commit the real MCDRAM.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "mlm/core/external_sort.h"
+#include "mlm/memory/memory_hierarchy.h"
+#include "mlm/parallel/executor.h"
+#include "mlm/support/error.h"
+
+namespace mlm::service {
+
+/// Job lifecycle (DESIGN.md §6 state machine):
+///
+///   Pending -> Queued -> Running -> Completed
+///                |  ^       |    \-> Failed
+///                |  |       \-----> Cancelled
+///                \--+--> Cancelled / Failed
+///
+/// Pending is momentary (inside submit()); a job leaves the system only
+/// through one of the three terminal states.
+enum class JobState : std::uint8_t {
+  Pending,    ///< submitted, no admission attempt yet
+  Queued,     ///< waiting for near-tier budget (or a concurrency slot)
+  Running,    ///< admitted; steps are being executed
+  Completed,  ///< all steps done, finish() ran
+  Failed,     ///< a step threw, or a deadline expired
+  Cancelled,  ///< cancel() delivered before completion
+};
+
+const char* to_string(JobState state);
+
+/// True for Completed / Failed / Cancelled.
+bool is_terminal(JobState state);
+
+/// How the AdmissionController resolved a job's near-tier request.
+enum class AdmissionDecision : std::uint8_t {
+  Undecided,  ///< no admission attempt has succeeded yet
+  Admitted,   ///< full requested budget granted
+  Queued,     ///< budget unavailable; job waits (final decision pending)
+  Degraded,   ///< request can never fit; admitted with a token near
+              ///< budget and the far-tier (DdrOnly) execution variant
+};
+
+const char* to_string(AdmissionDecision decision);
+
+/// Everything a job's stepper runs against.  The hierarchy is the job's
+/// budgeted tenant view (never the raw service hierarchy) and the pool
+/// is the job's worker executor; both outlive the stepper.
+struct JobContext {
+  MemoryHierarchy& hierarchy;
+  Executor& pool;
+  /// True when the job was admitted via AdmissionDecision::Degraded:
+  /// the near-tier budget is a token amount and the job must run its
+  /// far-tier variant (sort jobs switch the inner sorter to DdrOnly).
+  bool degraded = false;
+};
+
+/// Type-erased resumable job.  step() executes one suspension-quantum
+/// of work and returns true while more remain; finish() closes the run
+/// (called exactly once, after the last step).  Steppers are driven by
+/// one scheduler task at a time — implementations need no locking.
+class JobStepper {
+ public:
+  virtual ~JobStepper() = default;
+
+  /// Run one step; true while more steps remain.  Errors propagate as
+  /// mlm::Error and make the job Failed (a throwing stepper is dead).
+  virtual bool step() = 0;
+
+  /// Close the run after the final step.
+  virtual void finish() = 0;
+
+  /// Sort jobs expose their ExternalSortStats here after finish();
+  /// other job kinds return nullptr.
+  virtual const core::ExternalSortStats* sort_stats() const {
+    return nullptr;
+  }
+};
+
+/// Builds a job's stepper once the job is admitted and its budgeted
+/// context exists.  Construction may allocate (staging ladders run in
+/// stepper constructors) and may throw — the job then fails with the
+/// structured error.
+using JobFactory =
+    std::function<std::unique_ptr<JobStepper>(JobContext&)>;
+
+/// Per-job submission parameters.
+struct JobConfig {
+  /// Diagnostic label; also prefixes the tenant view's arena names
+  /// ("job0/mcdram").
+  std::string name = "job";
+  /// Higher runs first; FIFO within equal priority (JobQueue order).
+  int priority = 0;
+  /// Requested near-tier (MCDRAM) budget.  0 = the job declares no
+  /// near-tier working set: it is admitted with the token degraded
+  /// budget and runs with JobContext::degraded set (sort jobs then use
+  /// their DdrOnly variant).
+  std::uint64_t near_budget_bytes = 0;
+  /// Fail the job after this many steps (0 = no step deadline).
+  /// Deterministic under DeterministicExecutor drivers.
+  std::size_t deadline_steps = 0;
+  /// Fail the job after this much wall-clock run time (0 = none).
+  /// Ignored under deterministic drivers, where wall time is not a
+  /// function of the seed.
+  double deadline_seconds = 0.0;
+};
+
+/// Per-job service record: admission and queueing decisions, step
+/// counts, timing, and the structured error chain for unhappy endings.
+/// This is the service-side "SortStats" — the embedded `sort` field
+/// carries the sorter-side ExternalSortStats for sort jobs.
+struct SortStats {
+  std::uint64_t id = 0;
+  std::string name;
+  int priority = 0;
+  JobState state = JobState::Pending;
+  AdmissionDecision admission = AdmissionDecision::Undecided;
+
+  std::uint64_t requested_near_bytes = 0;
+  /// Budget actually committed against the shared arena (the request,
+  /// or the token degraded budget).
+  std::uint64_t granted_near_bytes = 0;
+  /// Admission attempts that left the job queued (0 = admitted on the
+  /// first try).
+  std::size_t queue_rounds = 0;
+
+  std::size_t steps = 0;
+
+  /// Virtual-clock timeline under a deterministic driver (scheduler
+  /// ticks at submit / admission / terminal state); all zero otherwise.
+  std::uint64_t submit_tick = 0;
+  std::uint64_t admit_tick = 0;
+  std::uint64_t finish_tick = 0;
+  /// Wall-clock queue wait and run time; zero under deterministic
+  /// drivers.
+  double queue_seconds = 0.0;
+  double run_seconds = 0.0;
+
+  bool cancel_requested = false;
+  /// Structured error chain for Failed (step error, deadline) and
+  /// Cancelled endings.
+  std::optional<Error> error;
+  /// Sorter-side stats for completed sort jobs.
+  std::optional<core::ExternalSortStats> sort;
+};
+
+/// Service-level aggregate across all jobs ever submitted.
+struct ServiceStats {
+  std::size_t jobs_submitted = 0;
+  std::size_t jobs_completed = 0;
+  std::size_t jobs_failed = 0;
+  std::size_t jobs_cancelled = 0;
+  /// Jobs admitted via the Degraded decision.
+  std::size_t jobs_degraded = 0;
+  /// Sum of queue_rounds across jobs.
+  std::size_t queue_rounds = 0;
+  std::size_t total_steps = 0;
+
+  /// Near-tier arena arbitration (AdmissionController view).
+  std::uint64_t near_capacity_bytes = 0;
+  std::uint64_t near_committed_bytes = 0;  ///< currently committed
+  std::uint64_t peak_near_committed_bytes = 0;
+
+  double total_queue_seconds = 0.0;
+  double total_run_seconds = 0.0;
+};
+
+}  // namespace mlm::service

@@ -1,0 +1,53 @@
+// Priority queue with FIFO fairness for waiting jobs.
+//
+// pop() returns the highest-priority entry; among equal priorities the
+// earliest-pushed wins (stable arrival order), so a stream of
+// same-priority tenants is served first-come-first-served and a low
+// priority job cannot be overtaken by a later submission of the same
+// priority — only by a strictly higher one.  Entries are job ids; the
+// scheduler owns the job records.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace mlm::service {
+
+class JobQueue {
+ public:
+  /// Append `id` with `priority` (higher pops first).  A re-queued job
+  /// (admission denied this round) re-enters at the back of its
+  /// priority class: denial does not grant queue-jumping.
+  void push(std::uint64_t id, int priority);
+
+  /// Remove and return the best entry (max priority, then min arrival
+  /// sequence); nullopt when empty.
+  std::optional<std::uint64_t> pop();
+
+  /// The entry pop() would return, without removing it.  Admission
+  /// peeks, and pops only on success: a denied head keeps its place
+  /// (head-of-line blocking IS the fairness guarantee — small later
+  /// jobs must not starve a large earlier one).
+  std::optional<std::uint64_t> peek() const;
+
+  /// Remove `id` wherever it sits (cancellation of a queued job);
+  /// false when not present.
+  bool erase(std::uint64_t id);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  struct Entry {
+    std::uint64_t id = 0;
+    int priority = 0;
+    std::uint64_t seq = 0;  ///< arrival order within this queue
+  };
+
+ private:
+  std::vector<Entry> entries_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mlm::service

@@ -1,0 +1,165 @@
+// JobScheduler: multi-tenant driver for resumable sort jobs over one
+// shared MemoryHierarchy ("MLM-as-a-service").
+//
+// The scheduler turns the library's run-to-completion sorters into a
+// service: tenants submit() jobs with a priority, a near-tier (MCDRAM)
+// budget request and optional deadlines; the AdmissionController
+// arbitrates the shared arena (admit / queue / degrade-to-far-tier per
+// the DegradePolicy ladder); admitted jobs execute as chains of
+// continuation tasks on the *driver* Executor, one resumable step per
+// task, so jobs interleave at step boundaries — exactly the suspension
+// points ExternalMlmSorter::Stepper and ChunkPipelineStepper expose.
+//
+// The driver seam is what makes schedules testable: with a ThreadPool
+// driver, job chains run concurrently on real threads; with a
+// DeterministicExecutor driver, every interleaving of job steps and
+// their inner parallel tasks is a pure function of the scheduler seed
+// (Executor::deterministic() also disables wall-clock deadlines and
+// timing so runs stay replayable).  Each admitted job gets
+//
+//   - a budgeted MemoryHierarchy tenant view (its MCDRAM cap), and
+//   - its own worker executor for intra-step parallelism (a ThreadPool,
+//     or a DeterministicExecutor sharing the driver's seeded schedule).
+//
+// Threading model: all scheduler state is guarded by one mutex; job
+// steppers are driven by exactly one in-flight task at a time and are
+// never touched under the lock, so a step's parallel work proceeds
+// while other tenants are admitted or finalized.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "mlm/core/degrade.h"
+#include "mlm/parallel/executor.h"
+#include "mlm/service/admission.h"
+#include "mlm/service/job.h"
+#include "mlm/service/job_queue.h"
+#include "mlm/support/stopwatch.h"
+
+namespace mlm {
+class DeterministicExecutor;
+}  // namespace mlm
+
+namespace mlm::service {
+
+struct JobSchedulerConfig {
+  /// Jobs in the Running state at once.  Queued jobs wait for a slot
+  /// even when their budget would fit.
+  std::size_t max_concurrent = 2;
+  /// Worker-executor size given to each running job for intra-step
+  /// parallelism.
+  std::size_t job_workers = 2;
+  /// Recovery ladder: allow_tier_fallback gates the Degraded admission
+  /// decision (a request larger than the whole near tier runs DdrOnly
+  /// instead of failing).  The ladder's other rungs remain per-job
+  /// concerns inside the steppers' own configs.
+  core::DegradePolicy degrade;
+  /// Token near budget for degraded / zero-request jobs.
+  std::uint64_t degraded_budget_bytes = 64;
+};
+
+class JobScheduler {
+ public:
+  /// `hierarchy` — the shared service hierarchy; the arbitrated tier is
+  /// its nearest addressable tier.  `driver` — the executor job-step
+  /// chains run on; it must outlive the scheduler, and a deterministic
+  /// driver must be a DeterministicExecutor (its seeded scheduler also
+  /// hosts the per-job executors).
+  JobScheduler(MemoryHierarchy& hierarchy, Executor& driver,
+               JobSchedulerConfig config = {});
+
+  /// All submitted jobs must have reached a terminal state (run_all()
+  /// drains); destroying a scheduler with live step chains on the
+  /// driver is undefined.
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  /// Queue a job; returns its id.  A near-tier request that can never
+  /// be satisfied (larger than the whole arena) fails the job
+  /// immediately unless degradation is allowed.
+  std::uint64_t submit(JobConfig config, JobFactory factory);
+
+  /// Cancel a job: a queued job leaves the queue immediately; a running
+  /// job is cancelled at its next step boundary (the
+  /// service.job.cancel fault site can delay delivery by one step).
+  /// Terminal jobs are unaffected.  Cancelled jobs carry a structured
+  /// error chain in their stats.
+  void cancel(std::uint64_t id);
+
+  /// Drive every submitted job to a terminal state and return the
+  /// service metrics.  Under a deterministic driver the entire
+  /// multi-job interleaving is a pure function of the scheduler seed.
+  ServiceStats run_all();
+
+  JobState state(std::uint64_t id) const;
+
+  /// Snapshot of a job's service record (valid for live and terminal
+  /// jobs).
+  SortStats job_stats(std::uint64_t id) const;
+
+  /// Service-level aggregate over all jobs ever submitted.
+  ServiceStats metrics() const;
+
+  /// Tier index whose budget the AdmissionController arbitrates (the
+  /// nearest addressable tier of the service hierarchy).
+  std::size_t near_level() const { return near_level_; }
+
+  const AdmissionController& admission() const { return admission_; }
+
+ private:
+  struct Job {
+    JobConfig config;
+    JobFactory factory;
+    SortStats stats;
+    bool degraded = false;
+    std::unique_ptr<MemoryHierarchy> view;  ///< budgeted tenant view
+    std::unique_ptr<Executor> pool;         ///< per-job workers
+    std::unique_ptr<JobStepper> stepper;
+    Stopwatch queue_watch;  ///< submit -> admission (wall drivers)
+    Stopwatch run_watch;    ///< admission -> terminal (wall drivers)
+  };
+
+  std::uint64_t now_tick() const;
+  Job& find_job(std::uint64_t id);
+  const Job& find_job(std::uint64_t id) const;
+  bool all_terminal() const;
+
+  /// Admit queued jobs (budget + concurrency permitting) and post their
+  /// first step task; returns true when at least one was admitted.
+  /// Lock held.
+  bool admit_pending();
+  /// Lock held.
+  void start_job(Job& job, const AdmissionController::Verdict& verdict);
+  void post_step(std::uint64_t id);
+  /// One continuation of a job's step chain (runs on the driver).
+  void step_task(std::uint64_t id);
+
+  /// Terminal transitions; lock held.  finalize_failed consumes `e`'s
+  /// chain into the job's stats.
+  void finalize(Job& job, JobState state);
+  void finalize_failed(Job& job, const Error& e);
+  /// Fail every queued job that can no longer make progress (no
+  /// running tenant left to release budget).  Lock held.
+  void starve_queued();
+
+  MemoryHierarchy& hier_;
+  Executor& driver_;
+  DeterministicExecutor* det_;  ///< driver as deterministic, else null
+  JobSchedulerConfig config_;
+  std::size_t near_level_ = 0;
+  AdmissionController admission_;
+
+  mutable std::mutex mu_;
+  JobQueue queue_;
+  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+  std::uint64_t next_id_ = 0;
+  std::size_t running_ = 0;
+};
+
+}  // namespace mlm::service

@@ -1,0 +1,65 @@
+// SortJob: an ExternalMlmSorter run packaged as a service job.
+//
+// The factory adapts the resumable sorter stepper (external_sort.h) to
+// the type-erased JobStepper protocol: one job step = one sorter phase
+// step (StageIn / InnerSort / StageOut per outer chunk, then Merge and
+// MoveHome), which is exactly the suspension granularity the scheduler
+// arbitrates budgets at.  A job admitted via the Degraded decision has
+// no usable near-tier budget, so its inner sorter is switched to the
+// DdrOnly variant before construction — the service-level analogue of
+// HBW_POLICY_PREFERRED falling back to DDR.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+#include <utility>
+
+#include "mlm/core/external_sort.h"
+#include "mlm/service/job.h"
+
+namespace mlm::service {
+
+template <typename T, typename Comp = std::less<>>
+class SortJob : public JobStepper {
+ public:
+  SortJob(JobContext& ctx, std::span<T> data,
+          core::ExternalSortConfig config, Comp comp)
+      : sorter_(ctx.hierarchy, ctx.pool, degraded_config(config, ctx),
+                comp),
+        stepper_(sorter_, data) {}
+
+  bool step() override { return stepper_.step(); }
+
+  void finish() override { stats_ = stepper_.finish(); }
+
+  const core::ExternalSortStats* sort_stats() const override {
+    return &stats_;
+  }
+
+ private:
+  static core::ExternalSortConfig degraded_config(
+      core::ExternalSortConfig config, const JobContext& ctx) {
+    if (ctx.degraded) config.inner.variant = core::MlmVariant::DdrOnly;
+    return config;
+  }
+
+  // Declaration order is teardown order in reverse: the stepper (and
+  // its staging buffers in the tenant view) dies before the sorter.
+  core::ExternalMlmSorter<T, Comp> sorter_;
+  typename core::ExternalMlmSorter<T, Comp>::Stepper stepper_;
+  core::ExternalSortStats stats_;
+};
+
+/// JobFactory sorting `data` (which must outlive the job) with the
+/// given sorter configuration.
+template <typename T, typename Comp = std::less<>>
+JobFactory make_sort_job(std::span<T> data,
+                         core::ExternalSortConfig config, Comp comp = {}) {
+  return [data, config, comp](JobContext& ctx) {
+    return std::unique_ptr<JobStepper>(
+        std::make_unique<SortJob<T, Comp>>(ctx, data, config, comp));
+  };
+}
+
+}  // namespace mlm::service

@@ -1,0 +1,95 @@
+#include "mlm/service/admission.h"
+
+#include <algorithm>
+
+#include "mlm/fault/fault.h"
+#include "mlm/support/error.h"
+
+namespace mlm::service {
+
+namespace {
+fault::FaultSite& admit_site() {
+  static fault::FaultSite site(fault::sites::kServiceAdmit);
+  return site;
+}
+}  // namespace
+
+AdmissionController::AdmissionController(std::uint64_t near_capacity_bytes,
+                                         bool allow_degrade,
+                                         std::uint64_t degraded_budget_bytes)
+    : capacity_(near_capacity_bytes),
+      allow_degrade_(allow_degrade),
+      degraded_budget_(degraded_budget_bytes) {}
+
+std::uint64_t AdmissionController::commit(std::uint64_t bytes) {
+  MLM_CHECK_MSG(bytes <= free_bytes(),
+                "admission over-commit of the near-tier arena");
+  committed_ += bytes;
+  peak_committed_ = std::max(peak_committed_, committed_);
+  return bytes;
+}
+
+AdmissionController::Verdict AdmissionController::decide(
+    std::uint64_t requested_bytes) {
+  // Transient arbiter failure: deny the round without touching the
+  // books, whatever the request.
+  if (admit_site().should_fire()) {
+    ++queued_count_;
+    return Verdict{AdmissionDecision::Queued, 0};
+  }
+
+  if (capacity_ == 0) {
+    // No addressable near tier (cache-like modes): nothing to arbitrate.
+    ++admitted_count_;
+    return Verdict{AdmissionDecision::Admitted, 0};
+  }
+
+  // Token paths still commit real bytes: a token that does not fit
+  // waits like any other request (a zero grant would mean "share the
+  // whole tier" in the tenant view — the over-commit hole this class
+  // exists to close).
+  const std::uint64_t token = std::min(degraded_budget_, capacity_);
+  const bool token_fits = token <= free_bytes();
+
+  if (requested_bytes == 0) {
+    // The job declared no near-tier working set: admit with the token
+    // budget so accidental near use fails loudly.
+    if (!token_fits) {
+      ++queued_count_;
+      return Verdict{AdmissionDecision::Queued, 0};
+    }
+    ++admitted_count_;
+    return Verdict{AdmissionDecision::Admitted, commit(token)};
+  }
+
+  if (!can_ever_fit(requested_bytes)) {
+    if (allow_degrade_) {
+      if (!token_fits) {
+        ++queued_count_;
+        return Verdict{AdmissionDecision::Queued, 0};
+      }
+      ++degraded_count_;
+      return Verdict{AdmissionDecision::Degraded, commit(token)};
+    }
+    // Callers should check can_ever_fit() first; without degradation
+    // an impossible request can only wait forever.
+    ++queued_count_;
+    return Verdict{AdmissionDecision::Queued, 0};
+  }
+
+  if (requested_bytes <= free_bytes()) {
+    ++admitted_count_;
+    return Verdict{AdmissionDecision::Admitted, commit(requested_bytes)};
+  }
+
+  ++queued_count_;
+  return Verdict{AdmissionDecision::Queued, 0};
+}
+
+void AdmissionController::release(std::uint64_t granted_bytes) {
+  MLM_CHECK_MSG(granted_bytes <= committed_,
+                "releasing more near-tier budget than is committed");
+  committed_ -= granted_bytes;
+}
+
+}  // namespace mlm::service

@@ -1,0 +1,32 @@
+#include "mlm/service/job.h"
+
+namespace mlm::service {
+
+const char* to_string(JobState state) {
+  switch (state) {
+    case JobState::Pending: return "pending";
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Completed: return "completed";
+    case JobState::Failed: return "failed";
+    case JobState::Cancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+bool is_terminal(JobState state) {
+  return state == JobState::Completed || state == JobState::Failed ||
+         state == JobState::Cancelled;
+}
+
+const char* to_string(AdmissionDecision decision) {
+  switch (decision) {
+    case AdmissionDecision::Undecided: return "undecided";
+    case AdmissionDecision::Admitted: return "admitted";
+    case AdmissionDecision::Queued: return "queued";
+    case AdmissionDecision::Degraded: return "degraded";
+  }
+  return "unknown";
+}
+
+}  // namespace mlm::service

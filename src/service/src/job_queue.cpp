@@ -1,0 +1,39 @@
+#include "mlm/service/job_queue.h"
+
+#include <algorithm>
+
+namespace mlm::service {
+
+namespace {
+bool better(const JobQueue::Entry& a, const JobQueue::Entry& b) {
+  if (a.priority != b.priority) return a.priority > b.priority;
+  return a.seq < b.seq;
+}
+}  // namespace
+
+void JobQueue::push(std::uint64_t id, int priority) {
+  entries_.push_back(Entry{id, priority, next_seq_++});
+}
+
+std::optional<std::uint64_t> JobQueue::pop() {
+  if (entries_.empty()) return std::nullopt;
+  auto best = std::min_element(entries_.begin(), entries_.end(), better);
+  const std::uint64_t id = best->id;
+  entries_.erase(best);
+  return id;
+}
+
+std::optional<std::uint64_t> JobQueue::peek() const {
+  if (entries_.empty()) return std::nullopt;
+  return std::min_element(entries_.begin(), entries_.end(), better)->id;
+}
+
+bool JobQueue::erase(std::uint64_t id) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [id](const Entry& e) { return e.id == id; });
+  if (it == entries_.end()) return false;
+  entries_.erase(it);
+  return true;
+}
+
+}  // namespace mlm::service

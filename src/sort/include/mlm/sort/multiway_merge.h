@@ -13,7 +13,7 @@
 #include <vector>
 
 #include "mlm/parallel/parallel_for.h"
-#include "mlm/parallel/thread_pool.h"
+#include "mlm/parallel/executor.h"
 #include "mlm/sort/loser_tree.h"
 #include "mlm/sort/merge_kernels.h"
 #include "mlm/support/error.h"
@@ -224,7 +224,7 @@ std::vector<std::size_t> multiseq_partition(std::span<const Run<T>> runs,
 /// independently.  Equivalent in structure to __gnu_parallel::
 /// multiway_merge with exact splitting.
 template <typename T, typename Comp = std::less<>>
-void parallel_multiway_merge(ThreadPool& pool,
+void parallel_multiway_merge(Executor& pool,
                              std::span<const Run<T>> runs,
                              std::span<T> out, Comp comp = {}) {
   std::size_t total = 0;

@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "mlm/parallel/parallel_for.h"
-#include "mlm/parallel/thread_pool.h"
+#include "mlm/parallel/executor.h"
 #include "mlm/sort/multiway_merge.h"
 #include "mlm/sort/serial_sort.h"
 #include "mlm/support/rng.h"
@@ -31,7 +31,7 @@ namespace mlm::sort {
 /// the pool's workers and a caller-provided scratch buffer of equal size
 /// (GNU parallel sort is likewise not in-place).
 template <typename T, typename Comp = std::less<>>
-void gnu_like_parallel_sort(ThreadPool& pool, std::span<T> data,
+void gnu_like_parallel_sort(Executor& pool, std::span<T> data,
                             std::span<T> scratch, Comp comp = {}) {
   MLM_REQUIRE(scratch.size() >= data.size(),
               "scratch must be at least input size");
@@ -69,7 +69,7 @@ void gnu_like_parallel_sort(ThreadPool& pool, std::span<T> data,
 
 /// Convenience overload that allocates its own scratch from the heap.
 template <typename T, typename Comp = std::less<>>
-void gnu_like_parallel_sort(ThreadPool& pool, std::span<T> data,
+void gnu_like_parallel_sort(Executor& pool, std::span<T> data,
                             Comp comp = {}) {
   std::vector<T> scratch(data.size());
   gnu_like_parallel_sort(pool, data, std::span<T>(scratch), comp);
@@ -80,7 +80,7 @@ void gnu_like_parallel_sort(ThreadPool& pool, std::span<T> data,
 /// each thread merges one bucket.  Not stable.  Provided for the
 /// parallel-sort ablation; MLM-sort itself uses serial sorts per thread.
 template <typename T, typename Comp = std::less<>>
-void samplesort(ThreadPool& pool, std::span<T> data,
+void samplesort(Executor& pool, std::span<T> data,
                 std::span<T> scratch, Comp comp = {},
                 std::uint64_t seed = 0x5a17e5eedULL) {
   MLM_REQUIRE(scratch.size() >= data.size(),

@@ -98,6 +98,61 @@ TEST(MemoryHierarchy, RejectsBadConfig) {
   EXPECT_THROW(MemoryHierarchy h(unnamed), InvalidArgumentError);
 }
 
+TEST(BudgetedView, TiersBecomeSubArenasOfTheParent) {
+  MemoryHierarchy parent(three_tier(McdramMode::Flat));
+  MemoryHierarchy view(parent, {0, MiB(1), KiB(128)}, "job0");
+  EXPECT_EQ(view.tier_count(), 3u);
+  EXPECT_EQ(view.tier(2).name(), "job0/mcdram");
+  EXPECT_EQ(view.tier(2).parent(), &parent.tier(2));
+  EXPECT_EQ(view.tier(2).capacity_bytes(), KiB(128));
+  EXPECT_EQ(view.tier(1).capacity_bytes(), MiB(1));
+  // Budget 0 = share the parent's full (here unlimited) tier.
+  EXPECT_TRUE(view.tier(0).unlimited());
+  EXPECT_EQ(view.addressable_bytes(2), KiB(128));
+
+  void* p = view.tier(2).allocate(KiB(64));
+  EXPECT_EQ(parent.tier(2).stats().used_bytes, KiB(64));
+  view.tier(2).deallocate(p);
+  EXPECT_THROW(view.tier(2).allocate(KiB(256)), OutOfMemoryError);
+}
+
+TEST(BudgetedView, CannotGrowBeyondTheParentTier) {
+  MemoryHierarchy parent(three_tier(McdramMode::Flat));
+  // A budget larger than the parent tier is clamped to the parent's size.
+  MemoryHierarchy view(parent, {0, 0, MiB(8)}, "greedy");
+  EXPECT_EQ(view.tier(2).capacity_bytes(), KiB(512));
+  EXPECT_EQ(view.tier_config(2).capacity_bytes, KiB(512));
+}
+
+TEST(BudgetedView, PreservesModeDegeneracies) {
+  MemoryHierarchy parent(three_tier(McdramMode::ImplicitCache));
+  MemoryHierarchy view(parent, {0, MiB(1), 0}, "job0");
+  EXPECT_FALSE(view.tier_addressable(2));
+  EXPECT_EQ(&view.nearest_addressable(), &view.tier(1));
+  EXPECT_EQ(view.tier(1).parent(), &parent.tier(1));
+  TierPair inner = view.pair(1);
+  EXPECT_EQ(inner.near_tier, nullptr);
+}
+
+TEST(BudgetedView, TenantsContendForTheParentTier) {
+  MemoryHierarchy parent(three_tier(McdramMode::Flat));
+  MemoryHierarchy a(parent, {0, 0, KiB(384)}, "a");
+  MemoryHierarchy b(parent, {0, 0, KiB(384)}, "b");
+  void* pa = a.tier(2).allocate(KiB(320));
+  // b's budget admits 384K but the shared mcdram tier only has 192K left.
+  EXPECT_EQ(b.tier(2).try_allocate(KiB(256)), nullptr);
+  void* pb = b.tier(2).allocate(KiB(128));
+  EXPECT_EQ(parent.tier(2).stats().used_bytes, KiB(448));
+  a.tier(2).deallocate(pa);
+  b.tier(2).deallocate(pb);
+}
+
+TEST(BudgetedView, RejectsTooManyBudgets) {
+  MemoryHierarchy parent(three_tier(McdramMode::Flat));
+  EXPECT_THROW(MemoryHierarchy v(parent, {0, 0, 0, 0}, "job0"),
+               InvalidArgumentError);
+}
+
 TEST(MemoryHierarchy, CapacityEnforcedPerTier) {
   MemoryHierarchy h(three_tier(McdramMode::Flat));
   void* p = h.tier(2).allocate(KiB(512) - 64);

@@ -170,5 +170,90 @@ TEST(MemKind, Names) {
   EXPECT_STREQ(to_string(MemKind::MCDRAM), "MCDRAM");
 }
 
+TEST(SubArena, ForwardsAccountingToParent) {
+  MemorySpace parent("mcdram", MemKind::MCDRAM, KiB(64));
+  MemorySpace job("job0/mcdram", parent, KiB(32));
+  EXPECT_EQ(job.parent(), &parent);
+  EXPECT_EQ(parent.parent(), nullptr);
+  EXPECT_EQ(job.kind(), MemKind::MCDRAM);
+
+  void* p = job.allocate(KiB(16));
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(job.owns(p));
+  EXPECT_TRUE(parent.owns(p));  // backing memory lives in the parent
+  EXPECT_EQ(job.stats().used_bytes, KiB(16));
+  EXPECT_EQ(parent.stats().used_bytes, KiB(16));
+
+  job.deallocate(p);
+  EXPECT_EQ(job.stats().used_bytes, 0u);
+  EXPECT_EQ(parent.stats().used_bytes, 0u);
+  EXPECT_FALSE(parent.owns(p));
+}
+
+TEST(SubArena, BudgetCapsBelowParentCapacity) {
+  MemorySpace parent("mcdram", MemKind::MCDRAM, KiB(64));
+  MemorySpace job("job0/mcdram", parent, KiB(16));
+  EXPECT_EQ(job.try_allocate(KiB(32)), nullptr);  // over budget
+  EXPECT_EQ(parent.stats().used_bytes, 0u);       // nothing leaked through
+  EXPECT_THROW(job.allocate(KiB(32)), OutOfMemoryError);
+  void* p = job.allocate(KiB(16));
+  ASSERT_NE(p, nullptr);
+  job.deallocate(p);
+}
+
+TEST(SubArena, ParentExhaustionRollsBackChildAccounting) {
+  MemorySpace parent("mcdram", MemKind::MCDRAM, KiB(32));
+  MemorySpace greedy("a/mcdram", parent, 0);  // pure forwarding
+  MemorySpace job("b/mcdram", parent, KiB(32));
+  void* hog = greedy.allocate(KiB(24));
+  // The job's own budget would allow this, but the shared parent can't.
+  EXPECT_EQ(job.try_allocate(KiB(16)), nullptr);
+  EXPECT_EQ(job.stats().used_bytes, 0u);
+  EXPECT_EQ(job.stats().total_allocations, 0u);
+  greedy.deallocate(hog);
+  void* p = job.allocate(KiB(16));
+  ASSERT_NE(p, nullptr);
+  job.deallocate(p);
+}
+
+TEST(SubArena, TenantsShareTheParentArena) {
+  MemorySpace parent("mcdram", MemKind::MCDRAM, KiB(64));
+  MemorySpace a("a/mcdram", parent, KiB(48));
+  MemorySpace b("b/mcdram", parent, KiB(48));
+  void* pa = a.allocate(KiB(40));
+  // Each tenant's budget admits 48K, but together they are bounded by
+  // the parent's 64K — the over-commit the admission controller must
+  // never grant.
+  EXPECT_EQ(b.try_allocate(KiB(40)), nullptr);
+  void* pb = b.allocate(KiB(16));
+  EXPECT_EQ(parent.stats().used_bytes, KiB(56));
+  a.deallocate(pa);
+  b.deallocate(pb);
+  EXPECT_EQ(parent.stats().high_water_bytes, KiB(56));
+}
+
+TEST(SubArena, DestructorReturnsLeakedBytesToParent) {
+  MemorySpace parent("mcdram", MemKind::MCDRAM, KiB(64));
+  {
+    MemorySpace job("job0/mcdram", parent, KiB(32));
+    (void)job.allocate(KiB(16));  // deliberately leaked by the tenant
+  }
+  EXPECT_EQ(parent.stats().used_bytes, 0u);
+}
+
+TEST(SubArena, ExhaustionMessageNamesParentArena) {
+  MemorySpace parent("mcdram", MemKind::MCDRAM, KiB(64));
+  MemorySpace job("job0/mcdram", parent, KiB(16));
+  try {
+    job.allocate(KiB(32));
+    FAIL() << "expected OutOfMemoryError";
+  } catch (const OutOfMemoryError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("job0/mcdram"), std::string::npos) << what;
+    EXPECT_NE(what.find("sub-arena of 'mcdram'"), std::string::npos)
+        << what;
+  }
+}
+
 }  // namespace
 }  // namespace mlm

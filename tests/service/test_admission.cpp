@@ -1,0 +1,120 @@
+// AdmissionController: arbitration of a shared near-tier budget —
+// admit / queue / degrade decisions, exact commit/release accounting,
+// and the service.admission.admit fault site.
+#include "mlm/service/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "mlm/fault/fault.h"
+#include "mlm/support/error.h"
+#include "mlm/support/units.h"
+
+namespace mlm::service {
+namespace {
+
+TEST(AdmissionController, AdmitsWithinCapacityAndCommits) {
+  AdmissionController ac(KiB(256));
+  const auto v = ac.decide(KiB(100));
+  EXPECT_EQ(v.decision, AdmissionDecision::Admitted);
+  EXPECT_EQ(v.granted_bytes, KiB(100));
+  EXPECT_EQ(ac.committed(), KiB(100));
+  EXPECT_EQ(ac.free_bytes(), KiB(156));
+  EXPECT_EQ(ac.admitted_count(), 1u);
+}
+
+TEST(AdmissionController, QueuesWhenBudgetExhausted) {
+  AdmissionController ac(KiB(256));
+  EXPECT_EQ(ac.decide(KiB(200)).decision, AdmissionDecision::Admitted);
+  const auto v = ac.decide(KiB(100));
+  EXPECT_EQ(v.decision, AdmissionDecision::Queued);
+  EXPECT_EQ(v.granted_bytes, 0u);
+  EXPECT_EQ(ac.committed(), KiB(200));
+  EXPECT_EQ(ac.queued_count(), 1u);
+}
+
+TEST(AdmissionController, ReleaseMakesRoomAgain) {
+  AdmissionController ac(KiB(256));
+  const auto first = ac.decide(KiB(200));
+  EXPECT_EQ(ac.decide(KiB(100)).decision, AdmissionDecision::Queued);
+  ac.release(first.granted_bytes);
+  EXPECT_EQ(ac.committed(), 0u);
+  EXPECT_EQ(ac.decide(KiB(100)).decision, AdmissionDecision::Admitted);
+}
+
+TEST(AdmissionController, PeakTracksHighWaterMark) {
+  AdmissionController ac(KiB(256));
+  ac.decide(KiB(100));
+  ac.decide(KiB(100));
+  ac.release(KiB(100));
+  ac.decide(KiB(50));
+  EXPECT_EQ(ac.committed(), KiB(150));
+  EXPECT_EQ(ac.peak_committed(), KiB(200));
+  EXPECT_LE(ac.peak_committed(), ac.capacity());
+}
+
+TEST(AdmissionController, DegradesRequestLargerThanTheArena) {
+  AdmissionController ac(KiB(256), /*allow_degrade=*/true,
+                         /*degraded_budget_bytes=*/64);
+  const auto v = ac.decide(KiB(512));
+  EXPECT_EQ(v.decision, AdmissionDecision::Degraded);
+  EXPECT_EQ(v.granted_bytes, 64u);  // token commit, accounted like any
+  EXPECT_EQ(ac.committed(), 64u);
+  EXPECT_EQ(ac.degraded_count(), 1u);
+}
+
+TEST(AdmissionController, QueuesImpossibleRequestWithoutDegrade) {
+  AdmissionController ac(KiB(256), /*allow_degrade=*/false);
+  EXPECT_FALSE(ac.can_ever_fit(KiB(512)));
+  EXPECT_EQ(ac.decide(KiB(512)).decision, AdmissionDecision::Queued);
+  EXPECT_EQ(ac.committed(), 0u);
+}
+
+TEST(AdmissionController, ZeroRequestGetsTokenBudget) {
+  AdmissionController ac(KiB(256), false, 64);
+  const auto v = ac.decide(0);
+  EXPECT_EQ(v.decision, AdmissionDecision::Admitted);
+  EXPECT_EQ(v.granted_bytes, 64u);
+  EXPECT_EQ(ac.committed(), 64u);
+}
+
+TEST(AdmissionController, TokenMustFitTheFreeBudget) {
+  // A zero grant would mean "share the whole tier" in the tenant view,
+  // so token admissions wait like everyone else when the arena is full.
+  AdmissionController ac(KiB(1), true, 64);
+  EXPECT_EQ(ac.decide(KiB(1)).decision, AdmissionDecision::Admitted);
+  EXPECT_EQ(ac.decide(0).decision, AdmissionDecision::Queued);
+  EXPECT_EQ(ac.decide(KiB(2)).decision, AdmissionDecision::Queued);
+  ac.release(KiB(1));
+  EXPECT_EQ(ac.decide(0).decision, AdmissionDecision::Admitted);
+}
+
+TEST(AdmissionController, UnlimitedArenaHasNothingToArbitrate) {
+  AdmissionController ac(0);
+  const auto v = ac.decide(MiB(100));
+  EXPECT_EQ(v.decision, AdmissionDecision::Admitted);
+  EXPECT_EQ(v.granted_bytes, 0u);
+  EXPECT_EQ(ac.committed(), 0u);
+}
+
+TEST(AdmissionController, OverReleaseThrows) {
+  AdmissionController ac(KiB(256));
+  ac.decide(KiB(10));
+  EXPECT_THROW(ac.release(KiB(20)), Error);
+}
+
+TEST(AdmissionController, FaultSiteDeniesTheRoundWithoutCommitting) {
+  AdmissionController ac(KiB(256));
+  fault::FaultPlan plan;
+  plan.arm(fault::sites::kServiceAdmit,
+           fault::FaultTrigger::after_n(0, /*max_fires=*/2));
+  fault::ScopedFaultInjector inject(plan);
+  EXPECT_EQ(ac.decide(KiB(10)).decision, AdmissionDecision::Queued);
+  EXPECT_EQ(ac.decide(KiB(10)).decision, AdmissionDecision::Queued);
+  EXPECT_EQ(ac.committed(), 0u);
+  // Transient exhaustion clears: the third round admits.
+  EXPECT_EQ(ac.decide(KiB(10)).decision, AdmissionDecision::Admitted);
+  EXPECT_EQ(plan.stats(fault::sites::kServiceAdmit).fires, 2u);
+}
+
+}  // namespace
+}  // namespace mlm::service

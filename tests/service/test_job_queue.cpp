@@ -1,0 +1,76 @@
+// JobQueue: priority ordering with FIFO fairness within a priority.
+#include "mlm/service/job_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace mlm::service {
+namespace {
+
+TEST(JobQueue, FifoWithinEqualPriority) {
+  JobQueue q;
+  q.push(10, 0);
+  q.push(11, 0);
+  q.push(12, 0);
+  EXPECT_EQ(q.pop(), 10u);
+  EXPECT_EQ(q.pop(), 11u);
+  EXPECT_EQ(q.pop(), 12u);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(JobQueue, HigherPriorityPopsFirst) {
+  JobQueue q;
+  q.push(1, 0);
+  q.push(2, 5);
+  q.push(3, -1);
+  q.push(4, 5);
+  EXPECT_EQ(q.pop(), 2u);  // priority 5, earlier than 4
+  EXPECT_EQ(q.pop(), 4u);
+  EXPECT_EQ(q.pop(), 1u);
+  EXPECT_EQ(q.pop(), 3u);
+}
+
+TEST(JobQueue, PeekDoesNotRemove) {
+  JobQueue q;
+  q.push(7, 1);
+  q.push(8, 2);
+  EXPECT_EQ(q.peek(), 8u);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.pop(), 8u);
+  EXPECT_EQ(q.peek(), 7u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(JobQueue, EmptyPeekAndPop) {
+  JobQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.peek().has_value());
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(JobQueue, EraseRemovesById) {
+  JobQueue q;
+  q.push(1, 0);
+  q.push(2, 0);
+  q.push(3, 0);
+  EXPECT_TRUE(q.erase(2));
+  EXPECT_FALSE(q.erase(2));
+  EXPECT_FALSE(q.erase(99));
+  EXPECT_EQ(q.pop(), 1u);
+  EXPECT_EQ(q.pop(), 3u);
+}
+
+TEST(JobQueue, RepushedEntryGoesBehindItsPriorityPeers) {
+  // A denied-and-repushed job loses its place; the scheduler therefore
+  // peeks instead (see JobQueue::peek) — this pins why.
+  JobQueue q;
+  q.push(1, 0);
+  q.push(2, 0);
+  const auto head = q.pop();
+  ASSERT_EQ(head, 1u);
+  q.push(*head, 0);
+  EXPECT_EQ(q.pop(), 2u);
+  EXPECT_EQ(q.pop(), 1u);
+}
+
+}  // namespace
+}  // namespace mlm::service

@@ -1,0 +1,533 @@
+// JobScheduler lifecycle: admission, priority/FIFO order, budget
+// contention, cancellation, deadlines, fault sites, and real sort jobs
+// on both driver kinds (ThreadPool and DeterministicExecutor).
+#include "mlm/service/job_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "mlm/fault/fault.h"
+#include "mlm/memory/memory_space.h"
+#include "mlm/parallel/deterministic_executor.h"
+#include "mlm/parallel/thread_pool.h"
+#include "mlm/service/sort_job.h"
+#include "mlm/sort/input_gen.h"
+#include "mlm/support/error.h"
+#include "mlm/support/units.h"
+
+namespace mlm::service {
+namespace {
+
+HierarchyConfig three_tier(std::uint64_t mcdram = KiB(512),
+                           std::uint64_t ddr = MiB(2)) {
+  HierarchyConfig cfg;
+  cfg.tiers = {TierConfig{"nvm", MemKind::NVM, 0},
+               TierConfig{"ddr", MemKind::DDR, ddr},
+               TierConfig{"mcdram", MemKind::MCDRAM, mcdram}};
+  cfg.mode = McdramMode::Flat;
+  return cfg;
+}
+
+// A job that counts its own steps; optionally records its first step
+// into a shared order log (single-threaded under deterministic
+// drivers, so a plain vector is safe there).
+class CountingJob : public JobStepper {
+ public:
+  CountingJob(std::size_t steps, bool degraded,
+              std::vector<std::uint64_t>* order = nullptr,
+              std::uint64_t id = 0)
+      : remaining_(steps), degraded_(degraded), order_(order), id_(id) {}
+
+  bool step() override {
+    if (order_ != nullptr && !logged_) {
+      order_->push_back(id_);
+      logged_ = true;
+    }
+    MLM_CHECK_MSG(remaining_ > 0, "stepped past the end");
+    --remaining_;
+    return remaining_ > 0;
+  }
+  void finish() override { finished_ = true; }
+
+  bool degraded() const { return degraded_; }
+
+ private:
+  std::size_t remaining_;
+  bool degraded_;
+  std::vector<std::uint64_t>* order_;
+  std::uint64_t id_;
+  bool logged_ = false;
+  bool finished_ = false;
+};
+
+JobFactory counting_factory(std::size_t steps,
+                            std::vector<std::uint64_t>* order = nullptr,
+                            std::uint64_t id = 0,
+                            bool* degraded_seen = nullptr) {
+  return [=](JobContext& ctx) -> std::unique_ptr<JobStepper> {
+    if (degraded_seen != nullptr) *degraded_seen = ctx.degraded;
+    return std::make_unique<CountingJob>(steps, ctx.degraded, order, id);
+  };
+}
+
+TEST(JobScheduler, CompletesASimpleJob) {
+  MemoryHierarchy hier(three_tier());
+  DeterministicScheduler sched(1);
+  DeterministicExecutor driver(sched, 2, "driver");
+  JobScheduler svc(hier, driver);
+
+  JobConfig jc;
+  jc.name = "simple";
+  jc.near_budget_bytes = KiB(16);
+  const auto id = svc.submit(jc, counting_factory(3));
+  const ServiceStats m = svc.run_all();
+
+  const SortStats st = svc.job_stats(id);
+  EXPECT_EQ(st.state, JobState::Completed);
+  EXPECT_EQ(st.admission, AdmissionDecision::Admitted);
+  EXPECT_EQ(st.granted_near_bytes, KiB(16));
+  EXPECT_EQ(st.steps, 3u);
+  EXPECT_GE(st.admit_tick, st.submit_tick);
+  EXPECT_GE(st.finish_tick, st.admit_tick);
+  EXPECT_EQ(m.jobs_completed, 1u);
+  EXPECT_EQ(m.total_steps, 3u);
+  EXPECT_EQ(svc.admission().committed(), 0u);  // released on completion
+}
+
+TEST(JobScheduler, RunsByPriorityThenFifo) {
+  MemoryHierarchy hier(three_tier());
+  DeterministicScheduler sched(2);
+  DeterministicExecutor driver(sched, 1, "driver");
+  JobSchedulerConfig cfg;
+  cfg.max_concurrent = 1;  // serialize so admission order is run order
+  JobScheduler svc(hier, driver, cfg);
+
+  std::vector<std::uint64_t> order;
+  JobConfig low;
+  low.near_budget_bytes = KiB(1);
+  JobConfig high = low;
+  high.priority = 5;
+  const auto a = svc.submit(low, counting_factory(2, &order, 1));
+  const auto b = svc.submit(high, counting_factory(2, &order, 2));
+  const auto c = svc.submit(low, counting_factory(2, &order, 3));
+  svc.run_all();
+
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{2, 1, 3}));
+  EXPECT_EQ(svc.state(a), JobState::Completed);
+  EXPECT_EQ(svc.state(b), JobState::Completed);
+  EXPECT_EQ(svc.state(c), JobState::Completed);
+}
+
+TEST(JobScheduler, BudgetContentionQueuesSecondTenant) {
+  MemoryHierarchy hier(three_tier(KiB(256)));
+  DeterministicScheduler sched(3);
+  DeterministicExecutor driver(sched, 2, "driver");
+  JobScheduler svc(hier, driver);
+
+  JobConfig big;
+  big.near_budget_bytes = KiB(160);  // two cannot coexist in 256 KiB
+  const auto a = svc.submit(big, counting_factory(4));
+  const auto b = svc.submit(big, counting_factory(4));
+  const ServiceStats m = svc.run_all();
+
+  const SortStats sa = svc.job_stats(a);
+  const SortStats sb = svc.job_stats(b);
+  EXPECT_EQ(sa.state, JobState::Completed);
+  EXPECT_EQ(sb.state, JobState::Completed);
+  EXPECT_GE(sb.queue_rounds, 1u);  // waited for a's release
+  EXPECT_GE(sb.admit_tick, sa.finish_tick);
+  EXPECT_LE(m.peak_near_committed_bytes, m.near_capacity_bytes);
+  EXPECT_EQ(m.queue_rounds, sa.queue_rounds + sb.queue_rounds);
+}
+
+TEST(JobScheduler, ImpossibleRequestFailsFastWithoutDegrade) {
+  MemoryHierarchy hier(three_tier(KiB(256)));
+  DeterministicScheduler sched(4);
+  DeterministicExecutor driver(sched, 2, "driver");
+  JobScheduler svc(hier, driver);
+
+  JobConfig jc;
+  jc.name = "whale";
+  jc.near_budget_bytes = MiB(1);
+  const auto id = svc.submit(jc, counting_factory(1));
+  const SortStats st = svc.job_stats(id);
+  EXPECT_EQ(st.state, JobState::Failed);  // terminal before run_all
+  ASSERT_TRUE(st.error.has_value());
+  ASSERT_FALSE(st.error->chain().empty());
+  EXPECT_EQ(st.error->chain().front().op, "admit");
+  EXPECT_EQ(st.error->chain().front().tier, "mcdram");
+
+  const ServiceStats m = svc.run_all();  // drains trivially
+  EXPECT_EQ(m.jobs_failed, 1u);
+}
+
+TEST(JobScheduler, ImpossibleRequestDegradesWhenAllowed) {
+  MemoryHierarchy hier(three_tier(KiB(256)));
+  DeterministicScheduler sched(5);
+  DeterministicExecutor driver(sched, 2, "driver");
+  JobSchedulerConfig cfg;
+  cfg.degrade.allow_tier_fallback = true;
+  JobScheduler svc(hier, driver, cfg);
+
+  JobConfig jc;
+  jc.near_budget_bytes = MiB(1);
+  bool degraded_seen = false;
+  const auto id =
+      svc.submit(jc, counting_factory(2, nullptr, 0, &degraded_seen));
+  const ServiceStats m = svc.run_all();
+
+  const SortStats st = svc.job_stats(id);
+  EXPECT_EQ(st.state, JobState::Completed);
+  EXPECT_EQ(st.admission, AdmissionDecision::Degraded);
+  EXPECT_EQ(st.granted_near_bytes, cfg.degraded_budget_bytes);
+  EXPECT_TRUE(degraded_seen);
+  EXPECT_EQ(m.jobs_degraded, 1u);
+}
+
+TEST(JobScheduler, ZeroRequestRunsDegradedWithTokenBudget) {
+  MemoryHierarchy hier(three_tier(KiB(256)));
+  DeterministicScheduler sched(6);
+  DeterministicExecutor driver(sched, 2, "driver");
+  JobScheduler svc(hier, driver);
+
+  bool degraded_seen = false;
+  const auto id = svc.submit(
+      JobConfig{}, counting_factory(1, nullptr, 0, &degraded_seen));
+  svc.run_all();
+  const SortStats st = svc.job_stats(id);
+  EXPECT_EQ(st.state, JobState::Completed);
+  EXPECT_EQ(st.admission, AdmissionDecision::Admitted);
+  EXPECT_EQ(st.granted_near_bytes, 64u);
+  EXPECT_TRUE(degraded_seen);
+}
+
+TEST(JobScheduler, CancelsQueuedJobImmediately) {
+  MemoryHierarchy hier(three_tier());
+  DeterministicScheduler sched(7);
+  DeterministicExecutor driver(sched, 2, "driver");
+  JobSchedulerConfig cfg;
+  cfg.max_concurrent = 1;
+  JobScheduler svc(hier, driver, cfg);
+
+  JobConfig jc;
+  jc.near_budget_bytes = KiB(1);
+  const auto a = svc.submit(jc, counting_factory(2));
+  const auto b = svc.submit(jc, counting_factory(2));
+  svc.cancel(b);
+  EXPECT_EQ(svc.state(b), JobState::Cancelled);
+  const SortStats st = svc.job_stats(b);
+  ASSERT_TRUE(st.error.has_value());
+  EXPECT_EQ(st.error->chain().front().op, "cancel");
+  EXPECT_EQ(st.steps, 0u);
+
+  svc.run_all();
+  EXPECT_EQ(svc.state(a), JobState::Completed);
+}
+
+// A job whose only purpose is to cancel another tenant mid-run.
+class CancellerJob : public JobStepper {
+ public:
+  CancellerJob(JobScheduler& svc, std::uint64_t victim)
+      : svc_(svc), victim_(victim) {}
+  bool step() override {
+    svc_.cancel(victim_);
+    return false;
+  }
+  void finish() override {}
+
+ private:
+  JobScheduler& svc_;
+  std::uint64_t victim_;
+};
+
+TEST(JobScheduler, CancelsRunningJobAtAStepBoundary) {
+  MemoryHierarchy hier(three_tier());
+  DeterministicScheduler sched(8);
+  DeterministicExecutor driver(sched, 2, "driver");
+  JobScheduler svc(hier, driver);
+
+  JobConfig jc;
+  jc.near_budget_bytes = KiB(1);
+  const auto victim = svc.submit(jc, counting_factory(1000));
+  JobConfig killer = jc;
+  killer.priority = 1;
+  svc.submit(killer, [&svc, victim](JobContext&) {
+    return std::unique_ptr<JobStepper>(
+        std::make_unique<CancellerJob>(svc, victim));
+  });
+  svc.run_all();
+
+  const SortStats st = svc.job_stats(victim);
+  EXPECT_EQ(st.state, JobState::Cancelled);
+  EXPECT_TRUE(st.cancel_requested);
+  EXPECT_LT(st.steps, 1000u);  // stopped well before completion
+  ASSERT_TRUE(st.error.has_value());
+  EXPECT_EQ(st.error->chain().front().op, "cancel");
+  EXPECT_EQ(svc.admission().committed(), 0u);
+}
+
+TEST(JobScheduler, StepDeadlineFailsTheJob) {
+  MemoryHierarchy hier(three_tier());
+  DeterministicScheduler sched(9);
+  DeterministicExecutor driver(sched, 2, "driver");
+  JobScheduler svc(hier, driver);
+
+  JobConfig jc;
+  jc.name = "slow";
+  jc.near_budget_bytes = KiB(1);
+  jc.deadline_steps = 3;
+  const auto id = svc.submit(jc, counting_factory(100));
+  const ServiceStats m = svc.run_all();
+
+  const SortStats st = svc.job_stats(id);
+  EXPECT_EQ(st.state, JobState::Failed);
+  EXPECT_EQ(st.steps, 3u);
+  ASSERT_TRUE(st.error.has_value());
+  EXPECT_EQ(st.error->chain().front().op, "deadline");
+  EXPECT_NE(std::string(st.error->what()).find("deadline"),
+            std::string::npos);
+  EXPECT_EQ(m.jobs_failed, 1u);
+}
+
+TEST(JobScheduler, StepFaultSiteProducesStructuredJobError) {
+  MemoryHierarchy hier(three_tier());
+  DeterministicScheduler sched(10);
+  DeterministicExecutor driver(sched, 2, "driver");
+  JobScheduler svc(hier, driver);
+
+  fault::FaultPlan plan;
+  plan.arm(fault::sites::kServiceJobStep, fault::FaultTrigger::nth_call(2));
+  fault::ScopedFaultInjector inject(plan);
+
+  JobConfig jc;
+  jc.name = "faulty";
+  jc.near_budget_bytes = KiB(1);
+  const auto id = svc.submit(jc, counting_factory(10));
+  svc.run_all();
+
+  const SortStats st = svc.job_stats(id);
+  EXPECT_EQ(st.state, JobState::Failed);
+  EXPECT_EQ(st.steps, 2u);  // failed entering the third step
+  ASSERT_TRUE(st.error.has_value());
+  const std::string what = st.error->what();
+  EXPECT_NE(what.find(fault::sites::kServiceJobStep), std::string::npos);
+  ASSERT_FALSE(st.error->chain().empty());
+  EXPECT_EQ(st.error->chain().front().op, "job_step");
+  EXPECT_EQ(plan.stats(fault::sites::kServiceJobStep).fires, 1u);
+  EXPECT_EQ(svc.admission().committed(), 0u);  // budget released
+}
+
+TEST(JobScheduler, AdmitFaultForcesAQueueRound) {
+  MemoryHierarchy hier(three_tier());
+  DeterministicScheduler sched(11);
+  DeterministicExecutor driver(sched, 2, "driver");
+  JobScheduler svc(hier, driver);
+
+  fault::FaultPlan plan;
+  plan.arm(fault::sites::kServiceAdmit,
+           fault::FaultTrigger::after_n(0, /*max_fires=*/3));
+  fault::ScopedFaultInjector inject(plan);
+
+  JobConfig jc;
+  jc.near_budget_bytes = KiB(1);
+  const auto id = svc.submit(jc, counting_factory(2));
+  svc.run_all();
+
+  const SortStats st = svc.job_stats(id);
+  EXPECT_EQ(st.state, JobState::Completed);
+  EXPECT_GE(st.queue_rounds, 3u);
+  EXPECT_EQ(plan.stats(fault::sites::kServiceAdmit).fires, 3u);
+}
+
+TEST(JobScheduler, PermanentAdmitFaultStarvesTheQueue) {
+  MemoryHierarchy hier(three_tier());
+  DeterministicScheduler sched(12);
+  DeterministicExecutor driver(sched, 2, "driver");
+  JobScheduler svc(hier, driver);
+
+  fault::FaultPlan plan;
+  plan.arm(fault::sites::kServiceAdmit, fault::FaultTrigger::always());
+  fault::ScopedFaultInjector inject(plan);
+
+  JobConfig jc;
+  jc.name = "starved";
+  jc.near_budget_bytes = KiB(1);
+  const auto id = svc.submit(jc, counting_factory(1));
+  const ServiceStats m = svc.run_all();  // must terminate regardless
+
+  const SortStats st = svc.job_stats(id);
+  EXPECT_EQ(st.state, JobState::Failed);
+  ASSERT_TRUE(st.error.has_value());
+  EXPECT_NE(std::string(st.error->what()).find("starved"),
+            std::string::npos);
+  EXPECT_EQ(m.jobs_failed, 1u);
+}
+
+TEST(JobScheduler, DelayedCancelDeliveryViaFaultSite) {
+  MemoryHierarchy hier(three_tier());
+  DeterministicScheduler sched(13);
+  DeterministicExecutor driver(sched, 2, "driver");
+  JobScheduler svc(hier, driver);
+
+  fault::FaultPlan plan;
+  plan.arm(fault::sites::kServiceJobCancel,
+           fault::FaultTrigger::nth_call(0));
+  fault::ScopedFaultInjector inject(plan);
+
+  JobConfig jc;
+  jc.near_budget_bytes = KiB(1);
+  const auto victim = svc.submit(jc, counting_factory(1000));
+  svc.submit(jc, [&svc, victim](JobContext&) {
+    return std::unique_ptr<JobStepper>(
+        std::make_unique<CancellerJob>(svc, victim));
+  });
+  svc.run_all();
+
+  EXPECT_EQ(svc.state(victim), JobState::Cancelled);
+  // The first delivery attempt was swallowed by the site; the cancel
+  // landed exactly one step later.
+  EXPECT_EQ(plan.stats(fault::sites::kServiceJobCancel).fires, 1u);
+}
+
+TEST(JobScheduler, FactoryFailureFailsTheJobWithSetupFrame) {
+  MemoryHierarchy hier(three_tier());
+  DeterministicScheduler sched(14);
+  DeterministicExecutor driver(sched, 2, "driver");
+  JobScheduler svc(hier, driver);
+
+  JobConfig jc;
+  jc.name = "stillborn";
+  jc.near_budget_bytes = KiB(1);
+  const auto id = svc.submit(jc, [](JobContext&) -> std::unique_ptr<JobStepper> {
+    throw Error("no stepper for you");
+  });
+  const ServiceStats m = svc.run_all();
+
+  const SortStats st = svc.job_stats(id);
+  EXPECT_EQ(st.state, JobState::Failed);
+  ASSERT_TRUE(st.error.has_value());
+  EXPECT_EQ(st.error->chain().front().op, "job_setup");
+  EXPECT_EQ(m.jobs_failed, 1u);
+  EXPECT_EQ(svc.admission().committed(), 0u);
+}
+
+TEST(JobScheduler, UnknownJobIdThrows) {
+  MemoryHierarchy hier(three_tier());
+  ThreadPool driver(2, "driver");
+  JobScheduler svc(hier, driver);
+  EXPECT_THROW(svc.state(42), InvalidArgumentError);
+  EXPECT_THROW(svc.job_stats(42), InvalidArgumentError);
+  EXPECT_THROW(svc.cancel(42), InvalidArgumentError);
+}
+
+TEST(JobScheduler, RejectsZeroConcurrency) {
+  MemoryHierarchy hier(three_tier());
+  ThreadPool driver(2, "driver");
+  JobSchedulerConfig cfg;
+  cfg.max_concurrent = 0;
+  EXPECT_THROW((JobScheduler{hier, driver, cfg}), InvalidArgumentError);
+}
+
+TEST(JobScheduler, ThreadPoolDriverRunsManyTenants) {
+  MemoryHierarchy hier(three_tier(KiB(256)));
+  ThreadPool driver(4, "driver");
+  JobSchedulerConfig cfg;
+  cfg.max_concurrent = 3;
+  JobScheduler svc(hier, driver, cfg);
+
+  JobConfig jc;
+  jc.near_budget_bytes = KiB(100);  // three tenants over-subscribe
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 5; ++i) {
+    jc.name = "tenant" + std::to_string(i);
+    ids.push_back(svc.submit(jc, counting_factory(8)));
+  }
+  const ServiceStats m = svc.run_all();
+
+  EXPECT_EQ(m.jobs_completed, 5u);
+  EXPECT_EQ(m.total_steps, 40u);
+  EXPECT_LE(m.peak_near_committed_bytes, m.near_capacity_bytes);
+  EXPECT_EQ(svc.admission().committed(), 0u);
+  for (const auto id : ids) {
+    EXPECT_EQ(svc.state(id), JobState::Completed);
+  }
+}
+
+// The acceptance scenario: two concurrent sort jobs whose combined
+// working sets exceed the near tier both complete with output identical
+// to the single-job path, and the admission decisions are visible in
+// their stats.
+TEST(JobScheduler, ConcurrentSortJobsMatchTheSingleJobPath) {
+  using sort::InputOrder;
+  using sort::make_input;
+
+  const std::size_t n0 = 6000, n1 = 5000;
+  const auto init0 = make_input(n0, InputOrder::Random, 101);
+  const auto init1 = make_input(n1, InputOrder::FewDistinct, 202);
+
+  // Single-job reference on a private hierarchy.
+  std::vector<std::int64_t> expect0 = init0;
+  std::vector<std::int64_t> expect1 = init1;
+  {
+    MemoryHierarchy ref_hier(three_tier(KiB(256)));
+    ThreadPool pool(2, "ref");
+    core::ExternalSortConfig cfg;
+    cfg.outer_chunk_elements = 2048;
+    cfg.inner.variant = core::MlmVariant::Flat;
+    core::ExternalMlmSorter<std::int64_t> sorter(ref_hier, pool, cfg);
+    sorter.sort(std::span<std::int64_t>(expect0));
+    sorter.sort(std::span<std::int64_t>(expect1));
+  }
+
+  MemoryHierarchy hier(three_tier(KiB(256)));
+  SpaceBuffer<std::int64_t> data0(hier.tier(0), n0);
+  SpaceBuffer<std::int64_t> data1(hier.tier(0), n1);
+  std::copy(init0.begin(), init0.end(), data0.data());
+  std::copy(init1.begin(), init1.end(), data1.data());
+
+  ThreadPool driver(4, "driver");
+  JobScheduler svc(hier, driver);
+
+  core::ExternalSortConfig scfg;
+  scfg.outer_chunk_elements = 2048;
+  scfg.inner.variant = core::MlmVariant::Flat;
+  JobConfig jc;
+  jc.name = "sortA";
+  jc.near_budget_bytes = KiB(160);  // combined 320 KiB > 256 KiB arena
+  const auto a = svc.submit(
+      jc, make_sort_job(std::span<std::int64_t>(data0.data(), n0), scfg));
+  jc.name = "sortB";
+  const auto b = svc.submit(
+      jc, make_sort_job(std::span<std::int64_t>(data1.data(), n1), scfg));
+  const ServiceStats m = svc.run_all();
+
+  const SortStats sa = svc.job_stats(a);
+  const SortStats sb = svc.job_stats(b);
+  ASSERT_EQ(sa.state, JobState::Completed)
+      << (sa.error ? sa.error->what() : "");
+  ASSERT_EQ(sb.state, JobState::Completed)
+      << (sb.error ? sb.error->what() : "");
+  EXPECT_TRUE(std::equal(expect0.begin(), expect0.end(), data0.data()));
+  EXPECT_TRUE(std::equal(expect1.begin(), expect1.end(), data1.data()));
+
+  // Admission decisions are visible per job: one of the two waited.
+  EXPECT_EQ(sa.admission, AdmissionDecision::Admitted);
+  EXPECT_EQ(sb.admission, AdmissionDecision::Admitted);
+  EXPECT_GE(sb.queue_rounds, 1u);
+  EXPECT_LE(m.peak_near_committed_bytes, m.near_capacity_bytes);
+  ASSERT_TRUE(sa.sort.has_value());
+  EXPECT_GE(sa.sort->outer_chunks, 2u);
+
+  // All tenant arenas drained back to the parent.
+  EXPECT_EQ(hier.tier(1).stats().used_bytes, 0u);
+  EXPECT_EQ(hier.tier(2).stats().used_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace mlm::service

@@ -6,6 +6,7 @@
 #include <tuple>
 #include <vector>
 
+#include "mlm/parallel/thread_pool.h"
 #include "mlm/sort/input_gen.h"
 #include "mlm/support/error.h"
 

@@ -1,0 +1,222 @@
+// mlm_jobd: demo driver for the service layer ("MLM-as-a-service").
+//
+// Stands up a JobScheduler over a three-tier NVM -> DDR -> MCDRAM
+// hierarchy and runs a batch of sort tenants against it, printing the
+// per-job service records (admission decision, queue rounds, steps,
+// timing) and the service-level aggregate.  Two modes:
+//
+//   - batch (default): a small fixed tenant mix that exercises every
+//     admission path — two contending budgets, a token (no-near)
+//     tenant, and a whale that can only run degraded;
+//   - load-generator (--loadgen): --jobs random tenants with seeded
+//     sizes/budgets/priorities, for soaking the scheduler and for the
+//     bench_service suite's queue-latency numbers.
+//
+// --det runs the whole batch under a seeded DeterministicExecutor, so
+// a schedule that misbehaves is reproducible from --seed alone.
+//
+// Usage:
+//   mlm_jobd [--jobs=8] [--loadgen] [--det] [--seed=1]
+//            [--mcdram-kib=256] [--ddr-mib=2] [--max-concurrent=2]
+//            [--job-workers=2] [--elements=4096] [--quiet]
+#include <algorithm>
+#include <iostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mlm/memory/memory_space.h"
+#include "mlm/parallel/deterministic_executor.h"
+#include "mlm/parallel/thread_pool.h"
+#include "mlm/service/job_scheduler.h"
+#include "mlm/service/sort_job.h"
+#include "mlm/sort/input_gen.h"
+#include "mlm/support/cli.h"
+#include "mlm/support/rng.h"
+#include "mlm/support/units.h"
+
+namespace {
+
+using namespace mlm;
+
+struct Options {
+  std::uint64_t jobs = 8;
+  bool loadgen = false;
+  bool det = false;
+  std::uint64_t seed = 1;
+  std::uint64_t mcdram_kib = 256;
+  std::uint64_t ddr_mib = 2;
+  std::uint64_t max_concurrent = 2;
+  std::uint64_t job_workers = 2;
+  std::uint64_t elements = 4096;
+  bool quiet = false;
+};
+
+struct Tenant {
+  std::string name;
+  std::size_t n;
+  sort::InputOrder order;
+  int priority;
+  std::uint64_t near_budget;
+};
+
+std::vector<Tenant> batch_mix(const Options& opt) {
+  const std::uint64_t cap = KiB(opt.mcdram_kib);
+  return {
+      {"contend-a", opt.elements, sort::InputOrder::Random, 0,
+       cap * 5 / 8},
+      {"contend-b", opt.elements, sort::InputOrder::Reverse, 1,
+       cap * 5 / 8},
+      {"token", opt.elements / 2, sort::InputOrder::FewDistinct, 0, 0},
+      {"whale", opt.elements, sort::InputOrder::NearlySorted, 0, cap * 2},
+  };
+}
+
+std::vector<Tenant> loadgen_mix(const Options& opt) {
+  Xoshiro256ss rng(opt.seed);
+  const std::uint64_t cap = KiB(opt.mcdram_kib);
+  std::vector<Tenant> tenants;
+  tenants.reserve(opt.jobs);
+  for (std::uint64_t i = 0; i < opt.jobs; ++i) {
+    Tenant t;
+    t.name = "load" + std::to_string(i);
+    t.n = opt.elements / 2 + rng.next() % std::max<std::uint64_t>(
+                                              opt.elements, 1);
+    t.order = static_cast<sort::InputOrder>(rng.next() % 5);
+    t.priority = static_cast<int>(rng.next() % 3);
+    // Budgets from 0 to ~1.25x capacity: some admit, some queue, some
+    // degrade.
+    t.near_budget = rng.next() % (cap + cap / 4);
+    if (t.near_budget < cap / 16) t.near_budget = 0;
+    tenants.push_back(t);
+  }
+  return tenants;
+}
+
+int run(const Options& opt) {
+  HierarchyConfig hcfg;
+  hcfg.tiers = {TierConfig{"nvm", MemKind::NVM, 0},
+                TierConfig{"ddr", MemKind::DDR, MiB(opt.ddr_mib)},
+                TierConfig{"mcdram", MemKind::MCDRAM, KiB(opt.mcdram_kib)}};
+  hcfg.mode = McdramMode::Flat;
+  MemoryHierarchy hier(hcfg);
+
+  DeterministicScheduler sched(opt.seed);
+  std::unique_ptr<Executor> driver;
+  if (opt.det) {
+    driver = std::make_unique<DeterministicExecutor>(sched, 2, "driver");
+  } else {
+    driver = std::make_unique<ThreadPool>(
+        static_cast<std::size_t>(opt.max_concurrent) + 1, "driver");
+  }
+
+  service::JobSchedulerConfig scfg;
+  scfg.max_concurrent = static_cast<std::size_t>(opt.max_concurrent);
+  scfg.job_workers = static_cast<std::size_t>(opt.job_workers);
+  scfg.degrade.allow_tier_fallback = true;
+  service::JobScheduler svc(hier, *driver, scfg);
+
+  const std::vector<Tenant> tenants =
+      opt.loadgen ? loadgen_mix(opt) : batch_mix(opt);
+
+  std::vector<SpaceBuffer<std::int64_t>> buffers;
+  buffers.reserve(tenants.size());
+  std::vector<std::uint64_t> ids;
+  core::ExternalSortConfig sort_cfg;
+  sort_cfg.outer_chunk_elements = std::max<std::size_t>(
+      static_cast<std::size_t>(opt.elements) / 4, 64);
+  sort_cfg.inner.variant = core::MlmVariant::Flat;
+  for (std::size_t j = 0; j < tenants.size(); ++j) {
+    const Tenant& t = tenants[j];
+    buffers.emplace_back(hier.tier(0), t.n);
+    const auto init = sort::make_input(t.n, t.order, opt.seed + j);
+    std::copy(init.begin(), init.end(), buffers[j].data());
+    service::JobConfig jc;
+    jc.name = t.name;
+    jc.priority = t.priority;
+    jc.near_budget_bytes = t.near_budget;
+    ids.push_back(svc.submit(
+        jc, service::make_sort_job(
+                std::span<std::int64_t>(buffers[j].data(), t.n),
+                sort_cfg)));
+  }
+
+  const service::ServiceStats m = svc.run_all();
+
+  int sorted_ok = 0;
+  for (std::size_t j = 0; j < tenants.size(); ++j) {
+    if (std::is_sorted(buffers[j].data(),
+                       buffers[j].data() + tenants[j].n)) {
+      ++sorted_ok;
+    }
+  }
+
+  if (!opt.quiet) {
+    std::cout << "job          state      admission  pri  req-KiB  "
+                 "granted  q-rounds  steps\n";
+    for (const auto id : ids) {
+      const service::SortStats st = svc.job_stats(id);
+      std::cout << st.name;
+      for (std::size_t p = st.name.size(); p < 13; ++p) std::cout << ' ';
+      std::cout << to_string(st.state) << "  "
+                << to_string(st.admission) << "  " << st.priority << "  "
+                << st.requested_near_bytes / 1024 << "  "
+                << st.granted_near_bytes << "  " << st.queue_rounds
+                << "  " << st.steps;
+      if (st.error.has_value()) {
+        std::cout << "  [" << st.error->what() << "]";
+      }
+      std::cout << "\n";
+    }
+    std::cout << "\nservice: submitted=" << m.jobs_submitted
+              << " completed=" << m.jobs_completed
+              << " failed=" << m.jobs_failed
+              << " cancelled=" << m.jobs_cancelled
+              << " degraded=" << m.jobs_degraded << "\n"
+              << "         steps=" << m.total_steps
+              << " queue_rounds=" << m.queue_rounds
+              << " near_peak=" << m.peak_near_committed_bytes << "/"
+              << m.near_capacity_bytes << " bytes\n"
+              << "         sorted_ok=" << sorted_ok << "/"
+              << tenants.size() << "\n";
+    if (opt.det) {
+      std::cout << "         deterministic seed=" << opt.seed
+                << " ticks=" << sched.now() << "\n";
+    }
+  }
+
+  const bool ok = m.jobs_completed == tenants.size() &&
+                  sorted_ok == static_cast<int>(tenants.size()) &&
+                  m.peak_near_committed_bytes <= m.near_capacity_bytes;
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  CliParser cli(
+      "mlm_jobd: multi-tenant sort-job scheduler demo (batch and "
+      "load-generator modes)");
+  cli.add_uint("jobs", &opt.jobs, "tenants in --loadgen mode");
+  cli.add_flag("loadgen", &opt.loadgen,
+               "seeded random tenant mix instead of the fixed batch");
+  cli.add_flag("det", &opt.det,
+               "drive everything under a seeded deterministic schedule");
+  cli.add_uint("seed", &opt.seed, "input / schedule / loadgen seed");
+  cli.add_uint("mcdram-kib", &opt.mcdram_kib, "near-tier arena (KiB)");
+  cli.add_uint("ddr-mib", &opt.ddr_mib, "DDR staging tier (MiB)");
+  cli.add_uint("max-concurrent", &opt.max_concurrent,
+               "jobs running at once");
+  cli.add_uint("job-workers", &opt.job_workers,
+               "worker-executor size per job");
+  cli.add_uint("elements", &opt.elements, "base tenant size (elements)");
+  cli.add_flag("quiet", &opt.quiet, "suppress the report");
+  try {
+    if (!cli.parse(argc, argv)) return 0;
+    return run(opt);
+  } catch (const mlm::Error& e) {
+    std::cerr << "mlm_jobd: " << e.what() << "\n";
+    return 2;
+  }
+}
