@@ -1,0 +1,13 @@
+// Thin entry point: adaptive-controller benchmarks (see
+// bench/suites/adapt.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
+
+int main(int argc, char** argv) {
+  mlm::bench::Harness h("bench_adapt",
+                        "Online adaptive buffering controller benchmarks: "
+                        "hill-climb vs best static copy-thread "
+                        "configuration on the Table 3 workloads.");
+  mlm::bench::suites::register_adapt(h);
+  return h.run(argc, argv);
+}

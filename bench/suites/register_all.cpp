@@ -23,6 +23,7 @@ void register_all(Harness& h) {
   register_kernel_micro(h);
   register_fault_overhead(h);
   register_service(h);
+  register_adapt(h);
 }
 
 }  // namespace mlm::bench::suites

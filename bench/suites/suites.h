@@ -54,6 +54,10 @@ void register_fault_overhead(Harness& h);
 // schedule counters for the multi-tenant sort-job scheduler).
 void register_service(Harness& h);
 
+// Adaptive controller (model-driven, fully deterministic): hill-climb
+// vs the best static copy-thread configuration on Table 3 workloads.
+void register_adapt(Harness& h);
+
 /// Every suite above, in the order listed — the bench_all set.
 void register_all(Harness& h);
 

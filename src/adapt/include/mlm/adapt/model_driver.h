@@ -1,0 +1,49 @@
+// Drives a Controller against the Eqs. 1-5 analytic model, chunk by
+// chunk — the pure-math twin of a real pipeline run.
+//
+// This is how bench_adapt compares static vs adaptive on the
+// results_table3 / fig8 workloads without hardware: the model plays the
+// machine, the controller plays itself, and the summed per-chunk
+// T_total is the run time.  It is also the property-test workhorse:
+// being closed-form it is fully deterministic, so convergence and
+// oscillation bounds can be asserted over thousands of seeded
+// workloads cheaply.
+#pragma once
+
+#include <cstddef>
+
+#include "mlm/adapt/controller.h"
+#include "mlm/core/buffer_model.h"
+
+namespace mlm::adapt {
+
+/// A modeled run: `total_bytes` streamed through the near tier in
+/// chunks, `passes` compute passes per chunk.
+struct ModelRunConfig {
+  core::ModelParams params;
+  double total_bytes = 0.0;
+  double passes = 1.0;
+  /// Chunk size when the controller's tuning does not name one.
+  std::size_t chunk_bytes = std::size_t{64} << 20;
+  /// Safety valve for runaway loops (property tests drive odd configs).
+  std::size_t max_rounds = 100000;
+};
+
+struct ModelRunResult {
+  double seconds = 0.0;     ///< sum of per-chunk max(T_copy, T_comp)
+  std::size_t rounds = 0;   ///< chunk iterations executed
+  Tuning final_tuning;      ///< controller tuning after the last round
+};
+
+/// Run the workload through `controller`: each round predicts the
+/// current chunk under the current tuning, charges its T_total, and
+/// feeds the predicted stage times back as a StageSample.
+ModelRunResult drive_model_run(Controller& controller,
+                               const ModelRunConfig& config);
+
+/// Eq. 1 run time for a fixed split — the static baseline.
+double static_model_seconds(const core::ModelParams& params,
+                            const core::ModelWorkload& workload,
+                            const core::ThreadSplit& split);
+
+}  // namespace mlm::adapt

@@ -1,0 +1,25 @@
+// Adapter from a Controller to the engines' core::TuningHook seam.
+//
+// The hook translates each core::StepFeedback into a StageSample,
+// runs one controller round, and hands the resulting tuning back in
+// engine terms.  Install it on PipelineConfig::tuning_hook or
+// ExternalSortConfig::tuning_hook:
+//
+//   adapt::Controller ctl(std::make_unique<adapt::HillClimbPolicy>(opts),
+//                         cfg);
+//   pipeline_config.tuning_hook = adapt::make_tuning_hook(ctl);
+//
+// The controller must outlive every run the hook is installed on; the
+// engines call it from the orchestrating thread only, so no locking is
+// needed.
+#pragma once
+
+#include "mlm/adapt/controller.h"
+#include "mlm/core/adapt_seam.h"
+
+namespace mlm::adapt {
+
+/// Wrap `controller` as an engine tuning hook (non-owning).
+core::TuningHook make_tuning_hook(Controller& controller);
+
+}  // namespace mlm::adapt

@@ -1,0 +1,323 @@
+#include "mlm/adapt/controller.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "mlm/fault/fault.h"
+
+namespace mlm::adapt {
+
+namespace {
+
+// One static site, queried once per decision round from the
+// orchestrating thread (same accessor pattern as the pipeline stages).
+fault::FaultSite& decide_fault_site() {
+  static fault::FaultSite site(fault::sites::kAdaptControllerDecide);
+  return site;
+}
+
+std::size_t align_down_64(std::size_t bytes) {
+  return bytes & ~std::size_t{63};
+}
+
+const char* copy_mode_name(CopyMode mode) {
+  switch (mode) {
+    case CopyMode::Cached:
+      return "cached";
+    case CopyMode::Streaming:
+      return "streaming";
+    case CopyMode::Auto:
+      return "auto";
+  }
+  return "?";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// StaticModelPolicy
+
+StaticModelPolicy::StaticModelPolicy(const core::ModelParams& params,
+                                     const core::ModelWorkload& workload,
+                                     std::size_t total_threads,
+                                     std::size_t chunk_bytes) {
+  initial_.copy_threads =
+      core::optimal_copy_threads(params, workload, total_threads);
+  initial_.compute_threads = total_threads - 2 * initial_.copy_threads;
+  initial_.chunk_bytes = chunk_bytes;
+}
+
+Tuning StaticModelPolicy::propose(const PolicyInput& input,
+                                  std::string& reason) {
+  reason = "static";
+  return input.current;
+}
+
+// ---------------------------------------------------------------------------
+// HillClimbPolicy
+
+HillClimbPolicy::HillClimbPolicy(const Options& options)
+    : options_(options) {}
+
+Tuning HillClimbPolicy::propose(const PolicyInput& input,
+                                std::string& reason) {
+  const double step =
+      std::max(input.copy_seconds, input.compute_seconds);
+  const double score =
+      input.chunk_bytes > 0 ? step / double(input.chunk_bytes) : step;
+
+  Tuning t = input.current;
+
+  if (trying_) {
+    trying_ = false;
+    const bool improved =
+        prev_score_ > 0.0 && score < prev_score_ * (1.0 - options_.min_gain);
+    if (!improved) {
+      // The probe did not pay for itself: go back and shift down a
+      // gear.  A failed jump means the constant-rate extrapolation
+      // missed (a saturation knee) — try single steps.  A failed fine
+      // step means we are on the flat plateau (Eq. 3 saturated, where
+      // imbalance persists but nothing is better) — lock.
+      if (mode_ == Mode::Jump) {
+        mode_ = Mode::Fine;
+        reason = "revert_fine";
+      } else {
+        mode_ = Mode::Locked;
+        locked_score_ = prev_score_;
+        reason = "revert_lock";
+      }
+      last_score_ = prev_score_;
+      return prev_;
+    }
+    // Probe accepted: the score dropped by at least min_gain, so the
+    // sequence of accepted scores is strictly decreasing — the climb
+    // terminates in a bounded number of moves.
+  }
+  last_score_ = score;
+
+  if (mode_ == Mode::Locked) {
+    // Persistent imbalance alone never unlocks (the plateau again);
+    // only a real shift of the per-byte cost — a workload phase
+    // change — re-opens the split.
+    if (locked_score_ > 0.0 &&
+        (score > locked_score_ * (1.0 + options_.unlock_deviation) ||
+         score < locked_score_ * (1.0 - options_.unlock_deviation))) {
+      mode_ = Mode::Jump;
+      reason = "unlock";
+    } else {
+      reason = "locked";
+    }
+    return t;
+  }
+
+  if (std::abs(input.imbalance) <= input.hysteresis) {
+    // Balanced split.  Spend the remaining headroom on bigger chunks:
+    // double toward the admitted cap (fewer iterations, same budget).
+    if (input.chunk_cap_bytes > 0 && input.chunk_bytes > 0 &&
+        input.chunk_bytes * 2 <= input.chunk_cap_bytes) {
+      t.chunk_bytes = input.chunk_bytes * 2;
+      reason = "grow_chunk";
+    } else {
+      reason = "converged";
+    }
+    return t;
+  }
+
+  std::size_t p = input.current.copy_threads;
+  const std::size_t total =
+      input.current.compute_threads + 2 * input.current.copy_threads;
+  if (mode_ == Mode::Jump) {
+    // Jump to the split that balances the measured stage times
+    // assuming per-thread rates hold — the fixed point of Eq. 1.
+    // With T_copy = a/p and T_comp = b/(total - 2p):
+    //   a (total - 2p) = b p  =>  p* = a total / (b + 2a).
+    const double a =
+        input.copy_seconds * double(input.current.copy_threads);
+    const double b =
+        input.compute_seconds * double(input.current.compute_threads);
+    const double pstar = a * double(total) / (b + 2.0 * a);
+    p = std::clamp<std::size_t>(std::size_t(std::llround(pstar)), 1,
+                                input.max_copy_threads);
+  }
+  if (p == input.current.copy_threads) {
+    // Fine gear, or a jump that rounds back onto the current split:
+    // one step in the imbalance direction, so the dead zone is the
+    // hysteresis band, not rounding.
+    if (input.imbalance > 0.0 && p < input.max_copy_threads) {
+      ++p;
+    } else if (input.imbalance < 0.0 && p > 1) {
+      --p;
+    }
+  }
+  if (p == input.current.copy_threads) {
+    reason = "converged";
+    return t;
+  }
+  prev_ = input.current;
+  prev_score_ = score;
+  trying_ = true;
+  t.copy_threads = p;
+  t.compute_threads = total - 2 * p;
+  reason = p > input.current.copy_threads ? "more_copy" : "less_copy";
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// Controller
+
+Controller::Controller(std::unique_ptr<ControllerPolicy> policy,
+                       const ControllerConfig& config)
+    : policy_(std::move(policy)), config_(config) {
+  current_ = clamp(policy_->initial());
+}
+
+Controller::~Controller() = default;
+
+const char* Controller::policy_name() const { return policy_->name(); }
+
+Tuning Controller::clamp(Tuning t) const {
+  const std::size_t max_copy =
+      std::max<std::size_t>(1, (config_.total_threads - 1) / 2);
+  t.copy_threads = std::clamp<std::size_t>(t.copy_threads, 1, max_copy);
+  // The split invariant: every thread accounted for, every pool >= 1.
+  t.compute_threads = config_.total_threads > 2 * t.copy_threads
+                          ? config_.total_threads - 2 * t.copy_threads
+                          : 1;
+
+  if (t.chunk_bytes != 0) {
+    std::size_t chunk = std::max(t.chunk_bytes, config_.min_chunk_bytes);
+    chunk = std::max<std::size_t>(align_down_64(chunk), 64);
+    if (config_.near_budget_bytes > 0 && config_.buffers_per_chunk > 0) {
+      // The budget invariant: all live per-chunk buffers must fit in
+      // the admitted near-tier grant, whatever the policy asked for.
+      const std::size_t cap =
+          config_.near_budget_bytes / config_.buffers_per_chunk;
+      if (chunk > cap) {
+        chunk = std::max<std::size_t>(align_down_64(cap),
+                                      std::min<std::size_t>(cap, 64));
+      }
+    }
+    t.chunk_bytes = chunk;
+  }
+  return t;
+}
+
+Decision Controller::observe(const StageSample& sample) {
+  Decision d;
+  d.round = trace_.size();
+  d.tuning = current_;
+
+  if (decide_fault_site().should_fire()) {
+    // Skipped rounds keep the previous tuning but are still traced, so
+    // a faulted run replays decision-for-decision.
+    d.skipped = true;
+    d.reason = "fault_skip";
+    trace_.push_back(d);
+    return d;
+  }
+
+  double copy_in_s = sample.copy_in_seconds;
+  double compute_s = sample.compute_seconds;
+  double copy_out_s = sample.copy_out_seconds;
+  if (config_.use_model_times) {
+    // Determinism contract: stage times become Eqs. 1-5 predictions of
+    // the observed bytes under the current split, so the decision trace
+    // is a pure function of the observation sequence (DESIGN.md §8).
+    const core::ModelPrediction pred = core::predict(
+        config_.model_params,
+        {double(sample.chunk_bytes), config_.model_passes},
+        {current_.copy_threads, current_.compute_threads});
+    copy_in_s = pred.t_copy;
+    compute_s = pred.t_comp;
+    copy_out_s = pred.t_copy;
+  }
+
+  if (sample.new_degradations > 0) {
+    // The recovery ladder moved (chunk halving / tier fallback): adopt
+    // its smaller chunk and freeze so we retune instead of fighting it.
+    cooldown_left_ = config_.cooldown_rounds;
+    Tuning t = current_;
+    if (sample.chunk_bytes != 0 &&
+        (t.chunk_bytes == 0 || sample.chunk_bytes < t.chunk_bytes)) {
+      t.chunk_bytes = sample.chunk_bytes;
+    }
+    t = clamp(t);
+    d.tuning = t;
+    d.changed = t != current_;
+    d.cooldown = true;
+    d.reason = "degraded";
+    if (d.changed) {
+      ++changes_;
+    }
+    current_ = t;
+    trace_.push_back(d);
+    return d;
+  }
+
+  if (cooldown_left_ > 0) {
+    --cooldown_left_;
+    d.cooldown = true;
+    d.reason = "cooldown";
+    trace_.push_back(d);
+    return d;
+  }
+
+  PolicyInput input;
+  input.current = current_;
+  input.round = d.round;
+  input.chunk_bytes = sample.chunk_bytes;
+  // The binding copy direction drives the split (p_in == p_out in the
+  // model, so whichever direction is slower is the copy time).
+  input.copy_seconds = std::max(copy_in_s, copy_out_s);
+  input.compute_seconds = compute_s;
+  input.imbalance = compute_s > 0.0
+                        ? input.copy_seconds / compute_s - 1.0
+                        : (input.copy_seconds > 0.0 ? 1.0 : 0.0);
+  input.max_copy_threads =
+      std::max<std::size_t>(1, (config_.total_threads - 1) / 2);
+  input.chunk_cap_bytes =
+      config_.near_budget_bytes > 0 && config_.buffers_per_chunk > 0
+          ? config_.near_budget_bytes / config_.buffers_per_chunk
+          : 0;
+  input.hysteresis = config_.hysteresis;
+
+  Tuning t = clamp(policy_->propose(input, d.reason));
+
+  // The copy-out kernel follows the chunk size deterministically:
+  // streaming pays off once a chunk blows past what any cache level
+  // could usefully retain.
+  const std::size_t effective_chunk =
+      t.chunk_bytes != 0 ? t.chunk_bytes : sample.chunk_bytes;
+  t.copy_out_mode = effective_chunk >= config_.streaming_cutoff_bytes
+                        ? CopyMode::Streaming
+                        : CopyMode::Cached;
+
+  d.tuning = t;
+  d.changed = t != current_;
+  if (d.changed) {
+    ++changes_;
+  }
+  current_ = t;
+  trace_.push_back(d);
+  return d;
+}
+
+std::string Controller::format_trace() const {
+  std::string out;
+  out.reserve(trace_.size() * 64);
+  char line[160];
+  for (const Decision& d : trace_) {
+    std::snprintf(line, sizeof(line),
+                  "%zu: copy=%zu comp=%zu chunk=%zu mode=%s%s%s%s %s\n",
+                  d.round, d.tuning.copy_threads, d.tuning.compute_threads,
+                  d.tuning.chunk_bytes, copy_mode_name(d.tuning.copy_out_mode),
+                  d.changed ? " changed" : "", d.cooldown ? " cooldown" : "",
+                  d.skipped ? " skipped" : "", d.reason.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace mlm::adapt

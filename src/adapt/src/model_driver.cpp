@@ -1,0 +1,44 @@
+#include "mlm/adapt/model_driver.h"
+
+#include <algorithm>
+#include <cstdint>
+
+namespace mlm::adapt {
+
+ModelRunResult drive_model_run(Controller& controller,
+                               const ModelRunConfig& config) {
+  ModelRunResult result;
+  double remaining = config.total_bytes;
+  while (remaining > 0.0 && result.rounds < config.max_rounds) {
+    const Tuning& t = controller.current();
+    const std::size_t chunk =
+        t.chunk_bytes != 0 ? t.chunk_bytes : config.chunk_bytes;
+    const double bytes = std::min(double(chunk), remaining);
+    const core::ModelPrediction pred =
+        core::predict(config.params, {bytes, config.passes},
+                      {t.copy_threads, t.compute_threads});
+    result.seconds += pred.t_total;
+
+    StageSample sample;
+    sample.chunk_bytes = std::size_t(bytes);
+    sample.bytes_in = std::uint64_t(bytes);
+    sample.bytes_out = std::uint64_t(bytes);
+    sample.copy_in_seconds = pred.t_copy;
+    sample.compute_seconds = pred.t_comp;
+    sample.copy_out_seconds = pred.t_copy;
+    controller.observe(sample);
+
+    remaining -= bytes;
+    ++result.rounds;
+  }
+  result.final_tuning = controller.current();
+  return result;
+}
+
+double static_model_seconds(const core::ModelParams& params,
+                            const core::ModelWorkload& workload,
+                            const core::ThreadSplit& split) {
+  return core::predict(params, workload, split).t_total;
+}
+
+}  // namespace mlm::adapt

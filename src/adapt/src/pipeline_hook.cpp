@@ -1,0 +1,33 @@
+#include "mlm/adapt/pipeline_hook.h"
+
+namespace mlm::adapt {
+
+core::TuningHook make_tuning_hook(Controller& controller) {
+  return [&controller](const core::StepFeedback& feedback) {
+    StageSample sample;
+    sample.chunk_bytes = feedback.chunk_bytes;
+    sample.bytes_in = feedback.bytes_in;
+    sample.bytes_out = feedback.bytes_out;
+    sample.copy_in_seconds = feedback.copy_in_seconds;
+    sample.compute_seconds = feedback.compute_seconds;
+    sample.copy_out_seconds = feedback.copy_out_seconds;
+    sample.new_degradations = feedback.new_degradations;
+
+    const Decision decision = controller.observe(sample);
+
+    core::StepTuning tuning;
+    if (decision.skipped) {
+      return tuning;  // keep everything, exactly as traced
+    }
+    tuning.copy_threads = decision.tuning.copy_threads;
+    tuning.compute_threads = decision.tuning.compute_threads;
+    tuning.chunk_bytes = decision.tuning.chunk_bytes;
+    if (decision.tuning.copy_out_mode != CopyMode::Auto) {
+      tuning.copy_out_mode = decision.tuning.copy_out_mode;
+      tuning.set_copy_out_mode = true;
+    }
+    return tuning;
+  };
+}
+
+}  // namespace mlm::adapt

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "mlm/core/adapt_seam.h"
 #include "mlm/core/degrade.h"
 #include "mlm/memory/dual_space.h"
 #include "mlm/memory/memory_hierarchy.h"
@@ -76,6 +77,8 @@ struct PipelineStats {
   std::size_t chunk_halvings = 0;
   std::size_t tier_fallbacks = 0;
   std::vector<DegradationEvent> degradations;
+  /// What the tuning hook did to this run (all zero without a hook).
+  AdaptationStats adaptation;
 
   /// Effective far<->near transfer bandwidth observed per direction
   /// (bytes over stage span; 0 when the stage never ran).
@@ -141,6 +144,12 @@ struct PipelineConfig {
   /// (the schedule harness arms pipeline.skip_copy_out_wait to plant the
   /// classic missed-join bug for PipelineValidator to catch).
   DegradePolicy degrade;
+  /// Online retuning seam (mlm/core/adapt_seam.h).  When set, the
+  /// stepper reports each barrier step's stage times and applies the
+  /// returned tuning: thread split and copy-out mode live, chunk size
+  /// recorded as desired_chunk_bytes for the next run (buffers are
+  /// allocated up front).  Null = fixed configuration.
+  TuningHook tuning_hook;
 };
 
 /// Compute stage callback: process `chunk` (resident in near memory, or

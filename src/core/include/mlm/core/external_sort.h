@@ -23,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "mlm/core/adapt_seam.h"
 #include "mlm/core/degrade.h"
 #include "mlm/core/mlm_sort.h"
 #include "mlm/fault/fault.h"
@@ -205,6 +206,13 @@ struct ExternalSortConfig {
   /// and fall the inner sorter back to DDR-only (no MCDRAM) when the
   /// inner sort fails — mirroring HBW_POLICY_PREFERRED.  Defaults off.
   DegradePolicy degrade;
+  /// Online retuning seam (mlm/core/adapt_seam.h).  When set, the
+  /// stepper reports each completed StageIn -> InnerSort -> StageOut
+  /// outer chunk and applies the returned tuning: a chunk-size change
+  /// re-chunks the *remaining* input (the final merge handles runs of
+  /// any sizes), a copy-thread change re-creates the inner sorter with
+  /// the new overlap copy pool.  Null = fixed configuration.
+  TuningHook tuning_hook;
 };
 
 struct ExternalSortStats {
@@ -236,6 +244,8 @@ struct ExternalSortStats {
   /// failure (the HBW_POLICY_PREFERRED analogue).
   bool inner_tier_fallback = false;
   std::vector<DegradationEvent> degradations;
+  /// What the tuning hook did to this run (all zero without a hook).
+  AdaptationStats adaptation;
 };
 
 /// Sorts NVM-resident data through DDR and MCDRAM with double chunking.
@@ -377,7 +387,69 @@ class ExternalMlmSorter {
 
       chunks_ = chunk_ranges(data_.size(), outer);
       stats_.outer_chunks = chunks_.size();
+      outer_elems_ = outer;
       inner_.emplace(s_.upper_, s_.pool_, s_.config_.inner, s_.comp_);
+    }
+
+    // The adaptive seam (mlm/core/adapt_seam.h), consulted after every
+    // completed outer chunk.  Chunk-size decisions re-chunk only the
+    // *remaining* input (never past the staging buffer), which is
+    // output-transparent: the final k-way merge consumes sorted runs
+    // of any sizes.  Copy-thread decisions re-create the inner sorter
+    // so its overlap copy pool is resized at the chunk boundary.
+    void apply_tuning() {
+      if (!s_.config_.tuning_hook) return;
+      const IndexRange& done = chunks_[index_ - 1];
+      const std::uint64_t bytes = done.size() * sizeof(T);
+
+      StepFeedback fb;
+      fb.step = index_ - 1;
+      fb.chunk_bytes = done.size() * sizeof(T);
+      fb.pools.copy_in = fb.pools.copy_out =
+          std::max<std::size_t>(s_.config_.inner.copy_threads, 1);
+      fb.pools.compute =
+          s_.pool_.size() > 2 * fb.pools.copy_in
+              ? s_.pool_.size() - 2 * fb.pools.copy_in
+              : 1;
+      fb.copy_in_seconds = chunk_in_s_;
+      fb.compute_seconds = chunk_sort_s_;
+      fb.copy_out_seconds = chunk_out_s_;
+      fb.bytes_in = bytes;
+      fb.bytes_out = bytes;
+      fb.new_degradations = stats_.degradations.size() - hook_degr_;
+      hook_degr_ = stats_.degradations.size();
+
+      const StepTuning tuning = s_.config_.tuning_hook(fb);
+      ++stats_.adaptation.decisions;
+      const bool more = index_ < chunks_.size();
+
+      if (tuning.chunk_bytes != 0 && more) {
+        std::size_t elems =
+            std::max<std::size_t>(tuning.chunk_bytes / sizeof(T), 1);
+        elems = std::min(elems, ddr_buf_->size());
+        if (elems != outer_elems_) {
+          const std::size_t begin = chunks_[index_].begin;
+          const std::vector<IndexRange> tail =
+              chunk_ranges(data_.size() - begin, elems);
+          chunks_.resize(index_);
+          for (const IndexRange& r : tail) {
+            chunks_.push_back({r.begin + begin, r.end + begin});
+          }
+          stats_.outer_chunks = chunks_.size();
+          outer_elems_ = elems;
+          ++stats_.adaptation.chunk_changes;
+        }
+      }
+      if (tuning.copy_threads != 0 && more && !stats_.inner_tier_fallback &&
+          s_.config_.inner.overlap_copy_in &&
+          tuning.copy_threads != s_.config_.inner.copy_threads) {
+        s_.config_.inner.copy_threads = tuning.copy_threads;
+        inner_.emplace(s_.upper_, s_.pool_, s_.config_.inner, s_.comp_);
+        ++stats_.adaptation.split_changes;
+      }
+      stats_.adaptation.final_copy_threads = s_.config_.inner.copy_threads;
+      stats_.adaptation.final_compute_threads = fb.pools.compute;
+      stats_.adaptation.desired_chunk_bytes = outer_elems_ * sizeof(T);
     }
 
     void run_step() {
@@ -399,6 +471,7 @@ class ExternalMlmSorter {
                           "pool-worker", ""});
             throw;
           }
+          chunk_in_s_ = s_.trace_now() - t_in;
           s_.note_staging(stats_, "stage-in " + std::to_string(index_),
                           t_in);
           stats_.bytes_staged_in += bytes;
@@ -440,7 +513,8 @@ class ExternalMlmSorter {
             stats_.last_inner =
                 inner_->sort(std::span<T>(ddr_buf_->data(), c.size()));
           }
-          stats_.sorting_seconds += s_.trace_now() - t_sort;
+          chunk_sort_s_ = s_.trace_now() - t_sort;
+          stats_.sorting_seconds += chunk_sort_s_;
           s_.trace_emit(s_.config_.trace_track + 1,
                         "outer sort " + std::to_string(index_), t_sort);
           phase_ = Phase::StageOut;
@@ -462,11 +536,13 @@ class ExternalMlmSorter {
                           "pool-worker", ""});
             throw;
           }
+          chunk_out_s_ = s_.trace_now() - t_out;
           s_.note_staging(stats_, "stage-out " + std::to_string(index_),
                           t_out);
           stats_.bytes_staged_out += bytes;
           stats_.nvm_write_bytes += bytes;
           ++index_;
+          apply_tuning();
           if (index_ < chunks_.size()) {
             phase_ = Phase::StageIn;
           } else {
@@ -541,6 +617,14 @@ class ExternalMlmSorter {
     Phase phase_ = Phase::StageIn;
     double t_merge_ = 0.0;
     bool finished_ = false;
+    /// Tuning-hook state: per-phase spans of the chunk in flight, the
+    /// degradation high-water at the last hook call, and the nominal
+    /// outer chunk (elements) currently in force.
+    double chunk_in_s_ = 0.0;
+    double chunk_sort_s_ = 0.0;
+    double chunk_out_s_ = 0.0;
+    std::size_t hook_degr_ = 0;
+    std::size_t outer_elems_ = 0;
   };
 
   ExternalSortStats sort(std::span<T> data) {

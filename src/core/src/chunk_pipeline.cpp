@@ -42,6 +42,7 @@ void PipelineStats::merge(const PipelineStats& other) {
   tier_fallbacks += other.tier_fallbacks;
   degradations.insert(degradations.end(), other.degradations.begin(),
                       other.degradations.end());
+  adaptation.merge(other.adaptation);
 }
 
 namespace {
@@ -140,6 +141,12 @@ struct ChunkPipelineStepper::Impl {
   std::size_t s = 0;  ///< next step index
   bool complete = false;
   bool finished = false;
+
+  // Snapshots of the cumulative stage counters at the previous barrier,
+  // so the tuning hook sees this step's deltas only.
+  double hook_ci_s = 0.0, hook_cp_s = 0.0, hook_co_s = 0.0;
+  std::uint64_t hook_bi = 0, hook_bo = 0;
+  std::size_t hook_degr = 0;
 
   Impl(const TierPair& tiers_in, std::span<std::byte> data_in,
        const PipelineConfig& config_in, ComputeFn compute_in)
@@ -494,6 +501,62 @@ struct ChunkPipelineStepper::Impl {
     ++stats.steps;
   }
 
+  // The adaptive seam (mlm/core/adapt_seam.h): after a barrier step all
+  // stage futures are joined, so the pools can be rebuilt safely and the
+  // step's stage-time deltas are final.  The split and copy-out mode are
+  // applied live; a chunk-size wish is only recorded (buffers were
+  // allocated up front) so the next run can honor it.
+  void apply_tuning(std::size_t idx) {
+    if (!config.tuning_hook || in_place || !pools.has_value()) return;
+
+    StepFeedback fb;
+    fb.step = idx;
+    fb.chunk_bytes = chunk_bytes;
+    fb.pools = pools->sizes();
+    fb.copy_in_seconds = stats.copy_in_seconds - hook_ci_s;
+    fb.compute_seconds = stats.compute_seconds - hook_cp_s;
+    fb.copy_out_seconds = stats.copy_out_seconds - hook_co_s;
+    fb.bytes_in = stats.bytes_copied_in - hook_bi;
+    fb.bytes_out = stats.bytes_copied_out - hook_bo;
+    fb.new_degradations = stats.degradations.size() - hook_degr;
+    fb.write_back = config.write_back;
+    hook_ci_s = stats.copy_in_seconds;
+    hook_cp_s = stats.compute_seconds;
+    hook_co_s = stats.copy_out_seconds;
+    hook_bi = stats.bytes_copied_in;
+    hook_bo = stats.bytes_copied_out;
+    hook_degr = stats.degradations.size();
+
+    const StepTuning tuning = config.tuning_hook(fb);
+    ++stats.adaptation.decisions;
+
+    if (tuning.copy_threads != 0) {
+      PoolSizes sizes = pools->sizes();
+      const std::size_t compute_threads = tuning.compute_threads != 0
+                                              ? tuning.compute_threads
+                                              : sizes.compute;
+      if (tuning.copy_threads != sizes.copy_in ||
+          tuning.copy_threads != sizes.copy_out ||
+          compute_threads != sizes.compute) {
+        sizes.copy_in = tuning.copy_threads;
+        sizes.copy_out = tuning.copy_threads;
+        sizes.compute = compute_threads;
+        pools->resize(sizes);
+        ++stats.adaptation.split_changes;
+      }
+    }
+    if (tuning.set_copy_out_mode &&
+        tuning.copy_out_mode != config.copy_out_mode) {
+      config.copy_out_mode = tuning.copy_out_mode;
+      ++stats.adaptation.mode_changes;
+    }
+    if (tuning.chunk_bytes != 0 && tuning.chunk_bytes != chunk_bytes) {
+      stats.adaptation.desired_chunk_bytes = tuning.chunk_bytes;
+    }
+    stats.adaptation.final_copy_threads = pools->sizes().copy_in;
+    stats.adaptation.final_compute_threads = pools->sizes().compute;
+  }
+
   void add_run_frame(Error& e) const {
     e.with_frame({"run_chunk_pipeline", -1, near_name, "",
                   std::string(to_string(config.buffering)) +
@@ -524,6 +587,7 @@ bool ChunkPipelineStepper::step() {
     while (im.s < im.step_limit && !im.has_work(im.s)) ++im.s;
     if (im.s < im.step_limit) {
       im.run_step(im.s);
+      im.apply_tuning(im.s);
       ++im.s;
     }
     while (im.s < im.step_limit && !im.has_work(im.s)) ++im.s;

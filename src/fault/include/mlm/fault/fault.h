@@ -210,6 +210,12 @@ inline constexpr const char* kExternalSortMerge = "sort.external.merge";
 inline constexpr const char* kServiceAdmit = "service.admission.admit";
 inline constexpr const char* kServiceJobStep = "service.job.step";
 inline constexpr const char* kServiceJobCancel = "service.job.cancel";
+/// Adaptive-controller decision round (mlm/adapt): the round is
+/// skipped and the previous tuning kept — a lost feedback sample, not
+/// an error.  Skipped rounds are still traced, so faulted runs replay
+/// decision-for-decision.
+inline constexpr const char* kAdaptControllerDecide =
+    "adapt.controller.decide";
 }  // namespace sites
 
 }  // namespace mlm::fault

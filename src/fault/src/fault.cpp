@@ -38,7 +38,8 @@ const bool g_catalog_registered = [] {
         sites::kPipelineSkipCopyOutWait, sites::kExternalSortStageIn,
         sites::kExternalSortInner, sites::kExternalSortStageOut,
         sites::kExternalSortMerge, sites::kServiceAdmit,
-        sites::kServiceJobStep, sites::kServiceJobCancel}) {
+        sites::kServiceJobStep, sites::kServiceJobCancel,
+        sites::kAdaptControllerDecide}) {
     register_site(name);
   }
   return true;

@@ -67,11 +67,20 @@ class TriplePools {
   /// task exception from any pool.
   void wait_all_idle();
 
+  /// Re-split the thread budget: waits for all three pools to go idle,
+  /// then rebuilds them at the new sizes (same stage names, and the
+  /// deterministic variant keeps its scheduler).  Callers must not hold
+  /// Executor references across a resize — re-fetch copy_in()/compute()/
+  /// copy_out() afterwards.  This is the adaptive controller's seam: a
+  /// pipeline barrier is exactly a point where every pool is idle.
+  void resize(const PoolSizes& sizes);
+
  private:
   PoolSizes sizes_;
   std::unique_ptr<Executor> copy_in_;
   std::unique_ptr<Executor> compute_;
   std::unique_ptr<Executor> copy_out_;
+  DeterministicScheduler* scheduler_ = nullptr;
 };
 
 }  // namespace mlm

@@ -57,7 +57,7 @@ TriplePools::TriplePools(const PoolSizes& sizes) : sizes_(sizes) {
 
 TriplePools::TriplePools(const PoolSizes& sizes,
                          DeterministicScheduler& scheduler)
-    : sizes_(sizes) {
+    : sizes_(sizes), scheduler_(&scheduler) {
   check_sizes(sizes);
   copy_in_ = std::make_unique<DeterministicExecutor>(scheduler,
                                                      sizes.copy_in,
@@ -68,6 +68,34 @@ TriplePools::TriplePools(const PoolSizes& sizes,
   copy_out_ = std::make_unique<DeterministicExecutor>(scheduler,
                                                       sizes.copy_out,
                                                       "copy-out");
+}
+
+void TriplePools::resize(const PoolSizes& sizes) {
+  check_sizes(sizes);
+  // Joining first makes the swap safe: no task can be in flight on the
+  // executors being torn down (and any captured stage error surfaces
+  // here instead of being lost with the pool).
+  wait_all_idle();
+  if (sizes.copy_in == sizes_.copy_in && sizes.copy_out == sizes_.copy_out &&
+      sizes.compute == sizes_.compute) {
+    return;
+  }
+  if (scheduler_ != nullptr) {
+    copy_in_ = std::make_unique<DeterministicExecutor>(*scheduler_,
+                                                       sizes.copy_in,
+                                                       "copy-in");
+    compute_ = std::make_unique<DeterministicExecutor>(*scheduler_,
+                                                       sizes.compute,
+                                                       "compute");
+    copy_out_ = std::make_unique<DeterministicExecutor>(*scheduler_,
+                                                        sizes.copy_out,
+                                                        "copy-out");
+  } else {
+    copy_in_ = std::make_unique<ThreadPool>(sizes.copy_in, "copy-in");
+    compute_ = std::make_unique<ThreadPool>(sizes.compute, "compute");
+    copy_out_ = std::make_unique<ThreadPool>(sizes.copy_out, "copy-out");
+  }
+  sizes_ = sizes;
 }
 
 void TriplePools::wait_all_idle() {

@@ -162,6 +162,11 @@ struct SortStats {
   std::optional<Error> error;
   /// Sorter-side stats for completed sort jobs.
   std::optional<core::ExternalSortStats> sort;
+  /// Adaptive-controller activity on this job (mlm/adapt): decision
+  /// rounds taken, and how many retuned something.  Zero when the job
+  /// ran without a tuning hook.
+  std::size_t controller_decisions = 0;
+  std::size_t controller_changes = 0;
 };
 
 /// Service-level aggregate across all jobs ever submitted.
@@ -183,6 +188,10 @@ struct ServiceStats {
 
   double total_queue_seconds = 0.0;
   double total_run_seconds = 0.0;
+
+  /// Adaptive-controller activity summed across jobs (mlm/adapt).
+  std::size_t controller_decisions = 0;
+  std::size_t controller_changes = 0;
 };
 
 }  // namespace mlm::service

@@ -267,6 +267,10 @@ void JobScheduler::step_task(std::uint64_t id) {
     }
     if (const core::ExternalSortStats* s = job->stepper->sort_stats()) {
       job->stats.sort = *s;
+      job->stats.controller_decisions = s->adaptation.decisions;
+      job->stats.controller_changes = s->adaptation.split_changes +
+                                      s->adaptation.mode_changes +
+                                      s->adaptation.chunk_changes;
     }
     finalize(*job, JobState::Completed);
     admit_pending();
@@ -389,6 +393,8 @@ ServiceStats JobScheduler::metrics() const {
     s.total_steps += st.steps;
     s.total_queue_seconds += st.queue_seconds;
     s.total_run_seconds += st.run_seconds;
+    s.controller_decisions += st.controller_decisions;
+    s.controller_changes += st.controller_changes;
   }
   s.near_capacity_bytes = admission_.capacity();
   s.near_committed_bytes = admission_.committed();

@@ -1,0 +1,253 @@
+// Property harness for the adaptive controller: seeded random machine
+// envelopes, workloads, thread budgets, and starting splits
+// (mlm/support/proptest.h), each checked against the controller's
+// contract rather than hand-picked examples.
+//
+// Three generated families:
+//  - Split convergence (fixed chunk): every decision satisfies the
+//    clamp invariants, the number of retuning moves is bounded (every
+//    accepted probe improves the per-byte score by >= min_gain, so the
+//    accepted tunings are distinct), the run ends in a quiet tail, and
+//    the converged split is never worse than the starting split.
+//  - Budgeted chunk growth: the chunk never exceeds the admitted
+//    near-tier budget, grows monotonically (full-chunk rounds), and the
+//    copy-out mode tracks the streaming cutoff.
+//  - Degradation cooldown: after a reported recovery-ladder rung the
+//    controller freezes for exactly cooldown_rounds rounds and never
+//    grows the chunk during the freeze.
+//
+// Every case also replays: the same inputs drive a fresh controller to
+// a byte-identical decision trace (the determinism contract of
+// DESIGN.md section 8).
+#include "mlm/adapt/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "mlm/adapt/model_driver.h"
+#include "mlm/support/proptest.h"
+#include "mlm/support/units.h"
+
+namespace mlm::adapt {
+namespace {
+
+struct Case {
+  core::ModelParams params;
+  double passes = 1.0;
+  std::size_t total_threads = 8;
+  std::size_t start_copy = 1;
+  std::size_t chunk_bytes = 0;
+  std::size_t rounds = 0;
+  std::size_t near_budget_bytes = 0;
+};
+
+Case gen_case(Gen& g) {
+  Case c;
+  c.params.ddr_max = 30e9 + double(g.below(120)) * 1e9;
+  c.params.mcdram_max = c.params.ddr_max * (1.5 + double(g.below(40)) / 10);
+  c.params.s_copy = 0.5e9 + double(g.below(75)) * 0.1e9;
+  c.params.s_comp = 0.5e9 + double(g.below(75)) * 0.1e9;
+  c.passes = double(g.int_in(1, 32));
+  c.total_threads = 2 * g.size_in(3, 32);  // 6..64, even
+  c.start_copy = g.size_in(1, (c.total_threads - 1) / 2);
+  c.chunk_bytes = KiB(64) * g.size_in(1, 64);
+  c.rounds = g.size_in(100, 200);
+  return c;
+}
+
+std::unique_ptr<Controller> make_controller(const Case& c) {
+  HillClimbPolicy::Options opts;
+  opts.start.copy_threads = c.start_copy;
+  opts.start.compute_threads = c.total_threads - 2 * c.start_copy;
+  ControllerConfig cfg;
+  cfg.total_threads = c.total_threads;
+  cfg.near_budget_bytes = c.near_budget_bytes;
+  return std::make_unique<Controller>(
+      std::make_unique<HillClimbPolicy>(opts), cfg);
+}
+
+ModelRunResult drive(Controller& ctl, const Case& c) {
+  ModelRunConfig run;
+  run.params = c.params;
+  run.total_bytes = double(c.chunk_bytes) * double(c.rounds);
+  run.passes = c.passes;
+  run.chunk_bytes = c.chunk_bytes;
+  return drive_model_run(ctl, run);
+}
+
+/// Per-byte cost of a split under the case's model — the hill-climb's
+/// objective, chunk-size independent (the model is linear in bytes).
+double split_score(const Case& c, const Tuning& t) {
+  return core::predict(c.params, {double(c.chunk_bytes), c.passes},
+                       {t.copy_threads, t.compute_threads})
+             .t_total /
+         double(c.chunk_bytes);
+}
+
+void check_clamp_invariants(const Case& c, const Controller& ctl) {
+  const std::size_t max_copy =
+      std::max<std::size_t>(1, (c.total_threads - 1) / 2);
+  for (const Decision& d : ctl.trace()) {
+    ASSERT_GE(d.tuning.copy_threads, 1u) << "seed case round " << d.round;
+    ASSERT_LE(d.tuning.copy_threads, max_copy) << "round " << d.round;
+    ASSERT_EQ(d.tuning.compute_threads,
+              c.total_threads - 2 * d.tuning.copy_threads)
+        << "round " << d.round;
+    if (c.near_budget_bytes > 0 && d.tuning.chunk_bytes != 0) {
+      ASSERT_LE(d.tuning.chunk_bytes * 3, c.near_budget_bytes)
+          << "round " << d.round;
+    }
+  }
+}
+
+TEST(ControllerProperties, SplitClimbConvergesBoundedAndNeverRegresses) {
+  for (std::uint64_t seed = 0; seed < 48; ++seed) {
+    Gen g(seed);
+    const Case c = gen_case(g);
+    auto ctl = make_controller(c);
+    const Tuning start = ctl->current();
+    const ModelRunResult res = drive(*ctl, c);
+    ASSERT_EQ(res.rounds, c.rounds) << "seed " << seed;
+
+    check_clamp_invariants(c, *ctl);
+
+    // Bounded oscillation: accepted probes carry strictly-decreasing
+    // scores over a finite tuning set, failures only downshift the
+    // gear, and the copy-out mode resolves once.
+    const std::size_t max_copy = (c.total_threads - 1) / 2;
+    EXPECT_LE(ctl->changes(), max_copy + 8) << "seed " << seed;
+
+    // Convergence: the last ten rounds are quiet.
+    const auto& trace = ctl->trace();
+    for (std::size_t r = c.rounds - 10; r < c.rounds; ++r) {
+      EXPECT_FALSE(trace[r].changed)
+          << "seed " << seed << " round " << r << ": " << trace[r].reason;
+    }
+
+    // Monotone improvement: the converged split is never worse than
+    // where the climb started (reverts restore, accepts improve).
+    EXPECT_LE(split_score(c, res.final_tuning),
+              split_score(c, start) * (1.0 + 1e-9))
+        << "seed " << seed << "\n" << ctl->format_trace();
+
+    // Determinism: a fresh controller on the same inputs replays the
+    // trace byte for byte.
+    auto replay = make_controller(c);
+    const ModelRunResult res2 = drive(*replay, c);
+    EXPECT_EQ(ctl->format_trace(), replay->format_trace())
+        << "seed " << seed;
+    EXPECT_EQ(res.seconds, res2.seconds) << "seed " << seed;
+  }
+}
+
+TEST(ControllerProperties, BudgetedChunkGrowthStaysAdmitted) {
+  for (std::uint64_t seed = 100; seed < 132; ++seed) {
+    Gen g(seed);
+    Case c = gen_case(g);
+    // Cap at chunk * 2^k for small k so growth completes quickly.
+    c.near_budget_bytes =
+        3 * c.chunk_bytes * (std::size_t{1} << g.size_in(0, 3));
+    auto ctl = make_controller(c);
+    const ModelRunResult res = drive(*ctl, c);
+    ASSERT_GT(res.rounds, 10u) << "seed " << seed;
+
+    check_clamp_invariants(c, *ctl);
+
+    const auto& trace = ctl->trace();
+    std::size_t prev_chunk = 0;
+    for (std::size_t r = 0; r + 1 < trace.size(); ++r) {
+      // Monotone non-decreasing on full-chunk rounds (the final round
+      // may observe a partial tail chunk and is exempt).
+      if (trace[r].tuning.chunk_bytes != 0) {
+        EXPECT_GE(trace[r].tuning.chunk_bytes, prev_chunk)
+            << "seed " << seed << " round " << r;
+        prev_chunk = trace[r].tuning.chunk_bytes;
+      }
+      // The copy-out kernel tracks the effective chunk against the
+      // streaming cutoff.
+      if (!trace[r].skipped && trace[r].tuning.chunk_bytes != 0) {
+        const CopyMode want =
+            trace[r].tuning.chunk_bytes >= kStreamCopyThresholdBytes
+                ? CopyMode::Streaming
+                : CopyMode::Cached;
+        EXPECT_EQ(trace[r].tuning.copy_out_mode, want)
+            << "seed " << seed << " round " << r;
+      }
+    }
+    EXPECT_LE(res.final_tuning.chunk_bytes * 3, c.near_budget_bytes);
+
+    auto replay = make_controller(c);
+    drive(*replay, c);
+    EXPECT_EQ(ctl->format_trace(), replay->format_trace())
+        << "seed " << seed;
+  }
+}
+
+TEST(ControllerProperties, CooldownFreezesExactlyCooldownRounds) {
+  for (std::uint64_t seed = 200; seed < 232; ++seed) {
+    Gen g(seed);
+    const Case c = gen_case(g);
+    const std::size_t cooldown = g.size_in(1, 6);
+    const std::size_t rounds = 40;
+    // Two seeded degradation rounds (may overlap a running cooldown,
+    // which must re-arm the freeze).
+    const std::size_t degr_a = g.size_in(1, 15);
+    const std::size_t degr_b = g.size_in(16, 30);
+
+    HillClimbPolicy::Options opts;
+    opts.start.copy_threads = c.start_copy;
+    opts.start.compute_threads = c.total_threads - 2 * c.start_copy;
+    ControllerConfig cfg;
+    cfg.total_threads = c.total_threads;
+    cfg.cooldown_rounds = cooldown;
+    cfg.min_chunk_bytes = 1024;
+    Controller ctl(std::make_unique<HillClimbPolicy>(opts), cfg);
+
+    std::size_t chunk = c.chunk_bytes;
+    std::size_t expected_cooldown = 0;
+    for (std::size_t r = 0; r < rounds; ++r) {
+      const Tuning& cur = ctl.current();
+      const core::ModelPrediction pred =
+          core::predict(c.params, {double(chunk), c.passes},
+                        {cur.copy_threads, cur.compute_threads});
+      StageSample s;
+      s.chunk_bytes = chunk;
+      s.copy_in_seconds = pred.t_copy;
+      s.compute_seconds = pred.t_comp;
+      s.copy_out_seconds = pred.t_copy;
+      const bool degraded_round = r == degr_a || r == degr_b;
+      if (degraded_round) {
+        chunk = std::max<std::size_t>(chunk / 2, 1024);
+        s.chunk_bytes = chunk;  // the ladder already halved the chunk
+        s.new_degradations = 1;
+      }
+      const std::size_t chunk_before = ctl.current().chunk_bytes;
+      const Decision d = ctl.observe(s);
+      if (degraded_round) {
+        EXPECT_TRUE(d.cooldown) << "seed " << seed << " round " << r;
+        EXPECT_EQ(d.reason, "degraded");
+        expected_cooldown = cooldown;
+      } else if (expected_cooldown > 0) {
+        EXPECT_TRUE(d.cooldown) << "seed " << seed << " round " << r;
+        EXPECT_EQ(d.reason, "cooldown");
+        EXPECT_FALSE(d.changed);
+        --expected_cooldown;
+      } else {
+        EXPECT_FALSE(d.cooldown) << "seed " << seed << " round " << r;
+      }
+      // The freeze never grows the chunk the ladder shrank.
+      if ((degraded_round || d.cooldown) && chunk_before != 0) {
+        EXPECT_LE(d.tuning.chunk_bytes, chunk_before)
+            << "seed " << seed << " round " << r;
+      }
+      if (d.tuning.chunk_bytes != 0) chunk = d.tuning.chunk_bytes;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlm::adapt

@@ -147,6 +147,89 @@ TEST(BudgetedView, TenantsContendForTheParentTier) {
   b.tier(2).deallocate(pb);
 }
 
+TEST(BudgetedView, ZeroAndMissingBudgetsShareEveryParentTier) {
+  // Budget 0 (or a budgets vector shorter than the tier list) means
+  // "share the parent tier's full capacity": the view's finite tiers
+  // report the parent's capacity, unlimited tiers stay unlimited, and
+  // nothing is reserved up front.
+  MemoryHierarchy parent(three_tier(McdramMode::Flat));
+  MemoryHierarchy view(parent, {}, "job0");
+  EXPECT_EQ(view.tier_count(), 3u);
+  EXPECT_TRUE(view.tier(0).unlimited());
+  EXPECT_EQ(view.tier(1).capacity_bytes(), MiB(2));
+  EXPECT_EQ(view.tier(2).capacity_bytes(), KiB(512));
+  EXPECT_EQ(view.addressable_bytes(2), KiB(512));
+
+  // Pure forwarding: the view can consume the entire parent tier, and
+  // the parent's capacity (not any view-side budget) is what stops it.
+  void* p = view.tier(2).allocate(KiB(512));
+  EXPECT_EQ(parent.tier(2).stats().used_bytes, KiB(512));
+  EXPECT_EQ(view.tier(2).try_allocate(64), nullptr);
+  view.tier(2).deallocate(p);
+  EXPECT_EQ(parent.tier(2).stats().used_bytes, 0u);
+}
+
+TEST(BudgetedView, NestedViewOfViewChainsBudgetsAndAccounting) {
+  // A view of a view: each level's budget caps the one below, an inner
+  // budget larger than the outer view's capacity is clamped to it, and
+  // an allocation through the innermost arena is accounted at every
+  // level up to the root.
+  MemoryHierarchy root(three_tier(McdramMode::Flat));
+  MemoryHierarchy outer(root, {0, MiB(1), KiB(256)}, "outer");
+  MemoryHierarchy inner(outer, {0, MiB(8), KiB(128)}, "inner");
+
+  EXPECT_EQ(inner.tier(2).parent(), &outer.tier(2));
+  EXPECT_EQ(outer.tier(2).parent(), &root.tier(2));
+  // Labels prefix the config tier name (not the outer arena's name).
+  EXPECT_EQ(inner.tier(2).name(), "inner/mcdram");
+  EXPECT_EQ(inner.tier(2).capacity_bytes(), KiB(128));
+  // The inner ddr budget (8M) exceeds the outer view's 1M: clamped.
+  EXPECT_EQ(inner.tier(1).capacity_bytes(), MiB(1));
+
+  void* p = inner.tier(2).allocate(KiB(64));
+  EXPECT_EQ(inner.tier(2).stats().used_bytes, KiB(64));
+  EXPECT_EQ(outer.tier(2).stats().used_bytes, KiB(64));
+  EXPECT_EQ(root.tier(2).stats().used_bytes, KiB(64));
+
+  // The inner budget binds before the outer one...
+  EXPECT_EQ(inner.tier(2).try_allocate(KiB(128)), nullptr);
+  // ...and the outer budget binds before the root capacity: a sibling
+  // of the inner view sees the outer's remaining 192K, not mcdram's.
+  MemoryHierarchy sibling(outer, {0, 0, 0}, "sib");
+  EXPECT_EQ(sibling.tier(2).capacity_bytes(), KiB(256));
+  EXPECT_EQ(sibling.tier(2).try_allocate(KiB(256)), nullptr);
+  void* q = sibling.tier(2).allocate(KiB(192));
+  EXPECT_EQ(root.tier(2).stats().used_bytes, KiB(256));
+  sibling.tier(2).deallocate(q);
+  inner.tier(2).deallocate(p);
+  EXPECT_EQ(root.tier(2).stats().used_bytes, 0u);
+}
+
+TEST(BudgetedView, ReleaseAfterParentHighWaterReset) {
+  // Benchmark-style reset on the parent hierarchy while a tenant view
+  // still holds memory: the release must stay balanced and the
+  // high-water mark re-tracks from the reset point.
+  MemoryHierarchy parent(three_tier(McdramMode::Flat));
+  MemoryHierarchy view(parent, {0, 0, KiB(256)}, "job0");
+  void* p = view.tier(2).allocate(KiB(128));
+  void* q = view.tier(2).allocate(KiB(64));
+  view.tier(2).deallocate(q);
+  EXPECT_EQ(parent.tier(2).stats().high_water_bytes, KiB(192));
+
+  parent.tier(2).reset_high_water();
+  EXPECT_EQ(parent.tier(2).stats().high_water_bytes, KiB(128));
+
+  view.tier(2).deallocate(p);
+  EXPECT_EQ(parent.tier(2).stats().used_bytes, 0u);
+  EXPECT_EQ(view.tier(2).stats().used_bytes, 0u);
+  EXPECT_EQ(parent.tier(2).stats().high_water_bytes, KiB(128));
+
+  // The tier stays fully usable after the reset/release cycle.
+  void* r = view.tier(2).allocate(KiB(256));
+  ASSERT_NE(r, nullptr);
+  view.tier(2).deallocate(r);
+}
+
 TEST(BudgetedView, RejectsTooManyBudgets) {
   MemoryHierarchy parent(three_tier(McdramMode::Flat));
   EXPECT_THROW(MemoryHierarchy v(parent, {0, 0, 0, 0}, "job0"),

@@ -241,6 +241,58 @@ TEST(SubArena, DestructorReturnsLeakedBytesToParent) {
   EXPECT_EQ(parent.stats().used_bytes, 0u);
 }
 
+TEST(SubArena, ZeroBudgetIsPureForwarding) {
+  // Budget 0 adds no cap of its own: the sub-arena reports unlimited
+  // and the parent's capacity is the only limit it ever hits.
+  MemorySpace parent("mcdram", MemKind::MCDRAM, KiB(64));
+  MemorySpace job("job0/mcdram", parent, 0);
+  EXPECT_TRUE(job.unlimited());
+  EXPECT_EQ(job.parent(), &parent);
+
+  void* p = job.allocate(KiB(64));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(parent.stats().used_bytes, KiB(64));
+  EXPECT_EQ(job.try_allocate(64), nullptr);  // parent full, not budget
+  EXPECT_THROW(job.allocate(64), OutOfMemoryError);
+  job.deallocate(p);
+  EXPECT_EQ(parent.stats().used_bytes, 0u);
+
+  // A zero-byte allocation through the forwarding chain still yields a
+  // distinct live pointer accounted in both arenas.
+  void* z = job.allocate(0);
+  ASSERT_NE(z, nullptr);
+  EXPECT_TRUE(job.owns(z));
+  EXPECT_TRUE(parent.owns(z));
+  job.deallocate(z);
+}
+
+TEST(SubArena, ReleaseAfterParentHighWaterReset) {
+  // reset_high_water() between bench repetitions must not confuse the
+  // forwarding accounting: releases after a parent reset still return
+  // bytes, and the high-water marks re-track from the reset point.
+  MemorySpace parent("mcdram", MemKind::MCDRAM, KiB(64));
+  MemorySpace job("job0/mcdram", parent, KiB(48));
+  void* a = job.allocate(KiB(32));
+  void* b = job.allocate(KiB(16));
+  job.deallocate(b);
+  EXPECT_EQ(parent.stats().high_water_bytes, KiB(48));
+
+  parent.reset_high_water();
+  job.reset_high_water();
+  EXPECT_EQ(parent.stats().high_water_bytes, KiB(32));  // = current usage
+  EXPECT_EQ(job.stats().high_water_bytes, KiB(32));
+
+  job.deallocate(a);
+  EXPECT_EQ(parent.stats().used_bytes, 0u);
+  EXPECT_EQ(job.stats().used_bytes, 0u);
+  // The mark keeps the post-reset peak, not the pre-reset one.
+  EXPECT_EQ(parent.stats().high_water_bytes, KiB(32));
+
+  void* c = job.allocate(KiB(16));
+  EXPECT_EQ(parent.stats().high_water_bytes, KiB(32));
+  job.deallocate(c);
+}
+
 TEST(SubArena, ExhaustionMessageNamesParentArena) {
   MemorySpace parent("mcdram", MemKind::MCDRAM, KiB(64));
   MemorySpace job("job0/mcdram", parent, KiB(16));

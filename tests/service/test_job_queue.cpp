@@ -3,6 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "mlm/support/proptest.h"
+
 namespace mlm::service {
 namespace {
 
@@ -70,6 +77,123 @@ TEST(JobQueue, RepushedEntryGoesBehindItsPriorityPeers) {
   q.push(*head, 0);
   EXPECT_EQ(q.pop(), 2u);
   EXPECT_EQ(q.pop(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Property harness: seeded random submit / peek / pop / erase
+// interleavings checked against a reference model — a plain vector of
+// (id, priority, arrival-seq) where the best entry is max priority
+// then min seq.  Pins the fairness contract (priority order, FIFO
+// within a priority, peek-don't-pop retention) over thousands of
+// schedules instead of the handful of examples above.
+
+struct RefEntry {
+  std::uint64_t id;
+  int priority;
+  std::uint64_t seq;
+};
+
+/// The entry pop() must return: max priority, earliest arrival.
+std::optional<std::size_t> ref_best(const std::vector<RefEntry>& v) {
+  if (v.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i].priority > v[best].priority ||
+        (v[i].priority == v[best].priority && v[i].seq < v[best].seq)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+TEST(JobQueueProperties, RandomInterleavingsMatchReferenceModel) {
+  for (std::uint64_t seed = 0; seed < 64; ++seed) {
+    Gen g(seed);
+    JobQueue q;
+    std::vector<RefEntry> model;
+    std::uint64_t next_id = 1;
+    std::uint64_t next_seq = 0;
+    const std::size_t ops = g.size_in(50, 200);
+    for (std::size_t op = 0; op < ops; ++op) {
+      // peek must always agree with the model's best before any
+      // mutation (and never change the size).
+      const std::size_t size_before = q.size();
+      const auto best = ref_best(model);
+      if (best) {
+        ASSERT_EQ(q.peek(), model[*best].id)
+            << "seed " << seed << " op " << op;
+      } else {
+        ASSERT_FALSE(q.peek().has_value());
+      }
+      ASSERT_EQ(q.size(), size_before) << "peek must not remove";
+
+      switch (g.below(4)) {
+        case 0:
+        case 1: {  // push (weighted: queues mostly grow)
+          const int prio = int(g.int_in(-2, 2));
+          q.push(next_id, prio);
+          model.push_back({next_id, prio, next_seq++});
+          ++next_id;
+          break;
+        }
+        case 2: {  // pop
+          const auto got = q.pop();
+          if (best) {
+            ASSERT_EQ(got, model[*best].id)
+                << "seed " << seed << " op " << op;
+            model.erase(model.begin() + std::ptrdiff_t(*best));
+          } else {
+            ASSERT_FALSE(got.has_value());
+          }
+          break;
+        }
+        case 3: {  // erase a random known id (may already be gone)
+          const std::uint64_t victim = g.u64() % next_id;
+          const auto it = std::find_if(
+              model.begin(), model.end(),
+              [victim](const RefEntry& e) { return e.id == victim; });
+          ASSERT_EQ(q.erase(victim), it != model.end())
+              << "seed " << seed << " op " << op;
+          if (it != model.end()) model.erase(it);
+          break;
+        }
+      }
+      ASSERT_EQ(q.size(), model.size());
+      ASSERT_EQ(q.empty(), model.empty());
+    }
+    // Drain: the remaining entries come out in exact model order —
+    // priority descending, FIFO within each priority.
+    while (auto best = ref_best(model)) {
+      EXPECT_EQ(q.pop(), model[*best].id) << "seed " << seed;
+      model.erase(model.begin() + std::ptrdiff_t(*best));
+    }
+    EXPECT_FALSE(q.pop().has_value());
+  }
+}
+
+TEST(JobQueueProperties, DrainOrderIsAStableSortByPriority) {
+  // Submitting a whole batch and draining is exactly a stable sort by
+  // descending priority — arrival order is the tiebreak, never lost.
+  for (std::uint64_t seed = 100; seed < 132; ++seed) {
+    Gen g(seed);
+    JobQueue q;
+    const std::size_t n = g.size_in(1, 64);
+    std::vector<RefEntry> pushed;
+    for (std::size_t i = 0; i < n; ++i) {
+      const int prio = int(g.int_in(-3, 3));
+      q.push(i + 1, prio);
+      pushed.push_back({i + 1, prio, i});
+    }
+    std::stable_sort(pushed.begin(), pushed.end(),
+                     [](const RefEntry& a, const RefEntry& b) {
+                       return a.priority > b.priority;
+                     });
+    for (const RefEntry& e : pushed) {
+      ASSERT_EQ(q.peek(), e.id) << "seed " << seed;
+      ASSERT_EQ(q.pop(), e.id) << "seed " << seed;
+    }
+    EXPECT_TRUE(q.empty());
+  }
 }
 
 }  // namespace

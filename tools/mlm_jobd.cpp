@@ -214,6 +214,16 @@ int main(int argc, char** argv) {
   cli.add_flag("quiet", &opt.quiet, "suppress the report");
   try {
     if (!cli.parse(argc, argv)) return 0;
+    if (!cli.positional().empty()) {
+      // Unknown --flags already throw in parse(); stray positional
+      // arguments (e.g. a typo like "-loadgen" or "jobs=8") used to be
+      // silently accepted and run the default batch instead of what
+      // the user asked for.  Reject them the same way.
+      std::cerr << "mlm_jobd: unrecognized argument '"
+                << cli.positional().front() << "'\n\n"
+                << cli.help();
+      return 2;
+    }
     return run(opt);
   } catch (const mlm::Error& e) {
     std::cerr << "mlm_jobd: " << e.what() << "\n";
