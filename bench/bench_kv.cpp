@@ -1,0 +1,13 @@
+// Thin entry point: tiered record-store placement benchmarks (see
+// bench/suites/kv.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
+
+int main(int argc, char** argv) {
+  mlm::bench::Harness h("bench_kv",
+                        "Tiered record store benchmarks: near-tier hit "
+                        "rate and simulated service time vs access skew, "
+                        "static vs migrating placement policies.");
+  mlm::bench::suites::register_kv(h);
+  return h.run(argc, argv);
+}

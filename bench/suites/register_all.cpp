@@ -24,6 +24,7 @@ void register_all(Harness& h) {
   register_fault_overhead(h);
   register_service(h);
   register_adapt(h);
+  register_kv(h);
 }
 
 }  // namespace mlm::bench::suites

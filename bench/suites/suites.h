@@ -58,6 +58,10 @@ void register_service(Harness& h);
 // vs the best static copy-thread configuration on Table 3 workloads.
 void register_adapt(Harness& h);
 
+// Tiered record store (deterministic): near-tier hit rate and
+// simulated service time vs access skew, static vs migrating placement.
+void register_kv(Harness& h);
+
 /// Every suite above, in the order listed — the bench_all set.
 void register_all(Harness& h);
 

@@ -15,7 +15,11 @@
 //    metrics alone.
 //  - A baseline case or metric missing from the current run fails
 //    (deleted benchmarks must be removed from the baseline on purpose);
-//    new cases in the current run are reported and pass.
+//    new cases in the current run are reported and pass — unless
+//    require_all is set, in which case an unbaselined case is itself a
+//    failure (the CI smoke gate uses this so a newly registered suite
+//    cannot silently skip the regression check until someone remembers
+//    to refresh the baseline).
 #pragma once
 
 #include <string>
@@ -32,6 +36,10 @@ struct CompareOptions {
   bool ignore_wall = false;
   /// Tolerate baseline cases absent from the current run.
   bool allow_missing = false;
+  /// Current cases absent from the baseline fail instead of being
+  /// reported informationally (gate mode: every registered suite must
+  /// be baselined).
+  bool require_all = false;
 };
 
 enum class FindingKind : std::uint8_t {
@@ -41,6 +49,7 @@ enum class FindingKind : std::uint8_t {
   MissingCase,
   MissingMetric,
   NewCase,          ///< informational; does not fail
+  UnbaselinedCase,  ///< NewCase under require_all; fails
 };
 
 struct Finding {

@@ -24,6 +24,7 @@ std::vector<Finding> CompareResult::failures() const {
       case FindingKind::WallRegression:
       case FindingKind::MissingCase:
       case FindingKind::MissingMetric:
+      case FindingKind::UnbaselinedCase:
         out.push_back(f);
         break;
       case FindingKind::WallImprovement:
@@ -108,9 +109,16 @@ CompareResult compare_reports(const RunReport& current,
 
   for (const CaseResult& cur_case : current.cases) {
     if (baseline.find(cur_case.name) == nullptr) {
-      add({FindingKind::NewCase, cur_case.name, "", 0.0, 0.0,
-           "new case not in baseline: " + cur_case.name},
-          false);
+      if (options.require_all) {
+        add({FindingKind::UnbaselinedCase, cur_case.name, "", 0.0, 0.0,
+             "case not in baseline (--require-all): " + cur_case.name +
+                 " — refresh the baseline artifact to cover it"},
+            true);
+      } else {
+        add({FindingKind::NewCase, cur_case.name, "", 0.0, 0.0,
+             "new case not in baseline: " + cur_case.name},
+            false);
+      }
     }
   }
   return result;

@@ -216,6 +216,12 @@ inline constexpr const char* kServiceJobCancel = "service.job.cancel";
 /// decision-for-decision.
 inline constexpr const char* kAdaptControllerDecide =
     "adapt.controller.decide";
+/// One migration step of the tiered record store (mlm/kvstore): moving
+/// one segment between tiers fails.  Rides the DegradePolicy ladder —
+/// retry up to max_retries, then (with allow_tier_fallback) abandon the
+/// move and leave the segment where it is; record contents are never
+/// lost, only placement quality.
+inline constexpr const char* kKvMigrateStep = "kvstore.migrate.step";
 }  // namespace sites
 
 }  // namespace mlm::fault

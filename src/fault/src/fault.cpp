@@ -39,7 +39,7 @@ const bool g_catalog_registered = [] {
         sites::kExternalSortInner, sites::kExternalSortStageOut,
         sites::kExternalSortMerge, sites::kServiceAdmit,
         sites::kServiceJobStep, sites::kServiceJobCancel,
-        sites::kAdaptControllerDecide}) {
+        sites::kAdaptControllerDecide, sites::kKvMigrateStep}) {
     register_site(name);
   }
   return true;

@@ -1,0 +1,83 @@
+// HeatMonitor: DAMON-style access-frequency sampling for the tiered
+// record store.
+//
+// The migration engine needs to know which value segments are hot
+// *without* serializing the read path: every access bumps a counter in
+// the calling worker's private shard (one vector per worker, no shared
+// cache lines, no atomics), and the shards are folded into per-segment
+// epoch counts only at epoch barriers, on the orchestrating thread,
+// while no workers run.  Because folding is a plain sum, the folded
+// counts are independent of the interleaving that produced them — the
+// property that makes migration decisions replayable across the
+// 100-seed DeterministicExecutor sweeps (tests/kvstore).
+//
+// Per segment the monitor keeps
+//   - heat: an exponentially-decayed access frequency
+//     (heat' = heat/2 + epoch_count), the FreqThreshold policy input;
+//   - last_access_epoch: the most recent epoch with any access, the
+//     LruEpoch policy input.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mlm::kv {
+
+class HeatMonitor {
+ public:
+  /// `shards` — independent counter banks; callers route each worker
+  /// thread to its own shard index (Executor worker index).
+  explicit HeatMonitor(std::size_t shards = 1);
+
+  HeatMonitor(const HeatMonitor&) = delete;
+  HeatMonitor& operator=(const HeatMonitor&) = delete;
+
+  std::size_t shards() const { return shard_counts_.size(); }
+
+  /// Grow to at least `shards` banks.  Call between epochs only (never
+  /// while workers are recording).
+  void ensure_shards(std::size_t shards);
+
+  /// Number of segments being tracked.
+  std::size_t segments() const { return heat_.size(); }
+
+  /// Track one more segment (all counters start cold).
+  void add_segment();
+
+  /// Count one access to `segment` in `shard`.  Safe to call from
+  /// concurrent workers as long as each worker uses a distinct shard.
+  void record(std::size_t shard, std::size_t segment) {
+    ++shard_counts_[shard][segment];
+  }
+
+  /// Epoch barrier: fold every shard into per-segment counts (a plain
+  /// sum — schedule-independent), update decayed heat and last-access
+  /// epochs, zero the shards, and advance the epoch counter.  Returns
+  /// this epoch's per-segment access counts.  Orchestrator-only.
+  std::vector<std::uint64_t> fold_epoch();
+
+  /// Completed epochs (number of fold_epoch calls).
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Decayed access frequency of `segment` as of the last fold.
+  std::uint64_t heat(std::size_t segment) const { return heat_[segment]; }
+
+  /// 1-based epoch of the segment's most recent access (0 = never
+  /// accessed in a completed epoch).
+  std::uint64_t last_access_epoch(std::size_t segment) const {
+    return last_epoch_[segment];
+  }
+
+  /// Total accesses folded so far.
+  std::uint64_t total_accesses() const { return total_; }
+
+ private:
+  std::vector<std::vector<std::uint64_t>> shard_counts_;
+  std::vector<std::uint64_t> heat_;
+  std::vector<std::uint64_t> last_epoch_;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mlm::kv

@@ -1,0 +1,98 @@
+// MigrationEngine: executes a MigrationPlan as resumable steps, one
+// segment move per step, riding the library's degradation ladder.
+//
+// A step moves exactly one segment (demotes first, freeing budget for
+// the promotes) and queries the kvstore.migrate.step fault site at
+// every attempt.  Failures — injected, or a real OutOfMemoryError when
+// the near budget is tighter than the planner believed — walk the
+// DegradePolicy ladder:
+//
+//   1. retry      up to max_retries (transient exhaustion: a co-tenant
+//                 releasing its grant);
+//   2. (chunk halving does not apply — the segment is the atom);
+//   3. fall back  with allow_tier_fallback: abandon this move and leave
+//                 the segment where it is.  Record contents are never
+//                 at risk, only placement quality; the abandonment is
+//                 recorded as a DegradationEvent.
+//
+// With the ladder disabled, the failure propagates as a structured
+// Error naming the segment, direction, and tier.
+//
+// The Stepper is the suspension-point protocol shared with the sorter
+// steppers, so mlm/kvstore/migration_job.h can wrap it as a service
+// JobStepper and the JobScheduler can interleave migration with sorts
+// under admission control.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "mlm/core/degrade.h"
+#include "mlm/kvstore/policy.h"
+
+namespace mlm::kv {
+
+class TieredKvStore;
+
+struct MigrationStats {
+  std::size_t steps = 0;      ///< stepper steps executed
+  std::size_t promoted = 0;   ///< segments moved far -> near
+  std::size_t demoted = 0;    ///< segments moved near -> far
+  std::size_t retries = 0;    ///< ladder rung 1 attempts
+  std::size_t abandoned = 0;  ///< ladder rung 3: moves given up
+  std::uint64_t moved_bytes = 0;
+  std::vector<core::DegradationEvent> degradations;
+};
+
+class MigrationEngine {
+ public:
+  explicit MigrationEngine(TieredKvStore& store,
+                           core::DegradePolicy policy = {});
+
+  MigrationEngine(const MigrationEngine&) = delete;
+  MigrationEngine& operator=(const MigrationEngine&) = delete;
+
+  TieredKvStore& store() { return store_; }
+  const core::DegradePolicy& policy() const { return policy_; }
+
+  /// Resumable execution of one plan: each step() moves (or, under the
+  /// ladder's last rung, abandons) one segment.
+  class Stepper {
+   public:
+    Stepper(MigrationEngine& engine, MigrationPlan plan);
+
+    Stepper(const Stepper&) = delete;
+    Stepper& operator=(const Stepper&) = delete;
+
+    /// Execute the next move; true while more remain.  Throws a
+    /// structured Error when a move fails and the ladder cannot absorb
+    /// it (a throwing stepper is dead).
+    bool step();
+
+    bool done() const { return next_ >= plan_.moves(); }
+
+    /// Close the run and take its statistics.  Call once, after done().
+    MigrationStats finish();
+
+   private:
+    /// The `index`-th move of the plan (demotes first).
+    void move_at(std::size_t index);
+
+    MigrationEngine& engine_;
+    MigrationPlan plan_;
+    std::size_t next_ = 0;
+    bool finished_ = false;
+    MigrationStats stats_;
+  };
+
+  /// Run `plan` to completion (the library-mode convenience; service
+  /// mode drives a Stepper through the JobScheduler instead).
+  MigrationStats run(MigrationPlan plan);
+
+ private:
+  TieredKvStore& store_;
+  core::DegradePolicy policy_;
+};
+
+}  // namespace mlm::kv

@@ -1,0 +1,58 @@
+// MigrationJob: one epoch's segment migration packaged as a service job.
+//
+// The factory adapts MigrationEngine::Stepper to the type-erased
+// JobStepper protocol: one job step = one segment move, which is the
+// suspension granularity the JobScheduler arbitrates at — migrations
+// interleave with sort jobs under the same admission control instead of
+// monopolising the store between epochs.
+//
+// The store is built over a budgeted tenant view *of its own* (granted
+// when the store was created), so the job requests no additional
+// near-tier budget: submit it with near_budget_bytes = 0 and it is
+// admitted with the token degraded budget.  JobContext::hierarchy and
+// ::degraded are deliberately ignored — a migration moves blocks inside
+// the store's existing grant; it never allocates from the job's view.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "mlm/kvstore/migration.h"
+#include "mlm/service/job.h"
+
+namespace mlm::kv {
+
+class MigrationJob : public service::JobStepper {
+ public:
+  /// `engine` must outlive the job.  `stats_out`, when non-null,
+  /// receives the MigrationStats at finish().
+  MigrationJob(MigrationEngine& engine, MigrationPlan plan,
+               MigrationStats* stats_out)
+      : stepper_(engine, std::move(plan)), stats_out_(stats_out) {}
+
+  bool step() override { return stepper_.step(); }
+
+  void finish() override {
+    MigrationStats stats = stepper_.finish();
+    if (stats_out_ != nullptr) *stats_out_ = std::move(stats);
+  }
+
+ private:
+  MigrationEngine::Stepper stepper_;
+  MigrationStats* stats_out_;
+};
+
+/// JobFactory executing `plan` against `engine` (which must outlive the
+/// job).  Submit with near_budget_bytes = 0 — the store's own tenant
+/// grant already caps near-tier use.
+inline service::JobFactory make_migration_job(
+    MigrationEngine& engine, MigrationPlan plan,
+    MigrationStats* stats_out = nullptr) {
+  return [&engine, plan = std::move(plan),
+          stats_out](service::JobContext&) mutable {
+    return std::unique_ptr<service::JobStepper>(
+        std::make_unique<MigrationJob>(engine, std::move(plan), stats_out));
+  };
+}
+
+}  // namespace mlm::kv

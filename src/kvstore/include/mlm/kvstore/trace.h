@@ -1,0 +1,57 @@
+// Seeded access-trace generation for the tiered record store.
+//
+// A trace is the key sequence a workload run replays: `ops` lookups over
+// a key space of `keys` keys, drawn uniformly or from a Zipfian
+// distribution (the skewed regime where migration earns its keep — the
+// paper's MCDRAM-as-cache results hinge on exactly this kind of reuse).
+//
+// Two deliberate properties:
+//
+//   - Fully seeded.  The Zipf CDF is built from std::pow, which glibc
+//     computes correctly rounded, so the same (seed, skew) pair yields
+//     the same trace on every machine the CI matrix runs.
+//   - Rank-to-key scrambling.  Zipf rank r is mapped through a seeded
+//     permutation before becoming a key, so the hot set is scattered
+//     across the whole key space — and therefore across *segments* —
+//     instead of clustering in the first few insertion-order segments.
+//     Without the scramble, StaticNearFirst accidentally captures the
+//     hot set (insertion order == rank order) and the comparison
+//     against migrating policies is meaningless.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mlm::kv {
+
+enum class TraceKind : std::uint8_t {
+  Uniform,
+  Zipfian,
+};
+
+const char* to_string(TraceKind kind);
+
+struct TraceConfig {
+  TraceKind kind = TraceKind::Zipfian;
+  /// Key-space size; keys are 0 .. keys-1 (the store is pre-populated
+  /// with exactly these keys in insertion order).
+  std::size_t keys = 4096;
+  /// Number of lookups in the trace.
+  std::size_t ops = 65536;
+  /// Zipf exponent s (ignored for Uniform).  0 degenerates to uniform;
+  /// ~0.99 is the YCSB default; >= 1.2 is heavily skewed.
+  double skew = 0.99;
+  std::uint64_t seed = 1;
+};
+
+/// Generate the key sequence for `config`.  Pure function of the config.
+std::vector<std::uint64_t> generate_trace(const TraceConfig& config);
+
+/// The seeded rank->key permutation used by Zipfian traces (exposed so
+/// tests can locate the hot keys).  permutation[rank] = key; rank 0 is
+/// the hottest.
+std::vector<std::uint64_t> trace_key_permutation(std::size_t keys,
+                                                 std::uint64_t seed);
+
+}  // namespace mlm::kv

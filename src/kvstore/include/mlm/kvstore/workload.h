@@ -1,0 +1,78 @@
+// Epoch-structured workload driver for the tiered record store.
+//
+// run_workload replays an access trace against a TieredKvStore in
+// epochs, the DAMON-style monitor/decide/migrate loop:
+//
+//   per epoch:
+//     1. lookups    — the epoch's slice of the trace, fanned across the
+//                     executor's workers (worker w serves ops with
+//                     index % workers == w, counting heat into shard w
+//                     and hits into its own tally — no shared writes);
+//     2. fold       — epoch barrier: shard counters fold into decayed
+//                     heat (HeatMonitor::fold_epoch);
+//     3. decide     — plan_migration under the configured policy;
+//     4. migrate    — MigrationEngine executes the plan (one resumable
+//                     step per segment move, kvstore.migrate.step
+//                     faults riding the degradation ladder).
+//
+// Every decision input is a deterministic fold of per-worker counters,
+// so the epoch-by-epoch placement trace — and the final placement — is
+// a pure function of (trace, policy, budgets), independent of executor
+// schedule.  test_kv_schedules.cpp holds that line across 100 seeds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mlm/core/degrade.h"
+#include "mlm/kvstore/migration.h"
+#include "mlm/kvstore/policy.h"
+
+namespace mlm {
+class Executor;
+}  // namespace mlm
+
+namespace mlm::kv {
+
+class TieredKvStore;
+
+struct WorkloadConfig {
+  /// Lookups per epoch (the monitor/migrate cadence).  The trailing
+  /// partial epoch still folds and migrates.
+  std::size_t epoch_ops = 8192;
+  PolicyConfig policy;
+  core::DegradePolicy degrade;
+};
+
+struct WorkloadStats {
+  std::size_t ops = 0;
+  std::size_t epochs = 0;
+  std::size_t near_hits = 0;
+  std::size_t far_hits = 0;
+  std::size_t misses = 0;
+  MigrationStats migration;
+  /// One MigrationPlan::to_string() entry per epoch ("-" for no-op
+  /// epochs); replay tests compare these strings across seeds.
+  std::vector<std::string> placement_trace;
+
+  std::size_t hits() const { return near_hits + far_hits; }
+  /// Fraction of hits served from the near tier (0 when no hits).
+  double near_hit_rate() const {
+    const std::size_t h = hits();
+    return h == 0 ? 0.0
+                  : static_cast<double>(near_hits) / static_cast<double>(h);
+  }
+};
+
+/// Replay `trace` against `store` on `exec` under `config`.  The store's
+/// heat monitor is resized to one shard per executor worker.  Lookup
+/// values are copied into per-worker scratch and checksummed so the
+/// reads are real.  Orchestrator-only between epochs (puts/migration);
+/// lookups run on the executor's workers.
+WorkloadStats run_workload(TieredKvStore& store, Executor& exec,
+                           const std::vector<std::uint64_t>& trace,
+                           const WorkloadConfig& config);
+
+}  // namespace mlm::kv

@@ -1,0 +1,41 @@
+#include "mlm/kvstore/heat.h"
+
+#include "mlm/support/error.h"
+
+namespace mlm::kv {
+
+HeatMonitor::HeatMonitor(std::size_t shards) {
+  MLM_CHECK_MSG(shards > 0, "HeatMonitor needs at least one shard");
+  shard_counts_.resize(shards);
+}
+
+void HeatMonitor::ensure_shards(std::size_t shards) {
+  while (shard_counts_.size() < shards) {
+    shard_counts_.emplace_back(heat_.size(), 0);
+  }
+}
+
+void HeatMonitor::add_segment() {
+  for (auto& shard : shard_counts_) shard.push_back(0);
+  heat_.push_back(0);
+  last_epoch_.push_back(0);
+}
+
+std::vector<std::uint64_t> HeatMonitor::fold_epoch() {
+  std::vector<std::uint64_t> counts(heat_.size(), 0);
+  for (auto& shard : shard_counts_) {
+    for (std::size_t s = 0; s < counts.size(); ++s) {
+      counts[s] += shard[s];
+      shard[s] = 0;
+    }
+  }
+  ++epoch_;
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    heat_[s] = heat_[s] / 2 + counts[s];
+    if (counts[s] > 0) last_epoch_[s] = epoch_;
+    total_ += counts[s];
+  }
+  return counts;
+}
+
+}  // namespace mlm::kv

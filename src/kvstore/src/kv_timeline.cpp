@@ -1,0 +1,72 @@
+#include "mlm/kvstore/kv_timeline.h"
+
+#include <vector>
+
+#include "mlm/knlsim/engine.h"
+#include "mlm/kvstore/store.h"
+#include "mlm/support/error.h"
+
+namespace mlm::kv {
+
+KvTimelineResult simulate_service_time(const TieredKvStore& store,
+                                       const WorkloadStats& stats,
+                                       const KvTimelineConfig& config) {
+  MLM_REQUIRE(config.workers > 0, "workers must be > 0");
+  MLM_REQUIRE(config.mcdram_bw > 0 && config.ddr_bw > 0,
+              "tier bandwidths must be > 0");
+
+  KvTimelineResult result;
+  const double record_bytes = static_cast<double>(store.record_bytes());
+  result.near_bytes = static_cast<double>(stats.near_hits) * record_bytes;
+  // A miss probes the index and the far candidate region; charge it
+  // like a far hit rather than inventing a third rate.
+  result.far_bytes =
+      static_cast<double>(stats.far_hits + stats.misses) * record_bytes;
+  result.migrated_bytes = static_cast<double>(stats.migration.moved_bytes);
+  if (stats.epochs == 0) return result;
+
+  knlsim::SimEngine engine;
+  const knlsim::ResourceId mcdram =
+      engine.add_resource("mcdram", config.mcdram_bw);
+  const knlsim::ResourceId ddr = engine.add_resource("ddr", config.ddr_bw);
+
+  // Steady-state approximation: spread the run's tallies evenly over
+  // its epochs.  Each epoch is two phases — lookups (near and far flows
+  // racing under the step barrier), then migration (each moved byte
+  // crossing both tiers).
+  const double epochs = static_cast<double>(stats.epochs);
+  const double near_per_epoch = result.near_bytes / epochs;
+  const double far_per_epoch = result.far_bytes / epochs;
+  const double moved_per_epoch = result.migrated_bytes / epochs;
+  const double near_peak =
+      static_cast<double>(config.workers) * config.near_worker_rate;
+  const double far_peak =
+      static_cast<double>(config.workers) * config.far_worker_rate;
+
+  for (std::size_t e = 0; e < stats.epochs; ++e) {
+    std::vector<knlsim::FlowSpec> lookups;
+    if (near_per_epoch > 0) {
+      lookups.push_back(knlsim::FlowSpec{
+          near_per_epoch, near_peak, {{mcdram, 1.0}}, {}, "kv.near"});
+    }
+    if (far_per_epoch > 0) {
+      lookups.push_back(knlsim::FlowSpec{
+          far_per_epoch, far_peak, {{ddr, 1.0}}, {}, "kv.far"});
+    }
+    result.lookup_seconds += knlsim::run_phase(engine, std::move(lookups));
+
+    if (moved_per_epoch > 0) {
+      std::vector<knlsim::FlowSpec> moves;
+      moves.push_back(knlsim::FlowSpec{moved_per_epoch,
+                                       knlsim::kUnbounded,
+                                       {{mcdram, 1.0}, {ddr, 1.0}},
+                                       {},
+                                       "kv.migrate"});
+      result.migrate_seconds += knlsim::run_phase(engine, std::move(moves));
+    }
+  }
+  result.seconds = result.lookup_seconds + result.migrate_seconds;
+  return result;
+}
+
+}  // namespace mlm::kv

@@ -1,0 +1,92 @@
+#include "mlm/kvstore/migration.h"
+
+#include <string>
+
+#include "mlm/fault/fault.h"
+#include "mlm/kvstore/store.h"
+#include "mlm/support/error.h"
+
+namespace mlm::kv {
+
+MigrationEngine::MigrationEngine(TieredKvStore& store,
+                                 core::DegradePolicy policy)
+    : store_(store), policy_(policy) {}
+
+MigrationEngine::Stepper::Stepper(MigrationEngine& engine, MigrationPlan plan)
+    : engine_(engine), plan_(std::move(plan)) {}
+
+void MigrationEngine::Stepper::move_at(std::size_t index) {
+  static fault::FaultSite site(fault::sites::kKvMigrateStep);
+
+  const bool demoting = index < plan_.demote.size();
+  const std::size_t segment =
+      demoting ? plan_.demote[index]
+               : plan_.promote[index - plan_.demote.size()];
+  const bool to_near = !demoting;
+
+  TieredKvStore& store = engine_.store_;
+  const core::DegradePolicy& policy = engine_.policy_;
+  std::size_t attempt = 0;
+  while (true) {
+    ++attempt;
+    try {
+      site.maybe_throw();
+      store.move_segment(segment, to_near);
+      if (to_near) {
+        ++stats_.promoted;
+      } else {
+        ++stats_.demoted;
+      }
+      stats_.moved_bytes += store.segment_bytes();
+      return;
+    } catch (Error& e) {
+      // Injected fault or a real OutOfMemoryError from the target tier.
+      // Rung 1: retry.  Rung 2 (chunk halving) does not apply — the
+      // segment is the migration atom.  Rung 3: abandon the move.
+      if (attempt <= policy.max_retries) {
+        ++stats_.retries;
+        stats_.degradations.push_back(core::DegradationEvent{
+            fault::sites::kKvMigrateStep, "retry",
+            static_cast<std::int64_t>(segment), attempt});
+        continue;
+      }
+      if (policy.allow_tier_fallback) {
+        ++stats_.abandoned;
+        stats_.degradations.push_back(core::DegradationEvent{
+            fault::sites::kKvMigrateStep, "tier_fallback",
+            static_cast<std::int64_t>(segment), attempt});
+        return;  // segment stays where it is; contents untouched
+      }
+      throw e.with_frame(ErrorFrame{
+          "kv_migrate_step", static_cast<std::int64_t>(segment),
+          to_near ? "near" : "far", "orchestrator",
+          std::string(to_near ? "promote" : "demote") + " failed after " +
+              std::to_string(attempt) + " attempt(s)"});
+    }
+  }
+}
+
+bool MigrationEngine::Stepper::step() {
+  MLM_CHECK_MSG(!finished_, "Stepper::step after finish");
+  if (done()) return false;
+  move_at(next_);
+  ++next_;
+  ++stats_.steps;
+  return !done();
+}
+
+MigrationStats MigrationEngine::Stepper::finish() {
+  MLM_CHECK_MSG(done(), "Stepper::finish before done");
+  MLM_CHECK_MSG(!finished_, "Stepper::finish called twice");
+  finished_ = true;
+  return std::move(stats_);
+}
+
+MigrationStats MigrationEngine::run(MigrationPlan plan) {
+  Stepper stepper(*this, std::move(plan));
+  while (stepper.step()) {
+  }
+  return stepper.finish();
+}
+
+}  // namespace mlm::kv

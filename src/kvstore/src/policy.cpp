@@ -1,0 +1,106 @@
+#include "mlm/kvstore/policy.h"
+
+#include <algorithm>
+
+#include "mlm/kvstore/store.h"
+#include "mlm/support/error.h"
+
+namespace mlm::kv {
+
+const char* to_string(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::StaticNearFirst:
+      return "static";
+    case PlacementPolicy::LruEpoch:
+      return "lru";
+    case PlacementPolicy::FreqThreshold:
+      return "freq";
+  }
+  return "?";
+}
+
+PlacementPolicy placement_policy_from_string(const std::string& name) {
+  if (name == "static") return PlacementPolicy::StaticNearFirst;
+  if (name == "lru") return PlacementPolicy::LruEpoch;
+  if (name == "freq") return PlacementPolicy::FreqThreshold;
+  throw InvalidArgumentError("unknown placement policy: '" + name +
+                             "' (expected static | lru | freq)");
+}
+
+std::string MigrationPlan::to_string() const {
+  if (empty()) return "-";
+  std::string out;
+  const auto join = [&out](const char* prefix,
+                           const std::vector<std::size_t>& ids) {
+    if (ids.empty()) return;
+    if (!out.empty()) out += ' ';
+    out += prefix;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      out += (i == 0 ? ":" : ",") + std::to_string(ids[i]);
+    }
+  };
+  join("D", demote);
+  join("P", promote);
+  return out;
+}
+
+MigrationPlan plan_migration(const TieredKvStore& store,
+                             const HeatMonitor& monitor,
+                             const PolicyConfig& config) {
+  MigrationPlan plan;
+  if (config.policy == PlacementPolicy::StaticNearFirst) return plan;
+  if (!store.has_near_tier()) return plan;
+
+  const std::size_t segments = store.segment_count();
+  std::size_t budget = config.max_near_segments;
+  if (budget == 0) {
+    const KvStoreStats s = store.stats();
+    if (s.near_capacity_bytes == 0) {
+      budget = segments;  // unlimited near space: everything fits
+    } else {
+      budget = static_cast<std::size_t>(s.near_capacity_bytes /
+                                        store.segment_bytes());
+    }
+  }
+
+  // Rank every segment by the policy's score, hottest/newest first,
+  // ids ascending on ties so plans are deterministic.
+  std::vector<std::size_t> ranked(segments);
+  for (std::size_t i = 0; i < segments; ++i) ranked[i] = i;
+  const bool lru = config.policy == PlacementPolicy::LruEpoch;
+  std::sort(ranked.begin(), ranked.end(),
+            [&](std::size_t a, std::size_t b) {
+              const std::uint64_t pa =
+                  lru ? monitor.last_access_epoch(a) : monitor.heat(a);
+              const std::uint64_t pb =
+                  lru ? monitor.last_access_epoch(b) : monitor.heat(b);
+              if (pa != pb) return pa > pb;
+              const std::uint64_t sa =
+                  lru ? monitor.heat(a) : monitor.last_access_epoch(a);
+              const std::uint64_t sb =
+                  lru ? monitor.heat(b) : monitor.last_access_epoch(b);
+              if (sa != sb) return sa > sb;
+              return a < b;
+            });
+
+  // Desired near set: the top `budget` eligible segments.
+  std::vector<char> want_near(segments, 0);
+  std::size_t taken = 0;
+  for (const std::size_t id : ranked) {
+    if (taken == budget) break;
+    const bool eligible = lru ? monitor.last_access_epoch(id) > 0
+                              : monitor.heat(id) >= config.min_heat;
+    if (!eligible) break;  // ranked order: everything after is colder
+    want_near[id] = 1;
+    ++taken;
+  }
+
+  for (std::size_t id = 0; id < segments; ++id) {
+    const bool is_near = store.segment_near(id);
+    if (is_near && want_near[id] == 0) plan.demote.push_back(id);
+    if (!is_near && want_near[id] != 0) plan.promote.push_back(id);
+  }
+  return plan;
+}
+
+}  // namespace mlm::kv

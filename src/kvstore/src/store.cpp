@@ -1,0 +1,210 @@
+#include "mlm/kvstore/store.h"
+
+#include <cstring>
+
+namespace mlm::kv {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+TieredKvStore::TieredKvStore(MemoryHierarchy& hier, KvConfig config)
+    : hier_(hier),
+      config_(config),
+      record_bytes_(sizeof(std::uint64_t) + config.value_bytes),
+      segment_bytes_(record_bytes_ * config.records_per_segment),
+      far_(hier.farthest()),
+      monitor_(config.heat_shards) {
+  MLM_CHECK_MSG(config_.value_bytes > 0, "value_bytes must be > 0");
+  MLM_CHECK_MSG(config_.records_per_segment > 0,
+                "records_per_segment must be > 0");
+  MLM_CHECK_MSG(config_.index_max_load > 0.0 && config_.index_max_load < 1.0,
+                "index_max_load must be in (0, 1)");
+  MemorySpace& nearest = hier.nearest_addressable();
+  if (&nearest != &far_) near_ = &nearest;
+
+  bucket_count_ = round_up_pow2(
+      config_.initial_buckets < 16 ? 16 : config_.initial_buckets);
+  index_ = allocate_block(bucket_count_ * sizeof(Bucket),
+                          config_.index_prefers_near, &index_near_);
+  auto* b = buckets();
+  for (std::size_t i = 0; i < bucket_count_; ++i) b[i] = Bucket{};
+}
+
+std::uint64_t TieredKvStore::hash_key(std::uint64_t key) {
+  // SplitMix64 finalizer: cheap, well-mixed, fully specified.
+  std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Allocation TieredKvStore::allocate_block(std::size_t bytes, bool prefer_near,
+                                         bool* went_near) {
+  if (prefer_near && near_ != nullptr) {
+    try {
+      Allocation block(*near_, bytes);
+      if (went_near != nullptr) *went_near = true;
+      return block;
+    } catch (const OutOfMemoryError&) {
+      // Near budget exhausted (or exhaustion injected at
+      // memory.space.allocate): spill to the far tier, exactly the
+      // HBW_POLICY_PREFERRED discipline.
+    }
+  }
+  if (went_near != nullptr) *went_near = false;
+  return Allocation(far_, bytes);
+}
+
+const TieredKvStore::Bucket* TieredKvStore::find_bucket(
+    std::uint64_t key) const {
+  const Bucket* b = buckets();
+  const std::size_t mask = bucket_count_ - 1;
+  std::size_t i = static_cast<std::size_t>(hash_key(key)) & mask;
+  while (true) {
+    const Bucket& bucket = b[i];
+    if (bucket.segment == Bucket::kEmpty) return nullptr;
+    if (bucket.key == key) return &bucket;
+    i = (i + 1) & mask;
+  }
+}
+
+void TieredKvStore::index_insert(std::uint64_t key, std::uint32_t segment,
+                                 std::uint32_t slot) {
+  Bucket* b = buckets();
+  const std::size_t mask = bucket_count_ - 1;
+  std::size_t i = static_cast<std::size_t>(hash_key(key)) & mask;
+  while (b[i].segment != Bucket::kEmpty) i = (i + 1) & mask;
+  b[i] = Bucket{key, segment, slot};
+}
+
+void TieredKvStore::grow_index() {
+  const std::size_t old_count = bucket_count_;
+  Allocation old_block = std::move(index_);
+  const Bucket* old_buckets = static_cast<const Bucket*>(old_block.get());
+
+  bucket_count_ = old_count * 2;
+  index_ = allocate_block(bucket_count_ * sizeof(Bucket),
+                          config_.index_prefers_near, &index_near_);
+  Bucket* b = buckets();
+  for (std::size_t i = 0; i < bucket_count_; ++i) b[i] = Bucket{};
+  for (std::size_t i = 0; i < old_count; ++i) {
+    if (old_buckets[i].segment != Bucket::kEmpty) {
+      index_insert(old_buckets[i].key, old_buckets[i].segment,
+                   old_buckets[i].slot);
+    }
+  }
+}
+
+void TieredKvStore::append_segment() {
+  SegmentInfo seg;
+  bool went_near = false;
+  seg.block = allocate_block(segment_bytes_, /*prefer_near=*/true,
+                             &went_near);
+  seg.near = went_near;
+  if (went_near) ++near_segments_;
+  segments_.push_back(std::move(seg));
+  monitor_.add_segment();
+}
+
+bool TieredKvStore::put(std::uint64_t key, const void* value) {
+  if (const Bucket* hit = find_bucket(key)) {
+    SegmentInfo& seg = segments_[hit->segment];
+    std::uint8_t* rec = record_ptr(seg, hit->slot);
+    std::memcpy(rec + sizeof(std::uint64_t), value, config_.value_bytes);
+    return false;
+  }
+
+  if (static_cast<double>(records_ + 1) >
+      static_cast<double>(bucket_count_) * config_.index_max_load) {
+    grow_index();
+  }
+  if (segments_.empty() ||
+      segments_.back().count == config_.records_per_segment) {
+    append_segment();
+  }
+  SegmentInfo& seg = segments_.back();
+  const auto segment = static_cast<std::uint32_t>(segments_.size() - 1);
+  const auto slot = static_cast<std::uint32_t>(seg.count);
+  std::uint8_t* rec = record_ptr(seg, slot);
+  std::memcpy(rec, &key, sizeof(key));
+  std::memcpy(rec + sizeof(key), value, config_.value_bytes);
+  ++seg.count;
+  ++records_;
+  index_insert(key, segment, slot);
+  return true;
+}
+
+bool TieredKvStore::get(std::uint64_t key, void* out, std::size_t shard,
+                        bool* was_near) {
+  const Bucket* hit = find_bucket(key);
+  if (hit == nullptr) return false;
+  const SegmentInfo& seg = segments_[hit->segment];
+  const std::uint8_t* rec = record_ptr(seg, hit->slot);
+  std::memcpy(out, rec + sizeof(std::uint64_t), config_.value_bytes);
+  monitor_.record(shard, hit->segment);
+  if (was_near != nullptr) *was_near = seg.near;
+  return true;
+}
+
+bool TieredKvStore::contains(std::uint64_t key) const {
+  return find_bucket(key) != nullptr;
+}
+
+void TieredKvStore::move_segment(std::size_t segment, bool to_near) {
+  SegmentInfo& seg = segments_.at(segment);
+  if (seg.near == to_near) return;
+  if (to_near) {
+    MLM_CHECK_MSG(near_ != nullptr,
+                  "move_segment to near: hierarchy has no near tier");
+  }
+  MemorySpace& target = to_near ? *near_ : far_;
+  Allocation moved(target, segment_bytes_);  // throws OutOfMemoryError
+  std::memcpy(moved.get(), seg.block.get(), segment_bytes_);
+  seg.block = std::move(moved);
+  if (seg.near != to_near) {
+    if (to_near) {
+      ++near_segments_;
+    } else {
+      --near_segments_;
+    }
+  }
+  seg.near = to_near;
+}
+
+KvStoreStats TieredKvStore::stats() const {
+  KvStoreStats s;
+  s.records = records_;
+  s.segments = segments_.size();
+  s.near_segments = near_segments_;
+  s.near_segment_bytes =
+      static_cast<std::uint64_t>(near_segments_) * segment_bytes_;
+  s.far_segment_bytes =
+      static_cast<std::uint64_t>(segments_.size() - near_segments_) *
+      segment_bytes_;
+  s.index_bytes = bucket_count_ * sizeof(Bucket);
+  s.index_near = index_near_;
+  s.near_capacity_bytes = near_ != nullptr ? near_->capacity_bytes() : 0;
+  return s;
+}
+
+std::uint64_t TieredKvStore::contents_digest() const {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const SegmentInfo& seg : segments_) {
+    const auto* bytes = static_cast<const std::uint8_t*>(seg.block.get());
+    const std::size_t n = seg.count * record_bytes_;
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+}  // namespace mlm::kv

@@ -1,0 +1,72 @@
+#include "mlm/kvstore/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mlm/support/error.h"
+#include "mlm/support/rng.h"
+
+namespace mlm::kv {
+
+const char* to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::Uniform:
+      return "uniform";
+    case TraceKind::Zipfian:
+      return "zipfian";
+  }
+  return "?";
+}
+
+std::vector<std::uint64_t> trace_key_permutation(std::size_t keys,
+                                                 std::uint64_t seed) {
+  std::vector<std::uint64_t> perm(keys);
+  for (std::size_t i = 0; i < keys; ++i) perm[i] = i;
+  // Seeded Fisher-Yates; a distinct stream from the draw stream so
+  // changing `ops` never changes which keys are hot.
+  Xoshiro256ss rng(seed ^ 0x5ca4b1e5u);
+  for (std::size_t i = keys; i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.bounded(i));
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+std::vector<std::uint64_t> generate_trace(const TraceConfig& config) {
+  MLM_REQUIRE(config.keys > 0, "trace key space must be non-empty");
+  MLM_REQUIRE(config.skew >= 0.0, "zipf skew must be >= 0");
+
+  std::vector<std::uint64_t> trace(config.ops);
+  Xoshiro256ss rng(config.seed);
+
+  if (config.kind == TraceKind::Uniform) {
+    for (auto& key : trace) key = rng.bounded(config.keys);
+    return trace;
+  }
+
+  // Zipf CDF over ranks: weight(r) = 1 / (r+1)^s.  std::pow is
+  // correctly rounded by glibc, so the CDF — and every binary-search
+  // draw below — is bit-identical across hosts.
+  std::vector<double> cdf(config.keys);
+  double total = 0.0;
+  for (std::size_t r = 0; r < config.keys; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), config.skew);
+    cdf[r] = total;
+  }
+  for (auto& c : cdf) c /= total;
+
+  const std::vector<std::uint64_t> perm =
+      trace_key_permutation(config.keys, config.seed);
+  for (auto& key : trace) {
+    const double u = rng.uniform01();
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    const std::size_t rank = it == cdf.end()
+                                 ? config.keys - 1
+                                 : static_cast<std::size_t>(
+                                       std::distance(cdf.begin(), it));
+    key = perm[rank];
+  }
+  return trace;
+}
+
+}  // namespace mlm::kv

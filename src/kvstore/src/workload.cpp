@@ -1,0 +1,100 @@
+#include "mlm/kvstore/workload.h"
+
+#include <vector>
+
+#include "mlm/kvstore/store.h"
+#include "mlm/parallel/executor.h"
+#include "mlm/support/error.h"
+
+namespace mlm::kv {
+
+namespace {
+
+/// Per-worker lookup tallies, cache-line separated so concurrent
+/// workers never write the same line.
+struct alignas(64) WorkerTally {
+  std::size_t near_hits = 0;
+  std::size_t far_hits = 0;
+  std::size_t misses = 0;
+  std::uint64_t checksum = 0;  ///< forces the value reads to be real
+};
+
+}  // namespace
+
+WorkloadStats run_workload(TieredKvStore& store, Executor& exec,
+                           const std::vector<std::uint64_t>& trace,
+                           const WorkloadConfig& config) {
+  MLM_REQUIRE(config.epoch_ops > 0, "epoch_ops must be > 0");
+
+  const std::size_t workers = exec.size() == 0 ? 1 : exec.size();
+  store.monitor().ensure_shards(workers);
+
+  WorkloadStats stats;
+  stats.ops = trace.size();
+
+  MigrationEngine engine(store, config.degrade);
+  std::vector<WorkerTally> tallies(workers);
+  const std::size_t value_bytes = store.config().value_bytes;
+  // Per-worker value scratch, strides rounded to cache lines so
+  // concurrent copies never share one.
+  const std::size_t scratch_stride = (value_bytes + 63) / 64 * 64;
+  std::vector<std::uint8_t> scratch(workers * scratch_stride);
+
+  for (std::size_t begin = 0; begin < trace.size();
+       begin += config.epoch_ops) {
+    const std::size_t end = begin + config.epoch_ops < trace.size()
+                                ? begin + config.epoch_ops
+                                : trace.size();
+
+    // 1. Lookups: worker w serves trace[begin..end) indices with
+    //    index % workers == w, counting into shard w / tallies[w].
+    exec.run_on_all([&, begin, end](std::size_t w) {
+      WorkerTally& tally = tallies[w];
+      std::uint8_t* out = scratch.data() + w * scratch_stride;
+      for (std::size_t i = begin + w; i < end; i += workers) {
+        bool was_near = false;
+        if (store.get(trace[i], out, w, &was_near)) {
+          if (was_near) {
+            ++tally.near_hits;
+          } else {
+            ++tally.far_hits;
+          }
+          tally.checksum ^= out[0];
+        } else {
+          ++tally.misses;
+        }
+      }
+    });
+
+    // 2. Fold the epoch's shard counters into decayed heat.
+    store.monitor().fold_epoch();
+
+    // 3-4. Decide and migrate.  The plan depends only on folded heat
+    //      (an order-independent sum), so it is schedule-invariant.
+    const MigrationPlan plan =
+        plan_migration(store, store.monitor(), config.policy);
+    stats.placement_trace.push_back(plan.to_string());
+    if (!plan.empty()) {
+      MigrationStats moved = engine.run(plan);
+      stats.migration.steps += moved.steps;
+      stats.migration.promoted += moved.promoted;
+      stats.migration.demoted += moved.demoted;
+      stats.migration.retries += moved.retries;
+      stats.migration.abandoned += moved.abandoned;
+      stats.migration.moved_bytes += moved.moved_bytes;
+      for (auto& ev : moved.degradations) {
+        stats.migration.degradations.push_back(std::move(ev));
+      }
+    }
+    ++stats.epochs;
+  }
+
+  for (const WorkerTally& tally : tallies) {
+    stats.near_hits += tally.near_hits;
+    stats.far_hits += tally.far_hits;
+    stats.misses += tally.misses;
+  }
+  return stats;
+}
+
+}  // namespace mlm::kv

@@ -132,5 +132,25 @@ TEST(BenchCompare, NewCasesAreInformationalOnly) {
   EXPECT_EQ(result.findings[0].kind, FindingKind::NewCase);
 }
 
+TEST(BenchCompare, RequireAllFailsUnbaselinedCases) {
+  const RunReport base = baseline_report();
+  RunReport current = base;
+  current.cases.push_back(make_case("s", "brand_new", {det("x", 1.0)}));
+  CompareOptions options;
+  options.require_all = true;
+  const CompareResult result = compare_reports(current, base, options);
+  EXPECT_FALSE(result.ok);
+  ASSERT_EQ(result.failures().size(), 1u);
+  EXPECT_EQ(result.failures()[0].kind, FindingKind::UnbaselinedCase);
+  EXPECT_EQ(result.failures()[0].case_name, "s/brand_new");
+}
+
+TEST(BenchCompare, RequireAllPassesWhenBaselineCoversEverything) {
+  const RunReport base = baseline_report();
+  CompareOptions options;
+  options.require_all = true;
+  EXPECT_TRUE(compare_reports(base, base, options).ok);
+}
+
 }  // namespace
 }  // namespace mlm::bench

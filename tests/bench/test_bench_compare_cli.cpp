@@ -1,0 +1,151 @@
+// Exit-code contract of tools/bench_compare, exercised end-to-end by
+// spawning the real binary on real JSON fixtures.  CI keys off the
+// codes, so they are load-bearing API:
+//
+//   0 — comparison ran and passed
+//   1 — comparison ran and found a regression
+//   2 — usage error (bad flags / wrong arity); the gate never ran
+//   3 — missing or unparsable artifact; the gate itself is broken
+//
+// The library-level pass/fail logic is covered in
+// test_bench_compare.cpp; these tests pin the process boundary: the
+// mapping from CompareResult/parse failure to exit status, and that an
+// exit-3 diagnostic names the offending suite, case, and metric so the
+// CI log points at the broken entry rather than a bare JSON error.
+//
+// The binary path and fixture directory are baked in by CMake
+// (MLM_BENCH_COMPARE_BIN, MLM_BENCH_FIXTURE_DIR), so the tests run from
+// any working directory ctest chooses.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr, interleaved
+};
+
+// Run bench_compare with `args`, capturing both streams.  popen gives
+// the shell-reported status; WEXITSTATUS recovers the exit code.
+RunResult run_compare(const std::string& args) {
+  const std::string cmd =
+      std::string(MLM_BENCH_COMPARE_BIN) + " " + args + " 2>&1";
+  RunResult result;
+  FILE* pipe = ::popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buf[512];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) {
+    result.output += buf;
+  }
+  const int status = ::pclose(pipe);
+  if (WIFEXITED(status)) result.exit_code = WEXITSTATUS(status);
+  return result;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string(MLM_BENCH_FIXTURE_DIR) + "/" + name;
+}
+
+TEST(BenchCompareCli, MatchingArtifactsExitZero) {
+  const RunResult r =
+      run_compare(fixture("current_ok.json") + " " + fixture("baseline.json"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("OK (0 failures)"), std::string::npos) << r.output;
+}
+
+TEST(BenchCompareCli, DeterministicMismatchExitsOne) {
+  const RunResult r = run_compare(fixture("current_regression.json") + " " +
+                                  fixture("baseline.json") + " --ignore-wall");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("deterministic mismatch"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("REGRESSION"), std::string::npos) << r.output;
+}
+
+TEST(BenchCompareCli, WallRegressionExitsOneUnlessIgnored) {
+  const std::string pair =
+      fixture("current_wall_slow.json") + " " + fixture("baseline.json");
+  const RunResult gated = run_compare(pair);
+  EXPECT_EQ(gated.exit_code, 1) << gated.output;
+  EXPECT_NE(gated.output.find("slower by"), std::string::npos) << gated.output;
+
+  // Same artifacts, wall metrics skipped: the deterministic metric
+  // still matches, so the cross-machine CI form passes.
+  const RunResult ignored = run_compare(pair + " --ignore-wall");
+  EXPECT_EQ(ignored.exit_code, 0) << ignored.output;
+}
+
+TEST(BenchCompareCli, RequireAllTurnsNewCaseIntoFailure) {
+  const std::string pair =
+      fixture("current_extra_case.json") + " " + fixture("baseline.json");
+  const RunResult lax = run_compare(pair);
+  EXPECT_EQ(lax.exit_code, 0) << lax.output;
+  EXPECT_NE(lax.output.find("note: new case"), std::string::npos)
+      << lax.output;
+
+  const RunResult strict = run_compare(pair + " --require-all");
+  EXPECT_EQ(strict.exit_code, 1) << strict.output;
+  EXPECT_NE(strict.output.find("s/unbaselined_case"), std::string::npos)
+      << strict.output;
+  EXPECT_NE(strict.output.find("--require-all"), std::string::npos)
+      << strict.output;
+}
+
+TEST(BenchCompareCli, UsageErrorsExitTwo) {
+  // Wrong arity: one artifact instead of two.
+  const RunResult one_arg = run_compare(fixture("baseline.json"));
+  EXPECT_EQ(one_arg.exit_code, 2) << one_arg.output;
+  EXPECT_NE(one_arg.output.find("expected exactly two artifacts"),
+            std::string::npos)
+      << one_arg.output;
+
+  // Unknown flag.
+  const RunResult bad_flag =
+      run_compare(fixture("current_ok.json") + " " + fixture("baseline.json") +
+                  " --no-such-flag");
+  EXPECT_EQ(bad_flag.exit_code, 2) << bad_flag.output;
+
+  // Invalid threshold.
+  const RunResult bad_threshold =
+      run_compare(fixture("current_ok.json") + " " + fixture("baseline.json") +
+                  " --threshold=-0.5");
+  EXPECT_EQ(bad_threshold.exit_code, 2) << bad_threshold.output;
+}
+
+TEST(BenchCompareCli, MissingArtifactExitsThree) {
+  const RunResult r = run_compare(fixture("does_not_exist.json") + " " +
+                                  fixture("baseline.json"));
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("cannot load current artifact"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("gate failure"), std::string::npos) << r.output;
+}
+
+TEST(BenchCompareCli, TruncatedJsonExitsThree) {
+  const RunResult r = run_compare(fixture("current_ok.json") + " " +
+                                  fixture("truncated.json"));
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("cannot load baseline artifact"), std::string::npos)
+      << r.output;
+}
+
+TEST(BenchCompareCli, ParseFailureNamesSuiteCaseAndMetric) {
+  // broken_metric.json is valid JSON whose deterministic metric lacks
+  // its "value" key.  The exit-3 diagnostic must carry the parse_metric
+  // and parse_case frames so the log names the offending entry.
+  const RunResult r = run_compare(fixture("broken_metric.json") + " " +
+                                  fixture("baseline.json"));
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("parse_metric"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("metric 'sim_seconds'"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("parse_case"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("suite 's'"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("case 's/det_case'"), std::string::npos) << r.output;
+}
+
+}  // namespace

@@ -177,6 +177,7 @@ TEST(FaultRegistry, WellKnownCatalogIsPreRegistered) {
   EXPECT_TRUE(has(sites::kExternalSortInner));
   EXPECT_TRUE(has(sites::kExternalSortStageOut));
   EXPECT_TRUE(has(sites::kExternalSortMerge));
+  EXPECT_TRUE(has(sites::kKvMigrateStep));
   // Sorted and duplicate-free.
   EXPECT_TRUE(std::is_sorted(sites.begin(), sites.end()));
   EXPECT_EQ(std::adjacent_find(sites.begin(), sites.end()), sites.end());

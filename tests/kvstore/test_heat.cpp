@@ -1,0 +1,125 @@
+// HeatMonitor: sharded counting, epoch folding, decay, and the
+// order-independence that underwrites migration determinism.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mlm/kvstore/heat.h"
+
+namespace mlm::kv {
+namespace {
+
+TEST(HeatMonitor, StartsCold) {
+  HeatMonitor m(2);
+  m.add_segment();
+  m.add_segment();
+  EXPECT_EQ(m.shards(), 2u);
+  EXPECT_EQ(m.segments(), 2u);
+  EXPECT_EQ(m.epoch(), 0u);
+  EXPECT_EQ(m.heat(0), 0u);
+  EXPECT_EQ(m.last_access_epoch(1), 0u);
+  EXPECT_EQ(m.total_accesses(), 0u);
+}
+
+TEST(HeatMonitor, FoldSumsAcrossShards) {
+  HeatMonitor m(3);
+  m.add_segment();
+  m.add_segment();
+  m.record(0, 0);
+  m.record(1, 0);
+  m.record(2, 0);
+  m.record(1, 1);
+
+  const std::vector<std::uint64_t> counts = m.fold_epoch();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(m.heat(0), 3u);
+  EXPECT_EQ(m.heat(1), 1u);
+  EXPECT_EQ(m.epoch(), 1u);
+  EXPECT_EQ(m.total_accesses(), 4u);
+
+  // Shards are zeroed by the fold: an idle epoch decays heat.
+  const std::vector<std::uint64_t> idle = m.fold_epoch();
+  EXPECT_EQ(idle[0], 0u);
+  EXPECT_EQ(m.heat(0), 1u);  // 3/2 = 1
+  EXPECT_EQ(m.heat(1), 0u);
+}
+
+TEST(HeatMonitor, DecayHalvesThenAdds) {
+  HeatMonitor m(1);
+  m.add_segment();
+  for (int i = 0; i < 8; ++i) m.record(0, 0);
+  m.fold_epoch();
+  EXPECT_EQ(m.heat(0), 8u);
+  for (int i = 0; i < 2; ++i) m.record(0, 0);
+  m.fold_epoch();
+  EXPECT_EQ(m.heat(0), 6u);  // 8/2 + 2
+}
+
+TEST(HeatMonitor, LastAccessEpochTracksMostRecentActivity) {
+  HeatMonitor m(1);
+  m.add_segment();
+  m.add_segment();
+  m.record(0, 0);
+  m.fold_epoch();  // epoch 1: segment 0 active
+  m.record(0, 1);
+  m.fold_epoch();  // epoch 2: segment 1 active
+  EXPECT_EQ(m.last_access_epoch(0), 1u);
+  EXPECT_EQ(m.last_access_epoch(1), 2u);
+}
+
+TEST(HeatMonitor, EnsureShardsGrowsWithoutLosingCounts) {
+  HeatMonitor m(1);
+  m.add_segment();
+  m.record(0, 0);
+  m.ensure_shards(4);
+  EXPECT_EQ(m.shards(), 4u);
+  m.record(3, 0);
+  const std::vector<std::uint64_t> counts = m.fold_epoch();
+  EXPECT_EQ(counts[0], 2u);
+  // Shrinking is never done; ensure_shards with fewer is a no-op.
+  m.ensure_shards(2);
+  EXPECT_EQ(m.shards(), 4u);
+}
+
+TEST(HeatMonitor, SegmentsAddedMidEpochFoldCorrectly) {
+  HeatMonitor m(2);
+  m.add_segment();
+  m.record(1, 0);
+  m.add_segment();  // appears in every shard, count 0
+  m.record(0, 1);
+  const std::vector<std::uint64_t> counts = m.fold_epoch();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], 1u);
+  EXPECT_EQ(counts[1], 1u);
+}
+
+// The determinism cornerstone: the fold is a plain sum, so any
+// distribution of the same accesses across shards — i.e. any executor
+// schedule — folds to the same counts.
+TEST(HeatMonitor, FoldIsScheduleIndependent) {
+  const std::vector<std::uint64_t> per_segment = {5, 0, 3, 12, 1};
+
+  auto fold_with_distribution = [&](std::uint64_t salt) {
+    HeatMonitor m(4);
+    for (std::size_t s = 0; s < per_segment.size(); ++s) m.add_segment();
+    std::uint64_t x = salt;
+    for (std::size_t s = 0; s < per_segment.size(); ++s) {
+      for (std::uint64_t i = 0; i < per_segment[s]; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        m.record(static_cast<std::size_t>(x >> 62), s);
+      }
+    }
+    return m.fold_epoch();
+  };
+
+  const std::vector<std::uint64_t> a = fold_with_distribution(1);
+  for (std::uint64_t salt = 2; salt < 10; ++salt) {
+    EXPECT_EQ(fold_with_distribution(salt), a) << "salt " << salt;
+  }
+}
+
+}  // namespace
+}  // namespace mlm::kv

@@ -1,0 +1,281 @@
+// MigrationEngine: plan execution step by step, the degradation ladder
+// at kvstore.migrate.step (retry, abandon, structured error), and the
+// MigrationJob adapter interleaving with sort jobs under the service
+// scheduler.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "mlm/core/external_sort.h"
+#include "mlm/fault/fault.h"
+#include "mlm/kvstore/migration.h"
+#include "mlm/kvstore/migration_job.h"
+#include "mlm/kvstore/store.h"
+#include "mlm/memory/memory_hierarchy.h"
+#include "mlm/memory/memory_space.h"
+#include "mlm/parallel/deterministic_executor.h"
+#include "mlm/service/job_scheduler.h"
+#include "mlm/service/sort_job.h"
+#include "mlm/sort/input_gen.h"
+#include "mlm/support/error.h"
+#include "mlm/support/units.h"
+
+namespace mlm::kv {
+namespace {
+
+using service::JobConfig;
+using service::JobScheduler;
+using service::JobSchedulerConfig;
+using service::JobState;
+using service::ServiceStats;
+
+HierarchyConfig two_tier(std::uint64_t mcdram_bytes) {
+  HierarchyConfig cfg;
+  cfg.tiers = {TierConfig{"ddr", MemKind::DDR, 0},
+               TierConfig{"mcdram", MemKind::MCDRAM, mcdram_bytes}};
+  return cfg;
+}
+
+KvConfig small_config() {
+  KvConfig cfg;
+  cfg.value_bytes = 56;
+  cfg.records_per_segment = 16;  // 1 KiB segments
+  cfg.index_prefers_near = false;
+  return cfg;
+}
+
+/// 8 segments over a 2-segment near tier (0-1 near), plus a plan that
+/// swaps them for {5, 6}.
+struct Fixture {
+  Fixture() : hier(two_tier(KiB(2))), store(hier, small_config()) {
+    std::vector<std::uint8_t> value(56, 0x5A);
+    for (std::uint64_t k = 0; k < 8 * 16; ++k) store.put(k, value.data());
+    plan.demote = {0, 1};
+    plan.promote = {5, 6};
+    digest = store.contents_digest();
+  }
+
+  MemoryHierarchy hier;
+  TieredKvStore store;
+  MigrationPlan plan;
+  std::uint64_t digest = 0;
+};
+
+TEST(MigrationEngine, RunExecutesPlanAndPreservesDigest) {
+  Fixture f;
+  MigrationEngine engine(f.store);
+  const MigrationStats stats = engine.run(f.plan);
+  EXPECT_EQ(stats.steps, 4u);
+  EXPECT_EQ(stats.demoted, 2u);
+  EXPECT_EQ(stats.promoted, 2u);
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.abandoned, 0u);
+  EXPECT_EQ(stats.moved_bytes, 4 * f.store.segment_bytes());
+  EXPECT_TRUE(stats.degradations.empty());
+
+  EXPECT_FALSE(f.store.segment_near(0));
+  EXPECT_FALSE(f.store.segment_near(1));
+  EXPECT_TRUE(f.store.segment_near(5));
+  EXPECT_TRUE(f.store.segment_near(6));
+  EXPECT_EQ(f.store.near_segment_count(), 2u);
+  EXPECT_EQ(f.store.contents_digest(), f.digest);
+}
+
+TEST(MigrationEngine, StepperMovesOneSegmentPerStep) {
+  Fixture f;
+  MigrationEngine engine(f.store);
+  MigrationEngine::Stepper stepper(engine, f.plan);
+  EXPECT_FALSE(stepper.done());
+
+  ASSERT_TRUE(stepper.step());  // demote 0
+  EXPECT_FALSE(f.store.segment_near(0));
+  EXPECT_TRUE(f.store.segment_near(1));
+  ASSERT_TRUE(stepper.step());  // demote 1
+  ASSERT_TRUE(stepper.step());  // promote 5
+  EXPECT_TRUE(f.store.segment_near(5));
+  EXPECT_FALSE(stepper.step());  // promote 6: last step
+  EXPECT_TRUE(stepper.done());
+  const MigrationStats stats = stepper.finish();
+  EXPECT_EQ(stats.steps, 4u);
+}
+
+TEST(MigrationEngine, EmptyPlanIsANoOp) {
+  Fixture f;
+  MigrationEngine engine(f.store);
+  const MigrationStats stats = engine.run(MigrationPlan{});
+  EXPECT_EQ(stats.steps, 0u);
+  EXPECT_EQ(f.store.contents_digest(), f.digest);
+}
+
+TEST(MigrationEngine, InjectedFaultRetriesThenSucceeds) {
+  Fixture f;
+  core::DegradePolicy policy;
+  policy.max_retries = 2;
+  MigrationEngine engine(f.store, policy);
+
+  fault::FaultPlan fp;
+  fp.arm(fault::sites::kKvMigrateStep, fault::FaultTrigger::nth_call(0));
+  fault::ScopedFaultInjector inject(fp);
+
+  const MigrationStats stats = engine.run(f.plan);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.abandoned, 0u);
+  EXPECT_EQ(stats.demoted, 2u);
+  EXPECT_EQ(stats.promoted, 2u);
+  ASSERT_EQ(stats.degradations.size(), 1u);
+  EXPECT_EQ(stats.degradations[0].site, fault::sites::kKvMigrateStep);
+  EXPECT_EQ(stats.degradations[0].action, "retry");
+  EXPECT_EQ(stats.degradations[0].chunk, 0);  // segment 0, first move
+  EXPECT_EQ(f.store.contents_digest(), f.digest);
+}
+
+TEST(MigrationEngine, PermanentFaultAbandonsMoveUnderTierFallback) {
+  Fixture f;
+  core::DegradePolicy policy;
+  policy.max_retries = 1;
+  policy.allow_tier_fallback = true;
+  MigrationEngine engine(f.store, policy);
+
+  fault::FaultPlan fp;
+  fp.arm(fault::sites::kKvMigrateStep, fault::FaultTrigger::always());
+  fault::ScopedFaultInjector inject(fp);
+
+  const MigrationStats stats = engine.run(f.plan);
+  // Every move: one retry, then abandoned; placement is untouched but
+  // the run completes and the records survive.
+  EXPECT_EQ(stats.steps, 4u);
+  EXPECT_EQ(stats.abandoned, 4u);
+  EXPECT_EQ(stats.retries, 4u);
+  EXPECT_EQ(stats.demoted, 0u);
+  EXPECT_EQ(stats.promoted, 0u);
+  EXPECT_TRUE(f.store.segment_near(0));
+  EXPECT_FALSE(f.store.segment_near(5));
+  EXPECT_EQ(f.store.contents_digest(), f.digest);
+  const auto abandoned = std::count_if(
+      stats.degradations.begin(), stats.degradations.end(),
+      [](const core::DegradationEvent& e) {
+        return e.action == "tier_fallback";
+      });
+  EXPECT_EQ(abandoned, 4);
+}
+
+TEST(MigrationEngine, FaultWithoutLadderThrowsStructuredError) {
+  Fixture f;
+  MigrationEngine engine(f.store);  // default policy: ladder off
+
+  fault::FaultPlan fp;
+  fp.arm(fault::sites::kKvMigrateStep, fault::FaultTrigger::always());
+  fault::ScopedFaultInjector inject(fp);
+
+  try {
+    engine.run(f.plan);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    ASSERT_FALSE(e.chain().empty());
+    const ErrorFrame& frame = e.chain().front();
+    EXPECT_EQ(frame.op, "kv_migrate_step");
+    EXPECT_EQ(frame.chunk, 0);  // first move: demote segment 0
+    EXPECT_EQ(frame.tier, "far");
+    EXPECT_NE(frame.detail.find("demote"), std::string::npos);
+  }
+  EXPECT_EQ(f.store.contents_digest(), f.digest);
+}
+
+TEST(MigrationEngine, RealNearExhaustionRidesTheLadder) {
+  Fixture f;
+  core::DegradePolicy policy;
+  policy.allow_tier_fallback = true;
+  MigrationEngine engine(f.store, policy);
+
+  // Empty the near tier, then squat on the whole budget so the promote
+  // hits a real OutOfMemoryError (no injected fault involved).
+  MigrationPlan clear;
+  clear.demote = {0, 1};
+  engine.run(clear);
+  Allocation squatter(*f.store.near_space(), KiB(2));
+
+  MigrationPlan promote_only;
+  promote_only.promote = {5};
+  const MigrationStats stats = engine.run(promote_only);
+  EXPECT_EQ(stats.abandoned, 1u);
+  EXPECT_FALSE(f.store.segment_near(5));
+  EXPECT_EQ(f.store.contents_digest(), f.digest);
+}
+
+TEST(MigrationJob, RunsThroughTheServiceSchedulerWithSorts) {
+  // A migration job and two sort tenants share the scheduler; the
+  // migration's segment moves interleave with sort steps at the
+  // suspension points, and everything still completes and verifies.
+  // (Three tiers: the external sorter stages across adjacent pairs.)
+  HierarchyConfig service_cfg;
+  service_cfg.tiers = {TierConfig{"nvm", MemKind::NVM, 0},
+                       TierConfig{"ddr", MemKind::DDR, MiB(2)},
+                       TierConfig{"mcdram", MemKind::MCDRAM, KiB(64)}};
+  MemoryHierarchy service_hier(service_cfg);
+
+  // The store lives in its own budgeted tenant view: near-tier use is
+  // capped at the grant, not at the whole arena.
+  MemoryHierarchy kv_view(service_hier, {0, 0, KiB(2)}, "kv");
+  TieredKvStore store(kv_view, small_config());
+  std::vector<std::uint8_t> value(56, 0x5A);
+  for (std::uint64_t k = 0; k < 8 * 16; ++k) store.put(k, value.data());
+  const std::uint64_t digest = store.contents_digest();
+
+  MigrationPlan plan;
+  plan.demote = {0, 1};
+  plan.promote = {5, 6};
+  MigrationEngine engine(store);
+  MigrationStats migration_stats;
+
+  DeterministicScheduler sched(17);
+  DeterministicExecutor driver(sched, 2, "driver");
+  JobSchedulerConfig cfg;
+  cfg.max_concurrent = 3;
+  cfg.degrade.allow_tier_fallback = true;
+  JobScheduler svc(service_hier, driver, cfg);
+
+  std::vector<std::int64_t> data_a =
+      sort::make_input(1024, sort::InputOrder::Random, 7);
+  std::vector<std::int64_t> data_b =
+      sort::make_input(768, sort::InputOrder::Reverse, 8);
+  core::ExternalSortConfig sort_cfg;
+  sort_cfg.outer_chunk_elements = 256;
+
+  JobConfig sort_job;
+  sort_job.name = "sort-a";
+  sort_job.near_budget_bytes = KiB(16);
+  const std::uint64_t id_a = svc.submit(
+      sort_job,
+      service::make_sort_job(std::span<std::int64_t>(data_a), sort_cfg));
+  sort_job.name = "sort-b";
+  const std::uint64_t id_b = svc.submit(
+      sort_job,
+      service::make_sort_job(std::span<std::int64_t>(data_b), sort_cfg));
+
+  JobConfig mig_job;
+  mig_job.name = "kv-migrate";
+  mig_job.near_budget_bytes = 0;  // the store's own grant caps near use
+  const std::uint64_t id_m = svc.submit(
+      mig_job, make_migration_job(engine, plan, &migration_stats));
+
+  const ServiceStats metrics = svc.run_all();
+  EXPECT_EQ(metrics.jobs_completed, 3u);
+  EXPECT_EQ(svc.state(id_a), JobState::Completed);
+  EXPECT_EQ(svc.state(id_b), JobState::Completed);
+  EXPECT_EQ(svc.state(id_m), JobState::Completed);
+
+  EXPECT_TRUE(std::is_sorted(data_a.begin(), data_a.end()));
+  EXPECT_TRUE(std::is_sorted(data_b.begin(), data_b.end()));
+  EXPECT_EQ(migration_stats.demoted, 2u);
+  EXPECT_EQ(migration_stats.promoted, 2u);
+  EXPECT_EQ(svc.job_stats(id_m).steps, 4u);
+  EXPECT_TRUE(store.segment_near(5));
+  EXPECT_TRUE(store.segment_near(6));
+  EXPECT_EQ(store.contents_digest(), digest);
+}
+
+}  // namespace
+}  // namespace mlm::kv

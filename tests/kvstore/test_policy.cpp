@@ -1,0 +1,175 @@
+// Placement policies: plan_migration under static / LRU-epoch /
+// frequency-threshold, budget handling, and plan determinism.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mlm/kvstore/policy.h"
+#include "mlm/kvstore/store.h"
+#include "mlm/memory/memory_hierarchy.h"
+#include "mlm/support/error.h"
+#include "mlm/support/units.h"
+
+namespace mlm::kv {
+namespace {
+
+HierarchyConfig two_tier(std::uint64_t mcdram_bytes) {
+  HierarchyConfig cfg;
+  cfg.tiers = {TierConfig{"ddr", MemKind::DDR, 0},
+               TierConfig{"mcdram", MemKind::MCDRAM, mcdram_bytes}};
+  return cfg;
+}
+
+KvConfig small_config() {
+  KvConfig cfg;
+  cfg.value_bytes = 56;
+  cfg.records_per_segment = 16;  // 1 KiB segments
+  cfg.index_prefers_near = false;
+  return cfg;
+}
+
+// 8 segments over a 2-segment near tier; segments 0-1 start near.
+struct Fixture {
+  Fixture() : hier(two_tier(KiB(2))), store(hier, small_config()) {
+    std::vector<std::uint8_t> value(56, 0);
+    for (std::uint64_t k = 0; k < 8 * 16; ++k) store.put(k, value.data());
+    EXPECT_EQ(store.segment_count(), 8u);
+    EXPECT_EQ(store.near_segment_count(), 2u);
+  }
+
+  /// Record `n` accesses to `segment` (shard 0) without folding.
+  void touch(std::size_t segment, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) store.monitor().record(0, segment);
+  }
+
+  MemoryHierarchy hier;
+  TieredKvStore store;
+};
+
+TEST(PlacementPolicy, Names) {
+  EXPECT_STREQ(to_string(PlacementPolicy::StaticNearFirst), "static");
+  EXPECT_STREQ(to_string(PlacementPolicy::LruEpoch), "lru");
+  EXPECT_STREQ(to_string(PlacementPolicy::FreqThreshold), "freq");
+  EXPECT_EQ(placement_policy_from_string("static"),
+            PlacementPolicy::StaticNearFirst);
+  EXPECT_EQ(placement_policy_from_string("lru"), PlacementPolicy::LruEpoch);
+  EXPECT_EQ(placement_policy_from_string("freq"),
+            PlacementPolicy::FreqThreshold);
+  EXPECT_THROW(placement_policy_from_string("hot"), InvalidArgumentError);
+}
+
+TEST(PlacementPolicy, StaticNeverMigrates) {
+  Fixture f;
+  f.touch(7, 100);
+  f.store.monitor().fold_epoch();
+  PolicyConfig cfg;
+  cfg.policy = PlacementPolicy::StaticNearFirst;
+  const MigrationPlan plan = plan_migration(f.store, f.store.monitor(), cfg);
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.to_string(), "-");
+}
+
+TEST(PlacementPolicy, FreqPromotesHottestWithinBudget) {
+  Fixture f;
+  f.touch(5, 50);
+  f.touch(6, 40);
+  f.touch(0, 30);  // already near: stays
+  f.store.monitor().fold_epoch();
+
+  PolicyConfig cfg;  // FreqThreshold, budget derived: 2 segments
+  const MigrationPlan plan = plan_migration(f.store, f.store.monitor(), cfg);
+  // Want-near = {5, 6}: the cold residents demote, 0 (heat 30) misses
+  // the 2-segment budget.
+  EXPECT_EQ(plan.demote, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(plan.promote, (std::vector<std::size_t>{5, 6}));
+  EXPECT_EQ(plan.to_string(), "D:0,1 P:5,6");
+}
+
+TEST(PlacementPolicy, FreqRespectsMinHeat) {
+  Fixture f;
+  f.touch(5, 2);
+  f.store.monitor().fold_epoch();
+  PolicyConfig cfg;
+  cfg.min_heat = 10;  // nothing qualifies
+  const MigrationPlan plan = plan_migration(f.store, f.store.monitor(), cfg);
+  // No segment is eligible for near: both resident segments demote.
+  EXPECT_EQ(plan.demote, (std::vector<std::size_t>{0, 1}));
+  EXPECT_TRUE(plan.promote.empty());
+}
+
+TEST(PlacementPolicy, LruKeepsMostRecentlyAccessed) {
+  Fixture f;
+  f.touch(3, 1);
+  f.store.monitor().fold_epoch();  // epoch 1: segment 3
+  f.touch(4, 1);
+  f.touch(0, 1);
+  f.store.monitor().fold_epoch();  // epoch 2: segments 4, 0
+
+  PolicyConfig cfg;
+  cfg.policy = PlacementPolicy::LruEpoch;
+  const MigrationPlan plan = plan_migration(f.store, f.store.monitor(), cfg);
+  // Most recent: {4, 0} (epoch 2), then 3 (epoch 1) over budget.
+  EXPECT_EQ(plan.demote, (std::vector<std::size_t>{1}));
+  EXPECT_EQ(plan.promote, (std::vector<std::size_t>{4}));
+}
+
+TEST(PlacementPolicy, ExplicitBudgetOverridesDerived) {
+  Fixture f;
+  f.touch(4, 10);
+  f.touch(5, 9);
+  f.touch(6, 8);
+  f.store.monitor().fold_epoch();
+  PolicyConfig cfg;
+  cfg.max_near_segments = 1;
+  const MigrationPlan plan = plan_migration(f.store, f.store.monitor(), cfg);
+  EXPECT_EQ(plan.demote, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(plan.promote, (std::vector<std::size_t>{4}));
+}
+
+TEST(PlacementPolicy, TieBreaksById) {
+  Fixture f;
+  // Equal heat everywhere eligible: lowest ids win the budget.
+  for (std::size_t s = 0; s < 8; ++s) f.touch(s, 5);
+  f.store.monitor().fold_epoch();
+  PolicyConfig cfg;
+  const MigrationPlan plan = plan_migration(f.store, f.store.monitor(), cfg);
+  // Want-near = {0, 1}, which is the current placement: no moves.
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(PlacementPolicy, NoNearTierMeansNoPlan) {
+  HierarchyConfig cfg = two_tier(KiB(2));
+  cfg.mode = McdramMode::Cache;
+  MemoryHierarchy hier(cfg);
+  TieredKvStore store(hier, small_config());
+  std::vector<std::uint8_t> value(56, 0);
+  for (std::uint64_t k = 0; k < 32; ++k) store.put(k, value.data());
+  store.monitor().record(0, 1);
+  store.monitor().fold_epoch();
+  EXPECT_TRUE(
+      plan_migration(store, store.monitor(), PolicyConfig{}).empty());
+}
+
+TEST(PlacementPolicy, PlansAreDeterministic) {
+  PolicyConfig cfg;
+  MigrationPlan first;
+  for (int run = 0; run < 3; ++run) {
+    Fixture f;
+    f.touch(6, 20);
+    f.touch(2, 15);
+    f.touch(0, 10);
+    f.store.monitor().fold_epoch();
+    const MigrationPlan plan =
+        plan_migration(f.store, f.store.monitor(), cfg);
+    if (run == 0) {
+      first = plan;
+    } else {
+      EXPECT_EQ(plan.demote, first.demote);
+      EXPECT_EQ(plan.promote, first.promote);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mlm::kv

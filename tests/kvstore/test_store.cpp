@@ -1,0 +1,208 @@
+// TieredKvStore: record round-trips, near-first segment placement over
+// budgeted hierarchies, index growth, and digest-stable segment moves.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "mlm/kvstore/store.h"
+#include "mlm/memory/memory_hierarchy.h"
+#include "mlm/support/error.h"
+#include "mlm/support/units.h"
+
+namespace mlm::kv {
+namespace {
+
+HierarchyConfig two_tier(std::uint64_t mcdram_bytes) {
+  HierarchyConfig cfg;
+  cfg.tiers = {TierConfig{"ddr", MemKind::DDR, 0},
+               TierConfig{"mcdram", MemKind::MCDRAM, mcdram_bytes}};
+  cfg.mode = McdramMode::Flat;
+  return cfg;
+}
+
+KvConfig small_config() {
+  KvConfig cfg;
+  cfg.value_bytes = 56;          // 64-byte records
+  cfg.records_per_segment = 16;  // 1 KiB segments
+  cfg.initial_buckets = 32;
+  cfg.index_prefers_near = false;  // keep near for segments in this file
+  return cfg;
+}
+
+std::vector<std::uint8_t> value_for(std::uint64_t key, std::size_t bytes) {
+  std::vector<std::uint8_t> v(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    v[i] = static_cast<std::uint8_t>(key * 31 + i);
+  }
+  return v;
+}
+
+TEST(TieredKvStore, PutGetRoundTrip) {
+  MemoryHierarchy hier(two_tier(KiB(4)));
+  TieredKvStore store(hier, small_config());
+
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    EXPECT_TRUE(store.put(k, value_for(k, 56).data()));
+  }
+  EXPECT_EQ(store.size(), 100u);
+
+  std::vector<std::uint8_t> out(56);
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    ASSERT_TRUE(store.get(k, out.data()));
+    EXPECT_EQ(out, value_for(k, 56)) << "key " << k;
+  }
+  EXPECT_FALSE(store.get(1000, out.data()));
+  EXPECT_TRUE(store.contains(42));
+  EXPECT_FALSE(store.contains(1000));
+}
+
+TEST(TieredKvStore, OverwriteKeepsSize) {
+  MemoryHierarchy hier(two_tier(KiB(4)));
+  TieredKvStore store(hier, small_config());
+  std::vector<std::uint8_t> v1(56, 0xAA);
+  std::vector<std::uint8_t> v2(56, 0xBB);
+  EXPECT_TRUE(store.put(7, v1.data()));
+  EXPECT_FALSE(store.put(7, v2.data()));
+  EXPECT_EQ(store.size(), 1u);
+  std::vector<std::uint8_t> out(56);
+  ASSERT_TRUE(store.get(7, out.data()));
+  EXPECT_EQ(out, v2);
+}
+
+TEST(TieredKvStore, SegmentsFillNearFirstThenSpill) {
+  // 4 KiB near tier, 1 KiB segments: segments 0-3 near, rest far.
+  MemoryHierarchy hier(two_tier(KiB(4)));
+  TieredKvStore store(hier, small_config());
+  for (std::uint64_t k = 0; k < 8 * 16; ++k) {
+    store.put(k, value_for(k, 56).data());
+  }
+  ASSERT_EQ(store.segment_count(), 8u);
+  EXPECT_EQ(store.near_segment_count(), 4u);
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_EQ(store.segment_near(s), s < 4) << "segment " << s;
+  }
+  const KvStoreStats stats = store.stats();
+  EXPECT_EQ(stats.near_segment_bytes, KiB(4));
+  EXPECT_EQ(stats.far_segment_bytes, KiB(4));
+  EXPECT_EQ(stats.near_capacity_bytes, KiB(4));
+}
+
+TEST(TieredKvStore, BudgetedTenantViewCapsNearTier) {
+  // The parent arena has 16 KiB of MCDRAM but this tenant is granted 2.
+  MemoryHierarchy parent(two_tier(KiB(16)));
+  MemoryHierarchy view(parent, {0, KiB(2)}, "kv-tenant");
+  TieredKvStore store(view, small_config());
+  for (std::uint64_t k = 0; k < 6 * 16; ++k) {
+    store.put(k, value_for(k, 56).data());
+  }
+  EXPECT_EQ(store.near_segment_count(), 2u);
+  EXPECT_EQ(store.stats().near_capacity_bytes, KiB(2));
+}
+
+TEST(TieredKvStore, IndexGrowthPreservesLookups) {
+  MemoryHierarchy hier(two_tier(KiB(4)));
+  KvConfig cfg = small_config();
+  cfg.initial_buckets = 16;  // forces several growth rounds
+  TieredKvStore store(hier, cfg);
+  const std::size_t n = 500;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    store.put(k * 977 + 13, value_for(k, 56).data());
+  }
+  std::vector<std::uint8_t> out(56);
+  for (std::uint64_t k = 0; k < n; ++k) {
+    ASSERT_TRUE(store.get(k * 977 + 13, out.data()));
+    EXPECT_EQ(out, value_for(k, 56));
+  }
+}
+
+TEST(TieredKvStore, MoveSegmentPreservesContentsAndCounts) {
+  MemoryHierarchy hier(two_tier(KiB(4)));
+  TieredKvStore store(hier, small_config());
+  for (std::uint64_t k = 0; k < 8 * 16; ++k) {
+    store.put(k, value_for(k, 56).data());
+  }
+  const std::uint64_t digest = store.contents_digest();
+
+  // Demote a near segment, promote a far one into the freed budget.
+  store.move_segment(0, /*to_near=*/false);
+  EXPECT_FALSE(store.segment_near(0));
+  EXPECT_EQ(store.near_segment_count(), 3u);
+  store.move_segment(6, /*to_near=*/true);
+  EXPECT_TRUE(store.segment_near(6));
+  EXPECT_EQ(store.near_segment_count(), 4u);
+
+  // Placement changed; contents and lookups did not.
+  EXPECT_EQ(store.contents_digest(), digest);
+  std::vector<std::uint8_t> out(56);
+  bool was_near = false;
+  ASSERT_TRUE(store.get(5, out.data(), 0, &was_near));
+  EXPECT_EQ(out, value_for(5, 56));
+  EXPECT_FALSE(was_near);
+  ASSERT_TRUE(store.get(6 * 16 + 3, out.data(), 0, &was_near));
+  EXPECT_TRUE(was_near);
+
+  // Moving to the current tier is a no-op.
+  store.move_segment(6, true);
+  EXPECT_EQ(store.near_segment_count(), 4u);
+}
+
+TEST(TieredKvStore, MoveToFullNearTierThrowsOutOfMemory) {
+  MemoryHierarchy hier(two_tier(KiB(4)));
+  TieredKvStore store(hier, small_config());
+  for (std::uint64_t k = 0; k < 8 * 16; ++k) {
+    store.put(k, value_for(k, 56).data());
+  }
+  ASSERT_EQ(store.near_segment_count(), 4u);  // near tier is full
+  EXPECT_THROW(store.move_segment(7, true), OutOfMemoryError);
+  // Failed move leaves everything in place.
+  EXPECT_FALSE(store.segment_near(7));
+  EXPECT_EQ(store.near_segment_count(), 4u);
+}
+
+TEST(TieredKvStore, CacheModeHierarchyHasNoNearTier) {
+  HierarchyConfig cfg = two_tier(KiB(4));
+  cfg.mode = McdramMode::Cache;  // MCDRAM tier not addressable
+  MemoryHierarchy hier(cfg);
+  TieredKvStore store(hier, small_config());
+  EXPECT_FALSE(store.has_near_tier());
+  for (std::uint64_t k = 0; k < 3 * 16; ++k) {
+    store.put(k, value_for(k, 56).data());
+  }
+  EXPECT_EQ(store.near_segment_count(), 0u);
+  EXPECT_EQ(store.stats().near_capacity_bytes, 0u);
+  EXPECT_THROW(store.move_segment(0, true), Error);
+}
+
+TEST(TieredKvStore, GetCountsHeatInTheGivenShard) {
+  MemoryHierarchy hier(two_tier(KiB(4)));
+  KvConfig cfg = small_config();
+  cfg.heat_shards = 2;
+  TieredKvStore store(hier, cfg);
+  store.put(1, value_for(1, 56).data());
+  std::vector<std::uint8_t> out(56);
+  store.get(1, out.data(), /*shard=*/0);
+  store.get(1, out.data(), /*shard=*/1);
+  store.get(999, out.data(), /*shard=*/1);  // miss: not counted
+  const std::vector<std::uint64_t> counts = store.monitor().fold_epoch();
+  ASSERT_EQ(counts.size(), 1u);
+  EXPECT_EQ(counts[0], 2u);
+}
+
+TEST(TieredKvStore, DigestIsPlacementIndependentButContentSensitive) {
+  MemoryHierarchy hier(two_tier(KiB(4)));
+  TieredKvStore store(hier, small_config());
+  for (std::uint64_t k = 0; k < 4 * 16; ++k) {
+    store.put(k, value_for(k, 56).data());
+  }
+  const std::uint64_t digest = store.contents_digest();
+  store.move_segment(1, false);
+  EXPECT_EQ(store.contents_digest(), digest);
+  std::vector<std::uint8_t> changed(56, 0xEE);
+  store.put(3, changed.data());
+  EXPECT_NE(store.contents_digest(), digest);
+}
+
+}  // namespace
+}  // namespace mlm::kv

@@ -1,0 +1,161 @@
+// Trace generation: seeded determinism, Zipfian skew concentration, and
+// the rank->key scramble that keeps hot keys off the first segments.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mlm/kvstore/trace.h"
+#include "mlm/support/error.h"
+
+namespace mlm::kv {
+namespace {
+
+TEST(Trace, SameConfigSameTrace) {
+  TraceConfig cfg;
+  cfg.keys = 512;
+  cfg.ops = 4096;
+  cfg.seed = 42;
+  const auto a = generate_trace(cfg);
+  const auto b = generate_trace(cfg);
+  EXPECT_EQ(a, b);
+
+  cfg.seed = 43;
+  EXPECT_NE(generate_trace(cfg), a);
+}
+
+TEST(Trace, UniformKeysStayInRangeAndSpread) {
+  TraceConfig cfg;
+  cfg.kind = TraceKind::Uniform;
+  cfg.keys = 64;
+  cfg.ops = 64 * 256;
+  cfg.seed = 7;
+  const auto trace = generate_trace(cfg);
+  ASSERT_EQ(trace.size(), cfg.ops);
+  std::vector<std::size_t> freq(cfg.keys, 0);
+  for (const std::uint64_t key : trace) {
+    ASSERT_LT(key, cfg.keys);
+    ++freq[key];
+  }
+  // Every key appears; no key dominates (expected 256 each).
+  for (std::size_t k = 0; k < cfg.keys; ++k) {
+    EXPECT_GT(freq[k], 128u) << "key " << k;
+    EXPECT_LT(freq[k], 512u) << "key " << k;
+  }
+}
+
+TEST(Trace, ZipfianConcentratesOnFewKeys) {
+  TraceConfig cfg;
+  cfg.kind = TraceKind::Zipfian;
+  cfg.keys = 1024;
+  cfg.ops = 32768;
+  cfg.skew = 0.99;
+  cfg.seed = 11;
+  const auto trace = generate_trace(cfg);
+
+  std::map<std::uint64_t, std::size_t> freq;
+  for (const std::uint64_t key : trace) ++freq[key];
+  std::vector<std::size_t> counts;
+  counts.reserve(freq.size());
+  for (const auto& [key, n] : freq) counts.push_back(n);
+  std::sort(counts.rbegin(), counts.rend());
+
+  // At s=0.99 the top ~10% of keys carry well over half the accesses
+  // (a uniform trace would give them exactly 10%).
+  std::size_t top = 0;
+  for (std::size_t i = 0; i < counts.size() && i < cfg.keys / 10; ++i) {
+    top += counts[i];
+  }
+  EXPECT_GT(top, cfg.ops / 2);
+}
+
+TEST(Trace, HigherSkewConcentratesMore) {
+  TraceConfig cfg;
+  cfg.keys = 1024;
+  cfg.ops = 32768;
+  cfg.seed = 5;
+
+  auto top_decile_share = [&](double skew) {
+    cfg.skew = skew;
+    const auto trace = generate_trace(cfg);
+    std::map<std::uint64_t, std::size_t> freq;
+    for (const std::uint64_t key : trace) ++freq[key];
+    std::vector<std::size_t> counts;
+    for (const auto& [key, n] : freq) counts.push_back(n);
+    std::sort(counts.rbegin(), counts.rend());
+    std::size_t top = 0;
+    for (std::size_t i = 0; i < counts.size() && i < cfg.keys / 10; ++i) {
+      top += counts[i];
+    }
+    return top;
+  };
+
+  EXPECT_LT(top_decile_share(0.5), top_decile_share(0.99));
+  EXPECT_LT(top_decile_share(0.99), top_decile_share(1.3));
+}
+
+TEST(Trace, PermutationIsABijectionStableInOps) {
+  const auto perm = trace_key_permutation(256, 99);
+  ASSERT_EQ(perm.size(), 256u);
+  std::vector<bool> seen(256, false);
+  for (const std::uint64_t key : perm) {
+    ASSERT_LT(key, 256u);
+    EXPECT_FALSE(seen[key]);
+    seen[key] = true;
+  }
+
+  // The hot set is a function of (keys, seed) only: changing ops must
+  // not move it (epoch sweeps vary ops at fixed placement expectations).
+  TraceConfig a;
+  a.keys = 256;
+  a.ops = 1000;
+  a.seed = 99;
+  TraceConfig b = a;
+  b.ops = 5000;
+  const auto ta = generate_trace(a);
+  const auto tb = generate_trace(b);
+  std::map<std::uint64_t, std::size_t> fa;
+  std::map<std::uint64_t, std::size_t> fb;
+  for (const auto key : ta) ++fa[key];
+  for (const auto key : tb) ++fb[key];
+  const auto hottest = [](const std::map<std::uint64_t, std::size_t>& f) {
+    std::uint64_t best = 0;
+    std::size_t n = 0;
+    for (const auto& [key, c] : f) {
+      if (c > n) {
+        n = c;
+        best = key;
+      }
+    }
+    return best;
+  };
+  EXPECT_EQ(hottest(fa), hottest(fb));
+  EXPECT_EQ(hottest(fa), perm[0]);  // rank 0 is the hottest key
+}
+
+TEST(Trace, ScrambleSpreadsHotKeysAcrossKeySpace) {
+  // Without scrambling, ranks 0..k map to keys 0..k and the hot set
+  // sits entirely in the first insertion-order segments.  With it, the
+  // top 32 ranks of a 2048-key space must not cluster in the first
+  // eighth of the key space.
+  const auto perm = trace_key_permutation(2048, 123);
+  std::size_t in_first_eighth = 0;
+  for (std::size_t r = 0; r < 32; ++r) {
+    if (perm[r] < 2048 / 8) ++in_first_eighth;
+  }
+  EXPECT_LT(in_first_eighth, 16u);
+}
+
+TEST(Trace, RejectsBadConfigs) {
+  TraceConfig cfg;
+  cfg.keys = 0;
+  EXPECT_THROW(generate_trace(cfg), InvalidArgumentError);
+  cfg.keys = 8;
+  cfg.skew = -1.0;
+  EXPECT_THROW(generate_trace(cfg), InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mlm::kv

@@ -1,0 +1,163 @@
+// Workload driver and service-time model unit behaviour: epoch
+// accounting, tally conservation, and the timeline's tier asymmetry.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mlm/kvstore/kv_timeline.h"
+#include "mlm/kvstore/store.h"
+#include "mlm/kvstore/trace.h"
+#include "mlm/kvstore/workload.h"
+#include "mlm/memory/memory_hierarchy.h"
+#include "mlm/parallel/thread_pool.h"
+#include "mlm/support/error.h"
+#include "mlm/support/units.h"
+
+namespace mlm::kv {
+namespace {
+
+HierarchyConfig two_tier(std::uint64_t mcdram_bytes) {
+  HierarchyConfig cfg;
+  cfg.tiers = {TierConfig{"ddr", MemKind::DDR, 0},
+               TierConfig{"mcdram", MemKind::MCDRAM, mcdram_bytes}};
+  return cfg;
+}
+
+KvConfig small_config() {
+  KvConfig cfg;
+  cfg.value_bytes = 56;
+  cfg.records_per_segment = 16;
+  cfg.index_prefers_near = false;
+  return cfg;
+}
+
+void populate(TieredKvStore& store, std::size_t keys) {
+  std::vector<std::uint8_t> value(store.config().value_bytes, 1);
+  for (std::uint64_t k = 0; k < keys; ++k) store.put(k, value.data());
+}
+
+TEST(Workload, TalliesConserveOpsAndEpochsCoverTrailingPartial) {
+  MemoryHierarchy hier(two_tier(KiB(4)));
+  TieredKvStore store(hier, small_config());
+  populate(store, 256);
+
+  // 500 ops at 200 per epoch: 3 epochs, the last one short.  Every op
+  // hits (keys 0..255) except the out-of-range tail we splice in.
+  TraceConfig tc;
+  tc.kind = TraceKind::Uniform;
+  tc.keys = 256;
+  tc.ops = 490;
+  tc.seed = 3;
+  std::vector<std::uint64_t> trace = generate_trace(tc);
+  for (int i = 0; i < 10; ++i) trace.push_back(9999);  // misses
+
+  ThreadPool pool(2, "wl");
+  WorkloadConfig cfg;
+  cfg.epoch_ops = 200;
+  const WorkloadStats stats = run_workload(store, pool, trace, cfg);
+
+  EXPECT_EQ(stats.ops, 500u);
+  EXPECT_EQ(stats.epochs, 3u);
+  EXPECT_EQ(stats.placement_trace.size(), 3u);
+  EXPECT_EQ(stats.near_hits + stats.far_hits + stats.misses, 500u);
+  EXPECT_EQ(stats.misses, 10u);
+  EXPECT_EQ(store.monitor().epoch(), 3u);
+  // The driver resized the monitor to one shard per worker.
+  EXPECT_GE(store.monitor().shards(), 2u);
+}
+
+TEST(Workload, StaticPolicyNeverMoves) {
+  MemoryHierarchy hier(two_tier(KiB(4)));
+  TieredKvStore store(hier, small_config());
+  populate(store, 256);
+  TraceConfig tc;
+  tc.keys = 256;
+  tc.ops = 1000;
+  tc.seed = 5;
+  ThreadPool pool(2, "wl");
+  WorkloadConfig cfg;
+  cfg.epoch_ops = 250;
+  cfg.policy.policy = PlacementPolicy::StaticNearFirst;
+  const WorkloadStats stats =
+      run_workload(store, pool, generate_trace(tc), cfg);
+  EXPECT_EQ(stats.migration.steps, 0u);
+  for (const std::string& epoch : stats.placement_trace) {
+    EXPECT_EQ(epoch, "-");
+  }
+}
+
+TEST(Workload, RejectsZeroEpochOps) {
+  MemoryHierarchy hier(two_tier(KiB(4)));
+  TieredKvStore store(hier, small_config());
+  ThreadPool pool(1, "wl");
+  WorkloadConfig cfg;
+  cfg.epoch_ops = 0;
+  EXPECT_THROW(run_workload(store, pool, {}, cfg), InvalidArgumentError);
+}
+
+TEST(KvTimeline, NearServiceIsFasterThanFar) {
+  MemoryHierarchy hier(two_tier(KiB(64)));
+  TieredKvStore store(hier, small_config());
+  populate(store, 64);
+
+  WorkloadStats near_heavy;
+  near_heavy.epochs = 4;
+  near_heavy.ops = 10000;
+  near_heavy.near_hits = 9000;
+  near_heavy.far_hits = 1000;
+  WorkloadStats far_heavy;
+  far_heavy.epochs = 4;
+  far_heavy.ops = 10000;
+  far_heavy.near_hits = 1000;
+  far_heavy.far_hits = 9000;
+
+  const KvTimelineResult near_t = simulate_service_time(store, near_heavy);
+  const KvTimelineResult far_t = simulate_service_time(store, far_heavy);
+  EXPECT_LT(near_t.seconds, far_t.seconds);
+  EXPECT_DOUBLE_EQ(near_t.migrate_seconds, 0.0);
+  // Byte accounting: each hit moves one record.
+  EXPECT_DOUBLE_EQ(near_t.near_bytes, 9000.0 * store.record_bytes());
+  EXPECT_DOUBLE_EQ(near_t.far_bytes, 1000.0 * store.record_bytes());
+}
+
+TEST(KvTimeline, MigrationIsPricedNotFree) {
+  MemoryHierarchy hier(two_tier(KiB(64)));
+  TieredKvStore store(hier, small_config());
+  populate(store, 64);
+
+  WorkloadStats base;
+  base.epochs = 2;
+  base.ops = 1000;
+  base.near_hits = 500;
+  base.far_hits = 500;
+  WorkloadStats with_moves = base;
+  with_moves.migration.moved_bytes = MiB(1);
+
+  const KvTimelineResult t0 = simulate_service_time(store, base);
+  const KvTimelineResult t1 = simulate_service_time(store, with_moves);
+  EXPECT_GT(t1.migrate_seconds, 0.0);
+  EXPECT_GT(t1.seconds, t0.seconds);
+  EXPECT_DOUBLE_EQ(t1.lookup_seconds, t0.lookup_seconds);
+}
+
+TEST(KvTimeline, EmptyRunPricesToZero) {
+  MemoryHierarchy hier(two_tier(KiB(64)));
+  TieredKvStore store(hier, small_config());
+  const KvTimelineResult t = simulate_service_time(store, WorkloadStats{});
+  EXPECT_DOUBLE_EQ(t.seconds, 0.0);
+}
+
+TEST(KvTimeline, RejectsBadConfig) {
+  MemoryHierarchy hier(two_tier(KiB(64)));
+  TieredKvStore store(hier, small_config());
+  WorkloadStats stats;
+  stats.epochs = 1;
+  KvTimelineConfig cfg;
+  cfg.workers = 0;
+  EXPECT_THROW(simulate_service_time(store, stats, cfg),
+               InvalidArgumentError);
+}
+
+}  // namespace
+}  // namespace mlm::kv

@@ -51,6 +51,11 @@ TEST(SubmitSlices, CountsTowardTasksExecuted) {
   std::vector<std::future<void>> futs;
   futs.push_back(pool.submit_slices(10, [](std::size_t) {}));
   pool.wait(futs);
+  // The last slice settles the batch future from inside the task body,
+  // before the worker's post-task counter increment — the future being
+  // ready does not yet imply the count is visible.  wait_idle() is
+  // ordered after that increment, so the assertion below is race-free.
+  pool.wait_idle();
   EXPECT_EQ(pool.tasks_executed(), before + 10);
 }
 

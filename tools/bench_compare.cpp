@@ -1,7 +1,7 @@
 // CI regression gate: diff two bench-harness JSON artifacts.
 //
 //   bench_compare CURRENT BASELINE [--threshold=0.10] [--ignore-wall]
-//                 [--allow-missing]
+//                 [--allow-missing] [--require-all]
 //
 // Deterministic metrics (knlsim outputs, traffic counters) must match
 // exactly; wall-clock metrics may regress up to --threshold relative to
@@ -33,6 +33,9 @@ int main(int argc, char** argv) {
   cli.add_flag("allow-missing", &options.allow_missing,
                "baseline cases absent from the current run are not "
                "failures (for --filter/--smoke subsets)");
+  cli.add_flag("require-all", &options.require_all,
+               "current cases absent from the baseline are failures, "
+               "not notes (gate mode: every suite must be baselined)");
   try {
     if (!cli.parse(argc, argv)) return 0;  // --help
   } catch (const Error& e) {
