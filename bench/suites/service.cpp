@@ -19,6 +19,7 @@
 #include "mlm/parallel/thread_pool.h"
 #include "mlm/service/admission.h"
 #include "mlm/service/job_scheduler.h"
+#include "mlm/service/journal.h"
 #include "mlm/service/sort_job.h"
 #include "mlm/sort/input_gen.h"
 #include "mlm/support/table.h"
@@ -174,6 +175,79 @@ void register_service(Harness& h) {
     ctx.metric("peak_near_committed_bytes",
                static_cast<double>(m.peak_near_committed_bytes));
     ctx.metric("ticks", static_cast<double>(sched.now()));
+  });
+
+  // Crash-recovery replay: journal the mix, kill the scheduler at a
+  // fixed deterministic tick, recover a fresh one from the journal, and
+  // finish.  The counters (recovered jobs, checkpoint resumes, journal
+  // size, redo steps) are exact model outputs for the seed; recovery
+  // overhead drift shows up here before it shows up in production logs.
+  suite.add_case("crash_recovery_replay", [](BenchContext& ctx) {
+    const std::size_t n = 2048;
+    const std::size_t kill_ticks = 18;
+    ctx.param("elements_per_tenant", static_cast<std::uint64_t>(n));
+    ctx.param("kill_ticks", static_cast<std::uint64_t>(kill_ticks));
+
+    MemoryHierarchy hier(service_hierarchy());
+    const std::vector<Tenant> tenants = tenant_mix(n);
+    core::ExternalSortConfig sort_cfg;
+    sort_cfg.outer_chunk_elements = 1024;
+    sort_cfg.inner.variant = core::MlmVariant::Flat;
+
+    std::vector<SpaceBuffer<std::int64_t>> buffers;
+    buffers.reserve(tenants.size());
+    service::FactoryResolver resolver;
+    for (std::size_t j = 0; j < tenants.size(); ++j) {
+      const Tenant& t = tenants[j];
+      buffers.emplace_back(hier.tier(0), t.n);
+      const auto init = sort::make_input(t.n, t.order, ctx.seed() + j);
+      std::copy(init.begin(), init.end(), buffers[j].data());
+      resolver.register_factory(
+          "bench.sort.tenant" + std::to_string(j),
+          service::make_recoverable_sort_job(
+              std::span<std::int64_t>(buffers[j].data(), t.n), sort_cfg));
+    }
+
+    service::JobJournal journal;
+    JobSchedulerConfig cfg;
+    cfg.max_concurrent = 2;
+    cfg.job_workers = 2;
+    cfg.degrade.allow_tier_fallback = true;
+    cfg.journal = &journal;
+    cfg.checkpoint_interval_steps = 2;
+    {
+      DeterministicScheduler sched(ctx.seed());
+      DeterministicExecutor driver(sched, 2, "svc-driver");
+      JobScheduler svc(hier, driver, cfg);
+      for (std::size_t j = 0; j < tenants.size(); ++j) {
+        JobConfig jc;
+        jc.name = "tenant" + std::to_string(j);
+        jc.priority = tenants[j].priority;
+        jc.near_budget_bytes = tenants[j].near_budget;
+        jc.recovery_key = "bench.sort.tenant" + std::to_string(j);
+        svc.submit_recoverable(
+            jc, service::make_recoverable_sort_job(
+                    std::span<std::int64_t>(buffers[j].data(),
+                                            tenants[j].n),
+                    sort_cfg));
+      }
+      (void)svc.run_ticks(kill_ticks);  // CRASH at a step boundary
+    }
+
+    DeterministicScheduler sched(ctx.seed() + 1);
+    DeterministicExecutor driver(sched, 2, "svc-driver");
+    JobScheduler svc(hier, driver, cfg);
+    const JobScheduler::RecoveryReport report = svc.recover(resolver);
+    const ServiceStats m = svc.run_all();
+
+    ctx.metric("jobs_recovered", static_cast<double>(m.jobs_recovered));
+    ctx.metric("with_checkpoint",
+               static_cast<double>(report.with_checkpoint));
+    ctx.metric("jobs_completed", static_cast<double>(m.jobs_completed));
+    ctx.metric("redo_steps", static_cast<double>(m.total_steps));
+    ctx.metric("checkpoints_written",
+               static_cast<double>(m.checkpoints_written));
+    ctx.metric("journal_bytes", static_cast<double>(journal.bytes()));
   });
 
   suite.set_view(view);

@@ -208,6 +208,21 @@ class ChunkPipelineStepper {
   /// Chunks this run will process.
   std::size_t chunks() const;
 
+  /// Chunks fully retired so far: their compute ran and (with
+  /// write_back) their copy-out joined, so the far-tier range of every
+  /// chunk below this watermark holds final bytes.  This is the
+  /// crash-consistency seam (mlm/service/checkpoint.h): a checkpoint
+  /// records the watermark and recovery resumes with a fresh stepper
+  /// over the remaining suffix — redoing at most the chunks that were
+  /// in flight, which is output-transparent whenever the compute is
+  /// idempotent at chunk granularity (see DESIGN.md §10).
+  std::size_t completed_chunks() const;
+
+  /// Resolved chunk size in bytes (after config 0 = auto resolution and
+  /// any degradation-ladder halving), so a recovery checkpoint can
+  /// reconstruct the chunk boundaries exactly.
+  std::size_t chunk_bytes() const;
+
   /// Close the run and return its statistics.  Call once, after done().
   PipelineStats finish();
 

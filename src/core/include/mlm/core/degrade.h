@@ -23,6 +23,7 @@
 // structured errors (mlm/support/error.h).
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -39,6 +40,24 @@ struct DegradePolicy {
   /// (0 = no backoff).  Never sleeps under a DeterministicScheduler —
   /// schedule exploration must stay a pure function of the seed.
   std::size_t backoff_us = 0;
+  /// Ceiling for the doubled backoff.  Long retry chains saturate here
+  /// instead of shifting backoff_us off the end of std::size_t (which
+  /// wrapped the delay back to ~0 and turned backoff into a busy spin).
+  std::size_t backoff_cap_us = 1u << 20;  ///< ~1 s
+
+  /// Backoff before retry `attempt` (1-based): backoff_us doubled per
+  /// attempt, saturating at backoff_cap_us.  0 when backoff is off.
+  std::size_t delay_us(std::size_t attempt) const {
+    if (backoff_us == 0 || attempt == 0) return 0;
+    std::size_t delay = backoff_us;
+    for (std::size_t i = 1; i < attempt; ++i) {
+      if (delay >= backoff_cap_us / 2 + backoff_cap_us % 2) {
+        return backoff_cap_us;
+      }
+      delay *= 2;
+    }
+    return std::min(delay, backoff_cap_us);
+  }
   /// Rung 2: allow halving the chunk size when near-tier buffers do not
   /// fit.  Halved sizes stay 64-byte aligned, so element alignment is
   /// preserved for power-of-two scalar types.

@@ -248,6 +248,35 @@ struct ExternalSortStats {
   AdaptationStats adaptation;
 };
 
+/// Step-boundary snapshot of an ExternalMlmSorter::Stepper — the
+/// crash-consistency seam the service layer's CheckpointCodec
+/// serializes (mlm/service/checkpoint.h).
+///
+/// The snapshot names the last *safe redo point*, not the exact phase:
+/// chunks [0, next_chunk) have been staged out (their NVM ranges hold
+/// sorted runs), and everything from next_chunk on is redone from
+/// StageIn.  Redo is idempotent because a chunk's NVM range is always a
+/// permutation of itself — re-staging and re-sorting an already-sorted
+/// chunk reproduces the same bytes — and because the external merge of
+/// sorted runs is idempotent even over a fully merged output (slices of
+/// a sorted array are themselves sorted runs).  A restored run's output
+/// is therefore digest-identical to an uninterrupted one; only the
+/// redone work differs.
+struct ExternalSortCheckpoint {
+  /// Outer-chunk layout: begin offsets plus the end sentinel
+  /// (chunk_begins.back() == element count).  Captured so a restore
+  /// redoes exactly the checkpointed layout even after adaptive
+  /// re-chunking.
+  std::vector<std::size_t> chunk_begins;
+  /// First chunk to (re)do; == chunk count once all chunks staged out.
+  std::size_t next_chunk = 0;
+  /// Chunking finished — redo from the external merge.
+  bool merge_phase = false;
+  /// The inner sorter had fallen back to DdrOnly (ladder rung 3); the
+  /// restored run starts there instead of re-walking the ladder.
+  bool inner_tier_fallback = false;
+};
+
 /// Sorts NVM-resident data through DDR and MCDRAM with double chunking.
 /// Operates on the three farthest tiers of an NVM -> DDR -> MCDRAM
 /// MemoryHierarchy (TripleSpace remains accepted as a compatibility
@@ -294,8 +323,54 @@ class ExternalMlmSorter {
       }
     }
 
+    /// Restore a stepper from a step-boundary checkpoint taken against
+    /// the same `data` span (whose NVM contents must be the state the
+    /// crashed run left behind — a permutation with chunks
+    /// [0, next_chunk) sorted in place).  Chunks from `next_chunk` on
+    /// are redone; a merge-phase checkpoint redoes the merge.  The
+    /// staging-buffer allocation walks the retry rung only — halving
+    /// would have to fit the checkpointed layout anyway.
+    Stepper(ExternalMlmSorter& sorter, std::span<T> data,
+            const ExternalSortCheckpoint& ckpt)
+        : s_(sorter), data_(data) {
+      try {
+        restore(ckpt);
+      } catch (Error& e) {
+        add_sort_frame(e);
+        throw;
+      }
+    }
+
     Stepper(const Stepper&) = delete;
     Stepper& operator=(const Stepper&) = delete;
+
+    /// Snapshot the last safe redo point (valid between steps, before
+    /// finish()).  Mid-chunk phases round down to the chunk's StageIn:
+    /// the chunk's NVM range is untouched until its StageOut completes,
+    /// so redoing from StageIn is always consistent.
+    ExternalSortCheckpoint checkpoint() const {
+      ExternalSortCheckpoint ckpt;
+      ckpt.chunk_begins.reserve(chunks_.size() + 1);
+      for (const IndexRange& r : chunks_) {
+        ckpt.chunk_begins.push_back(r.begin);
+      }
+      ckpt.chunk_begins.push_back(data_.size());
+      ckpt.inner_tier_fallback = stats_.inner_tier_fallback;
+      switch (phase_) {
+        case Phase::StageIn:
+        case Phase::InnerSort:
+        case Phase::StageOut:
+          ckpt.next_chunk = index_;
+          break;
+        case Phase::Merge:
+        case Phase::MoveHome:
+        case Phase::Done:
+          ckpt.next_chunk = chunks_.size();
+          ckpt.merge_phase = true;
+          break;
+      }
+      return ckpt;
+    }
 
     /// Execute the next phase step.  Returns true while more steps
     /// remain, false once the sort is complete.  Throws the same
@@ -389,6 +464,69 @@ class ExternalMlmSorter {
       stats_.outer_chunks = chunks_.size();
       outer_elems_ = outer;
       inner_.emplace(s_.upper_, s_.pool_, s_.config_.inner, s_.comp_);
+    }
+
+    void restore(const ExternalSortCheckpoint& ckpt) {
+      if (data_.size() <= 1) {
+        phase_ = Phase::Done;
+        return;
+      }
+      MLM_REQUIRE(ckpt.chunk_begins.size() >= 2,
+                  "checkpoint carries no chunk layout");
+      MLM_REQUIRE(ckpt.chunk_begins.front() == 0 &&
+                      ckpt.chunk_begins.back() == data_.size(),
+                  "checkpoint chunk layout does not span the input");
+      std::size_t max_elems = 0;
+      for (std::size_t i = 0; i + 1 < ckpt.chunk_begins.size(); ++i) {
+        const std::size_t b = ckpt.chunk_begins[i];
+        const std::size_t e = ckpt.chunk_begins[i + 1];
+        MLM_REQUIRE(b < e, "checkpoint chunk layout not monotone");
+        chunks_.push_back({b, e});
+        max_elems = std::max(max_elems, e - b);
+      }
+      MLM_REQUIRE(ckpt.next_chunk <= chunks_.size(),
+                  "checkpoint next_chunk beyond the chunk layout");
+      stats_.outer_chunks = chunks_.size();
+      outer_elems_ = max_elems;
+      stats_.inner_tier_fallback = ckpt.inner_tier_fallback;
+
+      if (ckpt.merge_phase || ckpt.next_chunk >= chunks_.size()) {
+        // Every chunk's range holds a sorted run (or the fully merged
+        // output, whose slices are also sorted runs) — redo the merge.
+        index_ = chunks_.size();
+        phase_ = chunks_.size() == 1 ? Phase::Done : Phase::Merge;
+        return;
+      }
+
+      // Rung 1 only for the staging buffer: the buffer must hold the
+      // largest checkpointed chunk to redo it, so halving cannot apply.
+      for (std::size_t attempt = 0;;) {
+        try {
+          ddr_buf_.emplace(s_.ddr(), max_elems);
+          break;
+        } catch (OutOfMemoryError& e) {
+          if (attempt < s_.config_.degrade.max_retries) {
+            ++attempt;
+            ++stats_.retries;
+            s_.record_degradation(stats_, "sort.external.ddr_staging",
+                                  "retry", -1, attempt);
+            s_.backoff(attempt);
+            continue;
+          }
+          e.with_frame({"ddr_staging_alloc", -1, s_.ddr().name(),
+                        "orchestrator",
+                        "restore outer_chunk_elements=" +
+                            std::to_string(max_elems)});
+          throw;
+        }
+      }
+      MlmSortConfig inner_cfg = s_.config_.inner;
+      if (ckpt.inner_tier_fallback) {
+        inner_cfg.variant = MlmVariant::DdrOnly;
+      }
+      inner_.emplace(s_.upper_, s_.pool_, inner_cfg, s_.comp_);
+      index_ = ckpt.next_chunk;
+      phase_ = Phase::StageIn;
     }
 
     // The adaptive seam (mlm/core/adapt_seam.h), consulted after every
@@ -642,10 +780,9 @@ class ExternalMlmSorter {
   MemorySpace& mcdram() { return hier_.tier(2); }
 
   void backoff(std::size_t attempt) const {
-    if (config_.degrade.backoff_us == 0) return;
-    const std::size_t shift = std::min<std::size_t>(attempt - 1, 10);
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(config_.degrade.backoff_us << shift));
+    const std::size_t us = config_.degrade.delay_us(attempt);
+    if (us == 0) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
   }
 
   void record_degradation(ExternalSortStats& stats, std::string site,
@@ -710,10 +847,17 @@ class ExternalMlmSorter {
   std::size_t resolve_merge_block(std::size_t k) const {
     std::size_t block = config_.merge_block_elements;
     if (block == 0) {
-      const std::size_t cap = static_cast<std::size_t>(
-          hier_.tier(1).stats().free_bytes() / sizeof(T));
-      // One part's worth must fit even for a single worker.
-      block = std::max<std::size_t>(cap / ((k + 1) * pool_.size()), 64);
+      const std::size_t cap =
+          static_cast<std::size_t>(hier_.tier(1).stats().free_bytes());
+      // One part's worth must fit even for a single worker — INCLUDING
+      // the 64-byte allocation round-up the merge applies per block.
+      // Carve the byte budget first, snap it down to the granularity,
+      // then convert to elements; dividing elements directly used to
+      // leave block sizes whose rounded footprint exceeded the staging
+      // capacity exactly when the pool had one worker.
+      std::size_t block_bytes = cap / ((k + 1) * pool_.size());
+      block_bytes = block_bytes / 64 * 64;
+      block = std::max<std::size_t>(block_bytes / sizeof(T), 64);
     }
     return block;
   }

@@ -236,12 +236,10 @@ struct ChunkPipelineStepper::Impl {
   // Doubling backoff before a retry.  Deterministic runs never sleep:
   // schedule exploration must stay a pure function of the seed.
   void backoff(std::size_t attempt) const {
-    if (config.degrade.backoff_us == 0 || config.scheduler != nullptr) {
-      return;
-    }
-    const std::size_t shift = std::min<std::size_t>(attempt - 1, 10);
-    std::this_thread::sleep_for(
-        std::chrono::microseconds(config.degrade.backoff_us << shift));
+    if (config.scheduler != nullptr) return;
+    const std::size_t us = config.degrade.delay_us(attempt);
+    if (us == 0) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
   }
 
   // Flat / hybrid: allocate the chunk buffers in the near tier, walking
@@ -578,6 +576,27 @@ bool ChunkPipelineStepper::done() const { return impl_->complete; }
 
 std::size_t ChunkPipelineStepper::chunks() const {
   return impl_->num_chunks;
+}
+
+std::size_t ChunkPipelineStepper::completed_chunks() const {
+  const Impl& im = *impl_;
+  // Steps [0, im.s) have run.  In-place and single buffering retire one
+  // chunk per step; double buffering retires chunk i-1 at step i; triple
+  // buffering retires chunk i-2 at step i (its copy-out joins there).
+  std::size_t lag = 0;
+  if (!im.in_place) {
+    switch (im.config.buffering) {
+      case Buffering::Single: lag = 0; break;
+      case Buffering::Double: lag = 1; break;
+      case Buffering::Triple: lag = im.config.write_back ? 2 : 1; break;
+    }
+  }
+  const std::size_t done = im.s > lag ? im.s - lag : 0;
+  return std::min(done, im.num_chunks);
+}
+
+std::size_t ChunkPipelineStepper::chunk_bytes() const {
+  return impl_->chunk_bytes;
 }
 
 bool ChunkPipelineStepper::step() {

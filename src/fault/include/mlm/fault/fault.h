@@ -210,6 +210,15 @@ inline constexpr const char* kExternalSortMerge = "sort.external.merge";
 inline constexpr const char* kServiceAdmit = "service.admission.admit";
 inline constexpr const char* kServiceJobStep = "service.job.step";
 inline constexpr const char* kServiceJobCancel = "service.job.cancel";
+/// JobJournal write-ahead log (mlm/service/journal.h).  Append: the
+/// process dies mid-write — only a prefix of the record reaches the log
+/// (a *torn tail*, which replay must detect and truncate, never
+/// silently apply).  Replay: transient read failure of one record,
+/// surfaced as a structured error so recovery can retry or refuse.
+inline constexpr const char* kServiceJournalAppend =
+    "service.journal.append";
+inline constexpr const char* kServiceJournalReplay =
+    "service.journal.replay";
 /// Adaptive-controller decision round (mlm/adapt): the round is
 /// skipped and the previous tuning kept — a lost feedback sample, not
 /// an error.  Skipped rounds are still traced, so faulted runs replay

@@ -39,6 +39,7 @@ const bool g_catalog_registered = [] {
         sites::kExternalSortInner, sites::kExternalSortStageOut,
         sites::kExternalSortMerge, sites::kServiceAdmit,
         sites::kServiceJobStep, sites::kServiceJobCancel,
+        sites::kServiceJournalAppend, sites::kServiceJournalReplay,
         sites::kAdaptControllerDecide, sites::kKvMigrateStep}) {
     register_site(name);
   }

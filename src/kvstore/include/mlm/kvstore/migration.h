@@ -62,8 +62,24 @@ class MigrationEngine {
    public:
     Stepper(MigrationEngine& engine, MigrationPlan plan);
 
+    /// Restore at move index `resume_next` of the *same* plan — the
+    /// crash-consistency seam (mlm/service/checkpoint.h).  Moves below
+    /// the index are redone as no-ops when they had completed
+    /// (TieredKvStore::move_segment is idempotent), so resuming at the
+    /// last checkpointed index never double-moves a segment.
+    Stepper(MigrationEngine& engine, MigrationPlan plan,
+            std::size_t resume_next);
+
     Stepper(const Stepper&) = delete;
     Stepper& operator=(const Stepper&) = delete;
+
+    /// Next move index (checkpoint payload; restore with the
+    /// resuming constructor).
+    std::size_t next_move() const { return next_; }
+
+    /// The plan being executed (serialized into checkpoints so a
+    /// recovered run replays exactly the crashed run's moves).
+    const MigrationPlan& plan() const { return plan_; }
 
     /// Execute the next move; true while more remain.  Throws a
     /// structured Error when a move fails and the ladder cannot absorb

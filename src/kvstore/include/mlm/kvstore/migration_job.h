@@ -22,6 +22,9 @@
 
 namespace mlm::kv {
 
+/// Checkpoint kind tag (and payload version) for migration jobs.
+inline constexpr const char* kMigrationCheckpointKind = "kv.migration.v1";
+
 class MigrationJob : public service::JobStepper {
  public:
   /// `engine` must outlive the job.  `stats_out`, when non-null,
@@ -30,11 +33,29 @@ class MigrationJob : public service::JobStepper {
                MigrationStats* stats_out)
       : stepper_(engine, std::move(plan)), stats_out_(stats_out) {}
 
+  /// Recovery constructor: resume the plan at move index `resume_next`
+  /// (redone moves are no-ops — move_segment is idempotent).
+  MigrationJob(MigrationEngine& engine, MigrationPlan plan,
+               std::size_t resume_next, MigrationStats* stats_out)
+      : stepper_(engine, std::move(plan), resume_next),
+        stats_out_(stats_out) {}
+
   bool step() override { return stepper_.step(); }
 
   void finish() override {
     MigrationStats stats = stepper_.finish();
     if (stats_out_ != nullptr) *stats_out_ = std::move(stats);
+  }
+
+  /// The checkpoint serializes the whole plan plus the next move index,
+  /// so a recovered run replays exactly the crashed run's moves even if
+  /// a fresh planning pass would decide differently now.
+  std::optional<service::Checkpoint> checkpoint() const override {
+    service::CheckpointWriter w;
+    w.u64_vec(stepper_.plan().demote);
+    w.u64_vec(stepper_.plan().promote);
+    w.u64(stepper_.next_move());
+    return service::Checkpoint{kMigrationCheckpointKind, w.take()};
   }
 
  private:
@@ -52,6 +73,34 @@ inline service::JobFactory make_migration_job(
           stats_out](service::JobContext&) mutable {
     return std::unique_ptr<service::JobStepper>(
         std::make_unique<MigrationJob>(engine, std::move(plan), stats_out));
+  };
+}
+
+/// Crash-recoverable form of make_migration_job: register under a
+/// JobConfig::recovery_key.  A fresh run executes the captured `plan`;
+/// a recovered run decodes the *journaled* plan from the checkpoint and
+/// resumes at its next-move index, so recovery never re-plans.
+inline service::RecoverableFactory make_recoverable_migration_job(
+    MigrationEngine& engine, MigrationPlan plan,
+    MigrationStats* stats_out = nullptr) {
+  return [&engine, plan, stats_out](const service::JobConfig&,
+                                    service::JobContext&,
+                                    const service::Checkpoint* resume) {
+    if (resume == nullptr) {
+      return std::unique_ptr<service::JobStepper>(
+          std::make_unique<MigrationJob>(engine, plan, stats_out));
+    }
+    MLM_REQUIRE(resume->kind == kMigrationCheckpointKind,
+                "checkpoint kind '" + resume->kind + "' is not a " +
+                    kMigrationCheckpointKind + " payload");
+    service::CheckpointReader r(resume->payload);
+    MigrationPlan replayed;
+    replayed.demote = r.u64_vec();
+    replayed.promote = r.u64_vec();
+    const std::size_t next = static_cast<std::size_t>(r.u64());
+    r.expect_done();
+    return std::unique_ptr<service::JobStepper>(std::make_unique<MigrationJob>(
+        engine, std::move(replayed), next, stats_out));
   };
 }
 

@@ -15,6 +15,15 @@ MigrationEngine::MigrationEngine(TieredKvStore& store,
 MigrationEngine::Stepper::Stepper(MigrationEngine& engine, MigrationPlan plan)
     : engine_(engine), plan_(std::move(plan)) {}
 
+MigrationEngine::Stepper::Stepper(MigrationEngine& engine,
+                                  MigrationPlan plan,
+                                  std::size_t resume_next)
+    : engine_(engine), plan_(std::move(plan)) {
+  MLM_REQUIRE(resume_next <= plan_.moves(),
+              "migration resume index beyond the plan");
+  next_ = resume_next;
+}
+
 void MigrationEngine::Stepper::move_at(std::size_t index) {
   static fault::FaultSite site(fault::sites::kKvMigrateStep);
 

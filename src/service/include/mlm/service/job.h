@@ -18,6 +18,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -25,6 +26,7 @@
 #include "mlm/core/external_sort.h"
 #include "mlm/memory/memory_hierarchy.h"
 #include "mlm/parallel/executor.h"
+#include "mlm/service/checkpoint.h"
 #include "mlm/support/error.h"
 
 namespace mlm::service {
@@ -95,6 +97,17 @@ class JobStepper {
   virtual const core::ExternalSortStats* sort_stats() const {
     return nullptr;
   }
+
+  /// Serialized resume state at the current step boundary, or nullopt
+  /// when this job kind cannot checkpoint (the scheduler then journals
+  /// no Checkpoint records and recovery restarts the job from scratch).
+  /// Only called between steps, by the task driving the stepper.  The
+  /// returned checkpoint must honour the redo-idempotency contract
+  /// (mlm/service/checkpoint.h): resuming from it and redoing the steps
+  /// up to the crash must reproduce the uninterrupted run's bytes.
+  virtual std::optional<Checkpoint> checkpoint() const {
+    return std::nullopt;
+  }
 };
 
 /// Builds a job's stepper once the job is admitted and its budgeted
@@ -123,6 +136,45 @@ struct JobConfig {
   /// Ignored under deterministic drivers, where wall time is not a
   /// function of the seed.
   double deadline_seconds = 0.0;
+  /// Recovery binding for crash-consistent jobs (empty = the job is not
+  /// journaled and cannot be recovered).  The JobJournal persists this
+  /// key with the Submitted record; after a crash,
+  /// JobScheduler::recover() resolves it through a FactoryResolver to
+  /// rebuild the stepper — a std::function cannot be serialized, so the
+  /// key is the durable name of the factory.
+  std::string recovery_key;
+};
+
+/// Factory for *recoverable* jobs: builds the stepper fresh when
+/// `resume` is null, or restored at the checkpointed boundary when a
+/// crashed run's journal supplied one.  The JobConfig is the submitted
+/// (or journal-replayed) config — closures key job-specific bindings
+/// (which tenant's data to sort) off its fields.
+using RecoverableFactory = std::function<std::unique_ptr<JobStepper>(
+    const JobConfig&, JobContext&, const Checkpoint* resume)>;
+
+/// Maps JobConfig::recovery_key -> RecoverableFactory at recovery time.
+/// A restarted process registers the same keys (binding them to the
+/// surviving far-tier data) and JobScheduler::recover() resolves each
+/// replayed job here.
+class FactoryResolver {
+ public:
+  /// Register `factory` under `key`, replacing any previous entry.
+  void register_factory(std::string key, RecoverableFactory factory) {
+    MLM_REQUIRE(factory != nullptr, "recovery factory must be callable");
+    factories_[std::move(key)] = std::move(factory);
+  }
+
+  /// Factory for `key`, or nullptr when none is registered (the
+  /// recovered job then fails with a structured error instead of
+  /// resuming wrong work).
+  const RecoverableFactory* find(const std::string& key) const {
+    auto it = factories_.find(key);
+    return it == factories_.end() ? nullptr : &it->second;
+  }
+
+ private:
+  std::map<std::string, RecoverableFactory> factories_;
 };
 
 /// Per-job service record: admission and queueing decisions, step
@@ -157,6 +209,15 @@ struct SortStats {
   double run_seconds = 0.0;
 
   bool cancel_requested = false;
+  /// True when the job was shed by overload protection (the bounded
+  /// queue evicted it, or rejected it on arrival): a retryable Failed,
+  /// carrying the structured Overloaded error (mlm/service/overload.h).
+  bool shed = false;
+  /// True when this incarnation was rebuilt from the journal by
+  /// recover() (steps and ticks count from the resume point).
+  bool recovered = false;
+  /// Checkpoint records this job wrote to the journal.
+  std::size_t checkpoints = 0;
   /// Structured error chain for Failed (step error, deadline) and
   /// Cancelled endings.
   std::optional<Error> error;
@@ -177,6 +238,12 @@ struct ServiceStats {
   std::size_t jobs_cancelled = 0;
   /// Jobs admitted via the Degraded decision.
   std::size_t jobs_degraded = 0;
+  /// Jobs shed by the bounded queue (a subset of jobs_failed).
+  std::size_t jobs_shed = 0;
+  /// Jobs rebuilt from the journal by recover().
+  std::size_t jobs_recovered = 0;
+  /// Checkpoint records written to the journal across all jobs.
+  std::size_t checkpoints_written = 0;
   /// Sum of queue_rounds across jobs.
   std::size_t queue_rounds = 0;
   std::size_t total_steps = 0;

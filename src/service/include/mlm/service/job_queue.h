@@ -45,6 +45,12 @@ class JobQueue {
     std::uint64_t seq = 0;  ///< arrival order within this queue
   };
 
+  /// The shed victim overload protection would evict: minimum priority,
+  /// then *latest* arrival (the newest job of the worst class gives way
+  /// first, preserving FIFO fairness among survivors).  nullopt when
+  /// empty.
+  std::optional<Entry> lowest() const;
+
  private:
   std::vector<Entry> entries_;
   std::uint64_t next_seq_ = 0;

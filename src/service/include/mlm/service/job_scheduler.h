@@ -38,6 +38,7 @@
 #include "mlm/service/admission.h"
 #include "mlm/service/job.h"
 #include "mlm/service/job_queue.h"
+#include "mlm/service/journal.h"
 #include "mlm/support/stopwatch.h"
 
 namespace mlm {
@@ -60,6 +61,26 @@ struct JobSchedulerConfig {
   core::DegradePolicy degrade;
   /// Token near budget for degraded / zero-request jobs.
   std::uint64_t degraded_budget_bytes = 64;
+  /// Crash-consistency WAL (mlm/service/journal.h); not owned, must
+  /// outlive the scheduler.  When set, jobs submitted with a
+  /// recovery_key are journaled: one Submitted record on entry, a
+  /// Checkpoint record every checkpoint_interval_steps steps, and one
+  /// terminal record.  Jobs without a recovery_key are never journaled
+  /// (they could not be rebuilt at recovery).  A journal append that
+  /// fails (the service.journal.append site's simulated mid-write
+  /// death) *halts* the scheduler — see halted().
+  JobJournal* journal = nullptr;
+  /// Steps between Checkpoint records for journaled jobs (0 = no
+  /// mid-run checkpoints; recovery then restarts such jobs from
+  /// scratch, which redo idempotency makes digest-safe, just slower).
+  std::size_t checkpoint_interval_steps = 0;
+  /// Overload protection: bound on Queued jobs (0 = unbounded).  A
+  /// submission beyond the bound sheds by priority — a strictly
+  /// higher-priority arrival evicts the queue's lowest() victim,
+  /// otherwise the arrival is rejected; the shed job fails with the
+  /// structured Overloaded error and its stats carry the shed flag
+  /// (mlm/service/overload.h).
+  std::size_t max_queued = 0;
 };
 
 class JobScheduler {
@@ -73,8 +94,14 @@ class JobScheduler {
                JobSchedulerConfig config = {});
 
   /// All submitted jobs must have reached a terminal state (run_all()
-  /// drains); destroying a scheduler with live step chains on the
-  /// driver is undefined.
+  /// drains) — EXCEPT in the crash model: a scheduler may be destroyed
+  /// mid-run (after run_ticks, or halted by a torn journal write)
+  /// provided the driver is never stepped again before it, too, is
+  /// destroyed.  DeterministicExecutor drops unexecuted tasks on
+  /// destruction, so the orphaned step continuations never touch the
+  /// freed scheduler; per-job pools drop theirs the same way.  This is
+  /// exactly how the crash harness models process death: scheduler and
+  /// executors die, the journal and the far-tier data survive.
   ~JobScheduler();
 
   JobScheduler(const JobScheduler&) = delete;
@@ -84,6 +111,31 @@ class JobScheduler {
   /// be satisfied (larger than the whole arena) fails the job
   /// immediately unless degradation is allowed.
   std::uint64_t submit(JobConfig config, JobFactory factory);
+
+  /// Submit a crash-recoverable job.  config.recovery_key must be
+  /// non-empty; with a configured journal the job is journaled and —
+  /// after a crash — rebuilt by recover() through a FactoryResolver
+  /// registering the same key.  Admission, scheduling, and overload
+  /// semantics match submit().
+  std::uint64_t submit_recoverable(JobConfig config,
+                                   RecoverableFactory factory);
+
+  /// Rebuild jobs from the configured journal after a crash.  Call on a
+  /// fresh scheduler, before any submissions: the journal's torn tail
+  /// (if any) is truncated — a half-written record is never replayed —
+  /// then every journaled job without a terminal record is re-admitted
+  /// under its original id, resuming from its last Checkpoint record
+  /// (or from scratch when none was written).  Transient replay faults
+  /// (service.journal.replay) are retried a few times before
+  /// propagating.
+  struct RecoveryReport {
+    std::size_t jobs_resubmitted = 0;      ///< re-admitted, non-terminal
+    std::size_t jobs_already_terminal = 0; ///< journaled jobs done before the crash
+    std::size_t with_checkpoint = 0;       ///< resubmitted jobs resuming mid-run
+    bool torn_tail = false;                ///< journal ended in a torn record
+    std::size_t torn_bytes = 0;            ///< bytes truncated from the tail
+  };
+  RecoveryReport recover(const FactoryResolver& resolver);
 
   /// Cancel a job: a queued job leaves the queue immediately; a running
   /// job is cancelled at its next step boundary (the
@@ -96,6 +148,21 @@ class JobScheduler {
   /// service metrics.  Under a deterministic driver the entire
   /// multi-job interleaving is a pure function of the scheduler seed.
   ServiceStats run_all();
+
+  /// Bounded drive for crash harnesses: execute at most `ticks` driver
+  /// tasks (deterministic drivers only — a tick is one seeded scheduler
+  /// step, so "crash after N ticks" is a pure function of the seed).
+  /// Returns true when every job reached a terminal state.  Stops early
+  /// when the scheduler halts (see halted()); the caller then treats
+  /// the instant as the crash point: destroy the scheduler and recover
+  /// a fresh one from the journal.
+  bool run_ticks(std::size_t ticks);
+
+  /// True after a journal append failed mid-write: the simulated
+  /// process death.  A halted scheduler stops admitting and stepping —
+  /// its only valid continuation is destruction followed by recovery
+  /// from the journal (which truncates the torn tail).
+  bool halted() const;
 
   JobState state(std::uint64_t id) const;
 
@@ -116,6 +183,13 @@ class JobScheduler {
   struct Job {
     JobConfig config;
     JobFactory factory;
+    /// Recoverable jobs carry this instead of `factory`, plus the
+    /// checkpoint to resume from (recovered incarnations only).
+    RecoverableFactory rfactory;
+    std::optional<Checkpoint> resume;
+    /// True when this job writes journal records (recovery_key set and
+    /// a journal configured).
+    bool journaled = false;
     SortStats stats;
     bool degraded = false;
     std::unique_ptr<MemoryHierarchy> view;  ///< budgeted tenant view
@@ -129,6 +203,23 @@ class JobScheduler {
   Job& find_job(std::uint64_t id);
   const Job& find_job(std::uint64_t id) const;
   bool all_terminal() const;
+
+  /// Common submit path; exactly one of the factories is set.  Lock
+  /// held by callers.
+  std::uint64_t submit_locked(JobConfig config, JobFactory factory,
+                              RecoverableFactory rfactory);
+  /// Overload protection: make room for an arriving job of `priority`,
+  /// shedding the queue's lowest victim or rejecting the arrival.
+  /// Returns true when the arrival may enter the queue.  Lock held.
+  bool shed_for(Job& incoming);
+  /// Append to the configured journal; a failed append (the simulated
+  /// mid-write death) halts the scheduler and returns false.  Lock
+  /// held.
+  bool journal_append(JournalRecordType type, std::uint64_t id,
+                      std::vector<std::uint8_t> payload = {});
+  /// Write a Checkpoint record for `job` when the interval says so.
+  /// Lock held.
+  void maybe_checkpoint(Job& job);
 
   /// Admit queued jobs (budget + concurrency permitting) and post their
   /// first step task; returns true when at least one was admitted.
@@ -160,6 +251,8 @@ class JobScheduler {
   std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
   std::uint64_t next_id_ = 0;
   std::size_t running_ = 0;
+  bool halted_ = false;
+  std::size_t checkpoints_written_ = 0;
 };
 
 }  // namespace mlm::service

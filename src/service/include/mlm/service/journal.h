@@ -1,0 +1,136 @@
+// JobJournal: append-only, checksummed write-ahead log of service jobs.
+//
+// The journal is the only state that survives a scheduler crash (the
+// data being sorted lives in the far/NVM tier and survives on its own;
+// everything in DDR/MCDRAM and the scheduler's heap is gone).  The
+// JobScheduler appends a Submitted record when a recoverable job enters
+// the system, a Checkpoint record every checkpoint_interval_steps steps,
+// and one terminal record; JobScheduler::recover() replays the log and
+// re-admits every job without a terminal record, resuming from its last
+// checkpoint.
+//
+// On-wire format, after a 5-byte magic header "MLMJ\x01":
+//
+//   u32 payload_len | u8 type | u64 job_id | payload | u64 fnv1a
+//
+// all little-endian; the checksum covers every preceding byte of the
+// record.  Appends are the crash point of the model: the
+// service.journal.append fault site simulates the process dying
+// mid-write by persisting only a prefix of the record (a *torn tail*)
+// and throwing.  Replay detects a torn or corrupt tail — any record
+// whose length, bounds, or checksum fails — and stops there: the valid
+// prefix is the journal's truth and the tail is truncated, NEVER
+// silently replayed (a half-written checkpoint must not resume a job
+// into a state the crashed run never reached).  The
+// service.journal.replay site injects a transient per-record read
+// failure so recovery's retry path is testable.
+//
+// Thread-safe: one internal mutex serializes appends and replays (the
+// scheduler calls from its step tasks).  Backends: always an in-memory
+// image; optionally a file that mirrors it byte-for-byte (mlm_jobd's
+// --journal), so a restarted process recovers from disk.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mlm::service {
+
+enum class JournalRecordType : std::uint8_t {
+  Submitted = 1,   ///< payload: serialized JobConfig (journal.cpp layout)
+  Checkpoint = 2,  ///< payload: Checkpoint::encode()
+  Completed = 3,   ///< terminal; empty payload
+  Failed = 4,      ///< terminal; empty payload
+  Cancelled = 5,   ///< terminal; empty payload
+  Shutdown = 6,    ///< clean service shutdown marker (job_id 0)
+};
+
+const char* to_string(JournalRecordType type);
+
+struct JournalRecord {
+  JournalRecordType type = JournalRecordType::Submitted;
+  std::uint64_t job_id = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+class JobJournal {
+ public:
+  /// In-memory journal (the crash harness's "NVM-resident" log).
+  JobJournal();
+
+  /// File-backed journal at `path`.  An existing file is loaded —
+  /// including a torn tail, which stays in the image until the first
+  /// append or an explicit truncate_to_valid() — so a restarted process
+  /// sees exactly what the dead one persisted.  Throws Error when the
+  /// file exists but does not start with the journal magic.
+  explicit JobJournal(std::string path);
+
+  ~JobJournal();
+
+  JobJournal(const JobJournal&) = delete;
+  JobJournal& operator=(const JobJournal&) = delete;
+
+  /// Append one record and flush it to the file backend.  If the
+  /// service.journal.append site fires, only a prefix of the record is
+  /// persisted and InjectedFaultError is thrown — the simulated
+  /// process death mid-write.  Any torn bytes left by a previous failed
+  /// append are truncated away first (the journal never writes after
+  /// garbage).
+  void append(JournalRecordType type, std::uint64_t job_id,
+              std::vector<std::uint8_t> payload = {});
+
+  struct Replay {
+    std::vector<JournalRecord> records;
+    /// Bytes past the last valid record existed (and were ignored).
+    bool torn_tail = false;
+    /// Bytes of the valid prefix, including the magic header.
+    std::size_t valid_bytes = 0;
+  };
+
+  /// Decode the current image, stopping at the first invalid record.
+  /// The service.journal.replay site injects a transient, structured
+  /// read failure per record (the caller retries).
+  Replay replay() const;
+
+  /// Drop everything past the last valid record from the image and the
+  /// file backend; returns the number of bytes discarded.  Recovery
+  /// calls this before resuming appends.
+  std::size_t truncate_to_valid();
+
+  /// Total image size in bytes (magic + records + any torn tail).
+  std::size_t bytes() const;
+
+  /// Convenience for tests and jobd: true when the last record is a
+  /// clean Shutdown marker.
+  bool cleanly_shut_down() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Scan {
+    std::vector<JournalRecord> records;
+    std::size_t valid_bytes = 0;
+    bool torn = false;
+  };
+  /// Lock held.  `inject` arms the replay fault site per record.
+  Scan scan(bool inject) const;
+  /// Lock held.
+  void truncate_locked(std::size_t keep);
+  /// Lock held.  Mirror image_[from..) to the file backend.
+  void flush_suffix(std::size_t from);
+
+  mutable std::mutex mu_;
+  std::vector<std::uint8_t> image_;
+  /// Length of the validated prefix: appends land here, and anything
+  /// beyond it is a torn tail awaiting truncation.
+  std::size_t valid_bytes_ = 0;
+  std::string path_;
+  struct File;
+  std::unique_ptr<File> file_;
+};
+
+}  // namespace mlm::service

@@ -1,0 +1,91 @@
+// Overload protection for the MLM service: structured shed errors and
+// the client-side retry ladder.
+//
+// The scheduler's JobQueue is bounded by JobSchedulerConfig::max_queued;
+// a submission beyond the bound sheds load *by priority*: a strictly
+// higher-priority arrival evicts the worst queued victim (lowest
+// priority, then latest arrival — FIFO fairness is preserved within a
+// class), otherwise the arrival itself is rejected.  Either way exactly
+// one job fails with the structured Overloaded error built here, and
+// its SortStats carries the `shed` flag so clients can tell "try again
+// later" apart from a real failure.
+//
+// The retry ladder is the client half: capped exponential backoff with
+// deterministic seeded jitter.  Given the same RetryPolicy (seed
+// included) the delay sequence is identical tick for tick — mlm_jobd's
+// --loadgen replays its backoff schedule exactly, which is what makes
+// overload runs regression-testable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mlm/support/error.h"
+#include "mlm/support/rng.h"
+
+namespace mlm::service {
+
+/// A job shed by the bounded queue.  Stored (sliced to Error, chain
+/// intact) in the shed job's SortStats::error; the frame carries the
+/// queue depth and the priorities involved.
+class OverloadedError : public Error {
+ public:
+  explicit OverloadedError(const std::string& what) : Error(what) {}
+};
+
+/// The structured shed error.  `victim` distinguishes an evicted queued
+/// job from a rejected arrival.
+inline OverloadedError make_overloaded_error(const std::string& job_name,
+                                             int job_priority,
+                                             std::size_t queue_depth,
+                                             std::size_t max_queued,
+                                             bool victim) {
+  OverloadedError e(victim
+                        ? "job shed: evicted by a higher-priority arrival"
+                        : "job shed: queue full and no lower-priority "
+                          "victim to evict");
+  e.with_frame({"overload", -1, "", "service",
+                "queue=" + std::to_string(queue_depth) + "/" +
+                    std::to_string(max_queued) + " priority=" +
+                    std::to_string(job_priority) + ", job '" + job_name +
+                    "'"});
+  return e;
+}
+
+/// Capped exponential backoff with deterministic seeded jitter.
+struct RetryPolicy {
+  /// Resubmission attempts before the client gives up (the first
+  /// submission is not an attempt).
+  std::size_t max_attempts = 6;
+  /// Backoff before attempt 1; doubles per attempt.
+  std::uint64_t base_us = 100;
+  /// Saturation ceiling for the doubled backoff.
+  std::uint64_t cap_us = 100'000;
+  /// Jitter stream seed: same seed, same delays, tick for tick.
+  std::uint64_t jitter_seed = 0;
+};
+
+/// Backoff in microseconds before retry `attempt` (1-based).  The
+/// uncapped ideal is base_us << (attempt-1), saturated at cap_us;
+/// jitter draws the final delay uniformly from [ceil/2, ceil] via a
+/// SplitMix64 stream over (jitter_seed, attempt), so delays are
+/// randomized across clients but a pure function of policy + attempt.
+inline std::uint64_t retry_backoff_us(const RetryPolicy& policy,
+                                      std::size_t attempt) {
+  if (attempt == 0 || policy.base_us == 0) return 0;
+  std::uint64_t ceil = policy.base_us;
+  for (std::size_t i = 1; i < attempt; ++i) {
+    if (ceil >= policy.cap_us / 2 + policy.cap_us % 2) {
+      ceil = policy.cap_us;
+      break;
+    }
+    ceil *= 2;
+  }
+  ceil = ceil < policy.cap_us ? ceil : policy.cap_us;
+  SplitMix64 mix(policy.jitter_seed ^
+                 (0x9e3779b97f4a7c15ull * static_cast<std::uint64_t>(attempt)));
+  const std::uint64_t half = ceil / 2;
+  return half + mix.next() % (ceil - half + 1);
+}
+
+}  // namespace mlm::service

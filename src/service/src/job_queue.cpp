@@ -28,6 +28,19 @@ std::optional<std::uint64_t> JobQueue::peek() const {
   return std::min_element(entries_.begin(), entries_.end(), better)->id;
 }
 
+std::optional<JobQueue::Entry> JobQueue::lowest() const {
+  if (entries_.empty()) return std::nullopt;
+  // The inverse of pop()'s order, with the arrival tie broken the other
+  // way: the *latest* arrival of the minimum-priority class is shed
+  // first, so earlier same-priority jobs keep their queue positions.
+  auto worst = std::min_element(
+      entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
+        if (a.priority != b.priority) return a.priority < b.priority;
+        return a.seq > b.seq;
+      });
+  return *worst;
+}
+
 bool JobQueue::erase(std::uint64_t id) {
   auto it = std::find_if(entries_.begin(), entries_.end(),
                          [id](const Entry& e) { return e.id == id; });

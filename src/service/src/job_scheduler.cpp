@@ -1,5 +1,6 @@
 #include "mlm/service/job_scheduler.h"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 #include <vector>
@@ -7,6 +8,7 @@
 #include "mlm/fault/fault.h"
 #include "mlm/parallel/deterministic_executor.h"
 #include "mlm/parallel/thread_pool.h"
+#include "mlm/service/overload.h"
 
 namespace mlm::service {
 
@@ -19,6 +21,32 @@ fault::FaultSite& step_site() {
 fault::FaultSite& cancel_site() {
   static fault::FaultSite site(fault::sites::kServiceJobCancel);
   return site;
+}
+
+// Submitted-record payload: everything needed to re-admit the job after
+// a crash.  deadline_seconds is deliberately not journaled — a wall
+// deadline spanning a process restart is meaningless, and deterministic
+// recovery only honours step deadlines anyway.
+std::vector<std::uint8_t> encode_submitted(const JobConfig& c) {
+  CheckpointWriter w;
+  w.str(c.name);
+  w.i64(c.priority);
+  w.u64(c.near_budget_bytes);
+  w.u64(c.deadline_steps);
+  w.str(c.recovery_key);
+  return w.take();
+}
+
+JobConfig decode_submitted(const std::vector<std::uint8_t>& payload) {
+  CheckpointReader r(payload);
+  JobConfig c;
+  c.name = r.str();
+  c.priority = static_cast<int>(r.i64());
+  c.near_budget_bytes = r.u64();
+  c.deadline_steps = static_cast<std::size_t>(r.u64());
+  c.recovery_key = r.str();
+  r.expect_done();
+  return c;
 }
 
 std::size_t nearest_addressable_level(const MemoryHierarchy& h) {
@@ -76,11 +104,30 @@ bool JobScheduler::all_terminal() const {
 std::uint64_t JobScheduler::submit(JobConfig config, JobFactory factory) {
   MLM_REQUIRE(factory != nullptr, "job factory must be callable");
   std::lock_guard<std::mutex> lock(mu_);
+  return submit_locked(std::move(config), std::move(factory), nullptr);
+}
+
+std::uint64_t JobScheduler::submit_recoverable(JobConfig config,
+                                               RecoverableFactory factory) {
+  MLM_REQUIRE(factory != nullptr, "job factory must be callable");
+  MLM_REQUIRE(!config.recovery_key.empty(),
+              "submit_recoverable requires a recovery_key");
+  std::lock_guard<std::mutex> lock(mu_);
+  return submit_locked(std::move(config), nullptr, std::move(factory));
+}
+
+std::uint64_t JobScheduler::submit_locked(JobConfig config,
+                                          JobFactory factory,
+                                          RecoverableFactory rfactory) {
+  MLM_REQUIRE(!halted_,
+              "submit on a halted scheduler (journal write failed; "
+              "recover from the journal instead)");
   const std::uint64_t id = next_id_++;
   auto owned = std::make_unique<Job>();
   Job& job = *owned;
   job.config = config;
   job.factory = std::move(factory);
+  job.rfactory = std::move(rfactory);
   SortStats& st = job.stats;
   st.id = id;
   st.name = config.name;
@@ -104,9 +151,82 @@ std::uint64_t JobScheduler::submit(JobConfig config, JobFactory factory) {
     return id;
   }
 
+  if (!shed_for(job)) return id;  // rejected arrival, already finalized
+
+  // A recoverable job becomes durable only once its Submitted record is
+  // on the log: a submission the journal never learned of is the
+  // client's to retry (the WAL acknowledgement contract).
+  if (config_.journal != nullptr && job.rfactory != nullptr &&
+      !job.config.recovery_key.empty()) {
+    if (!journal_append(JournalRecordType::Submitted, id,
+                        encode_submitted(job.config))) {
+      return id;  // halted mid-write; the job dies with this process
+    }
+    job.journaled = true;
+  }
+
   st.state = JobState::Queued;
   queue_.push(id, config.priority);
   return id;
+}
+
+bool JobScheduler::shed_for(Job& incoming) {
+  if (config_.max_queued == 0 || queue_.size() < config_.max_queued) {
+    return true;
+  }
+  const std::optional<JobQueue::Entry> victim = queue_.lowest();
+  if (victim.has_value() && victim->priority < incoming.config.priority) {
+    // Evict the worst queued job (lowest priority, latest arrival) in
+    // favour of the strictly higher-priority arrival.
+    Job& v = find_job(victim->id);
+    queue_.erase(victim->id);
+    v.stats.shed = true;
+    finalize_failed(v, make_overloaded_error(v.stats.name, v.stats.priority,
+                                             config_.max_queued,
+                                             config_.max_queued,
+                                             /*victim=*/true));
+    return true;
+  }
+  incoming.stats.shed = true;
+  finalize_failed(incoming,
+                  make_overloaded_error(incoming.stats.name,
+                                        incoming.stats.priority,
+                                        config_.max_queued,
+                                        config_.max_queued,
+                                        /*victim=*/false));
+  return false;
+}
+
+bool JobScheduler::journal_append(JournalRecordType type, std::uint64_t id,
+                                  std::vector<std::uint8_t> payload) {
+  if (config_.journal == nullptr) return true;
+  try {
+    config_.journal->append(type, id, std::move(payload));
+    return true;
+  } catch (const Error&) {
+    // The simulated process death mid-write (or a real backend
+    // failure): stop the world.  No further steps, admissions, or
+    // journal writes happen; the crash harness treats this instant as
+    // the kill point and recovers a fresh scheduler from the journal's
+    // valid prefix.
+    halted_ = true;
+    return false;
+  }
+}
+
+void JobScheduler::maybe_checkpoint(Job& job) {
+  if (!job.journaled || halted_ ||
+      config_.checkpoint_interval_steps == 0) {
+    return;
+  }
+  if (job.stats.steps % config_.checkpoint_interval_steps != 0) return;
+  const std::optional<Checkpoint> ckpt = job.stepper->checkpoint();
+  if (!ckpt.has_value()) return;
+  if (journal_append(JournalRecordType::Checkpoint, job.stats.id,
+                     ckpt->encode())) {
+    ++job.stats.checkpoints;
+    ++checkpoints_written_;
+  }
 }
 
 void JobScheduler::cancel(std::uint64_t id) {
@@ -128,6 +248,7 @@ void JobScheduler::cancel(std::uint64_t id) {
 }
 
 bool JobScheduler::admit_pending() {
+  if (halted_) return false;
   bool progress = false;
   while (running_ < config_.max_concurrent) {
     const std::optional<std::uint64_t> head = queue_.peek();
@@ -184,7 +305,12 @@ void JobScheduler::start_job(Job& job,
 
   JobContext ctx{*job.view, *job.pool, job.degraded};
   try {
-    job.stepper = job.factory(ctx);
+    job.stepper = job.rfactory != nullptr
+                      ? job.rfactory(job.config, ctx,
+                                     job.resume.has_value() ? &*job.resume
+                                                            : nullptr)
+                      : job.factory(ctx);
+    MLM_CHECK_MSG(job.stepper != nullptr, "job factory returned null");
   } catch (Error& e) {
     e.with_frame({"job_setup", -1, hier_.tier_config(near_level_).name,
                   "service", "job '" + st.name + "'"});
@@ -208,6 +334,7 @@ void JobScheduler::step_task(std::uint64_t id) {
   Job* job = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (halted_) return;
     job = &find_job(id);
     SortStats& st = job->stats;
     if (st.state != JobState::Running) return;
@@ -262,7 +389,8 @@ void JobScheduler::step_task(std::uint64_t id) {
     std::lock_guard<std::mutex> lock(mu_);
     ++job->stats.steps;
     if (more) {
-      post_step(id);
+      maybe_checkpoint(*job);
+      if (!halted_) post_step(id);
       return;
     }
     if (const core::ExternalSortStats* s = job->stepper->sort_stats()) {
@@ -298,6 +426,13 @@ void JobScheduler::finalize(Job& job, JobState state) {
   }
   st.state = state;
   st.finish_tick = now_tick();
+  if (job.journaled) {
+    const JournalRecordType type =
+        state == JobState::Completed   ? JournalRecordType::Completed
+        : state == JobState::Cancelled ? JournalRecordType::Cancelled
+                                       : JournalRecordType::Failed;
+    journal_append(type, st.id);
+  }
   admission_.release(st.granted_near_bytes);
   // Teardown order matters: the stepper holds buffers in the view, and
   // the pool must go before the view's arenas only once idle (it is —
@@ -339,6 +474,7 @@ ServiceStats JobScheduler::run_all() {
     bool running = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
+      if (halted_) break;  // crashed mid-journal-write: nothing drains
       progress = admit_pending();
       done = all_terminal();
       running = running_ > 0;
@@ -366,6 +502,141 @@ ServiceStats JobScheduler::run_all() {
   return metrics();
 }
 
+bool JobScheduler::run_ticks(std::size_t ticks) {
+  MLM_REQUIRE(det_ != nullptr,
+              "run_ticks requires a deterministic driver (a crash point "
+              "must be a pure function of the seed)");
+  for (std::size_t i = 0; i < ticks; ++i) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (halted_) return false;
+      admit_pending();
+      if (all_terminal()) return true;
+    }
+    if (!det_->scheduler().step()) {
+      // Runnable set empty with non-terminal jobs: queued tenants are
+      // waiting on budget nothing will release.  A bounded drive just
+      // reports; run_all() is the path that starves them out.
+      std::lock_guard<std::mutex> lock(mu_);
+      return all_terminal();
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (halted_) return false;
+  admit_pending();
+  return all_terminal();
+}
+
+bool JobScheduler::halted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return halted_;
+}
+
+JobScheduler::RecoveryReport JobScheduler::recover(
+    const FactoryResolver& resolver) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MLM_REQUIRE(config_.journal != nullptr,
+              "recover requires a configured journal");
+  MLM_REQUIRE(jobs_.empty(), "recover must run on a fresh scheduler");
+  JobJournal& journal = *config_.journal;
+
+  RecoveryReport report;
+  // A torn tail is truncated before anything else: a half-written
+  // record must never be replayed, and appends must never land after
+  // garbage.  Resuming from the previous checkpoint instead is what
+  // redo idempotency makes digest-safe.
+  report.torn_bytes = journal.truncate_to_valid();
+  report.torn_tail = report.torn_bytes > 0;
+
+  JobJournal::Replay replay;
+  constexpr std::size_t kReplayAttempts = 4;
+  for (std::size_t attempt = 1;; ++attempt) {
+    try {
+      replay = journal.replay();
+      break;
+    } catch (Error& e) {
+      // Transient read failure (service.journal.replay); retry.
+      if (attempt >= kReplayAttempts) {
+        throw e.with_frame({"recover", -1, "", "service",
+                            "journal replay failed " +
+                                std::to_string(attempt) + " time(s)"});
+      }
+    }
+  }
+
+  // Fold the log into per-job outcomes.  A job re-journaled across
+  // several incarnations accumulates checkpoints; the latest wins.
+  struct Replayed {
+    bool submitted = false;
+    JobConfig config;
+    std::optional<Checkpoint> resume;
+    bool terminal = false;
+  };
+  std::map<std::uint64_t, Replayed> by_id;
+  for (const JournalRecord& rec : replay.records) {
+    switch (rec.type) {
+      case JournalRecordType::Submitted: {
+        Replayed& r = by_id[rec.job_id];
+        r.submitted = true;
+        r.config = decode_submitted(rec.payload);
+        break;
+      }
+      case JournalRecordType::Checkpoint:
+        by_id[rec.job_id].resume = Checkpoint::decode(rec.payload);
+        break;
+      case JournalRecordType::Completed:
+      case JournalRecordType::Failed:
+      case JournalRecordType::Cancelled:
+        by_id[rec.job_id].terminal = true;
+        break;
+      case JournalRecordType::Shutdown:
+        break;  // service-level marker, no job state
+    }
+  }
+
+  std::uint64_t max_id = 0;
+  for (auto& [id, r] : by_id) {
+    max_id = std::max(max_id, id);
+    if (!r.submitted) continue;
+    if (r.terminal) {
+      ++report.jobs_already_terminal;
+      continue;
+    }
+    auto owned = std::make_unique<Job>();
+    Job& job = *owned;
+    job.config = r.config;
+    job.resume = std::move(r.resume);
+    job.journaled = true;
+    SortStats& st = job.stats;
+    st.id = id;
+    st.name = job.config.name;
+    st.priority = job.config.priority;
+    st.requested_near_bytes = job.config.near_budget_bytes;
+    st.submit_tick = now_tick();
+    st.recovered = true;
+    jobs_.emplace(id, std::move(owned));
+
+    const RecoverableFactory* factory =
+        resolver.find(job.config.recovery_key);
+    if (factory == nullptr) {
+      // Refuse to guess: resuming wrong work would corrupt data the
+      // crashed run half-processed.
+      Error e("no recovery factory registered for key '" +
+              job.config.recovery_key + "'");
+      e.with_frame({"recover", -1, "", "service", "job '" + st.name + "'"});
+      finalize_failed(job, e);
+      continue;
+    }
+    job.rfactory = *factory;
+    if (job.resume.has_value()) ++report.with_checkpoint;
+    st.state = JobState::Queued;
+    queue_.push(id, job.config.priority);
+    ++report.jobs_resubmitted;
+  }
+  if (!by_id.empty()) next_id_ = std::max(next_id_, max_id + 1);
+  return report;
+}
+
 JobState JobScheduler::state(std::uint64_t id) const {
   std::lock_guard<std::mutex> lock(mu_);
   return find_job(id).stats.state;
@@ -389,6 +660,8 @@ ServiceStats JobScheduler::metrics() const {
       default: break;
     }
     if (st.admission == AdmissionDecision::Degraded) ++s.jobs_degraded;
+    if (st.shed) ++s.jobs_shed;
+    if (st.recovered) ++s.jobs_recovered;
     s.queue_rounds += st.queue_rounds;
     s.total_steps += st.steps;
     s.total_queue_seconds += st.queue_seconds;
@@ -396,6 +669,7 @@ ServiceStats JobScheduler::metrics() const {
     s.controller_decisions += st.controller_decisions;
     s.controller_changes += st.controller_changes;
   }
+  s.checkpoints_written = checkpoints_written_;
   s.near_capacity_bytes = admission_.capacity();
   s.near_committed_bytes = admission_.committed();
   s.peak_near_committed_bytes = admission_.peak_committed();

@@ -1,0 +1,254 @@
+#include "mlm/service/journal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "mlm/fault/fault.h"
+#include "mlm/support/error.h"
+
+namespace mlm::service {
+
+namespace {
+
+constexpr char kMagic[] = {'M', 'L', 'M', 'J', '\x01'};
+constexpr std::size_t kMagicBytes = sizeof(kMagic);
+// u32 len | u8 type | u64 id ... | u64 checksum.
+constexpr std::size_t kHeaderBytes = 4 + 1 + 8;
+constexpr std::size_t kChecksumBytes = 8;
+// Sanity bound on a single record's payload: a corrupt length field
+// must not make the scanner chase gigabytes of garbage.
+constexpr std::uint32_t kMaxPayload = 1u << 26;
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t n) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+bool valid_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(JournalRecordType::Submitted) &&
+         t <= static_cast<std::uint8_t>(JournalRecordType::Shutdown);
+}
+
+fault::FaultSite& append_site() {
+  static fault::FaultSite site(fault::sites::kServiceJournalAppend);
+  return site;
+}
+
+fault::FaultSite& replay_site() {
+  static fault::FaultSite site(fault::sites::kServiceJournalReplay);
+  return site;
+}
+
+}  // namespace
+
+const char* to_string(JournalRecordType type) {
+  switch (type) {
+    case JournalRecordType::Submitted: return "Submitted";
+    case JournalRecordType::Checkpoint: return "Checkpoint";
+    case JournalRecordType::Completed: return "Completed";
+    case JournalRecordType::Failed: return "Failed";
+    case JournalRecordType::Cancelled: return "Cancelled";
+    case JournalRecordType::Shutdown: return "Shutdown";
+  }
+  return "?";
+}
+
+// The file backend mirrors the in-memory image byte-for-byte.  Appends
+// write-and-flush; truncation rewrites the file from the image (simpler
+// than resize_file and rare — only after a torn write).
+struct JobJournal::File {
+  std::FILE* fp = nullptr;
+
+  ~File() {
+    if (fp != nullptr) std::fclose(fp);
+  }
+};
+
+JobJournal::JobJournal() {
+  image_.insert(image_.end(), kMagic, kMagic + kMagicBytes);
+  valid_bytes_ = image_.size();
+}
+
+JobJournal::JobJournal(std::string path) : path_(std::move(path)) {
+  file_ = std::make_unique<File>();
+  if (std::FILE* in = std::fopen(path_.c_str(), "rb")) {
+    std::uint8_t buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), in)) > 0) {
+      image_.insert(image_.end(), buf, buf + n);
+    }
+    std::fclose(in);
+  }
+  if (image_.empty()) {
+    image_.insert(image_.end(), kMagic, kMagic + kMagicBytes);
+    file_->fp = std::fopen(path_.c_str(), "wb");
+    MLM_REQUIRE(file_->fp != nullptr,
+                "cannot create journal file '" + path_ + "'");
+    std::fwrite(image_.data(), 1, image_.size(), file_->fp);
+    std::fflush(file_->fp);
+  } else {
+    MLM_REQUIRE(image_.size() >= kMagicBytes &&
+                    std::equal(kMagic, kMagic + kMagicBytes, image_.begin()),
+                "'" + path_ + "' is not a job journal (bad magic)");
+    file_->fp = std::fopen(path_.c_str(), "ab");
+    MLM_REQUIRE(file_->fp != nullptr,
+                "cannot open journal file '" + path_ + "'");
+  }
+  valid_bytes_ = scan(/*inject=*/false).valid_bytes;
+}
+
+JobJournal::~JobJournal() = default;
+
+void JobJournal::flush_suffix(std::size_t from) {
+  if (file_ == nullptr || file_->fp == nullptr) return;
+  std::fwrite(image_.data() + from, 1, image_.size() - from, file_->fp);
+  std::fflush(file_->fp);
+}
+
+void JobJournal::truncate_locked(std::size_t keep) {
+  if (image_.size() <= keep) return;
+  image_.resize(keep);
+  if (file_ != nullptr && file_->fp != nullptr) {
+    std::fclose(file_->fp);
+    file_->fp = std::fopen(path_.c_str(), "wb");
+    MLM_REQUIRE(file_->fp != nullptr,
+                "cannot rewrite journal file '" + path_ + "'");
+    std::fwrite(image_.data(), 1, image_.size(), file_->fp);
+    std::fflush(file_->fp);
+  }
+}
+
+void JobJournal::append(JournalRecordType type, std::uint64_t job_id,
+                        std::vector<std::uint8_t> payload) {
+  MLM_REQUIRE(payload.size() <= kMaxPayload, "journal record payload of " +
+                                                 std::to_string(payload.size()) +
+                                                 " bytes exceeds the bound");
+  std::lock_guard<std::mutex> lock(mu_);
+  // Never write after garbage: drop any torn tail a previous failed
+  // append left behind.
+  truncate_locked(valid_bytes_);
+
+  std::vector<std::uint8_t> rec;
+  rec.reserve(kHeaderBytes + payload.size() + kChecksumBytes);
+  put_u32(rec, static_cast<std::uint32_t>(payload.size()));
+  rec.push_back(static_cast<std::uint8_t>(type));
+  put_u64(rec, job_id);
+  rec.insert(rec.end(), payload.begin(), payload.end());
+  put_u64(rec, fnv1a(rec.data(), rec.size()));
+
+  if (append_site().should_fire()) {
+    // Simulated process death mid-write: persist a strict prefix (any
+    // prefix fails the scanner's length/checksum checks) and die.  The
+    // image keeps the torn bytes so replay sees what a real crash
+    // leaves on disk; valid_bytes_ stays put.
+    const std::size_t torn = rec.size() / 2;
+    image_.insert(image_.end(), rec.begin(),
+                  rec.begin() + static_cast<std::ptrdiff_t>(torn));
+    flush_suffix(image_.size() - torn);
+    throw fault::InjectedFaultError(
+        std::string("injected fault at ") +
+        fault::sites::kServiceJournalAppend + ": journal append of " +
+        to_string(type) + " record for job " + std::to_string(job_id) +
+        " torn after " + std::to_string(torn) + " of " +
+        std::to_string(rec.size()) + " byte(s)");
+  }
+
+  image_.insert(image_.end(), rec.begin(), rec.end());
+  flush_suffix(image_.size() - rec.size());
+  valid_bytes_ = image_.size();
+}
+
+JobJournal::Scan JobJournal::scan(bool inject) const {
+  Scan out;
+  MLM_REQUIRE(image_.size() >= kMagicBytes &&
+                  std::equal(kMagic, kMagic + kMagicBytes, image_.begin()),
+              "journal image lost its magic header");
+  std::size_t pos = kMagicBytes;
+  while (true) {
+    if (image_.size() - pos < kHeaderBytes + kChecksumBytes) break;
+    const std::uint8_t* p = image_.data() + pos;
+    const std::uint32_t len = get_u32(p);
+    if (len > kMaxPayload) break;
+    const std::size_t total = kHeaderBytes + len + kChecksumBytes;
+    if (image_.size() - pos < total) break;
+    if (!valid_type(p[4])) break;
+    const std::uint64_t want = get_u64(p + kHeaderBytes + len);
+    if (fnv1a(p, kHeaderBytes + len) != want) break;
+
+    if (inject && replay_site().should_fire()) {
+      Error e("journal replay read failed");
+      throw e.with_frame(
+          {"journal_replay", static_cast<std::int64_t>(out.records.size()),
+           "", "service",
+           "transient read failure at byte " + std::to_string(pos)});
+    }
+
+    JournalRecord rec;
+    rec.type = static_cast<JournalRecordType>(p[4]);
+    rec.job_id = get_u64(p + 5);
+    rec.payload.assign(p + kHeaderBytes, p + kHeaderBytes + len);
+    out.records.push_back(std::move(rec));
+    pos += total;
+  }
+  out.valid_bytes = pos;
+  out.torn = pos < image_.size();
+  return out;
+}
+
+JobJournal::Replay JobJournal::replay() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Scan s = scan(/*inject=*/true);
+  return Replay{std::move(s.records), s.torn, s.valid_bytes};
+}
+
+std::size_t JobJournal::truncate_to_valid() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Scan s = scan(/*inject=*/false);
+  const std::size_t dropped = image_.size() - s.valid_bytes;
+  truncate_locked(s.valid_bytes);
+  valid_bytes_ = s.valid_bytes;
+  return dropped;
+}
+
+std::size_t JobJournal::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return image_.size();
+}
+
+bool JobJournal::cleanly_shut_down() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Scan s = scan(/*inject=*/false);
+  return !s.torn && !s.records.empty() &&
+         s.records.back().type == JournalRecordType::Shutdown;
+}
+
+}  // namespace mlm::service

@@ -79,6 +79,25 @@ class InvalidArgumentError : public Error {
   explicit InvalidArgumentError(const std::string& what) : Error(what) {}
 };
 
+/// An Error chain recovered from its what() rendering.
+struct ParsedError {
+  /// The original message (everything before the first frame line).
+  std::string message;
+  /// Frames innermost first, exactly as Error::chain() ordered them.
+  std::vector<ErrorFrame> frames;
+};
+
+/// Parse an Error::what() rendering back into message + frames — the
+/// inverse of the formatting above, for log scrapers and tests that only
+/// see the flattened text (a journal record, a child process's stderr).
+/// Round-trips any chain whose ops contain none of the marker substrings
+/// (" [chunk ", " [tier ", " [thread ", " (") and whose tier/thread
+/// values contain no ']'; the renderer never emits those for the
+/// library's own frames.  An empty op renders as "?" and parses back to
+/// "".  Throws InvalidArgumentError on a frame line that does not match
+/// the grammar (the message itself is free-form and never rejected).
+ParsedError parse_rendered_error(const std::string& rendered);
+
 namespace detail {
 [[noreturn]] void throw_check_failure(const char* expr, const char* file,
                                       int line, const std::string& msg);

@@ -39,6 +39,76 @@ const char* Error::what() const noexcept {
   }
 }
 
+namespace {
+
+/// Parse one frame body (the text after "in ") per the ErrorFrame
+/// rendering grammar; throws on leftovers that match no production.
+ErrorFrame parse_frame_body(const std::string& body) {
+  static const std::string kChunk = " [chunk ";
+  static const std::string kTier = " [tier ";
+  static const std::string kThread = " [thread ";
+  static const std::string kDetail = " (";
+
+  ErrorFrame f;
+  std::size_t op_end = body.size();
+  for (const std::string* marker : {&kChunk, &kTier, &kThread, &kDetail}) {
+    const std::size_t at = body.find(*marker);
+    if (at != std::string::npos && at < op_end) op_end = at;
+  }
+  f.op = body.substr(0, op_end);
+  if (f.op == "?") f.op.clear();  // empty op renders as "?"
+
+  std::size_t pos = op_end;
+  const auto take_bracketed = [&](const std::string& marker,
+                                  std::string* out) {
+    if (body.compare(pos, marker.size(), marker) != 0) return false;
+    const std::size_t close = body.find(']', pos + marker.size());
+    if (close == std::string::npos) {
+      throw InvalidArgumentError("unterminated '" + marker +
+                                 "' in rendered frame: " + body);
+    }
+    *out = body.substr(pos + marker.size(), close - pos - marker.size());
+    pos = close + 1;
+    return true;
+  };
+
+  std::string chunk_text;
+  if (take_bracketed(kChunk, &chunk_text)) {
+    f.chunk = std::stoll(chunk_text);
+  }
+  take_bracketed(kTier, &f.tier);
+  take_bracketed(kThread, &f.thread);
+  if (pos < body.size()) {
+    // Only the detail production may remain: " (<detail>)" to the end.
+    if (body.compare(pos, kDetail.size(), kDetail) != 0 ||
+        body.back() != ')') {
+      throw InvalidArgumentError("unparseable rendered frame: " + body);
+    }
+    f.detail = body.substr(pos + kDetail.size(),
+                           body.size() - pos - kDetail.size() - 1);
+  }
+  return f;
+}
+
+}  // namespace
+
+ParsedError parse_rendered_error(const std::string& rendered) {
+  static const std::string kFramePrefix = "\n  in ";
+  ParsedError parsed;
+  std::size_t first = rendered.find(kFramePrefix);
+  parsed.message = rendered.substr(0, first);
+  while (first != std::string::npos) {
+    const std::size_t body_at = first + kFramePrefix.size();
+    const std::size_t next = rendered.find(kFramePrefix, body_at);
+    const std::size_t body_end =
+        next == std::string::npos ? rendered.size() : next;
+    parsed.frames.push_back(parse_frame_body(
+        rendered.substr(body_at, body_end - body_at)));
+    first = next;
+  }
+  return parsed;
+}
+
 namespace detail {
 
 void throw_check_failure(const char* expr, const char* file, int line,

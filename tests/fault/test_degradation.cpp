@@ -191,6 +191,38 @@ TEST(DegradeRetry, ExhaustedStageRetriesThrowWithAttemptCount) {
   }
 }
 
+// Regression: the doubled backoff must saturate at backoff_cap_us, not
+// shift off the end of std::size_t.  Before the cap, a retry chain in
+// the tens of attempts wrapped the delay back to ~0 and turned backoff
+// into a busy spin exactly when the system was most overloaded.
+TEST(DegradePolicy, BackoffDelaySaturatesAtCapForLongRetryChains) {
+  DegradePolicy p;
+  p.backoff_us = 100;
+  p.backoff_cap_us = 1u << 20;
+
+  EXPECT_EQ(p.delay_us(0), 0u);    // attempt 0: no wait
+  EXPECT_EQ(p.delay_us(1), 100u);  // base
+  EXPECT_EQ(p.delay_us(2), 200u);  // doubled
+  EXPECT_EQ(p.delay_us(5), 1600u);
+
+  // Past the doubling range the delay pins to the cap — including
+  // attempt counts far beyond the word size, which used to wrap.
+  const std::size_t cap = p.backoff_cap_us;
+  EXPECT_EQ(p.delay_us(20), cap);
+  EXPECT_EQ(p.delay_us(64), cap);
+  EXPECT_EQ(p.delay_us(65), cap);
+  EXPECT_EQ(p.delay_us(100000), cap);
+  for (std::size_t attempt = 1; attempt < 80; ++attempt) {
+    EXPECT_LE(p.delay_us(attempt), cap) << "attempt " << attempt;
+    EXPECT_GE(p.delay_us(attempt + 1), p.delay_us(attempt))
+        << "attempt " << attempt;  // monotone, never wraps
+  }
+
+  // Backoff disabled stays disabled regardless of attempt count.
+  DegradePolicy off;
+  EXPECT_EQ(off.delay_us(64), 0u);
+}
+
 // DegradePolicy::any_enabled drives the zero-cost default path.
 TEST(DegradePolicy, AnyEnabledReflectsConfiguredRungs) {
   DegradePolicy p;

@@ -1,0 +1,132 @@
+// Process-level crash and shutdown contract of the mlm_jobd demo:
+// SIGTERM during ingestion drains in-flight jobs, ends the journal with
+// a Shutdown record, and exits 0; SIGKILL leaves a dirty journal that a
+// --recover rerun (same --seed/--jobs/--elements) replays, finishes,
+// and closes cleanly.  Spawns the real binary (MLM_JOBD_BIN).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <fcntl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "mlm/service/journal.h"
+
+namespace mlm::service {
+namespace {
+
+std::string tmp_journal(const std::string& name) {
+  return ::testing::TempDir() + "mlm_jobd_" + name + ".wal";
+}
+
+/// fork+exec the jobd binary with stdout/stderr routed to /dev/null.
+pid_t spawn_jobd(const std::vector<std::string>& args) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  const int devnull = ::open("/dev/null", O_WRONLY);
+  if (devnull >= 0) {
+    ::dup2(devnull, STDOUT_FILENO);
+    ::dup2(devnull, STDERR_FILENO);
+    ::close(devnull);
+  }
+  std::vector<char*> argv;
+  static const std::string bin = MLM_JOBD_BIN;
+  argv.push_back(const_cast<char*>(bin.c_str()));
+  for (const std::string& a : args) {
+    argv.push_back(const_cast<char*>(a.c_str()));
+  }
+  argv.push_back(nullptr);
+  ::execv(bin.c_str(), argv.data());
+  ::_exit(127);  // exec failed
+}
+
+/// waitpid with a deadline; SIGKILLs and fails the test on timeout.
+int wait_for_exit(pid_t pid, int timeout_sec = 60) {
+  for (int waited_ms = 0; waited_ms < timeout_sec * 1000;
+       waited_ms += 20) {
+    int status = 0;
+    const pid_t r = ::waitpid(pid, &status, WNOHANG);
+    if (r == pid) return status;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  ADD_FAILURE() << "jobd did not exit within " << timeout_sec << "s";
+  return status;
+}
+
+TEST(JobdProcess, SigtermDrainsAndExitsZeroWithCleanJournal) {
+  const std::string path = tmp_journal("sigterm");
+  std::remove(path.c_str());
+
+  // Slow ingestion keeps the process alive long enough for the signal
+  // to land mid-run; the handler must stop ingesting, drain what was
+  // admitted, write the Shutdown record, and exit 0.
+  const pid_t pid = spawn_jobd({"--loadgen", "--jobs=64",
+                                "--elements=2048", "--seed=11",
+                                "--journal=" + path,
+                                "--ingest-delay-ms=30", "--quiet"});
+  ASSERT_GT(pid, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+
+  const int status = wait_for_exit(pid);
+  ASSERT_TRUE(WIFEXITED(status)) << "terminated by signal instead";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+
+  JobJournal j(path);
+  EXPECT_TRUE(j.cleanly_shut_down())
+      << "interrupted run must still end the log with Shutdown";
+  EXPECT_FALSE(j.replay().torn_tail);
+  std::remove(path.c_str());
+}
+
+TEST(JobdProcess, SigkillThenRecoverFinishesTheJournaledWork) {
+  const std::string path = tmp_journal("sigkill");
+  std::remove(path.c_str());
+  const std::vector<std::string> shape = {"--loadgen", "--jobs=24",
+                                          "--elements=2048", "--seed=5",
+                                          "--journal=" + path, "--quiet"};
+
+  // Run 1: killed dead mid-flight.  SIGKILL cannot be caught, so no
+  // Shutdown record is written — the journal is dirty by construction.
+  std::vector<std::string> slow = shape;
+  slow.push_back("--ingest-delay-ms=40");
+  const pid_t pid = spawn_jobd(slow);
+  ASSERT_GT(pid, 0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  const int status = wait_for_exit(pid);
+  ASSERT_TRUE(WIFSIGNALED(status));
+  EXPECT_EQ(WTERMSIG(status), SIGKILL);
+  {
+    JobJournal j(path);
+    EXPECT_FALSE(j.cleanly_shut_down());
+  }
+
+  // Run 2: --recover with the crashed run's shape replays the journal,
+  // resubmits every job without a terminal record, and closes cleanly.
+  std::vector<std::string> recover = shape;
+  recover.push_back("--recover");
+  const pid_t rpid = spawn_jobd(recover);
+  ASSERT_GT(rpid, 0);
+  const int rstatus = wait_for_exit(rpid);
+  ASSERT_TRUE(WIFEXITED(rstatus));
+  EXPECT_EQ(WEXITSTATUS(rstatus), 0);
+
+  JobJournal j(path);
+  EXPECT_TRUE(j.cleanly_shut_down());
+  EXPECT_FALSE(j.replay().torn_tail);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mlm::service

@@ -1,0 +1,196 @@
+// JobJournal: the append-only, checksummed WAL under the service
+// layer's crash recovery.  Round-trips in memory and across file
+// reopen, detection and truncation of torn tails (half-written final
+// records are never silently replayed), the two journal fault sites
+// (service.journal.append = die mid-write, service.journal.replay =
+// transient read failure), and the clean-shutdown marker.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mlm/fault/fault.h"
+#include "mlm/service/journal.h"
+#include "mlm/support/error.h"
+
+namespace mlm::service {
+namespace {
+
+std::vector<std::uint8_t> payload_of(const std::string& text) {
+  return std::vector<std::uint8_t>(text.begin(), text.end());
+}
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + "mlm_journal_" + name + ".wal";
+}
+
+TEST(JobJournal, MemoryRoundTripPreservesOrderTypesAndPayloads) {
+  JobJournal j;
+  j.append(JournalRecordType::Submitted, 0, payload_of("job zero"));
+  j.append(JournalRecordType::Submitted, 1, payload_of("job one"));
+  j.append(JournalRecordType::Checkpoint, 0, payload_of("ckpt"));
+  j.append(JournalRecordType::Completed, 0);
+  j.append(JournalRecordType::Failed, 1, payload_of("why"));
+
+  const JobJournal::Replay r = j.replay();
+  EXPECT_FALSE(r.torn_tail);
+  ASSERT_EQ(r.records.size(), 5u);
+  EXPECT_EQ(r.records[0].type, JournalRecordType::Submitted);
+  EXPECT_EQ(r.records[0].job_id, 0u);
+  EXPECT_EQ(r.records[0].payload, payload_of("job zero"));
+  EXPECT_EQ(r.records[2].type, JournalRecordType::Checkpoint);
+  EXPECT_EQ(r.records[3].type, JournalRecordType::Completed);
+  EXPECT_TRUE(r.records[3].payload.empty());
+  EXPECT_EQ(r.records[4].job_id, 1u);
+  EXPECT_FALSE(j.cleanly_shut_down());
+}
+
+TEST(JobJournal, FileBackedJournalSurvivesReopen) {
+  const std::string path = tmp_path("reopen");
+  std::remove(path.c_str());
+  {
+    JobJournal j(path);
+    j.append(JournalRecordType::Submitted, 7, payload_of("tenant"));
+    j.append(JournalRecordType::Checkpoint, 7, payload_of("state"));
+  }
+  JobJournal j(path);
+  const JobJournal::Replay r = j.replay();
+  EXPECT_FALSE(r.torn_tail);
+  ASSERT_EQ(r.records.size(), 2u);
+  EXPECT_EQ(r.records[0].job_id, 7u);
+  EXPECT_EQ(r.records[1].payload, payload_of("state"));
+
+  // And appends after reopen extend, not clobber.
+  j.append(JournalRecordType::Completed, 7);
+  JobJournal again(path);
+  EXPECT_EQ(again.replay().records.size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST(JobJournal, RejectsAForeignFile) {
+  const std::string path = tmp_path("foreign");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a journal";
+  }
+  EXPECT_THROW(JobJournal j(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(JobJournal, CorruptedRecordTruncatesFromFirstInvalidByte) {
+  const std::string path = tmp_path("corrupt");
+  std::remove(path.c_str());
+  std::size_t first_record_end = 0;
+  {
+    JobJournal j(path);
+    j.append(JournalRecordType::Submitted, 1, payload_of("keep me"));
+    first_record_end = j.bytes();
+    j.append(JournalRecordType::Checkpoint, 1, payload_of("corrupt me"));
+    j.append(JournalRecordType::Completed, 1);
+  }
+  {
+    // Flip one byte inside the second record's payload on disk.
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(static_cast<std::streamoff>(first_record_end + 20));
+    char b = 0;
+    f.seekg(static_cast<std::streamoff>(first_record_end + 20));
+    f.read(&b, 1);
+    f.seekp(static_cast<std::streamoff>(first_record_end + 20));
+    b = static_cast<char>(b ^ 0x40);
+    f.write(&b, 1);
+  }
+  JobJournal j(path);
+  const JobJournal::Replay r = j.replay();
+  // The checksum catches the flip; the record and EVERYTHING after it
+  // (even the well-formed Completed) is the torn tail — a log is only
+  // trustworthy up to its first invalid byte.
+  EXPECT_TRUE(r.torn_tail);
+  ASSERT_EQ(r.records.size(), 1u);
+  EXPECT_EQ(r.records[0].payload, payload_of("keep me"));
+
+  const std::size_t dropped = j.truncate_to_valid();
+  EXPECT_GT(dropped, 0u);
+  EXPECT_FALSE(j.replay().torn_tail);
+  // The truncation is durable: a reopen sees the clean prefix only.
+  JobJournal again(path);
+  EXPECT_FALSE(again.replay().torn_tail);
+  EXPECT_EQ(again.replay().records.size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST(JobJournal, AppendFaultSiteTearsTheTailMidWrite) {
+  JobJournal j;
+  j.append(JournalRecordType::Submitted, 3, payload_of("safe"));
+
+  fault::FaultPlan plan;
+  plan.arm(fault::sites::kServiceJournalAppend,
+           fault::FaultTrigger::nth_call(0));
+  {
+    fault::ScopedFaultInjector inject(plan);
+    EXPECT_THROW(
+        j.append(JournalRecordType::Checkpoint, 3, payload_of("torn")),
+        fault::InjectedFaultError);
+  }
+  EXPECT_EQ(plan.stats(fault::sites::kServiceJournalAppend).fires, 1u);
+
+  // Only a prefix of the record reached the log: replay keeps the safe
+  // record, flags the torn tail, and never surfaces the half record.
+  const JobJournal::Replay torn = j.replay();
+  EXPECT_TRUE(torn.torn_tail);
+  ASSERT_EQ(torn.records.size(), 1u);
+  EXPECT_EQ(torn.records[0].payload, payload_of("safe"));
+
+  // The next append first truncates the torn bytes, so the log heals
+  // rather than accreting garbage.
+  j.append(JournalRecordType::Completed, 3);
+  const JobJournal::Replay healed = j.replay();
+  EXPECT_FALSE(healed.torn_tail);
+  ASSERT_EQ(healed.records.size(), 2u);
+  EXPECT_EQ(healed.records[1].type, JournalRecordType::Completed);
+}
+
+TEST(JobJournal, ReplayFaultSiteSurfacesStructuredTransientError) {
+  JobJournal j;
+  j.append(JournalRecordType::Submitted, 9);
+  j.append(JournalRecordType::Completed, 9);
+
+  fault::FaultPlan plan;
+  plan.arm(fault::sites::kServiceJournalReplay,
+           fault::FaultTrigger::nth_call(1));
+  fault::ScopedFaultInjector inject(plan);
+  try {
+    (void)j.replay();
+    FAIL() << "expected a transient replay error";
+  } catch (const Error& e) {
+    ASSERT_FALSE(e.chain().empty());
+    EXPECT_EQ(e.chain().front().op, "journal_replay");
+    EXPECT_EQ(e.chain().front().chunk, 1);  // the failing record index
+  }
+  // The fault was transient: the very next replay succeeds.
+  EXPECT_EQ(j.replay().records.size(), 2u);
+}
+
+TEST(JobJournal, OversizedPayloadIsRejectedNotLogged) {
+  JobJournal j;
+  std::vector<std::uint8_t> huge((64u << 20) + 1, 0xAB);
+  EXPECT_THROW(j.append(JournalRecordType::Checkpoint, 0, huge), Error);
+  EXPECT_TRUE(j.replay().records.empty());
+}
+
+TEST(JobJournal, CleanShutdownMeansShutdownLastAndNoTornTail) {
+  JobJournal j;
+  EXPECT_FALSE(j.cleanly_shut_down());  // empty log: nothing proven
+  j.append(JournalRecordType::Submitted, 0);
+  j.append(JournalRecordType::Completed, 0);
+  EXPECT_FALSE(j.cleanly_shut_down());
+  j.append(JournalRecordType::Shutdown, 0);
+  EXPECT_TRUE(j.cleanly_shut_down());
+  // More work after the marker un-cleans the log again.
+  j.append(JournalRecordType::Submitted, 1);
+  EXPECT_FALSE(j.cleanly_shut_down());
+}
+
+}  // namespace
+}  // namespace mlm::service

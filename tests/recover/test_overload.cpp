@@ -1,0 +1,228 @@
+// Overload protection: the bounded JobQueue sheds by priority (only the
+// lowest-priority, latest-arrival victim is ever evicted, and only for
+// a strictly higher-priority arrival), shed jobs fail with the
+// structured Overloaded error, and the client retry ladder
+// (retry_backoff_us) is tick-for-tick replayable from its seed.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mlm/memory/memory_space.h"
+#include "mlm/parallel/deterministic_executor.h"
+#include "mlm/service/job_scheduler.h"
+#include "mlm/service/overload.h"
+#include "mlm/service/sort_job.h"
+#include "mlm/sort/input_gen.h"
+#include "mlm/support/error.h"
+#include "mlm/support/units.h"
+
+namespace mlm::service {
+namespace {
+
+HierarchyConfig small_hier() {
+  HierarchyConfig cfg;
+  cfg.tiers = {TierConfig{"nvm", MemKind::NVM, 0},
+               TierConfig{"ddr", MemKind::DDR, MiB(2)},
+               TierConfig{"mcdram", MemKind::MCDRAM, KiB(256)}};
+  cfg.mode = McdramMode::Flat;
+  return cfg;
+}
+
+core::ExternalSortConfig sort_config() {
+  core::ExternalSortConfig cfg;
+  cfg.outer_chunk_elements = 256;
+  cfg.inner.variant = core::MlmVariant::Flat;
+  return cfg;
+}
+
+/// Scheduler with a bounded queue that is NOT run until the caller says
+/// so — submissions pile up in the queue, which is exactly the overload
+/// scenario (admission only happens inside the run paths).
+struct Fixture {
+  Fixture(std::size_t max_queued, std::uint64_t seed = 1)
+      : hier(small_hier()), sched(seed), driver(sched, 2, "driver") {
+    JobSchedulerConfig cfg;
+    cfg.max_concurrent = 1;
+    cfg.job_workers = 1;
+    cfg.degrade.allow_tier_fallback = true;
+    cfg.max_queued = max_queued;
+    svc = std::make_unique<JobScheduler>(hier, driver, cfg);
+    buffers.reserve(16);  // stable SpaceBuffer addresses for job spans
+  }
+
+  std::uint64_t submit(const std::string& name, int priority) {
+    const std::size_t n = 512;
+    buffers.emplace_back(hier.tier(0), n);
+    auto& buf = buffers.back();
+    const auto init =
+        sort::make_input(n, sort::InputOrder::Random, buffers.size());
+    std::copy(init.begin(), init.end(), buf.data());
+    JobConfig jc;
+    jc.name = name;
+    jc.priority = priority;
+    jc.near_budget_bytes = KiB(96);  // room for sort + merge staging
+    return svc->submit(jc,
+                       make_sort_job(std::span<std::int64_t>(buf.data(), n),
+                                     sort_config()));
+  }
+
+  MemoryHierarchy hier;
+  DeterministicScheduler sched;
+  DeterministicExecutor driver;
+  std::unique_ptr<JobScheduler> svc;
+  std::vector<SpaceBuffer<std::int64_t>> buffers;
+};
+
+TEST(Overload, FullQueueRejectsEqualOrLowerPriorityArrivals) {
+  Fixture f(/*max_queued=*/2);
+  const std::uint64_t a = f.submit("a", 1);
+  const std::uint64_t b = f.submit("b", 0);
+  // Queue now at its bound.  Equal-to-lowest priority: the ARRIVAL is
+  // shed, never a queued job.
+  const std::uint64_t c = f.submit("c", 0);
+  EXPECT_EQ(f.svc->state(c), JobState::Failed);
+  EXPECT_TRUE(f.svc->job_stats(c).shed);
+  EXPECT_EQ(f.svc->state(a), JobState::Queued);
+  EXPECT_EQ(f.svc->state(b), JobState::Queued);
+  // Strictly lower priority than the lowest victim: also rejected.
+  Fixture g(/*max_queued=*/1);
+  const std::uint64_t p1 = g.submit("p1", 1);
+  const std::uint64_t p0 = g.submit("p0", 0);
+  EXPECT_EQ(g.svc->state(p0), JobState::Failed);
+  EXPECT_EQ(g.svc->state(p1), JobState::Queued);
+
+  // The survivors complete untouched.
+  f.svc->run_all();
+  const auto err = [&](std::uint64_t id) {
+    const SortStats st = f.svc->job_stats(id);
+    return st.error ? std::string(st.error->what()) : std::string("ok");
+  };
+  EXPECT_EQ(f.svc->state(a), JobState::Completed) << err(a);
+  EXPECT_EQ(f.svc->state(b), JobState::Completed) << err(b);
+}
+
+TEST(Overload, HigherPriorityArrivalEvictsLowestPriorityLatestArrival) {
+  Fixture f(/*max_queued=*/2);
+  const std::uint64_t early_p0 = f.submit("early-p0", 0);
+  const std::uint64_t late_p0 = f.submit("late-p0", 0);
+  const std::uint64_t vip = f.submit("vip", 2);
+
+  // Of the two priority-0 victims the LATEST arrival is shed: the
+  // earlier submission has waited longer and keeps its place.
+  EXPECT_EQ(f.svc->state(late_p0), JobState::Failed);
+  EXPECT_TRUE(f.svc->job_stats(late_p0).shed);
+  EXPECT_EQ(f.svc->state(early_p0), JobState::Queued);
+  EXPECT_EQ(f.svc->state(vip), JobState::Queued);
+
+  const ServiceStats m = f.svc->run_all();
+  EXPECT_EQ(f.svc->state(vip), JobState::Completed);
+  EXPECT_EQ(f.svc->state(early_p0), JobState::Completed);
+  EXPECT_EQ(m.jobs_shed, 1u);
+  EXPECT_EQ(m.jobs_failed, 1u);
+}
+
+TEST(Overload, ShedJobsCarryTheStructuredOverloadedError) {
+  Fixture f(/*max_queued=*/1);
+  f.submit("keeper", 1);
+  const std::uint64_t shed = f.submit("shed-me", 0);
+
+  const SortStats st = f.svc->job_stats(shed);
+  ASSERT_TRUE(st.error.has_value());
+  const std::string what = st.error->what();
+  EXPECT_NE(what.find("job shed"), std::string::npos) << what;
+  ASSERT_FALSE(st.error->chain().empty());
+  const ErrorFrame& frame = st.error->chain().front();
+  EXPECT_EQ(frame.op, "overload");
+  EXPECT_EQ(frame.thread, "service");
+  EXPECT_NE(frame.detail.find("queue=1/1"), std::string::npos)
+      << frame.detail;
+  EXPECT_NE(frame.detail.find("shed-me"), std::string::npos);
+
+  // The rendering round-trips (satellite contract: overload errors are
+  // parseable out of logs).
+  const ParsedError parsed = parse_rendered_error(what);
+  ASSERT_FALSE(parsed.frames.empty());
+  EXPECT_EQ(parsed.frames.front().op, "overload");
+  EXPECT_EQ(parsed.frames.front().detail, frame.detail);
+}
+
+TEST(Overload, UnboundedQueueNeverSheds) {
+  Fixture f(/*max_queued=*/0);
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(f.submit("job" + std::to_string(i), i % 3));
+  }
+  const ServiceStats m = f.svc->run_all();
+  EXPECT_EQ(m.jobs_shed, 0u);
+  EXPECT_EQ(m.jobs_completed, 8u);
+  for (const std::uint64_t id : ids) {
+    EXPECT_EQ(f.svc->state(id), JobState::Completed);
+  }
+}
+
+TEST(Overload, MetricsCountShedJobsSeparately) {
+  Fixture f(/*max_queued=*/1);
+  f.submit("queued", 0);
+  f.submit("rejected-1", 0);
+  f.submit("rejected-2", 0);
+  const ServiceStats m = f.svc->run_all();
+  EXPECT_EQ(m.jobs_shed, 2u);
+  EXPECT_EQ(m.jobs_failed, 2u);  // shed jobs are the only failures
+  EXPECT_EQ(m.jobs_completed, 1u);
+}
+
+// -------------------------- retry ladder -----------------------------
+
+TEST(RetryLadder, BackoffIsDeterministicPerSeedAndAttempt) {
+  RetryPolicy p;
+  p.base_us = 100;
+  p.cap_us = 100'000;
+  p.jitter_seed = 42;
+
+  std::vector<std::uint64_t> first;
+  for (std::size_t attempt = 1; attempt <= 20; ++attempt) {
+    first.push_back(retry_backoff_us(p, attempt));
+  }
+  // Tick-for-tick replay: the same policy yields the same ladder.
+  for (std::size_t attempt = 1; attempt <= 20; ++attempt) {
+    EXPECT_EQ(retry_backoff_us(p, attempt), first[attempt - 1])
+        << "attempt " << attempt;
+  }
+
+  // A different seed jitters differently somewhere in the ladder.
+  RetryPolicy other = p;
+  other.jitter_seed = 43;
+  bool any_difference = false;
+  for (std::size_t attempt = 1; attempt <= 20; ++attempt) {
+    if (retry_backoff_us(other, attempt) != first[attempt - 1]) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(RetryLadder, DelayStaysWithinJitterWindowAndSaturatesAtCap) {
+  RetryPolicy p;
+  p.base_us = 100;
+  p.cap_us = 10'000;
+  p.jitter_seed = 7;
+
+  std::uint64_t ceil = p.base_us;
+  for (std::size_t attempt = 1; attempt <= 64; ++attempt) {
+    const std::uint64_t delay = retry_backoff_us(p, attempt);
+    EXPECT_GE(delay, ceil / 2) << "attempt " << attempt;
+    EXPECT_LE(delay, ceil) << "attempt " << attempt;
+    // The ceiling doubles per attempt and pins to the cap — never wraps,
+    // even for attempt counts past the word size.
+    ceil = std::min<std::uint64_t>(ceil * 2, p.cap_us);
+  }
+  EXPECT_LE(retry_backoff_us(p, 100000), p.cap_us);
+  EXPECT_GE(retry_backoff_us(p, 100000), p.cap_us / 2);
+}
+
+}  // namespace
+}  // namespace mlm::service

@@ -75,6 +75,74 @@ TEST(ErrorChain, WhatRendersBaseMessagePlusOneLinePerFrame) {
             std::string::npos);
 }
 
+// parse_rendered_error is the inverse of what(): a chain pushed through
+// the flattened text (a journal record, a child's stderr) must come
+// back frame-for-frame.
+TEST(ErrorParse, RoundTripsChainThroughWhatRendering) {
+  Error e("injected fault at site 'pipeline.stage.compute'");
+  e.with_frame({"compute", 3, "mcdram", "pool-worker", "slice 2/4"});
+  e.with_frame({"run_chunk_pipeline", -1, "mcdram", "", ""});
+  e.with_frame({"job_step", 7, "", "driver", "attempt 2"});
+
+  const ParsedError parsed = parse_rendered_error(e.what());
+  EXPECT_EQ(parsed.message,
+            "injected fault at site 'pipeline.stage.compute'");
+  ASSERT_EQ(parsed.frames.size(), e.chain().size());
+  for (std::size_t i = 0; i < parsed.frames.size(); ++i) {
+    EXPECT_EQ(parsed.frames[i].op, e.chain()[i].op) << "frame " << i;
+    EXPECT_EQ(parsed.frames[i].chunk, e.chain()[i].chunk) << "frame " << i;
+    EXPECT_EQ(parsed.frames[i].tier, e.chain()[i].tier) << "frame " << i;
+    EXPECT_EQ(parsed.frames[i].thread, e.chain()[i].thread)
+        << "frame " << i;
+    EXPECT_EQ(parsed.frames[i].detail, e.chain()[i].detail)
+        << "frame " << i;
+  }
+}
+
+TEST(ErrorParse, RoundTripsEmptyDetailAndEmptyOpFrames) {
+  Error e("boom");
+  e.with_frame({"", -1, "", "", ""});           // renders as "in ?"
+  e.with_frame({"merge", -1, "nvm", "", ""});   // no detail, no thread
+  e.with_frame({"admit", -1, "", "service", ""});
+
+  const ParsedError parsed = parse_rendered_error(e.what());
+  ASSERT_EQ(parsed.frames.size(), 3u);
+  EXPECT_EQ(parsed.frames[0].op, "");
+  EXPECT_EQ(parsed.frames[0].detail, "");
+  EXPECT_EQ(parsed.frames[1].op, "merge");
+  EXPECT_EQ(parsed.frames[1].tier, "nvm");
+  EXPECT_EQ(parsed.frames[2].thread, "service");
+}
+
+TEST(ErrorParse, RoundTripsChainsLongerThanEightFrames) {
+  Error e("deep failure");
+  for (int i = 0; i < 12; ++i) {
+    e.with_frame({"layer" + std::to_string(i), i, "tier" + std::to_string(i),
+                  "thread" + std::to_string(i), "depth " + std::to_string(i)});
+  }
+  const ParsedError parsed = parse_rendered_error(e.what());
+  ASSERT_EQ(parsed.frames.size(), 12u);
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_EQ(parsed.frames[i].op, "layer" + std::to_string(i));
+    EXPECT_EQ(parsed.frames[i].chunk, i);
+    EXPECT_EQ(parsed.frames[i].detail, "depth " + std::to_string(i));
+  }
+}
+
+TEST(ErrorParse, DetailMayContainParensAndBrackets) {
+  Error e("boom");
+  e.with_frame({"retry", -1, "", "", "budget (3 of 4) [soft]"});
+  const ParsedError parsed = parse_rendered_error(e.what());
+  ASSERT_EQ(parsed.frames.size(), 1u);
+  EXPECT_EQ(parsed.frames[0].detail, "budget (3 of 4) [soft]");
+}
+
+TEST(ErrorParse, FramelessMessageParsesToMessageOnly) {
+  const ParsedError parsed = parse_rendered_error("plain failure text");
+  EXPECT_EQ(parsed.message, "plain failure text");
+  EXPECT_TRUE(parsed.frames.empty());
+}
+
 TEST(ErrorChain, CatchByReferenceAndRethrowKeepsDerivedTypeAndFrames) {
   try {
     try {
