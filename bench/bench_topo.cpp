@@ -1,0 +1,15 @@
+// Thin entry point: topology-aware execution benchmarks (see
+// bench/suites/topo.cpp for the cases and view).
+#include "mlm/bench/bench.h"
+#include "suites/suites.h"
+
+int main(int argc, char** argv) {
+  mlm::bench::Harness h(
+      "bench_topo",
+      "Topology-aware execution benchmarks: NUMA affinity planning and "
+      "pinning policies, AoS vs key/payload-split record sort layouts, "
+      "first-touch arena faulting; --perf-counters adds hardware "
+      "locality counters where the kernel allows.");
+  mlm::bench::suites::register_topo(h);
+  return h.run(argc, argv);
+}

@@ -25,6 +25,7 @@ void register_all(Harness& h) {
   register_service(h);
   register_adapt(h);
   register_kv(h);
+  register_topo(h);
 }
 
 }  // namespace mlm::bench::suites

@@ -62,6 +62,13 @@ void register_adapt(Harness& h);
 // simulated service time vs access skew, static vs migrating placement.
 void register_kv(Harness& h);
 
+// Topology-aware execution (PR 10): deterministic affinity planning,
+// pinned memory-bound copies (wall + counter metrics), AoS vs
+// key/payload-split record sorts with baseline-pinned output digests,
+// first-touch arena faulting.  With --perf-counters the host-measured
+// cases also record hardware counts (never compared in CI).
+void register_topo(Harness& h);
+
 /// Every suite above, in the order listed — the bench_all set.
 void register_all(Harness& h);
 

@@ -17,6 +17,10 @@
 //  - WallClock: real timings measured on this host via ctx.measure()
 //    (warmup runs discarded, `repetitions` samples kept).  Compared with
 //    a relative threshold.
+//  - Counter: machine-dependent hardware or system counts (LLC misses,
+//    pinned-thread tallies, NUMA node totals).  Recorded for inspection
+//    only; bench_compare skips them unconditionally, so they can never
+//    gate CI even under --require-all.
 //
 // Uniform CLI (plus any per-suite flags): --repetitions, --warmup,
 // --seed, --smoke, --json=PATH, --csv=PATH, --filter=SUBSTR, --list,
@@ -41,6 +45,7 @@ namespace mlm::bench {
 enum class MetricKind : std::uint8_t {
   Deterministic,  ///< model/simulator output; exact-compared
   WallClock,      ///< host timing; threshold-compared
+  Counter,        ///< machine-dependent hardware/system count; never compared
 };
 
 const char* to_string(MetricKind kind);
@@ -77,6 +82,7 @@ struct HarnessOptions {
   bool smoke = false;
   bool list = false;
   bool quiet = false;
+  bool perf_counters = false;  ///< enable hardware perf-event counters
   std::string json_path;
   std::string csv_path;
   std::string filter;
@@ -105,6 +111,9 @@ class BenchContext {
       : opts_(opts), result_(result) {}
 
   bool smoke() const { return opts_.smoke; }
+  /// True when the user passed --perf-counters; cases gate hardware
+  /// counter collection (mlm/bench/perf_counters.h) on this.
+  bool perf_counters() const { return opts_.perf_counters; }
   std::uint64_t seed() const { return opts_.seed; }
   std::size_t repetitions() const {
     return static_cast<std::size_t>(opts_.repetitions);
@@ -129,6 +138,9 @@ class BenchContext {
   /// Record a wall-clock metric from pre-collected samples.
   void wall_metric(const std::string& name, std::vector<double> samples,
                    const std::string& unit = "s");
+  /// Record a machine-dependent counter metric (never gated in CI).
+  void counter(const std::string& name, double value,
+               const std::string& unit = "");
   /// Time `fn` under the run protocol: `warmup()` discarded runs, then
   /// `repetitions()` timed runs recorded as a wall-clock metric.
   template <typename Fn>

@@ -1,0 +1,70 @@
+// Optional hardware performance counters for the bench harness.
+//
+// Wraps perf_event_open(2) for the handful of events the paper's
+// locality story cares about: last-level-cache misses (did the working
+// set fit?), node-local vs remote DRAM reads (did pinning keep traffic
+// on the intended NUMA node?), and backend-stalled cycles (is the core
+// actually waiting on memory?).  Everything is best-effort: each event
+// opens independently, and any that the kernel refuses (unsupported
+// hardware, perf_event_paranoid, seccomp, non-Linux hosts) is simply
+// absent from the results with the reason recorded in status().
+//
+// Counters are machine- and privilege-dependent, so the harness records
+// them as MetricKind::Counter — visible in artifacts, never compared in
+// CI — and only when the user passes --perf-counters.
+//
+// Scope caveat: events are opened for the *calling thread* (pid=0,
+// cpu=-1) with inherit=1, so child threads spawned between start() and
+// stop() are counted too.  Thread pools created before start() are NOT
+// covered on all kernels; construct pools inside the measured region
+// when per-workload attribution matters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mlm::bench {
+
+/// One counter reading: the event's short name ("llc_misses") and the
+/// accumulated count between start() and stop().
+struct CounterReading {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+class PerfCounters {
+ public:
+  /// Tries to open every known event for the calling thread.  Never
+  /// throws; query available() / status() for the outcome.
+  PerfCounters();
+  ~PerfCounters();
+
+  PerfCounters(const PerfCounters&) = delete;
+  PerfCounters& operator=(const PerfCounters&) = delete;
+
+  /// True when at least one event opened.
+  bool available() const { return !fds_.empty(); }
+  /// Human-readable summary of what opened and what was refused (and
+  /// why) — surfaced in bench output so a counter-less run is clearly
+  /// reported rather than silently empty.
+  const std::string& status() const { return status_; }
+
+  /// Reset and enable all open events.  No-op when none opened.
+  void start();
+  /// Disable all open events.  No-op when none opened.
+  void stop();
+  /// Read the accumulated counts since the last start().  Events whose
+  /// read fails are omitted.
+  std::vector<CounterReading> read() const;
+
+ private:
+  struct Event {
+    std::string name;
+    int fd = -1;
+  };
+  std::vector<Event> fds_;
+  std::string status_;
+};
+
+}  // namespace mlm::bench

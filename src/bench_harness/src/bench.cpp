@@ -15,14 +15,15 @@ const char* to_string(MetricKind kind) {
   switch (kind) {
     case MetricKind::Deterministic: return "deterministic";
     case MetricKind::WallClock: return "wall";
+    case MetricKind::Counter: return "counter";
   }
   return "?";
 }
 
 double Metric::value() const {
   MLM_CHECK_MSG(!samples.empty(), "metric has no samples: " + name);
-  if (kind == MetricKind::Deterministic) return samples.front();
-  return summarize(samples).mean;
+  if (kind == MetricKind::WallClock) return summarize(samples).mean;
+  return samples.front();
 }
 
 const Metric* CaseResult::find_metric(const std::string& metric_name) const {
@@ -89,6 +90,11 @@ void BenchContext::wall_metric(const std::string& name,
   add_metric(name, MetricKind::WallClock, std::move(samples), unit);
 }
 
+void BenchContext::counter(const std::string& name, double value,
+                           const std::string& unit) {
+  add_metric(name, MetricKind::Counter, {value}, unit);
+}
+
 void BenchContext::add_metric(const std::string& name, MetricKind kind,
                               std::vector<double> samples,
                               const std::string& unit) {
@@ -127,6 +133,9 @@ Harness::Harness(std::string tool, std::string description)
                   "only run cases whose name contains this substring");
   cli_.add_flag("list", &opts_.list, "list case names and exit");
   cli_.add_flag("quiet", &opts_.quiet, "suppress the table views");
+  cli_.add_flag("perf-counters", &opts_.perf_counters,
+                "record hardware perf-event counters where supported "
+                "(counter metrics; never compared in CI)");
 }
 
 void Harness::set_machine(std::string name, std::vector<TierConfig> tiers) {

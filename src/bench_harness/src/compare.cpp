@@ -60,6 +60,10 @@ CompareResult compare_reports(const RunReport& current,
       if (base_metric.kind == MetricKind::WallClock && options.ignore_wall) {
         continue;
       }
+      // Counter metrics are machine-dependent by definition (hardware
+      // event counts, NUMA totals); never gate on them, not even under
+      // --require-all.
+      if (base_metric.kind == MetricKind::Counter) continue;
       const Metric* cur_metric = cur_case->find_metric(base_metric.name);
       if (cur_metric == nullptr) {
         add({FindingKind::MissingMetric, base_case.name, base_metric.name,

@@ -1,0 +1,135 @@
+#include "mlm/bench/perf_counters.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+
+namespace mlm::bench {
+
+#if defined(__linux__)
+
+namespace {
+
+int open_event(std::uint32_t type, std::uint64_t config) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.size = sizeof(attr);
+  attr.type = type;
+  attr.config = config;
+  attr.disabled = 1;
+  attr.exclude_kernel = 1;
+  attr.exclude_hv = 1;
+  // Count children spawned after open too (thread pools built inside
+  // the measured region).
+  attr.inherit = 1;
+  // pid=0, cpu=-1: this thread (and inherited children), any CPU.
+  return static_cast<int>(
+      ::syscall(__NR_perf_event_open, &attr, 0, -1, -1, 0));
+}
+
+constexpr std::uint64_t cache_config(std::uint64_t cache, std::uint64_t op,
+                                     std::uint64_t result) {
+  return cache | (op << 8) | (result << 16);
+}
+
+struct EventSpec {
+  const char* name;
+  std::uint32_t type;
+  std::uint64_t config;
+};
+
+// The locality story in five events: LLC behaviour, where DRAM reads
+// landed, and whether the backend actually stalled waiting for them.
+const EventSpec kEvents[] = {
+    {"llc_references", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_REFERENCES},
+    {"llc_misses", PERF_TYPE_HARDWARE, PERF_COUNT_HW_CACHE_MISSES},
+    {"stalled_cycles_backend", PERF_TYPE_HARDWARE,
+     PERF_COUNT_HW_STALLED_CYCLES_BACKEND},
+    {"node_local_reads", PERF_TYPE_HW_CACHE,
+     cache_config(PERF_COUNT_HW_CACHE_NODE, PERF_COUNT_HW_CACHE_OP_READ,
+                  PERF_COUNT_HW_CACHE_RESULT_ACCESS)},
+    {"node_remote_reads", PERF_TYPE_HW_CACHE,
+     cache_config(PERF_COUNT_HW_CACHE_NODE, PERF_COUNT_HW_CACHE_OP_READ,
+                  PERF_COUNT_HW_CACHE_RESULT_MISS)},
+};
+
+}  // namespace
+
+PerfCounters::PerfCounters() {
+  std::string opened;
+  std::string refused;
+  for (const EventSpec& spec : kEvents) {
+    const int fd = open_event(spec.type, spec.config);
+    if (fd >= 0) {
+      fds_.push_back(Event{spec.name, fd});
+      if (!opened.empty()) opened += ", ";
+      opened += spec.name;
+    } else {
+      if (!refused.empty()) refused += ", ";
+      refused += spec.name;
+      refused += " (";
+      refused += std::strerror(errno);
+      refused += ")";
+    }
+  }
+  if (fds_.empty()) {
+    status_ = "no perf events available";
+    if (!refused.empty()) status_ += ": " + refused;
+    status_ +=
+        " — check /proc/sys/kernel/perf_event_paranoid or run with "
+        "CAP_PERFMON";
+  } else {
+    status_ = "counting " + opened;
+    if (!refused.empty()) status_ += "; unavailable: " + refused;
+  }
+}
+
+PerfCounters::~PerfCounters() {
+  for (const Event& e : fds_) ::close(e.fd);
+}
+
+void PerfCounters::start() {
+  for (const Event& e : fds_) {
+    ::ioctl(e.fd, PERF_EVENT_IOC_RESET, 0);
+    ::ioctl(e.fd, PERF_EVENT_IOC_ENABLE, 0);
+  }
+}
+
+void PerfCounters::stop() {
+  for (const Event& e : fds_) ::ioctl(e.fd, PERF_EVENT_IOC_DISABLE, 0);
+}
+
+std::vector<CounterReading> PerfCounters::read() const {
+  std::vector<CounterReading> out;
+  out.reserve(fds_.size());
+  for (const Event& e : fds_) {
+    std::uint64_t value = 0;
+    const ssize_t n = ::read(e.fd, &value, sizeof(value));
+    if (n == static_cast<ssize_t>(sizeof(value))) {
+      out.push_back(CounterReading{e.name, value});
+    }
+  }
+  return out;
+}
+
+#else  // !defined(__linux__)
+
+PerfCounters::PerfCounters()
+    : status_("perf counters require Linux perf_event_open") {}
+
+PerfCounters::~PerfCounters() = default;
+
+void PerfCounters::start() {}
+void PerfCounters::stop() {}
+
+std::vector<CounterReading> PerfCounters::read() const { return {}; }
+
+#endif
+
+}  // namespace mlm::bench

@@ -45,7 +45,7 @@ JsonValue metric_to_json(const Metric& m) {
   mj.set("name", m.name);
   mj.set("unit", m.unit);
   mj.set("kind", std::string(to_string(m.kind)));
-  if (m.kind == MetricKind::Deterministic) {
+  if (m.kind != MetricKind::WallClock) {
     mj.set("value", m.samples.front());
   } else {
     JsonValue samples = JsonValue::array();
@@ -69,6 +69,9 @@ Metric metric_from_json(const JsonValue& mj) {
     const std::string& kind = mj.get("kind").as_string();
     if (kind == "deterministic") {
       m.kind = MetricKind::Deterministic;
+      m.samples = {mj.get("value").as_number()};
+    } else if (kind == "counter") {
+      m.kind = MetricKind::Counter;
       m.samples = {mj.get("value").as_number()};
     } else if (kind == "wall") {
       m.kind = MetricKind::WallClock;

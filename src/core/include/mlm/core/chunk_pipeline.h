@@ -117,6 +117,17 @@ struct PipelineConfig {
   /// unlimited or absent).
   std::size_t chunk_bytes = 0;
   PoolSizes pools;
+  /// Topology placement for the three pools
+  /// (mlm/parallel/triple_pools.h): under TierLocal the copy pools pin
+  /// next to the far tier's NUMA node and compute next to the near
+  /// tier's.  Best-effort and a recorded no-op under a deterministic
+  /// scheduler, so schedules and digests never depend on it.
+  PoolAffinity affinity;
+  /// Fault the near-tier chunk buffers in from the copy-in pool before
+  /// the run (mlm/parallel/first_touch.h), so with node-pinned copy
+  /// workers the buffer pages land on the node that streams them.
+  /// Value-preserving; off by default.
+  bool first_touch = false;
   Buffering buffering = Buffering::Triple;
   /// If false, chunks are read-only for compute and are not copied back
   /// (e.g. reductions); the copy-out pool idles.

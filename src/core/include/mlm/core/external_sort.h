@@ -19,8 +19,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstddef>
+#include <cstring>
 #include <optional>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "mlm/core/adapt_seam.h"
@@ -33,6 +35,8 @@
 #include "mlm/parallel/parallel_memcpy.h"
 #include "mlm/sort/loser_tree.h"
 #include "mlm/sort/multiway_merge.h"
+#include "mlm/sort/record.h"
+#include "mlm/support/cache_line.h"
 #include "mlm/support/error.h"
 #include "mlm/support/stopwatch.h"
 #include "mlm/support/trace.h"
@@ -82,10 +86,10 @@ void external_multiway_merge(Executor& pool, MemorySpace& staging,
 
   const std::size_t k = runs.size();
   // Fit the per-part staging footprint: (k input blocks + 1 output
-  // block) per part, each rounded up to the space's 64-byte allocation
-  // granularity.
+  // block) per part, each rounded up to the space's cache-line
+  // allocation granularity.
   const std::size_t block_bytes =
-      (block_elements * sizeof(T) + 63) / 64 * 64;
+      round_up(block_elements * sizeof(T), kCacheLineBytes);
   const std::size_t per_part_bytes = (k + 1) * block_bytes;
   std::size_t parts = std::min(pool.size(),
                                std::max<std::size_t>(total / 4096, 1));
@@ -184,6 +188,145 @@ void external_multiway_merge(Executor& pool, MemorySpace& staging,
   });
 }
 
+/// Key/payload-split variant of external_multiway_merge for Record<N>
+/// runs (mlm/sort/record.h, key-ascending order only): each staged
+/// input window additionally extracts a dense 8-byte key mirror, the
+/// loser tree merges the mirrors, and the records behind every emitted
+/// streak are copied window -> output block in one contiguous memcpy.
+/// The tree therefore touches sizeof(key) instead of sizeof(Record)
+/// bytes per comparison; payloads move exactly once per staging hop.
+/// Output is byte-identical to the AoS merge (both are stable by
+/// (key, run index)).
+///
+/// Staging cost per part is the same (k + 1) record blocks; the key
+/// mirrors are transient host-heap arrays (8/sizeof(Record) of the
+/// block bytes — 12.5% for Record64) and deliberately not charged to
+/// `staging`, which models the far/near arena budget, not scratch.
+template <std::size_t N>
+void external_multiway_merge_split(
+    Executor& pool, MemorySpace& staging,
+    std::span<const mlm::sort::Run<mlm::sort::Record<N>>> runs,
+    std::span<mlm::sort::Record<N>> out, std::size_t block_elements,
+    CopyMode payload_mode = CopyMode::Auto) {
+  using Rec = mlm::sort::Record<N>;
+  using mlm::sort::Run;
+  std::size_t total = 0;
+  for (const auto& r : runs) total += r.size();
+  MLM_REQUIRE(out.size() == total, "output size must equal total runs");
+  MLM_REQUIRE(block_elements >= 1, "block must hold at least one element");
+  if (total == 0) return;
+
+  const std::size_t k = runs.size();
+  const std::size_t block_bytes =
+      round_up(block_elements * sizeof(Rec), kCacheLineBytes);
+  const std::size_t per_part_bytes = (k + 1) * block_bytes;
+  std::size_t parts = std::min(pool.size(),
+                               std::max<std::size_t>(total / 4096, 1));
+  if (!staging.unlimited()) {
+    const std::size_t cap = staging.stats().free_bytes();
+    MLM_REQUIRE(per_part_bytes <= cap,
+                "staging space cannot hold even one part's merge blocks");
+    parts = std::min(parts, cap / per_part_bytes);
+  }
+  parts = std::max<std::size_t>(parts, 1);
+
+  // Same exact output split points as the AoS path (records compare by
+  // key with (value, run, position) ties), so the layouts agree element
+  // for element.
+  std::vector<std::vector<std::size_t>> bounds(parts + 1);
+  bounds[0].assign(k, 0);
+  for (std::size_t p = 1; p < parts; ++p) {
+    bounds[p] = mlm::sort::multiseq_partition(runs, total * p / parts);
+  }
+  bounds[parts].resize(k);
+  for (std::size_t i = 0; i < k; ++i) bounds[parts][i] = runs[i].size();
+
+  parallel_for(pool, 0, parts, [&](std::size_t p) {
+    struct Cursor {
+      const Rec* next;
+      const Rec* end;
+    };
+    std::vector<Cursor> cursors(k);
+    std::size_t out_begin = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      cursors[i] = {runs[i].data() + bounds[p][i],
+                    runs[i].data() + bounds[p + 1][i]};
+      out_begin += bounds[p][i];
+    }
+
+    // Staging blocks: k record windows + 1 record output block, plus a
+    // transient key mirror per window on the host heap.
+    std::vector<SpaceBuffer<Rec>> in_blocks;
+    in_blocks.reserve(k);
+    for (std::size_t i = 0; i < k; ++i) {
+      in_blocks.emplace_back(staging, block_elements);
+    }
+    SpaceBuffer<Rec> out_block(staging, block_elements);
+    std::vector<std::vector<std::uint64_t>> key_win(
+        k, std::vector<std::uint64_t>(block_elements));
+
+    // Window state: [win_cur, win_end) inside in_blocks[i] / key_win[i].
+    std::vector<std::pair<std::size_t, std::size_t>> win(k, {0, 0});
+    auto refill = [&](std::size_t i) {
+      const auto avail = static_cast<std::size_t>(cursors[i].end -
+                                                  cursors[i].next);
+      const std::size_t n = std::min(avail, block_elements);
+      copy_bytes(in_blocks[i].data(), cursors[i].next, n * sizeof(Rec),
+                 payload_mode);
+      // Extract the key mirror while the freshly staged records are
+      // still warm — the only pass that reads them before copy-out.
+      for (std::size_t j = 0; j < n; ++j) {
+        key_win[i][j] = in_blocks[i].data()[j].key;
+      }
+      cursors[i].next += n;
+      win[i] = {0, n};
+    };
+    for (std::size_t i = 0; i < k; ++i) refill(i);
+
+    Rec* far_out = out.data() + out_begin;
+    std::size_t out_fill = 0;
+    auto flush_out = [&] {
+      copy_bytes(far_out, out_block.data(), out_fill * sizeof(Rec),
+                 payload_mode);
+      far_out += out_fill;
+      out_fill = 0;
+    };
+
+    // The streak keys themselves are throwaway (the records carry
+    // them); the merge loop reads keys only.
+    std::vector<std::uint64_t> streak(block_elements);
+
+    mlm::sort::LoserTree<const std::uint64_t*> lt(k);
+    auto reseat = [&] {
+      for (std::size_t i = 0; i < k; ++i) {
+        lt.set_run(i, key_win[i].data() + win[i].first,
+                   key_win[i].data() + win[i].second);
+      }
+      lt.init();
+    };
+    reseat();
+    while (!lt.empty()) {
+      std::size_t src = 0;
+      const std::size_t got = lt.pop_streak(
+          streak.data(), block_elements - out_fill, src);
+      // The records behind the streak sit contiguously in src's staged
+      // window — one memcpy moves them all.
+      std::memcpy(out_block.data() + out_fill,
+                  in_blocks[src].data() + win[src].first,
+                  got * sizeof(Rec));
+      out_fill += got;
+      win[src].first += got;
+      if (out_fill == block_elements) flush_out();
+      if (win[src].first == win[src].second &&
+          cursors[src].next != cursors[src].end) {
+        refill(src);
+        reseat();
+      }
+    }
+    flush_out();
+  });
+}
+
 /// Configuration of the NVM-level sorter.
 struct ExternalSortConfig {
   /// Outer (NVM -> DDR) chunk in elements; 0 = as large as DDR allows
@@ -195,6 +338,12 @@ struct ExternalSortConfig {
   MlmSortConfig inner;
   /// Staging block for the final external merge; 0 = auto from DDR.
   std::size_t merge_block_elements = 0;
+  /// Record layout of the final external merge (mlm/sort/record.h).
+  /// SoaSplit routes Record<N> element types (sorted by key, the
+  /// default comparator) through external_multiway_merge_split; scalar
+  /// element types and custom comparators ignore it and take the AoS
+  /// path.  Output bytes are identical either way.
+  mlm::sort::RecordLayout merge_layout = mlm::sort::RecordLayout::Aos;
   /// Optional trace export: staging and merge spans (the NVM<->DDR
   /// traffic) land on `trace_track`, per-outer-chunk inner-sort spans on
   /// `trace_track + 1`.
@@ -704,11 +853,25 @@ class ExternalMlmSorter {
             }
             const std::size_t block =
                 s_.resolve_merge_block(chunks_.size());
-            external_multiway_merge(
-                s_.pool_, s_.ddr(),
-                std::span<const mlm::sort::Run<T>>(runs),
-                std::span<T>(nvm_out_->data(), data_.size()), block,
-                s_.comp_);
+            bool merged_split = false;
+            if constexpr (mlm::sort::is_record_v<T> &&
+                          std::is_same_v<Comp, std::less<>>) {
+              if (s_.config_.merge_layout ==
+                  mlm::sort::RecordLayout::SoaSplit) {
+                external_multiway_merge_split(
+                    s_.pool_, s_.ddr(),
+                    std::span<const mlm::sort::Run<T>>(runs),
+                    std::span<T>(nvm_out_->data(), data_.size()), block);
+                merged_split = true;
+              }
+            }
+            if (!merged_split) {
+              external_multiway_merge(
+                  s_.pool_, s_.ddr(),
+                  std::span<const mlm::sort::Run<T>>(runs),
+                  std::span<T>(nvm_out_->data(), data_.size()), block,
+                  s_.comp_);
+            }
             stats_.external_merge_ran = true;
           } catch (Error& e) {
             e.with_frame({"merge", -1, s_.nvm().name(), "pool-worker",
@@ -850,13 +1013,13 @@ class ExternalMlmSorter {
       const std::size_t cap =
           static_cast<std::size_t>(hier_.tier(1).stats().free_bytes());
       // One part's worth must fit even for a single worker — INCLUDING
-      // the 64-byte allocation round-up the merge applies per block.
+      // the cache-line allocation round-up the merge applies per block.
       // Carve the byte budget first, snap it down to the granularity,
       // then convert to elements; dividing elements directly used to
       // leave block sizes whose rounded footprint exceeded the staging
       // capacity exactly when the pool had one worker.
       std::size_t block_bytes = cap / ((k + 1) * pool_.size());
-      block_bytes = block_bytes / 64 * 64;
+      block_bytes = round_down(block_bytes, kCacheLineBytes);
       block = std::max<std::size_t>(block_bytes / sizeof(T), 64);
     }
     return block;

@@ -10,8 +10,10 @@
 #include "mlm/fault/fault.h"
 #include "mlm/memory/memory_space.h"
 #include "mlm/parallel/deterministic_executor.h"
+#include "mlm/parallel/first_touch.h"
 #include "mlm/parallel/parallel_memcpy.h"
 #include "mlm/parallel/thread_pool.h"
+#include "mlm/support/cache_line.h"
 #include "mlm/support/error.h"
 #include "mlm/support/stopwatch.h"
 
@@ -179,7 +181,7 @@ struct ChunkPipelineStepper::Impl {
       if (explicit_copies && !tiers.near_tier->unlimited()) {
         const std::uint64_t cap = tiers.near_tier->stats().free_bytes();
         chunk_bytes = static_cast<std::size_t>(cap / bufs);
-        chunk_bytes -= chunk_bytes % 64;  // keep buffers line-aligned
+        chunk_bytes = round_down(chunk_bytes, kCacheLineBytes);
       } else {
         chunk_bytes = data.size();
       }
@@ -213,8 +215,19 @@ struct ChunkPipelineStepper::Impl {
       }
     } else {
       pools.emplace(config.scheduler != nullptr
-                        ? TriplePools(config.pools, *config.scheduler)
-                        : TriplePools(config.pools));
+                        ? TriplePools(config.pools, *config.scheduler,
+                                      config.affinity)
+                        : TriplePools(config.pools, config.affinity));
+      if (config.first_touch) {
+        // Fault the chunk buffers in from the copy-in pool — the
+        // workers that will stream into them — so first-touch page
+        // placement puts the pages on (a) node(s) those workers are
+        // pinned to.  Value-preserving, and under a deterministic
+        // scheduler just more seeded tasks.
+        for (Allocation& buf : buffers) {
+          first_touch(pools->copy_in(), buf.get(), buf.size_bytes());
+        }
+      }
       switch (config.buffering) {
         case Buffering::Single: step_limit = num_chunks; break;
         case Buffering::Double: step_limit = num_chunks + 1; break;
@@ -270,9 +283,10 @@ struct ChunkPipelineStepper::Impl {
           backoff(attempt);
           continue;
         }
-        const std::size_t floor_bytes =
-            std::max<std::size_t>(config.degrade.min_chunk_bytes, 64);
-        const std::size_t halved = (chunk_bytes / 2) / 64 * 64;
+        const std::size_t floor_bytes = std::max<std::size_t>(
+            config.degrade.min_chunk_bytes, kCacheLineBytes);
+        const std::size_t halved =
+            round_down(chunk_bytes / 2, kCacheLineBytes);
         if (config.degrade.allow_chunk_halving && halved >= floor_bytes) {
           chunk_bytes = halved;
           attempt = 0;

@@ -4,6 +4,7 @@
 
 #include "mlm/kvstore/store.h"
 #include "mlm/parallel/executor.h"
+#include "mlm/support/cache_line.h"
 #include "mlm/support/error.h"
 
 namespace mlm::kv {
@@ -12,7 +13,7 @@ namespace {
 
 /// Per-worker lookup tallies, cache-line separated so concurrent
 /// workers never write the same line.
-struct alignas(64) WorkerTally {
+struct alignas(kCacheLineBytes) WorkerTally {
   std::size_t near_hits = 0;
   std::size_t far_hits = 0;
   std::size_t misses = 0;
@@ -37,7 +38,7 @@ WorkloadStats run_workload(TieredKvStore& store, Executor& exec,
   const std::size_t value_bytes = store.config().value_bytes;
   // Per-worker value scratch, strides rounded to cache lines so
   // concurrent copies never share one.
-  const std::size_t scratch_stride = (value_bytes + 63) / 64 * 64;
+  const std::size_t scratch_stride = round_up(value_bytes, kCacheLineBytes);
   std::vector<std::uint8_t> scratch(workers * scratch_stride);
 
   for (std::size_t begin = 0; begin < trace.size();

@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "mlm/fault/fault.h"
+#include "mlm/support/cache_line.h"
 
 namespace mlm {
 
@@ -26,13 +27,13 @@ MemKind mem_kind_from_string(const std::string& name) {
 }
 
 namespace {
-constexpr std::size_t kAlignment = 64;  // one KNL cache line
+constexpr std::size_t kAlignment = kCacheLineBytes;
 
 std::size_t aligned_size(std::size_t bytes) {
   // Zero-byte allocations still get a distinct pointer (like malloc(0)
   // with glibc) so RAII wrappers stay uniform.
   if (bytes == 0) bytes = 1;
-  return (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  return round_up(bytes, kAlignment);
 }
 }  // namespace
 

@@ -1,0 +1,50 @@
+// Thread pinning: the impure half of the topology story.
+//
+// mlm/machine/topology.h plans (pure, testable anywhere); this header
+// applies a plan to real OS threads.  Pinning is strictly best-effort:
+// a cpu that doesn't exist, a cgroup mask that excludes it, or a
+// non-Linux host all just leave the thread unpinned and bump a counter.
+// Placement is a performance hint, never a correctness requirement —
+// the deterministic story depends on that (DeterministicExecutor has no
+// real threads, so a plan applied to it is a recorded no-op).
+#pragma once
+
+#include <cstddef>
+#include <thread>
+
+#include "mlm/machine/topology.h"
+
+namespace mlm {
+
+/// Outcome of applying an AffinityPlan to a pool's workers.  Degradation
+/// (failed pins, wrapped cpus, clamped nodes) is recorded here, surfaced
+/// through stats, and never fails the job.
+struct AffinityOutcome {
+  AffinityPolicy policy = AffinityPolicy::None;
+  std::size_t requested = 0;  ///< workers the plan assigned a cpu
+  std::size_t pinned = 0;     ///< workers whose pin syscall succeeded
+  std::size_t failed = 0;     ///< workers whose pin syscall failed
+  std::size_t oversubscribed = 0;  ///< from AffinityPlan
+  std::size_t clamped_nodes = 0;   ///< from AffinityPlan
+
+  /// True when the outcome degraded from the request in any way —
+  /// callers report it; they never fail on it.
+  bool degraded() const {
+    return failed > 0 || oversubscribed > 0 || clamped_nodes > 0;
+  }
+};
+
+/// Pin the calling thread to `cpu`.  Returns true on success.  Always
+/// false on non-Linux hosts and for negative cpus.  Never throws.
+bool pin_current_thread_to_cpu(int cpu) noexcept;
+
+/// Pin someone else's thread to `cpu` (used by pool constructors so the
+/// outcome is fully known before the constructor returns, instead of
+/// racing worker startup).  Same best-effort contract.
+bool pin_thread_to_cpu(std::thread& thread, int cpu) noexcept;
+
+/// Whether this platform can pin at all (Linux).  When false, every
+/// pin attempt is counted as failed — still not an error.
+bool affinity_supported() noexcept;
+
+}  // namespace mlm

@@ -1,0 +1,42 @@
+// First-touch-aware arena initialization.
+//
+// Linux places an anonymous page on the NUMA node of the cpu that first
+// *writes* it.  A MemorySpace arena allocated by the orchestrator thread
+// therefore lands entirely on the orchestrator's node — the worst case
+// when a pinned copy pool on another node will stream it.  first_touch
+// faults an arena's pages in from the pool that will do the streaming,
+// so with node-pinned workers the pages land next to their users.
+//
+// The touch is a read of one byte per page followed by writing the same
+// value back: contents are preserved, so it is safe on freshly
+// allocated *and* already-initialized buffers.  Under a
+// DeterministicExecutor the slices run on the seeded schedule like any
+// other task — the touch is value-neutral, so digests cannot change.
+#pragma once
+
+#include <cstddef>
+
+namespace mlm {
+
+class Executor;
+
+/// Page granularity the touch assumes.  A fixed constant (not the OS
+/// page size) so slice layouts — and deterministic schedules — are
+/// machine-independent; a 4 KiB stride also touches every page of any
+/// larger-page system that is a multiple of it.
+inline constexpr std::size_t kFirstTouchPageBytes = 4096;
+
+/// What a first_touch pass did (for stats / bench reporting).
+struct FirstTouchReport {
+  std::size_t bytes = 0;
+  std::size_t pages = 0;
+  std::size_t slices = 0;
+};
+
+/// Fault every page of [data, data+bytes) in from `pool`'s workers,
+/// preserving contents.  Slices are page-aligned so two workers never
+/// split a page.  No-op (zero report) for empty ranges.
+FirstTouchReport first_touch(Executor& pool, void* data,
+                             std::size_t bytes);
+
+}  // namespace mlm

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "mlm/parallel/stream_copy.h"
+#include "mlm/support/cache_line.h"
 
 namespace mlm {
 
@@ -24,6 +25,12 @@ class Executor;
 
 /// Floor on the work one copy slice is worth dispatching for.
 inline constexpr std::size_t kParallelMemcpyMinSliceBytes = 64 * 1024;
+
+/// Default slice-boundary granularity.  Slice joints land on cache-line
+/// boundaries so two adjacent copy workers never write the same line
+/// (false sharing at every joint otherwise); sharing kCacheLineBytes
+/// with the padding of hot shared structs keeps the two in lockstep.
+inline constexpr std::size_t kCopySliceAlignBytes = kCacheLineBytes;
 
 /// Number of slices a copy of `bytes` is split into: capped by the pool
 /// size and `max_ways`, and rounded so every slice carries at least
@@ -41,10 +48,12 @@ void parallel_memcpy(Executor& pool, void* dst, const void* src,
 /// As above but splits into at most `max_ways` slices (used when a caller
 /// wants to leave some pool workers free for other queued transfers) and
 /// copies each slice per `mode` (streaming copies produce identical
-/// bytes; they only bypass the cache).
+/// bytes; they only bypass the cache).  `slice_align` sets the slice
+/// boundary granularity (>= 1; defaults to one cache line).
 void parallel_memcpy(Executor& pool, void* dst, const void* src,
                      std::size_t bytes, std::size_t max_ways,
-                     CopyMode mode = CopyMode::Cached);
+                     CopyMode mode = CopyMode::Cached,
+                     std::size_t slice_align = kCopySliceAlignBytes);
 
 /// Non-blocking variant: slices are posted to the pool and the batch
 /// future returned.  The caller must keep src/dst alive and join every
@@ -55,7 +64,8 @@ void parallel_memcpy(Executor& pool, void* dst, const void* src,
 /// which deadlocks a pool of size one).
 std::vector<std::future<void>> parallel_memcpy_async(
     Executor& pool, void* dst, const void* src, std::size_t bytes,
-    CopyMode mode = CopyMode::Cached);
+    CopyMode mode = CopyMode::Cached,
+    std::size_t slice_align = kCopySliceAlignBytes);
 
 /// Block on futures returned by parallel_memcpy_async, rethrowing the
 /// first captured exception.  Only valid for real thread pools; under a

@@ -7,9 +7,11 @@
 // producing an empty range before a non-empty one.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
+#include "mlm/support/cache_line.h"
 #include "mlm/support/error.h"
 
 namespace mlm {
@@ -46,6 +48,28 @@ inline std::vector<IndexRange> partition_all(std::size_t n,
     out.push_back(partition_range(n, parts, p));
   }
   return out;
+}
+
+/// Like partition_range, but every internal boundary is rounded up to a
+/// multiple of `align` (the final boundary stays at n).  Used to split
+/// byte ranges among concurrent writers so no two slices share a cache
+/// line — arbitrary boundaries put slice joints mid-line, and the two
+/// adjacent workers then ping-pong that line (false sharing at every
+/// joint).  When n is small relative to parts*align, trailing (or, with
+/// sub-align ideal slices, interior) ranges may be empty; callers must
+/// tolerate zero-size slices.
+inline IndexRange partition_range_aligned(std::size_t n, std::size_t parts,
+                                          std::size_t part,
+                                          std::size_t align) {
+  MLM_REQUIRE(parts >= 1, "partition_range_aligned: parts must be >= 1");
+  MLM_REQUIRE(part < parts, "partition_range_aligned: part out of range");
+  MLM_REQUIRE(align >= 1, "partition_range_aligned: align must be >= 1");
+  const auto boundary = [n, parts, align](std::size_t p) {
+    if (p >= parts) return n;
+    const std::size_t ideal = partition_range(n, parts, p).begin;
+    return std::min(round_up(ideal, align), n);
+  };
+  return IndexRange{boundary(part), boundary(part + 1)};
 }
 
 /// Split [0, n) into fixed-size chunks of `chunk` elements (last one may

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "mlm/parallel/affinity.h"
 #include "mlm/parallel/executor.h"
 #include "mlm/support/error.h"
 
@@ -33,6 +34,14 @@ class ThreadPool : public Executor {
   /// Creates `num_threads` workers (must be >= 1).  `name` labels the pool
   /// in diagnostics ("copy-in", "compute", ...).
   explicit ThreadPool(std::size_t num_threads, std::string name = "pool");
+
+  /// As above, pinning worker i to `plan.worker_cpus[i]` (see
+  /// mlm/machine/topology.h).  Pinning is best-effort: failures are
+  /// counted in affinity_outcome(), never thrown.  Pins are applied
+  /// before the constructor returns, so the outcome is stable.
+  ThreadPool(std::size_t num_threads, std::string name,
+             const AffinityPlan& plan);
+
   ~ThreadPool() override;
 
   ThreadPool(const ThreadPool&) = delete;
@@ -64,6 +73,10 @@ class ThreadPool : public Executor {
   /// Number of tasks executed since construction (for tests/diagnostics).
   std::size_t tasks_executed() const override;
 
+  /// How the construction-time pin plan went (all zeros for the
+  /// plan-less constructor).  Immutable after construction.
+  const AffinityOutcome& affinity_outcome() const { return affinity_; }
+
  private:
   void worker_loop();
   /// Raw queue push shared by post()/submit().  The public entry points
@@ -74,6 +87,7 @@ class ThreadPool : public Executor {
 
   std::string name_;
   std::vector<std::thread> threads_;
+  AffinityOutcome affinity_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_task_;

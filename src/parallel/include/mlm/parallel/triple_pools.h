@@ -46,16 +46,43 @@ std::vector<PoolSizes> make_tiered_pool_sizes(std::size_t total,
 
 class DeterministicScheduler;
 
+/// Topology placement for the three pools (see mlm/machine/topology.h).
+///
+/// Under TierLocal the copy pools pin to `copy_node` (the far tier's
+/// node — copy threads stream DDR and should sit next to it) and the
+/// compute pool to `compute_node` (the near tier's node).  Under
+/// Compact the three pools take disjoint cpu ranges in node-major
+/// order; under Scatter each pool round-robins across nodes.
+struct PoolAffinity {
+  AffinityPolicy policy = AffinityPolicy::None;
+  Topology topology;
+  std::size_t copy_node = 1;
+  std::size_t compute_node = 0;
+};
+
 /// Owner of the copy-in / compute / copy-out stage executors.
 class TriplePools {
  public:
   /// Real worker threads (the production fast path).
   explicit TriplePools(const PoolSizes& sizes);
 
+  /// Real worker threads pinned per `affinity`.  Placement is
+  /// best-effort; degradation (failed pins, oversubscription, clamped
+  /// nodes) lands in affinity_outcome(), never throws.  The affinity is
+  /// remembered and re-applied by resize().
+  TriplePools(const PoolSizes& sizes, const PoolAffinity& affinity);
+
   /// Deterministic variant: the three stages are DeterministicExecutors
   /// sharing `scheduler`, so stage tasks interleave under its seeded
   /// schedule (see mlm/parallel/deterministic_executor.h).
   TriplePools(const PoolSizes& sizes, DeterministicScheduler& scheduler);
+
+  /// Deterministic variant with an affinity request: there are no real
+  /// threads to pin, so the request is a recorded no-op (the outcome
+  /// keeps the policy with zero pins) — schedules, and therefore
+  /// digests, cannot depend on the affinity policy by construction.
+  TriplePools(const PoolSizes& sizes, DeterministicScheduler& scheduler,
+              const PoolAffinity& affinity);
 
   Executor& copy_in() { return *copy_in_; }
   Executor& compute() { return *compute_; }
@@ -75,8 +102,19 @@ class TriplePools {
   /// pipeline barrier is exactly a point where every pool is idle.
   void resize(const PoolSizes& sizes);
 
+  /// Aggregated pin outcome across the three pools (policy plus zeros
+  /// when running deterministically or with no affinity request).
+  AffinityOutcome affinity_outcome() const;
+
+  /// The affinity request this instance was built with (policy None
+  /// when none was given).
+  const PoolAffinity& affinity() const { return affinity_; }
+
  private:
+  void build_pools(const PoolSizes& sizes);
+
   PoolSizes sizes_;
+  PoolAffinity affinity_;
   std::unique_ptr<Executor> copy_in_;
   std::unique_ptr<Executor> compute_;
   std::unique_ptr<Executor> copy_out_;

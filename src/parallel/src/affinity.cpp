@@ -1,0 +1,51 @@
+#include "mlm/parallel/affinity.h"
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace mlm {
+
+bool affinity_supported() noexcept {
+#if defined(__linux__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+#if defined(__linux__)
+bool pin_pthread(pthread_t handle, int cpu) noexcept {
+  if (cpu < 0 || static_cast<unsigned>(cpu) >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return pthread_setaffinity_np(handle, sizeof(set), &set) == 0;
+}
+#endif
+
+}  // namespace
+
+bool pin_current_thread_to_cpu(int cpu) noexcept {
+#if defined(__linux__)
+  return pin_pthread(pthread_self(), cpu);
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+bool pin_thread_to_cpu(std::thread& thread, int cpu) noexcept {
+#if defined(__linux__)
+  return pin_pthread(thread.native_handle(), cpu);
+#else
+  (void)thread;
+  (void)cpu;
+  return false;
+#endif
+}
+
+}  // namespace mlm

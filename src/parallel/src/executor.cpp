@@ -5,6 +5,7 @@
 #include <mutex>
 
 #include "mlm/fault/fault.h"
+#include "mlm/support/cache_line.h"
 #include "mlm/support/error.h"
 
 namespace mlm {
@@ -28,13 +29,16 @@ fault::FaultSite& task_fault_site() {
 // slice exception and can never strand the batch future.
 struct BatchState {
   std::promise<void> promise;
-  std::atomic<std::size_t> remaining;
   std::function<void(std::size_t)> body;
   std::mutex mu;
   std::exception_ptr first_error;
+  // Every slice on every worker decrements this; every slice also
+  // *reads* `body`.  On its own cache line so the decrement traffic
+  // doesn't invalidate the line the read-mostly members live on.
+  alignas(kCacheLineBytes) std::atomic<std::size_t> remaining;
 
   BatchState(std::size_t count, std::function<void(std::size_t)> b)
-      : remaining(count), body(std::move(b)) {}
+      : body(std::move(b)), remaining(count) {}
 
   void run(std::size_t index) {
     try {

@@ -1,0 +1,47 @@
+#include "mlm/parallel/first_touch.h"
+
+#include <future>
+#include <vector>
+
+#include "mlm/parallel/executor.h"
+#include "mlm/parallel/partition.h"
+#include "mlm/support/error.h"
+
+namespace mlm {
+
+FirstTouchReport first_touch(Executor& pool, void* data,
+                             std::size_t bytes) {
+  FirstTouchReport report;
+  if (bytes == 0) return report;
+  MLM_REQUIRE(data != nullptr, "first_touch: null arena");
+
+  auto* base = static_cast<volatile unsigned char*>(data);
+  const std::size_t pages =
+      (bytes + kFirstTouchPageBytes - 1) / kFirstTouchPageBytes;
+  const std::size_t ways =
+      std::max<std::size_t>(std::min(pool.size(), pages), 1);
+
+  std::vector<std::future<void>> futs;
+  futs.push_back(
+      pool.submit_slices(ways, [base, pages, ways](std::size_t p) {
+        const IndexRange r = partition_range(pages, ways, p);
+        for (std::size_t page = r.begin; page < r.end; ++page) {
+          volatile unsigned char* cell =
+              base + page * kFirstTouchPageBytes;
+          // Read-then-write-back: the write is what triggers
+          // first-touch placement (a read of an untouched page maps
+          // the shared zero page instead of allocating), and writing
+          // the value just read preserves contents on already-live
+          // buffers.
+          *cell = *cell;
+        }
+      }));
+  pool.wait(futs);
+
+  report.bytes = bytes;
+  report.pages = pages;
+  report.slices = ways;
+  return report;
+}
+
+}  // namespace mlm

@@ -29,8 +29,9 @@ void parallel_memcpy(Executor& pool, void* dst, const void* src,
 
 void parallel_memcpy(Executor& pool, void* dst, const void* src,
                      std::size_t bytes, std::size_t max_ways,
-                     CopyMode mode) {
+                     CopyMode mode, std::size_t slice_align) {
   MLM_REQUIRE(dst != nullptr && src != nullptr, "null copy endpoint");
+  MLM_REQUIRE(slice_align >= 1, "slice_align must be >= 1");
   if (bytes == 0) return;
 
   const auto* s = static_cast<const unsigned char*>(src);
@@ -47,20 +48,21 @@ void parallel_memcpy(Executor& pool, void* dst, const void* src,
   }
 
   std::vector<std::future<void>> futs;
-  futs.push_back(
-      pool.submit_slices(ways, [d, s, bytes, ways, mode](std::size_t p) {
-        const IndexRange r = partition_range(bytes, ways, p);
+  futs.push_back(pool.submit_slices(
+      ways, [d, s, bytes, ways, mode, slice_align](std::size_t p) {
+        const IndexRange r =
+            partition_range_aligned(bytes, ways, p, slice_align);
+        if (r.empty()) return;
         copy_bytes(d + r.begin, s + r.begin, r.size(), mode);
       }));
   pool.wait(futs);
 }
 
-std::vector<std::future<void>> parallel_memcpy_async(Executor& pool,
-                                                     void* dst,
-                                                     const void* src,
-                                                     std::size_t bytes,
-                                                     CopyMode mode) {
+std::vector<std::future<void>> parallel_memcpy_async(
+    Executor& pool, void* dst, const void* src, std::size_t bytes,
+    CopyMode mode, std::size_t slice_align) {
   MLM_REQUIRE(dst != nullptr && src != nullptr, "null copy endpoint");
+  MLM_REQUIRE(slice_align >= 1, "slice_align must be >= 1");
   std::vector<std::future<void>> futs;
   if (bytes == 0) return futs;
 
@@ -71,9 +73,11 @@ std::vector<std::future<void>> parallel_memcpy_async(Executor& pool,
 
   const std::size_t ways =
       parallel_memcpy_slice_count(bytes, pool.size(), pool.size());
-  futs.push_back(
-      pool.submit_slices(ways, [d, s, bytes, ways, mode](std::size_t p) {
-        const IndexRange r = partition_range(bytes, ways, p);
+  futs.push_back(pool.submit_slices(
+      ways, [d, s, bytes, ways, mode, slice_align](std::size_t p) {
+        const IndexRange r =
+            partition_range_aligned(bytes, ways, p, slice_align);
+        if (r.empty()) return;
         copy_bytes(d + r.begin, s + r.begin, r.size(), mode);
       }));
   return futs;

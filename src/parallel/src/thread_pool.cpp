@@ -17,11 +17,29 @@ fault::FaultSite& task_fault_site() {
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads, std::string name)
+    : ThreadPool(num_threads, std::move(name), AffinityPlan{}) {}
+
+ThreadPool::ThreadPool(std::size_t num_threads, std::string name,
+                       const AffinityPlan& plan)
     : name_(std::move(name)) {
   MLM_REQUIRE(num_threads >= 1, "thread pool needs at least one thread");
+  affinity_.policy = plan.policy;
+  affinity_.oversubscribed = plan.oversubscribed;
+  affinity_.clamped_nodes = plan.clamped_nodes;
   threads_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i) {
     threads_.emplace_back([this] { worker_loop(); });
+    // Pin from here (not from the worker) so the outcome is complete
+    // before the constructor returns.  Best-effort: a failed pin leaves
+    // the worker where the OS put it and only bumps the counter.
+    if (i < plan.worker_cpus.size() && plan.worker_cpus[i] >= 0) {
+      ++affinity_.requested;
+      if (pin_thread_to_cpu(threads_.back(), plan.worker_cpus[i])) {
+        ++affinity_.pinned;
+      } else {
+        ++affinity_.failed;
+      }
+    }
   }
 }
 

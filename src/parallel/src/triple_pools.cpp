@@ -48,26 +48,117 @@ std::vector<PoolSizes> make_tiered_pool_sizes(std::size_t total,
   return out;
 }
 
-TriplePools::TriplePools(const PoolSizes& sizes) : sizes_(sizes) {
+namespace {
+
+/// Per-pool plans under one PoolAffinity.  Compact gives the pools
+/// disjoint node-major cpu ranges (copy-in, then compute, then
+/// copy-out); TierLocal sends copy pools to the far-tier node (disjoint
+/// offsets within it) and compute to the near-tier node; Scatter lets
+/// each pool round-robin nodes independently.
+struct TriplePlans {
+  AffinityPlan copy_in;
+  AffinityPlan compute;
+  AffinityPlan copy_out;
+};
+
+TriplePlans plan_triple(const PoolSizes& sizes,
+                        const PoolAffinity& affinity) {
+  TriplePlans plans;
+  const Topology& topo = affinity.topology;
+  switch (affinity.policy) {
+    case AffinityPolicy::None:
+      break;
+    case AffinityPolicy::Compact:
+      plans.copy_in = plan_affinity(affinity.policy, topo, sizes.copy_in,
+                                    0, 0);
+      plans.compute = plan_affinity(affinity.policy, topo, sizes.compute,
+                                    0, sizes.copy_in);
+      plans.copy_out = plan_affinity(affinity.policy, topo, sizes.copy_out,
+                                     0, sizes.copy_in + sizes.compute);
+      break;
+    case AffinityPolicy::Scatter:
+      plans.copy_in = plan_affinity(affinity.policy, topo, sizes.copy_in);
+      plans.compute = plan_affinity(affinity.policy, topo, sizes.compute);
+      plans.copy_out = plan_affinity(affinity.policy, topo, sizes.copy_out);
+      break;
+    case AffinityPolicy::TierLocal:
+      plans.copy_in = plan_affinity(affinity.policy, topo, sizes.copy_in,
+                                    affinity.copy_node, 0);
+      plans.compute = plan_affinity(affinity.policy, topo, sizes.compute,
+                                    affinity.compute_node, 0);
+      plans.copy_out = plan_affinity(affinity.policy, topo, sizes.copy_out,
+                                     affinity.copy_node, sizes.copy_in);
+      break;
+  }
+  return plans;
+}
+
+void accumulate(AffinityOutcome& total, const AffinityOutcome& one) {
+  total.requested += one.requested;
+  total.pinned += one.pinned;
+  total.failed += one.failed;
+  total.oversubscribed += one.oversubscribed;
+  total.clamped_nodes += one.clamped_nodes;
+}
+
+}  // namespace
+
+TriplePools::TriplePools(const PoolSizes& sizes)
+    : TriplePools(sizes, PoolAffinity{}) {}
+
+TriplePools::TriplePools(const PoolSizes& sizes,
+                         const PoolAffinity& affinity)
+    : sizes_(sizes), affinity_(affinity) {
   check_sizes(sizes);
-  copy_in_ = std::make_unique<ThreadPool>(sizes.copy_in, "copy-in");
-  compute_ = std::make_unique<ThreadPool>(sizes.compute, "compute");
-  copy_out_ = std::make_unique<ThreadPool>(sizes.copy_out, "copy-out");
+  build_pools(sizes);
 }
 
 TriplePools::TriplePools(const PoolSizes& sizes,
                          DeterministicScheduler& scheduler)
-    : sizes_(sizes), scheduler_(&scheduler) {
+    : TriplePools(sizes, scheduler, PoolAffinity{}) {}
+
+TriplePools::TriplePools(const PoolSizes& sizes,
+                         DeterministicScheduler& scheduler,
+                         const PoolAffinity& affinity)
+    : sizes_(sizes), affinity_(affinity), scheduler_(&scheduler) {
   check_sizes(sizes);
-  copy_in_ = std::make_unique<DeterministicExecutor>(scheduler,
-                                                     sizes.copy_in,
-                                                     "copy-in");
-  compute_ = std::make_unique<DeterministicExecutor>(scheduler,
-                                                     sizes.compute,
-                                                     "compute");
-  copy_out_ = std::make_unique<DeterministicExecutor>(scheduler,
-                                                      sizes.copy_out,
-                                                      "copy-out");
+  build_pools(sizes);
+}
+
+void TriplePools::build_pools(const PoolSizes& sizes) {
+  if (scheduler_ != nullptr) {
+    // No real threads — any affinity request is a recorded no-op, so
+    // seeded schedules cannot depend on the policy.
+    copy_in_ = std::make_unique<DeterministicExecutor>(*scheduler_,
+                                                       sizes.copy_in,
+                                                       "copy-in");
+    compute_ = std::make_unique<DeterministicExecutor>(*scheduler_,
+                                                       sizes.compute,
+                                                       "compute");
+    copy_out_ = std::make_unique<DeterministicExecutor>(*scheduler_,
+                                                        sizes.copy_out,
+                                                        "copy-out");
+    return;
+  }
+  const TriplePlans plans = plan_triple(sizes, affinity_);
+  copy_in_ = std::make_unique<ThreadPool>(sizes.copy_in, "copy-in",
+                                          plans.copy_in);
+  compute_ = std::make_unique<ThreadPool>(sizes.compute, "compute",
+                                          plans.compute);
+  copy_out_ = std::make_unique<ThreadPool>(sizes.copy_out, "copy-out",
+                                           plans.copy_out);
+}
+
+AffinityOutcome TriplePools::affinity_outcome() const {
+  AffinityOutcome total;
+  total.policy = affinity_.policy;
+  if (scheduler_ != nullptr) return total;
+  for (const Executor* pool :
+       {copy_in_.get(), compute_.get(), copy_out_.get()}) {
+    const auto* tp = dynamic_cast<const ThreadPool*>(pool);
+    if (tp != nullptr) accumulate(total, tp->affinity_outcome());
+  }
+  return total;
 }
 
 void TriplePools::resize(const PoolSizes& sizes) {
@@ -80,21 +171,10 @@ void TriplePools::resize(const PoolSizes& sizes) {
       sizes.compute == sizes_.compute) {
     return;
   }
-  if (scheduler_ != nullptr) {
-    copy_in_ = std::make_unique<DeterministicExecutor>(*scheduler_,
-                                                       sizes.copy_in,
-                                                       "copy-in");
-    compute_ = std::make_unique<DeterministicExecutor>(*scheduler_,
-                                                       sizes.compute,
-                                                       "compute");
-    copy_out_ = std::make_unique<DeterministicExecutor>(*scheduler_,
-                                                        sizes.copy_out,
-                                                        "copy-out");
-  } else {
-    copy_in_ = std::make_unique<ThreadPool>(sizes.copy_in, "copy-in");
-    compute_ = std::make_unique<ThreadPool>(sizes.compute, "compute");
-    copy_out_ = std::make_unique<ThreadPool>(sizes.copy_out, "copy-out");
-  }
+  // build_pools re-plans against the stored affinity, so a resized pool
+  // keeps its placement policy (with offsets recomputed for the new
+  // split).
+  build_pools(sizes);
   sizes_ = sizes;
 }
 

@@ -1,0 +1,15 @@
+#include "mlm/sort/record.h"
+
+#include "mlm/support/error.h"
+
+namespace mlm::sort {
+
+RecordLayout parse_record_layout(const std::string& name) {
+  if (name == "aos") return RecordLayout::Aos;
+  if (name == "soa" || name == "soa_split" || name == "split") {
+    return RecordLayout::SoaSplit;
+  }
+  throw InvalidArgumentError("unknown RecordLayout name: " + name);
+}
+
+}  // namespace mlm::sort

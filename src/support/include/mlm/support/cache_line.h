@@ -1,0 +1,31 @@
+// The one cache-line constant.
+//
+// The repo used to hardcode `64` in half a dozen places: arena alignment,
+// merge-block round-ups, chunk-size truncation, streaming-copy group size,
+// and ad-hoc `alignas(64)` padding of per-thread counters.  Those are all
+// the *same* assumption — "a cache line is 64 bytes on KNL and on every
+// x86 host we run on" — so they must move together if it ever changes
+// (and so false-sharing padding provably matches copy-slice granularity).
+#pragma once
+
+#include <cstddef>
+
+namespace mlm {
+
+/// Cache line size shared by false-sharing padding, copy-slice alignment,
+/// arena alignment, and merge-block round-ups.  KNL's MCDRAM and DDR both
+/// use 64-byte lines (paper §1.1), as does every x86-64 host this code
+/// targets.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Round `n` down to a multiple of `align` (power of two not required).
+constexpr std::size_t round_down(std::size_t n, std::size_t align) {
+  return align == 0 ? n : n / align * align;
+}
+
+/// Round `n` up to a multiple of `align`.
+constexpr std::size_t round_up(std::size_t n, std::size_t align) {
+  return align == 0 ? n : (n + align - 1) / align * align;
+}
+
+}  // namespace mlm

@@ -25,6 +25,10 @@ Metric wall(const std::string& name, std::vector<double> samples) {
   return Metric{name, "s", MetricKind::WallClock, std::move(samples)};
 }
 
+Metric counter(const std::string& name, double value) {
+  return Metric{name, "", MetricKind::Counter, {value}};
+}
+
 RunReport baseline_report() {
   RunReport r;
   r.tool = "bench_all";
@@ -84,6 +88,26 @@ TEST(BenchCompare, WallImprovementIsInformationalOnly) {
   EXPECT_TRUE(result.ok);
   ASSERT_EQ(result.findings.size(), 1u);
   EXPECT_EQ(result.findings[0].kind, FindingKind::WallImprovement);
+}
+
+TEST(BenchCompare, CounterMetricsAreNeverCompared) {
+  // A counter in the baseline with a wildly different (or absent)
+  // current value must not gate: hardware counts are machine-dependent
+  // by definition.
+  RunReport base = baseline_report();
+  base.cases[0].metrics.push_back(counter("llc_misses", 1e9));
+  RunReport current = base;
+  current.cases[0].metrics[1].samples = {5.0};
+  CompareOptions options;
+  options.require_all = true;
+  CompareResult result = compare_reports(current, base, options);
+  EXPECT_TRUE(result.ok);
+
+  // Counter missing entirely from the current run: still fine (a run
+  // without --perf-counters records none).
+  current.cases[0].metrics.pop_back();
+  result = compare_reports(current, base, options);
+  EXPECT_TRUE(result.ok) << "absent counter metric must not fail the gate";
 }
 
 TEST(BenchCompare, IgnoreWallSkipsWallMetrics) {

@@ -44,6 +44,44 @@ TEST(BenchHarness, RunsRegisteredCasesAndRecordsMetrics) {
   EXPECT_FALSE(report.machine_tiers.empty());
 }
 
+TEST(BenchHarness, CounterMetricsRecordAndGateOnTheFlag) {
+  Harness h("t", "d");
+  Suite suite = h.suite("s", "");
+  suite.add_case("c", [](BenchContext& ctx) {
+    EXPECT_TRUE(ctx.perf_counters());
+    ctx.counter("llc_misses", 12345.0);
+  });
+  ASSERT_EQ(run(h, {"--quiet", "--perf-counters"}), 0);
+  const Metric* m = h.report().find("s/c")->find_metric("llc_misses");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, MetricKind::Counter);
+  EXPECT_EQ(m->value(), 12345.0);
+}
+
+TEST(BenchHarness, PerfCountersDefaultOff) {
+  Harness h("t", "d");
+  Suite suite = h.suite("s", "");
+  suite.add_case("c", [](BenchContext& ctx) {
+    EXPECT_FALSE(ctx.perf_counters());
+  });
+  ASSERT_EQ(run(h, {"--quiet"}), 0);
+}
+
+TEST(BenchReport, CounterMetricsRoundTripThroughJson) {
+  Harness h("t", "d");
+  Suite suite = h.suite("s", "");
+  suite.add_case("c", [](BenchContext& ctx) {
+    ctx.counter("node_remote_reads", 987654321.0, "events");
+  });
+  ASSERT_EQ(run(h, {"--quiet"}), 0);
+  const RunReport back = report_from_json(report_to_json(h.report()));
+  const Metric* m = back.find("s/c")->find_metric("node_remote_reads");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->kind, MetricKind::Counter);
+  EXPECT_EQ(m->unit, "events");
+  EXPECT_EQ(m->value(), 987654321.0);
+}
+
 TEST(BenchHarness, SmokeClampsRepetitionProtocol) {
   Harness h("t", "d");
   Suite suite = h.suite("s", "");

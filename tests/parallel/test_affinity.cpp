@@ -1,0 +1,149 @@
+// Applying affinity plans to real pools (and the deterministic no-op):
+// pinning is a best-effort performance hint, so every degraded outcome —
+// unpinnable cpus, oversized requests, single-node machines — must land
+// in AffinityOutcome counters while the pool keeps working, and a
+// DeterministicExecutor-backed TriplePools must record the request
+// without ever touching a thread.
+#include "mlm/parallel/affinity.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "mlm/parallel/deterministic_executor.h"
+#include "mlm/parallel/thread_pool.h"
+#include "mlm/parallel/triple_pools.h"
+
+namespace mlm {
+namespace {
+
+TEST(PinCurrentThread, NegativeCpuAlwaysFails) {
+  EXPECT_FALSE(pin_current_thread_to_cpu(-1));
+}
+
+TEST(PinCurrentThread, NonexistentCpuFailsGracefully) {
+  // CPU_SETSIZE is 1024 on Linux; no machine this test runs on has a
+  // cpu 100000, and non-Linux hosts fail every pin.  Either way: false,
+  // no throw.
+  EXPECT_FALSE(pin_current_thread_to_cpu(100000));
+}
+
+TEST(PinCurrentThread, RealCpuMatchesPlatformSupport) {
+  if (affinity_supported()) {
+    // cpu 0 exists everywhere; cgroup masks could exclude it, in which
+    // case false is still the documented graceful answer.
+    const bool ok = pin_current_thread_to_cpu(0);
+    (void)ok;  // both outcomes are legal; the contract is "no throw"
+  } else {
+    EXPECT_FALSE(pin_current_thread_to_cpu(0));
+  }
+}
+
+TEST(ThreadPoolAffinity, NoPlanMeansNoPinsRequested) {
+  ThreadPool pool(2, "unpinned");
+  const AffinityOutcome& outcome = pool.affinity_outcome();
+  EXPECT_EQ(outcome.policy, AffinityPolicy::None);
+  EXPECT_EQ(outcome.requested, 0u);
+  EXPECT_FALSE(outcome.degraded());
+}
+
+TEST(ThreadPoolAffinity, UnpinnableCpusDegradeToCountersNotErrors) {
+  // A plan full of cpus this machine does not have: every pin fails,
+  // the counters say so, and the pool still runs work.
+  AffinityPlan plan;
+  plan.policy = AffinityPolicy::Compact;
+  plan.worker_cpus = {100000, 100001, 100002};
+  ThreadPool pool(3, "doomed-pins", plan);
+
+  const AffinityOutcome& outcome = pool.affinity_outcome();
+  EXPECT_EQ(outcome.policy, AffinityPolicy::Compact);
+  EXPECT_EQ(outcome.requested, 3u);
+  EXPECT_EQ(outcome.pinned, 0u);
+  EXPECT_EQ(outcome.failed, 3u);
+  EXPECT_TRUE(outcome.degraded());
+
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 16; ++i) pool.post([&] { ++ran; });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 16);
+}
+
+TEST(ThreadPoolAffinity, OversizedPlanOnTinyTopologyStillRuns) {
+  // Plan for a synthetic 1x1 machine with 4 workers: the plan wraps all
+  // four onto cpu 0 (oversubscribed=3) and the pool must absorb
+  // whatever the real machine makes of that.
+  const Topology tiny = synthetic_topology(1, 1);
+  const AffinityPlan plan =
+      plan_affinity(AffinityPolicy::Compact, tiny, 4);
+  EXPECT_EQ(plan.oversubscribed, 3u);
+
+  ThreadPool pool(4, "wrapped", plan);
+  const AffinityOutcome& outcome = pool.affinity_outcome();
+  EXPECT_EQ(outcome.requested, 4u);
+  EXPECT_EQ(outcome.pinned + outcome.failed, 4u);
+  EXPECT_EQ(outcome.oversubscribed, 3u);
+
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) pool.post([&] { ++ran; });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 8);
+}
+
+TEST(ThreadPoolAffinity, UnpinnedSlotsAreNotCountedAsRequests) {
+  AffinityPlan plan;
+  plan.policy = AffinityPolicy::Scatter;
+  plan.worker_cpus = {-1, -1};  // planner says: leave both unpinned
+  ThreadPool pool(2, "explicit-unpinned", plan);
+  EXPECT_EQ(pool.affinity_outcome().requested, 0u);
+  EXPECT_EQ(pool.affinity_outcome().failed, 0u);
+}
+
+TEST(TriplePoolsAffinity, RealPoolsAggregateOutcomes) {
+  PoolAffinity affinity;
+  affinity.policy = AffinityPolicy::Compact;
+  affinity.topology = synthetic_topology(1, 1);
+  TriplePools pools(PoolSizes{1, 1, 2}, affinity);
+
+  const AffinityOutcome outcome = pools.affinity_outcome();
+  EXPECT_EQ(outcome.policy, AffinityPolicy::Compact);
+  // All four workers got a (wrapped) cpu assignment from the 1-cpu
+  // synthetic machine; each pin either stuck or was counted failed.
+  EXPECT_EQ(outcome.requested, 4u);
+  EXPECT_EQ(outcome.pinned + outcome.failed, 4u);
+
+  std::atomic<int> ran{0};
+  pools.copy_in().post([&] { ++ran; });
+  pools.compute().post([&] { ++ran; });
+  pools.copy_out().post([&] { ++ran; });
+  pools.wait_all_idle();
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(TriplePoolsAffinity, DeterministicVariantRecordsPolicyPinsNothing) {
+  DeterministicScheduler sched(42);
+  PoolAffinity affinity;
+  affinity.policy = AffinityPolicy::TierLocal;
+  affinity.topology = synthetic_topology(2, 4);
+  TriplePools pools(PoolSizes{1, 1, 2}, sched, affinity);
+
+  const AffinityOutcome outcome = pools.affinity_outcome();
+  EXPECT_EQ(outcome.policy, AffinityPolicy::TierLocal);
+  EXPECT_EQ(outcome.requested, 0u);  // no real threads -> recorded no-op
+  EXPECT_EQ(outcome.pinned, 0u);
+  EXPECT_FALSE(outcome.degraded());
+}
+
+TEST(TriplePoolsAffinity, ResizePreservesTheAffinityRequest) {
+  PoolAffinity affinity;
+  affinity.policy = AffinityPolicy::Compact;
+  affinity.topology = synthetic_topology(1, 2);
+  TriplePools pools(PoolSizes{2, 2, 2}, affinity);
+  pools.resize(PoolSizes{1, 1, 4});
+  EXPECT_EQ(pools.affinity().policy, AffinityPolicy::Compact);
+  const AffinityOutcome outcome = pools.affinity_outcome();
+  EXPECT_EQ(outcome.policy, AffinityPolicy::Compact);
+  EXPECT_EQ(outcome.requested, 6u);
+}
+
+}  // namespace
+}  // namespace mlm

@@ -1,0 +1,82 @@
+// First-touch arena faulting: the touch must preserve every byte, slice
+// on page boundaries, and run identically under real pools and the
+// deterministic executor (it is value-neutral, so digests cannot move).
+#include "mlm/parallel/first_touch.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "mlm/parallel/deterministic_executor.h"
+#include "mlm/parallel/thread_pool.h"
+#include "mlm/support/proptest.h"
+
+namespace mlm {
+namespace {
+
+std::vector<std::uint8_t> patterned(std::size_t bytes) {
+  std::vector<std::uint8_t> buf(bytes);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    buf[i] = static_cast<std::uint8_t>(i * 131 + 7);
+  }
+  return buf;
+}
+
+TEST(FirstTouch, PreservesEveryByte) {
+  ThreadPool pool(3);
+  // Deliberately not page-aligned in size: 3 pages plus a tail.
+  auto buf = patterned(3 * kFirstTouchPageBytes + 123);
+  const std::uint64_t before = fnv1a64(buf.data(), buf.size());
+  const FirstTouchReport report = first_touch(pool, buf.data(), buf.size());
+  EXPECT_EQ(fnv1a64(buf.data(), buf.size()), before);
+  EXPECT_EQ(report.bytes, buf.size());
+  EXPECT_EQ(report.pages, 4u);  // ceil((3p + 123) / p)
+}
+
+TEST(FirstTouch, EmptyRangeIsZeroReport) {
+  ThreadPool pool(2);
+  std::uint8_t dummy = 0;
+  const FirstTouchReport report = first_touch(pool, &dummy, 0);
+  EXPECT_EQ(report.bytes, 0u);
+  EXPECT_EQ(report.pages, 0u);
+  EXPECT_EQ(report.slices, 0u);
+}
+
+TEST(FirstTouch, SlicesNeverExceedPagesOrPoolSize) {
+  ThreadPool pool(8);
+  auto buf = patterned(2 * kFirstTouchPageBytes);
+  const FirstTouchReport report = first_touch(pool, buf.data(), buf.size());
+  EXPECT_EQ(report.pages, 2u);
+  EXPECT_LE(report.slices, 2u);  // two workers can't split one page
+
+  auto big = patterned(32 * kFirstTouchPageBytes);
+  const FirstTouchReport wide = first_touch(pool, big.data(), big.size());
+  EXPECT_EQ(wide.pages, 32u);
+  EXPECT_LE(wide.slices, pool.size());
+  EXPECT_GE(wide.slices, 1u);
+}
+
+TEST(FirstTouch, SubPageBufferTouchesItsOnePage) {
+  ThreadPool pool(2);
+  auto buf = patterned(64);
+  const std::uint64_t before = fnv1a64(buf.data(), buf.size());
+  const FirstTouchReport report = first_touch(pool, buf.data(), buf.size());
+  EXPECT_EQ(report.pages, 1u);
+  EXPECT_EQ(report.slices, 1u);
+  EXPECT_EQ(fnv1a64(buf.data(), buf.size()), before);
+}
+
+TEST(FirstTouch, RunsUnderDeterministicExecutor) {
+  DeterministicScheduler sched(7);
+  DeterministicExecutor pool(sched, 4, "det-touch");
+  auto buf = patterned(5 * kFirstTouchPageBytes + 1);
+  const std::uint64_t before = fnv1a64(buf.data(), buf.size());
+  const FirstTouchReport report = first_touch(pool, buf.data(), buf.size());
+  EXPECT_EQ(report.pages, 6u);
+  EXPECT_EQ(fnv1a64(buf.data(), buf.size()), before);
+}
+
+}  // namespace
+}  // namespace mlm

@@ -152,5 +152,47 @@ TEST(ParallelMemcpy, StreamingModeCopiesExactly) {
   }
 }
 
+TEST(ParallelMemcpy, DefaultSliceAlignIsTheSharedCacheLineConstant) {
+  // One constant drives slice joints and hot-struct padding (S1): a
+  // drifting default would silently reintroduce joint false sharing.
+  EXPECT_EQ(kCopySliceAlignBytes, kCacheLineBytes);
+}
+
+TEST(ParallelMemcpy, CustomSliceAlignCopiesExactly) {
+  ThreadPool pool(4);
+  // Sizes straddling the alignment so boundary rounding gets exercised
+  // and some slices may come out empty.
+  for (std::size_t align : {std::size_t{1}, std::size_t{64},
+                            std::size_t{4096}}) {
+    for (std::size_t n :
+         {std::size_t{1}, std::size_t{4095}, (std::size_t{1} << 20) + 13}) {
+      const auto src = random_bytes(n, n + align);
+      std::vector<unsigned char> dst(n, 0xEE);
+      parallel_memcpy(pool, dst.data(), src.data(), n, pool.size(),
+                      CopyMode::Cached, align);
+      EXPECT_EQ(dst, src) << "align=" << align << " n=" << n;
+    }
+  }
+}
+
+TEST(ParallelMemcpyAsync, CustomSliceAlignCopiesExactly) {
+  ThreadPool pool(3);
+  const std::size_t n = (1 << 20) + 7;
+  const auto src = random_bytes(n, 99);
+  std::vector<unsigned char> dst(n, 0xEE);
+  auto futs = parallel_memcpy_async(pool, dst.data(), src.data(), n,
+                                    CopyMode::Cached, 4096);
+  wait_all(futs);
+  EXPECT_EQ(dst, src);
+}
+
+TEST(ParallelMemcpy, RejectsZeroSliceAlign) {
+  ThreadPool pool(2);
+  std::vector<unsigned char> a(128), b(128);
+  EXPECT_THROW(parallel_memcpy(pool, a.data(), b.data(), a.size(),
+                               pool.size(), CopyMode::Cached, 0),
+               InvalidArgumentError);
+}
+
 }  // namespace
 }  // namespace mlm

@@ -60,6 +60,62 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0, 1, 2, 7, 64, 1000, 12345),
                        ::testing::Values(1, 2, 3, 4, 7, 16, 256)));
 
+TEST(PartitionRangeAligned, BoundariesLandOnTheAlignment) {
+  // 1000 over 3 parts at 64-byte granularity: every joint is a multiple
+  // of 64, the tail absorbs the remainder, and the union tiles [0, n).
+  std::size_t expect_begin = 0;
+  for (std::size_t p = 0; p < 3; ++p) {
+    const IndexRange r = partition_range_aligned(1000, 3, p, 64);
+    EXPECT_EQ(r.begin, expect_begin);
+    if (p + 1 < 3) {
+      EXPECT_EQ(r.end % 64, 0u);
+    }
+    expect_begin = r.end;
+  }
+  EXPECT_EQ(expect_begin, 1000u);
+}
+
+TEST(PartitionRangeAligned, AlignOneMatchesPlainPartition) {
+  for (std::size_t p = 0; p < 4; ++p) {
+    EXPECT_EQ(partition_range_aligned(1234, 4, p, 1),
+              partition_range(1234, 4, p));
+  }
+}
+
+TEST(PartitionRangeAligned, TinyInputsMayYieldEmptySlices) {
+  // 100 over 4 parts at 64 alignment: rounding the first joint up to 64
+  // starves later parts; callers must tolerate empty slices.
+  std::size_t total = 0;
+  std::size_t expect_begin = 0;
+  for (std::size_t p = 0; p < 4; ++p) {
+    const IndexRange r = partition_range_aligned(100, 4, p, 64);
+    EXPECT_EQ(r.begin, expect_begin);
+    EXPECT_LE(r.end, 100u);
+    expect_begin = r.end;
+    total += r.size();
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(PartitionRangeAligned, SweepTilesExactly) {
+  for (std::size_t n : {0u, 1u, 63u, 64u, 65u, 1000u, 4096u, 100000u}) {
+    for (std::size_t parts : {1u, 2u, 3u, 7u, 16u}) {
+      for (std::size_t align : {1u, 8u, 64u, 4096u}) {
+        std::size_t expect_begin = 0;
+        for (std::size_t p = 0; p < parts; ++p) {
+          const IndexRange r = partition_range_aligned(n, parts, p, align);
+          ASSERT_EQ(r.begin, expect_begin)
+              << "n=" << n << " parts=" << parts << " align=" << align;
+          ASSERT_LE(r.begin, r.end);
+          expect_begin = r.end;
+        }
+        ASSERT_EQ(expect_begin, n)
+            << "n=" << n << " parts=" << parts << " align=" << align;
+      }
+    }
+  }
+}
+
 TEST(ChunkRanges, ExactDivision) {
   const auto c = chunk_ranges(12, 4);
   ASSERT_EQ(c.size(), 3u);

@@ -4,6 +4,7 @@
 
 #include <atomic>
 
+#include "mlm/parallel/deterministic_executor.h"
 #include "mlm/support/error.h"
 
 namespace mlm {
@@ -63,6 +64,52 @@ TEST(TriplePools, WaitAllIdleRethrowsAnyPoolError) {
   TriplePools pools(PoolSizes{1, 1, 1});
   pools.copy_out().post([] { throw Error("copy-out failed"); });
   EXPECT_THROW(pools.wait_all_idle(), Error);
+}
+
+// Degenerate resizes (the adaptive controller's edge moves): shrinking
+// the copy pools to a single thread, and re-applying the current split,
+// must leave working pools behind — under real threads and under the
+// deterministic executor alike.
+void exercise_pools(TriplePools& pools, int tasks) {
+  std::atomic<int> ran{0};
+  for (int i = 0; i < tasks; ++i) {
+    pools.copy_in().post([&] { ++ran; });
+    pools.compute().post([&] { ++ran; });
+    pools.copy_out().post([&] { ++ran; });
+  }
+  pools.wait_all_idle();
+  EXPECT_EQ(ran.load(), tasks * 3);
+}
+
+TEST(TriplePoolsResize, ShrinkToSingleCopyThread) {
+  TriplePools pools(PoolSizes{4, 4, 4});
+  exercise_pools(pools, 8);
+  pools.resize(PoolSizes{1, 1, 10});
+  EXPECT_EQ(pools.copy_in().size(), 1u);
+  EXPECT_EQ(pools.copy_out().size(), 1u);
+  EXPECT_EQ(pools.compute().size(), 10u);
+  exercise_pools(pools, 8);
+}
+
+TEST(TriplePoolsResize, SameSplitTwiceIsIdempotent) {
+  TriplePools pools(PoolSizes{2, 2, 3});
+  pools.resize(PoolSizes{2, 2, 3});
+  pools.resize(PoolSizes{2, 2, 3});
+  EXPECT_EQ(pools.copy_in().size(), 2u);
+  EXPECT_EQ(pools.compute().size(), 3u);
+  exercise_pools(pools, 4);
+}
+
+TEST(TriplePoolsResize, DeterministicExecutorDegenerateResizes) {
+  DeterministicScheduler sched(11);
+  TriplePools pools(PoolSizes{4, 4, 4}, sched);
+  exercise_pools(pools, 4);
+  pools.resize(PoolSizes{1, 1, 2});
+  EXPECT_EQ(pools.copy_in().size(), 1u);
+  exercise_pools(pools, 4);
+  pools.resize(PoolSizes{1, 1, 2});
+  pools.resize(PoolSizes{1, 1, 2});
+  exercise_pools(pools, 4);
 }
 
 }  // namespace
